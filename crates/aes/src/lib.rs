@@ -1,0 +1,41 @@
+//! # emtrust-aes
+//!
+//! AES-128 — the device under test of the DAC 2020 on-chip EM sensor paper.
+//!
+//! Two implementations are provided and cross-checked:
+//!
+//! - [`mod@reference`] — a behavioural AES-128 (FIPS-197), used as the golden
+//!   functional model and for generating test vectors,
+//! - [`netlist`] — a gate-level, one-round-per-cycle AES-128 netlist built
+//!   on `emtrust-netlist` (BDD-synthesized S-boxes, XOR-network
+//!   MixColumns, on-the-fly key schedule). This is the circuit whose
+//!   switching activity feeds the EM model, standing in for the paper's
+//!   vendor-synthesized 180 nm netlist.
+//!
+//! # Examples
+//!
+//! Encrypt the FIPS-197 example block behaviourally:
+//!
+//! ```
+//! use emtrust_aes::reference::Aes128;
+//!
+//! let key = [
+//!     0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+//!     0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c,
+//! ];
+//! let pt = [
+//!     0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+//!     0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34,
+//! ];
+//! let ct = Aes128::new(key).encrypt_block(pt);
+//! assert_eq!(ct[0], 0x39);
+//! assert_eq!(ct[15], 0x32);
+//! ```
+
+pub mod netlist;
+pub mod reference;
+pub mod sbox;
+
+pub use netlist::{build_aes, AesHarness, AesPorts};
+pub use reference::Aes128;
+pub use sbox::AES_SBOX;

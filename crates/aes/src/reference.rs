@@ -1,0 +1,268 @@
+//! Behavioural AES-128 reference (FIPS-197).
+//!
+//! Used as the golden functional model: the gate-level netlist's outputs
+//! are asserted against this implementation, and the trust-evaluation
+//! experiments use it to generate plaintext/ciphertext workloads.
+//!
+//! State convention: a block is `[u8; 16]` where byte `b` is FIPS input
+//! byte `in[b]`, i.e. state element `s[r][c] = block[r + 4c]`.
+
+use crate::sbox::AES_SBOX;
+
+/// Number of 32-bit words in an AES-128 key.
+const NK: usize = 4;
+/// Number of rounds for AES-128.
+pub const ROUNDS: usize = 10;
+
+/// Round constants `Rcon[1..=10]` (first byte; the rest are zero).
+pub const RCON: [u8; 11] = [
+    0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36,
+];
+
+/// A behavioural AES-128 cipher with a precomputed key schedule.
+#[derive(Debug, Clone)]
+pub struct Aes128 {
+    /// Round keys 0..=10, each 16 bytes in block order.
+    round_keys: [[u8; 16]; ROUNDS + 1],
+}
+
+impl Aes128 {
+    /// Expands `key` into the full round-key schedule.
+    pub fn new(key: [u8; 16]) -> Self {
+        let mut w = [[0u8; 4]; 4 * (ROUNDS + 1)];
+        for i in 0..NK {
+            w[i] = [key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]];
+        }
+        for i in NK..4 * (ROUNDS + 1) {
+            let mut temp = w[i - 1];
+            if i % NK == 0 {
+                temp.rotate_left(1);
+                for b in temp.iter_mut() {
+                    *b = AES_SBOX[*b as usize];
+                }
+                temp[0] ^= RCON[i / NK];
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - NK][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; ROUNDS + 1];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+        }
+        Self { round_keys }
+    }
+
+    /// The round key for round `r` (0 = initial AddRoundKey).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r > 10`.
+    pub fn round_key(&self, r: usize) -> [u8; 16] {
+        self.round_keys[r]
+    }
+
+    /// Encrypts one block.
+    pub fn encrypt_block(&self, block: [u8; 16]) -> [u8; 16] {
+        let mut s = block;
+        add_round_key(&mut s, &self.round_keys[0]);
+        for r in 1..ROUNDS {
+            sub_bytes(&mut s);
+            shift_rows(&mut s);
+            mix_columns(&mut s);
+            add_round_key(&mut s, &self.round_keys[r]);
+        }
+        sub_bytes(&mut s);
+        shift_rows(&mut s);
+        add_round_key(&mut s, &self.round_keys[ROUNDS]);
+        s
+    }
+
+    /// The state after the initial AddRoundKey and the first `r` full
+    /// rounds — matches the netlist's state register after `r + 1` loaded
+    /// cycles, which the cross-check tests rely on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r > 10`.
+    pub fn state_after_round(&self, block: [u8; 16], r: usize) -> [u8; 16] {
+        assert!(r <= ROUNDS, "AES-128 has 10 rounds");
+        let mut s = block;
+        add_round_key(&mut s, &self.round_keys[0]);
+        for round in 1..=r {
+            sub_bytes(&mut s);
+            shift_rows(&mut s);
+            if round != ROUNDS {
+                mix_columns(&mut s);
+            }
+            add_round_key(&mut s, &self.round_keys[round]);
+        }
+        s
+    }
+}
+
+/// SubBytes on a block in place.
+pub fn sub_bytes(s: &mut [u8; 16]) {
+    for b in s.iter_mut() {
+        *b = AES_SBOX[*b as usize];
+    }
+}
+
+/// ShiftRows on a block in place (`s[r][c] = s[r][(c + r) % 4]`).
+pub fn shift_rows(s: &mut [u8; 16]) {
+    let old = *s;
+    for r in 0..4 {
+        for c in 0..4 {
+            s[r + 4 * c] = old[r + 4 * ((c + r) % 4)];
+        }
+    }
+}
+
+/// Multiplication by `x` in GF(2⁸) with the AES polynomial `0x11b`.
+pub fn xtime(b: u8) -> u8 {
+    let shifted = b << 1;
+    if b & 0x80 != 0 {
+        shifted ^ 0x1b
+    } else {
+        shifted
+    }
+}
+
+/// MixColumns on a block in place.
+pub fn mix_columns(s: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [s[4 * c], s[4 * c + 1], s[4 * c + 2], s[4 * c + 3]];
+        for r in 0..4 {
+            s[4 * c + r] = xtime(col[r])
+                ^ (xtime(col[(r + 1) % 4]) ^ col[(r + 1) % 4])
+                ^ col[(r + 2) % 4]
+                ^ col[(r + 3) % 4];
+        }
+    }
+}
+
+/// AddRoundKey on a block in place.
+pub fn add_round_key(s: &mut [u8; 16], rk: &[u8; 16]) {
+    for (b, k) in s.iter_mut().zip(rk) {
+        *b ^= k;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIPS_KEY: [u8; 16] = [
+        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f,
+        0x3c,
+    ];
+    const FIPS_PT: [u8; 16] = [
+        0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07,
+        0x34,
+    ];
+    const FIPS_CT: [u8; 16] = [
+        0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a, 0x0b,
+        0x32,
+    ];
+
+    #[test]
+    fn fips_197_appendix_b_vector() {
+        let ct = Aes128::new(FIPS_KEY).encrypt_block(FIPS_PT);
+        assert_eq!(ct, FIPS_CT);
+    }
+
+    #[test]
+    fn fips_197_appendix_c_vector() {
+        // Key 000102...0f, plaintext 00112233...ff.
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let pt: [u8; 16] = core::array::from_fn(|i| (i * 0x11) as u8);
+        let expect: [u8; 16] = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
+        ];
+        assert_eq!(Aes128::new(key).encrypt_block(pt), expect);
+    }
+
+    #[test]
+    fn key_schedule_first_and_last_round_keys() {
+        let aes = Aes128::new(FIPS_KEY);
+        assert_eq!(aes.round_key(0), FIPS_KEY);
+        // FIPS-197 Appendix A: w[40..43] = d014f9a8 c9ee2589 e13f0cc8 b6630ca6.
+        let rk10 = aes.round_key(10);
+        assert_eq!(&rk10[..4], &[0xd0, 0x14, 0xf9, 0xa8]);
+        assert_eq!(&rk10[12..], &[0xb6, 0x63, 0x0c, 0xa6]);
+    }
+
+    #[test]
+    fn round_trace_matches_fips_appendix_b() {
+        let aes = Aes128::new(FIPS_KEY);
+        // After initial ARK (round 0).
+        let s0 = aes.state_after_round(FIPS_PT, 0);
+        assert_eq!(
+            s0,
+            [
+                0x19, 0x3d, 0xe3, 0xbe, 0xa0, 0xf4, 0xe2, 0x2b, 0x9a, 0xc6, 0x8d, 0x2a, 0xe9,
+                0xf8, 0x48, 0x08
+            ]
+        );
+        // Start of round 2 per FIPS-197 Appendix B.
+        let s1 = aes.state_after_round(FIPS_PT, 1);
+        assert_eq!(
+            s1,
+            [
+                0xa4, 0x9c, 0x7f, 0xf2, 0x68, 0x9f, 0x35, 0x2b, 0x6b, 0x5b, 0xea, 0x43, 0x02,
+                0x6a, 0x50, 0x49
+            ]
+        );
+        // Full encryption equals round 10.
+        assert_eq!(aes.state_after_round(FIPS_PT, 10), FIPS_CT);
+    }
+
+    #[test]
+    fn xtime_matches_gf_multiplication() {
+        assert_eq!(xtime(0x57), 0xae);
+        assert_eq!(xtime(0xae), 0x47);
+        assert_eq!(xtime(0x80), 0x1b);
+        assert_eq!(xtime(0x01), 0x02);
+    }
+
+    #[test]
+    fn shift_rows_row0_is_fixed() {
+        let mut s: [u8; 16] = core::array::from_fn(|i| i as u8);
+        shift_rows(&mut s);
+        // Row 0 (bytes 0, 4, 8, 12) unchanged.
+        assert_eq!([s[0], s[4], s[8], s[12]], [0, 4, 8, 12]);
+        // Row 1 rotates by one column.
+        assert_eq!([s[1], s[5], s[9], s[13]], [5, 9, 13, 1]);
+    }
+
+    #[test]
+    fn mix_columns_known_column() {
+        // FIPS-197 / common test vector: db 13 53 45 -> 8e 4d a1 bc.
+        let mut s = [0u8; 16];
+        s[0] = 0xdb;
+        s[1] = 0x13;
+        s[2] = 0x53;
+        s[3] = 0x45;
+        mix_columns(&mut s);
+        assert_eq!(&s[..4], &[0x8e, 0x4d, 0xa1, 0xbc]);
+    }
+
+    #[test]
+    fn add_round_key_is_involutive() {
+        let mut s = FIPS_PT;
+        add_round_key(&mut s, &FIPS_KEY);
+        add_round_key(&mut s, &FIPS_KEY);
+        assert_eq!(s, FIPS_PT);
+    }
+
+    #[test]
+    fn different_plaintexts_give_different_ciphertexts() {
+        let aes = Aes128::new(FIPS_KEY);
+        let a = aes.encrypt_block([0u8; 16]);
+        let b = aes.encrypt_block([1u8; 16]);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,170 @@
+//! Ablation studies over the design choices DESIGN.md calls out. Each
+//! group also *prints* the quality metric it probes, so `cargo bench`
+//! doubles as the ablation report:
+//!
+//! - `ablation_pca` — detection distance with and without PCA (§III-D),
+//! - `ablation_coil_turns` — sensor coupling vs. spiral turn count (the
+//!   paper's future-work knob),
+//! - `ablation_probe_height` — external-probe coupling vs. standoff
+//!   ("signal intensity is closely related to the distance"),
+//! - `ablation_samples_per_cycle` — acquisition rate vs. detection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emtrust::acquisition::TestBench;
+use emtrust::euclidean::trojan_distance_study;
+use emtrust::fingerprint::FingerprintConfig;
+use emtrust_bench::EXPERIMENT_KEY;
+use emtrust_em::coil::Coil;
+use emtrust_em::coupling::CouplingMap;
+use emtrust_layout::floorplan::Die;
+use emtrust_layout::probe::ExternalProbe;
+use emtrust_layout::spiral::SpiralSensor;
+use emtrust_silicon::Channel;
+use emtrust_trojan::{ProtectedChip, TrojanKind};
+
+fn ablation_pca(c: &mut Criterion) {
+    let chip = ProtectedChip::with_trojans(&[TrojanKind::T4PowerDegrader]);
+    let bench = TestBench::silicon(&chip, 1).expect("bench");
+    let mut g = c.benchmark_group("ablation_pca");
+    g.sample_size(10);
+    for (label, config) in [
+        ("with_pca8", FingerprintConfig::default()),
+        (
+            "without_pca",
+            FingerprintConfig {
+                pca_components: None,
+                ..FingerprintConfig::default()
+            },
+        ),
+    ] {
+        // Report the quality metric once.
+        let rows = trojan_distance_study(
+            &bench,
+            EXPERIMENT_KEY,
+            &[TrojanKind::T4PowerDegrader],
+            12,
+            Channel::OnChipSensor,
+            config,
+            7,
+        )
+        .expect("study");
+        println!(
+            "ablation_pca/{label}: T4 distance {:.4}, threshold {:.4}, margin {:.1}x",
+            rows[0].centroid_distance,
+            rows[0].threshold,
+            rows[0].centroid_distance / rows[0].threshold
+        );
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                trojan_distance_study(
+                    &bench,
+                    EXPERIMENT_KEY,
+                    &[TrojanKind::T4PowerDegrader],
+                    8,
+                    Channel::OnChipSensor,
+                    config,
+                    7,
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablation_coil_turns(c: &mut Criterion) {
+    let die = Die::square(600.0).expect("die");
+    let mut g = c.benchmark_group("ablation_coil_turns");
+    g.sample_size(10);
+    for turns in [5usize, 10, 20, 40] {
+        let coil: Coil = SpiralSensor::with_turns(die, turns).expect("spiral").into();
+        let map = CouplingMap::build(&coil, die).expect("map");
+        println!(
+            "ablation_coil_turns/{turns}: mean |M| = {:.3e} H (more turns, more flux linkage)",
+            map.mean_abs()
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(turns), &turns, |b, &t| {
+            b.iter(|| {
+                let coil: Coil = SpiralSensor::with_turns(die, t).unwrap().into();
+                CouplingMap::build(&coil, die).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablation_probe_height(c: &mut Criterion) {
+    let die = Die::square(600.0).expect("die");
+    let mut g = c.benchmark_group("ablation_probe_height");
+    g.sample_size(10);
+    for z_um in [100.0f64, 300.0, 1000.0, 3000.0] {
+        let probe = ExternalProbe::over_die(die)
+            .with_standoff(z_um)
+            .expect("probe");
+        let coil: Coil = probe.into();
+        let map = CouplingMap::build(&coil, die).expect("map");
+        println!(
+            "ablation_probe_height/{z_um}um: mean |M| = {:.3e} H (coupling falls with distance)",
+            map.mean_abs()
+        );
+        g.bench_with_input(
+            BenchmarkId::from_parameter(z_um as u64),
+            &z_um,
+            |b, &z| {
+                b.iter(|| {
+                    let coil: Coil =
+                        ExternalProbe::over_die(die).with_standoff(z).unwrap().into();
+                    CouplingMap::build(&coil, die).unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn ablation_samples_per_cycle(c: &mut Criterion) {
+    use emtrust_netlist::library::Library;
+    use emtrust_power::{ClockConfig, CurrentModel};
+    use emtrust_sim::engine::Simulator;
+
+    // Current-synthesis cost and waveform fidelity vs. acquisition rate.
+    let aes = emtrust_aes::AesHarness::new();
+    let mut sim = Simulator::new(aes.netlist()).expect("sim");
+    sim.start_recording();
+    let _ = emtrust_aes::netlist::run_encryption(&mut sim, aes.ports(), [1; 16], [2; 16]);
+    let activity = sim.take_recording();
+
+    let mut g = c.benchmark_group("ablation_samples_per_cycle");
+    g.sample_size(10);
+    for spc in [16usize, 64, 256] {
+        let model = CurrentModel::new(
+            Library::generic_180nm(),
+            ClockConfig::new(10e6, spc).expect("clock"),
+        );
+        let trace = model
+            .synthesize(aes.netlist(), &activity, None, None)
+            .expect("trace");
+        println!(
+            "ablation_samples_per_cycle/{spc}: peak current {:.3e} A over {} samples",
+            trace.samples().iter().fold(0.0f64, |m, &x| m.max(x)),
+            trace.len()
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(spc), &spc, |b, &s| {
+            let model = CurrentModel::new(
+                Library::generic_180nm(),
+                ClockConfig::new(10e6, s).unwrap(),
+            );
+            b.iter(|| model.synthesize(aes.netlist(), &activity, None, None).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    ablation_pca,
+    ablation_coil_turns,
+    ablation_probe_height,
+    ablation_samples_per_cycle
+);
+criterion_main!(ablations);

@@ -1,0 +1,87 @@
+//! **Extension — baseline comparison**: the paper positions the on-chip
+//! EM framework against global power fingerprinting (its reference \[3\]),
+//! whose weakness against small, stealthy Trojans motivates the work.
+//! This binary runs both detectors over the same chip and prints the
+//! margins side by side.
+
+use emtrust::acquisition::{Stimulus, TestBench};
+use emtrust::baseline::PowerBaseline;
+use emtrust::fingerprint::{FingerprintConfig, GoldenFingerprint};
+use emtrust_bench::{print_table, standard_chip, EXPERIMENT_KEY, TROJANS};
+use emtrust_silicon::Channel;
+
+fn main() {
+    let chip = standard_chip();
+    let stimulus = Stimulus::Fixed(*b"baseline-vs-em!!");
+    let cfg = FingerprintConfig {
+        pca_components: None,
+        ..FingerprintConfig::default()
+    };
+
+    // Global power fingerprinting (Agrawal et al. \[3\]).
+    let power = PowerBaseline::new(&chip).expect("baseline");
+    let power_golden = power
+        .collect(EXPERIMENT_KEY, stimulus, 24, None, 2)
+        .expect("golden");
+    let power_fp = GoldenFingerprint::fit(&power_golden, cfg).expect("fit");
+
+    // The paper's framework: on-chip EM sensor.
+    let bench = TestBench::simulation(&chip).expect("bench");
+    let em_golden = bench
+        .collect_with(EXPERIMENT_KEY, stimulus, 24, None, Channel::OnChipSensor, 2)
+        .expect("golden");
+    let em_fp = GoldenFingerprint::fit(&em_golden, cfg).expect("fit");
+
+    let mut rows = Vec::new();
+    for kind in TROJANS {
+        let p_armed = power
+            .collect(EXPERIMENT_KEY, stimulus, 12, Some(kind), 3)
+            .expect("armed");
+        let p_margin = power_fp.centroid_distance(&p_armed).expect("dist") / power_fp.threshold();
+        let e_armed = bench
+            .collect_with(
+                EXPERIMENT_KEY,
+                stimulus,
+                12,
+                Some(kind),
+                Channel::OnChipSensor,
+                3,
+            )
+            .expect("armed");
+        let e_rate = {
+            let d = em_fp.set_distances(&e_armed).expect("dists");
+            d.iter().filter(|&&x| x > em_fp.threshold()).count() as f64 / d.len() as f64
+        };
+        let e_margin = em_fp.centroid_distance(&e_armed).expect("dist") / em_fp.threshold();
+        rows.push(vec![
+            kind.label().to_string(),
+            format!(
+                "{p_margin:.2}x {}",
+                if p_margin < 1.0 {
+                    "MISSED"
+                } else if p_margin < 2.0 {
+                    "marginal"
+                } else {
+                    "caught"
+                }
+            ),
+            format!(
+                "{e_margin:.2}x {}",
+                if e_margin > 1.0 || e_rate >= 0.5 { "caught" } else { "MISSED" }
+            ),
+            format!("{:.0}%", 100.0 * e_rate),
+        ]);
+    }
+    print_table(
+        "Baseline comparison — global power fingerprinting [3] vs on-chip EM sensor",
+        &["Trojan", "Power margin", "EM margin", "EM trace rate"],
+        &rows,
+    );
+    println!(
+        "\nMargins are centroid distance over the Eq. 1 threshold (>1 = over it).\n\
+         The power baseline sees the power-hungry Trojans comfortably but is\n\
+         left with almost no margin on the stealthy CDMA leaker — its fast,\n\
+         tiny signature vanishes behind the package's decoupling network,\n\
+         while the on-chip EM sensor flags every one of its traces."
+    );
+}

@@ -1,0 +1,56 @@
+//! **E6 — Figure 6 (a)–(h)**: pairwise Euclidean-distance histograms for
+//! T1..T4, measured on the fabricated chip with the external probe
+//! (panels a–d, overlapping) and the on-chip sensor (panels e–h,
+//! separable peaks).
+
+use emtrust::acquisition::TestBench;
+use emtrust::euclidean::distance_panel;
+use emtrust_bench::{print_histogram, print_table, standard_chip, EXPERIMENT_KEY, TROJANS};
+use emtrust_silicon::Channel;
+
+fn main() {
+    let chip = standard_chip();
+    let bench = TestBench::silicon(&chip, 1).expect("silicon bench");
+    let n_traces = 60;
+    let bins = 24;
+
+    let mut summary = Vec::new();
+    for (channel, tag) in [
+        (Channel::ExternalProbe, "external probe (panels a-d)"),
+        (Channel::OnChipSensor, "on-chip sensor (panels e-h)"),
+    ] {
+        println!("\n==== {tag} ====");
+        for kind in TROJANS {
+            let panel = distance_panel(
+                &bench,
+                EXPERIMENT_KEY,
+                kind,
+                n_traces,
+                channel,
+                bins,
+                0xF16 ^ kind.label().len() as u64,
+            )
+            .expect("panel");
+            println!("\n-- {} --", kind.label());
+            print_histogram("golden (red stripes)", &panel.golden, 40);
+            print_histogram("trojan activated (blue stripes)", &panel.trojan, 40);
+            summary.push(vec![
+                tag.split(' ').next().unwrap().to_string(),
+                kind.label().to_string(),
+                format!("{:.3}", panel.overlap),
+                format!("{:+.1}%", 100.0 * panel.peak_shift),
+            ]);
+        }
+    }
+
+    print_table(
+        "Fig. 6 (a)-(h) summary — distribution overlap and peak shift",
+        &["Probe", "Trojan", "Overlap", "Peak shift"],
+        &summary,
+    );
+    println!(
+        "\nShape check (paper): external-probe distributions are not separable for\n\
+         any Trojan; the on-chip sensor separates the peaks, with T3 (smallest\n\
+         Trojan) the most marginal case."
+    );
+}

@@ -1,0 +1,514 @@
+//! Trace acquisition: driving the Trojan-carrying AES chip and measuring
+//! it through either the simulation pipeline (paper §IV) or the
+//! fabricated-chip pipeline (paper §V).
+
+use crate::TrustError;
+use emtrust_aes::netlist::run_encryption_with;
+use emtrust_em::coil::Coil;
+use emtrust_em::emf::VoltageTrace;
+use emtrust_em::pipeline::{EmSensor, PointCurrentSource};
+use emtrust_layout::floorplan::{Die, Floorplan};
+use emtrust_layout::probe::ExternalProbe;
+use emtrust_layout::spiral::SpiralSensor;
+use emtrust_netlist::library::Library;
+use emtrust_power::{ClockConfig, CurrentModel};
+use emtrust_silicon::{Channel, FabricatedChip, ProcessVariation};
+use emtrust_trojan::{A2Trojan, ProtectedChip, TrojanKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Extra leakage current drawn while Trojan T2's sense bit is low and its
+/// trigger is high, in amperes (the PMOS–NMOS leakage path of §IV-A).
+pub const T2_LEAK_CURRENT_A: f64 = 2.0e-5;
+
+/// The plaintext stimulus policy during collection.
+///
+/// The paper's fingerprinting assumes "the users know how the circuit
+/// will operate": detection campaigns replay a fixed stimulus so the
+/// golden spread reflects only noise, while characterization sweeps may
+/// randomize per trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stimulus {
+    /// Replay one fixed plaintext block for every trace.
+    Fixed([u8; 16]),
+    /// Draw a fresh random plaintext per trace (seeded).
+    RandomPerTrace,
+}
+
+/// A set of equal-length measured traces (volts).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSet {
+    traces: Vec<Vec<f64>>,
+    sample_rate_hz: f64,
+}
+
+impl TraceSet {
+    /// Wraps raw traces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrustError::InvalidParameter`] if the traces are ragged
+    /// or the sample rate is not positive.
+    pub fn new(traces: Vec<Vec<f64>>, sample_rate_hz: f64) -> Result<Self, TrustError> {
+        if sample_rate_hz <= 0.0 {
+            return Err(TrustError::InvalidParameter {
+                what: "sample rate must be positive",
+            });
+        }
+        if let Some(first) = traces.first() {
+            if traces.iter().any(|t| t.len() != first.len()) {
+                return Err(TrustError::InvalidParameter {
+                    what: "traces must share one length",
+                });
+            }
+        }
+        Ok(Self {
+            traces,
+            sample_rate_hz,
+        })
+    }
+
+    /// The traces.
+    pub fn traces(&self) -> &[Vec<f64>] {
+        &self.traces
+    }
+
+    /// Number of traces.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// The acquisition sample rate.
+    pub fn sample_rate_hz(&self) -> f64 {
+        self.sample_rate_hz
+    }
+}
+
+/// Which measurement backend the bench uses.
+#[derive(Debug)]
+enum Backend {
+    /// Paper §IV: EM pipeline plus environment noise only.
+    Simulation {
+        onchip: EmSensor,
+        external: EmSensor,
+    },
+    /// Paper §V: process variation, package and oscilloscope included.
+    Silicon(FabricatedChip),
+}
+
+/// The assembled experiment: a Trojan-carrying chip, its floorplan, both
+/// measurement channels, and (optionally) an A2 analog Trojan.
+#[derive(Debug)]
+pub struct TestBench<'c> {
+    chip: &'c ProtectedChip,
+    floorplan: Floorplan,
+    backend: Backend,
+    clock: ClockConfig,
+    a2: Option<A2Trojan>,
+}
+
+impl<'c> TestBench<'c> {
+    /// Builds the simulation bench (paper §IV): default die, spiral
+    /// sensor, external probe, reference clock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout and EM-pipeline construction errors.
+    pub fn simulation(chip: &'c ProtectedChip) -> Result<Self, TrustError> {
+        let library = Library::generic_180nm();
+        let die = Die::for_netlist(chip.netlist(), &library, 0.7)?;
+        let floorplan = Floorplan::place(chip.netlist(), &library, die)?;
+        let clock = ClockConfig::reference();
+        let model = CurrentModel::new(library, clock);
+        let onchip = EmSensor::new(
+            Coil::OnChip(SpiralSensor::for_die(die).map_err(TrustError::Layout)?),
+            chip.netlist(),
+            &floorplan,
+            model.clone(),
+        )?;
+        let external = EmSensor::new(
+            Coil::External(ExternalProbe::over_die(die)),
+            chip.netlist(),
+            &floorplan,
+            model,
+        )?;
+        Ok(Self {
+            chip,
+            floorplan,
+            backend: Backend::Simulation { onchip, external },
+            clock,
+            a2: None,
+        })
+    }
+
+    /// Builds the fabricated-chip bench (paper §V) for die number
+    /// `chip_id` with nominal process variation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates silicon-model construction errors.
+    pub fn silicon(chip: &'c ProtectedChip, chip_id: u64) -> Result<Self, TrustError> {
+        let fab = FabricatedChip::fabricate(chip.netlist(), chip_id, ProcessVariation::nominal())?;
+        let floorplan = fab.floorplan().clone();
+        Ok(Self {
+            chip,
+            floorplan,
+            backend: Backend::Silicon(fab),
+            clock: ClockConfig::reference(),
+            a2: None,
+        })
+    }
+
+    /// Installs an A2-style analog Trojan. If the Trojan is at the
+    /// default origin it is placed near the middle of the core area.
+    pub fn with_a2(mut self, a2: A2Trojan) -> Self {
+        let placed = if a2.location_um() == (0.0, 0.0) {
+            let c = self.floorplan.die().center();
+            a2.with_location(c.x * 0.8, c.y * 1.1)
+        } else {
+            a2
+        };
+        self.a2 = Some(placed);
+        self
+    }
+
+    /// Arms or disarms the installed A2 Trojan's fast-flipping trigger.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no A2 Trojan is installed.
+    pub fn arm_a2(&mut self, on: bool) {
+        self.a2
+            .as_mut()
+            .expect("no A2 trojan installed")
+            .set_triggering(on);
+    }
+
+    /// The chip under test.
+    pub fn chip(&self) -> &ProtectedChip {
+        self.chip
+    }
+
+    /// The floorplan in use.
+    pub fn floorplan(&self) -> &Floorplan {
+        &self.floorplan
+    }
+
+    /// The clock configuration.
+    pub fn clock(&self) -> ClockConfig {
+        self.clock
+    }
+
+    /// The installed A2 Trojan, if any.
+    pub fn a2(&self) -> Option<&A2Trojan> {
+        self.a2.as_ref()
+    }
+
+    /// Collects `n_traces` single-encryption traces with a fixed random
+    /// stimulus derived from `seed` (the detection-campaign default),
+    /// Trojan `armed` (if any) triggered throughout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation and measurement errors.
+    pub fn collect(
+        &self,
+        key: [u8; 16],
+        n_traces: usize,
+        armed: Option<TrojanKind>,
+        channel: Channel,
+        seed: u64,
+    ) -> Result<TraceSet, TrustError> {
+        let pt: [u8; 16] = StdRng::seed_from_u64(seed ^ 0x97).gen();
+        self.collect_with(key, Stimulus::Fixed(pt), n_traces, armed, channel, seed)
+    }
+
+    /// Collects `n_traces` single-encryption traces under an explicit
+    /// stimulus policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation and measurement errors.
+    pub fn collect_with(
+        &self,
+        key: [u8; 16],
+        stimulus: Stimulus,
+        n_traces: usize,
+        armed: Option<TrojanKind>,
+        channel: Channel,
+        seed: u64,
+    ) -> Result<TraceSet, TrustError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sim = self.chip.simulator()?;
+        self.chip.disarm_all(&mut sim);
+        if let Some(kind) = armed {
+            self.chip.arm(&mut sim, kind, true);
+        }
+        let leak_sense = armed
+            .and_then(|k| self.chip.trojan_ports(k))
+            .and_then(|p| p.leak_sense);
+
+        // Warm-up block (unrecorded): brings the registers to the steady
+        // post-encryption state so every recorded trace starts alike.
+        let warmup: [u8; 16] = match stimulus {
+            Stimulus::Fixed(block) => block,
+            Stimulus::RandomPerTrace => rng.gen(),
+        };
+        let _ = run_encryption_with(&mut sim, self.chip.aes_ports(), key, warmup, |_| {});
+
+        let mut traces = Vec::with_capacity(n_traces);
+        for i in 0..n_traces {
+            let pt: [u8; 16] = match stimulus {
+                Stimulus::Fixed(block) => block,
+                Stimulus::RandomPerTrace => rng.gen(),
+            };
+            sim.start_recording();
+            let mut leak_per_cycle = Vec::new();
+            let _ct = run_encryption_with(&mut sim, self.chip.aes_ports(), key, pt, |s| {
+                if let Some(net) = leak_sense {
+                    // Leakage path opens while the sense bit is low.
+                    leak_per_cycle.push(if s.value(net) { 0.0 } else { T2_LEAK_CURRENT_A });
+                }
+            });
+            let activity = sim.take_recording();
+            let extra = if leak_sense.is_some() {
+                Some(leak_per_cycle)
+            } else {
+                None
+            };
+            let trace = self.measure_activity(
+                &activity,
+                extra.as_deref(),
+                channel,
+                seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            )?;
+            traces.push(trace.into_samples());
+        }
+        TraceSet::new(traces, self.clock.sample_rate_hz())
+    }
+
+    /// Collects one long continuous trace spanning `n_blocks` back-to-back
+    /// encryptions — the runtime-monitoring format the spectral detector
+    /// needs (frequency resolution `f_clk·samples_per_cycle / N`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation and measurement errors.
+    pub fn collect_continuous(
+        &self,
+        key: [u8; 16],
+        n_blocks: usize,
+        armed: Option<TrojanKind>,
+        channel: Channel,
+        seed: u64,
+    ) -> Result<VoltageTrace, TrustError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sim = self.chip.simulator()?;
+        self.chip.disarm_all(&mut sim);
+        if let Some(kind) = armed {
+            self.chip.arm(&mut sim, kind, true);
+        }
+        let leak_sense = armed
+            .and_then(|k| self.chip.trojan_ports(k))
+            .and_then(|p| p.leak_sense);
+        sim.start_recording();
+        let mut leak_per_cycle = Vec::new();
+        for _ in 0..n_blocks {
+            let pt: [u8; 16] = rng.gen();
+            let _ = run_encryption_with(&mut sim, self.chip.aes_ports(), key, pt, |s| {
+                if let Some(net) = leak_sense {
+                    leak_per_cycle.push(if s.value(net) { 0.0 } else { T2_LEAK_CURRENT_A });
+                }
+            });
+        }
+        let activity = sim.take_recording();
+        let extra = if leak_sense.is_some() {
+            Some(leak_per_cycle)
+        } else {
+            None
+        };
+        self.measure_activity(&activity, extra.as_deref(), channel, seed)
+    }
+
+    /// The paper's noise-measurement step (§V-A step 1): the chip is
+    /// powered but idle; the returned trace is pure measurement noise.
+    pub fn collect_noise(&self, n_samples: usize, channel: Channel, seed: u64) -> VoltageTrace {
+        match &self.backend {
+            Backend::Simulation { onchip, external } => {
+                let sensor = match channel {
+                    Channel::OnChipSensor => onchip,
+                    Channel::ExternalProbe => external,
+                };
+                sensor.measure_noise(n_samples, seed)
+            }
+            Backend::Silicon(fab) => fab.measure_noise(channel, n_samples, seed),
+        }
+    }
+
+    fn measure_activity(
+        &self,
+        activity: &emtrust_sim::ActivityTrace,
+        extra_leakage: Option<&[f64]>,
+        channel: Channel,
+        seed: u64,
+    ) -> Result<VoltageTrace, TrustError> {
+        let injections = self.a2_injections(activity.cycle_count());
+        match &self.backend {
+            Backend::Simulation { onchip, external } => {
+                let sensor = match channel {
+                    Channel::OnChipSensor => onchip,
+                    Channel::ExternalProbe => external,
+                };
+                Ok(sensor.measure(
+                    self.chip.netlist(),
+                    activity,
+                    extra_leakage,
+                    &injections,
+                    seed,
+                )?)
+            }
+            Backend::Silicon(fab) => Ok(fab.measure(
+                self.chip.netlist(),
+                activity,
+                channel,
+                extra_leakage,
+                &injections,
+                seed,
+            )?),
+        }
+    }
+
+    fn a2_injections(&self, cycles: usize) -> Vec<PointCurrentSource> {
+        match &self.a2 {
+            Some(a2) if a2.is_triggering() => {
+                let n = cycles * self.clock.samples_per_cycle();
+                vec![PointCurrentSource {
+                    location_um: a2.location_um(),
+                    samples: a2.current_samples(n, self.clock.sample_rate_hz()),
+                }]
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: [u8; 16] = *b"sixteen byte key";
+
+    #[test]
+    fn trace_set_validation() {
+        assert!(TraceSet::new(vec![vec![1.0], vec![1.0, 2.0]], 1.0).is_err());
+        assert!(TraceSet::new(vec![vec![1.0]], 0.0).is_err());
+        let s = TraceSet::new(vec![vec![1.0, 2.0]; 3], 10.0).unwrap();
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.sample_rate_hz(), 10.0);
+    }
+
+    #[test]
+    fn simulation_bench_collects_consistent_traces() {
+        let chip = ProtectedChip::golden();
+        let bench = TestBench::simulation(&chip).unwrap();
+        let set = bench
+            .collect(KEY, 3, None, Channel::OnChipSensor, 1)
+            .unwrap();
+        assert_eq!(set.len(), 3);
+        // 12 cycles × 64 samples per encryption.
+        assert_eq!(set.traces()[0].len(), 12 * 64);
+        // Traces carry signal.
+        assert!(emtrust_dsp::stats::rms(&set.traces()[0]) > 1e-8);
+    }
+
+    #[test]
+    fn onchip_channel_outweighs_external() {
+        let chip = ProtectedChip::golden();
+        let bench = TestBench::simulation(&chip).unwrap();
+        let on = bench
+            .collect(KEY, 2, None, Channel::OnChipSensor, 1)
+            .unwrap();
+        let ext = bench
+            .collect(KEY, 2, None, Channel::ExternalProbe, 1)
+            .unwrap();
+        let rms = |s: &TraceSet| emtrust_dsp::stats::rms(&s.traces()[0]);
+        assert!(rms(&on) > 3.0 * rms(&ext));
+    }
+
+    #[test]
+    fn armed_t4_changes_the_measurement() {
+        let chip = ProtectedChip::with_trojans(&[TrojanKind::T4PowerDegrader]);
+        let bench = TestBench::simulation(&chip).unwrap();
+        let golden = bench
+            .collect(KEY, 2, None, Channel::OnChipSensor, 1)
+            .unwrap();
+        let armed = bench
+            .collect(
+                KEY,
+                2,
+                Some(TrojanKind::T4PowerDegrader),
+                Channel::OnChipSensor,
+                1,
+            )
+            .unwrap();
+        let rms = |s: &TraceSet| emtrust_dsp::stats::rms(&s.traces()[0]);
+        assert!(rms(&armed) > 1.02 * rms(&golden));
+    }
+
+    #[test]
+    fn continuous_collection_spans_blocks() {
+        let chip = ProtectedChip::golden();
+        let bench = TestBench::simulation(&chip).unwrap();
+        let trace = bench
+            .collect_continuous(KEY, 4, None, Channel::OnChipSensor, 2)
+            .unwrap();
+        assert_eq!(trace.len(), 4 * 12 * 64);
+    }
+
+    #[test]
+    fn noise_collection_is_pure_noise() {
+        let chip = ProtectedChip::golden();
+        let bench = TestBench::simulation(&chip).unwrap();
+        let noise = bench.collect_noise(4096, Channel::OnChipSensor, 3);
+        let rms = noise.rms_v();
+        let expect = emtrust_em::noise::ONCHIP_ENV_NOISE_RMS_V;
+        assert!((rms - expect).abs() < 0.2 * expect, "noise rms {rms}");
+    }
+
+    #[test]
+    fn a2_installation_places_and_arms() {
+        let chip = ProtectedChip::golden();
+        let mut bench = TestBench::simulation(&chip)
+            .unwrap()
+            .with_a2(A2Trojan::new(10e6));
+        assert!(bench.a2().is_some());
+        assert_ne!(bench.a2().unwrap().location_um(), (0.0, 0.0));
+        bench.arm_a2(true);
+        assert!(bench.a2().unwrap().is_triggering());
+        let armed = bench
+            .collect_continuous(KEY, 2, None, Channel::OnChipSensor, 4)
+            .unwrap();
+        bench.arm_a2(false);
+        let dormant = bench
+            .collect_continuous(KEY, 2, None, Channel::OnChipSensor, 4)
+            .unwrap();
+        assert!(armed.rms_v() > dormant.rms_v());
+    }
+
+    #[test]
+    fn silicon_bench_measures_through_the_scope() {
+        let chip = ProtectedChip::golden();
+        let bench = TestBench::silicon(&chip, 1).unwrap();
+        let set = bench
+            .collect(KEY, 2, None, Channel::OnChipSensor, 5)
+            .unwrap();
+        assert_eq!(set.len(), 2);
+        assert!(emtrust_dsp::stats::rms(&set.traces()[0]) > 1e-8);
+    }
+}

@@ -1,0 +1,96 @@
+//! Trace → feature-vector reduction.
+//!
+//! Raw sensor traces (hundreds of samples per encryption) are reduced to
+//! an energy profile before fingerprinting: the RMS of consecutive sample
+//! bins. This keeps the data-dependent within-cycle structure the
+//! detectors need while making PCA tractable and the comparison robust to
+//! sample-level phase jitter.
+
+use crate::TrustError;
+
+/// Default bin width (samples per feature) — 8 samples at 640 MS/s is
+/// one eighth of a 10 MHz clock cycle.
+pub const DEFAULT_RMS_BIN: usize = 8;
+
+/// Reduces a trace to per-bin RMS features.
+///
+/// A trailing partial bin is included (RMS over the remaining samples).
+///
+/// # Errors
+///
+/// Returns [`TrustError::InvalidParameter`] if `bin == 0` or `samples`
+/// is empty.
+///
+/// # Examples
+///
+/// ```
+/// use emtrust::features::bin_rms;
+///
+/// let f = bin_rms(&[3.0, -4.0, 0.0, 5.0], 2)?;
+/// assert_eq!(f.len(), 2);
+/// assert!((f[0] - (12.5f64).sqrt()).abs() < 1e-12);
+/// # Ok::<(), emtrust::TrustError>(())
+/// ```
+pub fn bin_rms(samples: &[f64], bin: usize) -> Result<Vec<f64>, TrustError> {
+    if bin == 0 {
+        return Err(TrustError::InvalidParameter {
+            what: "bin width must be positive",
+        });
+    }
+    if samples.is_empty() {
+        return Err(TrustError::InvalidParameter {
+            what: "trace must be non-empty",
+        });
+    }
+    Ok(samples
+        .chunks(bin)
+        .map(|c| (c.iter().map(|x| x * x).sum::<f64>() / c.len() as f64).sqrt())
+        .collect())
+}
+
+/// L2 norm of a vector.
+pub fn l2_norm(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_rms_reduces_length() {
+        let f = bin_rms(&[1.0; 64], 8).unwrap();
+        assert_eq!(f.len(), 8);
+        assert!(f.iter().all(|&x| (x - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn partial_trailing_bin_is_kept() {
+        let f = bin_rms(&[2.0; 10], 4).unwrap();
+        assert_eq!(f.len(), 3);
+        assert!((f[2] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amplitude_scaling_scales_features() {
+        let base: Vec<f64> = (0..32).map(|i| (i as f64 * 0.3).sin()).collect();
+        let loud: Vec<f64> = base.iter().map(|x| 2.0 * x).collect();
+        let fb = bin_rms(&base, 8).unwrap();
+        let fl = bin_rms(&loud, 8).unwrap();
+        for (a, b) in fb.iter().zip(&fl) {
+            assert!((2.0 * a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_are_rejected() {
+        assert!(bin_rms(&[], 4).is_err());
+        assert!(bin_rms(&[1.0], 0).is_err());
+    }
+
+    #[test]
+    fn l2_norm_is_euclidean_length() {
+        assert!((l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(l2_norm(&[]), 0.0);
+    }
+}

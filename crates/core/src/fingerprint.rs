@@ -1,0 +1,341 @@
+//! The golden fingerprint and the paper's Eq. 1 decision rule.
+
+use crate::acquisition::TraceSet;
+use crate::features::{bin_rms, l2_norm, DEFAULT_RMS_BIN};
+use crate::TrustError;
+use emtrust_dsp::distance;
+use emtrust_dsp::pca::Pca;
+
+/// Configuration of the fingerprinting front-end.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FingerprintConfig {
+    /// Samples per RMS feature bin.
+    pub rms_bin: usize,
+    /// Retained PCA components; `None` disables PCA (the paper's §III-D
+    /// recommends it; the ablation bench measures its effect).
+    pub pca_components: Option<usize>,
+    /// Threshold head-room multiplier on Eq. 1 (1.0 = the literal paper
+    /// rule).
+    pub threshold_margin: f64,
+}
+
+impl Default for FingerprintConfig {
+    fn default() -> Self {
+        Self {
+            rms_bin: DEFAULT_RMS_BIN,
+            pca_components: Some(8),
+            threshold_margin: 1.0,
+        }
+    }
+}
+
+/// Verdict on one trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Verdict {
+    /// Euclidean distance to the golden centroid (dimensionless — traces
+    /// are scale-normalized by the golden set's magnitude).
+    pub distance: f64,
+    /// The Eq. 1 threshold in effect.
+    pub threshold: f64,
+    /// Whether the distance exceeds the threshold.
+    pub trojan_suspected: bool,
+}
+
+/// The golden (Trojan-free) fingerprint of a chip.
+#[derive(Debug, Clone)]
+pub struct GoldenFingerprint {
+    config: FingerprintConfig,
+    /// Scale divisor: mean feature-vector norm of the golden set.
+    scale: f64,
+    pca: Option<Pca>,
+    /// Golden observations in detection space.
+    golden: Vec<Vec<f64>>,
+    centroid: Vec<f64>,
+    threshold: f64,
+}
+
+impl GoldenFingerprint {
+    /// Fits the fingerprint on a golden trace set.
+    ///
+    /// # Errors
+    ///
+    /// - [`TrustError::InvalidParameter`] if fewer than two traces are
+    ///   supplied or the configuration is degenerate,
+    /// - forwarded DSP errors from PCA/distance computation.
+    pub fn fit(golden: &TraceSet, config: FingerprintConfig) -> Result<Self, TrustError> {
+        if golden.len() < 2 {
+            return Err(TrustError::InvalidParameter {
+                what: "fingerprint needs at least two golden traces",
+            });
+        }
+        if config.threshold_margin <= 0.0 {
+            return Err(TrustError::InvalidParameter {
+                what: "threshold margin must be positive",
+            });
+        }
+        // Feature extraction.
+        let raw: Vec<Vec<f64>> = golden
+            .traces()
+            .iter()
+            .map(|t| bin_rms(t, config.rms_bin))
+            .collect::<Result<_, _>>()?;
+        // Scale normalization: golden magnitude becomes O(1) so distances
+        // are dimensionless (comparable to the paper's 0.05–0.28 range).
+        let scale = raw.iter().map(|f| l2_norm(f)).sum::<f64>() / raw.len() as f64;
+        if scale == 0.0 {
+            return Err(TrustError::InvalidParameter {
+                what: "golden traces contain no energy",
+            });
+        }
+        let scaled: Vec<Vec<f64>> = raw
+            .iter()
+            .map(|f| f.iter().map(|x| x / scale).collect())
+            .collect();
+        // Optional PCA on the scaled features.
+        let (pca, projected) = match config.pca_components {
+            Some(k) => {
+                let k = k.min(scaled[0].len());
+                let pca = Pca::fit(&scaled, k)?;
+                let projected = pca.project_all(&scaled)?;
+                (Some(pca), projected)
+            }
+            None => (None, scaled),
+        };
+        let centroid = distance::centroid(&projected)?;
+        let threshold = distance::eq1_threshold(&projected)? * config.threshold_margin;
+        Ok(Self {
+            config,
+            scale,
+            pca,
+            golden: projected,
+            centroid,
+            threshold,
+        })
+    }
+
+    /// Maps a raw trace into detection space.
+    ///
+    /// # Errors
+    ///
+    /// Forwarded feature/PCA errors (wrong trace length, empty trace).
+    pub fn project(&self, samples: &[f64]) -> Result<Vec<f64>, TrustError> {
+        let feats = bin_rms(samples, self.config.rms_bin)?;
+        let scaled: Vec<f64> = feats.iter().map(|x| x / self.scale).collect();
+        Ok(match &self.pca {
+            Some(p) => p.project(&scaled)?,
+            None => scaled,
+        })
+    }
+
+    /// Distance of a raw trace to the golden centroid.
+    ///
+    /// # Errors
+    ///
+    /// Forwarded projection errors.
+    pub fn distance(&self, samples: &[f64]) -> Result<f64, TrustError> {
+        Ok(distance::euclidean(&self.project(samples)?, &self.centroid)?)
+    }
+
+    /// Evaluates one trace against the Eq. 1 threshold.
+    ///
+    /// # Errors
+    ///
+    /// Forwarded projection errors.
+    pub fn evaluate(&self, samples: &[f64]) -> Result<Verdict, TrustError> {
+        let d = self.distance(samples)?;
+        Ok(Verdict {
+            distance: d,
+            threshold: self.threshold,
+            trojan_suspected: d > self.threshold,
+        })
+    }
+
+    /// Distances of every trace in a set to the golden centroid.
+    ///
+    /// # Errors
+    ///
+    /// Forwarded projection errors.
+    pub fn set_distances(&self, set: &TraceSet) -> Result<Vec<f64>, TrustError> {
+        set.traces().iter().map(|t| self.distance(t)).collect()
+    }
+
+    /// The paper's §IV-C scalar: Euclidean distance between the golden
+    /// centroid and the suspect set's centroid, in detection space.
+    ///
+    /// # Errors
+    ///
+    /// Forwarded projection/centroid errors.
+    pub fn centroid_distance(&self, suspect: &TraceSet) -> Result<f64, TrustError> {
+        let projected: Vec<Vec<f64>> = suspect
+            .traces()
+            .iter()
+            .map(|t| self.project(t))
+            .collect::<Result<_, _>>()?;
+        let c = distance::centroid(&projected)?;
+        Ok(distance::euclidean(&c, &self.centroid)?)
+    }
+
+    /// Pairwise distances within the golden set (the red histograms of
+    /// Fig. 6).
+    ///
+    /// # Errors
+    ///
+    /// Forwarded distance errors.
+    pub fn golden_pairwise(&self) -> Result<Vec<f64>, TrustError> {
+        Ok(distance::pairwise_distances(&self.golden)?)
+    }
+
+    /// Cross distances between the golden set and a suspect set (the blue
+    /// histograms of Fig. 6).
+    ///
+    /// # Errors
+    ///
+    /// Forwarded projection/distance errors.
+    pub fn cross_distances(&self, suspect: &TraceSet) -> Result<Vec<f64>, TrustError> {
+        let projected: Vec<Vec<f64>> = suspect
+            .traces()
+            .iter()
+            .map(|t| self.project(t))
+            .collect::<Result<_, _>>()?;
+        Ok(distance::cross_distances(&self.golden, &projected)?)
+    }
+
+    /// The Eq. 1 threshold in effect (margin applied).
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The configuration used at fit time.
+    pub fn config(&self) -> FingerprintConfig {
+        self.config
+    }
+
+    /// Number of golden observations.
+    pub fn golden_count(&self) -> usize {
+        self.golden.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_set(n: usize, amplitude: f64, seed: u64) -> TraceSet {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let traces: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                (0..256)
+                    .map(|j| {
+                        amplitude * ((j as f64 / 7.0).sin() + 0.02 * rng.gen_range(-1.0..1.0))
+                    })
+                    .collect()
+            })
+            .collect();
+        TraceSet::new(traces, 640e6).unwrap()
+    }
+
+    #[test]
+    fn golden_traces_stay_under_threshold() {
+        let golden = synthetic_set(32, 1.0, 1);
+        let fp = GoldenFingerprint::fit(&golden, FingerprintConfig::default()).unwrap();
+        let fresh = synthetic_set(8, 1.0, 2);
+        for t in fresh.traces() {
+            let v = fp.evaluate(t).unwrap();
+            assert!(
+                !v.trojan_suspected,
+                "false alarm: d={} th={}",
+                v.distance, v.threshold
+            );
+        }
+    }
+
+    #[test]
+    fn amplitude_anomalies_are_flagged() {
+        let golden = synthetic_set(32, 1.0, 1);
+        let fp = GoldenFingerprint::fit(&golden, FingerprintConfig::default()).unwrap();
+        let trojan = synthetic_set(4, 1.3, 3);
+        for t in trojan.traces() {
+            assert!(fp.evaluate(t).unwrap().trojan_suspected);
+        }
+    }
+
+    #[test]
+    fn centroid_distance_grows_with_anomaly_size() {
+        let golden = synthetic_set(32, 1.0, 1);
+        let fp = GoldenFingerprint::fit(&golden, FingerprintConfig::default()).unwrap();
+        let small = fp.centroid_distance(&synthetic_set(16, 1.02, 4)).unwrap();
+        let large = fp.centroid_distance(&synthetic_set(16, 1.3, 5)).unwrap();
+        assert!(large > 3.0 * small, "small {small} large {large}");
+    }
+
+    #[test]
+    fn distances_are_dimensionless() {
+        // The same data at 1000x the voltage gives the same distances.
+        let a = synthetic_set(16, 1.0, 1);
+        let b = TraceSet::new(
+            a.traces()
+                .iter()
+                .map(|t| t.iter().map(|x| 1000.0 * x).collect())
+                .collect(),
+            a.sample_rate_hz(),
+        )
+        .unwrap();
+        let fa = GoldenFingerprint::fit(&a, FingerprintConfig::default()).unwrap();
+        let fb = GoldenFingerprint::fit(&b, FingerprintConfig::default()).unwrap();
+        assert!((fa.threshold() - fb.threshold()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pca_can_be_disabled() {
+        let golden = synthetic_set(16, 1.0, 1);
+        let cfg = FingerprintConfig {
+            pca_components: None,
+            ..Default::default()
+        };
+        let fp = GoldenFingerprint::fit(&golden, cfg).unwrap();
+        assert!(fp.evaluate(&synthetic_set(1, 1.4, 9).traces()[0]).unwrap().trojan_suspected);
+    }
+
+    #[test]
+    fn histogram_materials_have_expected_counts() {
+        let golden = synthetic_set(10, 1.0, 1);
+        let fp = GoldenFingerprint::fit(&golden, FingerprintConfig::default()).unwrap();
+        assert_eq!(fp.golden_pairwise().unwrap().len(), 45);
+        let suspect = synthetic_set(5, 1.1, 2);
+        assert_eq!(fp.cross_distances(&suspect).unwrap().len(), 50);
+        assert_eq!(fp.golden_count(), 10);
+    }
+
+    #[test]
+    fn degenerate_fits_are_rejected() {
+        let one = synthetic_set(1, 1.0, 1);
+        assert!(GoldenFingerprint::fit(&one, FingerprintConfig::default()).is_err());
+        let golden = synthetic_set(4, 1.0, 1);
+        let cfg = FingerprintConfig {
+            threshold_margin: 0.0,
+            ..Default::default()
+        };
+        assert!(GoldenFingerprint::fit(&golden, cfg).is_err());
+        let silent = TraceSet::new(vec![vec![0.0; 64]; 4], 1.0).unwrap();
+        assert!(GoldenFingerprint::fit(&silent, FingerprintConfig::default()).is_err());
+    }
+
+    #[test]
+    fn threshold_margin_loosens_detection() {
+        let golden = synthetic_set(32, 1.0, 1);
+        let tight = GoldenFingerprint::fit(&golden, FingerprintConfig::default()).unwrap();
+        let loose = GoldenFingerprint::fit(
+            &golden,
+            FingerprintConfig {
+                threshold_margin: 100.0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let suspect_set = synthetic_set(1, 1.3, 3);
+        let suspect = &suspect_set.traces()[0];
+        assert!(tight.evaluate(suspect).unwrap().trojan_suspected);
+        assert!(!loose.evaluate(suspect).unwrap().trojan_suspected);
+    }
+}

@@ -1,0 +1,159 @@
+//! # emtrust
+//!
+//! Runtime trust evaluation and hardware Trojan detection using on-chip
+//! EM sensors — a full reproduction of the DAC 2020 paper of the same
+//! name (He, Guo, Ma, Liu, Zhao, Jin).
+//!
+//! The framework continuously measures a circuit's EM radiation through a
+//! spiral sensor on the top metal layer (or, for comparison, an external
+//! probe), and analyses the traces in a trusted software module:
+//!
+//! - **time domain** ([`euclidean`]): traces are reduced to energy
+//!   features, optionally PCA-projected, and compared against a golden
+//!   fingerprint with the paper's Eq. 1 threshold
+//!   `EDth = max‖Di − Dj‖₂` over the Trojan-free set;
+//! - **frequency domain** ([`spectral`]): the EM spectrum is compared
+//!   bin-wise against the golden spectrum to catch fast-flipping analog
+//!   Trojan triggers (A2), either boosting an existing spot (`T = g`) or
+//!   adding a new one (`T ≠ g`).
+//!
+//! [`acquisition::TestBench`] assembles the full experiment: the
+//! Trojan-carrying AES chip (`emtrust-trojan`), the measurement physics
+//! (`emtrust-em`), and optionally the fabricated-chip non-idealities
+//! (`emtrust-silicon`). [`monitor::TrustMonitor`] is the runtime loop
+//! that turns detections into alarms.
+//!
+//! # Examples
+//!
+//! Fit a fingerprint on golden traces and screen a suspect set (tiny
+//! synthetic workload for speed; the examples directory runs the real
+//! AES):
+//!
+//! ```
+//! use emtrust::fingerprint::{FingerprintConfig, GoldenFingerprint};
+//! use emtrust::acquisition::TraceSet;
+//!
+//! // 16 golden traces and one suspect with 30 % more energy.
+//! let golden: Vec<Vec<f64>> = (0..16)
+//!     .map(|i| (0..64).map(|j| ((i * 7 + j) as f64 * 0.37).sin()).collect())
+//!     .collect();
+//! let suspect: Vec<f64> = golden[0].iter().map(|x| 1.3 * x).collect();
+//!
+//! let set = TraceSet::new(golden, 640e6)?;
+//! let fp = GoldenFingerprint::fit(&set, FingerprintConfig::default())?;
+//! assert!(fp.evaluate(&suspect)?.trojan_suspected);
+//! # Ok::<(), emtrust::TrustError>(())
+//! ```
+
+pub mod acquisition;
+pub mod baseline;
+pub mod euclidean;
+pub mod features;
+pub mod fingerprint;
+pub mod monitor;
+pub mod spectral;
+
+pub use acquisition::{TestBench, TraceSet};
+pub use fingerprint::{FingerprintConfig, GoldenFingerprint};
+pub use monitor::{Alarm, TrustMonitor};
+pub use spectral::SpectralDetector;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the trust-evaluation framework.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TrustError {
+    /// A configuration or input value was out of range.
+    InvalidParameter {
+        /// Description of the violated constraint.
+        what: &'static str,
+    },
+    /// Forwarded from the DSP substrate.
+    Dsp(emtrust_dsp::DspError),
+    /// Forwarded from the EM pipeline.
+    Em(emtrust_em::EmError),
+    /// Forwarded from the silicon model.
+    Silicon(emtrust_silicon::SiliconError),
+    /// Forwarded from netlist construction or simulation.
+    Netlist(emtrust_netlist::NetlistError),
+    /// Forwarded from the layout substrate.
+    Layout(emtrust_layout::LayoutError),
+}
+
+impl fmt::Display for TrustError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrustError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
+            TrustError::Dsp(e) => write!(f, "dsp: {e}"),
+            TrustError::Em(e) => write!(f, "em: {e}"),
+            TrustError::Silicon(e) => write!(f, "silicon: {e}"),
+            TrustError::Netlist(e) => write!(f, "netlist: {e}"),
+            TrustError::Layout(e) => write!(f, "layout: {e}"),
+        }
+    }
+}
+
+impl Error for TrustError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TrustError::Dsp(e) => Some(e),
+            TrustError::Em(e) => Some(e),
+            TrustError::Silicon(e) => Some(e),
+            TrustError::Netlist(e) => Some(e),
+            TrustError::Layout(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<emtrust_dsp::DspError> for TrustError {
+    fn from(e: emtrust_dsp::DspError) -> Self {
+        TrustError::Dsp(e)
+    }
+}
+
+impl From<emtrust_em::EmError> for TrustError {
+    fn from(e: emtrust_em::EmError) -> Self {
+        TrustError::Em(e)
+    }
+}
+
+impl From<emtrust_silicon::SiliconError> for TrustError {
+    fn from(e: emtrust_silicon::SiliconError) -> Self {
+        TrustError::Silicon(e)
+    }
+}
+
+impl From<emtrust_netlist::NetlistError> for TrustError {
+    fn from(e: emtrust_netlist::NetlistError) -> Self {
+        TrustError::Netlist(e)
+    }
+}
+
+impl From<emtrust_layout::LayoutError> for TrustError {
+    fn from(e: emtrust_layout::LayoutError) -> Self {
+        TrustError::Layout(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_and_chain() {
+        let e = TrustError::InvalidParameter { what: "traces" };
+        assert!(e.to_string().contains("traces"));
+        let e: TrustError = emtrust_dsp::DspError::EmptyInput.into();
+        assert!(e.to_string().contains("dsp"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TrustError>();
+    }
+}

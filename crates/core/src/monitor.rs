@@ -1,0 +1,243 @@
+//! The runtime trust monitor — the data-analysis module of paper Fig. 1.
+//!
+//! "The proposed framework works in parallel with the circuit's normal
+//! execution hence there is no runtime performance degradation. […] The
+//! monitor keeps reading the EM sensor output in the format of voltages"
+//! and triggers an alarm once the analysis detects Trojans or attacks.
+
+use crate::fingerprint::GoldenFingerprint;
+use crate::spectral::{SpectralAnomaly, SpectralDetector};
+use crate::TrustError;
+use emtrust_em::emf::VoltageTrace;
+
+/// An alarm raised by the monitor.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Alarm {
+    /// A trace's Euclidean distance exceeded the Eq. 1 threshold.
+    TimeDomain {
+        /// Index of the offending trace (monotonic ingest counter).
+        trace_index: u64,
+        /// Measured distance.
+        distance: f64,
+        /// Threshold in effect.
+        threshold: f64,
+    },
+    /// The spectrum grew an anomalous spot.
+    Spectral {
+        /// The strongest offending spot.
+        anomaly: SpectralAnomaly,
+        /// Total anomalous spots in the window.
+        spot_count: usize,
+    },
+}
+
+/// The runtime monitor: consumes sensor output, raises [`Alarm`]s.
+#[derive(Debug)]
+pub struct TrustMonitor {
+    fingerprint: GoldenFingerprint,
+    spectral: Option<SpectralDetector>,
+    traces_seen: u64,
+    alarms: Vec<Alarm>,
+}
+
+impl TrustMonitor {
+    /// Creates a monitor from a fitted fingerprint and an optional
+    /// spectral detector.
+    pub fn new(fingerprint: GoldenFingerprint, spectral: Option<SpectralDetector>) -> Self {
+        Self {
+            fingerprint,
+            spectral,
+            traces_seen: 0,
+            alarms: Vec::new(),
+        }
+    }
+
+    /// Ingests one per-encryption trace; returns the alarm if one fired.
+    ///
+    /// # Errors
+    ///
+    /// Forwarded projection errors (wrong trace length).
+    pub fn ingest_trace(&mut self, samples: &[f64]) -> Result<Option<Alarm>, TrustError> {
+        let verdict = self.fingerprint.evaluate(samples)?;
+        let idx = self.traces_seen;
+        self.traces_seen += 1;
+        if verdict.trojan_suspected {
+            let alarm = Alarm::TimeDomain {
+                trace_index: idx,
+                distance: verdict.distance,
+                threshold: verdict.threshold,
+            };
+            self.alarms.push(alarm.clone());
+            Ok(Some(alarm))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Ingests a continuous monitoring window for spectral inspection;
+    /// returns the alarm if one fired. No-op (returns `Ok(None)`) when no
+    /// spectral detector is installed.
+    ///
+    /// # Errors
+    ///
+    /// Forwarded spectral-comparison errors.
+    pub fn ingest_window(&mut self, window: &VoltageTrace) -> Result<Option<Alarm>, TrustError> {
+        let Some(det) = &self.spectral else {
+            return Ok(None);
+        };
+        let anomalies = det.compare(window)?;
+        if let Some(&top) = anomalies.first() {
+            let alarm = Alarm::Spectral {
+                anomaly: top,
+                spot_count: anomalies.len(),
+            };
+            self.alarms.push(alarm.clone());
+            Ok(Some(alarm))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// All alarms raised so far, in order.
+    pub fn alarms(&self) -> &[Alarm] {
+        &self.alarms
+    }
+
+    /// Number of per-encryption traces ingested.
+    pub fn traces_seen(&self) -> u64 {
+        self.traces_seen
+    }
+
+    /// Fraction of ingested traces that raised a time-domain alarm.
+    pub fn alarm_rate(&self) -> f64 {
+        if self.traces_seen == 0 {
+            return 0.0;
+        }
+        let td = self
+            .alarms
+            .iter()
+            .filter(|a| matches!(a, Alarm::TimeDomain { .. }))
+            .count();
+        td as f64 / self.traces_seen as f64
+    }
+
+    /// Clears the alarm log (the paper's "further investigations" step
+    /// acknowledges alarms).
+    pub fn acknowledge_alarms(&mut self) {
+        self.alarms.clear();
+    }
+
+    /// The fitted fingerprint.
+    pub fn fingerprint(&self) -> &GoldenFingerprint {
+        &self.fingerprint
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acquisition::TraceSet;
+    use crate::fingerprint::FingerprintConfig;
+    use crate::spectral::SpectralConfig;
+
+    fn synthetic_set(n: usize, amplitude: f64, seed: u64) -> TraceSet {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        TraceSet::new(
+            (0..n)
+                .map(|_| {
+                    (0..256)
+                        .map(|j| {
+                            amplitude
+                                * ((j as f64 / 9.0).sin() + 0.02 * rng.gen_range(-1.0..1.0))
+                        })
+                        .collect()
+                })
+                .collect(),
+            640e6,
+        )
+        .unwrap()
+    }
+
+    fn monitor() -> TrustMonitor {
+        let golden = synthetic_set(32, 1.0, 1);
+        let fp = GoldenFingerprint::fit(&golden, FingerprintConfig::default()).unwrap();
+        TrustMonitor::new(fp, None)
+    }
+
+    #[test]
+    fn clean_traces_raise_no_alarm() {
+        let mut m = monitor();
+        for t in synthetic_set(8, 1.0, 2).traces() {
+            assert!(m.ingest_trace(t).unwrap().is_none());
+        }
+        assert_eq!(m.alarms().len(), 0);
+        assert_eq!(m.traces_seen(), 8);
+        assert_eq!(m.alarm_rate(), 0.0);
+    }
+
+    #[test]
+    fn anomalous_traces_raise_time_domain_alarms() {
+        let mut m = monitor();
+        for t in synthetic_set(4, 1.4, 3).traces() {
+            let alarm = m.ingest_trace(t).unwrap();
+            assert!(matches!(alarm, Some(Alarm::TimeDomain { .. })));
+        }
+        assert_eq!(m.alarms().len(), 4);
+        assert!((m.alarm_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alarm_indices_are_monotonic() {
+        let mut m = monitor();
+        let _ = m.ingest_trace(&synthetic_set(1, 1.0, 4).traces()[0]).unwrap();
+        let a = m.ingest_trace(&synthetic_set(1, 1.5, 5).traces()[0]).unwrap();
+        match a {
+            Some(Alarm::TimeDomain { trace_index, .. }) => assert_eq!(trace_index, 1),
+            other => panic!("expected time-domain alarm, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spectral_window_path_raises_alarms() {
+        let fs = 640e6;
+        let tone = |freqs: &[(f64, f64)], seed: u64| {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            VoltageTrace::new(
+                (0..16384)
+                    .map(|i| {
+                        let t = i as f64 / fs;
+                        freqs
+                            .iter()
+                            .map(|&(f, a)| a * (2.0 * std::f64::consts::PI * f * t).sin())
+                            .sum::<f64>()
+                            + 0.01 * rng.gen_range(-1.0..1.0)
+                    })
+                    .collect(),
+                fs,
+            )
+        };
+        let golden_window = tone(&[(10e6, 1.0)], 1);
+        let det = SpectralDetector::fit(&golden_window, SpectralConfig::default()).unwrap();
+        let fpset = synthetic_set(4, 1.0, 1);
+        let fp = GoldenFingerprint::fit(&fpset, FingerprintConfig::default()).unwrap();
+        let mut m = TrustMonitor::new(fp, Some(det));
+        assert!(m.ingest_window(&tone(&[(10e6, 1.0)], 2)).unwrap().is_none());
+        let alarm = m
+            .ingest_window(&tone(&[(10e6, 1.0), (25e6, 0.4)], 3))
+            .unwrap();
+        assert!(matches!(alarm, Some(Alarm::Spectral { .. })));
+        assert_eq!(m.alarms().len(), 1);
+        m.acknowledge_alarms();
+        assert!(m.alarms().is_empty());
+    }
+
+    #[test]
+    fn monitor_without_spectral_detector_ignores_windows() {
+        let mut m = monitor();
+        let window = VoltageTrace::new(vec![0.0; 1024], 640e6);
+        assert!(m.ingest_window(&window).unwrap().is_none());
+    }
+}

@@ -1,0 +1,254 @@
+//! Euclidean-distance metrics and the paper's Eq. 1 detection threshold.
+//!
+//! The data-analysis module identifies a hardware Trojan when the Euclidean
+//! distance between fresh measurements and the golden (Trojan-free)
+//! fingerprint exceeds
+//!
+//! ```text
+//! EDth = argmax_{Di, Dj ∈ Dg} ‖Di − Dj‖₂          (paper Eq. 1)
+//! ```
+//!
+//! i.e. the largest distance observed *within* the golden set — a margin for
+//! residual noise that survives denoising and PCA.
+
+use crate::DspError;
+
+/// Euclidean (L2) distance between two equal-length vectors.
+///
+/// # Errors
+///
+/// Returns [`DspError::LengthMismatch`] if the lengths differ.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), emtrust_dsp::DspError> {
+/// use emtrust_dsp::distance::euclidean;
+///
+/// let d = euclidean(&[0.0, 0.0], &[3.0, 4.0])?;
+/// assert!((d - 5.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn euclidean(a: &[f64], b: &[f64]) -> Result<f64, DspError> {
+    if a.len() != b.len() {
+        return Err(DspError::LengthMismatch {
+            expected: a.len(),
+            actual: b.len(),
+        });
+    }
+    Ok(a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt())
+}
+
+/// Squared Euclidean distance (no square root; cheaper for comparisons).
+///
+/// # Errors
+///
+/// Returns [`DspError::LengthMismatch`] if the lengths differ.
+pub fn euclidean_sqr(a: &[f64], b: &[f64]) -> Result<f64, DspError> {
+    if a.len() != b.len() {
+        return Err(DspError::LengthMismatch {
+            expected: a.len(),
+            actual: b.len(),
+        });
+    }
+    Ok(a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum())
+}
+
+/// All pairwise Euclidean distances within a set of vectors.
+///
+/// Returns the `n·(n−1)/2` distances of the upper triangle in row-major
+/// order. This is the raw material for the histogram panels of paper Fig. 6.
+///
+/// # Errors
+///
+/// Returns [`DspError::LengthMismatch`] if any vector disagrees in length
+/// with the first.
+pub fn pairwise_distances(set: &[Vec<f64>]) -> Result<Vec<f64>, DspError> {
+    let mut out = Vec::with_capacity(set.len().saturating_sub(1) * set.len() / 2);
+    for i in 0..set.len() {
+        for j in (i + 1)..set.len() {
+            out.push(euclidean(&set[i], &set[j])?);
+        }
+    }
+    Ok(out)
+}
+
+/// All cross distances between two sets (`|a|·|b|` values).
+///
+/// Used for golden-vs-suspect distributions (blue stripes in Fig. 6).
+///
+/// # Errors
+///
+/// Returns [`DspError::LengthMismatch`] on inconsistent vector lengths.
+pub fn cross_distances(a: &[Vec<f64>], b: &[Vec<f64>]) -> Result<Vec<f64>, DspError> {
+    let mut out = Vec::with_capacity(a.len() * b.len());
+    for x in a {
+        for y in b {
+            out.push(euclidean(x, y)?);
+        }
+    }
+    Ok(out)
+}
+
+/// The paper's Eq. 1 threshold: the maximum pairwise distance within the
+/// golden (Trojan-free) set.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] if fewer than two golden vectors
+/// are supplied (no pair exists), or [`DspError::LengthMismatch`] on
+/// inconsistent vector lengths.
+pub fn eq1_threshold(golden: &[Vec<f64>]) -> Result<f64, DspError> {
+    if golden.len() < 2 {
+        return Err(DspError::InvalidParameter {
+            what: "eq1 threshold needs at least two golden vectors",
+        });
+    }
+    let dists = pairwise_distances(golden)?;
+    Ok(dists.into_iter().fold(0.0f64, f64::max))
+}
+
+/// Distance of `probe` to the centroid (mean vector) of `reference`.
+///
+/// The paper reports a single scalar distance between the reference design
+/// and each Trojan-activated design (§IV-C); comparing centroids is the
+/// standard fingerprinting reading of that scalar.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] if `reference` is empty and
+/// [`DspError::LengthMismatch`] on inconsistent lengths.
+pub fn distance_to_centroid(probe: &[f64], reference: &[Vec<f64>]) -> Result<f64, DspError> {
+    euclidean(probe, &centroid(reference)?)
+}
+
+/// The component-wise mean of a set of equal-length vectors.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] if `set` is empty and
+/// [`DspError::LengthMismatch`] on inconsistent lengths.
+pub fn centroid(set: &[Vec<f64>]) -> Result<Vec<f64>, DspError> {
+    let first = set.first().ok_or(DspError::EmptyInput)?;
+    let dim = first.len();
+    let mut acc = vec![0.0; dim];
+    for v in set {
+        if v.len() != dim {
+            return Err(DspError::LengthMismatch {
+                expected: dim,
+                actual: v.len(),
+            });
+        }
+        for (a, x) in acc.iter_mut().zip(v) {
+            *a += x;
+        }
+    }
+    let n = set.len() as f64;
+    for a in acc.iter_mut() {
+        *a /= n;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn euclidean_345() {
+        assert!((euclidean(&[0.0, 0.0], &[3.0, 4.0]).unwrap() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn euclidean_rejects_mismatch() {
+        assert!(matches!(
+            euclidean(&[1.0], &[1.0, 2.0]),
+            Err(DspError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn pairwise_count_is_n_choose_2() {
+        let set: Vec<Vec<f64>> = (0..6).map(|i| vec![i as f64]).collect();
+        assert_eq!(pairwise_distances(&set).unwrap().len(), 15);
+    }
+
+    #[test]
+    fn cross_count_is_product() {
+        let a: Vec<Vec<f64>> = (0..3).map(|i| vec![i as f64]).collect();
+        let b: Vec<Vec<f64>> = (0..4).map(|i| vec![i as f64]).collect();
+        assert_eq!(cross_distances(&a, &b).unwrap().len(), 12);
+    }
+
+    #[test]
+    fn eq1_threshold_is_max_intra_distance() {
+        let golden = vec![vec![0.0], vec![1.0], vec![4.0]];
+        assert!((eq1_threshold(&golden).unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq1_threshold_needs_two_vectors() {
+        assert!(eq1_threshold(&[vec![1.0]]).is_err());
+        assert!(eq1_threshold(&[]).is_err());
+    }
+
+    #[test]
+    fn centroid_of_symmetric_points_is_origin() {
+        let set = vec![vec![1.0, -2.0], vec![-1.0, 2.0]];
+        let c = centroid(&set).unwrap();
+        assert!(c.iter().all(|x| x.abs() < 1e-12));
+    }
+
+    #[test]
+    fn centroid_rejects_ragged_input() {
+        let set = vec![vec![1.0, 2.0], vec![1.0]];
+        assert!(centroid(&set).is_err());
+    }
+
+    #[test]
+    fn distance_to_centroid_of_self_cluster_is_small() {
+        let reference = vec![vec![1.0, 1.0], vec![1.2, 0.8], vec![0.8, 1.2]];
+        let d = distance_to_centroid(&[1.0, 1.0], &reference).unwrap();
+        assert!(d < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn triangle_inequality(
+            a in proptest::collection::vec(-10.0f64..10.0, 8..=8),
+            b in proptest::collection::vec(-10.0f64..10.0, 8..=8),
+            c in proptest::collection::vec(-10.0f64..10.0, 8..=8),
+        ) {
+            let ab = euclidean(&a, &b).unwrap();
+            let bc = euclidean(&b, &c).unwrap();
+            let ac = euclidean(&a, &c).unwrap();
+            prop_assert!(ac <= ab + bc + 1e-9);
+        }
+
+        #[test]
+        fn distance_is_symmetric_and_zero_on_self(
+            a in proptest::collection::vec(-10.0f64..10.0, 4..32),
+        ) {
+            let b: Vec<f64> = a.iter().map(|x| x + 1.0).collect();
+            prop_assert!((euclidean(&a, &b).unwrap() - euclidean(&b, &a).unwrap()).abs() < 1e-12);
+            prop_assert!(euclidean(&a, &a).unwrap() < 1e-12);
+        }
+
+        #[test]
+        fn eq1_threshold_bounds_all_intra_distances(
+            set in proptest::collection::vec(
+                proptest::collection::vec(-5.0f64..5.0, 4..=4), 2..12),
+        ) {
+            let th = eq1_threshold(&set).unwrap();
+            for d in pairwise_distances(&set).unwrap() {
+                prop_assert!(d <= th + 1e-12);
+            }
+        }
+    }
+}

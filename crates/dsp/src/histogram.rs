@@ -1,0 +1,258 @@
+//! Fixed-bin histograms — the presentation format of paper Fig. 6 (a)–(h),
+//! where pairwise Euclidean-distance distributions of golden vs.
+//! Trojan-activated traces are compared by the position of their peaks.
+
+use crate::DspError;
+use serde::{Deserialize, Serialize};
+
+/// A histogram over a fixed range with uniform bins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    /// Samples below `lo` or above `hi`.
+    outliers: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram over `[lo, hi)` with `bins` uniform bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] if `bins == 0`, the bounds are
+    /// not finite, or `lo >= hi`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # fn main() -> Result<(), emtrust_dsp::DspError> {
+    /// use emtrust_dsp::histogram::Histogram;
+    ///
+    /// let mut h = Histogram::new(0.0, 1.0, 10)?;
+    /// h.extend([0.05, 0.15, 0.16].iter().copied());
+    /// assert_eq!(h.counts()[0], 1);
+    /// assert_eq!(h.counts()[1], 2);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, DspError> {
+        if bins == 0 {
+            return Err(DspError::InvalidParameter {
+                what: "histogram needs at least one bin",
+            });
+        }
+        if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+            return Err(DspError::InvalidParameter {
+                what: "histogram bounds must be finite with lo < hi",
+            });
+        }
+        Ok(Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            outliers: 0,
+        })
+    }
+
+    /// Builds a histogram directly from `values` over `[lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Histogram::new`].
+    pub fn from_values(values: &[f64], lo: f64, hi: f64, bins: usize) -> Result<Self, DspError> {
+        let mut h = Self::new(lo, hi, bins)?;
+        h.extend(values.iter().copied());
+        Ok(h)
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, value: f64) {
+        if !value.is_finite() || value < self.lo || value >= self.hi {
+            self.outliers += 1;
+            return;
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let idx = (((value - self.lo) / width) as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Adds many samples.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.add(v);
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of samples that fell outside `[lo, hi)`.
+    pub fn outliers(&self) -> u64 {
+        self.outliers
+    }
+
+    /// Total in-range samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Lower bound of the range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound of the range.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Width of one bin.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Center value of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin index out of bounds");
+        self.lo + (i as f64 + 0.5) * self.bin_width()
+    }
+
+    /// Center of the fullest bin — the distribution's mode, i.e. the "peak"
+    /// whose shift Fig. 6 reads for Trojan detection. `None` when empty.
+    pub fn peak(&self) -> Option<f64> {
+        if self.total() == 0 {
+            return None;
+        }
+        let (idx, _) = self
+            .counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)?;
+        Some(self.bin_center(idx))
+    }
+
+    /// Overlap coefficient with another histogram over the same bins:
+    /// `Σ min(p_i, q_i)` of the normalized distributions, in `[0, 1]`.
+    /// 1 means indistinguishable (external probe in Fig. 6 a–d), values
+    /// near 0 mean cleanly separated (on-chip sensor).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] if the bin layout differs, or
+    /// [`DspError::InvalidParameter`] if the ranges differ.
+    pub fn overlap(&self, other: &Histogram) -> Result<f64, DspError> {
+        if self.counts.len() != other.counts.len() {
+            return Err(DspError::LengthMismatch {
+                expected: self.counts.len(),
+                actual: other.counts.len(),
+            });
+        }
+        if (self.lo - other.lo).abs() > 1e-12 || (self.hi - other.hi).abs() > 1e-12 {
+            return Err(DspError::InvalidParameter {
+                what: "histograms must share the same range",
+            });
+        }
+        let (ta, tb) = (self.total() as f64, other.total() as f64);
+        if ta == 0.0 || tb == 0.0 {
+            return Ok(0.0);
+        }
+        Ok(self
+            .counts
+            .iter()
+            .zip(&other.counts)
+            .map(|(&a, &b)| (a as f64 / ta).min(b as f64 / tb))
+            .sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_land_in_the_right_bins() {
+        let h = Histogram::from_values(&[0.0, 0.1, 0.95, 0.99], 0.0, 1.0, 10).unwrap();
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[1], 1);
+        assert_eq!(h.counts()[9], 2);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn out_of_range_samples_are_outliers() {
+        let h = Histogram::from_values(&[-1.0, 2.0, f64::NAN, 0.5], 0.0, 1.0, 4).unwrap();
+        assert_eq!(h.outliers(), 3);
+        assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    fn upper_bound_is_exclusive() {
+        let h = Histogram::from_values(&[1.0], 0.0, 1.0, 4).unwrap();
+        assert_eq!(h.outliers(), 1);
+    }
+
+    #[test]
+    fn invalid_construction_is_rejected() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(1.0, 0.0, 4).is_err());
+        assert!(Histogram::new(0.0, f64::INFINITY, 4).is_err());
+    }
+
+    #[test]
+    fn peak_finds_the_mode() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        h.extend([1.5, 5.5, 5.6, 5.4, 9.0].iter().copied());
+        assert!((h.peak().unwrap() - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peak_of_empty_is_none() {
+        let h = Histogram::new(0.0, 1.0, 4).unwrap();
+        assert!(h.peak().is_none());
+    }
+
+    #[test]
+    fn bin_centers_are_midpoints() {
+        let h = Histogram::new(0.0, 1.0, 4).unwrap();
+        assert!((h.bin_center(0) - 0.125).abs() < 1e-12);
+        assert!((h.bin_center(3) - 0.875).abs() < 1e-12);
+        assert!((h.bin_width() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_distributions_fully_overlap() {
+        let a = Histogram::from_values(&[0.1, 0.2, 0.3], 0.0, 1.0, 10).unwrap();
+        let b = a.clone();
+        assert!((a.overlap(&b).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_distributions_do_not_overlap() {
+        let a = Histogram::from_values(&[0.1, 0.15], 0.0, 1.0, 10).unwrap();
+        let b = Histogram::from_values(&[0.9, 0.95], 0.0, 1.0, 10).unwrap();
+        assert_eq!(a.overlap(&b).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn overlap_rejects_mismatched_layouts() {
+        let a = Histogram::new(0.0, 1.0, 10).unwrap();
+        let b = Histogram::new(0.0, 1.0, 20).unwrap();
+        assert!(a.overlap(&b).is_err());
+        let c = Histogram::new(0.0, 2.0, 10).unwrap();
+        assert!(a.overlap(&c).is_err());
+    }
+
+    #[test]
+    fn overlap_with_empty_is_zero() {
+        let a = Histogram::from_values(&[0.5], 0.0, 1.0, 10).unwrap();
+        let b = Histogram::new(0.0, 1.0, 10).unwrap();
+        assert_eq!(a.overlap(&b).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,280 @@
+//! A small dense matrix — just enough linear algebra for PCA.
+//!
+//! The analysis module needs covariance matrices and an eigensolver; a full
+//! linear-algebra dependency would be overkill, so this module provides a
+//! row-major `f64` matrix with the handful of operations [`crate::pca`]
+//! requires.
+
+use crate::DspError;
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use emtrust_dsp::matrix::Matrix;
+    ///
+    /// let m = Matrix::zeros(2, 3);
+    /// assert_eq!(m.shape(), (2, 3));
+    /// assert_eq!(m.get(1, 2), 0.0);
+    /// ```
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from row vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] for an empty row set and
+    /// [`DspError::LengthMismatch`] if the rows are ragged.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self, DspError> {
+        let first = rows.first().ok_or(DspError::EmptyInput)?;
+        let cols = first.len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            if r.len() != cols {
+                return Err(DspError::LengthMismatch {
+                    expected: cols,
+                    actual: r.len(),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Self {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows` or `c >= cols`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows` or `c >= cols`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row index out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Extracts column `c` as an owned vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols`.
+    pub fn column(&self, c: usize) -> Vec<f64> {
+        assert!(c < self.cols, "column index out of bounds");
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.set(c, r, self.get(r, c));
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] when the inner dimensions differ.
+    pub fn mul(&self, rhs: &Matrix) -> Result<Matrix, DspError> {
+        if self.cols != rhs.rows {
+            return Err(DspError::LengthMismatch {
+                expected: self.cols,
+                actual: rhs.rows,
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    let v = out.get(r, c) + a * rhs.get(k, c);
+                    out.set(r, c, v);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self · v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] when `v.len() != cols`.
+    pub fn mul_vec(&self, v: &[f64]) -> Result<Vec<f64>, DspError> {
+        if v.len() != self.cols {
+            return Err(DspError::LengthMismatch {
+                expected: self.cols,
+                actual: v.len(),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect())
+    }
+
+    /// Whether the matrix is symmetric within `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for r in 0..self.rows {
+            for c in (r + 1)..self.cols {
+                if (self.get(r, c) - self.get(c, r)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 2);
+        assert_eq!(z.get(0, 0), 0.0);
+        let i = Matrix::identity(3);
+        assert_eq!(i.get(1, 1), 1.0);
+        assert_eq!(i.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn from_rows_roundtrip() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.column(0), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        assert!(Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(Matrix::from_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().shape(), (3, 2));
+    }
+
+    #[test]
+    fn multiply_by_identity_is_noop() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let i = Matrix::identity(2);
+        assert_eq!(m.mul(&i).unwrap(), m);
+        assert_eq!(i.mul(&m).unwrap(), m);
+    }
+
+    #[test]
+    fn known_product() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
+        let c = a.mul(&b).unwrap();
+        assert_eq!(c.row(0), &[19.0, 22.0]);
+        assert_eq!(c.row(1), &[43.0, 50.0]);
+    }
+
+    #[test]
+    fn mul_rejects_bad_dimensions() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.mul(&b).is_err());
+        assert!(a.mul_vec(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn mul_vec_known_result() {
+        let m = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 2.0]]).unwrap();
+        assert_eq!(m.mul_vec(&[3.0, 4.0]).unwrap(), vec![3.0, 8.0]);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let s = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 3.0]]).unwrap();
+        assert!(s.is_symmetric(1e-12));
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.5, 3.0]]).unwrap();
+        assert!(!a.is_symmetric(1e-12));
+        assert!(!Matrix::zeros(2, 3).is_symmetric(1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        Matrix::zeros(1, 1).get(1, 0);
+    }
+}

@@ -1,0 +1,403 @@
+//! Principal Component Analysis via a cyclic Jacobi eigensolver.
+//!
+//! The paper (§III-D) uses PCA to "reduce the dimensionality of original
+//! data by replacing several correlated variables with a new set of
+//! independent variables" before the Euclidean-distance comparison. EM
+//! traces are long (thousands of samples) and highly correlated across
+//! nearby samples, so the reduction both denoises and accelerates the
+//! detector.
+//!
+//! The eigensolver is the classical cyclic Jacobi rotation method: exact for
+//! symmetric matrices, dependency-free, and fast enough for the trace
+//! dimensionalities used here (a covariance matrix of a few hundred after
+//! time-binning).
+
+use crate::matrix::Matrix;
+use crate::DspError;
+
+/// A fitted PCA model: the mean vector and the leading principal axes.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    mean: Vec<f64>,
+    /// One row per retained component (each row is a unit-norm axis).
+    components: Matrix,
+    /// Eigenvalues (variance along each retained axis), descending.
+    explained_variance: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits a PCA model on `samples` (each an equal-length observation) and
+    /// retains the `k` leading components.
+    ///
+    /// # Errors
+    ///
+    /// - [`DspError::EmptyInput`] if `samples` is empty,
+    /// - [`DspError::LengthMismatch`] if the observations are ragged,
+    /// - [`DspError::InvalidParameter`] if `k == 0` or `k` exceeds the
+    ///   dimensionality,
+    /// - [`DspError::NoConvergence`] if the eigensolver fails (pathological
+    ///   input; does not occur for real covariance matrices).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # fn main() -> Result<(), emtrust_dsp::DspError> {
+    /// use emtrust_dsp::pca::Pca;
+    ///
+    /// // Points spread along the diagonal of the plane: one dominant axis.
+    /// let samples: Vec<Vec<f64>> = (0..32)
+    ///     .map(|i| vec![i as f64, i as f64 + 0.01 * (i % 3) as f64])
+    ///     .collect();
+    /// let pca = Pca::fit(&samples, 1)?;
+    /// let z = pca.project(&samples[5])?;
+    /// assert_eq!(z.len(), 1);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn fit(samples: &[Vec<f64>], k: usize) -> Result<Self, DspError> {
+        let first = samples.first().ok_or(DspError::EmptyInput)?;
+        let dim = first.len();
+        if dim == 0 {
+            return Err(DspError::EmptyInput);
+        }
+        if k == 0 || k > dim {
+            return Err(DspError::InvalidParameter {
+                what: "component count k must satisfy 1 <= k <= dim",
+            });
+        }
+        for s in samples {
+            if s.len() != dim {
+                return Err(DspError::LengthMismatch {
+                    expected: dim,
+                    actual: s.len(),
+                });
+            }
+        }
+
+        // Mean vector.
+        let n = samples.len() as f64;
+        let mut mean = vec![0.0; dim];
+        for s in samples {
+            for (m, x) in mean.iter_mut().zip(s) {
+                *m += x;
+            }
+        }
+        for m in mean.iter_mut() {
+            *m /= n;
+        }
+
+        // Covariance matrix (population normalization; the detector only
+        // compares relative variances so the 1/n vs 1/(n-1) choice is moot).
+        let mut cov = Matrix::zeros(dim, dim);
+        for s in samples {
+            for i in 0..dim {
+                let di = s[i] - mean[i];
+                if di == 0.0 {
+                    continue;
+                }
+                for j in i..dim {
+                    let v = cov.get(i, j) + di * (s[j] - mean[j]);
+                    cov.set(i, j, v);
+                }
+            }
+        }
+        for i in 0..dim {
+            for j in i..dim {
+                let v = cov.get(i, j) / n;
+                cov.set(i, j, v);
+                cov.set(j, i, v);
+            }
+        }
+
+        let (eigenvalues, eigenvectors) = jacobi_eigen(&cov, 128)?;
+
+        // Sort eigenpairs by descending eigenvalue.
+        let mut order: Vec<usize> = (0..dim).collect();
+        order.sort_by(|&a, &b| {
+            eigenvalues[b]
+                .partial_cmp(&eigenvalues[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+
+        let mut components = Matrix::zeros(k, dim);
+        let mut explained = Vec::with_capacity(k);
+        for (row, &idx) in order.iter().take(k).enumerate() {
+            explained.push(eigenvalues[idx].max(0.0));
+            for c in 0..dim {
+                components.set(row, c, eigenvectors.get(c, idx));
+            }
+        }
+
+        Ok(Self {
+            mean,
+            components,
+            explained_variance: explained,
+        })
+    }
+
+    /// Projects a single observation onto the retained components.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] if `x` has the wrong
+    /// dimensionality.
+    pub fn project(&self, x: &[f64]) -> Result<Vec<f64>, DspError> {
+        if x.len() != self.mean.len() {
+            return Err(DspError::LengthMismatch {
+                expected: self.mean.len(),
+                actual: x.len(),
+            });
+        }
+        let centered: Vec<f64> = x.iter().zip(&self.mean).map(|(a, m)| a - m).collect();
+        self.components.mul_vec(&centered)
+    }
+
+    /// Projects a batch of observations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] on any dimensionality mismatch.
+    pub fn project_all(&self, xs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, DspError> {
+        xs.iter().map(|x| self.project(x)).collect()
+    }
+
+    /// Variance captured along each retained axis, descending.
+    pub fn explained_variance(&self) -> &[f64] {
+        &self.explained_variance
+    }
+
+    /// Fraction of total retained variance per axis; sums to 1 when any
+    /// variance exists.
+    pub fn explained_variance_ratio(&self) -> Vec<f64> {
+        let total: f64 = self.explained_variance.iter().sum();
+        if total == 0.0 {
+            return vec![0.0; self.explained_variance.len()];
+        }
+        self.explained_variance.iter().map(|v| v / total).collect()
+    }
+
+    /// Number of retained components.
+    pub fn n_components(&self) -> usize {
+        self.components.rows()
+    }
+
+    /// Dimensionality of the input space.
+    pub fn input_dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// The fitted mean vector.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// The retained principal axes, one per row.
+    pub fn components(&self) -> &Matrix {
+        &self.components
+    }
+}
+
+/// Eigendecomposition of a symmetric matrix by cyclic Jacobi rotations.
+///
+/// Returns `(eigenvalues, eigenvectors)` where column `i` of the eigenvector
+/// matrix corresponds to `eigenvalues[i]` (unsorted).
+///
+/// # Errors
+///
+/// - [`DspError::InvalidParameter`] if the matrix is not square-symmetric,
+/// - [`DspError::NoConvergence`] if the off-diagonal mass fails to vanish
+///   within `max_sweeps` sweeps.
+pub fn jacobi_eigen(m: &Matrix, max_sweeps: usize) -> Result<(Vec<f64>, Matrix), DspError> {
+    let (rows, cols) = m.shape();
+    if rows != cols || !m.is_symmetric(1e-9) {
+        return Err(DspError::InvalidParameter {
+            what: "jacobi eigensolver requires a symmetric square matrix",
+        });
+    }
+    let n = rows;
+    let mut a = m.clone();
+    let mut v = Matrix::identity(n);
+    if n <= 1 {
+        let eigenvalues = (0..n).map(|i| a.get(i, i)).collect();
+        return Ok((eigenvalues, v));
+    }
+
+    for _sweep in 0..max_sweeps {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += a.get(i, j) * a.get(i, j);
+            }
+        }
+        let scale: f64 = (0..n).map(|i| a.get(i, i).abs()).sum::<f64>().max(1e-300);
+        if off.sqrt() <= 1e-12 * scale {
+            let eigenvalues = (0..n).map(|i| a.get(i, i)).collect();
+            return Ok((eigenvalues, v));
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a.get(p, q);
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = a.get(p, p);
+                let aqq = a.get(q, q);
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+
+                for k in 0..n {
+                    let akp = a.get(k, p);
+                    let akq = a.get(k, q);
+                    a.set(k, p, c * akp - s * akq);
+                    a.set(k, q, s * akp + c * akq);
+                }
+                for k in 0..n {
+                    let apk = a.get(p, k);
+                    let aqk = a.get(q, k);
+                    a.set(p, k, c * apk - s * aqk);
+                    a.set(q, k, s * apk + c * aqk);
+                }
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+    Err(DspError::NoConvergence {
+        algorithm: "jacobi eigensolver",
+        iterations: max_sweeps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jacobi_diagonal_matrix_is_trivial() {
+        let mut m = Matrix::zeros(3, 3);
+        m.set(0, 0, 3.0);
+        m.set(1, 1, 1.0);
+        m.set(2, 2, 2.0);
+        let (vals, _) = jacobi_eigen(&m, 64).unwrap();
+        let mut sorted = vals.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((sorted[0] - 1.0).abs() < 1e-10);
+        assert!((sorted[1] - 2.0).abs() < 1e-10);
+        assert!((sorted[2] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn jacobi_known_2x2() {
+        // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+        let m = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let (vals, vecs) = jacobi_eigen(&m, 64).unwrap();
+        let mut sorted = vals.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((sorted[0] - 1.0).abs() < 1e-10);
+        assert!((sorted[1] - 3.0).abs() < 1e-10);
+        // Check A·v = λ·v for each eigenpair.
+        for i in 0..2 {
+            let v: Vec<f64> = (0..2).map(|r| vecs.get(r, i)).collect();
+            let av = m.mul_vec(&v).unwrap();
+            for r in 0..2 {
+                assert!((av[r] - vals[i] * v[r]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn jacobi_rejects_asymmetric() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert!(jacobi_eigen(&m, 64).is_err());
+    }
+
+    #[test]
+    fn jacobi_eigenvectors_are_orthonormal() {
+        let m = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, 0.25],
+            vec![0.5, 0.25, 2.0],
+        ])
+        .unwrap();
+        let (_, vecs) = jacobi_eigen(&m, 128).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let dot: f64 = (0..3).map(|r| vecs.get(r, i) * vecs.get(r, j)).sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-9, "columns {i},{j}: {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn pca_finds_the_dominant_direction() {
+        // Points on the line y = 2x plus tiny orthogonal noise.
+        let samples: Vec<Vec<f64>> = (0..64)
+            .map(|i| {
+                let t = i as f64 / 8.0 - 4.0;
+                let noise = 1e-3 * ((i * 31 % 7) as f64 - 3.0);
+                vec![t - 2.0 * noise, 2.0 * t + noise]
+            })
+            .collect();
+        let pca = Pca::fit(&samples, 2).unwrap();
+        let ratio = pca.explained_variance_ratio();
+        assert!(ratio[0] > 0.999, "dominant axis should capture nearly all variance");
+        // The dominant axis should be parallel to (1, 2)/√5.
+        let axis = pca.components().row(0);
+        let expected = [1.0 / 5.0f64.sqrt(), 2.0 / 5.0f64.sqrt()];
+        let dot = (axis[0] * expected[0] + axis[1] * expected[1]).abs();
+        assert!((dot - 1.0).abs() < 1e-3, "axis {axis:?}");
+    }
+
+    #[test]
+    fn pca_projection_preserves_cluster_separation() {
+        let cluster_a: Vec<Vec<f64>> =
+            (0..16).map(|i| vec![0.0 + 0.01 * i as f64, 0.0]).collect();
+        let cluster_b: Vec<Vec<f64>> =
+            (0..16).map(|i| vec![10.0 + 0.01 * i as f64, 0.0]).collect();
+        let all: Vec<Vec<f64>> = cluster_a.iter().chain(&cluster_b).cloned().collect();
+        let pca = Pca::fit(&all, 1).unwrap();
+        let za = pca.project(&cluster_a[0]).unwrap()[0];
+        let zb = pca.project(&cluster_b[0]).unwrap()[0];
+        assert!((za - zb).abs() > 5.0);
+    }
+
+    #[test]
+    fn pca_rejects_bad_k() {
+        let samples = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        assert!(Pca::fit(&samples, 0).is_err());
+        assert!(Pca::fit(&samples, 3).is_err());
+    }
+
+    #[test]
+    fn pca_rejects_empty_and_ragged() {
+        assert!(Pca::fit(&[], 1).is_err());
+        assert!(Pca::fit(&[vec![1.0], vec![1.0, 2.0]], 1).is_err());
+    }
+
+    #[test]
+    fn project_checks_dimension() {
+        let samples = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![0.0, 1.0]];
+        let pca = Pca::fit(&samples, 1).unwrap();
+        assert!(pca.project(&[1.0]).is_err());
+        assert_eq!(pca.input_dim(), 2);
+        assert_eq!(pca.n_components(), 1);
+    }
+
+    #[test]
+    fn constant_data_has_zero_variance() {
+        let samples = vec![vec![5.0, 5.0]; 8];
+        let pca = Pca::fit(&samples, 2).unwrap();
+        assert!(pca.explained_variance().iter().all(|&v| v.abs() < 1e-12));
+        assert!(pca
+            .explained_variance_ratio()
+            .iter()
+            .all(|&v| v == 0.0));
+    }
+}

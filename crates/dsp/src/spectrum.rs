@@ -1,0 +1,368 @@
+//! One-sided magnitude spectra and Welch averaging.
+//!
+//! The spectral detector (paper §III-E, Fig. 4, Fig. 6 i–l) works on the
+//! magnitude spectrum of the sensor trace: the clock fundamental and its
+//! harmonics dominate, and Trojans either add lines (`T ≠ g`) or boost
+//! existing ones (`T = g`).
+
+use crate::fft::{fft_real_padded, next_power_of_two};
+use crate::window::Window;
+use crate::DspError;
+
+/// A one-sided magnitude spectrum with its frequency axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spectrum {
+    freqs_hz: Vec<f64>,
+    magnitudes: Vec<f64>,
+    sample_rate_hz: f64,
+}
+
+impl Spectrum {
+    /// Computes the one-sided magnitude spectrum of `signal` sampled at
+    /// `sample_rate_hz`, after applying `window` and zero-padding to a
+    /// power of two.
+    ///
+    /// Magnitudes are normalized by `N/2` and the window's coherent gain so
+    /// a full-scale sine of amplitude `A` reads `≈ A` in its bin.
+    ///
+    /// # Errors
+    ///
+    /// - [`DspError::EmptyInput`] if `signal` is empty,
+    /// - [`DspError::InvalidParameter`] if `sample_rate_hz <= 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # fn main() -> Result<(), emtrust_dsp::DspError> {
+    /// use emtrust_dsp::spectrum::Spectrum;
+    /// use emtrust_dsp::window::Window;
+    ///
+    /// let fs = 1000.0;
+    /// let signal: Vec<f64> = (0..1024)
+    ///     .map(|i| (2.0 * std::f64::consts::PI * 125.0 * i as f64 / fs).sin())
+    ///     .collect();
+    /// let spec = Spectrum::compute(&signal, fs, Window::Rectangular)?;
+    /// let peak = spec.dominant_peak().expect("nonempty");
+    /// assert!((peak.frequency_hz - 125.0).abs() < 1.0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn compute(
+        signal: &[f64],
+        sample_rate_hz: f64,
+        window: Window,
+    ) -> Result<Self, DspError> {
+        if signal.is_empty() {
+            return Err(DspError::EmptyInput);
+        }
+        if sample_rate_hz <= 0.0 {
+            return Err(DspError::InvalidParameter {
+                what: "sample rate must be positive",
+            });
+        }
+        let mut windowed = signal.to_vec();
+        window.apply(&mut windowed);
+        let gain = window.coherent_gain(signal.len()).max(1e-12);
+
+        let bins = fft_real_padded(&windowed)?;
+        let n = bins.len();
+        let half = n / 2 + 1;
+        let scale = 2.0 / (signal.len() as f64 * gain);
+        let magnitudes: Vec<f64> = bins[..half]
+            .iter()
+            .enumerate()
+            .map(|(k, c)| {
+                // DC and Nyquist bins are not doubled.
+                let s = if k == 0 || (n % 2 == 0 && k == n / 2) {
+                    scale / 2.0
+                } else {
+                    scale
+                };
+                c.abs() * s
+            })
+            .collect();
+        let df = sample_rate_hz / n as f64;
+        let freqs_hz: Vec<f64> = (0..half).map(|k| k as f64 * df).collect();
+        Ok(Self {
+            freqs_hz,
+            magnitudes,
+            sample_rate_hz,
+        })
+    }
+
+    /// Welch-style averaged spectrum: splits `signal` into `segments`
+    /// half-overlapping pieces, computes a windowed spectrum of each and
+    /// averages the magnitudes. Reduces the variance of the estimate, which
+    /// matters when hunting small Trojan lines in noise.
+    ///
+    /// # Errors
+    ///
+    /// - [`DspError::InvalidParameter`] if `segments == 0` or the signal is
+    ///   too short to split,
+    /// - errors from [`Spectrum::compute`] on degenerate inputs.
+    pub fn welch(
+        signal: &[f64],
+        sample_rate_hz: f64,
+        window: Window,
+        segments: usize,
+    ) -> Result<Self, DspError> {
+        if segments == 0 {
+            return Err(DspError::InvalidParameter {
+                what: "segment count must be positive",
+            });
+        }
+        if segments == 1 {
+            return Self::compute(signal, sample_rate_hz, window);
+        }
+        // Half-overlapping segments: hop = len / (segments + 1).
+        let seg_len = 2 * signal.len() / (segments + 1);
+        if seg_len < 2 {
+            return Err(DspError::InvalidParameter {
+                what: "signal too short for the requested segment count",
+            });
+        }
+        // Fix the FFT size so all segments share a frequency axis.
+        let padded = next_power_of_two(seg_len);
+        let hop = seg_len / 2;
+        let mut acc: Option<Spectrum> = None;
+        let mut count = 0.0;
+        let mut start = 0;
+        while start + seg_len <= signal.len() {
+            let mut seg = signal[start..start + seg_len].to_vec();
+            seg.resize(padded, 0.0);
+            let s = Spectrum::compute(&seg, sample_rate_hz, window)?;
+            match &mut acc {
+                None => acc = Some(s),
+                Some(a) => {
+                    for (m, x) in a.magnitudes.iter_mut().zip(&s.magnitudes) {
+                        *m += x;
+                    }
+                }
+            }
+            count += 1.0;
+            start += hop;
+        }
+        let mut out = acc.ok_or(DspError::InvalidParameter {
+            what: "signal too short for the requested segment count",
+        })?;
+        for m in out.magnitudes.iter_mut() {
+            *m /= count;
+        }
+        Ok(out)
+    }
+
+    /// The frequency axis in hertz.
+    pub fn freqs_hz(&self) -> &[f64] {
+        &self.freqs_hz
+    }
+
+    /// Magnitude per bin (same length as [`Self::freqs_hz`]).
+    pub fn magnitudes(&self) -> &[f64] {
+        &self.magnitudes
+    }
+
+    /// The sample rate the spectrum was computed at.
+    pub fn sample_rate_hz(&self) -> f64 {
+        self.sample_rate_hz
+    }
+
+    /// Frequency resolution (bin spacing) in hertz.
+    pub fn resolution_hz(&self) -> f64 {
+        if self.freqs_hz.len() < 2 {
+            self.sample_rate_hz
+        } else {
+            self.freqs_hz[1] - self.freqs_hz[0]
+        }
+    }
+
+    /// Magnitude at the bin nearest `freq_hz`, or `None` if out of range.
+    pub fn magnitude_at(&self, freq_hz: f64) -> Option<f64> {
+        let idx = self.bin_of(freq_hz)?;
+        Some(self.magnitudes[idx])
+    }
+
+    /// Index of the bin nearest `freq_hz`, or `None` if out of range.
+    pub fn bin_of(&self, freq_hz: f64) -> Option<usize> {
+        if freq_hz < 0.0 || freq_hz > *self.freqs_hz.last()? + self.resolution_hz() / 2.0 {
+            return None;
+        }
+        let idx = (freq_hz / self.resolution_hz()).round() as usize;
+        if idx < self.magnitudes.len() {
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    /// The largest non-DC bin.
+    pub fn dominant_peak(&self) -> Option<SpectralPeak> {
+        self.peaks(1).into_iter().next()
+    }
+
+    /// The `k` largest local maxima (excluding DC), descending by magnitude.
+    pub fn peaks(&self, k: usize) -> Vec<SpectralPeak> {
+        let mut candidates: Vec<SpectralPeak> = (1..self.magnitudes.len().saturating_sub(1))
+            .filter(|&i| {
+                self.magnitudes[i] >= self.magnitudes[i - 1]
+                    && self.magnitudes[i] >= self.magnitudes[i + 1]
+            })
+            .map(|i| SpectralPeak {
+                bin: i,
+                frequency_hz: self.freqs_hz[i],
+                magnitude: self.magnitudes[i],
+            })
+            .collect();
+        candidates.sort_by(|a, b| {
+            b.magnitude
+                .partial_cmp(&a.magnitude)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        candidates.truncate(k);
+        candidates
+    }
+
+    /// Sum of magnitudes over `[lo_hz, hi_hz]` — band energy, used to detect
+    /// T1's low-frequency AM carrier contribution.
+    pub fn band_energy(&self, lo_hz: f64, hi_hz: f64) -> f64 {
+        self.freqs_hz
+            .iter()
+            .zip(&self.magnitudes)
+            .filter(|(f, _)| **f >= lo_hz && **f <= hi_hz)
+            .map(|(_, m)| m * m)
+            .sum()
+    }
+}
+
+/// A local maximum in a [`Spectrum`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpectralPeak {
+    /// Bin index.
+    pub bin: usize,
+    /// Center frequency of the bin in hertz.
+    pub frequency_hz: f64,
+    /// Normalized magnitude.
+    pub magnitude: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(freq: f64, fs: f64, n: usize, amp: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| amp * (2.0 * std::f64::consts::PI * freq * i as f64 / fs).sin())
+            .collect()
+    }
+
+    #[test]
+    fn sine_amplitude_is_recovered() {
+        let fs = 1024.0;
+        // Bin-aligned tone: 64 Hz with 1024 samples at 1024 Hz.
+        let s = tone(64.0, fs, 1024, 2.5);
+        let spec = Spectrum::compute(&s, fs, Window::Rectangular).unwrap();
+        let m = spec.magnitude_at(64.0).unwrap();
+        assert!((m - 2.5).abs() < 1e-9, "magnitude {m}");
+    }
+
+    #[test]
+    fn dominant_peak_finds_the_tone() {
+        let fs = 2048.0;
+        let s = tone(300.0, fs, 2048, 1.0);
+        let spec = Spectrum::compute(&s, fs, Window::Hann).unwrap();
+        let p = spec.dominant_peak().unwrap();
+        assert!((p.frequency_hz - 300.0).abs() <= spec.resolution_hz());
+    }
+
+    #[test]
+    fn two_tones_give_two_peaks() {
+        let fs = 4096.0;
+        let mut s = tone(256.0, fs, 4096, 1.0);
+        for (x, y) in s.iter_mut().zip(tone(1024.0, fs, 4096, 0.5)) {
+            *x += y;
+        }
+        let spec = Spectrum::compute(&s, fs, Window::Hann).unwrap();
+        let peaks = spec.peaks(2);
+        assert_eq!(peaks.len(), 2);
+        assert!((peaks[0].frequency_hz - 256.0).abs() <= spec.resolution_hz());
+        assert!((peaks[1].frequency_hz - 1024.0).abs() <= spec.resolution_hz());
+    }
+
+    #[test]
+    fn band_energy_concentrates_around_tone() {
+        let fs = 1024.0;
+        let s = tone(128.0, fs, 1024, 1.0);
+        let spec = Spectrum::compute(&s, fs, Window::Rectangular).unwrap();
+        let in_band = spec.band_energy(120.0, 136.0);
+        let out_band = spec.band_energy(300.0, 400.0);
+        assert!(in_band > 100.0 * (out_band + 1e-12));
+    }
+
+    #[test]
+    fn frequency_axis_spans_zero_to_nyquist() {
+        let spec = Spectrum::compute(&vec![0.0; 256], 1000.0, Window::Rectangular).unwrap();
+        assert_eq!(spec.freqs_hz()[0], 0.0);
+        let last = *spec.freqs_hz().last().unwrap();
+        assert!((last - 500.0).abs() < 1e-9);
+        assert_eq!(spec.magnitudes().len(), 129);
+    }
+
+    #[test]
+    fn rejects_empty_and_bad_rate() {
+        assert!(Spectrum::compute(&[], 1.0, Window::Rectangular).is_err());
+        assert!(Spectrum::compute(&[1.0], 0.0, Window::Rectangular).is_err());
+        assert!(Spectrum::compute(&[1.0], -5.0, Window::Rectangular).is_err());
+    }
+
+    #[test]
+    fn welch_reduces_noise_variance() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let fs = 4096.0;
+        let n = 8192;
+        let signal: Vec<f64> = (0..n)
+            .map(|i| {
+                tone(512.0, fs, 1, 1.0)[0] * 0.0
+                    + (2.0 * std::f64::consts::PI * 512.0 * i as f64 / fs).sin()
+                    + rng.gen_range(-1.0..1.0)
+            })
+            .collect();
+        let single = Spectrum::compute(&signal, fs, Window::Hann).unwrap();
+        let averaged = Spectrum::welch(&signal, fs, Window::Hann, 8).unwrap();
+        // Noise-floor variance: compare the spread of magnitudes away from
+        // the tone.
+        let floor_var = |s: &Spectrum| {
+            let vals: Vec<f64> = s
+                .freqs_hz()
+                .iter()
+                .zip(s.magnitudes())
+                .filter(|(f, _)| **f > 1000.0 && **f < 1800.0)
+                .map(|(_, m)| *m)
+                .collect();
+            crate::stats::variance(&vals)
+        };
+        assert!(floor_var(&averaged) < floor_var(&single));
+    }
+
+    #[test]
+    fn welch_with_one_segment_equals_compute() {
+        let fs = 512.0;
+        let s = tone(64.0, fs, 512, 1.0);
+        let a = Spectrum::compute(&s, fs, Window::Hann).unwrap();
+        let b = Spectrum::welch(&s, fs, Window::Hann, 1).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn welch_rejects_zero_segments_and_short_signals() {
+        assert!(Spectrum::welch(&[1.0; 64], 1.0, Window::Hann, 0).is_err());
+        assert!(Spectrum::welch(&[1.0, 2.0], 1.0, Window::Hann, 5).is_err());
+    }
+
+    #[test]
+    fn bin_of_out_of_range_is_none() {
+        let spec = Spectrum::compute(&vec![0.0; 64], 100.0, Window::Rectangular).unwrap();
+        assert!(spec.bin_of(-1.0).is_none());
+        assert!(spec.bin_of(51.0).is_none());
+        assert!(spec.bin_of(25.0).is_some());
+    }
+}

@@ -1,0 +1,128 @@
+//! Unified view of the two measurement coils.
+
+use emtrust_layout::geometry::Point;
+use emtrust_layout::probe::ExternalProbe;
+use emtrust_layout::spiral::SpiralSensor;
+
+/// Either of the paper's two measurement coils.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Coil {
+    /// The on-chip spiral sensor on the top metal layer.
+    OnChip(SpiralSensor),
+    /// The LANGER-style external probe at package standoff.
+    External(ExternalProbe),
+}
+
+impl Coil {
+    /// Short display name (`on-chip sensor` / `external probe`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Coil::OnChip(_) => "on-chip sensor",
+            Coil::External(_) => "external probe",
+        }
+    }
+
+    /// Height of the coil plane above the transistors, in µm.
+    pub fn z_um(&self) -> f64 {
+        match self {
+            Coil::OnChip(s) => s.z_um(),
+            Coil::External(p) => p.z_um(),
+        }
+    }
+
+    /// One closed polygon per turn (counter-clockwise).
+    pub fn turn_polygons(&self) -> Vec<Vec<Point>> {
+        match self {
+            Coil::OnChip(s) => (0..s.turns())
+                .map(|i| {
+                    let r = s.turn_rect(i);
+                    vec![
+                        r.min,
+                        Point::new(r.max.x, r.min.y),
+                        r.max,
+                        Point::new(r.min.x, r.max.y),
+                    ]
+                })
+                .collect(),
+            Coil::External(p) => {
+                // Identical circular turns, discretized.
+                let n = 180;
+                let circle: Vec<Point> = (0..n)
+                    .map(|i| {
+                        let th = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+                        Point::new(
+                            p.center().x + p.radius_um() * th.cos(),
+                            p.center().y + p.radius_um() * th.sin(),
+                        )
+                    })
+                    .collect();
+                vec![circle; p.turns()]
+            }
+        }
+    }
+
+    /// Flux-linkage multiplicity at a die position (number of turns
+    /// enclosing it).
+    pub fn turns_enclosing(&self, x_um: f64, y_um: f64) -> u32 {
+        match self {
+            Coil::OnChip(s) => s.turns_enclosing(x_um, y_um),
+            Coil::External(p) => p.turns_enclosing(x_um, y_um),
+        }
+    }
+}
+
+impl From<SpiralSensor> for Coil {
+    fn from(s: SpiralSensor) -> Self {
+        Coil::OnChip(s)
+    }
+}
+
+impl From<ExternalProbe> for Coil {
+    fn from(p: ExternalProbe) -> Self {
+        Coil::External(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emtrust_layout::floorplan::Die;
+
+    fn die() -> Die {
+        Die::square(600.0).unwrap()
+    }
+
+    #[test]
+    fn names_and_heights() {
+        let s: Coil = SpiralSensor::for_die(die()).unwrap().into();
+        let p: Coil = ExternalProbe::over_die(die()).into();
+        assert_eq!(s.name(), "on-chip sensor");
+        assert_eq!(p.name(), "external probe");
+        assert!(s.z_um() < p.z_um(), "sensor sits far closer to the logic");
+    }
+
+    #[test]
+    fn spiral_turn_polygons_grow() {
+        let s: Coil = SpiralSensor::with_turns(die(), 5).unwrap().into();
+        let polys = s.turn_polygons();
+        assert_eq!(polys.len(), 5);
+        let width = |p: &[Point]| p[1].x - p[0].x;
+        assert!(width(&polys[4]) > width(&polys[0]));
+    }
+
+    #[test]
+    fn probe_turns_are_identical() {
+        let p: Coil = ExternalProbe::over_die(die()).into();
+        let polys = p.turn_polygons();
+        assert_eq!(polys.len(), 6);
+        assert_eq!(polys[0], polys[5]);
+    }
+
+    #[test]
+    fn enclosure_delegates() {
+        let s: Coil = SpiralSensor::for_die(die()).unwrap().into();
+        assert_eq!(s.turns_enclosing(300.0, 300.0), 20);
+        let p: Coil = ExternalProbe::over_die(die()).into();
+        assert_eq!(p.turns_enclosing(300.0, 300.0), 6);
+    }
+}

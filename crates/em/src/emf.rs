@@ -1,0 +1,125 @@
+//! Faraday emf synthesis: the coil's terminal voltage.
+
+use emtrust_power::CurrentTrace;
+use serde::{Deserialize, Serialize};
+
+/// A uniformly sampled voltage waveform (volts) — what the oscilloscope
+/// sees across `Sensor In`/`Sensor Out` (or the probe terminals).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VoltageTrace {
+    samples: Vec<f64>,
+    sample_rate_hz: f64,
+}
+
+impl VoltageTrace {
+    /// Wraps raw voltage samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate_hz` is not positive.
+    pub fn new(samples: Vec<f64>, sample_rate_hz: f64) -> Self {
+        assert!(sample_rate_hz > 0.0, "sample rate must be positive");
+        Self {
+            samples,
+            sample_rate_hz,
+        }
+    }
+
+    /// The samples in volts.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Mutable samples (noise and measurement chains write here).
+    pub fn samples_mut(&mut self) -> &mut [f64] {
+        &mut self.samples
+    }
+
+    /// Consumes the trace, returning the raw samples.
+    pub fn into_samples(self) -> Vec<f64> {
+        self.samples
+    }
+
+    /// Sample rate in hertz.
+    pub fn sample_rate_hz(&self) -> f64 {
+        self.sample_rate_hz
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// RMS voltage.
+    pub fn rms_v(&self) -> f64 {
+        emtrust_dsp::stats::rms(&self.samples)
+    }
+}
+
+/// Computes the coil emf from a flux-weighted current trace:
+/// `emf(t) = −dΛ/dt` with `Λ(t) = Σ_c M_c I_c(t)` (the weighted current's
+/// "samples" are already in webers when the weights are mutual
+/// inductances in henries).
+///
+/// The output has the same length as the input (first sample zero).
+pub fn emf_from_weighted_current(weighted: &CurrentTrace) -> VoltageTrace {
+    let mut samples = Vec::with_capacity(weighted.len());
+    samples.push(0.0);
+    samples.extend(weighted.derivative().iter().map(|d| -d));
+    if samples.len() > weighted.len() {
+        samples.truncate(weighted.len());
+    }
+    VoltageTrace::new(samples, weighted.sample_rate_hz())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emf_is_negative_derivative() {
+        let flux = CurrentTrace::new(vec![0.0, 1.0, 1.0, 0.0], 2.0);
+        let emf = emf_from_weighted_current(&flux);
+        assert_eq!(emf.samples(), &[0.0, -2.0, 0.0, 2.0]);
+        assert_eq!(emf.sample_rate_hz(), 2.0);
+    }
+
+    #[test]
+    fn constant_flux_induces_nothing() {
+        let flux = CurrentTrace::new(vec![3.0; 16], 1.0);
+        let emf = emf_from_weighted_current(&flux);
+        assert!(emf.samples().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn length_is_preserved() {
+        let flux = CurrentTrace::new(vec![0.0, 1.0, 4.0], 1.0);
+        let emf = emf_from_weighted_current(&flux);
+        assert_eq!(emf.len(), 3);
+        assert!(!emf.is_empty());
+    }
+
+    #[test]
+    fn rms_of_known_signal() {
+        let v = VoltageTrace::new(vec![1.0, -1.0, 1.0, -1.0], 1.0);
+        assert!((v.rms_v() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_is_benign() {
+        let flux = CurrentTrace::new(vec![], 1.0);
+        let emf = emf_from_weighted_current(&flux);
+        assert!(emf.is_empty() || emf.len() == 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_is_rejected() {
+        let _ = VoltageTrace::new(vec![], 0.0);
+    }
+}

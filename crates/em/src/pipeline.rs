@@ -1,0 +1,264 @@
+//! End-to-end measurement pipeline: activity → flux-weighted current →
+//! emf → noisy sensor output.
+
+use crate::coil::Coil;
+use crate::coupling::CouplingMap;
+use crate::emf::{emf_from_weighted_current, VoltageTrace};
+use crate::noise::NoiseModel;
+use crate::EmError;
+use emtrust_layout::floorplan::Floorplan;
+use emtrust_netlist::graph::Netlist;
+use emtrust_power::{CurrentModel, CurrentTrace};
+use emtrust_sim::activity::ActivityTrace;
+
+/// An analog current source at a die location — the A2 Trojan's injection
+/// interface (current samples must match the pipeline's sample rate).
+#[derive(Debug, Clone)]
+pub struct PointCurrentSource {
+    /// Die location in µm.
+    pub location_um: (f64, f64),
+    /// Current samples in amperes.
+    pub samples: Vec<f64>,
+}
+
+/// A measurement channel: one coil over one placed netlist.
+#[derive(Debug)]
+pub struct EmSensor {
+    coil: Coil,
+    map: CouplingMap,
+    weights: Vec<f64>,
+    model: CurrentModel,
+}
+
+impl EmSensor {
+    /// Builds the channel: computes the coil's coupling map over the
+    /// floorplan's die and the per-cell weight vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates coupling-map construction errors.
+    pub fn new(
+        coil: Coil,
+        netlist: &Netlist,
+        floorplan: &Floorplan,
+        model: CurrentModel,
+    ) -> Result<Self, EmError> {
+        let map = CouplingMap::build(&coil, floorplan.die())?;
+        let weights = map.weights_for(netlist, floorplan);
+        Ok(Self {
+            coil,
+            map,
+            weights,
+            model,
+        })
+    }
+
+    /// Scales the per-cell weights element-wise — the hook through which
+    /// `emtrust-silicon` applies per-chip process variation (each cell's
+    /// switched charge varies chip to chip).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmError::InvalidParameter`] if `factors` does not have one
+    /// entry per cell.
+    pub fn scale_weights(&mut self, factors: &[f64]) -> Result<(), EmError> {
+        if factors.len() != self.weights.len() {
+            return Err(EmError::InvalidParameter {
+                what: "variation factors must cover every cell",
+            });
+        }
+        for (w, f) in self.weights.iter_mut().zip(factors) {
+            *w *= f;
+        }
+        Ok(())
+    }
+
+    /// The coil.
+    pub fn coil(&self) -> &Coil {
+        &self.coil
+    }
+
+    /// The precomputed coupling map.
+    pub fn coupling(&self) -> &CouplingMap {
+        &self.map
+    }
+
+    /// The per-cell weight (mutual inductance) vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The underlying power model.
+    pub fn model(&self) -> &CurrentModel {
+        &self.model
+    }
+
+    /// Synthesizes the noiseless sensor emf for an activity trace.
+    ///
+    /// - `extra_leakage_a`: per-cycle extra leakage (T2's channel),
+    /// - `injections`: analog point current sources (A2's channel).
+    ///
+    /// # Errors
+    ///
+    /// Propagates power-model errors (length mismatches).
+    pub fn emf(
+        &self,
+        netlist: &Netlist,
+        activity: &ActivityTrace,
+        extra_leakage_a: Option<&[f64]>,
+        injections: &[PointCurrentSource],
+    ) -> Result<VoltageTrace, EmError> {
+        let mut weighted =
+            self.model
+                .synthesize(netlist, activity, Some(&self.weights), extra_leakage_a)?;
+        for src in injections {
+            let m = self.map.at(src.location_um.0, src.location_um.1);
+            if m == 0.0 || src.samples.is_empty() {
+                continue;
+            }
+            let scaled: Vec<f64> = src.samples.iter().map(|&i| i * m).collect();
+            weighted.add_assign(&CurrentTrace::new(scaled, weighted.sample_rate_hz()));
+        }
+        Ok(emf_from_weighted_current(&weighted))
+    }
+
+    /// Synthesizes a *measured* trace: emf plus this coil's environment
+    /// noise (freshly seeded from `noise_seed`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates power-model errors.
+    pub fn measure(
+        &self,
+        netlist: &Netlist,
+        activity: &ActivityTrace,
+        extra_leakage_a: Option<&[f64]>,
+        injections: &[PointCurrentSource],
+        noise_seed: u64,
+    ) -> Result<VoltageTrace, EmError> {
+        let mut trace = self.emf(netlist, activity, extra_leakage_a, injections)?;
+        NoiseModel::environment_for(&self.coil, noise_seed).add_to(&mut trace);
+        Ok(trace)
+    }
+
+    /// A pure-noise measurement of length `n_samples` (the paper's step 1:
+    /// chip powered, no encryption).
+    pub fn measure_noise(&self, n_samples: usize, noise_seed: u64) -> VoltageTrace {
+        let mut trace = VoltageTrace::new(
+            vec![0.0; n_samples],
+            self.model.clock().sample_rate_hz(),
+        );
+        NoiseModel::environment_for(&self.coil, noise_seed).add_to(&mut trace);
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emtrust_layout::floorplan::Die;
+    use emtrust_layout::spiral::SpiralSensor;
+    use emtrust_netlist::library::Library;
+    use emtrust_power::ClockConfig;
+    use emtrust_sim::engine::Simulator;
+
+    fn small_design() -> (Netlist, Floorplan) {
+        let mut n = emtrust_netlist::graph::Netlist::new("bank");
+        n.push_module("aes");
+        for _ in 0..32 {
+            let (q, d) = n.dff_deferred();
+            let nq = n.not(q);
+            n.connect_dff_d(d, nq);
+            n.mark_output("q", q);
+        }
+        n.pop_module();
+        let lib = Library::generic_180nm();
+        let die = Die::square(600.0).unwrap();
+        let fp = Floorplan::place(&n, &lib, die).unwrap();
+        (n, fp)
+    }
+
+    fn sensor(n: &Netlist, fp: &Floorplan) -> EmSensor {
+        let coil: Coil = SpiralSensor::for_die(fp.die()).unwrap().into();
+        let model = CurrentModel::new(Library::generic_180nm(), ClockConfig::reference());
+        EmSensor::new(coil, n, fp, model).unwrap()
+    }
+
+    fn activity(n: &Netlist, cycles: usize) -> ActivityTrace {
+        let mut sim = Simulator::new(n).unwrap();
+        sim.settle();
+        sim.start_recording();
+        sim.run(cycles);
+        sim.take_recording()
+    }
+
+    #[test]
+    fn switching_produces_nonzero_emf() {
+        let (n, fp) = small_design();
+        let s = sensor(&n, &fp);
+        let act = activity(&n, 4);
+        let emf = s.emf(&n, &act, None, &[]).unwrap();
+        assert_eq!(emf.len(), 4 * 64);
+        assert!(emf.rms_v() > 0.0, "toggling flops must induce an emf");
+    }
+
+    #[test]
+    fn emf_is_deterministic_but_measurement_is_noisy() {
+        let (n, fp) = small_design();
+        let s = sensor(&n, &fp);
+        let act = activity(&n, 2);
+        let a = s.emf(&n, &act, None, &[]).unwrap();
+        let b = s.emf(&n, &act, None, &[]).unwrap();
+        assert_eq!(a, b);
+        let m1 = s.measure(&n, &act, None, &[], 1).unwrap();
+        let m2 = s.measure(&n, &act, None, &[], 2).unwrap();
+        assert_ne!(m1.samples(), m2.samples());
+    }
+
+    #[test]
+    fn injection_adds_signal() {
+        let (n, fp) = small_design();
+        let s = sensor(&n, &fp);
+        let act = activity(&n, 2);
+        let base = s.emf(&n, &act, None, &[]).unwrap();
+        let c = fp.die().center();
+        let inj = PointCurrentSource {
+            location_um: (c.x, c.y),
+            samples: (0..128).map(|i| if i % 2 == 0 { 1e-3 } else { -1e-3 }).collect(),
+        };
+        let with = s.emf(&n, &act, None, &[inj]).unwrap();
+        assert!(with.rms_v() > base.rms_v());
+    }
+
+    #[test]
+    fn injection_far_outside_the_die_is_clamped_not_lost() {
+        // Clamping to the grid edge keeps the call well-defined.
+        let (n, fp) = small_design();
+        let s = sensor(&n, &fp);
+        let act = activity(&n, 1);
+        let inj = PointCurrentSource {
+            location_um: (-1e6, -1e6),
+            samples: vec![1.0; 64],
+        };
+        assert!(s.emf(&n, &act, None, &[inj]).is_ok());
+    }
+
+    #[test]
+    fn noise_only_measurement_has_the_environment_rms() {
+        let (n, fp) = small_design();
+        let s = sensor(&n, &fp);
+        let noise = s.measure_noise(40_000, 5);
+        let expected = crate::noise::ONCHIP_ENV_NOISE_RMS_V;
+        assert!((noise.rms_v() - expected).abs() < 0.05 * expected);
+    }
+
+    #[test]
+    fn accessors_expose_the_channel() {
+        let (n, fp) = small_design();
+        let s = sensor(&n, &fp);
+        assert_eq!(s.coil().name(), "on-chip sensor");
+        assert_eq!(s.weights().len(), n.cell_count());
+        assert!(s.coupling().mean_abs() > 0.0);
+        assert_eq!(s.model().clock().samples_per_cycle(), 64);
+    }
+}

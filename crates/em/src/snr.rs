@@ -1,0 +1,77 @@
+//! SNR evaluation per the paper's two-step protocol (§V-A):
+//!
+//! 1. power the chip without executing encryptions — the collected trace
+//!    is the noise;
+//! 2. execute encryptions — the collected trace is signal plus noise;
+//! 3. `SNR_dB = 20·log10(RMS_signal / RMS_noise)` (Eq. 2 and Eq. 3).
+
+use crate::emf::VoltageTrace;
+use emtrust_dsp::stats;
+
+/// Result of an SNR measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnrReport {
+    /// RMS of the signal trace, volts.
+    pub signal_rms_v: f64,
+    /// RMS of the noise trace, volts.
+    pub noise_rms_v: f64,
+    /// The voltage-ratio SNR (Eq. 2).
+    pub snr_voltage: f64,
+    /// The SNR in decibels (Eq. 3).
+    pub snr_db: f64,
+}
+
+/// Computes the SNR from separately collected signal and noise traces.
+///
+/// # Examples
+///
+/// ```
+/// use emtrust_em::emf::VoltageTrace;
+/// use emtrust_em::snr::snr_report;
+///
+/// let signal = VoltageTrace::new(vec![1.0, -1.0, 1.0, -1.0], 1.0);
+/// let noise = VoltageTrace::new(vec![0.1, -0.1, 0.1, -0.1], 1.0);
+/// let report = snr_report(&signal, &noise);
+/// assert!((report.snr_db - 20.0).abs() < 1e-9);
+/// ```
+pub fn snr_report(signal: &VoltageTrace, noise: &VoltageTrace) -> SnrReport {
+    let signal_rms_v = signal.rms_v();
+    let noise_rms_v = noise.rms_v();
+    let snr_voltage = stats::snr_voltage(signal_rms_v, noise_rms_v);
+    SnrReport {
+        signal_rms_v,
+        noise_rms_v,
+        snr_voltage,
+        snr_db: 20.0 * snr_voltage.log10(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_to_one_is_twenty_db() {
+        let s = VoltageTrace::new(vec![10.0; 8], 1.0);
+        let n = VoltageTrace::new(vec![1.0; 8], 1.0);
+        let r = snr_report(&s, &n);
+        assert!((r.snr_db - 20.0).abs() < 1e-12);
+        assert!((r.snr_voltage - 10.0).abs() < 1e-12);
+        assert_eq!(r.signal_rms_v, 10.0);
+        assert_eq!(r.noise_rms_v, 1.0);
+    }
+
+    #[test]
+    fn equal_power_is_zero_db() {
+        let s = VoltageTrace::new(vec![1.0, -1.0], 1.0);
+        let n = VoltageTrace::new(vec![-1.0, 1.0], 1.0);
+        assert!(snr_report(&s, &n).snr_db.abs() < 1e-12);
+    }
+
+    #[test]
+    fn silent_noise_gives_infinite_snr() {
+        let s = VoltageTrace::new(vec![1.0], 1.0);
+        let n = VoltageTrace::new(vec![0.0], 1.0);
+        assert!(snr_report(&s, &n).snr_db.is_infinite());
+    }
+}

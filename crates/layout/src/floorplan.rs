@@ -1,0 +1,426 @@
+//! Die sizing, deterministic row placement and the pad ring.
+//!
+//! The paper's die (Fig. 3) has the AES core in the main area, the four
+//! Trojans in a strip beside it, the spiral sensor over everything, and
+//! dedicated pads (VDD, VSS, `Sensor In`, `Sensor Out`, signal ports,
+//! Trojan control). The placer here reproduces that organization from
+//! module tags: cells tagged `aes/...` fill the western core region, cells
+//! tagged `trojanN/...` stack into the eastern strip, one band per Trojan.
+
+use crate::geometry::{Point, Rect};
+use crate::LayoutError;
+use emtrust_netlist::graph::{CellId, Netlist};
+use emtrust_netlist::library::Library;
+
+/// Standard-cell row height for the 180 nm-class library, in µm.
+pub const ROW_HEIGHT_UM: f64 = 5.0;
+
+/// The die outline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Die {
+    /// Core (placeable) area; the pad ring sits outside it.
+    pub core: Rect,
+}
+
+impl Die {
+    /// A square die with the given core side length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::InvalidParameter`] if `side_um <= 0`.
+    pub fn square(side_um: f64) -> Result<Self, LayoutError> {
+        if side_um <= 0.0 {
+            return Err(LayoutError::InvalidParameter {
+                what: "die side must be positive",
+            });
+        }
+        Ok(Self {
+            core: Rect::new(Point::new(0.0, 0.0), Point::new(side_um, side_um)),
+        })
+    }
+
+    /// Sizes a square die to fit `netlist` at the given `utilization`
+    /// (fraction of core area occupied by cells, e.g. 0.7).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::InvalidParameter`] if `utilization` is not in
+    /// `(0, 1]`.
+    pub fn for_netlist(
+        netlist: &Netlist,
+        library: &Library,
+        utilization: f64,
+    ) -> Result<Self, LayoutError> {
+        if !(0.0..=1.0).contains(&utilization) || utilization == 0.0 {
+            return Err(LayoutError::InvalidParameter {
+                what: "utilization must be in (0, 1]",
+            });
+        }
+        let area: f64 = emtrust_netlist::library::netlist_area_um2(netlist, library);
+        let side = (area / utilization).sqrt().ceil();
+        // Round up to a whole number of rows.
+        let side = (side / ROW_HEIGHT_UM).ceil() * ROW_HEIGHT_UM;
+        Self::square(side)
+    }
+
+    /// Core width in µm.
+    pub fn width_um(&self) -> f64 {
+        self.core.width()
+    }
+
+    /// Core height in µm.
+    pub fn height_um(&self) -> f64 {
+        self.core.height()
+    }
+
+    /// Core centre.
+    pub fn center(&self) -> Point {
+        self.core.center()
+    }
+}
+
+/// Pad functions on the pad ring (paper Figs. 3 and 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum PadKind {
+    /// Core supply.
+    Vdd,
+    /// Core ground.
+    Vss,
+    /// Start of the sensor coil (paper `Sensor In`).
+    SensorIn,
+    /// End of the sensor coil (paper `Sensor Out`).
+    SensorOut,
+    /// Functional I/O (pt/key/ct/start/done).
+    Signal,
+    /// Trojan trigger control.
+    TrojanControl,
+}
+
+/// A pad instance on the ring.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pad {
+    /// Pad function.
+    pub kind: PadKind,
+    /// Pad centre location.
+    pub location: Point,
+}
+
+/// A fully placed design.
+#[derive(Debug, Clone)]
+pub struct Floorplan {
+    die: Die,
+    /// Cell locations indexed by [`CellId::index`].
+    locations: Vec<Point>,
+    /// Region assigned to each top-level block, for reporting.
+    regions: Vec<(String, Rect)>,
+    pads: Vec<Pad>,
+}
+
+impl Floorplan {
+    /// Places `netlist` on `die`: `aes` cells fill the west core region in
+    /// serpentine rows; each `trojanN` block gets a band of the east strip;
+    /// untagged cells follow the AES region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::DieTooSmall`] if the cells do not fit.
+    pub fn place(netlist: &Netlist, library: &Library, die: Die) -> Result<Self, LayoutError> {
+        let total_area = emtrust_netlist::library::netlist_area_um2(netlist, library);
+        if total_area > die.core.area() {
+            return Err(LayoutError::DieTooSmall {
+                required_um2: total_area,
+                available_um2: die.core.area(),
+            });
+        }
+
+        // Partition by top-level tag.
+        let top_tag = |cell: CellId| -> String {
+            let path = netlist.module_path(netlist.cell(cell).module());
+            path.split('/').next().unwrap_or("").to_string()
+        };
+        let mut trojan_tags: Vec<String> = netlist
+            .cells()
+            .map(|(id, _)| top_tag(id))
+            .filter(|t| t.starts_with("trojan"))
+            .collect();
+        trojan_tags.sort();
+        trojan_tags.dedup();
+
+        // East strip width proportional to the Trojans' area share.
+        let trojan_area: f64 = netlist
+            .cells()
+            .filter(|(id, _)| top_tag(*id).starts_with("trojan"))
+            .map(|(_, c)| library.electrical(c.kind()).area_um2)
+            .sum();
+        let strip_frac = if trojan_area > 0.0 {
+            // 1.8x head-room over the exact share, clamped.
+            (1.8 * trojan_area / total_area).clamp(0.06, 0.35)
+        } else {
+            0.0
+        };
+        let strip_w = die.width_um() * strip_frac;
+        let main_region = Rect::new(
+            die.core.min,
+            Point::new(die.core.max.x - strip_w, die.core.max.y),
+        );
+        let strip_region = Rect::new(
+            Point::new(die.core.max.x - strip_w, die.core.min.y),
+            die.core.max,
+        );
+
+        let mut regions = vec![("aes".to_string(), main_region)];
+        let mut locations = vec![Point::default(); netlist.cell_count()];
+
+        // Place AES + untagged cells in the main region.
+        let main_cells: Vec<CellId> = netlist
+            .cells()
+            .filter(|(id, _)| !top_tag(*id).starts_with("trojan"))
+            .map(|(id, _)| id)
+            .collect();
+        Self::fill_rows(netlist, library, main_region, &main_cells, &mut locations)?;
+
+        // Each Trojan gets a horizontal band of the strip.
+        if !trojan_tags.is_empty() {
+            let band_h = strip_region.height() / trojan_tags.len() as f64;
+            for (i, tag) in trojan_tags.iter().enumerate() {
+                let band = Rect::new(
+                    Point::new(strip_region.min.x, strip_region.min.y + i as f64 * band_h),
+                    Point::new(
+                        strip_region.max.x,
+                        strip_region.min.y + (i as f64 + 1.0) * band_h,
+                    ),
+                );
+                let cells: Vec<CellId> = netlist
+                    .cells()
+                    .filter(|(id, _)| top_tag(*id) == *tag)
+                    .map(|(id, _)| id)
+                    .collect();
+                Self::fill_rows(netlist, library, band, &cells, &mut locations)?;
+                regions.push((tag.clone(), band));
+            }
+        }
+
+        let pads = Self::pad_ring(die, !trojan_tags.is_empty());
+        Ok(Self {
+            die,
+            locations,
+            regions,
+            pads,
+        })
+    }
+
+    fn fill_rows(
+        netlist: &Netlist,
+        library: &Library,
+        region: Rect,
+        cells: &[CellId],
+        locations: &mut [Point],
+    ) -> Result<(), LayoutError> {
+        let mut x = region.min.x;
+        let mut y = region.min.y + ROW_HEIGHT_UM / 2.0;
+        for &id in cells {
+            let width = library.electrical(netlist.cell(id).kind()).area_um2 / ROW_HEIGHT_UM;
+            if x + width > region.max.x {
+                x = region.min.x;
+                y += ROW_HEIGHT_UM;
+                if y > region.max.y {
+                    return Err(LayoutError::DieTooSmall {
+                        required_um2: cells
+                            .iter()
+                            .map(|&c| library.electrical(netlist.cell(c).kind()).area_um2)
+                            .sum(),
+                        available_um2: region.area(),
+                    });
+                }
+            }
+            locations[id.index()] = Point::new(x + width / 2.0, y);
+            x += width;
+        }
+        Ok(())
+    }
+
+    fn pad_ring(die: Die, with_trojan_control: bool) -> Vec<Pad> {
+        let w = die.width_um();
+        let h = die.height_um();
+        let mut pads = vec![
+            Pad {
+                kind: PadKind::Vdd,
+                location: Point::new(-20.0, h * 0.75),
+            },
+            Pad {
+                kind: PadKind::Vss,
+                location: Point::new(-20.0, h * 0.25),
+            },
+            Pad {
+                kind: PadKind::SensorIn,
+                location: Point::new(w * 0.25, h + 20.0),
+            },
+            Pad {
+                kind: PadKind::SensorOut,
+                location: Point::new(w * 0.75, h + 20.0),
+            },
+        ];
+        for i in 0..8 {
+            pads.push(Pad {
+                kind: PadKind::Signal,
+                location: Point::new(w * (i as f64 + 0.5) / 8.0, -20.0),
+            });
+        }
+        if with_trojan_control {
+            for i in 0..4 {
+                pads.push(Pad {
+                    kind: PadKind::TrojanControl,
+                    location: Point::new(w + 20.0, h * (i as f64 + 0.5) / 4.0),
+                });
+            }
+        }
+        pads
+    }
+
+    /// The die.
+    pub fn die(&self) -> Die {
+        self.die
+    }
+
+    /// Location of a placed cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    pub fn location(&self, cell: CellId) -> Point {
+        self.locations[cell.index()]
+    }
+
+    /// All cell locations, indexed by [`CellId::index`].
+    pub fn locations(&self) -> &[Point] {
+        &self.locations
+    }
+
+    /// Named block regions (`aes`, `trojan1`, ...).
+    pub fn regions(&self) -> &[(String, Rect)] {
+        &self.regions
+    }
+
+    /// The pad ring.
+    pub fn pads(&self) -> &[Pad] {
+        &self.pads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emtrust_netlist::graph::Netlist;
+
+    fn tagged_netlist(aes_cells: usize, trojan_cells: usize) -> Netlist {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        n.push_module("aes");
+        let mut last = a;
+        for _ in 0..aes_cells {
+            last = n.not(last);
+        }
+        n.pop_module();
+        n.push_module("trojan1");
+        for _ in 0..trojan_cells {
+            last = n.not(last);
+        }
+        n.pop_module();
+        n.mark_output("y", last);
+        n
+    }
+
+    #[test]
+    fn die_sizing_fits_the_netlist() {
+        let n = tagged_netlist(500, 50);
+        let lib = Library::generic_180nm();
+        let die = Die::for_netlist(&n, &lib, 0.7).unwrap();
+        let fp = Floorplan::place(&n, &lib, die).unwrap();
+        assert_eq!(fp.locations().len(), 550);
+    }
+
+    #[test]
+    fn cells_stay_inside_their_regions() {
+        let n = tagged_netlist(400, 60);
+        let lib = Library::generic_180nm();
+        let die = Die::for_netlist(&n, &lib, 0.6).unwrap();
+        let fp = Floorplan::place(&n, &lib, die).unwrap();
+        let aes_region = fp.regions()[0].1;
+        let trojan_region = fp.regions()[1].1;
+        for (id, cell) in n.cells() {
+            let p = fp.location(id);
+            let tag = n.module_path(cell.module());
+            if tag.starts_with("trojan") {
+                assert!(trojan_region.contains(p), "{tag} cell at {p:?}");
+            } else {
+                assert!(aes_region.contains(p), "{tag} cell at {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn trojans_occupy_the_east_strip() {
+        let n = tagged_netlist(400, 60);
+        let lib = Library::generic_180nm();
+        let die = Die::for_netlist(&n, &lib, 0.6).unwrap();
+        let fp = Floorplan::place(&n, &lib, die).unwrap();
+        let (name, strip) = &fp.regions()[1];
+        assert_eq!(name, "trojan1");
+        assert!(strip.min.x > fp.die().width_um() / 2.0);
+    }
+
+    #[test]
+    fn too_small_die_is_rejected() {
+        let n = tagged_netlist(500, 0);
+        let lib = Library::generic_180nm();
+        let die = Die::square(10.0).unwrap();
+        assert!(matches!(
+            Floorplan::place(&n, &lib, die),
+            Err(LayoutError::DieTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn pad_ring_has_sensor_pads() {
+        let n = tagged_netlist(100, 10);
+        let lib = Library::generic_180nm();
+        let die = Die::for_netlist(&n, &lib, 0.5).unwrap();
+        let fp = Floorplan::place(&n, &lib, die).unwrap();
+        let kinds: Vec<PadKind> = fp.pads().iter().map(|p| p.kind).collect();
+        assert!(kinds.contains(&PadKind::SensorIn));
+        assert!(kinds.contains(&PadKind::SensorOut));
+        assert!(kinds.contains(&PadKind::Vdd));
+        assert!(kinds.contains(&PadKind::TrojanControl));
+    }
+
+    #[test]
+    fn golden_netlist_has_no_trojan_region_or_control_pads() {
+        let n = tagged_netlist(100, 0);
+        let lib = Library::generic_180nm();
+        let die = Die::for_netlist(&n, &lib, 0.5).unwrap();
+        let fp = Floorplan::place(&n, &lib, die).unwrap();
+        assert_eq!(fp.regions().len(), 1);
+        assert!(!fp.pads().iter().any(|p| p.kind == PadKind::TrojanControl));
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(Die::square(0.0).is_err());
+        assert!(Die::square(-5.0).is_err());
+        let n = tagged_netlist(10, 0);
+        let lib = Library::generic_180nm();
+        assert!(Die::for_netlist(&n, &lib, 0.0).is_err());
+        assert!(Die::for_netlist(&n, &lib, 1.5).is_err());
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let n = tagged_netlist(200, 30);
+        let lib = Library::generic_180nm();
+        let die = Die::for_netlist(&n, &lib, 0.6).unwrap();
+        let a = Floorplan::place(&n, &lib, die).unwrap();
+        let b = Floorplan::place(&n, &lib, die).unwrap();
+        assert_eq!(a.locations(), b.locations());
+    }
+}

@@ -1,0 +1,179 @@
+//! Planar geometry primitives in micrometres.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in the die plane (micrometres, origin at the die's south-west
+/// corner).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// X coordinate in µm.
+    pub x: f64,
+    /// Y coordinate in µm.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance_to(self, other: Point) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+}
+
+/// A straight wire segment between two points.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Start point.
+    pub a: Point,
+    /// End point.
+    pub b: Point,
+}
+
+impl Segment {
+    /// Creates a segment.
+    pub const fn new(a: Point, b: Point) -> Self {
+        Self { a, b }
+    }
+
+    /// Segment length.
+    pub fn length(self) -> f64 {
+        self.a.distance_to(self.b)
+    }
+
+    /// Midpoint.
+    pub fn midpoint(self) -> Point {
+        Point::new((self.a.x + self.b.x) / 2.0, (self.a.y + self.b.y) / 2.0)
+    }
+}
+
+/// An axis-aligned rectangle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// South-west corner.
+    pub min: Point,
+    /// North-east corner.
+    pub max: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from two corners, normalizing the order.
+    pub fn new(a: Point, b: Point) -> Self {
+        Self {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// Creates a rectangle centred at `c` with the given half-extents.
+    pub fn centered(c: Point, half_w: f64, half_h: f64) -> Self {
+        Self::new(
+            Point::new(c.x - half_w, c.y - half_h),
+            Point::new(c.x + half_w, c.y + half_h),
+        )
+    }
+
+    /// Width along X.
+    pub fn width(self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height along Y.
+    pub fn height(self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area in µm².
+    pub fn area(self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Geometric centre.
+    pub fn center(self) -> Point {
+        Point::new(
+            (self.min.x + self.max.x) / 2.0,
+            (self.min.y + self.max.y) / 2.0,
+        )
+    }
+
+    /// Whether `p` lies inside (inclusive of the boundary).
+    pub fn contains(self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// The four boundary segments, counter-clockwise from the SW corner.
+    pub fn boundary(self) -> [Segment; 4] {
+        let sw = self.min;
+        let se = Point::new(self.max.x, self.min.y);
+        let ne = self.max;
+        let nw = Point::new(self.min.x, self.max.y);
+        [
+            Segment::new(sw, se),
+            Segment::new(se, ne),
+            Segment::new(ne, nw),
+            Segment::new(nw, sw),
+        ]
+    }
+}
+
+/// Total length of a polyline given as consecutive segments.
+pub fn polyline_length(segments: &[Segment]) -> f64 {
+    segments.iter().map(|s| s.length()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_distance() {
+        assert!((Point::new(0.0, 0.0).distance_to(Point::new(3.0, 4.0)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segment_length_and_midpoint() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        assert_eq!(s.length(), 10.0);
+        assert_eq!(s.midpoint(), Point::new(5.0, 0.0));
+    }
+
+    #[test]
+    fn rect_normalizes_corners() {
+        let r = Rect::new(Point::new(5.0, 5.0), Point::new(1.0, 2.0));
+        assert_eq!(r.min, Point::new(1.0, 2.0));
+        assert_eq!(r.max, Point::new(5.0, 5.0));
+        assert_eq!(r.width(), 4.0);
+        assert_eq!(r.height(), 3.0);
+        assert_eq!(r.area(), 12.0);
+    }
+
+    #[test]
+    fn rect_contains_boundary_and_interior() {
+        let r = Rect::centered(Point::new(0.0, 0.0), 1.0, 1.0);
+        assert!(r.contains(Point::new(0.0, 0.0)));
+        assert!(r.contains(Point::new(1.0, 1.0)));
+        assert!(!r.contains(Point::new(1.1, 0.0)));
+    }
+
+    #[test]
+    fn rect_boundary_is_closed_and_ccw() {
+        let r = Rect::new(Point::new(0.0, 0.0), Point::new(2.0, 1.0));
+        let b = r.boundary();
+        // Consecutive segments connect.
+        for i in 0..4 {
+            assert_eq!(b[i].b, b[(i + 1) % 4].a);
+        }
+        assert!((polyline_length(&b) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centered_rect_is_symmetric() {
+        let r = Rect::centered(Point::new(10.0, 20.0), 3.0, 4.0);
+        assert_eq!(r.center(), Point::new(10.0, 20.0));
+        assert_eq!(r.width(), 6.0);
+        assert_eq!(r.height(), 8.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! The external EM probe (paper §III-C, Fig. 2(a)).
+//!
+//! The paper X-rays a LANGER RF probe: "several metal coils with the same
+//! diameter at the top end of the probe". The model is a stack of
+//! identical circular turns centred over the die at package standoff
+//! height — "the external probe is set 100 µm above the circuit, and the
+//! parameter is set with reference to the real thickness of packaging of
+//! the chip" (§IV-B).
+
+use crate::floorplan::Die;
+use crate::geometry::Point;
+use crate::LayoutError;
+
+/// Standoff height of the external probe above the transistor plane
+/// (package thickness), in µm.
+pub const PACKAGE_STANDOFF_UM: f64 = 100.0;
+
+/// A LANGER-style external EM probe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExternalProbe {
+    center: Point,
+    radius_um: f64,
+    turns: usize,
+    z_um: f64,
+}
+
+impl ExternalProbe {
+    /// The default probe for `die`: centred over it, 6 identical turns at
+    /// package standoff height. The coil radius follows a LANGER RF-U
+    /// class tip (≈2.5 mm diameter) — much larger than the die, which is
+    /// precisely why the probe has no spatial selectivity.
+    pub fn over_die(die: Die) -> Self {
+        Self {
+            center: die.center(),
+            radius_um: (2.5 * die.width_um().max(die.height_um())).max(1250.0),
+            turns: 6,
+            z_um: PACKAGE_STANDOFF_UM,
+        }
+    }
+
+    /// Sets the standoff height (µm) — the ablation knob for
+    /// probe-distance studies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::InvalidParameter`] if `z_um <= 0`.
+    pub fn with_standoff(mut self, z_um: f64) -> Result<Self, LayoutError> {
+        if z_um <= 0.0 {
+            return Err(LayoutError::InvalidParameter {
+                what: "probe standoff must be positive",
+            });
+        }
+        self.z_um = z_um;
+        Ok(self)
+    }
+
+    /// Sets the turn count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::InvalidParameter`] if `turns == 0`.
+    pub fn with_turns(mut self, turns: usize) -> Result<Self, LayoutError> {
+        if turns == 0 {
+            return Err(LayoutError::InvalidParameter {
+                what: "probe needs at least one turn",
+            });
+        }
+        self.turns = turns;
+        Ok(self)
+    }
+
+    /// Sets the coil radius (µm).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::InvalidParameter`] if `radius_um <= 0`.
+    pub fn with_radius(mut self, radius_um: f64) -> Result<Self, LayoutError> {
+        if radius_um <= 0.0 {
+            return Err(LayoutError::InvalidParameter {
+                what: "probe radius must be positive",
+            });
+        }
+        self.radius_um = radius_um;
+        Ok(self)
+    }
+
+    /// Probe centre in die coordinates.
+    pub fn center(&self) -> Point {
+        self.center
+    }
+
+    /// Coil radius in µm.
+    pub fn radius_um(&self) -> f64 {
+        self.radius_um
+    }
+
+    /// Number of identical turns.
+    pub fn turns(&self) -> usize {
+        self.turns
+    }
+
+    /// Height above the transistor plane in µm.
+    pub fn z_um(&self) -> f64 {
+        self.z_um
+    }
+
+    /// Flux-linkage multiplicity at a point: all turns share one diameter,
+    /// so a point is enclosed by every turn or by none.
+    pub fn turns_enclosing(&self, x_um: f64, y_um: f64) -> u32 {
+        if Point::new(x_um, y_um).distance_to(self.center) <= self.radius_um {
+            self.turns as u32
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn die() -> Die {
+        Die::square(600.0).unwrap()
+    }
+
+    #[test]
+    fn default_probe_covers_the_die() {
+        let p = ExternalProbe::over_die(die());
+        assert_eq!(p.center(), Point::new(300.0, 300.0));
+        assert_eq!(p.radius_um(), 1500.0);
+        assert_eq!(p.z_um(), PACKAGE_STANDOFF_UM);
+        assert_eq!(p.turns_enclosing(300.0, 300.0), 6);
+        assert_eq!(p.turns_enclosing(300.0, 599.0), 6);
+    }
+
+    #[test]
+    fn outside_the_radius_no_turns_enclose() {
+        let p = ExternalProbe::over_die(die());
+        assert_eq!(p.turns_enclosing(2000.0, 300.0), 0);
+        assert_eq!(p.turns_enclosing(-2000.0, -10.0), 0);
+    }
+
+    #[test]
+    fn enclosure_is_uniform_inside() {
+        // Unlike the spiral, the external probe has no spatial selectivity.
+        let p = ExternalProbe::over_die(die());
+        let a = p.turns_enclosing(300.0, 300.0);
+        let b = p.turns_enclosing(450.0, 150.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn builders_validate() {
+        let p = ExternalProbe::over_die(die());
+        assert!(p.clone().with_standoff(0.0).is_err());
+        assert!(p.clone().with_turns(0).is_err());
+        assert!(p.clone().with_radius(-1.0).is_err());
+        let q = p
+            .with_standoff(500.0)
+            .unwrap()
+            .with_turns(3)
+            .unwrap()
+            .with_radius(200.0)
+            .unwrap();
+        assert_eq!(q.z_um(), 500.0);
+        assert_eq!(q.turns(), 3);
+        assert_eq!(q.turns_enclosing(300.0, 450.0), 3);
+    }
+}

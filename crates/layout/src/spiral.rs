@@ -1,0 +1,260 @@
+//! The on-chip spiral EM sensor (paper §III-C, Fig. 2(b)).
+//!
+//! "The proposed on-chip EM sensor is designed as a coil starting from the
+//! center, extending to the corner and covering the entire circuit. […]
+//! the width of the coils is set not to violate the design rules of the
+//! minimum width of the wires defined in the technology library. […] the
+//! effectiveness of the detection using the proposed EM sensor equals the
+//! accumulation of all the coils with gradually increasing diameters."
+//!
+//! Geometrically the sensor is a square spiral on the topmost metal layer
+//! (M6 in the 180 nm flow). For flux-linkage computation, turn `i` is
+//! modelled as a centred rectangle of linearly growing half-extent; a point
+//! enclosed by `k` turns contributes `k`-fold to the coil's flux linkage —
+//! exactly the "accumulation of all the coils" the paper describes.
+
+use crate::floorplan::Die;
+use crate::geometry::{polyline_length, Point, Rect, Segment};
+use crate::LayoutError;
+
+/// Minimum metal width of the 180 nm top layer, in µm.
+pub const MIN_WIDTH_UM: f64 = 0.44;
+
+/// Height of the M6 layer above the transistor plane, in µm.
+pub const M6_HEIGHT_UM: f64 = 5.0;
+
+/// The one-way spiral on-chip EM sensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpiralSensor {
+    die: Die,
+    turns: usize,
+    width_um: f64,
+    z_um: f64,
+    /// Spacing between consecutive turns (pitch), derived from die/turns.
+    pitch_um: f64,
+    /// Margin kept from the die edge.
+    margin_um: f64,
+}
+
+impl SpiralSensor {
+    /// Builds the paper's default sensor for `die`: 20 turns, minimum
+    /// metal width, M6 height, covering the die from centre to corner.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`SpiralSensor::with_turns`].
+    pub fn for_die(die: Die) -> Result<Self, LayoutError> {
+        Self::with_turns(die, 20)
+    }
+
+    /// Builds a sensor with a custom turn count (the knob the paper's
+    /// future work proposes tuning for SNR).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::InvalidParameter`] if `turns == 0` or the
+    /// resulting pitch would violate the minimum width/spacing rule.
+    pub fn with_turns(die: Die, turns: usize) -> Result<Self, LayoutError> {
+        if turns == 0 {
+            return Err(LayoutError::InvalidParameter {
+                what: "spiral needs at least one turn",
+            });
+        }
+        let margin = 2.0;
+        let half = die.width_um().min(die.height_um()) / 2.0 - margin;
+        let pitch = half / turns as f64;
+        if pitch < 2.0 * MIN_WIDTH_UM {
+            return Err(LayoutError::InvalidParameter {
+                what: "too many turns: pitch violates minimum width/spacing",
+            });
+        }
+        Ok(Self {
+            die,
+            turns,
+            width_um: MIN_WIDTH_UM,
+            z_um: M6_HEIGHT_UM,
+            pitch_um: pitch,
+            margin_um: margin,
+        })
+    }
+
+    /// Number of turns.
+    pub fn turns(&self) -> usize {
+        self.turns
+    }
+
+    /// Wire width in µm (respects the minimum-width rule).
+    pub fn width_um(&self) -> f64 {
+        self.width_um
+    }
+
+    /// Height of the coil plane above the transistors, in µm.
+    pub fn z_um(&self) -> f64 {
+        self.z_um
+    }
+
+    /// Turn-to-turn pitch in µm.
+    pub fn pitch_um(&self) -> f64 {
+        self.pitch_um
+    }
+
+    /// The die the sensor covers.
+    pub fn die(&self) -> Die {
+        self.die
+    }
+
+    /// The rectangle modelling turn `i` (0 = innermost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= turns`.
+    pub fn turn_rect(&self, i: usize) -> Rect {
+        assert!(i < self.turns, "turn index out of range");
+        let half = (i as f64 + 1.0) * self.pitch_um;
+        Rect::centered(self.die.center(), half, half)
+    }
+
+    /// How many turns enclose the point `(x_um, y_um)` — the flux-linkage
+    /// multiplicity at that location.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use emtrust_layout::floorplan::Die;
+    /// use emtrust_layout::spiral::SpiralSensor;
+    ///
+    /// let die = Die::square(600.0)?;
+    /// let coil = SpiralSensor::for_die(die)?;
+    /// // The die centre is enclosed by every turn…
+    /// assert_eq!(coil.turns_enclosing(300.0, 300.0), coil.turns() as u32);
+    /// // …while a corner is enclosed by none.
+    /// assert_eq!(coil.turns_enclosing(1.0, 1.0), 0);
+    /// # Ok::<(), emtrust_layout::LayoutError>(())
+    /// ```
+    pub fn turns_enclosing(&self, x_um: f64, y_um: f64) -> u32 {
+        let c = self.die.center();
+        let d = (x_um - c.x).abs().max((y_um - c.y).abs());
+        // Turn i (half-extent (i+1)·pitch) encloses the point iff
+        // (i+1)·pitch >= d, boundary inclusive.
+        let not_enclosing = ((d / self.pitch_um).ceil() as usize).max(1) - 1;
+        (self.turns.saturating_sub(not_enclosing)) as u32
+    }
+
+    /// The spiral as a connected polyline (for length/resistance and for
+    /// rendering the layout figure). One-way: starts at the centre
+    /// (`Sensor In`), ends at the outer corner (`Sensor Out`).
+    pub fn segments(&self) -> Vec<Segment> {
+        let c = self.die.center();
+        let mut pts = vec![Point::new(c.x, c.y)];
+        // Square spiral: for each turn, walk the four sides at growing
+        // half-extent, stepping outward between turns.
+        for i in 0..self.turns {
+            let h_prev = i as f64 * self.pitch_um;
+            let h = (i as f64 + 1.0) * self.pitch_um;
+            pts.push(Point::new(c.x + h, c.y - h_prev)); // step east
+            pts.push(Point::new(c.x + h, c.y + h)); // north
+            pts.push(Point::new(c.x - h, c.y + h)); // west
+            pts.push(Point::new(c.x - h, c.y - h)); // south
+            pts.push(Point::new(c.x + h, c.y - h)); // east, closing the turn
+        }
+        pts.windows(2)
+            .map(|w| Segment::new(w[0], w[1]))
+            .collect()
+    }
+
+    /// Total wire length in µm.
+    pub fn wire_length_um(&self) -> f64 {
+        polyline_length(&self.segments())
+    }
+
+    /// Series resistance of the coil, in ohms, using a typical top-metal
+    /// sheet resistance of 0.04 Ω/□.
+    pub fn resistance_ohm(&self) -> f64 {
+        const SHEET_OHM_PER_SQ: f64 = 0.04;
+        SHEET_OHM_PER_SQ * self.wire_length_um() / self.width_um
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn die600() -> Die {
+        Die::square(600.0).unwrap()
+    }
+
+    #[test]
+    fn default_sensor_covers_the_die() {
+        let coil = SpiralSensor::for_die(die600()).unwrap();
+        let outer = coil.turn_rect(coil.turns() - 1);
+        // Outer turn reaches near the die edge.
+        assert!(outer.width() > 0.9 * 600.0);
+        assert!(outer.width() <= 600.0);
+    }
+
+    #[test]
+    fn enclosure_decreases_outward() {
+        let coil = SpiralSensor::for_die(die600()).unwrap();
+        let c = 300.0;
+        let mut last = u32::MAX;
+        for r in [0.0, 50.0, 100.0, 150.0, 200.0, 250.0, 290.0] {
+            let n = coil.turns_enclosing(c + r, c);
+            assert!(n <= last, "enclosure must be monotone, r={r}");
+            last = n;
+        }
+        assert_eq!(coil.turns_enclosing(c, c), 20);
+        assert_eq!(coil.turns_enclosing(599.0, 599.0), 0);
+    }
+
+    #[test]
+    fn enclosure_matches_turn_rects() {
+        let coil = SpiralSensor::with_turns(die600(), 10).unwrap();
+        let p = Point::new(330.0, 310.0);
+        let by_rects = (0..coil.turns())
+            .filter(|&i| coil.turn_rect(i).contains(p))
+            .count() as u32;
+        assert_eq!(coil.turns_enclosing(p.x, p.y), by_rects);
+    }
+
+    #[test]
+    fn spiral_polyline_is_connected_and_one_way() {
+        let coil = SpiralSensor::with_turns(die600(), 5).unwrap();
+        let segs = coil.segments();
+        for w in segs.windows(2) {
+            assert_eq!(w[0].b, w[1].a, "polyline must be connected");
+        }
+        // Starts at the centre.
+        assert_eq!(segs[0].a, Point::new(300.0, 300.0));
+        // Ends on the outermost turn (corner region).
+        let end = segs.last().unwrap().b;
+        assert!(end.distance_to(Point::new(300.0, 300.0)) > 200.0);
+    }
+
+    #[test]
+    fn wire_length_grows_with_turns() {
+        let short = SpiralSensor::with_turns(die600(), 5).unwrap();
+        let long = SpiralSensor::with_turns(die600(), 20).unwrap();
+        assert!(long.wire_length_um() > 2.0 * short.wire_length_um());
+        assert!(long.resistance_ohm() > short.resistance_ohm());
+    }
+
+    #[test]
+    fn width_respects_the_design_rule() {
+        let coil = SpiralSensor::for_die(die600()).unwrap();
+        assert!(coil.width_um() >= MIN_WIDTH_UM);
+    }
+
+    #[test]
+    fn invalid_turn_counts_are_rejected() {
+        assert!(SpiralSensor::with_turns(die600(), 0).is_err());
+        // 600/2 - 2 = 298 µm half-extent; pitch < 0.88 µm fails.
+        assert!(SpiralSensor::with_turns(die600(), 400).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn turn_rect_bounds_are_checked() {
+        let coil = SpiralSensor::with_turns(die600(), 5).unwrap();
+        let _ = coil.turn_rect(5);
+    }
+}

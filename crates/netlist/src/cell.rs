@@ -1,0 +1,217 @@
+//! The gate vocabulary and its boolean semantics.
+//!
+//! The kinds mirror a minimal 180 nm standard-cell library: the basic
+//! two-input gates, an inverter/buffer pair, a 2:1 mux (the synthesizer's
+//! output vocabulary) and a D flip-flop. This is deliberately small — the
+//! EM side channel cares about *switching events*, not about rich cell
+//! variety.
+
+use serde::{Deserialize, Serialize};
+
+/// A standard-cell kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum CellKind {
+    /// Non-inverting buffer (also models clock-tree buffers).
+    Buf,
+    /// Inverter.
+    Inv,
+    /// 2-input AND.
+    And2,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// 2:1 multiplexer; inputs are `[d0, d1, sel]`, output `sel ? d1 : d0`.
+    Mux2,
+    /// Rising-edge D flip-flop; input is `[d]`, output is `q`.
+    Dff,
+    /// Pad/antenna driver: buffer semantics, but switching a large
+    /// off-core load (bond pad, antenna wire). Orders of magnitude more
+    /// charge per transition than a core cell — the kind Trojan T1's
+    /// radio output stage is built from.
+    PadDriver,
+}
+
+/// All cell kinds, in a stable order (useful for tabulating statistics).
+pub const ALL_KINDS: [CellKind; 11] = [
+    CellKind::Buf,
+    CellKind::Inv,
+    CellKind::And2,
+    CellKind::Nand2,
+    CellKind::Or2,
+    CellKind::Nor2,
+    CellKind::Xor2,
+    CellKind::Xnor2,
+    CellKind::Mux2,
+    CellKind::Dff,
+    CellKind::PadDriver,
+];
+
+impl CellKind {
+    /// Number of input pins the kind requires.
+    pub const fn arity(self) -> usize {
+        match self {
+            CellKind::Buf | CellKind::Inv | CellKind::Dff | CellKind::PadDriver => 1,
+            CellKind::Mux2 => 3,
+            _ => 2,
+        }
+    }
+
+    /// Whether the cell is sequential (state-holding).
+    pub const fn is_sequential(self) -> bool {
+        matches!(self, CellKind::Dff)
+    }
+
+    /// Combinational boolean function of the kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.arity()` or if called on a
+    /// sequential kind ([`CellKind::Dff`] has no combinational function).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use emtrust_netlist::cell::CellKind;
+    ///
+    /// assert!(CellKind::Xor2.eval(&[true, false]));
+    /// assert!(!CellKind::Xor2.eval(&[true, true]));
+    /// assert!(CellKind::Mux2.eval(&[false, true, true])); // sel=1 picks d1
+    /// ```
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        assert_eq!(
+            inputs.len(),
+            self.arity(),
+            "cell {self:?} takes {} inputs",
+            self.arity()
+        );
+        match self {
+            CellKind::Buf | CellKind::PadDriver => inputs[0],
+            CellKind::Inv => !inputs[0],
+            CellKind::And2 => inputs[0] & inputs[1],
+            CellKind::Nand2 => !(inputs[0] & inputs[1]),
+            CellKind::Or2 => inputs[0] | inputs[1],
+            CellKind::Nor2 => !(inputs[0] | inputs[1]),
+            CellKind::Xor2 => inputs[0] ^ inputs[1],
+            CellKind::Xnor2 => !(inputs[0] ^ inputs[1]),
+            CellKind::Mux2 => {
+                if inputs[2] {
+                    inputs[1]
+                } else {
+                    inputs[0]
+                }
+            }
+            CellKind::Dff => panic!("Dff has no combinational function"),
+        }
+    }
+
+    /// The library cell name, in the flavor of a 180 nm vendor kit.
+    pub const fn library_name(self) -> &'static str {
+        match self {
+            CellKind::Buf => "BUFX2",
+            CellKind::Inv => "INVX1",
+            CellKind::And2 => "AND2X1",
+            CellKind::Nand2 => "NAND2X1",
+            CellKind::Or2 => "OR2X1",
+            CellKind::Nor2 => "NOR2X1",
+            CellKind::Xor2 => "XOR2X1",
+            CellKind::Xnor2 => "XNOR2X1",
+            CellKind::Mux2 => "MX2X1",
+            CellKind::Dff => "DFFX1",
+            CellKind::PadDriver => "PADDRVX8",
+        }
+    }
+}
+
+impl std::fmt::Display for CellKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.library_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_semantics() {
+        for kind in ALL_KINDS {
+            if kind.is_sequential() {
+                continue;
+            }
+            // eval must accept exactly `arity` inputs without panicking.
+            let inputs = vec![false; kind.arity()];
+            let _ = kind.eval(&inputs);
+        }
+    }
+
+    #[test]
+    fn exhaustive_two_input_truth_tables() {
+        let cases = [
+            (CellKind::And2, [false, false, false, true]),
+            (CellKind::Nand2, [true, true, true, false]),
+            (CellKind::Or2, [false, true, true, true]),
+            (CellKind::Nor2, [true, false, false, false]),
+            (CellKind::Xor2, [false, true, true, false]),
+            (CellKind::Xnor2, [true, false, false, true]),
+        ];
+        for (kind, expect) in cases {
+            for (i, &e) in expect.iter().enumerate() {
+                let a = i & 1 != 0;
+                let b = i & 2 != 0;
+                assert_eq!(kind.eval(&[a, b]), e, "{kind:?}({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn inverter_and_buffer() {
+        assert!(CellKind::Inv.eval(&[false]));
+        assert!(!CellKind::Inv.eval(&[true]));
+        assert!(CellKind::Buf.eval(&[true]));
+        assert!(!CellKind::Buf.eval(&[false]));
+    }
+
+    #[test]
+    fn mux_selects() {
+        // inputs = [d0, d1, sel]
+        assert!(!CellKind::Mux2.eval(&[false, true, false]));
+        assert!(CellKind::Mux2.eval(&[false, true, true]));
+        assert!(CellKind::Mux2.eval(&[true, false, false]));
+        assert!(!CellKind::Mux2.eval(&[true, false, true]));
+    }
+
+    #[test]
+    fn only_dff_is_sequential() {
+        for kind in ALL_KINDS {
+            assert_eq!(kind.is_sequential(), matches!(kind, CellKind::Dff));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no combinational function")]
+    fn dff_eval_panics() {
+        CellKind::Dff.eval(&[true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "takes 2 inputs")]
+    fn wrong_arity_panics() {
+        CellKind::And2.eval(&[true]);
+    }
+
+    #[test]
+    fn library_names_are_unique() {
+        let mut names: Vec<&str> = ALL_KINDS.iter().map(|k| k.library_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ALL_KINDS.len());
+    }
+}

@@ -1,0 +1,235 @@
+//! Topological levelization of the combinational logic.
+//!
+//! Two consumers rely on levels:
+//!
+//! - the cycle-based simulator evaluates cells in level order (one pass per
+//!   clock cycle),
+//! - the power model staggers switching times by depth: a cell at level `d`
+//!   switches at `t ≈ t_clk + d·τ_gate`, which gives the aggregate current
+//!   waveform its realistic within-cycle profile — and that profile is what
+//!   the EM detectors observe.
+//!
+//! Flip-flop outputs, primary inputs and constants are level-0 sources;
+//! each combinational cell sits one past its deepest input.
+
+use crate::graph::{CellId, NetId, NetSource, Netlist};
+use crate::NetlistError;
+
+/// Result of levelizing a netlist.
+#[derive(Debug, Clone)]
+pub struct Levels {
+    /// Level of each cell, indexed by [`CellId::index`]. Flip-flops are
+    /// level 0.
+    cell_levels: Vec<u32>,
+    /// Combinational cells in evaluation (topological) order.
+    order: Vec<CellId>,
+    /// Maximum level of any cell.
+    max_level: u32,
+}
+
+impl Levels {
+    /// Level of `cell`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    pub fn level_of(&self, cell: CellId) -> u32 {
+        self.cell_levels[cell.index()]
+    }
+
+    /// Combinational cells in a valid evaluation order (flip-flops
+    /// excluded).
+    pub fn eval_order(&self) -> &[CellId] {
+        &self.order
+    }
+
+    /// The critical combinational depth.
+    pub fn max_level(&self) -> u32 {
+        self.max_level
+    }
+
+    /// Per-cell levels, indexed by [`CellId::index`].
+    pub fn cell_levels(&self) -> &[u32] {
+        &self.cell_levels
+    }
+}
+
+/// Levelizes `netlist`.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] if combinational logic
+/// feeds back on itself without passing through a flip-flop.
+pub fn levelize(netlist: &Netlist) -> Result<Levels, NetlistError> {
+    let n_cells = netlist.cell_count();
+    let mut cell_levels = vec![0u32; n_cells];
+    // Kahn's algorithm over combinational cells only.
+    let mut indegree = vec![0u32; n_cells];
+    // fanout[c] = combinational cells that read c's output.
+    let mut fanout: Vec<Vec<u32>> = vec![Vec::new(); n_cells];
+
+    let level_of_net = |net: NetId, levels: &[u32], nl: &Netlist| -> u32 {
+        match nl.net_source(net) {
+            NetSource::Cell(c) => {
+                if nl.cell(*c).kind().is_sequential() {
+                    0
+                } else {
+                    levels[c.index()] + 1
+                }
+            }
+            _ => 0,
+        }
+    };
+
+    for (id, cell) in netlist.cells() {
+        if cell.kind().is_sequential() {
+            continue;
+        }
+        for &input in cell.inputs() {
+            if let NetSource::Cell(src) = netlist.net_source(input) {
+                if !netlist.cell(*src).kind().is_sequential() {
+                    indegree[id.index()] += 1;
+                    fanout[src.index()].push(id.0);
+                }
+            }
+        }
+    }
+
+    let mut queue: Vec<CellId> = netlist
+        .cells()
+        .filter(|(id, c)| !c.kind().is_sequential() && indegree[id.index()] == 0)
+        .map(|(id, _)| id)
+        .collect();
+    let mut order = Vec::with_capacity(n_cells);
+    let mut head = 0;
+    while head < queue.len() {
+        let id = queue[head];
+        head += 1;
+        let cell = netlist.cell(id);
+        let lvl = cell
+            .inputs()
+            .iter()
+            .map(|&i| level_of_net(i, &cell_levels, netlist))
+            .max()
+            .unwrap_or(0);
+        cell_levels[id.index()] = lvl;
+        order.push(id);
+        for &f in &fanout[id.index()] {
+            indegree[f as usize] -= 1;
+            if indegree[f as usize] == 0 {
+                queue.push(CellId(f));
+            }
+        }
+    }
+
+    let combinational_total = netlist
+        .cells()
+        .filter(|(_, c)| !c.kind().is_sequential())
+        .count();
+    if order.len() != combinational_total {
+        // Some combinational cell never reached indegree 0: a cycle.
+        let stuck = netlist
+            .cells()
+            .find(|(id, c)| !c.kind().is_sequential() && indegree[id.index()] > 0)
+            .map(|(id, _)| id.0)
+            .unwrap_or(0);
+        return Err(NetlistError::CombinationalCycle { cell: stuck });
+    }
+
+    let max_level = cell_levels.iter().copied().max().unwrap_or(0);
+    Ok(Levels {
+        cell_levels,
+        order,
+        max_level,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Netlist;
+
+    #[test]
+    fn chain_has_increasing_levels() {
+        let mut n = Netlist::new("chain");
+        let a = n.input("a");
+        let x1 = n.not(a);
+        let x2 = n.not(x1);
+        let x3 = n.not(x2);
+        n.mark_output("y", x3);
+        let levels = levelize(&n).unwrap();
+        assert_eq!(levels.max_level(), 2);
+        let order = levels.eval_order();
+        assert_eq!(order.len(), 3);
+        // Evaluation order must respect dependencies.
+        let pos = |c: CellId| order.iter().position(|&x| x == c).unwrap();
+        assert!(pos(order[0]) < pos(order[2]));
+    }
+
+    #[test]
+    fn dff_breaks_cycles() {
+        let mut n = Netlist::new("toggle");
+        let (q, d) = n.dff_deferred();
+        let nq = n.not(q);
+        n.connect_dff_d(d, nq);
+        let levels = levelize(&n).unwrap();
+        // The inverter reads a flop output → level 0.
+        assert_eq!(levels.max_level(), 0);
+        assert_eq!(levels.eval_order().len(), 1);
+    }
+
+    #[test]
+    fn pure_combinational_cycle_is_detected() {
+        // Build not(not(x)) and then rewire the first inverter's input to
+        // the second inverter's output: a two-gate combinational loop.
+        let mut n = Netlist::new("loop");
+        let a = n.input("a");
+        let x1 = n.not(a);
+        let x2 = n.not(x1);
+        let first_inv = match n.net_source(x1) {
+            crate::graph::NetSource::Cell(c) => *c,
+            _ => unreachable!(),
+        };
+        n.rewire_input(first_inv, 0, x2).unwrap();
+        assert!(matches!(
+            levelize(&n),
+            Err(NetlistError::CombinationalCycle { .. })
+        ));
+        assert!(n.validate().is_err());
+    }
+
+    #[test]
+    fn empty_netlist_levelizes() {
+        let n = Netlist::new("empty");
+        let levels = levelize(&n).unwrap();
+        assert_eq!(levels.max_level(), 0);
+        assert!(levels.eval_order().is_empty());
+    }
+
+    #[test]
+    fn diamond_levels() {
+        let mut n = Netlist::new("diamond");
+        let a = n.input("a");
+        let l = n.not(a);
+        let r = n.buf(a);
+        let j = n.and2(l, r);
+        n.mark_output("j", j);
+        let levels = levelize(&n).unwrap();
+        let join_cell = match n.net_source(j) {
+            crate::graph::NetSource::Cell(c) => *c,
+            _ => unreachable!(),
+        };
+        assert_eq!(levels.level_of(join_cell), 1);
+        assert_eq!(levels.max_level(), 1);
+    }
+
+    #[test]
+    fn levels_vector_matches_cell_count() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.not(a);
+        let _ = n.dff(b);
+        let levels = levelize(&n).unwrap();
+        assert_eq!(levels.cell_levels().len(), 2);
+    }
+}

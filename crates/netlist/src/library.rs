@@ -1,0 +1,187 @@
+//! Electrical characterization of the cell library.
+//!
+//! The paper fabricates in a 180 nm CMOS process (V_DD = 1.8 V, six metal
+//! layers). The power model converts switching events into current pulses
+//! using these per-cell parameters:
+//!
+//! - **effective switched capacitance** `C_eff` — charge per output
+//!   transition is `Q = C_eff · V_DD`,
+//! - **leakage current** — the state-independent floor (T2 perturbs this),
+//! - **area** — used by the placer and for the A2 area-percentage row of
+//!   Table I.
+//!
+//! Values are representative of published 180 nm standard-cell kits; the
+//! detectors depend only on their *relative* magnitudes (a DFF switches
+//! more charge than an inverter, etc.), which these preserve.
+
+use crate::cell::CellKind;
+use serde::{Deserialize, Serialize};
+#[cfg(test)]
+use crate::cell::ALL_KINDS;
+
+/// Per-kind electrical parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellElectrical {
+    /// Effective switched capacitance per output transition, in femtofarads.
+    pub c_eff_ff: f64,
+    /// Leakage current, in nanoamperes.
+    pub leakage_na: f64,
+    /// Cell area in square micrometres.
+    pub area_um2: f64,
+}
+
+/// A characterized standard-cell library.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Library {
+    name: String,
+    vdd_v: f64,
+    /// Indexed in `ALL_KINDS` order.
+    cells: Vec<(CellKind, CellElectrical)>,
+    /// Nominal gate delay used to stagger switching by level, seconds.
+    gate_delay_s: f64,
+}
+
+impl Library {
+    /// The generic 180 nm-class library used throughout the reproduction.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use emtrust_netlist::library::Library;
+    /// use emtrust_netlist::cell::CellKind;
+    ///
+    /// let lib = Library::generic_180nm();
+    /// assert_eq!(lib.vdd_v(), 1.8);
+    /// // A flip-flop switches more charge than an inverter.
+    /// assert!(lib.electrical(CellKind::Dff).c_eff_ff
+    ///     > lib.electrical(CellKind::Inv).c_eff_ff);
+    /// ```
+    pub fn generic_180nm() -> Self {
+        use CellKind::*;
+        let table = [
+            (Buf, CellElectrical { c_eff_ff: 6.0, leakage_na: 0.08, area_um2: 13.3 }),
+            (Inv, CellElectrical { c_eff_ff: 4.0, leakage_na: 0.05, area_um2: 6.7 }),
+            (And2, CellElectrical { c_eff_ff: 7.5, leakage_na: 0.10, area_um2: 13.3 }),
+            (Nand2, CellElectrical { c_eff_ff: 6.0, leakage_na: 0.09, area_um2: 10.0 }),
+            (Or2, CellElectrical { c_eff_ff: 7.5, leakage_na: 0.10, area_um2: 13.3 }),
+            (Nor2, CellElectrical { c_eff_ff: 6.0, leakage_na: 0.09, area_um2: 10.0 }),
+            (Xor2, CellElectrical { c_eff_ff: 10.0, leakage_na: 0.14, area_um2: 20.0 }),
+            (Xnor2, CellElectrical { c_eff_ff: 10.0, leakage_na: 0.14, area_um2: 20.0 }),
+            (Mux2, CellElectrical { c_eff_ff: 9.0, leakage_na: 0.13, area_um2: 20.0 }),
+            (Dff, CellElectrical { c_eff_ff: 22.0, leakage_na: 0.35, area_um2: 50.0 }),
+            (PadDriver, CellElectrical { c_eff_ff: 1000.0, leakage_na: 4.0, area_um2: 160.0 }),
+        ];
+        Self {
+            name: "generic180".into(),
+            vdd_v: 1.8,
+            cells: table.to_vec(),
+            gate_delay_s: 150e-12,
+        }
+    }
+
+    /// Library name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Supply voltage in volts.
+    pub fn vdd_v(&self) -> f64 {
+        self.vdd_v
+    }
+
+    /// Nominal gate delay in seconds (used to stagger switching by level).
+    pub fn gate_delay_s(&self) -> f64 {
+        self.gate_delay_s
+    }
+
+    /// Electrical parameters of `kind`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the library does not characterize `kind` (the generic
+    /// library characterizes every kind).
+    pub fn electrical(&self, kind: CellKind) -> CellElectrical {
+        self.cells
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, e)| *e)
+            .unwrap_or_else(|| panic!("library {} lacks cell kind {kind:?}", self.name))
+    }
+
+    /// Charge switched per output transition of `kind`, in coulombs.
+    pub fn charge_per_transition_c(&self, kind: CellKind) -> f64 {
+        self.electrical(kind).c_eff_ff * 1e-15 * self.vdd_v
+    }
+}
+
+impl Default for Library {
+    fn default() -> Self {
+        Self::generic_180nm()
+    }
+}
+
+/// Total area of a netlist under a library, in square micrometres.
+pub fn netlist_area_um2(netlist: &crate::graph::Netlist, library: &Library) -> f64 {
+    netlist
+        .cells()
+        .map(|(_, c)| library.electrical(c.kind()).area_um2)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Netlist;
+
+    #[test]
+    fn generic_library_characterizes_all_kinds() {
+        let lib = Library::generic_180nm();
+        for kind in ALL_KINDS {
+            let e = lib.electrical(kind);
+            assert!(e.c_eff_ff > 0.0);
+            assert!(e.leakage_na > 0.0);
+            assert!(e.area_um2 > 0.0);
+        }
+    }
+
+    #[test]
+    fn charge_per_transition_is_q_equals_cv() {
+        let lib = Library::generic_180nm();
+        let q = lib.charge_per_transition_c(CellKind::Inv);
+        assert!((q - 4.0e-15 * 1.8).abs() < 1e-20);
+    }
+
+    #[test]
+    fn dff_dominates_simple_gates() {
+        let lib = Library::generic_180nm();
+        let dff = lib.electrical(CellKind::Dff);
+        for kind in [CellKind::Inv, CellKind::Nand2, CellKind::Xor2] {
+            assert!(dff.c_eff_ff > lib.electrical(kind).c_eff_ff);
+            assert!(dff.area_um2 > lib.electrical(kind).area_um2);
+        }
+    }
+
+    #[test]
+    fn default_is_generic_180nm() {
+        assert_eq!(Library::default(), Library::generic_180nm());
+    }
+
+    #[test]
+    fn netlist_area_sums_cells() {
+        let lib = Library::generic_180nm();
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let b = n.not(a);
+        let _ = n.dff(b);
+        let area = netlist_area_um2(&n, &lib);
+        let expect = lib.electrical(CellKind::Inv).area_um2 + lib.electrical(CellKind::Dff).area_um2;
+        assert!((area - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gate_delay_is_positive_and_sub_nanosecond() {
+        let lib = Library::generic_180nm();
+        assert!(lib.gate_delay_s() > 0.0);
+        assert!(lib.gate_delay_s() < 1e-9);
+    }
+}

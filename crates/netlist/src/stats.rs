@@ -1,0 +1,265 @@
+//! Gate-count statistics per module — the machinery behind paper Table I
+//! ("Trojan sizes compared to the whole AES design").
+//!
+//! Every cell carries a module tag; statistics aggregate by tag prefix so
+//! a query for `"trojan1"` covers `trojan1/lfsr`, `trojan1/ctrl`, etc.
+
+use crate::cell::{CellKind, ALL_KINDS};
+use crate::graph::Netlist;
+use crate::library::{netlist_area_um2, Library};
+use std::collections::BTreeMap;
+
+/// Gate-count summary of one module subtree (or a whole design).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuleStats {
+    /// The module prefix the stats were collected for.
+    pub prefix: String,
+    /// Total cells in the subtree.
+    pub total: usize,
+    /// Per-kind breakdown.
+    pub by_kind: BTreeMap<&'static str, usize>,
+}
+
+impl ModuleStats {
+    /// Count of a specific kind (0 if absent).
+    pub fn kind_count(&self, kind: CellKind) -> usize {
+        self.by_kind.get(kind.library_name()).copied().unwrap_or(0)
+    }
+}
+
+/// Collects cell counts for every cell whose module path equals `prefix`
+/// or starts with `prefix + "/"`. An empty prefix matches the whole design.
+///
+/// # Examples
+///
+/// ```
+/// use emtrust_netlist::graph::Netlist;
+/// use emtrust_netlist::stats::module_stats;
+///
+/// let mut n = Netlist::new("chip");
+/// let a = n.input("a");
+/// n.push_module("aes");
+/// let x = n.not(a);
+/// n.pop_module();
+/// n.push_module("trojan1");
+/// let y = n.and2(a, x);
+/// n.pop_module();
+/// n.mark_output("y", y);
+///
+/// assert_eq!(module_stats(&n, "aes").total, 1);
+/// assert_eq!(module_stats(&n, "trojan1").total, 1);
+/// assert_eq!(module_stats(&n, "").total, 2);
+/// ```
+pub fn module_stats(netlist: &Netlist, prefix: &str) -> ModuleStats {
+    let mut by_kind: BTreeMap<&'static str, usize> = BTreeMap::new();
+    let mut total = 0;
+    for (_, cell) in netlist.cells() {
+        let path = netlist.module_path(cell.module());
+        if matches_prefix(path, prefix) {
+            total += 1;
+            *by_kind.entry(cell.kind().library_name()).or_insert(0) += 1;
+        }
+    }
+    ModuleStats {
+        prefix: prefix.to_string(),
+        total,
+        by_kind,
+    }
+}
+
+fn matches_prefix(path: &str, prefix: &str) -> bool {
+    prefix.is_empty()
+        || path == prefix
+        || (path.len() > prefix.len()
+            && path.starts_with(prefix)
+            && path.as_bytes()[prefix.len()] == b'/')
+}
+
+/// One row of a Table-I-style size report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizeRow {
+    /// Row label (e.g. `AES`, `T1`).
+    pub label: String,
+    /// Gate count of the block.
+    pub gate_count: usize,
+    /// Gate count as a percentage of the baseline block.
+    pub percent_of_baseline: f64,
+}
+
+/// Builds a Table-I-style report: each entry of `blocks` is a
+/// `(label, module_prefix)` pair; percentages are relative to the first
+/// block (the paper uses the AES as the 100 % baseline).
+///
+/// # Panics
+///
+/// Panics if `blocks` is empty.
+pub fn size_table(netlist: &Netlist, blocks: &[(&str, &str)]) -> Vec<SizeRow> {
+    assert!(!blocks.is_empty(), "size table needs at least one block");
+    let baseline = module_stats(netlist, blocks[0].1).total.max(1);
+    blocks
+        .iter()
+        .map(|(label, prefix)| {
+            let count = module_stats(netlist, prefix).total;
+            SizeRow {
+                label: (*label).to_string(),
+                gate_count: count,
+                percent_of_baseline: 100.0 * count as f64 / baseline as f64,
+            }
+        })
+        .collect()
+}
+
+/// Area of a module subtree as a percentage of a baseline subtree's area —
+/// the metric the paper uses for the A2 Trojan row of Table I (0.087 %,
+/// "calculated based on circuit area").
+pub fn area_percent(
+    netlist: &Netlist,
+    library: &Library,
+    prefix: &str,
+    baseline_prefix: &str,
+) -> f64 {
+    let sub: f64 = netlist
+        .cells()
+        .filter(|(_, c)| matches_prefix(netlist.module_path(c.module()), prefix))
+        .map(|(_, c)| library.electrical(c.kind()).area_um2)
+        .sum();
+    let base: f64 = netlist
+        .cells()
+        .filter(|(_, c)| matches_prefix(netlist.module_path(c.module()), baseline_prefix))
+        .map(|(_, c)| library.electrical(c.kind()).area_um2)
+        .sum();
+    if base == 0.0 {
+        0.0
+    } else {
+        100.0 * sub / base
+    }
+}
+
+/// Full-design summary: total cells, sequential cells, per-kind counts and
+/// total area.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignSummary {
+    /// Design name.
+    pub name: String,
+    /// Total cell count.
+    pub cells: usize,
+    /// Number of flip-flops.
+    pub flip_flops: usize,
+    /// Per-kind counts in `ALL_KINDS` order.
+    pub by_kind: Vec<(CellKind, usize)>,
+    /// Total area under the given library, in µm².
+    pub area_um2: f64,
+}
+
+/// Summarizes an entire netlist.
+pub fn design_summary(netlist: &Netlist, library: &Library) -> DesignSummary {
+    let by_kind: Vec<(CellKind, usize)> = ALL_KINDS
+        .iter()
+        .map(|&k| (k, netlist.count_kind(k)))
+        .collect();
+    DesignSummary {
+        name: netlist.name().to_string(),
+        cells: netlist.cell_count(),
+        flip_flops: netlist.count_kind(CellKind::Dff),
+        by_kind,
+        area_um2: netlist_area_um2(netlist, library),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tagged_netlist() -> Netlist {
+        let mut n = Netlist::new("chip");
+        let a = n.input("a");
+        n.push_module("aes");
+        n.push_module("sbox");
+        let x = n.not(a);
+        let y = n.not(x);
+        n.pop_module();
+        let z = n.and2(x, y);
+        n.pop_module();
+        n.push_module("trojan1");
+        let t = n.xor2(a, z);
+        n.pop_module();
+        n.mark_output("t", t);
+        n
+    }
+
+    #[test]
+    fn prefix_matching_covers_subtrees() {
+        let n = tagged_netlist();
+        assert_eq!(module_stats(&n, "aes").total, 3);
+        assert_eq!(module_stats(&n, "aes/sbox").total, 2);
+        assert_eq!(module_stats(&n, "trojan1").total, 1);
+        assert_eq!(module_stats(&n, "").total, 4);
+    }
+
+    #[test]
+    fn prefix_does_not_match_substrings() {
+        let mut n = Netlist::new("chip");
+        let a = n.input("a");
+        n.push_module("aes");
+        let _ = n.not(a);
+        n.pop_module();
+        n.push_module("aes2");
+        let _ = n.not(a);
+        n.pop_module();
+        assert_eq!(module_stats(&n, "aes").total, 1);
+    }
+
+    #[test]
+    fn kind_breakdown_is_correct() {
+        let n = tagged_netlist();
+        let s = module_stats(&n, "aes");
+        assert_eq!(s.kind_count(CellKind::Inv), 2);
+        assert_eq!(s.kind_count(CellKind::And2), 1);
+        assert_eq!(s.kind_count(CellKind::Dff), 0);
+    }
+
+    #[test]
+    fn size_table_percentages() {
+        let n = tagged_netlist();
+        let rows = size_table(&n, &[("AES", "aes"), ("T1", "trojan1")]);
+        assert_eq!(rows[0].gate_count, 3);
+        assert!((rows[0].percent_of_baseline - 100.0).abs() < 1e-12);
+        assert_eq!(rows[1].gate_count, 1);
+        assert!((rows[1].percent_of_baseline - 100.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn size_table_rejects_empty() {
+        let n = tagged_netlist();
+        let _ = size_table(&n, &[]);
+    }
+
+    #[test]
+    fn area_percent_reflects_library_areas() {
+        let n = tagged_netlist();
+        let lib = Library::generic_180nm();
+        let p = area_percent(&n, &lib, "trojan1", "aes");
+        // trojan1 = one XOR (20 µm²); aes = 2 INV + 1 AND2 = 26.7 µm².
+        assert!((p - 100.0 * 20.0 / 26.7).abs() < 0.1, "{p}");
+    }
+
+    #[test]
+    fn area_percent_of_missing_baseline_is_zero() {
+        let n = tagged_netlist();
+        let lib = Library::generic_180nm();
+        assert_eq!(area_percent(&n, &lib, "trojan1", "nope"), 0.0);
+    }
+
+    #[test]
+    fn design_summary_totals() {
+        let n = tagged_netlist();
+        let lib = Library::generic_180nm();
+        let s = design_summary(&n, &lib);
+        assert_eq!(s.cells, 4);
+        assert_eq!(s.flip_flops, 0);
+        assert!(s.area_um2 > 0.0);
+        let total_from_kinds: usize = s.by_kind.iter().map(|(_, c)| c).sum();
+        assert_eq!(total_from_kinds, 4);
+    }
+}

@@ -1,0 +1,368 @@
+//! The activity → current synthesis model.
+
+use crate::tech::ClockConfig;
+use crate::trace::CurrentTrace;
+use crate::PowerError;
+use emtrust_netlist::cell::CellKind;
+use emtrust_netlist::graph::Netlist;
+use emtrust_netlist::library::Library;
+use emtrust_sim::activity::ActivityTrace;
+
+/// Fraction of a flip-flop's `C_eff` switched by its clock pins every
+/// edge, data-independent (the clock tree's contribution).
+const CLOCK_LOAD_FRACTION: f64 = 0.35;
+
+/// Falling output transitions move slightly less supply charge than
+/// rising ones (PMOS/NMOS asymmetry).
+const FALL_CHARGE_FRACTION: f64 = 0.85;
+
+/// Synthesizes transient current from switching activity.
+///
+/// # Examples
+///
+/// ```
+/// use emtrust_netlist::graph::Netlist;
+/// use emtrust_netlist::library::Library;
+/// use emtrust_power::{ClockConfig, CurrentModel};
+/// use emtrust_sim::engine::Simulator;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut n = Netlist::new("toggle");
+/// let (q, d) = n.dff_deferred();
+/// let nq = n.not(q);
+/// n.connect_dff_d(d, nq);
+/// n.mark_output("q", q);
+///
+/// let mut sim = Simulator::new(&n)?;
+/// sim.settle();
+/// sim.start_recording();
+/// sim.run(4);
+/// let activity = sim.take_recording();
+///
+/// let model = CurrentModel::new(Library::generic_180nm(), ClockConfig::reference());
+/// let trace = model.synthesize(&n, &activity, None, None)?;
+/// assert_eq!(trace.len(), 4 * 64);
+/// assert!(trace.total_charge_c() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CurrentModel {
+    library: Library,
+    clock: ClockConfig,
+}
+
+impl CurrentModel {
+    /// Creates a model over a characterized library and clock config.
+    pub fn new(library: Library, clock: ClockConfig) -> Self {
+        Self { library, clock }
+    }
+
+    /// The clock configuration.
+    pub fn clock(&self) -> ClockConfig {
+        self.clock
+    }
+
+    /// The cell library.
+    pub fn library(&self) -> &Library {
+        &self.library
+    }
+
+    /// Synthesizes the supply-current waveform for `activity` recorded on
+    /// `netlist`.
+    ///
+    /// - `weights`: optional per-cell factors (indexed by
+    ///   [`emtrust_netlist::graph::CellId::index`]); when given, each
+    ///   cell's contribution is scaled by its weight. Passing the EM
+    ///   coupling kernel here yields the flux-weighted current whose time
+    ///   derivative is the sensor emf.
+    /// - `extra_leakage_a`: optional per-cycle additional leakage current
+    ///   in amperes (Trojan T2's leakage channel), one entry per recorded
+    ///   cycle. Applied with weight 1 (or the mean weight when weighting).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::LengthMismatch`] if `weights` doesn't cover
+    /// every cell or `extra_leakage_a` doesn't cover every cycle.
+    pub fn synthesize(
+        &self,
+        netlist: &Netlist,
+        activity: &ActivityTrace,
+        weights: Option<&[f64]>,
+        extra_leakage_a: Option<&[f64]>,
+    ) -> Result<CurrentTrace, PowerError> {
+        if let Some(w) = weights {
+            if w.len() != netlist.cell_count() {
+                return Err(PowerError::LengthMismatch {
+                    expected: netlist.cell_count(),
+                    actual: w.len(),
+                });
+            }
+        }
+        if let Some(l) = extra_leakage_a {
+            if l.len() != activity.cycle_count() {
+                return Err(PowerError::LengthMismatch {
+                    expected: activity.cycle_count(),
+                    actual: l.len(),
+                });
+            }
+        }
+
+        let spc = self.clock.samples_per_cycle();
+        let n_samples = activity.cycle_count() * spc;
+        let fs = self.clock.sample_rate_hz();
+        let dt = 1.0 / fs;
+        let tau = self.library.gate_delay_s();
+        let mut samples = vec![0.0; n_samples];
+
+        let weight_of = |cell: emtrust_netlist::graph::CellId| -> f64 {
+            weights.map_or(1.0, |w| w[cell.index()])
+        };
+
+        // Static leakage floor (weighted like everything else).
+        let leakage_a: f64 = netlist
+            .cells()
+            .map(|(id, c)| weight_of(id) * self.library.electrical(c.kind()).leakage_na * 1e-9)
+            .sum();
+        for s in samples.iter_mut() {
+            *s += leakage_a;
+        }
+
+        // Clock tree: every flop's clock load switches at every edge.
+        let flops: Vec<(emtrust_netlist::graph::CellId, f64)> = netlist
+            .cells()
+            .filter(|(_, c)| c.kind() == CellKind::Dff)
+            .map(|(id, _)| {
+                let q = self.library.charge_per_transition_c(CellKind::Dff) * CLOCK_LOAD_FRACTION;
+                (id, q)
+            })
+            .collect();
+        let clock_charge_weighted: f64 = flops.iter().map(|&(id, q)| weight_of(id) * q).sum();
+
+        let mean_weight = if let Some(w) = weights {
+            if w.is_empty() {
+                1.0
+            } else {
+                w.iter().sum::<f64>() / w.len() as f64
+            }
+        } else {
+            1.0
+        };
+
+        for (k, cycle) in activity.cycles().iter().enumerate() {
+            let cycle_t0 = k as f64 * self.clock.period_s();
+            // Clock edge at the start of the cycle.
+            deposit(
+                &mut samples,
+                dt,
+                cycle_t0 + tau * 0.5,
+                clock_charge_weighted,
+            );
+            // Data toggles staggered by level.
+            for event in cycle.events() {
+                let kind = netlist.cell(event.cell).kind();
+                let q0 = self.library.charge_per_transition_c(kind);
+                let q = if event.rising {
+                    q0
+                } else {
+                    q0 * FALL_CHARGE_FRACTION
+                };
+                let t = cycle_t0 + (event.level as f64 + 0.5) * tau;
+                deposit(&mut samples, dt, t, q * weight_of(event.cell));
+            }
+            // Per-cycle extra leakage (T2's channel).
+            if let Some(extra) = extra_leakage_a {
+                let add = extra[k] * mean_weight;
+                if add != 0.0 {
+                    for s in samples[k * spc..(k + 1) * spc].iter_mut() {
+                        *s += add;
+                    }
+                }
+            }
+        }
+
+        Ok(CurrentTrace::new(samples, fs))
+    }
+}
+
+/// Deposits a charge impulse at time `t` as current, split linearly over
+/// the two nearest samples (charge-conserving).
+fn deposit(samples: &mut [f64], dt: f64, t: f64, charge_c: f64) {
+    if samples.is_empty() || charge_c == 0.0 {
+        return;
+    }
+    let pos = t / dt;
+    let idx = pos.floor() as usize;
+    let frac = pos - pos.floor();
+    let amp = charge_c / dt;
+    if idx < samples.len() {
+        samples[idx] += amp * (1.0 - frac);
+    }
+    if idx + 1 < samples.len() {
+        samples[idx + 1] += amp * frac;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emtrust_netlist::graph::Netlist;
+    use emtrust_sim::engine::Simulator;
+
+    fn toggle_netlist() -> Netlist {
+        let mut n = Netlist::new("toggle");
+        let (q, d) = n.dff_deferred();
+        let nq = n.not(q);
+        n.connect_dff_d(d, nq);
+        n.mark_output("q", q);
+        n
+    }
+
+    fn record(n: &Netlist, cycles: usize) -> ActivityTrace {
+        let mut sim = Simulator::new(n).unwrap();
+        sim.settle();
+        sim.start_recording();
+        sim.run(cycles);
+        sim.take_recording()
+    }
+
+    fn model() -> CurrentModel {
+        CurrentModel::new(Library::generic_180nm(), ClockConfig::reference())
+    }
+
+    #[test]
+    fn trace_length_matches_cycles_times_spc() {
+        let n = toggle_netlist();
+        let act = record(&n, 5);
+        let t = model().synthesize(&n, &act, None, None).unwrap();
+        assert_eq!(t.len(), 5 * 64);
+        assert_eq!(t.sample_rate_hz(), 640e6);
+    }
+
+    #[test]
+    fn charge_accounting_is_conserved() {
+        let n = toggle_netlist();
+        let act = record(&n, 4);
+        let t = model().synthesize(&n, &act, None, None).unwrap();
+        let lib = Library::generic_180nm();
+        // Expected: per cycle, clock load + dff toggle + inverter toggle
+        // (alternating rise/fall) + leakage.
+        let q_dff = lib.charge_per_transition_c(CellKind::Dff);
+        let q_inv = lib.charge_per_transition_c(CellKind::Inv);
+        let clock = 4.0 * q_dff * CLOCK_LOAD_FRACTION;
+        // 2 rising + 2 falling for each of dff and inv over 4 cycles.
+        let data = 2.0 * (q_dff + q_inv) * (1.0 + FALL_CHARGE_FRACTION);
+        let leak = (0.35e-9 + 0.05e-9) * t.duration_s();
+        let expect = clock + data + leak;
+        assert!(
+            (t.total_charge_c() - expect).abs() < 0.05 * expect,
+            "charge {} vs expected {}",
+            t.total_charge_c(),
+            expect
+        );
+    }
+
+    #[test]
+    fn more_activity_means_more_charge() {
+        // A 4-flop toggle bank vs a single toggle flop.
+        let mut big = Netlist::new("bank");
+        for _ in 0..4 {
+            let (q, d) = big.dff_deferred();
+            let nq = big.not(q);
+            big.connect_dff_d(d, nq);
+            big.mark_output("q", q);
+        }
+        let small = toggle_netlist();
+        let act_big = record(&big, 4);
+        let act_small = record(&small, 4);
+        let m = model();
+        let tb = m.synthesize(&big, &act_big, None, None).unwrap();
+        let ts = m.synthesize(&small, &act_small, None, None).unwrap();
+        assert!(tb.total_charge_c() > 2.0 * ts.total_charge_c());
+    }
+
+    #[test]
+    fn weights_scale_contributions() {
+        let n = toggle_netlist();
+        let act = record(&n, 4);
+        let m = model();
+        let unweighted = m.synthesize(&n, &act, None, None).unwrap();
+        let w = vec![0.5; n.cell_count()];
+        let weighted = m.synthesize(&n, &act, Some(&w), None).unwrap();
+        assert!(
+            (weighted.total_charge_c() - 0.5 * unweighted.total_charge_c()).abs()
+                < 1e-6 * unweighted.total_charge_c()
+        );
+    }
+
+    #[test]
+    fn zero_weights_leave_only_nothing() {
+        let n = toggle_netlist();
+        let act = record(&n, 2);
+        let w = vec![0.0; n.cell_count()];
+        let t = model().synthesize(&n, &act, Some(&w), None).unwrap();
+        assert!(t.samples().iter().all(|&x| x.abs() < 1e-18));
+    }
+
+    #[test]
+    fn extra_leakage_raises_the_floor() {
+        let n = toggle_netlist();
+        let act = record(&n, 4);
+        let m = model();
+        let base = m.synthesize(&n, &act, None, None).unwrap();
+        let extra = vec![1e-6; 4]; // 1 µA for every cycle
+        let with = m.synthesize(&n, &act, None, Some(&extra)).unwrap();
+        let delta = with.total_charge_c() - base.total_charge_c();
+        let expect = 1e-6 * with.duration_s();
+        assert!((delta - expect).abs() < 0.01 * expect);
+    }
+
+    #[test]
+    fn wrong_vector_lengths_are_rejected() {
+        let n = toggle_netlist();
+        let act = record(&n, 2);
+        let m = model();
+        assert!(matches!(
+            m.synthesize(&n, &act, Some(&[1.0]), None),
+            Err(PowerError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            m.synthesize(&n, &act, None, Some(&[0.0])),
+            Err(PowerError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn clock_pulse_lands_at_cycle_start() {
+        let n = toggle_netlist();
+        let act = record(&n, 1);
+        let t = model().synthesize(&n, &act, None, None).unwrap();
+        // The biggest sample should be among the first few of the cycle
+        // (clock edge + level-0/1 toggles near the edge).
+        let (max_idx, _) = t
+            .samples()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        assert!(max_idx < 8, "peak at sample {max_idx}");
+    }
+
+    #[test]
+    fn deposit_conserves_charge_between_samples() {
+        let mut s = vec![0.0; 4];
+        deposit(&mut s, 1.0, 1.25, 2.0);
+        assert!((s[1] - 1.5).abs() < 1e-12);
+        assert!((s[2] - 0.5).abs() < 1e-12);
+        assert!((s.iter().sum::<f64>() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deposit_at_the_edge_is_safe() {
+        let mut s = vec![0.0; 2];
+        deposit(&mut s, 1.0, 5.0, 1.0); // beyond the buffer
+        assert!(s.iter().all(|&x| x == 0.0));
+        deposit(&mut s, 1.0, 1.5, 1.0); // second half lands past the end
+        assert!((s[1] - 0.5).abs() < 1e-12);
+    }
+}

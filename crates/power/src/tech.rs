@@ -1,0 +1,94 @@
+//! Clocking and sampling configuration.
+
+use crate::PowerError;
+use serde::{Deserialize, Serialize};
+
+/// Clock and acquisition parameters shared across the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClockConfig {
+    clock_hz: f64,
+    samples_per_cycle: usize,
+}
+
+impl ClockConfig {
+    /// The reproduction's reference configuration: 10 MHz core clock,
+    /// 64 current samples per cycle (640 MS/s — oscilloscope class).
+    pub fn reference() -> Self {
+        Self {
+            clock_hz: 10e6,
+            samples_per_cycle: 64,
+        }
+    }
+
+    /// Creates a custom configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] if `clock_hz <= 0` or
+    /// `samples_per_cycle < 2`.
+    pub fn new(clock_hz: f64, samples_per_cycle: usize) -> Result<Self, PowerError> {
+        if clock_hz <= 0.0 {
+            return Err(PowerError::InvalidParameter {
+                what: "clock frequency must be positive",
+            });
+        }
+        if samples_per_cycle < 2 {
+            return Err(PowerError::InvalidParameter {
+                what: "need at least 2 samples per cycle",
+            });
+        }
+        Ok(Self {
+            clock_hz,
+            samples_per_cycle,
+        })
+    }
+
+    /// Core clock frequency in hertz.
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_hz
+    }
+
+    /// Current samples per clock cycle.
+    pub fn samples_per_cycle(&self) -> usize {
+        self.samples_per_cycle
+    }
+
+    /// Sample rate in samples per second.
+    pub fn sample_rate_hz(&self) -> f64 {
+        self.clock_hz * self.samples_per_cycle as f64
+    }
+
+    /// Clock period in seconds.
+    pub fn period_s(&self) -> f64 {
+        1.0 / self.clock_hz
+    }
+}
+
+impl Default for ClockConfig {
+    fn default() -> Self {
+        Self::reference()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_configuration() {
+        let c = ClockConfig::reference();
+        assert_eq!(c.clock_hz(), 10e6);
+        assert_eq!(c.samples_per_cycle(), 64);
+        assert_eq!(c.sample_rate_hz(), 640e6);
+        assert!((c.period_s() - 100e-9).abs() < 1e-18);
+        assert_eq!(ClockConfig::default(), c);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ClockConfig::new(0.0, 64).is_err());
+        assert!(ClockConfig::new(-1.0, 64).is_err());
+        assert!(ClockConfig::new(1e6, 1).is_err());
+        assert!(ClockConfig::new(1e6, 2).is_ok());
+    }
+}

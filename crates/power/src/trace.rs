@@ -1,0 +1,152 @@
+//! Uniformly sampled current waveforms.
+
+use serde::{Deserialize, Serialize};
+
+/// A uniformly sampled current waveform in amperes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CurrentTrace {
+    samples: Vec<f64>,
+    sample_rate_hz: f64,
+}
+
+impl CurrentTrace {
+    /// Wraps raw samples taken at `sample_rate_hz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate_hz` is not positive.
+    pub fn new(samples: Vec<f64>, sample_rate_hz: f64) -> Self {
+        assert!(sample_rate_hz > 0.0, "sample rate must be positive");
+        Self {
+            samples,
+            sample_rate_hz,
+        }
+    }
+
+    /// The samples in amperes.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Mutable access (the A2 model and measurement chain inject here).
+    pub fn samples_mut(&mut self) -> &mut [f64] {
+        &mut self.samples
+    }
+
+    /// Consumes the trace, returning the raw samples.
+    pub fn into_samples(self) -> Vec<f64> {
+        self.samples
+    }
+
+    /// Sample rate in hertz.
+    pub fn sample_rate_hz(&self) -> f64 {
+        self.sample_rate_hz
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Trace duration in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.samples.len() as f64 / self.sample_rate_hz
+    }
+
+    /// Total charge `∫ I dt` in coulombs.
+    pub fn total_charge_c(&self) -> f64 {
+        self.samples.iter().sum::<f64>() / self.sample_rate_hz
+    }
+
+    /// Mean current in amperes.
+    pub fn mean_a(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// The discrete time derivative `dI/dt` (length `len − 1`), in A/s —
+    /// the quantity Faraday's law turns into an emf.
+    pub fn derivative(&self) -> Vec<f64> {
+        self.samples
+            .windows(2)
+            .map(|w| (w[1] - w[0]) * self.sample_rate_hz)
+            .collect()
+    }
+
+    /// Adds another trace sample-wise (shorter trace zero-extended).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample rates differ.
+    pub fn add_assign(&mut self, other: &CurrentTrace) {
+        assert!(
+            (self.sample_rate_hz - other.sample_rate_hz).abs() < 1e-6,
+            "sample rates must match"
+        );
+        if other.samples.len() > self.samples.len() {
+            self.samples.resize(other.samples.len(), 0.0);
+        }
+        for (a, b) in self.samples.iter_mut().zip(&other.samples) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let t = CurrentTrace::new(vec![1.0, 2.0, 3.0], 10.0);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert!((t.duration_s() - 0.3).abs() < 1e-12);
+        assert!((t.mean_a() - 2.0).abs() < 1e-12);
+        assert!((t.total_charge_c() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derivative_is_finite_difference() {
+        let t = CurrentTrace::new(vec![0.0, 1.0, 3.0], 2.0);
+        assert_eq!(t.derivative(), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn add_assign_extends_and_sums() {
+        let mut a = CurrentTrace::new(vec![1.0, 1.0], 10.0);
+        let b = CurrentTrace::new(vec![1.0, 2.0, 3.0], 10.0);
+        a.add_assign(&b);
+        assert_eq!(a.samples(), &[2.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample rates must match")]
+    fn add_assign_checks_rates() {
+        let mut a = CurrentTrace::new(vec![1.0], 10.0);
+        a.add_assign(&CurrentTrace::new(vec![1.0], 20.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_is_rejected() {
+        let _ = CurrentTrace::new(vec![], 0.0);
+    }
+
+    #[test]
+    fn empty_trace_statistics() {
+        let t = CurrentTrace::new(vec![], 1.0);
+        assert!(t.is_empty());
+        assert_eq!(t.mean_a(), 0.0);
+        assert_eq!(t.total_charge_c(), 0.0);
+        assert!(t.derivative().is_empty());
+    }
+}

@@ -1,0 +1,199 @@
+//! Switching-activity traces.
+//!
+//! A [`ToggleEvent`] is one output transition of one cell during one clock
+//! cycle, annotated with the cell's combinational level. The power model
+//! turns each event into a current pulse at
+//! `t = cycle·T_clk + level·τ_gate`, which is how the within-cycle current
+//! profile (and hence the EM spectrum) arises.
+//!
+//! Level convention: flip-flop `q` transitions are level 0 (they fire at
+//! the clock edge); a combinational cell at levelization depth `d` reports
+//! level `d + 1`.
+
+use emtrust_netlist::graph::CellId;
+
+/// One output transition of one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ToggleEvent {
+    /// The toggling cell.
+    pub cell: CellId,
+    /// Switching slot within the cycle (0 = at the clock edge).
+    pub level: u32,
+    /// `true` for a rising output edge, `false` for falling.
+    pub rising: bool,
+}
+
+/// All toggles of one clock cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleActivity {
+    cycle: u64,
+    events: Vec<ToggleEvent>,
+}
+
+impl CycleActivity {
+    /// Creates an empty record for clock cycle `cycle`.
+    pub fn new(cycle: u64) -> Self {
+        Self {
+            cycle,
+            events: Vec::new(),
+        }
+    }
+
+    /// The clock cycle index this record belongs to.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: ToggleEvent) {
+        self.events.push(event);
+    }
+
+    /// The recorded events, in evaluation order.
+    pub fn events(&self) -> &[ToggleEvent] {
+        &self.events
+    }
+
+    /// Number of toggles this cycle.
+    pub fn toggle_count(&self) -> usize {
+        self.events.len()
+    }
+}
+
+/// A multi-cycle switching-activity trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ActivityTrace {
+    cycles: Vec<CycleActivity>,
+}
+
+impl ActivityTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one cycle of activity.
+    pub fn push_cycle(&mut self, cycle: CycleActivity) {
+        self.cycles.push(cycle);
+    }
+
+    /// The recorded cycles in order.
+    pub fn cycles(&self) -> &[CycleActivity] {
+        &self.cycles
+    }
+
+    /// Number of recorded cycles.
+    pub fn cycle_count(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// Total toggles across all cycles.
+    pub fn total_toggles(&self) -> usize {
+        self.cycles.iter().map(CycleActivity::toggle_count).sum()
+    }
+
+    /// Mean toggles per cycle (0 for an empty trace).
+    pub fn mean_toggles_per_cycle(&self) -> f64 {
+        if self.cycles.is_empty() {
+            0.0
+        } else {
+            self.total_toggles() as f64 / self.cycles.len() as f64
+        }
+    }
+
+    /// Concatenates another trace after this one.
+    pub fn extend_from(&mut self, other: ActivityTrace) {
+        self.cycles.extend(other.cycles);
+    }
+}
+
+impl FromIterator<CycleActivity> for ActivityTrace {
+    fn from_iter<T: IntoIterator<Item = CycleActivity>>(iter: T) -> Self {
+        Self {
+            cycles: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<CycleActivity> for ActivityTrace {
+    fn extend<T: IntoIterator<Item = CycleActivity>>(&mut self, iter: T) {
+        self.cycles.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cell: u32, level: u32) -> ToggleEvent {
+        // CellId's constructor is crate-private to emtrust-netlist; build
+        // one through a real netlist.
+        let mut n = emtrust_netlist::graph::Netlist::new("t");
+        let a = n.input("a");
+        let mut last = a;
+        for _ in 0..=cell {
+            last = n.not(last);
+        }
+        let id = match n.net_source(last) {
+            emtrust_netlist::graph::NetSource::Cell(c) => *c,
+            _ => unreachable!(),
+        };
+        ToggleEvent {
+            cell: id,
+            level,
+            rising: true,
+        }
+    }
+
+    #[test]
+    fn cycle_activity_accumulates() {
+        let mut c = CycleActivity::new(3);
+        assert_eq!(c.cycle(), 3);
+        c.push(ev(0, 0));
+        c.push(ev(1, 2));
+        assert_eq!(c.toggle_count(), 2);
+        assert_eq!(c.events()[1].level, 2);
+    }
+
+    #[test]
+    fn trace_statistics() {
+        let mut t = ActivityTrace::new();
+        let mut c0 = CycleActivity::new(0);
+        c0.push(ev(0, 0));
+        let mut c1 = CycleActivity::new(1);
+        c1.push(ev(0, 0));
+        c1.push(ev(1, 1));
+        t.push_cycle(c0);
+        t.push_cycle(c1);
+        assert_eq!(t.cycle_count(), 2);
+        assert_eq!(t.total_toggles(), 3);
+        assert!((t.mean_toggles_per_cycle() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_statistics() {
+        let t = ActivityTrace::new();
+        assert_eq!(t.total_toggles(), 0);
+        assert_eq!(t.mean_toggles_per_cycle(), 0.0);
+    }
+
+    #[test]
+    fn traces_concatenate() {
+        let mut a = ActivityTrace::new();
+        a.push_cycle(CycleActivity::new(0));
+        let mut b = ActivityTrace::new();
+        b.push_cycle(CycleActivity::new(1));
+        a.extend_from(b);
+        assert_eq!(a.cycle_count(), 2);
+        assert_eq!(a.cycles()[1].cycle(), 1);
+    }
+
+    #[test]
+    fn trace_collects_from_iterator() {
+        let t: ActivityTrace = (0..4).map(CycleActivity::new).collect();
+        assert_eq!(t.cycle_count(), 4);
+        let mut t2 = ActivityTrace::new();
+        t2.extend((0..2).map(CycleActivity::new));
+        assert_eq!(t2.cycle_count(), 2);
+    }
+}

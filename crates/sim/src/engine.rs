@@ -1,0 +1,395 @@
+//! The cycle-based simulation engine.
+
+use crate::activity::{ActivityTrace, CycleActivity, ToggleEvent};
+use emtrust_netlist::graph::{CellId, NetId, NetSource, Netlist};
+use emtrust_netlist::level::{levelize, Levels};
+use emtrust_netlist::NetlistError;
+
+/// A two-phase, cycle-based simulator over a borrowed [`Netlist`].
+///
+/// Each [`Simulator::step`] models one rising clock edge followed by
+/// combinational settling:
+///
+/// 1. all flip-flops capture the `d` value settled at the end of the
+///    previous cycle,
+/// 2. the combinational cells evaluate once in levelized order.
+///
+/// Primary inputs are set with [`Simulator::set_input`] /
+/// [`Simulator::set_bus`] and take effect in the combinational phase of
+/// the next `step`.
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    levels: Levels,
+    values: Vec<bool>,
+    /// Flip-flop cells in id order, with their (d, q) nets.
+    flops: Vec<(CellId, NetId, NetId)>,
+    staged: Vec<bool>,
+    recording: Option<ActivityTrace>,
+    cycle: u64,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator; all nets start at logic 0 (constants excepted).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetlistError::CombinationalCycle`] from levelization
+    /// and any structural error from [`Netlist::validate`].
+    pub fn new(netlist: &'a Netlist) -> Result<Self, NetlistError> {
+        netlist.validate()?;
+        let levels = levelize(netlist)?;
+        let mut values = vec![false; netlist.net_count()];
+        values[netlist.const1().index()] = true;
+        let flops: Vec<(CellId, NetId, NetId)> = netlist
+            .cells()
+            .filter(|(_, c)| c.kind().is_sequential())
+            .map(|(id, c)| (id, c.inputs()[0], c.output()))
+            .collect();
+        let staged = vec![false; flops.len()];
+        Ok(Self {
+            netlist,
+            levels,
+            values,
+            flops,
+            staged,
+            recording: None,
+            cycle: 0,
+        })
+    }
+
+    /// The netlist under simulation.
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    /// The levelization used for evaluation order and switching times.
+    pub fn levels(&self) -> &Levels {
+        &self.levels
+    }
+
+    /// Number of clock edges applied so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Current logic value of `net`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range.
+    pub fn value(&self, net: NetId) -> bool {
+        self.values[net.index()]
+    }
+
+    /// Sets a primary-input net to `value` (effective next `step`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not a primary input.
+    pub fn set_input(&mut self, net: NetId, value: bool) {
+        assert!(
+            matches!(self.netlist.net_source(net), NetSource::Input),
+            "set_input on a non-input net"
+        );
+        self.values[net.index()] = value;
+    }
+
+    /// Sets an LSB-first bus of primary inputs from the low bits of `word`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any net is not a primary input or the bus is wider than
+    /// 128 bits.
+    pub fn set_bus(&mut self, nets: &[NetId], word: u128) {
+        assert!(nets.len() <= 128, "bus wider than 128 bits");
+        for (i, &n) in nets.iter().enumerate() {
+            self.set_input(n, word >> i & 1 != 0);
+        }
+    }
+
+    /// Reads an LSB-first bus into the low bits of a `u128`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bus is wider than 128 bits.
+    pub fn bus(&self, nets: &[NetId]) -> u128 {
+        assert!(nets.len() <= 128, "bus wider than 128 bits");
+        nets.iter()
+            .enumerate()
+            .fold(0u128, |acc, (i, &n)| acc | (u128::from(self.value(n)) << i))
+    }
+
+    /// Starts recording switching activity into a fresh trace.
+    pub fn start_recording(&mut self) {
+        self.recording = Some(ActivityTrace::new());
+    }
+
+    /// Stops recording and returns the captured trace (empty if recording
+    /// was never started).
+    pub fn take_recording(&mut self) -> ActivityTrace {
+        self.recording.take().unwrap_or_default()
+    }
+
+    /// Whether a recording is in progress.
+    pub fn is_recording(&self) -> bool {
+        self.recording.is_some()
+    }
+
+    /// Settles the combinational logic with the current inputs *without* a
+    /// clock edge and without recording activity. Useful to establish a
+    /// consistent pre-clock state after setting initial inputs.
+    pub fn settle(&mut self) {
+        for &cell_id in self.levels.eval_order() {
+            let cell = self.netlist.cell(cell_id);
+            let new = self.eval_cell(cell_id);
+            self.values[cell.output().index()] = new;
+        }
+    }
+
+    /// Applies one rising clock edge, then settles combinational logic.
+    /// Records toggles if a recording is in progress.
+    pub fn step(&mut self) {
+        // Phase 1: capture d.
+        for (i, &(_, d, _)) in self.flops.iter().enumerate() {
+            self.staged[i] = self.values[d.index()];
+        }
+        let mut cycle_activity = CycleActivity::new(self.cycle);
+        // Phase 2: update q.
+        for (i, &(cell, _, q)) in self.flops.iter().enumerate() {
+            let new = self.staged[i];
+            let old = self.values[q.index()];
+            if new != old {
+                self.values[q.index()] = new;
+                if self.recording.is_some() {
+                    cycle_activity.push(ToggleEvent {
+                        cell,
+                        level: 0,
+                        rising: new,
+                    });
+                }
+            }
+        }
+        // Phase 3: combinational settle in level order.
+        for idx in 0..self.levels.eval_order().len() {
+            let cell_id = self.levels.eval_order()[idx];
+            let new = self.eval_cell(cell_id);
+            let out = self.netlist.cell(cell_id).output();
+            let old = self.values[out.index()];
+            if new != old {
+                self.values[out.index()] = new;
+                if self.recording.is_some() {
+                    cycle_activity.push(ToggleEvent {
+                        cell: cell_id,
+                        level: self.levels.level_of(cell_id) + 1,
+                        rising: new,
+                    });
+                }
+            }
+        }
+        if let Some(trace) = &mut self.recording {
+            trace.push_cycle(cycle_activity);
+        }
+        self.cycle += 1;
+    }
+
+    /// Runs `n` clock cycles.
+    pub fn run(&mut self, n: usize) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Resets all state: nets to 0, cycle counter to 0. Any in-progress
+    /// recording is discarded.
+    pub fn reset(&mut self) {
+        for v in self.values.iter_mut() {
+            *v = false;
+        }
+        self.values[self.netlist.const1().index()] = true;
+        for s in self.staged.iter_mut() {
+            *s = false;
+        }
+        self.cycle = 0;
+        self.recording = None;
+    }
+
+    #[inline]
+    fn eval_cell(&self, cell_id: CellId) -> bool {
+        let cell = self.netlist.cell(cell_id);
+        let ins = cell.inputs();
+        match ins.len() {
+            1 => cell.kind().eval(&[self.values[ins[0].index()]]),
+            2 => cell.kind().eval(&[
+                self.values[ins[0].index()],
+                self.values[ins[1].index()],
+            ]),
+            _ => cell.kind().eval(&[
+                self.values[ins[0].index()],
+                self.values[ins[1].index()],
+                self.values[ins[2].index()],
+            ]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emtrust_netlist::graph::Netlist;
+
+    fn counter2() -> (Netlist, Vec<NetId>) {
+        // 2-bit binary counter: q0' = !q0; q1' = q1 ^ q0.
+        let mut n = Netlist::new("counter2");
+        let (q0, d0) = n.dff_deferred();
+        let (q1, d1) = n.dff_deferred();
+        let nq0 = n.not(q0);
+        let x = n.xor2(q1, q0);
+        n.connect_dff_d(d0, nq0);
+        n.connect_dff_d(d1, x);
+        n.mark_output("q0", q0);
+        n.mark_output("q1", q1);
+        (n, vec![q0, q1])
+    }
+
+    #[test]
+    fn counter_counts() {
+        let (n, bus) = counter2();
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.settle();
+        let mut seen = Vec::new();
+        for _ in 0..5 {
+            sim.step();
+            seen.push(sim.bus(&bus));
+        }
+        assert_eq!(seen, [1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn combinational_logic_follows_inputs() {
+        let mut n = Netlist::new("xor");
+        let a = n.input("a");
+        let b = n.input("b");
+        let x = n.xor2(a, b);
+        n.mark_output("x", x);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.set_input(a, true);
+        sim.set_input(b, false);
+        sim.step();
+        assert!(sim.value(x));
+        sim.set_input(b, true);
+        sim.step();
+        assert!(!sim.value(x));
+    }
+
+    #[test]
+    fn settle_propagates_without_clock() {
+        let mut n = Netlist::new("inv");
+        let a = n.input("a");
+        let y = n.not(a);
+        n.mark_output("y", y);
+        let mut sim = Simulator::new(&n).unwrap();
+        assert!(!sim.value(y));
+        sim.settle();
+        assert!(sim.value(y), "inverter of 0 must settle to 1");
+        assert_eq!(sim.cycle(), 0, "settle must not advance the clock");
+    }
+
+    #[test]
+    fn recording_captures_toggles_with_levels() {
+        let (n, _) = counter2();
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.settle();
+        sim.start_recording();
+        sim.step(); // 00 -> 01: q0 rises, nq0 falls, xor rises.
+        let trace = sim.take_recording();
+        assert_eq!(trace.cycle_count(), 1);
+        let events = trace.cycles()[0].events();
+        // q0 toggles (level 0), inverter (level 1), xor (level 1).
+        assert_eq!(events.len(), 3);
+        assert!(events.iter().any(|e| e.level == 0 && e.rising));
+        assert_eq!(events.iter().filter(|e| e.level == 1).count(), 2);
+    }
+
+    #[test]
+    fn no_recording_means_empty_trace() {
+        let (n, _) = counter2();
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.step();
+        let trace = sim.take_recording();
+        assert_eq!(trace.cycle_count(), 0);
+        assert!(!sim.is_recording());
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let (n, bus) = counter2();
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.settle();
+        sim.run(3);
+        assert_ne!(sim.bus(&bus), 0);
+        sim.reset();
+        assert_eq!(sim.bus(&bus), 0);
+        assert_eq!(sim.cycle(), 0);
+    }
+
+    #[test]
+    fn bus_round_trip() {
+        let mut n = Netlist::new("pass");
+        let ins = n.input_bus("a", 8);
+        let outs: Vec<NetId> = ins.clone();
+        n.mark_output_bus("y", &outs);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.set_bus(&ins, 0xA5);
+        assert_eq!(sim.bus(&ins), 0xA5);
+    }
+
+    #[test]
+    fn constants_hold_their_values() {
+        let mut n = Netlist::new("c");
+        let c1 = n.const1();
+        let c0 = n.const0();
+        let x = n.and2(c1, c1);
+        n.mark_output("x", x);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.settle();
+        assert!(sim.value(c1));
+        assert!(!sim.value(c0));
+        assert!(sim.value(x));
+        sim.run(2);
+        assert!(sim.value(c1));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-input")]
+    fn set_input_rejects_internal_nets() {
+        let mut n = Netlist::new("t");
+        let a = n.input("a");
+        let y = n.not(a);
+        n.mark_output("y", y);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.set_input(y, true);
+    }
+
+    #[test]
+    fn simulator_rejects_cyclic_netlists() {
+        let mut n = Netlist::new("loop");
+        let a = n.input("a");
+        let x1 = n.not(a);
+        let x2 = n.not(x1);
+        let first = match n.net_source(x1) {
+            NetSource::Cell(c) => *c,
+            _ => unreachable!(),
+        };
+        n.rewire_input(first, 0, x2).unwrap();
+        assert!(Simulator::new(&n).is_err());
+    }
+
+    #[test]
+    fn cycle_counter_advances() {
+        let (n, _) = counter2();
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.run(7);
+        assert_eq!(sim.cycle(), 7);
+    }
+}

@@ -1,0 +1,205 @@
+//! A minimal VCD (value change dump) writer for waveform inspection.
+//!
+//! Not used by the detection pipeline itself, but invaluable when checking
+//! the AES datapath and the Trojan triggers cycle by cycle in a waveform
+//! viewer.
+
+use crate::engine::Simulator;
+use emtrust_netlist::graph::NetId;
+use std::io::{self, Write};
+
+/// Streams selected nets of a running simulation into VCD.
+#[derive(Debug)]
+pub struct VcdWriter<W: Write> {
+    sink: W,
+    signals: Vec<(NetId, String, String)>,
+    last: Vec<Option<bool>>,
+    timescale_ns: u64,
+    header_done: bool,
+}
+
+impl<W: Write> VcdWriter<W> {
+    /// Creates a writer with a timescale of `timescale_ns` nanoseconds per
+    /// simulator cycle.
+    pub fn new(sink: W, timescale_ns: u64) -> Self {
+        Self {
+            sink,
+            signals: Vec::new(),
+            last: Vec::new(),
+            timescale_ns: timescale_ns.max(1),
+            header_done: false,
+        }
+    }
+
+    /// Registers `net` under `name`. All registrations must happen before
+    /// the first [`VcdWriter::sample`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after sampling has begun.
+    pub fn add_signal(&mut self, net: NetId, name: &str) {
+        assert!(!self.header_done, "signals must be added before sampling");
+        let code = Self::id_code(self.signals.len());
+        self.signals.push((net, name.to_string(), code));
+        self.last.push(None);
+    }
+
+    /// Registers a bus as individual bit signals `name[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after sampling has begun.
+    pub fn add_bus(&mut self, nets: &[NetId], name: &str) {
+        for (i, &n) in nets.iter().enumerate() {
+            self.add_signal(n, &format!("{name}[{i}]"));
+        }
+    }
+
+    /// Samples the current values at the simulator's cycle time, emitting
+    /// changes only.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the sink.
+    pub fn sample(&mut self, sim: &Simulator<'_>) -> io::Result<()> {
+        if !self.header_done {
+            self.write_header(sim)?;
+            self.header_done = true;
+        }
+        writeln!(self.sink, "#{}", sim.cycle() * self.timescale_ns)?;
+        for (i, (net, _, code)) in self.signals.iter().enumerate() {
+            let v = sim.value(*net);
+            if self.last[i] != Some(v) {
+                writeln!(self.sink, "{}{code}", u8::from(v))?;
+                self.last[i] = Some(v);
+            }
+        }
+        Ok(())
+    }
+
+    /// Finishes the stream and returns the sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from flushing the sink.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+
+    fn write_header(&mut self, sim: &Simulator<'_>) -> io::Result<()> {
+        writeln!(self.sink, "$date emtrust simulation $end")?;
+        writeln!(self.sink, "$version emtrust-sim $end")?;
+        writeln!(self.sink, "$timescale 1ns $end")?;
+        writeln!(self.sink, "$scope module {} $end", sim.netlist().name())?;
+        for (_, name, code) in &self.signals {
+            writeln!(self.sink, "$var wire 1 {code} {name} $end")?;
+        }
+        writeln!(self.sink, "$upscope $end")?;
+        writeln!(self.sink, "$enddefinitions $end")?;
+        Ok(())
+    }
+
+    /// VCD identifier codes: printable ASCII 33..=126, multi-character.
+    fn id_code(mut index: usize) -> String {
+        let mut code = String::new();
+        loop {
+            code.push((33 + (index % 94)) as u8 as char);
+            index /= 94;
+            if index == 0 {
+                break;
+            }
+            index -= 1;
+        }
+        code
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emtrust_netlist::graph::Netlist;
+
+    fn toggle_netlist() -> Netlist {
+        let mut n = Netlist::new("toggle");
+        let (q, d) = n.dff_deferred();
+        let nq = n.not(q);
+        n.connect_dff_d(d, nq);
+        n.mark_output("q", q);
+        n
+    }
+
+    #[test]
+    fn vcd_contains_header_and_changes() {
+        let n = toggle_netlist();
+        let q = n.primary_outputs()[0].1;
+        let mut sim = Simulator::new(&n).unwrap();
+        let mut vcd = VcdWriter::new(Vec::new(), 100);
+        vcd.add_signal(q, "q");
+        for _ in 0..3 {
+            sim.step();
+            vcd.sample(&sim).unwrap();
+        }
+        let text = String::from_utf8(vcd.finish().unwrap()).unwrap();
+        assert!(text.contains("$enddefinitions"));
+        assert!(text.contains("$var wire 1 ! q $end"));
+        assert!(text.contains("#100"));
+        assert!(text.contains("1!"));
+        assert!(text.contains("0!"));
+    }
+
+    #[test]
+    fn unchanged_values_are_not_re_emitted() {
+        let mut n = Netlist::new("const");
+        let a = n.input("a");
+        let y = n.buf(a);
+        n.mark_output("y", y);
+        let mut sim = Simulator::new(&n).unwrap();
+        let mut vcd = VcdWriter::new(Vec::new(), 10);
+        vcd.add_signal(y, "y");
+        for _ in 0..4 {
+            sim.step();
+            vcd.sample(&sim).unwrap();
+        }
+        let text = String::from_utf8(vcd.finish().unwrap()).unwrap();
+        // y stays 0 throughout: exactly one value line.
+        assert_eq!(text.matches("0!").count(), 1);
+    }
+
+    #[test]
+    fn bus_registration_names_bits() {
+        let mut n = Netlist::new("bus");
+        let ins = n.input_bus("d", 2);
+        n.mark_output_bus("d", &ins);
+        let sim = Simulator::new(&n).unwrap();
+        let mut vcd = VcdWriter::new(Vec::new(), 1);
+        vcd.add_bus(&ins, "d");
+        vcd.sample(&sim).unwrap();
+        let text = String::from_utf8(vcd.finish().unwrap()).unwrap();
+        assert!(text.contains("d[0]"));
+        assert!(text.contains("d[1]"));
+    }
+
+    #[test]
+    fn id_codes_are_unique_and_printable() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..500 {
+            let code = VcdWriter::<Vec<u8>>::id_code(i);
+            assert!(code.chars().all(|c| ('!'..='~').contains(&c)));
+            assert!(seen.insert(code));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "before sampling")]
+    fn late_signal_registration_panics() {
+        let n = toggle_netlist();
+        let q = n.primary_outputs()[0].1;
+        let mut sim = Simulator::new(&n).unwrap();
+        let mut vcd = VcdWriter::new(Vec::new(), 1);
+        vcd.add_signal(q, "q");
+        sim.step();
+        vcd.sample(&sim).unwrap();
+        vcd.add_signal(q, "late");
+    }
+}

@@ -1,0 +1,220 @@
+//! Behavioural model of an A2-style analog Trojan.
+//!
+//! A2 (Yang et al., S&P 2016) is a six-transistor charge-pump Trojan: a
+//! *fast-flipping* digital trigger wire pumps a capacitor; when enough
+//! charge accumulates the payload fires. The paper detects A2 **through
+//! the spectral line of its fast-flipping trigger** (§III-E, Fig. 4): the
+//! toggling injects current spikes at the toggle frequency, which either
+//! boosts an existing spectral spot (`T = g`) or adds a new one (`T ≠ g`).
+//!
+//! Because A2 is analog (and the paper itself only *simulates* it — its
+//! fabrication is listed as future work), the model here is a current
+//! source: a spike train at the trigger's toggle frequency, placed at a
+//! die location, that the measurement pipeline adds to the aggregate
+//! current before EM synthesis.
+
+use serde::{Deserialize, Serialize};
+
+/// A behavioural A2-style analog Trojan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct A2Trojan {
+    /// Toggle frequency of the trigger wire, in hertz. The paper drives it
+    /// from an on-chip clock-division signal.
+    toggle_freq_hz: f64,
+    /// Charge moved per toggle, in coulombs.
+    charge_per_toggle_c: f64,
+    /// Die location of the Trojan, in micrometres.
+    location_um: (f64, f64),
+    /// Whether the trigger wire is currently flipping.
+    triggering: bool,
+}
+
+impl A2Trojan {
+    /// Equivalent area in µm² — six minimum transistors in 180 nm
+    /// (paper Table I lists A2 at 0.087 % of the AES area).
+    pub const AREA_UM2: f64 = 18.0;
+
+    /// Number of transistors in the paper's A2 instance.
+    pub const TRANSISTOR_COUNT: usize = 6;
+
+    /// Creates the model for a chip clocked at `clock_hz`, with the
+    /// trigger toggling at half the clock (a clock-division signal, the
+    /// paper's `T = g`-adjacent case). The per-toggle charge covers the
+    /// pump plus the full global trigger wire it flips (≈0.8 pF at
+    /// 1.8 V) — it is that wire's radiation the spectral detector keys on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clock_hz` is not positive.
+    pub fn new(clock_hz: f64) -> Self {
+        assert!(clock_hz > 0.0, "clock frequency must be positive");
+        Self {
+            toggle_freq_hz: clock_hz / 2.0,
+            charge_per_toggle_c: 1.5e-12,
+            location_um: (0.0, 0.0),
+            triggering: false,
+        }
+    }
+
+    /// Sets the trigger-wire toggle frequency (hertz).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_hz` is not positive.
+    pub fn with_toggle_freq(mut self, freq_hz: f64) -> Self {
+        assert!(freq_hz > 0.0, "toggle frequency must be positive");
+        self.toggle_freq_hz = freq_hz;
+        self
+    }
+
+    /// Sets the charge moved per toggle (coulombs).
+    pub fn with_charge_per_toggle(mut self, charge_c: f64) -> Self {
+        self.charge_per_toggle_c = charge_c;
+        self
+    }
+
+    /// Places the Trojan on the die (micrometres).
+    pub fn with_location(mut self, x_um: f64, y_um: f64) -> Self {
+        self.location_um = (x_um, y_um);
+        self
+    }
+
+    /// Arms or disarms the trigger wire.
+    pub fn set_triggering(&mut self, on: bool) {
+        self.triggering = on;
+    }
+
+    /// Whether the trigger wire is flipping.
+    pub fn is_triggering(&self) -> bool {
+        self.triggering
+    }
+
+    /// The trigger toggle frequency in hertz.
+    pub fn toggle_freq_hz(&self) -> f64 {
+        self.toggle_freq_hz
+    }
+
+    /// The die location in micrometres.
+    pub fn location_um(&self) -> (f64, f64) {
+        self.location_um
+    }
+
+    /// Synthesizes the Trojan's current contribution: `n` samples at
+    /// `sample_rate_hz`. Returns all zeros while not triggering.
+    ///
+    /// Every edge of the trigger wire moves the charge `Q` with a
+    /// nanosecond-class rise time, modelled as a two-sample triangular
+    /// current pulse of alternating polarity. The resulting spectrum is a
+    /// comb at odd harmonics of the toggle frequency — the "activation
+    /// peak(s)" of paper Fig. 4 — with a gentle roll-off set by the edge
+    /// width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate_hz` is not positive.
+    pub fn current_samples(&self, n: usize, sample_rate_hz: f64) -> Vec<f64> {
+        assert!(sample_rate_hz > 0.0, "sample rate must be positive");
+        let mut out = vec![0.0; n];
+        if !self.triggering || n == 0 {
+            return out;
+        }
+        let period_samples = sample_rate_hz / self.toggle_freq_hz;
+        // Charge Q spread 2/3 + 1/3 over two samples (finite edge).
+        let peak = self.charge_per_toggle_c * sample_rate_hz;
+        let mut t = 0.0;
+        let mut sign = 1.0;
+        while t < n as f64 {
+            let idx = t as usize;
+            if idx < n {
+                out[idx] += sign * peak * (2.0 / 3.0);
+            }
+            if idx + 1 < n {
+                out[idx + 1] += sign * peak * (1.0 / 3.0);
+            }
+            sign = -sign;
+            t += period_samples / 2.0;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dormant_trojan_injects_nothing() {
+        let a2 = A2Trojan::new(10e6);
+        let s = a2.current_samples(1024, 640e6);
+        assert!(s.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn triggering_trojan_injects_edge_pulses() {
+        let mut a2 = A2Trojan::new(10e6); // toggles at 5 MHz
+        a2.set_triggering(true);
+        let fs = 640e6;
+        let s = a2.current_samples(4096, fs);
+        let nonzero = s.iter().filter(|&&x| x != 0.0).count();
+        // 6.4 µs -> 32 toggle periods -> 64 edges, two samples each.
+        assert!((120..=136).contains(&nonzero), "pulse samples: {nonzero}");
+        // Each edge carries charge Q.
+        let q_per_edge = s.iter().map(|x| x.abs()).sum::<f64>() / fs / 64.0;
+        assert!((q_per_edge - 1.5e-12).abs() < 0.1e-12, "Q = {q_per_edge:.2e}");
+    }
+
+    #[test]
+    fn spectrum_peak_lands_at_toggle_frequency() {
+        use emtrust_dsp::spectrum::Spectrum;
+        use emtrust_dsp::window::Window;
+        let mut a2 = A2Trojan::new(10e6).with_toggle_freq(25e6);
+        a2.set_triggering(true);
+        let fs = 640e6;
+        let s = a2.current_samples(8192, fs);
+        let spec = Spectrum::compute(&s, fs, Window::Hann).unwrap();
+        let peak = spec.dominant_peak().unwrap();
+        assert!(
+            (peak.frequency_hz - 25e6).abs() < 2.0 * spec.resolution_hz(),
+            "peak at {} Hz",
+            peak.frequency_hz
+        );
+    }
+
+    #[test]
+    fn builder_setters_apply() {
+        let a2 = A2Trojan::new(10e6)
+            .with_toggle_freq(7e6)
+            .with_charge_per_toggle(50e-15)
+            .with_location(100.0, 200.0);
+        assert_eq!(a2.toggle_freq_hz(), 7e6);
+        assert_eq!(a2.location_um(), (100.0, 200.0));
+        assert!(!a2.is_triggering());
+    }
+
+    #[test]
+    fn arming_is_reversible() {
+        let mut a2 = A2Trojan::new(1e6);
+        a2.set_triggering(true);
+        assert!(a2.is_triggering());
+        a2.set_triggering(false);
+        assert!(a2.current_samples(64, 1e9).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_clock_is_rejected() {
+        let _ = A2Trojan::new(0.0);
+    }
+
+    #[test]
+    fn injected_charge_alternates_sign() {
+        let mut a2 = A2Trojan::new(10e6);
+        a2.set_triggering(true);
+        let s = a2.current_samples(2048, 640e6);
+        let sum: f64 = s.iter().sum();
+        let energy: f64 = s.iter().map(|x| x * x).sum();
+        assert!(energy > 0.0);
+        // Alternating impulses largely cancel in the mean.
+        assert!(sum.abs() < energy.sqrt());
+    }
+}

@@ -1,0 +1,55 @@
+//! Trojan hunt on a fabricated chip: screen all four of the paper's
+//! digital Trojans through both measurement channels and compare the
+//! on-chip sensor against the external probe — the paper's headline
+//! experiment, end to end.
+//!
+//! Run with: `cargo run --release --example trojan_hunt`
+
+use emtrust::acquisition::TestBench;
+use emtrust::euclidean::trojan_distance_study;
+use emtrust::fingerprint::FingerprintConfig;
+use emtrust_silicon::Channel;
+use emtrust_trojan::{ProtectedChip, TrojanKind};
+
+const TROJANS: [TrojanKind; 4] = [
+    TrojanKind::T1AmLeaker,
+    TrojanKind::T2LeakageLeaker,
+    TrojanKind::T3CdmaLeaker,
+    TrojanKind::T4PowerDegrader,
+];
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let key = *b"hunting key 0123";
+    println!("fabricating the test chip (AES + 4 Trojans, process variation)...");
+    let chip = ProtectedChip::with_all_trojans();
+    let bench = TestBench::silicon(&chip, /* chip serial */ 7)?;
+
+    let config = FingerprintConfig {
+        pca_components: None,
+        ..FingerprintConfig::default()
+    };
+    for (channel, name) in [
+        (Channel::OnChipSensor, "on-chip sensor"),
+        (Channel::ExternalProbe, "external probe"),
+    ] {
+        println!("\n== screening through the {name} ==");
+        let rows = trojan_distance_study(&bench, key, &TROJANS, 24, channel, config, 0xBEEF)?;
+        for r in &rows {
+            println!(
+                "  {}: distance {:.4} vs EDth {:.4} -> {} ({:.0}% of traces over threshold)",
+                r.kind,
+                r.centroid_distance,
+                r.threshold,
+                if r.detected { "DETECTED" } else { "missed" },
+                100.0 * r.per_trace_detection_rate,
+            );
+        }
+        let caught = rows.iter().filter(|r| r.detected).count();
+        println!("  -> {caught}/4 Trojans caught through the {name}");
+    }
+    println!(
+        "\nThe on-chip sensor catches what the external probe cannot — the\n\
+         paper's core result, reproduced on the simulated fabricated chip."
+    );
+    Ok(())
+}

@@ -1,0 +1,26 @@
+//! `emtrust-suite` — the workspace umbrella package.
+//!
+//! This package exists to host the cross-crate integration tests under
+//! `tests/` and the runnable examples under `examples/`. It re-exports the
+//! member crates so that examples and tests can reach everything through a
+//! single dependency graph.
+//!
+//! See the individual crates for the actual library surface:
+//!
+//! - [`emtrust`] — the runtime trust-evaluation framework (the paper's
+//!   contribution),
+//! - [`emtrust_aes`], [`emtrust_trojan`] — the device under test,
+//! - [`emtrust_netlist`], [`emtrust_sim`], [`emtrust_layout`],
+//!   [`emtrust_power`], [`emtrust_em`], [`emtrust_silicon`],
+//!   [`emtrust_dsp`] — the substrates.
+
+pub use emtrust;
+pub use emtrust_aes;
+pub use emtrust_dsp;
+pub use emtrust_em;
+pub use emtrust_layout;
+pub use emtrust_netlist;
+pub use emtrust_power;
+pub use emtrust_silicon;
+pub use emtrust_sim;
+pub use emtrust_trojan;

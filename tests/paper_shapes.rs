@@ -1,0 +1,112 @@
+//! The paper's headline quantitative *shapes*, asserted end to end (the
+//! experiment binaries print the full tables; these tests pin the
+//! orderings and gaps in CI form with reduced workloads).
+
+use emtrust::acquisition::TestBench;
+use emtrust::euclidean::trojan_distance_study;
+use emtrust::fingerprint::FingerprintConfig;
+use emtrust_em::snr::snr_report;
+use emtrust_netlist::stats::module_stats;
+use emtrust_silicon::Channel;
+use emtrust_trojan::{ProtectedChip, TrojanKind};
+
+const KEY: [u8; 16] = [
+    0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f,
+    0x3c,
+];
+
+fn snr_db(bench: &TestBench<'_>, channel: Channel, seed: u64) -> f64 {
+    let signal = bench
+        .collect_continuous(KEY, 12, None, channel, seed)
+        .expect("signal");
+    let noise = bench.collect_noise(signal.len(), channel, seed ^ 0xF00D);
+    snr_report(&signal, &noise).snr_db
+}
+
+#[test]
+fn table1_ordering_holds() {
+    let chip = ProtectedChip::with_all_trojans();
+    let aes = module_stats(chip.netlist(), "aes").total;
+    let t = |tag: &str| module_stats(chip.netlist(), tag).total;
+    // The paper's relative-size ordering: T3 < T1 < T2 <= T4 << AES.
+    assert!(t("trojan3") < t("trojan1"));
+    assert!(t("trojan1") < t("trojan2"));
+    assert!(t("trojan2") <= t("trojan4"));
+    assert!(aes > 10 * t("trojan4"));
+    // And the paper's percentages within a factor-of-two band.
+    for (tag, pct) in [
+        ("trojan1", 5.01),
+        ("trojan2", 8.44),
+        ("trojan3", 0.76),
+        ("trojan4", 8.44),
+    ] {
+        let ours = 100.0 * t(tag) as f64 / aes as f64;
+        assert!(
+            ours > pct / 2.0 && ours < pct * 2.0,
+            "{tag}: {ours:.2}% vs paper {pct}%"
+        );
+    }
+}
+
+#[test]
+fn snr_shape_simulation_paper_iv_b() {
+    // Paper: on-chip 29.976 dB vs external 17.483 dB.
+    let chip = ProtectedChip::golden();
+    let bench = TestBench::simulation(&chip).expect("bench");
+    let onchip = snr_db(&bench, Channel::OnChipSensor, 0x51);
+    let external = snr_db(&bench, Channel::ExternalProbe, 0x52);
+    assert!((25.0..35.0).contains(&onchip), "on-chip {onchip:.1} dB");
+    assert!((13.0..22.0).contains(&external), "external {external:.1} dB");
+    assert!(onchip > external + 8.0, "gap {:.1} dB", onchip - external);
+}
+
+#[test]
+fn snr_shape_silicon_paper_v_a() {
+    // Paper: the external probe loses several dB from simulation to
+    // silicon (17.48 -> 13.87); the on-chip sensor holds (29.98 -> 30.55).
+    let chip = ProtectedChip::golden();
+    let sim = TestBench::simulation(&chip).expect("sim");
+    let silicon = TestBench::silicon(&chip, 1).expect("silicon");
+    let sim_ext = snr_db(&sim, Channel::ExternalProbe, 0x61);
+    let si_ext = snr_db(&silicon, Channel::ExternalProbe, 0x62);
+    let sim_on = snr_db(&sim, Channel::OnChipSensor, 0x63);
+    let si_on = snr_db(&silicon, Channel::OnChipSensor, 0x64);
+    assert!(si_ext < sim_ext - 1.5, "external must degrade on silicon");
+    assert!(
+        (si_on - sim_on).abs() < 3.0,
+        "on-chip must hold up on silicon"
+    );
+    assert!(si_on > si_ext + 10.0);
+}
+
+#[test]
+fn euclidean_distance_shape_paper_iv_c() {
+    // Paper: 0.27 / 0.25 / 0.05 / 0.28 — T3 far smallest, all detected.
+    let chip = ProtectedChip::with_all_trojans();
+    let bench = TestBench::simulation(&chip).expect("bench");
+    let config = FingerprintConfig {
+        pca_components: None,
+        ..FingerprintConfig::default()
+    };
+    let rows = trojan_distance_study(
+        &bench,
+        KEY,
+        &[
+            TrojanKind::T1AmLeaker,
+            TrojanKind::T2LeakageLeaker,
+            TrojanKind::T3CdmaLeaker,
+            TrojanKind::T4PowerDegrader,
+        ],
+        24,
+        Channel::OnChipSensor,
+        config,
+        0xD15,
+    )
+    .expect("study");
+    let d: Vec<f64> = rows.iter().map(|r| r.centroid_distance).collect();
+    assert!(
+        d[2] < 0.5 * d[0].min(d[1]).min(d[3]),
+        "T3 must be by far the smallest: {d:?}"
+    );
+    assert!(rows.iter().all(|r| r.detected), "all detected: {rows:?}");
+}

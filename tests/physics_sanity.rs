@@ -1,0 +1,92 @@
+//! Physics sanity across the layout → EM chain: the qualitative laws the
+//! paper's argument rests on must emerge from the solver, not from
+//! constants.
+
+use emtrust_em::coil::Coil;
+use emtrust_em::coupling::CouplingMap;
+use emtrust_layout::floorplan::Die;
+use emtrust_layout::probe::ExternalProbe;
+use emtrust_layout::spiral::SpiralSensor;
+
+fn die() -> Die {
+    Die::square(600.0).expect("die")
+}
+
+#[test]
+fn coupling_falls_monotonically_with_probe_standoff() {
+    let mut last = f64::INFINITY;
+    for z in [50.0, 100.0, 200.0, 400.0, 800.0] {
+        let probe = ExternalProbe::over_die(die()).with_standoff(z).expect("probe");
+        let m = CouplingMap::build(&Coil::External(probe), die())
+            .expect("map")
+            .mean_abs();
+        assert!(m < last, "coupling must fall with distance (z={z})");
+        last = m;
+    }
+}
+
+#[test]
+fn coupling_grows_with_spiral_turns() {
+    let mut last = 0.0;
+    for turns in [5, 10, 20, 40] {
+        let coil = Coil::OnChip(SpiralSensor::with_turns(die(), turns).expect("spiral"));
+        let m = CouplingMap::build(&coil, die()).expect("map").mean_abs();
+        assert!(m > last, "more turns must link more flux (turns={turns})");
+        last = m;
+    }
+}
+
+#[test]
+fn spiral_couples_strongest_where_it_winds_tightest() {
+    let coil = Coil::OnChip(SpiralSensor::for_die(die()).expect("spiral"));
+    let map = CouplingMap::build(&coil, die()).expect("map");
+    let center = map.at(300.0, 300.0);
+    let mid = map.at(150.0, 300.0);
+    let corner = map.at(20.0, 20.0);
+    assert!(center > mid.abs(), "centre beats mid-radius");
+    assert!(
+        center > 3.0 * corner.abs(),
+        "centre ({center:.3e}) dwarfs the corner ({corner:.3e})"
+    );
+}
+
+#[test]
+fn external_probe_is_spatially_blind() {
+    let coil = Coil::External(ExternalProbe::over_die(die()));
+    let map = CouplingMap::build(&coil, die()).expect("map");
+    let center = map.at(300.0, 300.0);
+    let corner = map.at(30.0, 30.0);
+    // Less than 30% variation across the die: no localization power.
+    assert!(
+        (center - corner).abs() < 0.3 * center.abs(),
+        "probe kernel must be nearly uniform: centre {center:.3e}, corner {corner:.3e}"
+    );
+}
+
+#[test]
+fn onchip_advantage_is_an_order_of_magnitude() {
+    let on = CouplingMap::build(
+        &Coil::OnChip(SpiralSensor::for_die(die()).expect("spiral")),
+        die(),
+    )
+    .expect("map");
+    let ext = CouplingMap::build(&Coil::External(ExternalProbe::over_die(die())), die())
+        .expect("map");
+    let ratio = on.mean_abs() / ext.mean_abs();
+    assert!(
+        ratio > 5.0,
+        "on-chip/external coupling ratio {ratio:.1} (the SNR gap's origin)"
+    );
+}
+
+#[test]
+fn sensor_respects_manufacturing_rules() {
+    let spiral = SpiralSensor::for_die(die()).expect("spiral");
+    assert!(spiral.width_um() >= emtrust_layout::spiral::MIN_WIDTH_UM);
+    assert!(spiral.pitch_um() >= 2.0 * emtrust_layout::spiral::MIN_WIDTH_UM);
+    // One-way: total length far exceeds one perimeter (it winds inward
+    // to outward), and resistance is in a measurable range.
+    assert!(spiral.wire_length_um() > 4.0 * 600.0);
+    assert!(spiral.resistance_ohm() > 100.0);
+    assert!(spiral.resistance_ohm() < 1e6);
+}
