@@ -97,7 +97,11 @@ pub fn build_aes(netlist: &mut Netlist) -> AesPorts {
 
     // Control table: round -> (rcon[0..8], advance[8], last[9], done[10]).
     let ctrl_tt = TruthTable::from_fn(4, 11, |r| {
-        let rcon = if (1..=10).contains(&r) { RCON[r] as u64 } else { 0 };
+        let rcon = if (1..=10).contains(&r) {
+            RCON[r] as u64
+        } else {
+            0
+        };
         let advance = u64::from((1..=10).contains(&r));
         let last = u64::from(r == 10);
         let done = u64::from(r == 11);
@@ -159,9 +163,8 @@ pub fn build_aes(netlist: &mut Netlist) -> AesPorts {
     netlist.push_module("mixcols");
     let mut mixed = vec![netlist.const0(); 128];
     for c in 0..4 {
-        let byte = |r: usize| -> Vec<NetId> {
-            (0..8).map(|i| shifted[8 * (4 * c + r) + i]).collect()
-        };
+        let byte =
+            |r: usize| -> Vec<NetId> { (0..8).map(|i| shifted[8 * (4 * c + r) + i]).collect() };
         let cols: [Vec<NetId>; 4] = [byte(0), byte(1), byte(2), byte(3)];
         let xt: Vec<Vec<NetId>> = cols.iter().map(|b| emit_xtime(netlist, b)).collect();
         for r in 0..4 {
@@ -392,7 +395,10 @@ mod tests {
     fn word_block_round_trip() {
         let block: [u8; 16] = core::array::from_fn(|i| (i * 17) as u8);
         assert_eq!(word_to_block(block_to_word(block)), block);
-        assert_eq!(block_to_word([1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]), 1);
+        assert_eq!(
+            block_to_word([1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]),
+            1
+        );
     }
 
     #[test]
@@ -470,7 +476,7 @@ mod tests {
         sim.step(); // lead-in
         sim.set_input(aes.ports().start, false);
         sim.step(); // load edge
-        // After the load edge the state register holds the round-0 state.
+                    // After the load edge the state register holds the round-0 state.
         assert_eq!(
             word_to_block(sim.bus(&aes.ports().ct)),
             reference.state_after_round(FIPS_PT, 0)

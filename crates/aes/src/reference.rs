@@ -203,8 +203,8 @@ mod tests {
         assert_eq!(
             s0,
             [
-                0x19, 0x3d, 0xe3, 0xbe, 0xa0, 0xf4, 0xe2, 0x2b, 0x9a, 0xc6, 0x8d, 0x2a, 0xe9,
-                0xf8, 0x48, 0x08
+                0x19, 0x3d, 0xe3, 0xbe, 0xa0, 0xf4, 0xe2, 0x2b, 0x9a, 0xc6, 0x8d, 0x2a, 0xe9, 0xf8,
+                0x48, 0x08
             ]
         );
         // Start of round 2 per FIPS-197 Appendix B.
@@ -212,8 +212,8 @@ mod tests {
         assert_eq!(
             s1,
             [
-                0xa4, 0x9c, 0x7f, 0xf2, 0x68, 0x9f, 0x35, 0x2b, 0x6b, 0x5b, 0xea, 0x43, 0x02,
-                0x6a, 0x50, 0x49
+                0xa4, 0x9c, 0x7f, 0xf2, 0x68, 0x9f, 0x35, 0x2b, 0x6b, 0x5b, 0xea, 0x43, 0x02, 0x6a,
+                0x50, 0x49
             ]
         );
         // Full encryption equals round 10.

@@ -107,17 +107,15 @@ fn ablation_probe_height(c: &mut Criterion) {
             "ablation_probe_height/{z_um}um: mean |M| = {:.3e} H (coupling falls with distance)",
             map.mean_abs()
         );
-        g.bench_with_input(
-            BenchmarkId::from_parameter(z_um as u64),
-            &z_um,
-            |b, &z| {
-                b.iter(|| {
-                    let coil: Coil =
-                        ExternalProbe::over_die(die).with_standoff(z).unwrap().into();
-                    CouplingMap::build(&coil, die).unwrap()
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(z_um as u64), &z_um, |b, &z| {
+            b.iter(|| {
+                let coil: Coil = ExternalProbe::over_die(die)
+                    .with_standoff(z)
+                    .unwrap()
+                    .into();
+                CouplingMap::build(&coil, die).unwrap()
+            })
+        });
     }
     g.finish();
 }
@@ -150,11 +148,13 @@ fn ablation_samples_per_cycle(c: &mut Criterion) {
             trace.len()
         );
         g.bench_with_input(BenchmarkId::from_parameter(spc), &spc, |b, &s| {
-            let model = CurrentModel::new(
-                Library::generic_180nm(),
-                ClockConfig::new(10e6, s).unwrap(),
-            );
-            b.iter(|| model.synthesize(aes.netlist(), &activity, None, None).unwrap())
+            let model =
+                CurrentModel::new(Library::generic_180nm(), ClockConfig::new(10e6, s).unwrap());
+            b.iter(|| {
+                model
+                    .synthesize(aes.netlist(), &activity, None, None)
+                    .unwrap()
+            })
         });
     }
     g.finish();

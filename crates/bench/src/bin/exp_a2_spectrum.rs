@@ -40,8 +40,7 @@ fn main() {
     print_spectrum_series("blue: original circuit", &golden, 320e6, 24).unwrap();
     print_spectrum_series("red: A2 triggering", &triggering, 320e6, 24).unwrap();
 
-    let detector =
-        SpectralDetector::fit(&golden, SpectralConfig::default()).expect("detector");
+    let detector = SpectralDetector::fit(&golden, SpectralConfig::default()).expect("detector");
     let anomalies = detector.compare(&triggering).expect("compare");
     let rows: Vec<Vec<String>> = anomalies
         .iter()

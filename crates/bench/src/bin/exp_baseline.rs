@@ -67,7 +67,11 @@ fn main() {
             ),
             format!(
                 "{e_margin:.2}x {}",
-                if e_margin > 1.0 || e_rate >= 0.5 { "caught" } else { "MISSED" }
+                if e_margin > 1.0 || e_rate >= 0.5 {
+                    "caught"
+                } else {
+                    "MISSED"
+                }
             ),
             format!("{:.0}%", 100.0 * e_rate),
         ]);

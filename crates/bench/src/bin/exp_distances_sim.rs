@@ -46,7 +46,14 @@ fn main() {
         .collect();
     print_table(
         "E3 — Euclidean distances, on-chip sensor, simulation (paper §IV-C)",
-        &["Trojan", "Distance", "EDth (Eq.1)", "Detected", "Trace rate", "Paper"],
+        &[
+            "Trojan",
+            "Distance",
+            "EDth (Eq.1)",
+            "Detected",
+            "Trace rate",
+            "Paper",
+        ],
         &table,
     );
 
@@ -57,6 +64,12 @@ fn main() {
         d[2],
         d[0].min(d[1]).min(d[3])
     );
-    assert!(d[2] < 0.5 * d[0].min(d[1]).min(d[3]), "T3 must be smallest by far");
-    assert!(rows.iter().all(|r| r.detected), "all four Trojans detected in simulation");
+    assert!(
+        d[2] < 0.5 * d[0].min(d[1]).min(d[3]),
+        "T3 must be smallest by far"
+    );
+    assert!(
+        rows.iter().all(|r| r.detected),
+        "all four Trojans detected in simulation"
+    );
 }

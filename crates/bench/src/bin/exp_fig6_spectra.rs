@@ -7,8 +7,9 @@
 
 use emtrust::acquisition::TestBench;
 use emtrust::spectral::{SpectralConfig, SpectralDetector};
-use emtrust_bench::{print_spectrum_series, print_table, standard_chip, EXPERIMENT_KEY,
-                    SPECTRAL_BLOCKS};
+use emtrust_bench::{
+    print_spectrum_series, print_table, standard_chip, EXPERIMENT_KEY, SPECTRAL_BLOCKS,
+};
 use emtrust_dsp::spectrum::Spectrum;
 use emtrust_dsp::window::Window;
 use emtrust_silicon::Channel;
@@ -70,7 +71,12 @@ fn main() {
 
     print_table(
         "Fig. 6 (i)-(l) summary",
-        &["Trojan", "Anomalous spots", "Strongest spot", "AM sideband (9.2-9.4 MHz) energy vs golden"],
+        &[
+            "Trojan",
+            "Anomalous spots",
+            "Strongest spot",
+            "AM sideband (9.2-9.4 MHz) energy vs golden",
+        ],
         &rows,
     );
     println!(

@@ -21,19 +21,44 @@ fn main() {
         "Fig. 2 — probe structures",
         &["Property", "On-chip sensor (b)", "External probe (a)"],
         &[
-            vec!["structure".into(), "one-way square spiral, center to corner".into(),
-                 "stacked identical circular turns".into()],
-            vec!["turns".into(), spiral.turns().to_string(), probe.turns().to_string()],
-            vec!["wire width".into(), format!("{:.2} um (min-width rule)", spiral.width_um()),
-                 "-".into()],
-            vec!["height above logic".into(), format!("{:.0} um (M6)", spiral.z_um()),
-                 format!("{:.0} um (package standoff)", probe.z_um())],
-            vec!["extent".into(),
-                 format!("{:.0} um outer turn", 2.0 * spiral.turn_rect(spiral.turns()-1).width()/2.0),
-                 format!("{:.0} um radius", probe.radius_um())],
-            vec!["wire length".into(), format!("{:.0} um", spiral.wire_length_um()), "-".into()],
-            vec!["series resistance".into(), format!("{:.1} ohm", spiral.resistance_ohm()),
-                 "-".into()],
+            vec![
+                "structure".into(),
+                "one-way square spiral, center to corner".into(),
+                "stacked identical circular turns".into(),
+            ],
+            vec![
+                "turns".into(),
+                spiral.turns().to_string(),
+                probe.turns().to_string(),
+            ],
+            vec![
+                "wire width".into(),
+                format!("{:.2} um (min-width rule)", spiral.width_um()),
+                "-".into(),
+            ],
+            vec![
+                "height above logic".into(),
+                format!("{:.0} um (M6)", spiral.z_um()),
+                format!("{:.0} um (package standoff)", probe.z_um()),
+            ],
+            vec![
+                "extent".into(),
+                format!(
+                    "{:.0} um outer turn",
+                    2.0 * spiral.turn_rect(spiral.turns() - 1).width() / 2.0
+                ),
+                format!("{:.0} um radius", probe.radius_um()),
+            ],
+            vec![
+                "wire length".into(),
+                format!("{:.0} um", spiral.wire_length_um()),
+                "-".into(),
+            ],
+            vec![
+                "series resistance".into(),
+                format!("{:.1} ohm", spiral.resistance_ohm()),
+                "-".into(),
+            ],
         ],
     );
 
@@ -43,23 +68,38 @@ fn main() {
         .map(|(name, r)| {
             vec![
                 name.clone(),
-                format!("({:.0},{:.0})..({:.0},{:.0})", r.min.x, r.min.y, r.max.x, r.max.y),
+                format!(
+                    "({:.0},{:.0})..({:.0},{:.0})",
+                    r.min.x, r.min.y, r.max.x, r.max.y
+                ),
                 format!("{:.0} um2", r.area()),
             ]
         })
         .collect();
-    print_table("Fig. 3 — placed regions", &["Block", "Extent (um)", "Area"], &regions);
+    print_table(
+        "Fig. 3 — placed regions",
+        &["Block", "Extent (um)", "Area"],
+        &regions,
+    );
 
     let pads: Vec<Vec<String>> = fp
         .pads()
         .iter()
-        .map(|p| vec![format!("{:?}", p.kind), format!("({:.0},{:.0})", p.location.x, p.location.y)])
+        .map(|p| {
+            vec![
+                format!("{:?}", p.kind),
+                format!("({:.0},{:.0})", p.location.x, p.location.y),
+            ]
+        })
         .collect();
     print_table("Pad ring", &["Pad", "Location (um)"], &pads);
 
     // ASCII die map: cell density + sensor turns.
-    println!("\nDie map ({}x{} um, '#'=high cell density, '.'=low, 'o'=spiral turn boundary):",
-             die.width_um(), die.height_um());
+    println!(
+        "\nDie map ({}x{} um, '#'=high cell density, '.'=low, 'o'=spiral turn boundary):",
+        die.width_um(),
+        die.height_um()
+    );
     let grid = 32usize;
     let sx = die.width_um() / grid as f64;
     let sy = die.height_um() / grid as f64;
@@ -72,7 +112,7 @@ fn main() {
     let max_d = density.iter().flatten().copied().max().unwrap_or(1).max(1);
     for gy in (0..grid).rev() {
         let mut line = String::new();
-        for gx in 0..grid {
+        for (gx, &d) in density[gy].iter().enumerate() {
             let x = (gx as f64 + 0.5) * sx;
             let y = (gy as f64 + 0.5) * sy;
             let turn_here = {
@@ -80,7 +120,6 @@ fn main() {
                 let n2 = spiral.turns_enclosing(x + sx, y);
                 n1 != n2
             };
-            let d = density[gy][gx];
             line.push(if turn_here {
                 'o'
             } else if d > max_d / 2 {

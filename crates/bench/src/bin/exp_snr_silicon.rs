@@ -19,7 +19,13 @@ fn main() {
 
     print_table(
         "E5 — SNR on the fabricated chip (paper §V-A)",
-        &["Probe", "Sim SNR (dB)", "Silicon SNR (dB)", "Paper sim", "Paper silicon"],
+        &[
+            "Probe",
+            "Sim SNR (dB)",
+            "Silicon SNR (dB)",
+            "Paper sim",
+            "Paper silicon",
+        ],
         &[
             vec![
                 "on-chip sensor".into(),
@@ -49,7 +55,13 @@ fn main() {
         13.8684 - 17.483,
         si_on.snr_db - si_ext.snr_db,
     );
-    assert!(si_ext.snr_db < sim_ext.snr_db - 1.0, "external must degrade on silicon");
-    assert!((si_on.snr_db - sim_on.snr_db).abs() < 3.0, "on-chip must hold up on silicon");
+    assert!(
+        si_ext.snr_db < sim_ext.snr_db - 1.0,
+        "external must degrade on silicon"
+    );
+    assert!(
+        (si_on.snr_db - sim_on.snr_db).abs() < 3.0,
+        "on-chip must hold up on silicon"
+    );
     assert!(si_on.snr_db > si_ext.snr_db + 10.0);
 }

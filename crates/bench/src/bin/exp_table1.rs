@@ -55,7 +55,13 @@ fn main() {
 
     print_table(
         "Table I — Trojan sizes compared to the whole AES design",
-        &["Circuit", "Gate count", "Percentage", "Paper gates", "Paper %"],
+        &[
+            "Circuit",
+            "Gate count",
+            "Percentage",
+            "Paper gates",
+            "Paper %",
+        ],
         &rows,
     );
     println!(

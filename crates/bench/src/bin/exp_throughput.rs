@@ -1,0 +1,78 @@
+//! Throughput of the parallel acquisition engine: golden-set collect+fit
+//! at 1/2/4/8 workers. Prints a table and writes the machine-readable
+//! record to `BENCH_parallel.json` in the working directory.
+
+use emtrust::acquisition::TestBench;
+use emtrust::fingerprint::{FingerprintConfig, GoldenFingerprint};
+use emtrust::parallel::ParallelConfig;
+use emtrust_bench::{print_table, EXPERIMENT_KEY};
+use emtrust_silicon::Channel;
+use emtrust_trojan::ProtectedChip;
+use std::time::Instant;
+
+const N_TRACES: usize = 32;
+
+fn main() {
+    let chip = ProtectedChip::golden();
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    let mut serial_s = 0.0f64;
+    let mut reference = None;
+    for workers in [1usize, 2, 4, 8] {
+        let pool = ParallelConfig::default().with_workers(workers);
+        let bench = TestBench::simulation(&chip)
+            .expect("bench")
+            .with_parallel(pool);
+        let config = FingerprintConfig {
+            parallel: pool,
+            ..FingerprintConfig::default()
+        };
+        let t0 = Instant::now();
+        let set = bench
+            .collect(EXPERIMENT_KEY, N_TRACES, None, Channel::OnChipSensor, 42)
+            .expect("collect");
+        let fp = GoldenFingerprint::fit(&set, config).expect("fit");
+        let elapsed = t0.elapsed().as_secs_f64();
+        // Determinism cross-check while we are here: every worker count
+        // must reproduce the serial threshold bit for bit.
+        match reference {
+            None => {
+                serial_s = elapsed;
+                reference = Some(fp.threshold());
+            }
+            Some(th) => assert_eq!(
+                fp.threshold().to_bits(),
+                th.to_bits(),
+                "threshold must not depend on the worker count"
+            ),
+        }
+        let tps = N_TRACES as f64 / elapsed;
+        let speedup = serial_s / elapsed;
+        rows.push(vec![
+            workers.to_string(),
+            format!("{elapsed:.2}"),
+            format!("{tps:.2}"),
+            format!("{speedup:.2}x"),
+        ]);
+        json_rows.push(format!(
+            "    {{\"workers\": {workers}, \"seconds\": {elapsed:.4}, \
+             \"traces_per_sec\": {tps:.4}, \"speedup\": {speedup:.4}}}"
+        ));
+    }
+    print_table(
+        &format!("Golden-set collect+fit throughput ({N_TRACES} traces)"),
+        &["workers", "seconds", "traces/s", "speedup"],
+        &rows,
+    );
+    let host_cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    let json = format!(
+        "{{\n  \"benchmark\": \"golden_collect_fit\",\n  \"n_traces\": {N_TRACES},\n  \
+         \"host_cpus\": {host_cpus},\n  \
+         \"note\": \"speedup is bounded by host_cpus; on a single-core host all \
+         worker counts time-slice one core\",\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    println!("\nwrote BENCH_parallel.json");
+}

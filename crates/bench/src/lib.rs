@@ -30,8 +30,7 @@ use emtrust_trojan::{ProtectedChip, TrojanKind};
 
 /// The fixed AES key every experiment uses (arbitrary but stable).
 pub const EXPERIMENT_KEY: [u8; 16] = [
-    0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f,
-    0x3c,
+    0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c,
 ];
 
 /// Number of encryption blocks in a continuous monitoring window — long
@@ -132,9 +131,10 @@ pub fn print_spectrum_series(
     let chunk = in_range.len().div_ceil(max_rows.max(1)).max(1);
     println!("  {label} (bin peak per {chunk} bins):");
     for group in in_range.chunks(chunk) {
-        let (f, m) = group
-            .iter()
-            .fold((0.0, 0.0), |acc, &(f, m)| if m > acc.1 { (f, m) } else { acc });
+        let (f, m) = group.iter().fold(
+            (0.0, 0.0),
+            |acc, &(f, m)| if m > acc.1 { (f, m) } else { acc },
+        );
         println!("    {:>12.0} Hz  {:.4e} V", f, m);
     }
     Ok(())

@@ -2,6 +2,7 @@
 //! it through either the simulation pipeline (paper §IV) or the
 //! fabricated-chip pipeline (paper §V).
 
+use crate::parallel::ParallelConfig;
 use crate::TrustError;
 use emtrust_aes::netlist::run_encryption_with;
 use emtrust_em::coil::Coil;
@@ -110,6 +111,7 @@ pub struct TestBench<'c> {
     backend: Backend,
     clock: ClockConfig,
     a2: Option<A2Trojan>,
+    parallel: ParallelConfig,
 }
 
 impl<'c> TestBench<'c> {
@@ -143,6 +145,7 @@ impl<'c> TestBench<'c> {
             backend: Backend::Simulation { onchip, external },
             clock,
             a2: None,
+            parallel: ParallelConfig::default(),
         })
     }
 
@@ -161,6 +164,7 @@ impl<'c> TestBench<'c> {
             backend: Backend::Silicon(fab),
             clock: ClockConfig::reference(),
             a2: None,
+            parallel: ParallelConfig::default(),
         })
     }
 
@@ -209,6 +213,21 @@ impl<'c> TestBench<'c> {
         self.a2.as_ref()
     }
 
+    /// Sets the parallel execution policy used by the `collect*` methods.
+    ///
+    /// The policy only affects wall-clock time: every collection result is
+    /// bit-identical for every worker count (noise seeds derive from the
+    /// campaign seed and the trace index, never from worker identity).
+    pub fn with_parallel(mut self, parallel: ParallelConfig) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// The parallel execution policy.
+    pub fn parallel(&self) -> ParallelConfig {
+        self.parallel
+    }
+
     /// Collects `n_traces` single-encryption traces with a fixed random
     /// stimulus derived from `seed` (the detection-campaign default),
     /// Trojan `armed` (if any) triggered throughout.
@@ -244,51 +263,97 @@ impl<'c> TestBench<'c> {
         seed: u64,
     ) -> Result<TraceSet, TrustError> {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut sim = self.chip.simulator()?;
-        self.chip.disarm_all(&mut sim);
-        if let Some(kind) = armed {
-            self.chip.arm(&mut sim, kind, true);
-        }
         let leak_sense = armed
             .and_then(|k| self.chip.trojan_ports(k))
             .and_then(|p| p.leak_sense);
 
         // Warm-up block (unrecorded): brings the registers to the steady
-        // post-encryption state so every recorded trace starts alike.
+        // post-encryption state so every recorded trace starts alike. All
+        // plaintexts are drawn up front, in trace order, so the stimulus
+        // stream is independent of how the work is later chunked.
         let warmup: [u8; 16] = match stimulus {
             Stimulus::Fixed(block) => block,
             Stimulus::RandomPerTrace => rng.gen(),
         };
-        let _ = run_encryption_with(&mut sim, self.chip.aes_ports(), key, warmup, |_| {});
-
-        let mut traces = Vec::with_capacity(n_traces);
-        for i in 0..n_traces {
-            let pt: [u8; 16] = match stimulus {
+        let plaintexts: Vec<[u8; 16]> = (0..n_traces)
+            .map(|_| match stimulus {
                 Stimulus::Fixed(block) => block,
                 Stimulus::RandomPerTrace => rng.gen(),
-            };
-            sim.start_recording();
-            let mut leak_per_cycle = Vec::new();
-            let _ct = run_encryption_with(&mut sim, self.chip.aes_ports(), key, pt, |s| {
-                if let Some(net) = leak_sense {
-                    // Leakage path opens while the sense bit is low.
-                    leak_per_cycle.push(if s.value(net) { 0.0 } else { T2_LEAK_CURRENT_A });
-                }
-            });
-            let activity = sim.take_recording();
-            let extra = if leak_sense.is_some() {
-                Some(leak_per_cycle)
-            } else {
-                None
-            };
-            let trace = self.measure_activity(
-                &activity,
-                extra.as_deref(),
-                channel,
-                seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-            )?;
-            traces.push(trace.into_samples());
-        }
+            })
+            .collect();
+        // Per-trace noise seed: campaign seed and trace index only — never
+        // worker identity — so parallel runs are bit-identical to serial.
+        let trace_seed = |i: usize| seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+
+        // A Trojan-free netlist is replayable: its post-encryption register
+        // state is a pure function of (key, previous plaintext), so a chunk
+        // of the campaign can rebuild its simulator from scratch, warm up
+        // with the chunk's predecessor plaintext, and reproduce the serial
+        // event stream exactly. Trojan-carrying netlists are not replayable
+        // (T1's counter free-runs even while dormant), so they simulate
+        // serially and fan out only the measurement stage.
+        let replayable = armed.is_none() && self.chip.trojan_kinds().next().is_none();
+        let traces = if replayable {
+            self.parallel
+                .try_map_chunks(n_traces, |range| -> Result<_, TrustError> {
+                    let mut sim = self.chip.simulator()?;
+                    self.chip.disarm_all(&mut sim);
+                    let prev = if range.start == 0 {
+                        warmup
+                    } else {
+                        plaintexts[range.start - 1]
+                    };
+                    let _ = run_encryption_with(&mut sim, self.chip.aes_ports(), key, prev, |_| {});
+                    let mut out = Vec::with_capacity(range.len());
+                    for i in range {
+                        sim.start_recording();
+                        let _ct = run_encryption_with(
+                            &mut sim,
+                            self.chip.aes_ports(),
+                            key,
+                            plaintexts[i],
+                            |_| {},
+                        );
+                        let activity = sim.take_recording();
+                        let trace =
+                            self.measure_activity(&activity, None, channel, trace_seed(i), 1)?;
+                        out.push(trace.into_samples());
+                    }
+                    Ok(out)
+                })?
+        } else {
+            let mut sim = self.chip.simulator()?;
+            self.chip.disarm_all(&mut sim);
+            if let Some(kind) = armed {
+                self.chip.arm(&mut sim, kind, true);
+            }
+            let _ = run_encryption_with(&mut sim, self.chip.aes_ports(), key, warmup, |_| {});
+            let mut recorded = Vec::with_capacity(n_traces);
+            for pt in &plaintexts {
+                sim.start_recording();
+                let mut leak_per_cycle = Vec::new();
+                let _ct = run_encryption_with(&mut sim, self.chip.aes_ports(), key, *pt, |s| {
+                    if let Some(net) = leak_sense {
+                        // Leakage path opens while the sense bit is low.
+                        leak_per_cycle.push(if s.value(net) { 0.0 } else { T2_LEAK_CURRENT_A });
+                    }
+                });
+                let activity = sim.take_recording();
+                recorded.push((activity, leak_sense.is_some().then_some(leak_per_cycle)));
+            }
+            self.parallel
+                .try_map(n_traces, |i| -> Result<_, TrustError> {
+                    let (activity, extra) = &recorded[i];
+                    let trace = self.measure_activity(
+                        activity,
+                        extra.as_deref(),
+                        channel,
+                        trace_seed(i),
+                        1,
+                    )?;
+                    Ok(trace.into_samples())
+                })?
+        };
         TraceSet::new(traces, self.clock.sample_rate_hz())
     }
 
@@ -332,7 +397,15 @@ impl<'c> TestBench<'c> {
         } else {
             None
         };
-        self.measure_activity(&activity, extra.as_deref(), channel, seed)
+        // The long trace parallelizes inside the measurement: current
+        // synthesis fans its cycle chunks across the pool.
+        self.measure_activity(
+            &activity,
+            extra.as_deref(),
+            channel,
+            seed,
+            self.parallel.workers,
+        )
     }
 
     /// The paper's noise-measurement step (§V-A step 1): the chip is
@@ -356,6 +429,7 @@ impl<'c> TestBench<'c> {
         extra_leakage: Option<&[f64]>,
         channel: Channel,
         seed: u64,
+        workers: usize,
     ) -> Result<VoltageTrace, TrustError> {
         let injections = self.a2_injections(activity.cycle_count());
         match &self.backend {
@@ -364,21 +438,23 @@ impl<'c> TestBench<'c> {
                     Channel::OnChipSensor => onchip,
                     Channel::ExternalProbe => external,
                 };
-                Ok(sensor.measure(
+                Ok(sensor.measure_with(
                     self.chip.netlist(),
                     activity,
                     extra_leakage,
                     &injections,
                     seed,
+                    workers,
                 )?)
             }
-            Backend::Silicon(fab) => Ok(fab.measure(
+            Backend::Silicon(fab) => Ok(fab.measure_with(
                 self.chip.netlist(),
                 activity,
                 channel,
                 extra_leakage,
                 &injections,
                 seed,
+                workers,
             )?),
         }
     }
@@ -498,7 +574,23 @@ mod tests {
         let dormant = bench
             .collect_continuous(KEY, 2, None, Channel::OnChipSensor, 4)
             .unwrap();
-        assert!(armed.rms_v() > dormant.rms_v());
+        // Same seed, so noise cancels sample-wise: the armed-minus-dormant
+        // residual is exactly the A2 injection's EM contribution. Total RMS
+        // is not a sound discriminator here — the 5 MHz trigger is
+        // phase-locked to the clock, so its cross-term with the AES signal
+        // can carry either sign.
+        let injected: Vec<f64> = armed
+            .samples()
+            .iter()
+            .zip(dormant.samples())
+            .map(|(a, d)| a - d)
+            .collect();
+        let injected_rms = emtrust_dsp::stats::rms(&injected);
+        assert!(
+            injected_rms > 0.02 * dormant.rms_v(),
+            "armed A2 must inject measurable energy: {injected_rms:.3e} vs floor {:.3e}",
+            0.02 * dormant.rms_v()
+        );
     }
 
     #[test]

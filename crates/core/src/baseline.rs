@@ -64,7 +64,8 @@ impl<'c> PowerBaseline<'c> {
             noise_rms_a: 0.0,
         };
         // Calibrate: one golden block sets the current scale.
-        let golden = baseline.collect(*b"calibration-key!", Stimulus::Fixed([0; 16]), 1, None, 0)?;
+        let golden =
+            baseline.collect(*b"calibration-key!", Stimulus::Fixed([0; 16]), 1, None, 0)?;
         let rms = emtrust_dsp::stats::rms(&golden.traces()[0]);
         baseline.noise_rms_a = SUPPLY_SENSE_NOISE_FRACTION * rms;
         Ok(baseline)
@@ -230,10 +231,18 @@ mod tests {
         let golden = baseline.collect(KEY, STIM, 12, None, 5).unwrap();
         let fp = GoldenFingerprint::fit(&golden, cfg).unwrap();
         let d3 = fp
-            .centroid_distance(&baseline.collect(KEY, STIM, 8, Some(TrojanKind::T3CdmaLeaker), 6).unwrap())
+            .centroid_distance(
+                &baseline
+                    .collect(KEY, STIM, 8, Some(TrojanKind::T3CdmaLeaker), 6)
+                    .unwrap(),
+            )
             .unwrap();
         let d4 = fp
-            .centroid_distance(&baseline.collect(KEY, STIM, 8, Some(TrojanKind::T4PowerDegrader), 6).unwrap())
+            .centroid_distance(
+                &baseline
+                    .collect(KEY, STIM, 8, Some(TrojanKind::T4PowerDegrader), 6)
+                    .unwrap(),
+            )
             .unwrap();
         assert!(d4 > 3.0 * d3, "T4 ({d4:.3}) must dwarf T3 ({d3:.3})");
     }

@@ -124,6 +124,7 @@ pub fn distance_panel(
         rms_bin: 1,
         pca_components: None,
         threshold_margin: 1.0,
+        ..FingerprintConfig::default()
     };
     let fp = GoldenFingerprint::fit(&golden_set, raw_config)?;
     let suspect =

@@ -2,6 +2,7 @@
 
 use crate::acquisition::TraceSet;
 use crate::features::{bin_rms, l2_norm, DEFAULT_RMS_BIN};
+use crate::parallel::ParallelConfig;
 use crate::TrustError;
 use emtrust_dsp::distance;
 use emtrust_dsp::pca::Pca;
@@ -17,6 +18,10 @@ pub struct FingerprintConfig {
     /// Threshold head-room multiplier on Eq. 1 (1.0 = the literal paper
     /// rule).
     pub threshold_margin: f64,
+    /// Parallel execution policy for fitting and batch evaluation. Only
+    /// affects wall-clock time: per-trace work and the `f64::max`
+    /// threshold reduction are bit-identical for every worker count.
+    pub parallel: ParallelConfig,
 }
 
 impl Default for FingerprintConfig {
@@ -25,6 +30,7 @@ impl Default for FingerprintConfig {
             rms_bin: DEFAULT_RMS_BIN,
             pca_components: Some(8),
             threshold_margin: 1.0,
+            parallel: ParallelConfig::default(),
         }
     }
 }
@@ -73,12 +79,11 @@ impl GoldenFingerprint {
                 what: "threshold margin must be positive",
             });
         }
-        // Feature extraction.
-        let raw: Vec<Vec<f64>> = golden
-            .traces()
-            .iter()
-            .map(|t| bin_rms(t, config.rms_bin))
-            .collect::<Result<_, _>>()?;
+        // Feature extraction, one trace per work item.
+        let traces = golden.traces();
+        let raw: Vec<Vec<f64>> = config
+            .parallel
+            .try_map(traces.len(), |i| bin_rms(&traces[i], config.rms_bin))?;
         // Scale normalization: golden magnitude becomes O(1) so distances
         // are dimensionless (comparable to the paper's 0.05–0.28 range).
         let scale = raw.iter().map(|f| l2_norm(f)).sum::<f64>() / raw.len() as f64;
@@ -96,13 +101,22 @@ impl GoldenFingerprint {
             Some(k) => {
                 let k = k.min(scaled[0].len());
                 let pca = Pca::fit(&scaled, k)?;
-                let projected = pca.project_all(&scaled)?;
+                let projected = config
+                    .parallel
+                    .try_map(scaled.len(), |i| -> Result<_, TrustError> {
+                        Ok(pca.project(&scaled[i])?)
+                    })?;
                 (Some(pca), projected)
             }
             None => (None, scaled),
         };
         let centroid = distance::centroid(&projected)?;
-        let threshold = distance::eq1_threshold(&projected)? * config.threshold_margin;
+        // The O(n²) Eq. 1 pair scan, row-fanned across the pool.
+        let threshold = distance::eq1_threshold_with(
+            &projected,
+            config.parallel.workers,
+            config.parallel.chunk_size,
+        )? * config.threshold_margin;
         Ok(Self {
             config,
             scale,
@@ -133,7 +147,10 @@ impl GoldenFingerprint {
     ///
     /// Forwarded projection errors.
     pub fn distance(&self, samples: &[f64]) -> Result<f64, TrustError> {
-        Ok(distance::euclidean(&self.project(samples)?, &self.centroid)?)
+        Ok(distance::euclidean(
+            &self.project(samples)?,
+            &self.centroid,
+        )?)
     }
 
     /// Evaluates one trace against the Eq. 1 threshold.
@@ -150,13 +167,34 @@ impl GoldenFingerprint {
         })
     }
 
-    /// Distances of every trace in a set to the golden centroid.
+    /// Evaluates a batch of traces against the Eq. 1 threshold, fanning
+    /// the per-trace work across the configured worker pool.
+    ///
+    /// Verdicts come back in trace order and each is exactly what
+    /// [`Self::evaluate`] returns for that trace — the batch path only
+    /// changes wall-clock time, never the result.
+    ///
+    /// # Errors
+    ///
+    /// Forwarded projection errors (from the lowest-indexed failing
+    /// trace).
+    pub fn evaluate_batch(&self, traces: &[Vec<f64>]) -> Result<Vec<Verdict>, TrustError> {
+        self.config
+            .parallel
+            .try_map(traces.len(), |i| self.evaluate(&traces[i]))
+    }
+
+    /// Distances of every trace in a set to the golden centroid, fanned
+    /// across the configured worker pool (trace order preserved).
     ///
     /// # Errors
     ///
     /// Forwarded projection errors.
     pub fn set_distances(&self, set: &TraceSet) -> Result<Vec<f64>, TrustError> {
-        set.traces().iter().map(|t| self.distance(t)).collect()
+        let traces = set.traces();
+        self.config
+            .parallel
+            .try_map(traces.len(), |i| self.distance(&traces[i]))
     }
 
     /// The paper's §IV-C scalar: Euclidean distance between the golden
@@ -182,7 +220,11 @@ impl GoldenFingerprint {
     ///
     /// Forwarded distance errors.
     pub fn golden_pairwise(&self) -> Result<Vec<f64>, TrustError> {
-        Ok(distance::pairwise_distances(&self.golden)?)
+        Ok(distance::pairwise_distances_with(
+            &self.golden,
+            self.config.parallel.workers,
+            self.config.parallel.chunk_size,
+        )?)
     }
 
     /// Cross distances between the golden set and a suspect set (the blue
@@ -226,9 +268,7 @@ mod tests {
         let traces: Vec<Vec<f64>> = (0..n)
             .map(|_| {
                 (0..256)
-                    .map(|j| {
-                        amplitude * ((j as f64 / 7.0).sin() + 0.02 * rng.gen_range(-1.0..1.0))
-                    })
+                    .map(|j| amplitude * ((j as f64 / 7.0).sin() + 0.02 * rng.gen_range(-1.0..1.0)))
                     .collect()
             })
             .collect();
@@ -294,7 +334,11 @@ mod tests {
             ..Default::default()
         };
         let fp = GoldenFingerprint::fit(&golden, cfg).unwrap();
-        assert!(fp.evaluate(&synthetic_set(1, 1.4, 9).traces()[0]).unwrap().trojan_suspected);
+        assert!(
+            fp.evaluate(&synthetic_set(1, 1.4, 9).traces()[0])
+                .unwrap()
+                .trojan_suspected
+        );
     }
 
     #[test]

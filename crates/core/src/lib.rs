@@ -51,11 +51,13 @@ pub mod euclidean;
 pub mod features;
 pub mod fingerprint;
 pub mod monitor;
+pub mod parallel;
 pub mod spectral;
 
 pub use acquisition::{TestBench, TraceSet};
 pub use fingerprint::{FingerprintConfig, GoldenFingerprint};
 pub use monitor::{Alarm, TrustMonitor};
+pub use parallel::ParallelConfig;
 pub use spectral::SpectralDetector;
 
 use std::error::Error;

@@ -75,6 +75,35 @@ impl TrustMonitor {
         }
     }
 
+    /// Ingests a batch of per-encryption traces: evaluation fans across
+    /// the fingerprint's worker pool, then verdicts are merged serially in
+    /// trace order, so the alarm log, trace indices, and counters end up
+    /// exactly as if [`Self::ingest_trace`] had been called on each trace
+    /// in order. Returns the alarms this batch raised, in order.
+    ///
+    /// # Errors
+    ///
+    /// Forwarded projection errors (wrong trace length). On error the
+    /// monitor is unchanged — no trace of the batch is counted.
+    pub fn ingest_batch(&mut self, traces: &[Vec<f64>]) -> Result<Vec<Alarm>, TrustError> {
+        let verdicts = self.fingerprint.evaluate_batch(traces)?;
+        let mut raised = Vec::new();
+        for verdict in verdicts {
+            let idx = self.traces_seen;
+            self.traces_seen += 1;
+            if verdict.trojan_suspected {
+                let alarm = Alarm::TimeDomain {
+                    trace_index: idx,
+                    distance: verdict.distance,
+                    threshold: verdict.threshold,
+                };
+                self.alarms.push(alarm.clone());
+                raised.push(alarm);
+            }
+        }
+        Ok(raised)
+    }
+
     /// Ingests a continuous monitoring window for spectral inspection;
     /// returns the alarm if one fired. No-op (returns `Ok(None)`) when no
     /// spectral detector is installed.
@@ -149,8 +178,7 @@ mod tests {
                 .map(|_| {
                     (0..256)
                         .map(|j| {
-                            amplitude
-                                * ((j as f64 / 9.0).sin() + 0.02 * rng.gen_range(-1.0..1.0))
+                            amplitude * ((j as f64 / 9.0).sin() + 0.02 * rng.gen_range(-1.0..1.0))
                         })
                         .collect()
                 })
@@ -191,8 +219,12 @@ mod tests {
     #[test]
     fn alarm_indices_are_monotonic() {
         let mut m = monitor();
-        let _ = m.ingest_trace(&synthetic_set(1, 1.0, 4).traces()[0]).unwrap();
-        let a = m.ingest_trace(&synthetic_set(1, 1.5, 5).traces()[0]).unwrap();
+        let _ = m
+            .ingest_trace(&synthetic_set(1, 1.0, 4).traces()[0])
+            .unwrap();
+        let a = m
+            .ingest_trace(&synthetic_set(1, 1.5, 5).traces()[0])
+            .unwrap();
         match a {
             Some(Alarm::TimeDomain { trace_index, .. }) => assert_eq!(trace_index, 1),
             other => panic!("expected time-domain alarm, got {other:?}"),

@@ -252,10 +252,8 @@ mod tests {
         let det = SpectralDetector::fit(&golden(), SpectralConfig::default()).unwrap();
         let suspect = tone_trace(&[(CLOCK, 2.5), (2.0 * CLOCK, 0.4)], FS, 16384, 0.01, 4);
         let anomalies = det.compare(&suspect).unwrap();
-        assert!(anomalies
-            .iter()
-            .any(|a| a.kind == AnomalyKind::BoostedSpot
-                && (a.frequency_hz - CLOCK).abs() < 2.0 * det.golden_spectrum().resolution_hz()));
+        assert!(anomalies.iter().any(|a| a.kind == AnomalyKind::BoostedSpot
+            && (a.frequency_hz - CLOCK).abs() < 2.0 * det.golden_spectrum().resolution_hz()));
     }
 
     #[test]
@@ -270,10 +268,7 @@ mod tests {
         let det = SpectralDetector::fit(&golden(), SpectralConfig::default()).unwrap();
         assert!(det.noise_floor() > 0.0);
         // The clock line towers over the floor.
-        let clock_mag = det
-            .golden_spectrum()
-            .magnitude_at(CLOCK)
-            .unwrap();
+        let clock_mag = det.golden_spectrum().magnitude_at(CLOCK).unwrap();
         assert!(clock_mag > 20.0 * det.noise_floor());
     }
 

@@ -69,13 +69,33 @@ pub fn euclidean_sqr(a: &[f64], b: &[f64]) -> Result<f64, DspError> {
 /// Returns [`DspError::LengthMismatch`] if any vector disagrees in length
 /// with the first.
 pub fn pairwise_distances(set: &[Vec<f64>]) -> Result<Vec<f64>, DspError> {
-    let mut out = Vec::with_capacity(set.len().saturating_sub(1) * set.len() / 2);
-    for i in 0..set.len() {
-        for j in (i + 1)..set.len() {
-            out.push(euclidean(&set[i], &set[j])?);
+    pairwise_distances_with(set, 1, usize::MAX)
+}
+
+/// [`pairwise_distances`] with the row space fanned across `workers`
+/// threads in chunks of `row_chunk` rows. Row-major output order — and
+/// hence every bit of the result — is independent of the worker count.
+///
+/// # Errors
+///
+/// Returns [`DspError::LengthMismatch`] if any vector disagrees in length
+/// with the first.
+pub fn pairwise_distances_with(
+    set: &[Vec<f64>],
+    workers: usize,
+    row_chunk: usize,
+) -> Result<Vec<f64>, DspError> {
+    let n = set.len();
+    let rows = crate::parallel::chunked_try_map(n, row_chunk.min(n.max(1)), workers, |range| {
+        let mut out = Vec::new();
+        for i in range {
+            for j in (i + 1)..n {
+                out.push(euclidean(&set[i], &set[j])?);
+            }
         }
-    }
-    Ok(out)
+        Ok(vec![out])
+    })?;
+    Ok(rows.into_iter().flatten().collect())
 }
 
 /// All cross distances between two sets (`|a|·|b|` values).
@@ -104,13 +124,39 @@ pub fn cross_distances(a: &[Vec<f64>], b: &[Vec<f64>]) -> Result<Vec<f64>, DspEr
 /// are supplied (no pair exists), or [`DspError::LengthMismatch`] on
 /// inconsistent vector lengths.
 pub fn eq1_threshold(golden: &[Vec<f64>]) -> Result<f64, DspError> {
-    if golden.len() < 2 {
+    eq1_threshold_with(golden, 1, usize::MAX)
+}
+
+/// [`eq1_threshold`] with the `O(n²)` pair scan fanned across `workers`
+/// threads in chunks of `row_chunk` rows. `f64::max` is associative and
+/// commutative, so the threshold is bit-identical for every worker count.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidParameter`] if fewer than two golden vectors
+/// are supplied (no pair exists), or [`DspError::LengthMismatch`] on
+/// inconsistent vector lengths.
+pub fn eq1_threshold_with(
+    golden: &[Vec<f64>],
+    workers: usize,
+    row_chunk: usize,
+) -> Result<f64, DspError> {
+    let n = golden.len();
+    if n < 2 {
         return Err(DspError::InvalidParameter {
             what: "eq1 threshold needs at least two golden vectors",
         });
     }
-    let dists = pairwise_distances(golden)?;
-    Ok(dists.into_iter().fold(0.0f64, f64::max))
+    let partials = crate::parallel::chunked_try_map(n, row_chunk.min(n), workers, |range| {
+        let mut best = 0.0f64;
+        for i in range {
+            for j in (i + 1)..n {
+                best = best.max(euclidean(&golden[i], &golden[j])?);
+            }
+        }
+        Ok(vec![best])
+    })?;
+    Ok(partials.into_iter().fold(0.0f64, f64::max))
 }
 
 /// Distance of `probe` to the centroid (mean vector) of `reference`.

@@ -3,10 +3,9 @@
 //! Trojan-activated traces are compared by the position of their peaks.
 
 use crate::DspError;
-use serde::{Deserialize, Serialize};
 
 /// A histogram over a fixed range with uniform bins.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
@@ -130,11 +129,7 @@ impl Histogram {
         if self.total() == 0 {
             return None;
         }
-        let (idx, _) = self
-            .counts
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &c)| c)?;
+        let (idx, _) = self.counts.iter().enumerate().max_by_key(|(_, &c)| c)?;
         Some(self.bin_center(idx))
     }
 

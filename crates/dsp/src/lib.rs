@@ -14,7 +14,9 @@
 //! - [`distance`] — Euclidean metrics and the paper's Eq. 1 threshold,
 //! - [`pca`] — principal component analysis via a Jacobi eigensolver,
 //! - [`matrix`] — the small dense symmetric-matrix support PCA needs,
-//! - [`histogram`] — fixed-bin histograms (paper Fig. 6 panels a–h).
+//! - [`histogram`] — fixed-bin histograms (paper Fig. 6 panels a–h),
+//! - [`parallel`] — deterministic chunked execution on scoped threads,
+//!   the substrate of every multi-core hot path in the workspace.
 //!
 //! # Examples
 //!
@@ -35,6 +37,7 @@ pub mod distance;
 pub mod fft;
 pub mod histogram;
 pub mod matrix;
+pub mod parallel;
 pub mod pca;
 pub mod spectrum;
 pub mod stats;
@@ -91,7 +94,10 @@ impl fmt::Display for DspError {
             DspError::NoConvergence {
                 algorithm,
                 iterations,
-            } => write!(f, "{algorithm} did not converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{algorithm} did not converge after {iterations} iterations"
+            ),
         }
     }
 }
@@ -111,7 +117,9 @@ mod tests {
                 expected: 4,
                 actual: 5,
             },
-            DspError::InvalidParameter { what: "k must be > 0" },
+            DspError::InvalidParameter {
+                what: "k must be > 0",
+            },
             DspError::NoConvergence {
                 algorithm: "jacobi",
                 iterations: 100,

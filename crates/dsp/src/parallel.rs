@@ -1,0 +1,170 @@
+//! Deterministic chunked parallel execution on scoped threads.
+//!
+//! The substrate every parallel hot path in the workspace builds on.
+//! Work is split into **fixed-size chunks whose boundaries depend only on
+//! the chunk size, never on the worker count**; workers pull chunks from a
+//! shared atomic cursor and results are merged back in chunk order. Any
+//! stage whose per-chunk computation is a pure function of the chunk
+//! therefore produces **bit-identical output for every worker count** —
+//! the property the trust monitor's determinism guarantee rests on.
+//!
+//! Scoped `std::thread` workers are used rather than an external pool
+//! crate: the build environment is offline, and the chunk granularity here
+//! (whole EM traces, blocks of distance pairs) makes pool reuse overhead
+//! irrelevant.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Splits `n_items` into contiguous chunks of at most `chunk_size`, maps
+/// every chunk with `f` on up to `workers` threads, and returns the
+/// per-chunk outputs concatenated in chunk order.
+///
+/// `f` receives the half-open item range of its chunk. The chunk layout is
+/// a pure function of `(n_items, chunk_size)`, so for a chunk-pure `f` the
+/// result is identical for every `workers` value, including 1 (which runs
+/// inline on the caller's thread, with no spawn at all).
+///
+/// # Errors
+///
+/// If any chunk returns an error, the error from the **lowest-indexed**
+/// failing chunk is returned — again independent of the worker count.
+pub fn chunked_try_map<R, E, F>(
+    n_items: usize,
+    chunk_size: usize,
+    workers: usize,
+    f: F,
+) -> Result<Vec<R>, E>
+where
+    R: Send,
+    E: Send,
+    F: Fn(std::ops::Range<usize>) -> Result<Vec<R>, E> + Sync,
+{
+    let chunk_size = chunk_size.max(1);
+    let workers = workers.max(1);
+    let n_chunks = n_items.div_ceil(chunk_size);
+    if n_items == 0 {
+        return Ok(Vec::new());
+    }
+    if workers == 1 || n_chunks == 1 {
+        // Degenerate pool: run inline, chunk by chunk, same chunk layout.
+        let mut out = Vec::with_capacity(n_items);
+        for c in 0..n_chunks {
+            let lo = c * chunk_size;
+            let hi = (lo + chunk_size).min(n_items);
+            out.extend(f(lo..hi)?);
+        }
+        return Ok(out);
+    }
+
+    type ChunkSlot<R, E> = (usize, Result<Vec<R>, E>);
+    let cursor = AtomicUsize::new(0);
+    // (chunk index, chunk output) pairs, pushed in completion order.
+    let done: Mutex<Vec<ChunkSlot<R, E>>> = Mutex::new(Vec::with_capacity(n_chunks));
+    let n_threads = workers.min(n_chunks);
+    std::thread::scope(|scope| {
+        for _ in 0..n_threads {
+            scope.spawn(|| loop {
+                let c = cursor.fetch_add(1, Ordering::Relaxed);
+                if c >= n_chunks {
+                    break;
+                }
+                let lo = c * chunk_size;
+                let hi = (lo + chunk_size).min(n_items);
+                let result = f(lo..hi);
+                done.lock().expect("parallel chunk mutex").push((c, result));
+            });
+        }
+    });
+
+    let mut chunks = done.into_inner().expect("parallel chunk mutex");
+    chunks.sort_by_key(|(c, _)| *c);
+    let mut out = Vec::with_capacity(n_items);
+    for (_, result) in chunks {
+        out.extend(result?);
+    }
+    Ok(out)
+}
+
+/// Infallible variant of [`chunked_try_map`].
+pub fn chunked_map<R, F>(n_items: usize, chunk_size: usize, workers: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> Vec<R> + Sync,
+{
+    match chunked_try_map::<R, std::convert::Infallible, _>(n_items, chunk_size, workers, |r| {
+        Ok(f(r))
+    }) {
+        Ok(v) => v,
+        Err(e) => match e {},
+    }
+}
+
+/// Parallel max-reduction over chunks. `f` maps an item range to a partial
+/// maximum; partials are folded with `f64::max`, which is associative and
+/// commutative, so the result is bit-identical for every worker count.
+/// Returns `neutral` when `n_items` is zero.
+pub fn chunked_max<F>(n_items: usize, chunk_size: usize, workers: usize, neutral: f64, f: F) -> f64
+where
+    F: Fn(std::ops::Range<usize>) -> f64 + Sync,
+{
+    chunked_map(n_items, chunk_size, workers, |r| vec![f(r)])
+        .into_iter()
+        .fold(neutral, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_item_order_for_any_worker_count() {
+        let reference: Vec<usize> = (0..103).map(|i| i * i).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            for chunk in [1, 4, 7, 103, 1000] {
+                let got = chunked_map(103, chunk, workers, |r| {
+                    r.map(|i| i * i).collect::<Vec<_>>()
+                });
+                assert_eq!(got, reference, "workers={workers} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let got = chunked_map(0, 8, 4, |r| r.collect::<Vec<_>>());
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn lowest_failing_chunk_wins_regardless_of_workers() {
+        for workers in [1, 2, 8] {
+            let got: Result<Vec<usize>, usize> = chunked_try_map(100, 10, workers, |r| {
+                if r.start >= 30 {
+                    Err(r.start)
+                } else {
+                    Ok(r.collect())
+                }
+            });
+            assert_eq!(got.unwrap_err(), 30, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn max_reduction_matches_serial_fold() {
+        let values: Vec<f64> = (0..517).map(|i| ((i * 37 % 101) as f64).sin()).collect();
+        let serial = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for workers in [1, 2, 5, 16] {
+            let par = chunked_max(values.len(), 13, workers, f64::NEG_INFINITY, |r| {
+                values[r].iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            });
+            assert_eq!(par.to_bits(), serial.to_bits(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn oversubscribed_workers_are_harmless() {
+        let got = chunked_map(5, 2, 100, |r| r.collect::<Vec<_>>());
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -302,11 +302,11 @@ mod tests {
         assert!((sorted[0] - 1.0).abs() < 1e-10);
         assert!((sorted[1] - 3.0).abs() < 1e-10);
         // Check A·v = λ·v for each eigenpair.
-        for i in 0..2 {
+        for (i, &val) in vals.iter().enumerate() {
             let v: Vec<f64> = (0..2).map(|r| vecs.get(r, i)).collect();
             let av = m.mul_vec(&v).unwrap();
             for r in 0..2 {
-                assert!((av[r] - vals[i] * v[r]).abs() < 1e-9);
+                assert!((av[r] - val * v[r]).abs() < 1e-9);
             }
         }
     }
@@ -347,7 +347,10 @@ mod tests {
             .collect();
         let pca = Pca::fit(&samples, 2).unwrap();
         let ratio = pca.explained_variance_ratio();
-        assert!(ratio[0] > 0.999, "dominant axis should capture nearly all variance");
+        assert!(
+            ratio[0] > 0.999,
+            "dominant axis should capture nearly all variance"
+        );
         // The dominant axis should be parallel to (1, 2)/√5.
         let axis = pca.components().row(0);
         let expected = [1.0 / 5.0f64.sqrt(), 2.0 / 5.0f64.sqrt()];
@@ -357,10 +360,8 @@ mod tests {
 
     #[test]
     fn pca_projection_preserves_cluster_separation() {
-        let cluster_a: Vec<Vec<f64>> =
-            (0..16).map(|i| vec![0.0 + 0.01 * i as f64, 0.0]).collect();
-        let cluster_b: Vec<Vec<f64>> =
-            (0..16).map(|i| vec![10.0 + 0.01 * i as f64, 0.0]).collect();
+        let cluster_a: Vec<Vec<f64>> = (0..16).map(|i| vec![0.0 + 0.01 * i as f64, 0.0]).collect();
+        let cluster_b: Vec<Vec<f64>> = (0..16).map(|i| vec![10.0 + 0.01 * i as f64, 0.0]).collect();
         let all: Vec<Vec<f64>> = cluster_a.iter().chain(&cluster_b).cloned().collect();
         let pca = Pca::fit(&all, 1).unwrap();
         let za = pca.project(&cluster_a[0]).unwrap()[0];
@@ -395,9 +396,6 @@ mod tests {
         let samples = vec![vec![5.0, 5.0]; 8];
         let pca = Pca::fit(&samples, 2).unwrap();
         assert!(pca.explained_variance().iter().all(|&v| v.abs() < 1e-12));
-        assert!(pca
-            .explained_variance_ratio()
-            .iter()
-            .all(|&v| v == 0.0));
+        assert!(pca.explained_variance_ratio().iter().all(|&v| v == 0.0));
     }
 }

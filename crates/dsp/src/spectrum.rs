@@ -47,11 +47,7 @@ impl Spectrum {
     /// # Ok(())
     /// # }
     /// ```
-    pub fn compute(
-        signal: &[f64],
-        sample_rate_hz: f64,
-        window: Window,
-    ) -> Result<Self, DspError> {
+    pub fn compute(signal: &[f64], sample_rate_hz: f64, window: Window) -> Result<Self, DspError> {
         if signal.is_empty() {
             return Err(DspError::EmptyInput);
         }

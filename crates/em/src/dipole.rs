@@ -84,8 +84,7 @@ pub fn mutual_inductance_per_um2(
 /// integral in tests and for field-map visualization.
 pub fn dipole_bz(m_si: f64, rho_m: f64, z_m: f64) -> f64 {
     let r2 = rho_m * rho_m + z_m * z_m;
-    MU0 * m_si / (4.0 * std::f64::consts::PI) * (2.0 * z_m * z_m - rho_m * rho_m)
-        / r2.powf(2.5)
+    MU0 * m_si / (4.0 * std::f64::consts::PI) * (2.0 * z_m * z_m - rho_m * rho_m) / r2.powf(2.5)
 }
 
 #[cfg(test)]
@@ -172,11 +171,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "3 vertices")]
     fn degenerate_polygon_is_rejected() {
-        let _ = mutual_inductance_per_um2(
-            &[Point::new(0.0, 0.0), Point::new(1.0, 0.0)],
-            5.0,
-            0.0,
-            0.0,
-        );
+        let _ =
+            mutual_inductance_per_um2(&[Point::new(0.0, 0.0), Point::new(1.0, 0.0)], 5.0, 0.0, 0.0);
     }
 }

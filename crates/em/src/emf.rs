@@ -1,11 +1,10 @@
 //! Faraday emf synthesis: the coil's terminal voltage.
 
 use emtrust_power::CurrentTrace;
-use serde::{Deserialize, Serialize};
 
 /// A uniformly sampled voltage waveform (volts) — what the oscilloscope
 /// sees across `Sensor In`/`Sensor Out` (or the probe terminals).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VoltageTrace {
     samples: Vec<f64>,
     sample_rate_hz: f64,

@@ -13,8 +13,8 @@
 
 use crate::coil::Coil;
 use crate::emf::VoltageTrace;
-use rand::{Rng, SeedableRng};
 use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Calibrated environment-noise RMS seen by the on-chip sensor, volts.
 ///
@@ -129,10 +129,7 @@ mod tests {
         use emtrust_layout::probe::ExternalProbe;
         use emtrust_layout::spiral::SpiralSensor;
         let die = Die::square(600.0).unwrap();
-        let on = NoiseModel::environment_for(
-            &Coil::OnChip(SpiralSensor::for_die(die).unwrap()),
-            0,
-        );
+        let on = NoiseModel::environment_for(&Coil::OnChip(SpiralSensor::for_die(die).unwrap()), 0);
         let ext = NoiseModel::environment_for(&Coil::External(ExternalProbe::over_die(die)), 0);
         assert_eq!(on.rms_v(), ONCHIP_ENV_NOISE_RMS_V);
         assert_eq!(ext.rms_v(), EXTERNAL_ENV_NOISE_RMS_V);

@@ -108,9 +108,31 @@ impl EmSensor {
         extra_leakage_a: Option<&[f64]>,
         injections: &[PointCurrentSource],
     ) -> Result<VoltageTrace, EmError> {
-        let mut weighted =
-            self.model
-                .synthesize(netlist, activity, Some(&self.weights), extra_leakage_a)?;
+        self.emf_with(netlist, activity, extra_leakage_a, injections, 1)
+    }
+
+    /// [`Self::emf`] with current synthesis fanned across `workers`
+    /// threads (see [`CurrentModel::synthesize_with`]); the emf is
+    /// bit-identical for every worker count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates power-model errors (length mismatches).
+    pub fn emf_with(
+        &self,
+        netlist: &Netlist,
+        activity: &ActivityTrace,
+        extra_leakage_a: Option<&[f64]>,
+        injections: &[PointCurrentSource],
+        workers: usize,
+    ) -> Result<VoltageTrace, EmError> {
+        let mut weighted = self.model.synthesize_with(
+            netlist,
+            activity,
+            Some(&self.weights),
+            extra_leakage_a,
+            workers,
+        )?;
         for src in injections {
             let m = self.map.at(src.location_um.0, src.location_um.1);
             if m == 0.0 || src.samples.is_empty() {
@@ -136,7 +158,33 @@ impl EmSensor {
         injections: &[PointCurrentSource],
         noise_seed: u64,
     ) -> Result<VoltageTrace, EmError> {
-        let mut trace = self.emf(netlist, activity, extra_leakage_a, injections)?;
+        self.measure_with(
+            netlist,
+            activity,
+            extra_leakage_a,
+            injections,
+            noise_seed,
+            1,
+        )
+    }
+
+    /// [`Self::measure`] with current synthesis fanned across `workers`
+    /// threads. The noise stream is seeded from `noise_seed` alone, so the
+    /// measurement is bit-identical for every worker count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates power-model errors.
+    pub fn measure_with(
+        &self,
+        netlist: &Netlist,
+        activity: &ActivityTrace,
+        extra_leakage_a: Option<&[f64]>,
+        injections: &[PointCurrentSource],
+        noise_seed: u64,
+        workers: usize,
+    ) -> Result<VoltageTrace, EmError> {
+        let mut trace = self.emf_with(netlist, activity, extra_leakage_a, injections, workers)?;
         NoiseModel::environment_for(&self.coil, noise_seed).add_to(&mut trace);
         Ok(trace)
     }
@@ -144,10 +192,8 @@ impl EmSensor {
     /// A pure-noise measurement of length `n_samples` (the paper's step 1:
     /// chip powered, no encryption).
     pub fn measure_noise(&self, n_samples: usize, noise_seed: u64) -> VoltageTrace {
-        let mut trace = VoltageTrace::new(
-            vec![0.0; n_samples],
-            self.model.clock().sample_rate_hz(),
-        );
+        let mut trace =
+            VoltageTrace::new(vec![0.0; n_samples], self.model.clock().sample_rate_hz());
         NoiseModel::environment_for(&self.coil, noise_seed).add_to(&mut trace);
         trace
     }
@@ -224,7 +270,9 @@ mod tests {
         let c = fp.die().center();
         let inj = PointCurrentSource {
             location_um: (c.x, c.y),
-            samples: (0..128).map(|i| if i % 2 == 0 { 1e-3 } else { -1e-3 }).collect(),
+            samples: (0..128)
+                .map(|i| if i % 2 == 0 { 1e-3 } else { -1e-3 })
+                .collect(),
         };
         let with = s.emf(&n, &act, None, &[inj]).unwrap();
         assert!(with.rms_v() > base.rms_v());

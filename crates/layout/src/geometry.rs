@@ -1,10 +1,8 @@
 //! Planar geometry primitives in micrometres.
 
-use serde::{Deserialize, Serialize};
-
 /// A point in the die plane (micrometres, origin at the die's south-west
 /// corner).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Point {
     /// X coordinate in µm.
     pub x: f64,
@@ -25,7 +23,7 @@ impl Point {
 }
 
 /// A straight wire segment between two points.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Segment {
     /// Start point.
     pub a: Point,
@@ -51,7 +49,7 @@ impl Segment {
 }
 
 /// An axis-aligned rectangle.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Rect {
     /// South-west corner.
     pub min: Point,

@@ -56,10 +56,7 @@ impl PowerGrid {
         while x < die.core.max.x {
             straps.push(Strap {
                 rail,
-                segment: Segment::new(
-                    Point::new(x, die.core.min.y),
-                    Point::new(x, die.core.max.y),
-                ),
+                segment: Segment::new(Point::new(x, die.core.min.y), Point::new(x, die.core.max.y)),
             });
             rail = match rail {
                 RailKind::Vdd => RailKind::Vss,

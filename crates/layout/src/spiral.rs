@@ -157,9 +157,7 @@ impl SpiralSensor {
             pts.push(Point::new(c.x - h, c.y - h)); // south
             pts.push(Point::new(c.x + h, c.y - h)); // east, closing the turn
         }
-        pts.windows(2)
-            .map(|w| Segment::new(w[0], w[1]))
-            .collect()
+        pts.windows(2).map(|w| Segment::new(w[0], w[1])).collect()
     }
 
     /// Total wire length in µm.

@@ -6,10 +6,8 @@
 //! EM side channel cares about *switching events*, not about rich cell
 //! variety.
 
-use serde::{Deserialize, Serialize};
-
 /// A standard-cell kind.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum CellKind {
     /// Non-inverting buffer (also models clock-tree buffers).

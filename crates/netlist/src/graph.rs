@@ -118,15 +118,16 @@ impl Netlist {
     /// Creates an empty netlist named `name`, with constant-0/1 nets
     /// pre-allocated and the root module tag `""`.
     pub fn new(name: impl Into<String>) -> Self {
-        let mut nets = Vec::new();
-        nets.push(Net {
-            name: Some("const0".into()),
-            source: NetSource::Const(false),
-        });
-        nets.push(Net {
-            name: Some("const1".into()),
-            source: NetSource::Const(true),
-        });
+        let nets = vec![
+            Net {
+                name: Some("const0".into()),
+                source: NetSource::Const(false),
+            },
+            Net {
+                name: Some("const1".into()),
+                source: NetSource::Const(true),
+            },
+        ];
         Self {
             name: name.into(),
             nets,
@@ -247,7 +248,9 @@ impl Netlist {
 
     /// Adds a bus of `width` primary inputs named `name[i]`, LSB first.
     pub fn input_bus(&mut self, name: &str, width: usize) -> Vec<NetId> {
-        (0..width).map(|i| self.input(format!("{name}[{i}]"))).collect()
+        (0..width)
+            .map(|i| self.input(format!("{name}[{i}]")))
+            .collect()
     }
 
     /// Marks `net` as the primary output `name`.
@@ -302,7 +305,8 @@ impl Netlist {
     ///
     /// Panics on the conditions [`Netlist::try_gate`] reports as errors.
     pub fn gate(&mut self, kind: CellKind, inputs: &[NetId]) -> NetId {
-        self.try_gate(kind, inputs).expect("invalid gate construction")
+        self.try_gate(kind, inputs)
+            .expect("invalid gate construction")
     }
 
     /// Inverter.

@@ -15,12 +15,11 @@
 //! more charge than an inverter, etc.), which these preserve.
 
 use crate::cell::CellKind;
-use serde::{Deserialize, Serialize};
 #[cfg(test)]
 use crate::cell::ALL_KINDS;
 
 /// Per-kind electrical parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CellElectrical {
     /// Effective switched capacitance per output transition, in femtofarads.
     pub c_eff_ff: f64,
@@ -31,7 +30,7 @@ pub struct CellElectrical {
 }
 
 /// A characterized standard-cell library.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Library {
     name: String,
     vdd_v: f64,
@@ -59,17 +58,94 @@ impl Library {
     pub fn generic_180nm() -> Self {
         use CellKind::*;
         let table = [
-            (Buf, CellElectrical { c_eff_ff: 6.0, leakage_na: 0.08, area_um2: 13.3 }),
-            (Inv, CellElectrical { c_eff_ff: 4.0, leakage_na: 0.05, area_um2: 6.7 }),
-            (And2, CellElectrical { c_eff_ff: 7.5, leakage_na: 0.10, area_um2: 13.3 }),
-            (Nand2, CellElectrical { c_eff_ff: 6.0, leakage_na: 0.09, area_um2: 10.0 }),
-            (Or2, CellElectrical { c_eff_ff: 7.5, leakage_na: 0.10, area_um2: 13.3 }),
-            (Nor2, CellElectrical { c_eff_ff: 6.0, leakage_na: 0.09, area_um2: 10.0 }),
-            (Xor2, CellElectrical { c_eff_ff: 10.0, leakage_na: 0.14, area_um2: 20.0 }),
-            (Xnor2, CellElectrical { c_eff_ff: 10.0, leakage_na: 0.14, area_um2: 20.0 }),
-            (Mux2, CellElectrical { c_eff_ff: 9.0, leakage_na: 0.13, area_um2: 20.0 }),
-            (Dff, CellElectrical { c_eff_ff: 22.0, leakage_na: 0.35, area_um2: 50.0 }),
-            (PadDriver, CellElectrical { c_eff_ff: 1000.0, leakage_na: 4.0, area_um2: 160.0 }),
+            (
+                Buf,
+                CellElectrical {
+                    c_eff_ff: 6.0,
+                    leakage_na: 0.08,
+                    area_um2: 13.3,
+                },
+            ),
+            (
+                Inv,
+                CellElectrical {
+                    c_eff_ff: 4.0,
+                    leakage_na: 0.05,
+                    area_um2: 6.7,
+                },
+            ),
+            (
+                And2,
+                CellElectrical {
+                    c_eff_ff: 7.5,
+                    leakage_na: 0.10,
+                    area_um2: 13.3,
+                },
+            ),
+            (
+                Nand2,
+                CellElectrical {
+                    c_eff_ff: 6.0,
+                    leakage_na: 0.09,
+                    area_um2: 10.0,
+                },
+            ),
+            (
+                Or2,
+                CellElectrical {
+                    c_eff_ff: 7.5,
+                    leakage_na: 0.10,
+                    area_um2: 13.3,
+                },
+            ),
+            (
+                Nor2,
+                CellElectrical {
+                    c_eff_ff: 6.0,
+                    leakage_na: 0.09,
+                    area_um2: 10.0,
+                },
+            ),
+            (
+                Xor2,
+                CellElectrical {
+                    c_eff_ff: 10.0,
+                    leakage_na: 0.14,
+                    area_um2: 20.0,
+                },
+            ),
+            (
+                Xnor2,
+                CellElectrical {
+                    c_eff_ff: 10.0,
+                    leakage_na: 0.14,
+                    area_um2: 20.0,
+                },
+            ),
+            (
+                Mux2,
+                CellElectrical {
+                    c_eff_ff: 9.0,
+                    leakage_na: 0.13,
+                    area_um2: 20.0,
+                },
+            ),
+            (
+                Dff,
+                CellElectrical {
+                    c_eff_ff: 22.0,
+                    leakage_na: 0.35,
+                    area_um2: 50.0,
+                },
+            ),
+            (
+                PadDriver,
+                CellElectrical {
+                    c_eff_ff: 1000.0,
+                    leakage_na: 4.0,
+                    area_um2: 160.0,
+                },
+            ),
         ];
         Self {
             name: "generic180".into(),
@@ -174,7 +250,8 @@ mod tests {
         let b = n.not(a);
         let _ = n.dff(b);
         let area = netlist_area_um2(&n, &lib);
-        let expect = lib.electrical(CellKind::Inv).area_um2 + lib.electrical(CellKind::Dff).area_um2;
+        let expect =
+            lib.electrical(CellKind::Inv).area_um2 + lib.electrical(CellKind::Dff).area_um2;
         assert!((area - expect).abs() < 1e-12);
     }
 

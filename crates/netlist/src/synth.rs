@@ -151,9 +151,7 @@ impl BddSynthesizer {
         let size = 1usize << table.n_inputs;
         let roots = (0..table.n_outputs)
             .map(|bit| {
-                let bits: Vec<bool> = (0..size)
-                    .map(|i| table.words[i] >> bit & 1 != 0)
-                    .collect();
+                let bits: Vec<bool> = (0..size).map(|i| table.words[i] >> bit & 1 != 0).collect();
                 builder.build(&bits)
             })
             .collect();
@@ -214,7 +212,11 @@ impl BddSynthesizer {
     ///
     /// Returns [`NetlistError::ArityMismatch`] if `inputs.len()` differs
     /// from the table's input count.
-    pub fn emit(&self, netlist: &mut Netlist, inputs: &[NetId]) -> Result<Vec<NetId>, NetlistError> {
+    pub fn emit(
+        &self,
+        netlist: &mut Netlist,
+        inputs: &[NetId],
+    ) -> Result<Vec<NetId>, NetlistError> {
         if inputs.len() != self.n_inputs {
             return Err(NetlistError::ArityMismatch {
                 kind: crate::cell::CellKind::Mux2,
@@ -319,7 +321,7 @@ fn pack_bits(bits: &[bool]) -> Vec<u8> {
             byte = 0;
         }
     }
-    if bits.len() % 8 != 0 {
+    if !bits.len().is_multiple_of(8) {
         out.push(byte);
     }
     out
@@ -433,7 +435,10 @@ mod tests {
         })
         .unwrap();
         let bdd = BddSynthesizer::from_truth_table(&tt);
-        assert!(bdd.node_count() > 50, "dense function should need many nodes");
+        assert!(
+            bdd.node_count() > 50,
+            "dense function should need many nodes"
+        );
         assert!(
             bdd.node_count() < 600,
             "sharing should keep an 8x8 function under 600 nodes, got {}",

@@ -16,6 +16,15 @@ const CLOCK_LOAD_FRACTION: f64 = 0.35;
 /// rising ones (PMOS/NMOS asymmetry).
 const FALL_CHARGE_FRACTION: f64 = 0.85;
 
+/// Cycle-chunk granularity of [`CurrentModel::synthesize_with`].
+///
+/// The chunk layout is a pure function of the activity's cycle count and
+/// this constant — never of the worker count — so the synthesized waveform
+/// is bit-identical for every number of workers. Activities of at most
+/// `CYCLE_CHUNK` cycles (every per-trace acquisition) render in a single
+/// chunk and reproduce the serial reference numerics exactly.
+pub const CYCLE_CHUNK: usize = 64;
+
 /// Synthesizes transient current from switching activity.
 ///
 /// # Examples
@@ -91,6 +100,31 @@ impl CurrentModel {
         weights: Option<&[f64]>,
         extra_leakage_a: Option<&[f64]>,
     ) -> Result<CurrentTrace, PowerError> {
+        self.synthesize_with(netlist, activity, weights, extra_leakage_a, 1)
+    }
+
+    /// [`Self::synthesize`] with the cycle loop fanned across `workers`
+    /// threads in fixed chunks of [`CYCLE_CHUNK`] cycles.
+    ///
+    /// Each chunk renders its cycles into a private buffer (with enough
+    /// tail room for deposits that spill past the chunk boundary) and the
+    /// buffers are merged into the output strictly in chunk order, so the
+    /// waveform is bit-identical for every `workers` value. Activities
+    /// short enough for a single chunk are rendered directly into the
+    /// output buffer, reproducing the serial path exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::LengthMismatch`] if `weights` doesn't cover
+    /// every cell or `extra_leakage_a` doesn't cover every cycle.
+    pub fn synthesize_with(
+        &self,
+        netlist: &Netlist,
+        activity: &ActivityTrace,
+        weights: Option<&[f64]>,
+        extra_leakage_a: Option<&[f64]>,
+        workers: usize,
+    ) -> Result<CurrentTrace, PowerError> {
         if let Some(w) = weights {
             if w.len() != netlist.cell_count() {
                 return Err(PowerError::LengthMismatch {
@@ -109,10 +143,12 @@ impl CurrentModel {
         }
 
         let spc = self.clock.samples_per_cycle();
-        let n_samples = activity.cycle_count() * spc;
+        let n_cycles = activity.cycle_count();
+        let n_samples = n_cycles * spc;
         let fs = self.clock.sample_rate_hz();
         let dt = 1.0 / fs;
         let tau = self.library.gate_delay_s();
+        let period = self.clock.period_s();
         let mut samples = vec![0.0; n_samples];
 
         let weight_of = |cell: emtrust_netlist::graph::CellId| -> f64 {
@@ -149,35 +185,73 @@ impl CurrentModel {
             1.0
         };
 
-        for (k, cycle) in activity.cycles().iter().enumerate() {
-            let cycle_t0 = k as f64 * self.clock.period_s();
-            // Clock edge at the start of the cycle.
-            deposit(
-                &mut samples,
-                dt,
-                cycle_t0 + tau * 0.5,
-                clock_charge_weighted,
-            );
-            // Data toggles staggered by level.
-            for event in cycle.events() {
-                let kind = netlist.cell(event.cell).kind();
-                let q0 = self.library.charge_per_transition_c(kind);
-                let q = if event.rising {
-                    q0
-                } else {
-                    q0 * FALL_CHARGE_FRACTION
-                };
-                let t = cycle_t0 + (event.level as f64 + 0.5) * tau;
-                deposit(&mut samples, dt, t, q * weight_of(event.cell));
-            }
-            // Per-cycle extra leakage (T2's channel).
-            if let Some(extra) = extra_leakage_a {
-                let add = extra[k] * mean_weight;
-                if add != 0.0 {
-                    for s in samples[k * spc..(k + 1) * spc].iter_mut() {
-                        *s += add;
+        // Renders cycles `clo..chi` into `buf`, with deposit times taken
+        // relative to the chunk start (`buf[0]` is sample `clo * spc`).
+        let render = |clo: usize, chi: usize, buf: &mut [f64]| {
+            for k in clo..chi {
+                let cycle = &activity.cycles()[k];
+                let cycle_t0 = (k - clo) as f64 * period;
+                // Clock edge at the start of the cycle.
+                deposit(buf, dt, cycle_t0 + tau * 0.5, clock_charge_weighted);
+                // Data toggles staggered by level.
+                for event in cycle.events() {
+                    let kind = netlist.cell(event.cell).kind();
+                    let q0 = self.library.charge_per_transition_c(kind);
+                    let q = if event.rising {
+                        q0
+                    } else {
+                        q0 * FALL_CHARGE_FRACTION
+                    };
+                    let t = cycle_t0 + (event.level as f64 + 0.5) * tau;
+                    deposit(buf, dt, t, q * weight_of(event.cell));
+                }
+                // Per-cycle extra leakage (T2's channel).
+                if let Some(extra) = extra_leakage_a {
+                    let add = extra[k] * mean_weight;
+                    if add != 0.0 {
+                        let lo = (k - clo) * spc;
+                        let hi = (lo + spc).min(buf.len());
+                        for s in buf[lo..hi].iter_mut() {
+                            *s += add;
+                        }
                     }
                 }
+            }
+        };
+
+        let n_chunks = n_cycles.div_ceil(CYCLE_CHUNK);
+        if n_chunks <= 1 {
+            render(0, n_cycles, &mut samples);
+            return Ok(CurrentTrace::new(samples, fs));
+        }
+
+        // One pool item per cycle chunk; the layout ignores `workers`.
+        let locals = emtrust_dsp::parallel::chunked_map(n_chunks, 1, workers, |chunks| {
+            chunks
+                .map(|c| {
+                    let clo = c * CYCLE_CHUNK;
+                    let chi = (clo + CYCLE_CHUNK).min(n_cycles);
+                    // Tail room for deposits spilling past the chunk end:
+                    // the latest deposit of the chunk's last cycle.
+                    let max_off = (clo..chi)
+                        .flat_map(|k| activity.cycles()[k].events())
+                        .map(|e| (e.level as f64 + 0.5) * tau)
+                        .fold(tau * 0.5, f64::max);
+                    let last_pos = ((chi - clo - 1) as f64 * period + max_off) / dt;
+                    let len = ((chi - clo) * spc).max(last_pos.floor() as usize + 2);
+                    let mut buf = vec![0.0; len];
+                    render(clo, chi, &mut buf);
+                    buf
+                })
+                .collect::<Vec<_>>()
+        });
+        for (c, local) in locals.iter().enumerate() {
+            let offset = c * CYCLE_CHUNK * spc;
+            for (i, v) in local.iter().enumerate() {
+                if offset + i >= n_samples {
+                    break;
+                }
+                samples[offset + i] += v;
             }
         }
 
@@ -346,6 +420,34 @@ mod tests {
             .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
             .unwrap();
         assert!(max_idx < 8, "peak at sample {max_idx}");
+    }
+
+    #[test]
+    fn chunked_synthesis_is_bit_identical_for_any_worker_count() {
+        // 200 cycles spans four CYCLE_CHUNK chunks.
+        let n = toggle_netlist();
+        let act = record(&n, 200);
+        let m = model();
+        let reference = m.synthesize_with(&n, &act, None, None, 1).unwrap();
+        for workers in [2, 3, 8] {
+            let par = m.synthesize_with(&n, &act, None, None, workers).unwrap();
+            assert_eq!(par.len(), reference.len());
+            for (a, b) in par.samples().iter().zip(reference.samples()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_chunk_synthesis_matches_legacy_serial_numerics() {
+        let n = toggle_netlist();
+        let act = record(&n, 12);
+        let m = model();
+        let serial = m.synthesize(&n, &act, None, None).unwrap();
+        let par = m.synthesize_with(&n, &act, None, None, 8).unwrap();
+        for (a, b) in par.samples().iter().zip(serial.samples()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -1,10 +1,9 @@
 //! Clocking and sampling configuration.
 
 use crate::PowerError;
-use serde::{Deserialize, Serialize};
 
 /// Clock and acquisition parameters shared across the pipeline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClockConfig {
     clock_hz: f64,
     samples_per_cycle: usize,

@@ -1,9 +1,7 @@
 //! Uniformly sampled current waveforms.
 
-use serde::{Deserialize, Serialize};
-
 /// A uniformly sampled current waveform in amperes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CurrentTrace {
     samples: Vec<f64>,
     sample_rate_hz: f64,

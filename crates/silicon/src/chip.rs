@@ -127,10 +127,42 @@ impl FabricatedChip {
         injections: &[PointCurrentSource],
         seed: u64,
     ) -> Result<VoltageTrace, SiliconError> {
+        self.measure_with(
+            netlist,
+            activity,
+            channel,
+            extra_leakage_a,
+            injections,
+            seed,
+            1,
+        )
+    }
+
+    /// [`Self::measure`] with current synthesis fanned across `workers`
+    /// threads. Noise and scope randomness are seeded from `seed` and the
+    /// chip id alone, so the result is bit-identical for every worker
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates power/EM pipeline errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn measure_with(
+        &self,
+        netlist: &Netlist,
+        activity: &ActivityTrace,
+        channel: Channel,
+        extra_leakage_a: Option<&[f64]>,
+        injections: &[PointCurrentSource],
+        seed: u64,
+        workers: usize,
+    ) -> Result<VoltageTrace, SiliconError> {
         let sensor = self.sensor(channel);
-        let mut emf = sensor.emf(netlist, activity, extra_leakage_a, injections)?;
+        let mut emf = sensor.emf_with(netlist, activity, extra_leakage_a, injections, workers)?;
         NoiseModel::environment_for(sensor.coil(), seed ^ self.chip_id).add_to(&mut emf);
-        Ok(self.scope(channel).acquire(&emf, seed.wrapping_mul(31) ^ self.chip_id))
+        Ok(self
+            .scope(channel)
+            .acquire(&emf, seed.wrapping_mul(31) ^ self.chip_id))
     }
 
     /// The paper's noise-measurement step: chip powered, encryption idle.
@@ -179,8 +211,10 @@ mod tests {
         let b = FabricatedChip::fabricate(&n, 2, ProcessVariation::nominal()).unwrap();
         assert_eq!(a.chip_id(), 1);
         // Different dies have different per-cell weights.
-        assert_ne!(a.sensor(Channel::OnChipSensor).weights(),
-                   b.sensor(Channel::OnChipSensor).weights());
+        assert_ne!(
+            a.sensor(Channel::OnChipSensor).weights(),
+            b.sensor(Channel::OnChipSensor).weights()
+        );
     }
 
     #[test]

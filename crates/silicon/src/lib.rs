@@ -88,8 +88,7 @@ mod tests {
         assert!(SiliconError::InvalidParameter { what: "x" }
             .to_string()
             .contains("x"));
-        let e: SiliconError =
-            emtrust_em::EmError::InvalidParameter { what: "grid" }.into();
+        let e: SiliconError = emtrust_em::EmError::InvalidParameter { what: "grid" }.into();
         assert!(e.to_string().contains("em pipeline"));
         assert!(std::error::Error::source(&e).is_some());
     }

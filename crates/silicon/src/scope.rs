@@ -196,8 +196,14 @@ mod tests {
     fn acquisition_is_deterministic_per_seed() {
         let scope = Oscilloscope::external_channel();
         let input = tone(1e-7, 5e6, 640e6, 512);
-        assert_eq!(scope.acquire(&input, 9).samples(), scope.acquire(&input, 9).samples());
-        assert_ne!(scope.acquire(&input, 9).samples(), scope.acquire(&input, 10).samples());
+        assert_eq!(
+            scope.acquire(&input, 9).samples(),
+            scope.acquire(&input, 9).samples()
+        );
+        assert_ne!(
+            scope.acquire(&input, 9).samples(),
+            scope.acquire(&input, 10).samples()
+        );
     }
 
     #[test]

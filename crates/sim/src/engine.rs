@@ -220,10 +220,9 @@ impl<'a> Simulator<'a> {
         let ins = cell.inputs();
         match ins.len() {
             1 => cell.kind().eval(&[self.values[ins[0].index()]]),
-            2 => cell.kind().eval(&[
-                self.values[ins[0].index()],
-                self.values[ins[1].index()],
-            ]),
+            2 => cell
+                .kind()
+                .eval(&[self.values[ins[0].index()], self.values[ins[1].index()]]),
             _ => cell.kind().eval(&[
                 self.values[ins[0].index()],
                 self.values[ins[1].index()],

@@ -13,10 +13,8 @@
 //! die location, that the measurement pipeline adds to the aggregate
 //! current before EM synthesis.
 
-use serde::{Deserialize, Serialize};
-
 /// A behavioural A2-style analog Trojan.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct A2Trojan {
     /// Toggle frequency of the trigger wire, in hertz. The paper drives it
     /// from an on-chip clock-division signal.
@@ -160,7 +158,10 @@ mod tests {
         assert!((120..=136).contains(&nonzero), "pulse samples: {nonzero}");
         // Each edge carries charge Q.
         let q_per_edge = s.iter().map(|x| x.abs()).sum::<f64>() / fs / 64.0;
-        assert!((q_per_edge - 1.5e-12).abs() < 0.1e-12, "Q = {q_per_edge:.2e}");
+        assert!(
+            (q_per_edge - 1.5e-12).abs() < 0.1e-12,
+            "Q = {q_per_edge:.2e}"
+        );
     }
 
     #[test]

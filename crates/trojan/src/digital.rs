@@ -438,10 +438,7 @@ mod tests {
             };
             let quiet = count_trojan(&dormant);
             let loud = count_trojan(&active);
-            assert!(
-                loud > quiet + 50,
-                "{kind}: dormant={quiet}, active={loud}"
-            );
+            assert!(loud > quiet + 50, "{kind}: dormant={quiet}, active={loud}");
         }
     }
 
@@ -461,7 +458,8 @@ mod tests {
                 .iter()
                 .filter(|e| {
                     e.level == 0
-                        && n.module_path(n.cell(e.cell).module()).starts_with("trojan4")
+                        && n.module_path(n.cell(e.cell).module())
+                            .starts_with("trojan4")
                 })
                 .count();
             assert_eq!(t4_flops, 284, "all bank flops must flip each cycle");

@@ -1,0 +1,320 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! The build environment has no crates registry, so the real `proptest`
+//! cannot be fetched. This shim keeps the workspace's property tests
+//! running: the [`proptest!`] macro expands each property into a loop of
+//! seeded pseudo-random cases drawn from [`Strategy`] values (ranges,
+//! [`collection::vec`], [`array::uniform16`]). There is no shrinking and
+//! no persisted failure corpus — a failing case panics with the assertion
+//! message, and the fixed seeding makes every run reproduce it.
+
+#![deny(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Per-property configuration (subset of the upstream struct).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of pseudo-random cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{SizeRange, Strategy};
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors of values from `element`, with lengths drawn
+    /// uniformly from `size` (a `usize` range, inclusive or exclusive).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Fixed-length array strategies.
+pub mod array {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+
+    /// Strategy for `[S::Value; 16]`.
+    #[derive(Debug, Clone)]
+    pub struct UniformArray16<S> {
+        element: S,
+    }
+
+    /// Generates `[T; 16]` arrays with each element drawn from `element`.
+    pub fn uniform16<S: Strategy>(element: S) -> UniformArray16<S> {
+        UniformArray16 { element }
+    }
+
+    impl<S: Strategy> Strategy for UniformArray16<S> {
+        type Value = [S::Value; 16];
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            std::array::from_fn(|_| self.element.generate(rng))
+        }
+    }
+}
+
+/// An inclusive length range for collection strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeRange {
+    /// Smallest permitted length.
+    pub min: usize,
+    /// Largest permitted length.
+    pub max: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        Self {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { min: n, max: n }
+    }
+}
+
+/// The outcome of one generated case: pass, or skip via [`prop_assume!`].
+/// Assertion failures panic directly, as `#[test]` functions expect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaseResult {
+    /// The case ran to completion.
+    Pass,
+    /// The case's assumptions were not met; it does not count.
+    Reject,
+}
+
+/// Deterministic per-property RNG: seeded from the property's name so
+/// each property sees a distinct but fully reproducible stream.
+pub fn case_rng(property_name: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in property_name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h ^ (u64::from(case) << 32))
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, CaseResult,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Defines property tests. Mirrors the upstream invocation shape:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn my_property(xs in proptest::collection::vec(0f64..1.0, 1..10)) {
+///         prop_assert!(xs.len() < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_properties! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_properties! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: one property per recursion.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_properties {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut rng = $crate::case_rng(stringify!($name), case);
+                $(
+                    let $arg = $crate::Strategy::generate(&($strategy), &mut rng);
+                )*
+                // The closure exists so `prop_assume!` can early-return.
+                #[allow(clippy::redundant_closure_call)]
+                let outcome = (|| -> $crate::CaseResult {
+                    $body
+                    $crate::CaseResult::Pass
+                })();
+                let _ = outcome;
+            }
+        }
+        $crate::__proptest_properties! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property; panics with the case context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_ne!($a, $b);
+    };
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return $crate::CaseResult::Reject;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn size_range_conversions() {
+        let r: crate::SizeRange = (2..5).into();
+        assert_eq!((r.min, r.max), (2, 4));
+        let r: crate::SizeRange = (3..=3).into();
+        assert_eq!((r.min, r.max), (3, 3));
+    }
+
+    #[test]
+    fn case_rng_is_deterministic_per_property() {
+        use rand::Rng;
+        let a: u64 = crate::case_rng("p", 0).gen();
+        let b: u64 = crate::case_rng("p", 0).gen();
+        let c: u64 = crate::case_rng("p", 1).gen();
+        let d: u64 = crate::case_rng("q", 0).gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn vectors_respect_requested_sizes(
+            xs in crate::collection::vec(-1.0f64..1.0, 4..=8)
+        ) {
+            prop_assert!(xs.len() >= 4 && xs.len() <= 8);
+            prop_assert!(xs.iter().all(|x| (-1.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn arrays_are_sixteen_wide(key in crate::array::uniform16(0u8..=255)) {
+            prop_assert_eq!(key.len(), 16);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u64..10) {
+            prop_assume!(x < 5);
+            prop_assert!(x < 5);
+        }
+    }
+}

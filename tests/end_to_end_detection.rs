@@ -42,8 +42,11 @@ fn trojan_is_caught_at_runtime_through_the_onchip_sensor() {
         .expect("infected traces");
     let mut alarms = 0;
     for t in infected.traces() {
-        if let Some(Alarm::TimeDomain { distance, threshold, .. }) =
-            monitor.ingest_trace(t).expect("ingest")
+        if let Some(Alarm::TimeDomain {
+            distance,
+            threshold,
+            ..
+        }) = monitor.ingest_trace(t).expect("ingest")
         {
             assert!(distance > threshold);
             alarms += 1;

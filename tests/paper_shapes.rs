@@ -11,8 +11,7 @@ use emtrust_silicon::Channel;
 use emtrust_trojan::{ProtectedChip, TrojanKind};
 
 const KEY: [u8; 16] = [
-    0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f,
-    0x3c,
+    0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c,
 ];
 
 fn snr_db(bench: &TestBench<'_>, channel: Channel, seed: u64) -> f64 {
@@ -56,7 +55,10 @@ fn snr_shape_simulation_paper_iv_b() {
     let onchip = snr_db(&bench, Channel::OnChipSensor, 0x51);
     let external = snr_db(&bench, Channel::ExternalProbe, 0x52);
     assert!((25.0..35.0).contains(&onchip), "on-chip {onchip:.1} dB");
-    assert!((13.0..22.0).contains(&external), "external {external:.1} dB");
+    assert!(
+        (13.0..22.0).contains(&external),
+        "external {external:.1} dB"
+    );
     assert!(onchip > external + 8.0, "gap {:.1} dB", onchip - external);
 }
 

@@ -16,7 +16,9 @@ fn die() -> Die {
 fn coupling_falls_monotonically_with_probe_standoff() {
     let mut last = f64::INFINITY;
     for z in [50.0, 100.0, 200.0, 400.0, 800.0] {
-        let probe = ExternalProbe::over_die(die()).with_standoff(z).expect("probe");
+        let probe = ExternalProbe::over_die(die())
+            .with_standoff(z)
+            .expect("probe");
         let m = CouplingMap::build(&Coil::External(probe), die())
             .expect("map")
             .mean_abs();
@@ -70,8 +72,8 @@ fn onchip_advantage_is_an_order_of_magnitude() {
         die(),
     )
     .expect("map");
-    let ext = CouplingMap::build(&Coil::External(ExternalProbe::over_die(die())), die())
-        .expect("map");
+    let ext =
+        CouplingMap::build(&Coil::External(ExternalProbe::over_die(die())), die()).expect("map");
     let ratio = on.mean_abs() / ext.mean_abs();
     assert!(
         ratio > 5.0,
