@@ -1,0 +1,144 @@
+//! Schema checker for the machine-readable bench artifacts — CI runs
+//! this against `BENCH_telemetry.json` (and optionally
+//! `BENCH_parallel.json`) after the experiment binaries, so a drifting
+//! field name or a NaN-turned-null fails the build, not a downstream
+//! dashboard.
+//!
+//! Usage: `check_bench_schema <file.json>...` — exits 0 when every file
+//! validates, 1 with a per-file reason otherwise.
+
+use emtrust_bench::json::Value;
+
+fn expect<'a>(v: &'a Value, key: &str, what: &str) -> Result<&'a Value, String> {
+    v.get(key)
+        .ok_or_else(|| format!("missing key \"{key}\" ({what})"))
+}
+
+fn expect_number(v: &Value, key: &str) -> Result<f64, String> {
+    expect(v, key, "number")?
+        .as_f64()
+        .ok_or_else(|| format!("\"{key}\" must be a number"))
+}
+
+fn expect_u64(v: &Value, key: &str) -> Result<u64, String> {
+    expect(v, key, "integer")?
+        .as_u64()
+        .ok_or_else(|| format!("\"{key}\" must be a non-negative integer"))
+}
+
+fn expect_str<'a>(v: &'a Value, key: &str) -> Result<&'a str, String> {
+    expect(v, key, "string")?
+        .as_str()
+        .ok_or_else(|| format!("\"{key}\" must be a string"))
+}
+
+fn expect_array<'a>(v: &'a Value, key: &str) -> Result<&'a [Value], String> {
+    expect(v, key, "array")?
+        .as_array()
+        .ok_or_else(|| format!("\"{key}\" must be an array"))
+}
+
+/// Provenance fields every bench artifact carries.
+fn check_provenance(doc: &Value) -> Result<(), String> {
+    expect_str(doc, "benchmark")?;
+    expect_u64(doc, "timestamp_unix")?;
+    expect_str(doc, "git_rev")?;
+    Ok(())
+}
+
+fn check_telemetry(doc: &Value) -> Result<(), String> {
+    check_provenance(doc)?;
+    expect_u64(doc, "n_golden")?;
+    expect_u64(doc, "n_suspect_per_trojan")?;
+    expect_number(doc, "null_seconds")?;
+    expect_number(doc, "recorded_seconds")?;
+    expect_number(doc, "overhead_pct")?;
+    let stages = expect_array(doc, "stages")?;
+    if stages.is_empty() {
+        return Err("\"stages\" must not be empty".into());
+    }
+    for (i, stage) in stages.iter().enumerate() {
+        (|| {
+            expect_str(stage, "span")?;
+            expect_u64(stage, "count")?;
+            expect_number(stage, "total_ns")?;
+            expect_number(stage, "mean_ns")?;
+            expect_number(stage, "max_ns")?;
+            Ok::<(), String>(())
+        })()
+        .map_err(|e| format!("stages[{i}]: {e}"))?;
+    }
+    let alarms = expect(doc, "alarms", "object")?;
+    expect_u64(alarms, "total")?;
+    expect_u64(alarms, "time_domain")?;
+    expect_u64(alarms, "spectral")?;
+    expect_u64(alarms, "first_correlation_id")?;
+    if expect_u64(alarms, "total")? == 0 {
+        return Err("\"alarms.total\" must be > 0 — the Trojan sweep must alarm".into());
+    }
+    let forensics = expect_array(doc, "forensics")?;
+    for (i, record) in forensics.iter().enumerate() {
+        (|| {
+            expect_u64(record, "correlation_id")?;
+            expect_str(record, "kind")?;
+            expect_array(record, "recent_distances")?;
+            expect_array(record, "recent_spots")?;
+            Ok::<(), String>(())
+        })()
+        .map_err(|e| format!("forensics[{i}]: {e}"))?;
+    }
+    if forensics.len() != expect_u64(alarms, "total")? as usize {
+        return Err("one forensic bundle per alarm required".into());
+    }
+    Ok(())
+}
+
+fn check_parallel(doc: &Value) -> Result<(), String> {
+    check_provenance(doc)?;
+    expect_u64(doc, "n_traces")?;
+    expect_u64(doc, "host_cpus")?;
+    let results = expect_array(doc, "results")?;
+    if results.is_empty() {
+        return Err("\"results\" must not be empty".into());
+    }
+    for (i, row) in results.iter().enumerate() {
+        (|| {
+            expect_u64(row, "workers")?;
+            expect_number(row, "seconds")?;
+            expect_number(row, "traces_per_sec")?;
+            expect_number(row, "speedup")?;
+            Ok::<(), String>(())
+        })()
+        .map_err(|e| format!("results[{i}]: {e}"))?;
+    }
+    Ok(())
+}
+
+fn check_file(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
+    let doc = Value::parse(&text).map_err(|e| e.to_string())?;
+    match expect_str(&doc, "benchmark")? {
+        "telemetry_table1_sweep" => check_telemetry(&doc),
+        "golden_collect_fit" => check_parallel(&doc),
+        other => Err(format!("unknown benchmark kind \"{other}\"")),
+    }
+}
+
+fn main() {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: check_bench_schema <file.json>...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &files {
+        match check_file(path) {
+            Ok(()) => println!("{path}: ok"),
+            Err(e) => {
+                eprintln!("{path}: FAIL — {e}");
+                failed = true;
+            }
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}

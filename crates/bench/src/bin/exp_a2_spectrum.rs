@@ -6,11 +6,12 @@
 
 use emtrust::acquisition::TestBench;
 use emtrust::spectral::{SpectralConfig, SpectralDetector};
-use emtrust_bench::{print_spectrum_series, print_table, EXPERIMENT_KEY, SPECTRAL_BLOCKS};
+use emtrust_bench::{print_spectrum_series, Report, EXPERIMENT_KEY, SPECTRAL_BLOCKS};
 use emtrust_silicon::Channel;
 use emtrust_trojan::{A2Trojan, ProtectedChip};
 
 fn main() {
+    let mut report = Report::from_env("exp_a2_spectrum");
     let chip = ProtectedChip::golden();
     let mut bench = TestBench::simulation(&chip)
         .expect("simulation bench")
@@ -36,9 +37,11 @@ fn main() {
         )
         .expect("triggering window");
 
-    println!("== E4 — A2 Trojan detection in the frequency domain (paper Fig. 4) ==");
-    print_spectrum_series("blue: original circuit", &golden, 320e6, 24).unwrap();
-    print_spectrum_series("red: A2 triggering", &triggering, 320e6, 24).unwrap();
+    if report.is_text() {
+        println!("== E4 — A2 Trojan detection in the frequency domain (paper Fig. 4) ==");
+        print_spectrum_series("blue: original circuit", &golden, 320e6, 24).unwrap();
+        print_spectrum_series("red: A2 triggering", &triggering, 320e6, 24).unwrap();
+    }
 
     let detector = SpectralDetector::fit(&golden, SpectralConfig::default()).expect("detector");
     let anomalies = detector.compare(&triggering).expect("compare");
@@ -54,11 +57,12 @@ fn main() {
             ]
         })
         .collect();
-    print_table(
+    report.table(
         "Activation peaks found by the spectral detector",
         &["Frequency", "Golden mag", "Triggering mag", "Kind"],
         &rows,
     );
+    report.scalar("anomaly_count", anomalies.len() as f64);
 
     assert!(
         !anomalies.is_empty(),
@@ -78,10 +82,12 @@ fn main() {
             a.frequency_hz / 1e6
         );
     }
-    println!(
+    report.scalar("strongest_peak_hz", anomalies[0].frequency_hz);
+    report.note(format!(
         "\nShape check: activation peaks lie on the trigger's odd-harmonic comb\n\
          (5 MHz toggle); strongest at {:.1} MHz. Clock line at 10 MHz and its\n\
          harmonic at 20 MHz are present in both spectra.",
         anomalies[0].frequency_hz / 1e6
-    );
+    ));
+    report.finish();
 }

@@ -5,10 +5,11 @@
 use emtrust::acquisition::TestBench;
 use emtrust::euclidean::trojan_distance_study;
 use emtrust::fingerprint::FingerprintConfig;
-use emtrust_bench::{print_table, standard_chip, EXPERIMENT_KEY, TROJANS};
+use emtrust_bench::{standard_chip, Report, EXPERIMENT_KEY, TROJANS};
 use emtrust_silicon::Channel;
 
 fn main() {
+    let mut report = Report::from_env("exp_distances_sim");
     let chip = standard_chip();
     let bench = TestBench::simulation(&chip).expect("simulation bench");
     // Simulation traces carry minimal interference, so the study runs on
@@ -44,7 +45,13 @@ fn main() {
             ]
         })
         .collect();
-    print_table(
+    for r in &rows {
+        report.scalar(
+            &format!("{}_distance", r.kind.label().to_lowercase()),
+            r.centroid_distance,
+        );
+    }
+    report.table(
         "E3 — Euclidean distances, on-chip sensor, simulation (paper §IV-C)",
         &[
             "Trojan",
@@ -58,12 +65,12 @@ fn main() {
     );
 
     let d: Vec<f64> = rows.iter().map(|r| r.centroid_distance).collect();
-    println!(
+    report.note(format!(
         "\nShape check: T3 is the hardest (smallest distance), T1/T2/T4 comparable\n\
          and well above T3 — ours: T3 = {:.4} vs min(T1,T2,T4) = {:.4}.",
         d[2],
         d[0].min(d[1]).min(d[3])
-    );
+    ));
     assert!(
         d[2] < 0.5 * d[0].min(d[1]).min(d[3]),
         "T3 must be smallest by far"
@@ -72,4 +79,5 @@ fn main() {
         rows.iter().all(|r| r.detected),
         "all four Trojans detected in simulation"
     );
+    report.finish();
 }

@@ -5,10 +5,11 @@
 
 use emtrust::acquisition::TestBench;
 use emtrust::euclidean::distance_panel;
-use emtrust_bench::{print_histogram, print_table, standard_chip, EXPERIMENT_KEY, TROJANS};
+use emtrust_bench::{print_histogram, standard_chip, Report, EXPERIMENT_KEY, TROJANS};
 use emtrust_silicon::Channel;
 
 fn main() {
+    let mut report = Report::from_env("exp_fig6_histograms");
     let chip = standard_chip();
     let bench = TestBench::silicon(&chip, 1).expect("silicon bench");
     let n_traces = 60;
@@ -19,7 +20,9 @@ fn main() {
         (Channel::ExternalProbe, "external probe (panels a-d)"),
         (Channel::OnChipSensor, "on-chip sensor (panels e-h)"),
     ] {
-        println!("\n==== {tag} ====");
+        if report.is_text() {
+            println!("\n==== {tag} ====");
+        }
         for kind in TROJANS {
             let panel = distance_panel(
                 &bench,
@@ -31,11 +34,18 @@ fn main() {
                 0xF16 ^ kind.label().len() as u64,
             )
             .expect("panel");
-            println!("\n-- {} --", kind.label());
-            print_histogram("golden (red stripes)", &panel.golden, 40);
-            print_histogram("trojan activated (blue stripes)", &panel.trojan, 40);
+            if report.is_text() {
+                println!("\n-- {} --", kind.label());
+                print_histogram("golden (red stripes)", &panel.golden, 40);
+                print_histogram("trojan activated (blue stripes)", &panel.trojan, 40);
+            }
+            let probe = tag.split(' ').next().unwrap().to_string();
+            report.scalar(
+                &format!("{}_{}_overlap", probe, kind.label().to_lowercase()),
+                panel.overlap,
+            );
             summary.push(vec![
-                tag.split(' ').next().unwrap().to_string(),
+                probe,
                 kind.label().to_string(),
                 format!("{:.3}", panel.overlap),
                 format!("{:+.1}%", 100.0 * panel.peak_shift),
@@ -43,14 +53,15 @@ fn main() {
         }
     }
 
-    print_table(
+    report.table(
         "Fig. 6 (a)-(h) summary — distribution overlap and peak shift",
         &["Probe", "Trojan", "Overlap", "Peak shift"],
         &summary,
     );
-    println!(
+    report.note(
         "\nShape check (paper): external-probe distributions are not separable for\n\
          any Trojan; the on-chip sensor separates the peaks, with T3 (smallest\n\
-         Trojan) the most marginal case."
+         Trojan) the most marginal case.",
     );
+    report.finish();
 }

@@ -8,13 +8,14 @@
 use emtrust::acquisition::TestBench;
 use emtrust::spectral::{SpectralConfig, SpectralDetector};
 use emtrust_bench::{
-    print_spectrum_series, print_table, standard_chip, EXPERIMENT_KEY, SPECTRAL_BLOCKS,
+    print_spectrum_series, standard_chip, Report, EXPERIMENT_KEY, SPECTRAL_BLOCKS,
 };
 use emtrust_dsp::spectrum::Spectrum;
 use emtrust_dsp::window::Window;
 use emtrust_silicon::Channel;
 
 fn main() {
+    let mut report = Report::from_env("exp_fig6_spectra");
     let chip = standard_chip();
     let bench = TestBench::silicon(&chip, 1).expect("silicon bench");
 
@@ -29,8 +30,10 @@ fn main() {
         .expect("golden window");
     let detector = SpectralDetector::fit(&golden, SpectralConfig::default()).expect("detector");
 
-    println!("== E7 — on-chip sensor spectra (paper Fig. 6 i-l) ==");
-    print_spectrum_series("original circuit (red)", &golden, 40e6, 20).unwrap();
+    if report.is_text() {
+        println!("== E7 — on-chip sensor spectra (paper Fig. 6 i-l) ==");
+        print_spectrum_series("original circuit (red)", &golden, 40e6, 20).unwrap();
+    }
 
     let band_energy = |trace: &emtrust_em::emf::VoltageTrace, lo: f64, hi: f64| -> f64 {
         Spectrum::welch(trace.samples(), trace.sample_rate_hz(), Window::Hann, 4)
@@ -54,10 +57,16 @@ fn main() {
                 0x6C,
             )
             .expect("armed window");
-        println!("\n-- panel: {} activated (blue) --", kind.label());
-        print_spectrum_series("trojan activated", &armed, 40e6, 20).unwrap();
+        if report.is_text() {
+            println!("\n-- panel: {} activated (blue) --", kind.label());
+            print_spectrum_series("trojan activated", &armed, 40e6, 20).unwrap();
+        }
         let anomalies = detector.compare(&armed).expect("compare");
         let low = band_energy(&armed, 9.2e6, 9.4e6);
+        report.scalar(
+            &format!("{}_anomalous_spots", kind.label().to_lowercase()),
+            anomalies.len() as f64,
+        );
         rows.push(vec![
             kind.label().to_string(),
             anomalies.len().to_string(),
@@ -69,7 +78,7 @@ fn main() {
         ]);
     }
 
-    print_table(
+    report.table(
         "Fig. 6 (i)-(l) summary",
         &[
             "Trojan",
@@ -79,9 +88,10 @@ fn main() {
         ],
         &rows,
     );
-    println!(
+    report.note(
         "\nShape check (paper): T1 adds energy from its AM carrier (here: x4 in the\n\
          first sideband of the clock line, plus broadband burst content);\n\
-         T2 and T4 raise many spots with T4 >= T2; T3 is not clearly visible."
+         T2 and T4 raise many spots with T4 >= T2; T3 is not clearly visible.",
     );
+    report.finish();
 }

@@ -5,19 +5,23 @@
 //! sensor overlaid.
 
 use emtrust::acquisition::TestBench;
-use emtrust_bench::{print_table, standard_chip};
+use emtrust_bench::{standard_chip, Report};
 use emtrust_layout::probe::ExternalProbe;
 use emtrust_layout::spiral::SpiralSensor;
 
 fn main() {
+    let mut report = Report::from_env("exp_layout");
     let chip = standard_chip();
     let bench = TestBench::simulation(&chip).expect("bench");
     let fp = bench.floorplan();
     let die = fp.die();
     let spiral = SpiralSensor::for_die(die).expect("spiral");
     let probe = ExternalProbe::over_die(die);
+    report.scalar("spiral_turns", spiral.turns() as f64);
+    report.scalar("spiral_wire_length_um", spiral.wire_length_um());
+    report.scalar("spiral_resistance_ohm", spiral.resistance_ohm());
 
-    print_table(
+    report.table(
         "Fig. 2 — probe structures",
         &["Property", "On-chip sensor (b)", "External probe (a)"],
         &[
@@ -76,7 +80,7 @@ fn main() {
             ]
         })
         .collect();
-    print_table(
+    report.table(
         "Fig. 3 — placed regions",
         &["Block", "Extent (um)", "Area"],
         &regions,
@@ -92,45 +96,48 @@ fn main() {
             ]
         })
         .collect();
-    print_table("Pad ring", &["Pad", "Location (um)"], &pads);
+    report.table("Pad ring", &["Pad", "Location (um)"], &pads);
 
-    // ASCII die map: cell density + sensor turns.
-    println!(
-        "\nDie map ({}x{} um, '#'=high cell density, '.'=low, 'o'=spiral turn boundary):",
-        die.width_um(),
-        die.height_um()
-    );
-    let grid = 32usize;
-    let sx = die.width_um() / grid as f64;
-    let sy = die.height_um() / grid as f64;
-    let mut density = vec![vec![0u32; grid]; grid];
-    for p in fp.locations() {
-        let gx = ((p.x / sx) as usize).min(grid - 1);
-        let gy = ((p.y / sy) as usize).min(grid - 1);
-        density[gy][gx] += 1;
-    }
-    let max_d = density.iter().flatten().copied().max().unwrap_or(1).max(1);
-    for gy in (0..grid).rev() {
-        let mut line = String::new();
-        for (gx, &d) in density[gy].iter().enumerate() {
-            let x = (gx as f64 + 0.5) * sx;
-            let y = (gy as f64 + 0.5) * sy;
-            let turn_here = {
-                let n1 = spiral.turns_enclosing(x, y);
-                let n2 = spiral.turns_enclosing(x + sx, y);
-                n1 != n2
-            };
-            line.push(if turn_here {
-                'o'
-            } else if d > max_d / 2 {
-                '#'
-            } else if d > 0 {
-                '.'
-            } else {
-                ' '
-            });
+    // ASCII die map: cell density + sensor turns (text mode only).
+    if report.is_text() {
+        println!(
+            "\nDie map ({}x{} um, '#'=high cell density, '.'=low, 'o'=spiral turn boundary):",
+            die.width_um(),
+            die.height_um()
+        );
+        let grid = 32usize;
+        let sx = die.width_um() / grid as f64;
+        let sy = die.height_um() / grid as f64;
+        let mut density = vec![vec![0u32; grid]; grid];
+        for p in fp.locations() {
+            let gx = ((p.x / sx) as usize).min(grid - 1);
+            let gy = ((p.y / sy) as usize).min(grid - 1);
+            density[gy][gx] += 1;
         }
-        println!("  {line}");
+        let max_d = density.iter().flatten().copied().max().unwrap_or(1).max(1);
+        for gy in (0..grid).rev() {
+            let mut line = String::new();
+            for (gx, &d) in density[gy].iter().enumerate() {
+                let x = (gx as f64 + 0.5) * sx;
+                let y = (gy as f64 + 0.5) * sy;
+                let turn_here = {
+                    let n1 = spiral.turns_enclosing(x, y);
+                    let n2 = spiral.turns_enclosing(x + sx, y);
+                    n1 != n2
+                };
+                line.push(if turn_here {
+                    'o'
+                } else if d > max_d / 2 {
+                    '#'
+                } else if d > 0 {
+                    '.'
+                } else {
+                    ' '
+                });
+            }
+            println!("  {line}");
+        }
     }
-    println!("\nSensor In at die centre, Sensor Out at the outer corner (one-way spiral).");
+    report.note("\nSensor In at die centre, Sensor Out at the outer corner (one-way spiral).");
+    report.finish();
 }

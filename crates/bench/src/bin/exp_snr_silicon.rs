@@ -3,11 +3,12 @@
 //! dB versus its simulation because of "more unintended influences").
 
 use emtrust::acquisition::TestBench;
-use emtrust_bench::{measure_snr, print_table};
+use emtrust_bench::{measure_snr, Report};
 use emtrust_silicon::Channel;
 use emtrust_trojan::ProtectedChip;
 
 fn main() {
+    let mut report = Report::from_env("exp_snr_silicon");
     let chip = ProtectedChip::golden();
     let sim = TestBench::simulation(&chip).expect("simulation bench");
     let silicon = TestBench::silicon(&chip, 1).expect("silicon bench");
@@ -16,8 +17,12 @@ fn main() {
     let sim_ext = measure_snr(&sim, Channel::ExternalProbe, 64, 0x61).unwrap();
     let si_on = measure_snr(&silicon, Channel::OnChipSensor, 64, 0x62).unwrap();
     let si_ext = measure_snr(&silicon, Channel::ExternalProbe, 64, 0x63).unwrap();
+    report.scalar("sim_onchip_snr_db", sim_on.snr_db);
+    report.scalar("sim_external_snr_db", sim_ext.snr_db);
+    report.scalar("silicon_onchip_snr_db", si_on.snr_db);
+    report.scalar("silicon_external_snr_db", si_ext.snr_db);
 
-    print_table(
+    report.table(
         "E5 — SNR on the fabricated chip (paper §V-A)",
         &[
             "Probe",
@@ -44,7 +49,7 @@ fn main() {
         ],
     );
 
-    println!(
+    report.note(format!(
         "\nShape checks:\n\
          - on-chip silicon ≈ on-chip simulation ({:+.2} dB delta; paper {:+.2} dB)\n\
          - external silicon < external simulation ({:+.2} dB delta; paper {:+.2} dB)\n\
@@ -54,7 +59,7 @@ fn main() {
         si_ext.snr_db - sim_ext.snr_db,
         13.8684 - 17.483,
         si_on.snr_db - si_ext.snr_db,
-    );
+    ));
     assert!(
         si_ext.snr_db < sim_ext.snr_db - 1.0,
         "external must degrade on silicon"
@@ -64,4 +69,5 @@ fn main() {
         "on-chip must hold up on silicon"
     );
     assert!(si_on.snr_db > si_ext.snr_db + 10.0);
+    report.finish();
 }

@@ -2,18 +2,21 @@
 //! probe (paper: 29.976 dB vs. 17.483 dB).
 
 use emtrust::acquisition::TestBench;
-use emtrust_bench::{measure_snr, print_table};
+use emtrust_bench::{measure_snr, Report};
 use emtrust_silicon::Channel;
 use emtrust_trojan::ProtectedChip;
 
 fn main() {
+    let mut report = Report::from_env("exp_snr_sim");
     let chip = ProtectedChip::golden();
     let bench = TestBench::simulation(&chip).expect("simulation bench");
 
     let onchip = measure_snr(&bench, Channel::OnChipSensor, 64, 0x51).expect("on-chip snr");
     let external = measure_snr(&bench, Channel::ExternalProbe, 64, 0x52).expect("external snr");
+    report.scalar("onchip_snr_db", onchip.snr_db);
+    report.scalar("external_snr_db", external.snr_db);
 
-    print_table(
+    report.table(
         "E2 — Simulated SNR (paper §IV-B)",
         &["Probe", "Signal RMS", "Noise RMS", "SNR (dB)", "Paper (dB)"],
         &[
@@ -33,12 +36,13 @@ fn main() {
             ],
         ],
     );
-    println!(
+    report.note(format!(
         "\nShape check: on-chip exceeds external by {:.1} dB (paper: 12.5 dB).",
         onchip.snr_db - external.snr_db
-    );
+    ));
     assert!(
         onchip.snr_db > external.snr_db + 6.0,
         "on-chip sensor must clearly outperform the external probe"
     );
+    report.finish();
 }

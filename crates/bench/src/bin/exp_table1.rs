@@ -3,12 +3,13 @@
 //! Prints our gate counts and percentages next to the paper's, plus the
 //! A2 row (area-based, as in the paper).
 
-use emtrust_bench::{print_table, standard_chip, TROJANS};
+use emtrust_bench::{standard_chip, Report, TROJANS};
 use emtrust_netlist::library::Library;
 use emtrust_netlist::stats::{area_percent, module_stats};
 use emtrust_trojan::A2Trojan;
 
 fn main() {
+    let mut report = Report::from_env("exp_table1");
     let chip = standard_chip();
     let netlist = chip.netlist();
     let library = Library::generic_180nm();
@@ -23,6 +24,10 @@ fn main() {
     ]];
     for kind in TROJANS {
         let count = module_stats(netlist, kind.module_tag()).total;
+        report.scalar(
+            &format!("{}_percent", kind.label().to_lowercase()),
+            100.0 * count as f64 / aes as f64,
+        );
         rows.push(vec![
             kind.label().to_string(),
             count.to_string(),
@@ -45,6 +50,7 @@ fn main() {
         .filter(|(_, c)| netlist.module_path(c.module()).starts_with("aes"))
         .map(|(_, c)| library.electrical(c.kind()).area_um2)
         .sum();
+    report.scalar("a2_area_percent", 100.0 * A2Trojan::AREA_UM2 / aes_area_um2);
     rows.push(vec![
         "A2".to_string(),
         format!("{} transistors", A2Trojan::TRANSISTOR_COUNT),
@@ -53,7 +59,7 @@ fn main() {
         "0.087% (area)".to_string(),
     ]);
 
-    print_table(
+    report.table(
         "Table I — Trojan sizes compared to the whole AES design",
         &[
             "Circuit",
@@ -64,9 +70,10 @@ fn main() {
         ],
         &rows,
     );
-    println!(
+    report.note(
         "\nShape check: T3 < T1 < T2 ≈ T4, A2 ≪ 1% — mirrors the paper's ordering.\n\
          Absolute counts differ because the paper's AES comes from a different\n\
-         RTL + commercial 180 nm library; percentages are matched by design."
+         RTL + commercial 180 nm library; percentages are matched by design.",
     );
+    report.finish();
 }

@@ -5,7 +5,7 @@
 use emtrust::acquisition::TestBench;
 use emtrust::fingerprint::{FingerprintConfig, GoldenFingerprint};
 use emtrust::parallel::ParallelConfig;
-use emtrust_bench::{print_table, EXPERIMENT_KEY};
+use emtrust_bench::{git_rev, unix_timestamp, Report, EXPERIMENT_KEY};
 use emtrust_silicon::Channel;
 use emtrust_trojan::ProtectedChip;
 use std::time::Instant;
@@ -13,6 +13,7 @@ use std::time::Instant;
 const N_TRACES: usize = 32;
 
 fn main() {
+    let mut report = Report::from_env("exp_throughput");
     let chip = ProtectedChip::golden();
     let mut rows = Vec::new();
     let mut json_rows = Vec::new();
@@ -48,6 +49,7 @@ fn main() {
         }
         let tps = N_TRACES as f64 / elapsed;
         let speedup = serial_s / elapsed;
+        report.scalar(&format!("workers_{workers}_seconds"), elapsed);
         rows.push(vec![
             workers.to_string(),
             format!("{elapsed:.2}"),
@@ -59,20 +61,26 @@ fn main() {
              \"traces_per_sec\": {tps:.4}, \"speedup\": {speedup:.4}}}"
         ));
     }
-    print_table(
+    report.table(
         &format!("Golden-set collect+fit throughput ({N_TRACES} traces)"),
         &["workers", "seconds", "traces/s", "speedup"],
         &rows,
     );
     let host_cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    // Provenance is stamped once here, at artifact-write time — never
+    // inside the timed loop above.
     let json = format!(
-        "{{\n  \"benchmark\": \"golden_collect_fit\",\n  \"n_traces\": {N_TRACES},\n  \
+        "{{\n  \"benchmark\": \"golden_collect_fit\",\n  \"timestamp_unix\": {},\n  \
+         \"git_rev\": \"{}\",\n  \"n_traces\": {N_TRACES},\n  \
          \"host_cpus\": {host_cpus},\n  \
          \"note\": \"speedup is bounded by host_cpus; on a single-core host all \
          worker counts time-slice one core\",\n  \
          \"results\": [\n{}\n  ]\n}}\n",
+        unix_timestamp(),
+        git_rev(),
         json_rows.join(",\n")
     );
     std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
-    println!("\nwrote BENCH_parallel.json");
+    report.note("\nwrote BENCH_parallel.json");
+    report.finish();
 }

@@ -19,6 +19,17 @@
 //! The Criterion benches (`cargo bench`) measure the cost of each
 //! pipeline stage and run the ablations DESIGN.md calls out (PCA on/off,
 //! coil turns, probe standoff, acquisition rate).
+//!
+//! Every `exp_*` binary accepts `--json` and `--quiet` (see [`report`]);
+//! `exp_telemetry` replays the Table-1 sweep under the telemetry
+//! recorder and writes `BENCH_telemetry.json`, whose schema
+//! `check_bench_schema` validates in CI using the dependency-free
+//! [`json`] parser.
+
+pub mod json;
+pub mod report;
+
+pub use report::{git_rev, unix_timestamp, OutputMode, Report};
 
 use emtrust::acquisition::TestBench;
 use emtrust::TrustError;

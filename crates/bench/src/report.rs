@@ -1,0 +1,244 @@
+//! Shared output handling for the `exp_*` binaries: every experiment
+//! accepts `--json` (machine-readable document on stdout) and `--quiet`
+//! (no stdout at all — useful when only the written artifacts matter).
+//!
+//! The default text mode prints the paper-style tables exactly as
+//! before; [`Report`] additionally accumulates everything it is shown so
+//! the `--json` document is complete regardless of mode.
+
+use emtrust::telemetry::sink::{json_escape, json_number};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// How an experiment binary talks to stdout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputMode {
+    /// Paper-style tables and notes (the default).
+    #[default]
+    Text,
+    /// One JSON document on stdout, nothing else.
+    Json,
+    /// Nothing on stdout; written artifacts only.
+    Quiet,
+}
+
+impl OutputMode {
+    /// Parses the process arguments. Unknown flags abort with exit
+    /// code 2 so CI catches typos; when both flags appear the last wins.
+    pub fn from_env() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// [`Self::from_env`] over an explicit argument list.
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> Self {
+        let mut mode = OutputMode::Text;
+        for arg in args {
+            match arg.as_str() {
+                "--json" => mode = OutputMode::Json,
+                "--quiet" => mode = OutputMode::Quiet,
+                other if other.starts_with('-') => {
+                    eprintln!("unknown flag {other}; supported: --json --quiet");
+                    std::process::exit(2);
+                }
+                _ => {}
+            }
+        }
+        mode
+    }
+}
+
+/// Accumulates an experiment's tables, notes and scalar metrics, and
+/// renders them according to the selected [`OutputMode`].
+#[derive(Debug)]
+pub struct Report {
+    mode: OutputMode,
+    experiment: String,
+    scalars: Vec<(String, f64)>,
+    tables: Vec<(String, Vec<String>, Vec<Vec<String>>)>,
+    notes: Vec<String>,
+}
+
+impl Report {
+    /// A report for `experiment` in the mode parsed from the process
+    /// arguments.
+    pub fn from_env(experiment: &str) -> Self {
+        Self::new(experiment, OutputMode::from_env())
+    }
+
+    /// A report for `experiment` in an explicit mode.
+    pub fn new(experiment: &str, mode: OutputMode) -> Self {
+        Report {
+            mode,
+            experiment: experiment.to_string(),
+            scalars: Vec::new(),
+            tables: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// The selected mode.
+    pub fn mode(&self) -> OutputMode {
+        self.mode
+    }
+
+    /// Whether plain-text extras (ASCII histograms, spectra, die maps)
+    /// should print. They have no JSON rendering, so they run in text
+    /// mode only.
+    pub fn is_text(&self) -> bool {
+        self.mode == OutputMode::Text
+    }
+
+    /// Records (and in text mode prints) a titled table.
+    pub fn table(&mut self, title: &str, headers: &[&str], rows: &[Vec<String>]) {
+        if self.is_text() {
+            crate::print_table(title, headers, rows);
+        }
+        self.tables.push((
+            title.to_string(),
+            headers.iter().map(|h| h.to_string()).collect(),
+            rows.to_vec(),
+        ));
+    }
+
+    /// Records (and in text mode prints) a free-form note.
+    pub fn note(&mut self, text: impl AsRef<str>) {
+        let text = text.as_ref();
+        if self.is_text() {
+            println!("{text}");
+        }
+        self.notes.push(text.to_string());
+    }
+
+    /// Records a machine-readable metric (JSON document only).
+    pub fn scalar(&mut self, key: &str, value: f64) {
+        self.scalars.push((key.to_string(), value));
+    }
+
+    /// Renders the accumulated report: the JSON document in `--json`
+    /// mode, nothing extra otherwise (text mode already printed).
+    pub fn finish(self) {
+        if self.mode == OutputMode::Json {
+            println!("{}", self.to_json());
+        }
+    }
+
+    /// The complete report as one JSON document.
+    pub fn to_json(&self) -> String {
+        let metrics: Vec<String> = self
+            .scalars
+            .iter()
+            .map(|(k, v)| format!("    \"{}\": {}", json_escape(k), json_number(*v)))
+            .collect();
+        let tables: Vec<String> = self
+            .tables
+            .iter()
+            .map(|(title, headers, rows)| {
+                let hs: Vec<String> = headers
+                    .iter()
+                    .map(|h| format!("\"{}\"", json_escape(h)))
+                    .collect();
+                let rs: Vec<String> = rows
+                    .iter()
+                    .map(|row| {
+                        let cells: Vec<String> = row
+                            .iter()
+                            .map(|c| format!("\"{}\"", json_escape(c)))
+                            .collect();
+                        format!("        [{}]", cells.join(", "))
+                    })
+                    .collect();
+                format!(
+                    "    {{\n      \"title\": \"{}\",\n      \"headers\": [{}],\n      \
+                     \"rows\": [\n{}\n      ]\n    }}",
+                    json_escape(title),
+                    hs.join(", "),
+                    rs.join(",\n")
+                )
+            })
+            .collect();
+        let notes: Vec<String> = self
+            .notes
+            .iter()
+            .map(|n| format!("    \"{}\"", json_escape(n)))
+            .collect();
+        format!(
+            "{{\n  \"experiment\": \"{}\",\n  \"timestamp_unix\": {},\n  \"git_rev\": \"{}\",\n  \
+             \"metrics\": {{\n{}\n  }},\n  \"tables\": [\n{}\n  ],\n  \"notes\": [\n{}\n  ]\n}}",
+            json_escape(&self.experiment),
+            unix_timestamp(),
+            json_escape(&git_rev()),
+            metrics.join(",\n"),
+            tables.join(",\n"),
+            notes.join(",\n")
+        )
+    }
+}
+
+/// Wall-clock seconds since the Unix epoch, read once at call time.
+/// For stamping artifacts as they are written — never in measured code.
+pub fn unix_timestamp() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// The git revision CI passes via `EMTRUST_GIT_REV` ("unknown" when the
+/// variable is absent, e.g. local runs).
+pub fn git_rev() -> String {
+    std::env::var("EMTRUST_GIT_REV").unwrap_or_else(|_| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Value;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn mode_parsing_defaults_to_text_and_last_flag_wins() {
+        assert_eq!(OutputMode::from_args(args(&[])), OutputMode::Text);
+        assert_eq!(OutputMode::from_args(args(&["--json"])), OutputMode::Json);
+        assert_eq!(OutputMode::from_args(args(&["--quiet"])), OutputMode::Quiet);
+        assert_eq!(
+            OutputMode::from_args(args(&["--json", "--quiet"])),
+            OutputMode::Quiet
+        );
+    }
+
+    #[test]
+    fn json_document_round_trips_through_the_parser() {
+        let mut r = Report::new("demo", OutputMode::Json);
+        r.table(
+            "t\"1\"",
+            &["a", "b"],
+            &[vec!["x".into(), "1".into()], vec!["y".into(), "2".into()]],
+        );
+        r.note("shape check: fine");
+        r.scalar("snr_db", 29.976);
+        let v = Value::parse(&r.to_json()).unwrap();
+        assert_eq!(v.get("experiment").unwrap().as_str(), Some("demo"));
+        assert!(v.get("timestamp_unix").unwrap().as_u64().is_some());
+        assert!(v.get("git_rev").unwrap().as_str().is_some());
+        assert_eq!(
+            v.get("metrics").unwrap().get("snr_db").unwrap().as_f64(),
+            Some(29.976)
+        );
+        let tables = v.get("tables").unwrap().as_array().unwrap();
+        assert_eq!(tables[0].get("title").unwrap().as_str(), Some("t\"1\""));
+        assert_eq!(tables[0].get("rows").unwrap().as_array().unwrap().len(), 2);
+        let notes = v.get("notes").unwrap().as_array().unwrap();
+        assert_eq!(notes[0].as_str(), Some("shape check: fine"));
+    }
+
+    #[test]
+    fn quiet_reports_accumulate_without_printing() {
+        let mut r = Report::new("demo", OutputMode::Quiet);
+        assert!(!r.is_text());
+        r.table("t", &["a"], &[vec!["1".into()]]);
+        r.note("n");
+        r.finish();
+    }
+}

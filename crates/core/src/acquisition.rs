@@ -14,6 +14,7 @@ use emtrust_layout::spiral::SpiralSensor;
 use emtrust_netlist::library::Library;
 use emtrust_power::{ClockConfig, CurrentModel};
 use emtrust_silicon::{Channel, FabricatedChip, ProcessVariation};
+use emtrust_telemetry as telemetry;
 use emtrust_trojan::{A2Trojan, ProtectedChip, TrojanKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -262,6 +263,8 @@ impl<'c> TestBench<'c> {
         channel: Channel,
         seed: u64,
     ) -> Result<TraceSet, TrustError> {
+        let _span = telemetry::span("collect");
+        telemetry::counter("acquire.traces", n_traces as u64);
         let mut rng = StdRng::seed_from_u64(seed);
         let leak_sense = armed
             .and_then(|k| self.chip.trojan_ports(k))
@@ -322,6 +325,7 @@ impl<'c> TestBench<'c> {
                     Ok(out)
                 })?
         } else {
+            let _span = telemetry::span("simulate");
             let mut sim = self.chip.simulator()?;
             self.chip.disarm_all(&mut sim);
             if let Some(kind) = armed {
@@ -341,6 +345,7 @@ impl<'c> TestBench<'c> {
                 let activity = sim.take_recording();
                 recorded.push((activity, leak_sense.is_some().then_some(leak_per_cycle)));
             }
+            drop(_span);
             self.parallel
                 .try_map(n_traces, |i| -> Result<_, TrustError> {
                     let (activity, extra) = &recorded[i];
@@ -372,6 +377,8 @@ impl<'c> TestBench<'c> {
         channel: Channel,
         seed: u64,
     ) -> Result<VoltageTrace, TrustError> {
+        let _span = telemetry::span("collect_continuous");
+        telemetry::counter("acquire.blocks", n_blocks as u64);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut sim = self.chip.simulator()?;
         self.chip.disarm_all(&mut sim);

@@ -6,6 +6,7 @@ use crate::parallel::ParallelConfig;
 use crate::TrustError;
 use emtrust_dsp::distance;
 use emtrust_dsp::pca::Pca;
+use emtrust_telemetry as telemetry;
 
 /// Configuration of the fingerprinting front-end.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -69,6 +70,7 @@ impl GoldenFingerprint {
     ///   supplied or the configuration is degenerate,
     /// - forwarded DSP errors from PCA/distance computation.
     pub fn fit(golden: &TraceSet, config: FingerprintConfig) -> Result<Self, TrustError> {
+        let _span = telemetry::span("fit");
         if golden.len() < 2 {
             return Err(TrustError::InvalidParameter {
                 what: "fingerprint needs at least two golden traces",
@@ -81,9 +83,12 @@ impl GoldenFingerprint {
         }
         // Feature extraction, one trace per work item.
         let traces = golden.traces();
-        let raw: Vec<Vec<f64>> = config
-            .parallel
-            .try_map(traces.len(), |i| bin_rms(&traces[i], config.rms_bin))?;
+        let raw: Vec<Vec<f64>> = {
+            let _span = telemetry::span("features");
+            config
+                .parallel
+                .try_map(traces.len(), |i| bin_rms(&traces[i], config.rms_bin))?
+        };
         // Scale normalization: golden magnitude becomes O(1) so distances
         // are dimensionless (comparable to the paper's 0.05–0.28 range).
         let scale = raw.iter().map(|f| l2_norm(f)).sum::<f64>() / raw.len() as f64;
@@ -99,6 +104,7 @@ impl GoldenFingerprint {
         // Optional PCA on the scaled features.
         let (pca, projected) = match config.pca_components {
             Some(k) => {
+                let _span = telemetry::span("project");
                 let k = k.min(scaled[0].len());
                 let pca = Pca::fit(&scaled, k)?;
                 let projected = config
@@ -112,11 +118,15 @@ impl GoldenFingerprint {
         };
         let centroid = distance::centroid(&projected)?;
         // The O(n²) Eq. 1 pair scan, row-fanned across the pool.
-        let threshold = distance::eq1_threshold_with(
-            &projected,
-            config.parallel.workers,
-            config.parallel.chunk_size,
-        )? * config.threshold_margin;
+        let threshold = {
+            let _span = telemetry::span("threshold_scan");
+            distance::eq1_threshold_with(
+                &projected,
+                config.parallel.workers,
+                config.parallel.chunk_size,
+            )? * config.threshold_margin
+        };
+        telemetry::gauge("fingerprint.threshold", threshold);
         Ok(Self {
             config,
             scale,
@@ -159,6 +169,7 @@ impl GoldenFingerprint {
     ///
     /// Forwarded projection errors.
     pub fn evaluate(&self, samples: &[f64]) -> Result<Verdict, TrustError> {
+        telemetry::counter("fingerprint.evaluations", 1);
         let d = self.distance(samples)?;
         Ok(Verdict {
             distance: d,
@@ -179,6 +190,7 @@ impl GoldenFingerprint {
     /// Forwarded projection errors (from the lowest-indexed failing
     /// trace).
     pub fn evaluate_batch(&self, traces: &[Vec<f64>]) -> Result<Vec<Verdict>, TrustError> {
+        let _span = telemetry::span("evaluate_batch");
         self.config
             .parallel
             .try_map(traces.len(), |i| self.evaluate(&traces[i]))

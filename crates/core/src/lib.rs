@@ -23,6 +23,14 @@
 //! (`emtrust-silicon`). [`monitor::TrustMonitor`] is the runtime loop
 //! that turns detections into alarms.
 //!
+//! Every pipeline stage is instrumented through [`telemetry`]
+//! (re-exported from `emtrust-telemetry`): install a
+//! [`telemetry::Recorder`] to capture hierarchical timing spans,
+//! counters, and distance histograms; alarms carry correlation ids and a
+//! ring-buffer forensic bundle (see [`monitor::AlarmRecord`]). With no
+//! recorder installed every instrumentation point costs a single relaxed
+//! atomic load.
+//!
 //! # Examples
 //!
 //! Fit a fingerprint on golden traces and screen a suspect set (tiny
@@ -44,6 +52,8 @@
 //! assert!(fp.evaluate(&suspect)?.trojan_suspected);
 //! # Ok::<(), emtrust::TrustError>(())
 //! ```
+
+pub use emtrust_telemetry as telemetry;
 
 pub mod acquisition;
 pub mod baseline;

@@ -9,9 +9,18 @@ use crate::fingerprint::GoldenFingerprint;
 use crate::spectral::{SpectralAnomaly, SpectralDetector};
 use crate::TrustError;
 use emtrust_em::emf::VoltageTrace;
+use emtrust_telemetry::sink::{json_escape, json_number};
+use emtrust_telemetry::{self as telemetry, FieldValue, RingBuffer};
 
 /// An alarm raised by the monitor.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Every alarm carries a process-unique, strictly monotonic
+/// `correlation_id` that ties it to its [`AlarmRecord`] forensic bundle
+/// and to any telemetry events it emitted. Correlation ids are forensic
+/// metadata, not part of the detection result: [`PartialEq`] for `Alarm`
+/// deliberately ignores them, so replayed runs compare equal alarm for
+/// alarm even though each run draws fresh ids.
+#[derive(Debug, Clone)]
 #[non_exhaustive]
 pub enum Alarm {
     /// A trace's Euclidean distance exceeded the Eq. 1 threshold.
@@ -22,6 +31,8 @@ pub enum Alarm {
         distance: f64,
         /// Threshold in effect.
         threshold: f64,
+        /// Forensic correlation id (see [`AlarmRecord`]).
+        correlation_id: u64,
     },
     /// The spectrum grew an anomalous spot.
     Spectral {
@@ -29,7 +40,163 @@ pub enum Alarm {
         anomaly: SpectralAnomaly,
         /// Total anomalous spots in the window.
         spot_count: usize,
+        /// Forensic correlation id (see [`AlarmRecord`]).
+        correlation_id: u64,
     },
+}
+
+impl Alarm {
+    /// The forensic correlation id this alarm was stamped with.
+    pub fn correlation_id(&self) -> u64 {
+        match self {
+            Alarm::TimeDomain { correlation_id, .. } | Alarm::Spectral { correlation_id, .. } => {
+                *correlation_id
+            }
+        }
+    }
+}
+
+impl PartialEq for Alarm {
+    /// Detection-level equality: compares what was detected, ignoring the
+    /// per-run `correlation_id`.
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (
+                Alarm::TimeDomain {
+                    trace_index: i1,
+                    distance: d1,
+                    threshold: t1,
+                    ..
+                },
+                Alarm::TimeDomain {
+                    trace_index: i2,
+                    distance: d2,
+                    threshold: t2,
+                    ..
+                },
+            ) => i1 == i2 && d1 == d2 && t1 == t2,
+            (
+                Alarm::Spectral {
+                    anomaly: a1,
+                    spot_count: n1,
+                    ..
+                },
+                Alarm::Spectral {
+                    anomaly: a2,
+                    spot_count: n2,
+                    ..
+                },
+            ) => a1 == a2 && n1 == n2,
+            _ => false,
+        }
+    }
+}
+
+/// One recent time-domain observation held in the forensic ring.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistanceSample {
+    /// Ingest index of the trace.
+    pub trace_index: u64,
+    /// Euclidean distance to the golden centroid.
+    pub distance: f64,
+}
+
+/// One recent spectral observation held in the forensic ring.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpotSample {
+    /// Ingest index of the continuous window.
+    pub window_index: u64,
+    /// Spot frequency in hertz.
+    pub frequency_hz: f64,
+    /// Suspect magnitude at that bin.
+    pub suspect_magnitude: f64,
+}
+
+/// The post-mortem bundle captured at the instant an alarm fired: the
+/// alarm itself plus the last-`N` ring of distances and spectral spots
+/// that preceded it (the offending observation included).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlarmRecord {
+    /// The alarm's correlation id (same value as the alarm's).
+    pub correlation_id: u64,
+    /// The alarm as raised.
+    pub alarm: Alarm,
+    /// Recent distances, oldest first; the last entry is the offending
+    /// trace for time-domain alarms.
+    pub recent_distances: Vec<DistanceSample>,
+    /// Recent spectral spots, oldest first.
+    pub recent_spots: Vec<SpotSample>,
+}
+
+impl AlarmRecord {
+    /// Renders the bundle as one self-contained JSON object — the
+    /// post-mortem format the `exp_*` binaries dump.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let kind = match &self.alarm {
+            Alarm::TimeDomain { .. } => "time_domain",
+            Alarm::Spectral { .. } => "spectral",
+        };
+        let mut out = format!(
+            "{{\"correlation_id\":{},\"kind\":\"{}\"",
+            self.correlation_id,
+            json_escape(kind)
+        );
+        match &self.alarm {
+            Alarm::TimeDomain {
+                trace_index,
+                distance,
+                threshold,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"trace_index\":{trace_index},\"distance\":{},\"threshold\":{}",
+                    json_number(*distance),
+                    json_number(*threshold)
+                );
+            }
+            Alarm::Spectral {
+                anomaly,
+                spot_count,
+                ..
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"spot_count\":{spot_count},\"frequency_hz\":{},\"suspect_magnitude\":{}",
+                    json_number(anomaly.frequency_hz),
+                    json_number(anomaly.suspect_magnitude)
+                );
+            }
+        }
+        out.push_str(",\"recent_distances\":[");
+        for (i, s) in self.recent_distances.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"trace_index\":{},\"distance\":{}}}",
+                s.trace_index,
+                json_number(s.distance)
+            );
+        }
+        out.push_str("],\"recent_spots\":[");
+        for (i, s) in self.recent_spots.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"window_index\":{},\"frequency_hz\":{},\"suspect_magnitude\":{}}}",
+                s.window_index,
+                json_number(s.frequency_hz),
+                json_number(s.suspect_magnitude)
+            );
+        }
+        out.push_str("]}");
+        out
+    }
 }
 
 /// The runtime monitor: consumes sensor output, raises [`Alarm`]s.
@@ -38,10 +205,17 @@ pub struct TrustMonitor {
     fingerprint: GoldenFingerprint,
     spectral: Option<SpectralDetector>,
     traces_seen: u64,
+    windows_seen: u64,
     alarms: Vec<Alarm>,
+    recent_distances: RingBuffer<DistanceSample>,
+    recent_spots: RingBuffer<SpotSample>,
+    forensics: Vec<AlarmRecord>,
 }
 
 impl TrustMonitor {
+    /// Default depth of the forensic rings (last `N` observations kept).
+    pub const DEFAULT_FORENSIC_DEPTH: usize = 32;
+
     /// Creates a monitor from a fitted fingerprint and an optional
     /// spectral detector.
     pub fn new(fingerprint: GoldenFingerprint, spectral: Option<SpectralDetector>) -> Self {
@@ -49,7 +223,87 @@ impl TrustMonitor {
             fingerprint,
             spectral,
             traces_seen: 0,
+            windows_seen: 0,
             alarms: Vec::new(),
+            recent_distances: RingBuffer::new(Self::DEFAULT_FORENSIC_DEPTH),
+            recent_spots: RingBuffer::new(Self::DEFAULT_FORENSIC_DEPTH),
+            forensics: Vec::new(),
+        }
+    }
+
+    /// Resizes the forensic rings to hold the last `depth` observations
+    /// (clamped ≥ 1). Intended at construction time; resizing mid-run
+    /// drops the rings' current contents.
+    pub fn with_forensic_depth(mut self, depth: usize) -> Self {
+        self.recent_distances = RingBuffer::new(depth);
+        self.recent_spots = RingBuffer::new(depth);
+        self
+    }
+
+    /// Stamps an alarm's forensic bundle and telemetry events.
+    fn record_alarm(&mut self, alarm: Alarm) -> Alarm {
+        telemetry::counter("monitor.alarms", 1);
+        match &alarm {
+            Alarm::TimeDomain {
+                trace_index,
+                distance,
+                threshold,
+                correlation_id,
+            } => telemetry::event(
+                "alarm",
+                &[
+                    ("kind", FieldValue::from("time_domain")),
+                    ("correlation_id", FieldValue::U64(*correlation_id)),
+                    ("trace_index", FieldValue::U64(*trace_index)),
+                    ("distance", FieldValue::F64(*distance)),
+                    ("threshold", FieldValue::F64(*threshold)),
+                ],
+            ),
+            Alarm::Spectral {
+                anomaly,
+                spot_count,
+                correlation_id,
+            } => telemetry::event(
+                "alarm",
+                &[
+                    ("kind", FieldValue::from("spectral")),
+                    ("correlation_id", FieldValue::U64(*correlation_id)),
+                    ("frequency_hz", FieldValue::F64(anomaly.frequency_hz)),
+                    ("spot_count", FieldValue::U64(*spot_count as u64)),
+                ],
+            ),
+        }
+        self.forensics.push(AlarmRecord {
+            correlation_id: alarm.correlation_id(),
+            alarm: alarm.clone(),
+            recent_distances: self.recent_distances.to_vec(),
+            recent_spots: self.recent_spots.to_vec(),
+        });
+        self.alarms.push(alarm.clone());
+        alarm
+    }
+
+    /// Evaluates one verdict-shaped observation: updates counters, the
+    /// forensic ring, and raises the alarm if the threshold was crossed.
+    fn ingest_verdict(&mut self, verdict: crate::fingerprint::Verdict) -> Option<Alarm> {
+        let idx = self.traces_seen;
+        self.traces_seen += 1;
+        telemetry::counter("monitor.traces", 1);
+        telemetry::observe("monitor.distance", verdict.distance);
+        self.recent_distances.push(DistanceSample {
+            trace_index: idx,
+            distance: verdict.distance,
+        });
+        if verdict.trojan_suspected {
+            let alarm = Alarm::TimeDomain {
+                trace_index: idx,
+                distance: verdict.distance,
+                threshold: verdict.threshold,
+                correlation_id: telemetry::next_correlation_id(),
+            };
+            Some(self.record_alarm(alarm))
+        } else {
+            None
         }
     }
 
@@ -60,19 +314,7 @@ impl TrustMonitor {
     /// Forwarded projection errors (wrong trace length).
     pub fn ingest_trace(&mut self, samples: &[f64]) -> Result<Option<Alarm>, TrustError> {
         let verdict = self.fingerprint.evaluate(samples)?;
-        let idx = self.traces_seen;
-        self.traces_seen += 1;
-        if verdict.trojan_suspected {
-            let alarm = Alarm::TimeDomain {
-                trace_index: idx,
-                distance: verdict.distance,
-                threshold: verdict.threshold,
-            };
-            self.alarms.push(alarm.clone());
-            Ok(Some(alarm))
-        } else {
-            Ok(None)
-        }
+        Ok(self.ingest_verdict(verdict))
     }
 
     /// Ingests a batch of per-encryption traces: evaluation fans across
@@ -86,18 +328,11 @@ impl TrustMonitor {
     /// Forwarded projection errors (wrong trace length). On error the
     /// monitor is unchanged — no trace of the batch is counted.
     pub fn ingest_batch(&mut self, traces: &[Vec<f64>]) -> Result<Vec<Alarm>, TrustError> {
+        let _span = telemetry::span("ingest_batch");
         let verdicts = self.fingerprint.evaluate_batch(traces)?;
         let mut raised = Vec::new();
         for verdict in verdicts {
-            let idx = self.traces_seen;
-            self.traces_seen += 1;
-            if verdict.trojan_suspected {
-                let alarm = Alarm::TimeDomain {
-                    trace_index: idx,
-                    distance: verdict.distance,
-                    threshold: verdict.threshold,
-                };
-                self.alarms.push(alarm.clone());
+            if let Some(alarm) = self.ingest_verdict(verdict) {
                 raised.push(alarm);
             }
         }
@@ -112,17 +347,28 @@ impl TrustMonitor {
     ///
     /// Forwarded spectral-comparison errors.
     pub fn ingest_window(&mut self, window: &VoltageTrace) -> Result<Option<Alarm>, TrustError> {
+        let _span = telemetry::span("ingest_window");
         let Some(det) = &self.spectral else {
             return Ok(None);
         };
         let anomalies = det.compare(window)?;
+        let idx = self.windows_seen;
+        self.windows_seen += 1;
+        telemetry::counter("monitor.windows", 1);
+        for a in &anomalies {
+            self.recent_spots.push(SpotSample {
+                window_index: idx,
+                frequency_hz: a.frequency_hz,
+                suspect_magnitude: a.suspect_magnitude,
+            });
+        }
         if let Some(&top) = anomalies.first() {
             let alarm = Alarm::Spectral {
                 anomaly: top,
                 spot_count: anomalies.len(),
+                correlation_id: telemetry::next_correlation_id(),
             };
-            self.alarms.push(alarm.clone());
-            Ok(Some(alarm))
+            Ok(Some(self.record_alarm(alarm)))
         } else {
             Ok(None)
         }
@@ -133,9 +379,20 @@ impl TrustMonitor {
         &self.alarms
     }
 
+    /// The forensic bundle of every alarm raised so far, in order —
+    /// parallel to [`Self::alarms`] and keyed by correlation id.
+    pub fn forensics(&self) -> &[AlarmRecord] {
+        &self.forensics
+    }
+
     /// Number of per-encryption traces ingested.
     pub fn traces_seen(&self) -> u64 {
         self.traces_seen
+    }
+
+    /// Number of continuous windows ingested through the spectral path.
+    pub fn windows_seen(&self) -> u64 {
+        self.windows_seen
     }
 
     /// Fraction of ingested traces that raised a time-domain alarm.
@@ -151,10 +408,11 @@ impl TrustMonitor {
         td as f64 / self.traces_seen as f64
     }
 
-    /// Clears the alarm log (the paper's "further investigations" step
-    /// acknowledges alarms).
+    /// Clears the alarm log and its forensic bundles (the paper's
+    /// "further investigations" step acknowledges alarms).
     pub fn acknowledge_alarms(&mut self) {
         self.alarms.clear();
+        self.forensics.clear();
     }
 
     /// The fitted fingerprint.
@@ -271,5 +529,77 @@ mod tests {
         let mut m = monitor();
         let window = VoltageTrace::new(vec![0.0; 1024], 640e6);
         assert!(m.ingest_window(&window).unwrap().is_none());
+    }
+
+    #[test]
+    fn alarms_capture_a_forensic_ring_with_the_offending_distance() {
+        let mut m = monitor().with_forensic_depth(4);
+        for t in synthetic_set(3, 1.0, 7).traces() {
+            assert!(m.ingest_trace(t).unwrap().is_none());
+        }
+        let alarm = m
+            .ingest_trace(&synthetic_set(1, 1.5, 8).traces()[0])
+            .unwrap()
+            .expect("anomaly must alarm");
+        assert_eq!(m.forensics().len(), 1);
+        let record = &m.forensics()[0];
+        assert_eq!(record.correlation_id, alarm.correlation_id());
+        assert_eq!(record.alarm, alarm);
+        // Ring depth 4: the last clean distances plus the offender.
+        assert_eq!(record.recent_distances.len(), 4);
+        let last = record.recent_distances.last().unwrap();
+        assert_eq!(last.trace_index, 3);
+        match alarm {
+            Alarm::TimeDomain { distance, .. } => assert_eq!(last.distance, distance),
+            other => panic!("expected time-domain alarm, got {other:?}"),
+        }
+        let json = record.to_json();
+        assert!(json.contains("\"kind\":\"time_domain\""));
+        assert!(json.contains("\"recent_distances\":["));
+        m.acknowledge_alarms();
+        assert!(m.forensics().is_empty());
+    }
+
+    #[test]
+    fn correlation_ids_are_unique_and_monotonic_across_monitors() {
+        let mut a = monitor();
+        let mut b = monitor();
+        let mut ids = Vec::new();
+        for seed in 0..3 {
+            for m in [&mut a, &mut b] {
+                if let Some(alarm) = m
+                    .ingest_trace(&synthetic_set(1, 1.5, 40 + seed).traces()[0])
+                    .unwrap()
+                {
+                    ids.push(alarm.correlation_id());
+                }
+            }
+        }
+        assert_eq!(ids.len(), 6);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids {ids:?}");
+    }
+
+    #[test]
+    fn alarm_equality_ignores_the_correlation_id() {
+        let a = Alarm::TimeDomain {
+            trace_index: 1,
+            distance: 0.5,
+            threshold: 0.1,
+            correlation_id: 10,
+        };
+        let b = Alarm::TimeDomain {
+            trace_index: 1,
+            distance: 0.5,
+            threshold: 0.1,
+            correlation_id: 99,
+        };
+        assert_eq!(a, b);
+        let c = Alarm::TimeDomain {
+            trace_index: 2,
+            distance: 0.5,
+            threshold: 0.1,
+            correlation_id: 10,
+        };
+        assert_ne!(a, c);
     }
 }

@@ -85,6 +85,7 @@ pub fn pairwise_distances_with(
     workers: usize,
     row_chunk: usize,
 ) -> Result<Vec<f64>, DspError> {
+    let _span = emtrust_telemetry::span("pairwise_scan");
     let n = set.len();
     let rows = crate::parallel::chunked_try_map(n, row_chunk.min(n.max(1)), workers, |range| {
         let mut out = Vec::new();
@@ -141,6 +142,7 @@ pub fn eq1_threshold_with(
     workers: usize,
     row_chunk: usize,
 ) -> Result<f64, DspError> {
+    let _span = emtrust_telemetry::span("eq1_scan");
     let n = golden.len();
     if n < 2 {
         return Err(DspError::InvalidParameter {

@@ -115,6 +115,7 @@ impl From<f64> for Complex {
 /// # }
 /// ```
 pub fn fft_in_place(buf: &mut [Complex]) -> Result<(), DspError> {
+    emtrust_telemetry::counter("fft.transforms", 1);
     transform(buf, Direction::Forward)
 }
 

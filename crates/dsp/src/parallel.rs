@@ -13,6 +13,7 @@
 //! (whole EM traces, blocks of distance pairs) makes pool reuse overhead
 //! irrelevant.
 
+use emtrust_telemetry as telemetry;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -46,13 +47,24 @@ where
     if n_items == 0 {
         return Ok(Vec::new());
     }
+    // Per-worker chunk timing: when a recorder is installed, every chunk
+    // records its wall time under `pool.worker.<w>.chunk_ns` (the inline
+    // degenerate pool is worker 0). Disabled cost: one atomic load.
+    let run_chunk = |worker: usize, lo: usize, hi: usize| {
+        if telemetry::is_enabled() {
+            telemetry::counter("pool.chunks", 1);
+            telemetry::time(&format!("pool.worker.{worker}.chunk_ns"), || f(lo..hi))
+        } else {
+            f(lo..hi)
+        }
+    };
     if workers == 1 || n_chunks == 1 {
         // Degenerate pool: run inline, chunk by chunk, same chunk layout.
         let mut out = Vec::with_capacity(n_items);
         for c in 0..n_chunks {
             let lo = c * chunk_size;
             let hi = (lo + chunk_size).min(n_items);
-            out.extend(f(lo..hi)?);
+            out.extend(run_chunk(0, lo, hi)?);
         }
         return Ok(out);
     }
@@ -63,15 +75,16 @@ where
     let done: Mutex<Vec<ChunkSlot<R, E>>> = Mutex::new(Vec::with_capacity(n_chunks));
     let n_threads = workers.min(n_chunks);
     std::thread::scope(|scope| {
-        for _ in 0..n_threads {
-            scope.spawn(|| loop {
+        for w in 0..n_threads {
+            let (run_chunk, cursor, done) = (&run_chunk, &cursor, &done);
+            scope.spawn(move || loop {
                 let c = cursor.fetch_add(1, Ordering::Relaxed);
                 if c >= n_chunks {
                     break;
                 }
                 let lo = c * chunk_size;
                 let hi = (lo + chunk_size).min(n_items);
-                let result = f(lo..hi);
+                let result = run_chunk(w, lo, hi);
                 done.lock().expect("parallel chunk mutex").push((c, result));
             });
         }

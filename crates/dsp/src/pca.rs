@@ -55,6 +55,7 @@ impl Pca {
     /// # }
     /// ```
     pub fn fit(samples: &[Vec<f64>], k: usize) -> Result<Self, DspError> {
+        let _span = emtrust_telemetry::span("pca_fit");
         let first = samples.first().ok_or(DspError::EmptyInput)?;
         let dim = first.len();
         if dim == 0 {
@@ -142,6 +143,7 @@ impl Pca {
     /// Returns [`DspError::LengthMismatch`] if `x` has the wrong
     /// dimensionality.
     pub fn project(&self, x: &[f64]) -> Result<Vec<f64>, DspError> {
+        emtrust_telemetry::counter("pca.projections", 1);
         if x.len() != self.mean.len() {
             return Err(DspError::LengthMismatch {
                 expected: self.mean.len(),

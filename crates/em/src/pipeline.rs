@@ -126,13 +126,17 @@ impl EmSensor {
         injections: &[PointCurrentSource],
         workers: usize,
     ) -> Result<VoltageTrace, EmError> {
-        let mut weighted = self.model.synthesize_with(
-            netlist,
-            activity,
-            Some(&self.weights),
-            extra_leakage_a,
-            workers,
-        )?;
+        let _span = emtrust_telemetry::span("emf");
+        let mut weighted = {
+            let _synth = emtrust_telemetry::span("synthesize");
+            self.model.synthesize_with(
+                netlist,
+                activity,
+                Some(&self.weights),
+                extra_leakage_a,
+                workers,
+            )?
+        };
         for src in injections {
             let m = self.map.at(src.location_um.0, src.location_um.1);
             if m == 0.0 || src.samples.is_empty() {
@@ -184,6 +188,7 @@ impl EmSensor {
         noise_seed: u64,
         workers: usize,
     ) -> Result<VoltageTrace, EmError> {
+        let _span = emtrust_telemetry::span("measure");
         let mut trace = self.emf_with(netlist, activity, extra_leakage_a, injections, workers)?;
         NoiseModel::environment_for(&self.coil, noise_seed).add_to(&mut trace);
         Ok(trace)

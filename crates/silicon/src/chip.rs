@@ -157,6 +157,7 @@ impl FabricatedChip {
         seed: u64,
         workers: usize,
     ) -> Result<VoltageTrace, SiliconError> {
+        let _span = emtrust_telemetry::span("silicon_measure");
         let sensor = self.sensor(channel);
         let mut emf = sensor.emf_with(netlist, activity, extra_leakage_a, injections, workers)?;
         NoiseModel::environment_for(sensor.coil(), seed ^ self.chip_id).add_to(&mut emf);

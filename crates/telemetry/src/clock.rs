@@ -1,0 +1,109 @@
+//! Injectable time sources for the telemetry layer.
+//!
+//! Every duration a recorder stores is computed from a [`Clock`], never
+//! from a raw [`std::time::Instant`] in pipeline code. Production runs
+//! use [`MonotonicClock`]; deterministic runs (the determinism test
+//! suite, recorded replays) inject a [`ManualClock`] whose readings are a
+//! pure function of how many times it has been read — so two identical
+//! serial runs record identical telemetry, bit for bit.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic nanosecond time source.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Nanoseconds since this clock's epoch. Must be monotone
+    /// non-decreasing per clock instance.
+    fn now_ns(&self) -> u64;
+}
+
+/// Wall-clock-backed monotonic time (the production default).
+#[derive(Debug)]
+pub struct MonotonicClock {
+    epoch: Instant,
+}
+
+impl MonotonicClock {
+    /// Creates a clock whose epoch is the moment of construction.
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A deterministic clock: every reading advances an internal counter by a
+/// fixed step, so the `n`-th read always returns `n × step_ns` regardless
+/// of when it happens. With a serial pipeline this makes recorded span
+/// durations reproducible across runs.
+#[derive(Debug)]
+pub struct ManualClock {
+    ticks: AtomicU64,
+    step_ns: u64,
+}
+
+impl ManualClock {
+    /// Creates a clock advancing `step_ns` nanoseconds per reading.
+    pub fn new(step_ns: u64) -> Self {
+        Self {
+            ticks: AtomicU64::new(0),
+            step_ns,
+        }
+    }
+
+    /// Readings taken so far.
+    pub fn readings(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for ManualClock {
+    /// One microsecond per reading.
+    fn default() -> Self {
+        Self::new(1_000)
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.ticks
+            .fetch_add(1, Ordering::Relaxed)
+            .wrapping_mul(self.step_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_is_monotone() {
+        let c = MonotonicClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_is_a_pure_function_of_read_count() {
+        let c = ManualClock::new(10);
+        assert_eq!(c.now_ns(), 0);
+        assert_eq!(c.now_ns(), 10);
+        assert_eq!(c.now_ns(), 20);
+        assert_eq!(c.readings(), 3);
+        let d = ManualClock::new(10);
+        assert_eq!(d.now_ns(), 0, "fresh clock replays the same sequence");
+    }
+}

@@ -1,0 +1,118 @@
+//! The [`Recorder`] trait and the zero-cost [`NullRecorder`] default.
+
+use crate::clock::{Clock, ManualClock};
+
+/// A typed value attached to a structured event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer payload (indices, ids, counts).
+    U64(u64),
+    /// Floating-point payload (distances, magnitudes, seconds).
+    F64(f64),
+    /// Text payload (stage names, alarm kinds).
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+/// A telemetry backend: receives counters, gauges, distribution samples,
+/// completed timing spans, and structured events from the pipeline.
+///
+/// Implementations must be cheap and non-blocking on the metric paths —
+/// the pipeline calls them from its hot loops and from pool worker
+/// threads concurrently. The bundled [`InMemoryRecorder`] keeps every
+/// primitive lock-free (atomics) once a metric name is registered.
+///
+/// [`InMemoryRecorder`]: crate::registry::InMemoryRecorder
+pub trait Recorder: Send + Sync + std::fmt::Debug {
+    /// The time source spans and events are stamped with.
+    fn clock(&self) -> &dyn Clock;
+
+    /// Adds `delta` to the monotonic counter `name`.
+    fn counter(&self, name: &str, delta: u64);
+
+    /// Sets the gauge `name` to `value` (last write wins).
+    fn gauge(&self, name: &str, value: f64);
+
+    /// Records one sample of the distribution `name`.
+    fn observe(&self, name: &str, value: f64);
+
+    /// Records a completed timing span. `path` is the dot-joined
+    /// hierarchical span path (e.g. `collect.measure.emf`).
+    fn span_complete(&self, path: &str, start_ns: u64, elapsed_ns: u64);
+
+    /// Records a structured event (alarms, run markers). The default
+    /// implementation drops it.
+    fn event(&self, _kind: &str, _fields: &[(&str, FieldValue)]) {}
+}
+
+/// The default recorder: discards everything.
+///
+/// Pipeline instrumentation is gated on [`crate::is_enabled`] before any
+/// recorder method is reached, so with no recorder installed the whole
+/// telemetry layer costs one relaxed atomic load per instrumentation
+/// point.
+#[derive(Debug, Default)]
+pub struct NullRecorder {
+    clock: ManualClock,
+}
+
+impl NullRecorder {
+    /// Creates a null recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Recorder for NullRecorder {
+    fn clock(&self) -> &dyn Clock {
+        &self.clock
+    }
+
+    fn counter(&self, _name: &str, _delta: u64) {}
+
+    fn gauge(&self, _name: &str, _value: f64) {}
+
+    fn observe(&self, _name: &str, _value: f64) {}
+
+    fn span_complete(&self, _path: &str, _start_ns: u64, _elapsed_ns: u64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_recorder_accepts_everything_silently() {
+        let r = NullRecorder::new();
+        r.counter("c", 1);
+        r.gauge("g", 2.0);
+        r.observe("h", 3.0);
+        r.span_complete("a.b", 0, 10);
+        r.event("e", &[("k", FieldValue::U64(1))]);
+        let _ = r.clock().now_ns();
+    }
+
+    #[test]
+    fn field_values_convert_from_primitives() {
+        assert_eq!(FieldValue::from(3u64), FieldValue::U64(3));
+        assert_eq!(FieldValue::from(0.5f64), FieldValue::F64(0.5));
+        assert_eq!(FieldValue::from("x"), FieldValue::Str("x".into()));
+    }
+}

@@ -1,0 +1,421 @@
+//! The in-memory metrics registry: the recorder tests assert against and
+//! the source every sink snapshots from.
+//!
+//! Hot-path updates are lock-free: each metric is an atomic cell (or a
+//! bank of atomic buckets for distributions). The registry maps only pay
+//! a read-lock on lookup and a write-lock the first time a name is seen.
+
+use crate::clock::{Clock, MonotonicClock};
+use crate::recorder::{FieldValue, Recorder};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Number of power-of-two distribution buckets.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Offset applied to the base-2 exponent when bucketing, so values from
+/// `2^-32` up to `2^31` land in distinct buckets.
+const EXPONENT_OFFSET: i64 = 32;
+
+/// Upper bound (exclusive) of bucket `i`: `2^(i − 31)`.
+fn bucket_upper_bound(i: usize) -> f64 {
+    2f64.powi(i as i32 - (EXPONENT_OFFSET as i32 - 1))
+}
+
+fn bucket_index(value: f64) -> usize {
+    if value.is_nan() || value <= 0.0 {
+        // Zero, negatives and NaN all collapse into the lowest bucket.
+        return 0;
+    }
+    // `as i64` saturates for ±∞, so the saturating add keeps every
+    // pathological input inside the bucket range.
+    let e = (value.log2().floor() as i64).saturating_add(EXPONENT_OFFSET);
+    e.clamp(0, HISTOGRAM_BUCKETS as i64 - 1) as usize
+}
+
+/// Atomically adds `delta` to an `f64` stored as bits in an [`AtomicU64`].
+fn atomic_f64_add(cell: &AtomicU64, delta: f64) {
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        let next = f64::from_bits(current) + delta;
+        match cell.compare_exchange_weak(
+            current,
+            next.to_bits(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return,
+            Err(seen) => current = seen,
+        }
+    }
+}
+
+/// Atomically folds `value` into an `f64` min/max cell.
+fn atomic_f64_fold(cell: &AtomicU64, value: f64, pick: fn(f64, f64) -> f64) {
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        let folded = pick(f64::from_bits(current), value);
+        if folded.to_bits() == current {
+            return;
+        }
+        match cell.compare_exchange_weak(
+            current,
+            folded.to_bits(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return,
+            Err(seen) => current = seen,
+        }
+    }
+}
+
+/// A lock-free distribution: count, sum, min, max and 64 power-of-two
+/// buckets, all atomics.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl AtomicHistogram {
+    /// Records one sample.
+    pub fn record(&self, value: f64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_add(&self.sum_bits, value);
+        atomic_f64_fold(&self.min_bits, value, f64::min);
+        atomic_f64_fold(&self.max_bits, value, f64::max);
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            min: f64::from_bits(self.min_bits.load(Ordering::Relaxed)),
+            max: f64::from_bits(self.max_bits.load(Ordering::Relaxed)),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, c)| {
+                    let n = c.load(Ordering::Relaxed);
+                    (n > 0).then(|| (bucket_upper_bound(i), n))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of one distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Smallest sample (`+∞` when empty).
+    pub min: f64,
+    /// Largest sample (`−∞` when empty).
+    pub max: f64,
+    /// `(upper_bound, count)` for every non-empty power-of-two bucket,
+    /// ascending.
+    pub buckets: Vec<(f64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// One structured event (a completed span, an alarm, a run marker).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Clock reading when the event was recorded.
+    pub ts_ns: u64,
+    /// Event kind (`span`, `alarm`, …).
+    pub kind: String,
+    /// Typed payload fields, in recording order.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+/// A point-in-time copy of the whole registry.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Value distributions by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Completed-span duration distributions (nanoseconds) by span path.
+    pub spans: BTreeMap<String, HistogramSnapshot>,
+    /// Events dropped because the bounded event log was full.
+    pub events_dropped: u64,
+}
+
+/// The bundled [`Recorder`]: everything lands in process memory, ready
+/// for [`Snapshot`]-based assertions and for the Prometheus/JSONL sinks.
+#[derive(Debug)]
+pub struct InMemoryRecorder {
+    clock: Box<dyn Clock>,
+    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: RwLock<BTreeMap<String, Arc<AtomicHistogram>>>,
+    spans: RwLock<BTreeMap<String, Arc<AtomicHistogram>>>,
+    events: Mutex<Vec<Event>>,
+    events_dropped: AtomicU64,
+    event_capacity: usize,
+}
+
+impl Default for InMemoryRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InMemoryRecorder {
+    /// Default bound on the in-memory event log.
+    pub const DEFAULT_EVENT_CAPACITY: usize = 65_536;
+
+    /// Creates a registry stamped by a fresh [`MonotonicClock`].
+    pub fn new() -> Self {
+        Self::with_clock(Box::new(MonotonicClock::new()))
+    }
+
+    /// Creates a registry stamped by an injected clock — pass a
+    /// [`crate::clock::ManualClock`] to make recorded values
+    /// deterministic.
+    pub fn with_clock(clock: Box<dyn Clock>) -> Self {
+        Self {
+            clock,
+            counters: RwLock::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
+            histograms: RwLock::new(BTreeMap::new()),
+            spans: RwLock::new(BTreeMap::new()),
+            events: Mutex::new(Vec::new()),
+            events_dropped: AtomicU64::new(0),
+            event_capacity: Self::DEFAULT_EVENT_CAPACITY,
+        }
+    }
+
+    /// Overrides the event-log bound.
+    pub fn with_event_capacity(mut self, capacity: usize) -> Self {
+        self.event_capacity = capacity;
+        self
+    }
+
+    fn cell<V: Default>(map: &RwLock<BTreeMap<String, Arc<V>>>, name: &str) -> Arc<V> {
+        if let Some(c) = map.read().expect("registry lock").get(name) {
+            return Arc::clone(c);
+        }
+        let mut w = map.write().expect("registry lock");
+        Arc::clone(w.entry(name.to_string()).or_default())
+    }
+
+    fn push_event(&self, ts_ns: u64, kind: &str, fields: Vec<(String, FieldValue)>) {
+        let mut log = self.events.lock().expect("event lock");
+        if log.len() >= self.event_capacity {
+            self.events_dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        log.push(Event {
+            ts_ns,
+            kind: kind.to_string(),
+            fields,
+        });
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .counters
+            .read()
+            .expect("registry lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .expect("registry lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .expect("registry lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        let spans = self
+            .spans
+            .read()
+            .expect("registry lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+            spans,
+            events_dropped: self.events_dropped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// A copy of the event log, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("event lock").clone()
+    }
+}
+
+impl Recorder for InMemoryRecorder {
+    fn clock(&self) -> &dyn Clock {
+        &*self.clock
+    }
+
+    fn counter(&self, name: &str, delta: u64) {
+        Self::cell(&self.counters, name).fetch_add(delta, Ordering::Relaxed);
+    }
+
+    fn gauge(&self, name: &str, value: f64) {
+        Self::cell(&self.gauges, name).store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    fn observe(&self, name: &str, value: f64) {
+        Self::cell(&self.histograms, name).record(value);
+    }
+
+    fn span_complete(&self, path: &str, start_ns: u64, elapsed_ns: u64) {
+        Self::cell(&self.spans, path).record(elapsed_ns as f64);
+        self.push_event(
+            start_ns,
+            "span",
+            vec![
+                ("path".to_string(), FieldValue::Str(path.to_string())),
+                ("elapsed_ns".to_string(), FieldValue::U64(elapsed_ns)),
+            ],
+        );
+    }
+
+    fn event(&self, kind: &str, fields: &[(&str, FieldValue)]) {
+        let ts = self.clock.now_ns();
+        self.push_event(
+            ts,
+            kind,
+            fields
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), v.clone()))
+                .collect(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    #[test]
+    fn counters_gauges_and_histograms_round_trip() {
+        let r = InMemoryRecorder::new();
+        r.counter("traces", 3);
+        r.counter("traces", 2);
+        r.gauge("threshold", 0.015);
+        r.gauge("threshold", 0.017);
+        r.observe("distance", 0.5);
+        r.observe("distance", 2.0);
+        let s = r.snapshot();
+        assert_eq!(s.counters["traces"], 5);
+        assert_eq!(s.gauges["threshold"], 0.017);
+        let h = &s.histograms["distance"];
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 2.5);
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 2.0);
+        assert_eq!(h.mean(), 1.25);
+    }
+
+    #[test]
+    fn bucket_indexing_separates_magnitudes() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-1.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert!(bucket_index(1e-3) < bucket_index(1.0));
+        assert!(bucket_index(1.0) < bucket_index(1e6));
+        assert_eq!(bucket_index(f64::INFINITY), HISTOGRAM_BUCKETS - 1);
+        // Bucket upper bounds bracket the sample.
+        let v = 1234.5;
+        let i = bucket_index(v);
+        assert!(v < bucket_upper_bound(i));
+        assert!(v >= bucket_upper_bound(i) / 2.0);
+    }
+
+    #[test]
+    fn spans_record_into_path_distributions_and_events() {
+        let r = InMemoryRecorder::with_clock(Box::new(ManualClock::new(100)));
+        r.span_complete("collect.measure", 0, 400);
+        r.span_complete("collect.measure", 400, 200);
+        let s = r.snapshot();
+        assert_eq!(s.spans["collect.measure"].count, 2);
+        assert_eq!(s.spans["collect.measure"].sum, 600.0);
+        let events = r.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, "span");
+    }
+
+    #[test]
+    fn event_log_is_bounded() {
+        let r = InMemoryRecorder::new().with_event_capacity(2);
+        r.event("a", &[]);
+        r.event("b", &[]);
+        r.event("c", &[]);
+        assert_eq!(r.events().len(), 2);
+        assert_eq!(r.snapshot().events_dropped, 1);
+    }
+
+    #[test]
+    fn concurrent_updates_lose_nothing() {
+        let r = std::sync::Arc::new(InMemoryRecorder::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let r = std::sync::Arc::clone(&r);
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        r.counter("n", 1);
+                        r.observe("v", i as f64);
+                    }
+                });
+            }
+        });
+        let snap = r.snapshot();
+        assert_eq!(snap.counters["n"], 4000);
+        assert_eq!(snap.histograms["v"].count, 4000);
+    }
+}

@@ -1,0 +1,103 @@
+//! A fixed-capacity overwrite-oldest ring buffer — the storage behind the
+//! trust monitor's alarm forensics (last `N` distances / spectral spots
+//! preceding an alarm).
+
+/// A bounded ring: pushing beyond capacity overwrites the oldest entry.
+#[derive(Debug, Clone)]
+pub struct RingBuffer<T> {
+    buf: Vec<T>,
+    capacity: usize,
+    /// Next write position once the buffer has wrapped.
+    head: usize,
+}
+
+impl<T: Clone> RingBuffer<T> {
+    /// Creates a ring holding at most `capacity` entries (clamped ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+        }
+    }
+
+    /// Appends an entry, evicting the oldest once full.
+    pub fn push(&mut self, value: T) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(value);
+        } else {
+            self.buf[self.head] = value;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Entries currently held, oldest first.
+    pub fn to_vec(&self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Drops every entry (capacity is kept).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_overwrites_oldest_first() {
+        let mut r = RingBuffer::new(3);
+        assert!(r.is_empty());
+        r.push(1);
+        r.push(2);
+        assert_eq!(r.to_vec(), vec![1, 2]);
+        r.push(3);
+        r.push(4);
+        r.push(5);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.to_vec(), vec![3, 4, 5]);
+        assert_eq!(r.capacity(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut r = RingBuffer::new(0);
+        r.push(7);
+        r.push(8);
+        assert_eq!(r.to_vec(), vec![8]);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_capacity() {
+        let mut r = RingBuffer::new(2);
+        r.push(1);
+        r.push(2);
+        r.push(3);
+        r.clear();
+        assert!(r.is_empty());
+        r.push(9);
+        assert_eq!(r.to_vec(), vec![9]);
+    }
+}

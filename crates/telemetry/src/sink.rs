@@ -1,0 +1,159 @@
+//! Export sinks: Prometheus text exposition and JSONL event export.
+//!
+//! Both sinks render from point-in-time copies ([`Snapshot`] /
+//! [`Event`]s), so exporting never blocks the pipeline.
+
+use crate::recorder::FieldValue;
+use crate::registry::{Event, Snapshot};
+use std::fmt::Write as _;
+
+/// Maps a dotted metric name onto the Prometheus charset
+/// (`[a-zA-Z0-9_]`, prefixed with `emtrust_`).
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 8);
+    out.push_str("emtrust_");
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+    }
+    out
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a finite `f64` for JSON (`NaN`/`±∞` become `null`).
+pub fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders a [`Snapshot`] in the Prometheus text exposition format
+/// (counters, gauges, and histograms with cumulative `le` buckets;
+/// span distributions appear as `…_span_ns` histograms).
+pub fn prometheus_text(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let n = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {n} counter\n{n} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let n = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge\n{n} {value}");
+    }
+    for (prefix, map) in [("", &snapshot.histograms), ("span_ns_", &snapshot.spans)] {
+        for (name, h) in map {
+            let n = prometheus_name(&format!("{prefix}{name}"));
+            let _ = writeln!(out, "# TYPE {n} histogram");
+            let mut cumulative = 0u64;
+            for (le, count) in &h.buckets {
+                cumulative += count;
+                let _ = writeln!(out, "{n}_bucket{{le=\"{le:e}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{n}_sum {}", h.sum);
+            let _ = writeln!(out, "{n}_count {}", h.count);
+        }
+    }
+    out
+}
+
+fn field_json(v: &FieldValue) -> String {
+    match v {
+        FieldValue::U64(u) => u.to_string(),
+        FieldValue::F64(f) => json_number(*f),
+        FieldValue::Str(s) => format!("\"{}\"", json_escape(s)),
+    }
+}
+
+/// Renders one event as a single JSON line (no trailing newline).
+pub fn event_json(event: &Event) -> String {
+    let mut out = format!(
+        "{{\"ts_ns\":{},\"kind\":\"{}\"",
+        event.ts_ns,
+        json_escape(&event.kind)
+    );
+    for (k, v) in &event.fields {
+        let _ = write!(out, ",\"{}\":{}", json_escape(k), field_json(v));
+    }
+    out.push('}');
+    out
+}
+
+/// Renders an event log as a JSONL document (one event per line).
+pub fn events_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&event_json(e));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+    use crate::registry::InMemoryRecorder;
+
+    #[test]
+    fn prometheus_text_contains_all_metric_kinds() {
+        let r = InMemoryRecorder::new();
+        r.counter("monitor.traces", 7);
+        r.gauge("fingerprint.threshold", 0.0151);
+        r.observe("monitor.distance", 0.08);
+        r.span_complete("collect.measure", 0, 1500);
+        let text = prometheus_text(&r.snapshot());
+        assert!(text.contains("# TYPE emtrust_monitor_traces counter"));
+        assert!(text.contains("emtrust_monitor_traces 7"));
+        assert!(text.contains("# TYPE emtrust_fingerprint_threshold gauge"));
+        assert!(text.contains("# TYPE emtrust_monitor_distance histogram"));
+        assert!(text.contains("emtrust_monitor_distance_count 1"));
+        assert!(text.contains("emtrust_span_ns_collect_measure_sum 1500"));
+        assert!(text.contains("le=\"+Inf\""));
+    }
+
+    #[test]
+    fn jsonl_export_is_one_valid_object_per_line() {
+        let r = InMemoryRecorder::new();
+        r.event(
+            "alarm",
+            &[
+                ("correlation_id", FieldValue::U64(3)),
+                ("distance", FieldValue::F64(0.5)),
+                ("kind", FieldValue::Str("time\"domain".into())),
+            ],
+        );
+        let jsonl = events_jsonl(&r.events());
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].starts_with('{') && lines[0].ends_with('}'));
+        assert!(lines[0].contains("\"correlation_id\":3"));
+        assert!(lines[0].contains("\\\"domain"));
+    }
+
+    #[test]
+    fn json_helpers_handle_edge_cases() {
+        assert_eq!(json_escape("a\nb"), "a\\nb");
+        assert_eq!(json_number(f64::NAN), "null");
+        assert_eq!(json_number(1.5), "1.5");
+    }
+}

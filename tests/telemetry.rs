@@ -1,0 +1,173 @@
+//! Telemetry across the real pipeline: a Trojan-active replay must raise
+//! alarms whose forensic rings hold the offending observation, the
+//! registry must capture every stage, and installing a recorder must not
+//! perturb the detection results (bit-identical across worker counts).
+
+use emtrust::acquisition::{Stimulus, TestBench};
+use emtrust::monitor::Alarm;
+use emtrust::telemetry::{self, InMemoryRecorder, ManualClock};
+use emtrust::{FingerprintConfig, GoldenFingerprint, ParallelConfig, TrustMonitor};
+use emtrust_silicon::Channel;
+use emtrust_trojan::{ProtectedChip, TrojanKind};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+const KEY: [u8; 16] = *b"telemetry test!!";
+const STIMULUS: Stimulus = Stimulus::Fixed(*b"telemetry block!");
+
+/// The global recorder is process state: tests that install one are
+/// serialized through this lock (poison-tolerant so one failure doesn't
+/// cascade).
+static RECORDER_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    RECORDER_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[test]
+fn trojan_replay_raises_alarms_with_forensic_context() {
+    let _guard = lock();
+    let registry = Arc::new(InMemoryRecorder::new());
+    telemetry::install(registry.clone());
+
+    let chip = ProtectedChip::with_trojans(&[TrojanKind::T4PowerDegrader]);
+    let bench = TestBench::simulation(&chip).expect("bench");
+    let golden = bench
+        .collect_with(KEY, STIMULUS, 12, None, Channel::OnChipSensor, 31)
+        .expect("golden");
+    let fp = GoldenFingerprint::fit(&golden, FingerprintConfig::default()).expect("fit");
+    let mut monitor = TrustMonitor::new(fp, None).with_forensic_depth(8);
+
+    let clean = bench
+        .collect_with(KEY, STIMULUS, 3, None, Channel::OnChipSensor, 32)
+        .expect("clean");
+    for t in clean.traces() {
+        assert!(monitor.ingest_trace(t).expect("ingest").is_none());
+    }
+    let infected = bench
+        .collect_with(
+            KEY,
+            STIMULUS,
+            3,
+            Some(TrojanKind::T4PowerDegrader),
+            Channel::OnChipSensor,
+            33,
+        )
+        .expect("infected");
+    let raised = monitor.ingest_batch(infected.traces()).expect("batch");
+    telemetry::uninstall();
+
+    assert!(!raised.is_empty(), "the armed Trojan must alarm");
+    assert_eq!(monitor.forensics().len(), monitor.alarms().len());
+
+    // Every alarm's ring must end with its own offending distance.
+    for (alarm, record) in monitor.alarms().iter().zip(monitor.forensics()) {
+        assert_eq!(record.correlation_id, alarm.correlation_id());
+        let Alarm::TimeDomain {
+            trace_index,
+            distance,
+            ..
+        } = alarm
+        else {
+            panic!("expected a time-domain alarm, got {alarm:?}");
+        };
+        let last = record
+            .recent_distances
+            .last()
+            .expect("ring must not be empty");
+        assert_eq!(last.trace_index, *trace_index);
+        assert_eq!(last.distance.to_bits(), distance.to_bits());
+        assert!(record.recent_distances.len() <= 8);
+        assert!(record.to_json().contains("\"kind\":\"time_domain\""));
+    }
+
+    // Correlation ids: unique and strictly monotonic in alarm order.
+    let ids: Vec<u64> = monitor.alarms().iter().map(Alarm::correlation_id).collect();
+    assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids {ids:?}");
+
+    // The registry saw every stage of the pipeline.
+    let snap = registry.snapshot();
+    for span in ["collect", "fit", "ingest_batch"] {
+        assert!(
+            snap.spans
+                .keys()
+                .any(|k| k == span || k.starts_with(&format!("{span}."))),
+            "span {span:?} missing; got {:?}",
+            snap.spans.keys().collect::<Vec<_>>()
+        );
+    }
+    assert!(snap.counters["monitor.alarms"] >= raised.len() as u64);
+    assert!(snap.counters["monitor.traces"] >= monitor.traces_seen());
+    assert!(snap.histograms.contains_key("monitor.distance"));
+
+    // Both sinks render the captured run.
+    let prom = emtrust::telemetry::sink::prometheus_text(&snap);
+    assert!(prom.contains("emtrust_monitor_alarms"));
+    let jsonl = emtrust::telemetry::sink::events_jsonl(&registry.events());
+    assert!(jsonl.lines().any(|l| l.contains("\"kind\":\"alarm\"")));
+    assert!(jsonl.lines().any(|l| l.contains("correlation_id")));
+}
+
+#[test]
+fn collection_stays_bit_identical_with_a_recorder_installed() {
+    let _guard = lock();
+    let chip = ProtectedChip::golden();
+
+    // Reference: serial, telemetry disabled.
+    telemetry::uninstall();
+    let reference = TestBench::simulation(&chip)
+        .unwrap()
+        .with_parallel(ParallelConfig::serial())
+        .collect(KEY, 5, None, Channel::OnChipSensor, 77)
+        .unwrap();
+
+    // Recorded: manual clock (deterministic ticks, no wall time in any
+    // recorded value), multiple worker counts.
+    let registry = Arc::new(InMemoryRecorder::with_clock(Box::new(ManualClock::new(10))));
+    telemetry::install(registry.clone());
+    for workers in [1usize, 2, 8] {
+        let set = TestBench::simulation(&chip)
+            .unwrap()
+            .with_parallel(ParallelConfig::serial().with_workers(workers))
+            .collect(KEY, 5, None, Channel::OnChipSensor, 77)
+            .unwrap();
+        assert_eq!(set, reference, "workers={workers}");
+    }
+    telemetry::uninstall();
+
+    // The pool reported per-worker chunk timings for the fanned-out runs.
+    let snap = registry.snapshot();
+    assert!(snap.counters["pool.chunks"] > 0);
+    assert!(
+        snap.histograms
+            .keys()
+            .any(|k| k.starts_with("pool.worker.")),
+        "per-worker timings missing; got {:?}",
+        snap.histograms.keys().collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn correlation_ids_stay_unique_across_concurrent_monitors() {
+    // No recorder needed: ids are process-global and always drawn.
+    let ids: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                s.spawn(|| {
+                    (0..32)
+                        .map(|_| telemetry::next_correlation_id())
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    let mut sorted = ids.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), ids.len(), "ids must be unique");
+}
