@@ -114,12 +114,75 @@ fn check_parallel(doc: &Value) -> Result<(), String> {
     Ok(())
 }
 
+fn expect_bool(v: &Value, key: &str) -> Result<bool, String> {
+    expect(v, key, "bool")?
+        .as_bool()
+        .ok_or_else(|| format!("\"{key}\" must be a boolean"))
+}
+
+fn check_faults(doc: &Value) -> Result<(), String> {
+    check_provenance(doc)?;
+    expect_u64(doc, "n_golden")?;
+    expect_u64(doc, "n_suspect")?;
+    let default_intensity = expect_number(doc, "default_intensity")?;
+    let baseline = expect(doc, "baseline", "object")?;
+    expect_u64(baseline, "scored")?;
+    expect_u64(baseline, "alarms")?;
+    let baseline_far = expect_number(baseline, "false_alarm_rate")?;
+    if !expect_bool(doc, "clean_bit_identical")? {
+        return Err("\"clean_bit_identical\" must be true — the sanitizer changed alarms".into());
+    }
+    if !expect_bool(doc, "robust_matches_collect")? {
+        return Err("\"robust_matches_collect\" must be true".into());
+    }
+    let scenarios = expect_array(doc, "scenarios")?;
+    if scenarios.is_empty() {
+        return Err("\"scenarios\" must not be empty".into());
+    }
+    for (i, s) in scenarios.iter().enumerate() {
+        (|| {
+            expect_str(s, "fault")?;
+            let intensity = expect_number(s, "intensity")?;
+            let traces = expect_u64(s, "traces")?;
+            let clean = expect_u64(s, "clean")?;
+            let degraded = expect_u64(s, "degraded")?;
+            let rejected = expect_u64(s, "rejected")?;
+            expect_u64(s, "scored")?;
+            expect_u64(s, "alarms")?;
+            let far = expect_number(s, "false_alarm_rate")?;
+            expect_str(s, "health")?;
+            if expect_bool(s, "panicked")? {
+                return Err("\"panicked\" must be false".into());
+            }
+            if !expect_bool(s, "accounted")? || clean + degraded + rejected != traces {
+                return Err("every trace must be accounted clean/degraded/rejected".into());
+            }
+            if intensity == default_intensity && far > 2.0 * baseline_far + 1e-12 {
+                return Err(format!(
+                    "default-intensity false-alarm rate {far} exceeds 2x baseline {baseline_far}"
+                ));
+            }
+            Ok::<(), String>(())
+        })()
+        .map_err(|e| format!("scenarios[{i}]: {e}"))?;
+    }
+    let recovery = expect(doc, "recovery", "object")?;
+    expect_u64(recovery, "retries")?;
+    expect_u64(recovery, "fallbacks")?;
+    expect_u64(recovery, "backoff_total_us")?;
+    if expect_u64(recovery, "rejected")? != 0 {
+        return Err("\"recovery.rejected\" must be 0 — the storm must clear".into());
+    }
+    Ok(())
+}
+
 fn check_file(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
     let doc = Value::parse(&text).map_err(|e| e.to_string())?;
     match expect_str(&doc, "benchmark")? {
         "telemetry_table1_sweep" => check_telemetry(&doc),
         "golden_collect_fit" => check_parallel(&doc),
+        "fault_injection_sweep" => check_faults(&doc),
         other => Err(format!("unknown benchmark kind \"{other}\"")),
     }
 }

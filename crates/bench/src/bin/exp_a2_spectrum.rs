@@ -26,7 +26,7 @@ fn main() {
             0xA2,
         )
         .expect("golden window");
-    bench.arm_a2(true);
+    bench.arm_a2(true).expect("A2 installed above");
     let triggering = bench
         .collect_continuous(
             EXPERIMENT_KEY,

@@ -3,11 +3,13 @@
 //! fabricated-chip pipeline (paper §V).
 
 use crate::parallel::ParallelConfig;
+use crate::sanitize::{TraceSanitizer, TraceVerdict};
 use crate::TrustError;
 use emtrust_aes::netlist::run_encryption_with;
 use emtrust_em::coil::Coil;
 use emtrust_em::emf::VoltageTrace;
 use emtrust_em::pipeline::{EmSensor, PointCurrentSource};
+use emtrust_faults::FaultPlan;
 use emtrust_layout::floorplan::{Die, Floorplan};
 use emtrust_layout::probe::ExternalProbe;
 use emtrust_layout::spiral::SpiralSensor;
@@ -45,13 +47,45 @@ pub struct TraceSet {
 }
 
 impl TraceSet {
-    /// Wraps raw traces.
+    /// Wraps raw traces, validating shape and sample values.
     ///
     /// # Errors
     ///
-    /// Returns [`TrustError::InvalidParameter`] if the traces are ragged
-    /// or the sample rate is not positive.
+    /// - [`TrustError::InvalidParameter`] if the sample rate is not
+    ///   positive,
+    /// - [`TrustError::TraceLengthMismatch`] naming the first trace whose
+    ///   length disagrees with the set's,
+    /// - [`TrustError::NonFiniteSample`] naming the first NaN/±Inf sample.
     pub fn new(traces: Vec<Vec<f64>>, sample_rate_hz: f64) -> Result<Self, TrustError> {
+        let expected = traces.first().map_or(0, Vec::len);
+        for (ti, t) in traces.iter().enumerate() {
+            if t.len() != expected {
+                return Err(TrustError::TraceLengthMismatch {
+                    trace: ti,
+                    expected,
+                    actual: t.len(),
+                });
+            }
+            if let Some(si) = t.iter().position(|x| !x.is_finite()) {
+                return Err(TrustError::NonFiniteSample {
+                    trace: ti,
+                    sample: si,
+                });
+            }
+        }
+        Self::from_raw(traces, sample_rate_hz)
+    }
+
+    /// Wraps traces that may legitimately carry corrupted samples —
+    /// fault-injection campaigns and raw sensor dumps headed for the
+    /// sanitizer. Only the sample rate and the shared length are
+    /// validated; finiteness is deliberately not.
+    ///
+    /// # Errors
+    ///
+    /// [`TrustError::InvalidParameter`] if the traces are ragged or the
+    /// sample rate is not positive.
+    pub fn from_raw(traces: Vec<Vec<f64>>, sample_rate_hz: f64) -> Result<Self, TrustError> {
         if sample_rate_hz <= 0.0 {
             return Err(TrustError::InvalidParameter {
                 what: "sample rate must be positive",
@@ -91,6 +125,78 @@ impl TraceSet {
     }
 }
 
+/// Re-acquisition policy for [`TestBench::collect_robust`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total acquisition attempts per trace, the first included (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in microseconds; doubles per
+    /// retry round. The bench is simulated, so the wait is *recorded*
+    /// (`backoff_total_us`, `acquire.backoff_us`) rather than slept —
+    /// a hardware bench would sleep it to let a transient clear.
+    pub backoff_base_us: u64,
+    /// Alternate measurement channel to try for traces still rejected
+    /// after every retry (the paper's chips expose both the on-chip
+    /// sensor and an external probe).
+    pub fallback: Option<Channel>,
+    /// Maximum tolerated fraction of finally-rejected traces before the
+    /// collection fails with [`TrustError::SensorFault`]. `1.0` never
+    /// fails.
+    pub max_reject_fraction: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            backoff_base_us: 100,
+            fallback: None,
+            max_reject_fraction: 1.0,
+        }
+    }
+}
+
+/// Per-trace outcome of a robust collection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceReport {
+    /// Trace index within the campaign.
+    pub index: usize,
+    /// Final sanitizer verdict for the trace that was kept.
+    pub verdict: TraceVerdict,
+    /// Acquisition attempts spent on this trace (1 = first try passed).
+    pub attempts: u32,
+    /// Channel the kept trace was measured on.
+    pub channel: Channel,
+}
+
+/// The result of [`TestBench::collect_robust`]: the kept traces plus a
+/// full per-trace accounting of retries and fallbacks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustCollection {
+    /// The kept traces (one per requested index, rejected ones
+    /// included — `reports` says which to trust).
+    pub set: TraceSet,
+    /// Per-trace outcomes, in trace order.
+    pub reports: Vec<TraceReport>,
+    /// Total re-acquisition attempts across all traces.
+    pub retries: u64,
+    /// Traces whose kept measurement came from the fallback channel.
+    pub fallbacks: u64,
+    /// Total backoff the policy charged, in microseconds (recorded, not
+    /// slept — see [`RetryPolicy::backoff_base_us`]).
+    pub backoff_total_us: u64,
+}
+
+impl RobustCollection {
+    /// Number of traces whose final verdict is still rejected.
+    pub fn rejected(&self) -> usize {
+        self.reports
+            .iter()
+            .filter(|r| r.verdict.is_rejected())
+            .count()
+    }
+}
+
 /// Which measurement backend the bench uses.
 #[derive(Debug)]
 enum Backend {
@@ -113,6 +219,7 @@ pub struct TestBench<'c> {
     clock: ClockConfig,
     a2: Option<A2Trojan>,
     parallel: ParallelConfig,
+    faults: Option<FaultPlan>,
 }
 
 impl<'c> TestBench<'c> {
@@ -147,6 +254,7 @@ impl<'c> TestBench<'c> {
             clock,
             a2: None,
             parallel: ParallelConfig::default(),
+            faults: None,
         })
     }
 
@@ -166,6 +274,7 @@ impl<'c> TestBench<'c> {
             clock: ClockConfig::reference(),
             a2: None,
             parallel: ParallelConfig::default(),
+            faults: None,
         })
     }
 
@@ -184,14 +293,19 @@ impl<'c> TestBench<'c> {
 
     /// Arms or disarms the installed A2 Trojan's fast-flipping trigger.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no A2 Trojan is installed.
-    pub fn arm_a2(&mut self, on: bool) {
-        self.a2
-            .as_mut()
-            .expect("no A2 trojan installed")
-            .set_triggering(on);
+    /// [`TrustError::InvalidParameter`] if no A2 Trojan is installed.
+    pub fn arm_a2(&mut self, on: bool) -> Result<(), TrustError> {
+        match self.a2.as_mut() {
+            Some(a2) => {
+                a2.set_triggering(on);
+                Ok(())
+            }
+            None => Err(TrustError::InvalidParameter {
+                what: "no A2 trojan installed",
+            }),
+        }
     }
 
     /// The chip under test.
@@ -229,6 +343,26 @@ impl<'c> TestBench<'c> {
         self.parallel
     }
 
+    /// Installs a fault-injection plan: every subsequent `collect*` call
+    /// corrupts its digitized traces per the plan's schedule, replayably
+    /// (see [`FaultPlan`]). Faulted sets are wrapped with
+    /// [`TraceSet::from_raw`] so deliberately corrupted samples reach
+    /// the sanitizer instead of erroring out of collection.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Installs or removes the fault-injection plan in place.
+    pub fn set_faults(&mut self, plan: Option<FaultPlan>) {
+        self.faults = plan;
+    }
+
+    /// The installed fault-injection plan, if any.
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
     /// Collects `n_traces` single-encryption traces with a fixed random
     /// stimulus derived from `seed` (the detection-campaign default),
     /// Trojan `armed` (if any) triggered throughout.
@@ -263,6 +397,26 @@ impl<'c> TestBench<'c> {
         channel: Channel,
         seed: u64,
     ) -> Result<TraceSet, TrustError> {
+        self.collect_attempt(key, stimulus, n_traces, armed, channel, seed, 0)
+    }
+
+    /// One acquisition pass at re-acquisition ordinal `attempt`.
+    ///
+    /// Attempt 0 reproduces [`Self::collect_with`] exactly (the noise
+    /// seed mix leaves the legacy seeds untouched); attempt `k > 0`
+    /// draws fresh, still-deterministic measurement noise per trace, so
+    /// a retry re-measures instead of replaying the same corruption.
+    #[allow(clippy::too_many_arguments)]
+    fn collect_attempt(
+        &self,
+        key: [u8; 16],
+        stimulus: Stimulus,
+        n_traces: usize,
+        armed: Option<TrojanKind>,
+        channel: Channel,
+        seed: u64,
+        attempt: u32,
+    ) -> Result<TraceSet, TrustError> {
         let _span = telemetry::span("collect");
         telemetry::counter("acquire.traces", n_traces as u64);
         let mut rng = StdRng::seed_from_u64(seed);
@@ -284,9 +438,27 @@ impl<'c> TestBench<'c> {
                 Stimulus::RandomPerTrace => rng.gen(),
             })
             .collect();
-        // Per-trace noise seed: campaign seed and trace index only — never
-        // worker identity — so parallel runs are bit-identical to serial.
-        let trace_seed = |i: usize| seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        // Per-trace noise seed: campaign seed, trace index, and attempt
+        // ordinal only — never worker identity — so parallel runs are
+        // bit-identical to serial, and attempt 0 matches the legacy
+        // (pre-retry) seeds exactly.
+        let trace_seed = |i: usize| {
+            seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ u64::from(attempt).wrapping_mul(0xA24B_AED4_963E_E407)
+        };
+        // The fault plan corrupts the digitized record in place, keyed on
+        // (trace, attempt) so retries re-roll transient strikes.
+        let corrupt = |i: usize, samples: &mut Vec<f64>| {
+            if let Some(plan) = &self.faults {
+                plan.apply(
+                    i as u64,
+                    attempt,
+                    Some(channel),
+                    samples,
+                    self.clock.sample_rate_hz(),
+                );
+            }
+        };
 
         // A Trojan-free netlist is replayable: its post-encryption register
         // state is a pure function of (key, previous plaintext), so a chunk
@@ -320,7 +492,9 @@ impl<'c> TestBench<'c> {
                         let activity = sim.take_recording();
                         let trace =
                             self.measure_activity(&activity, None, channel, trace_seed(i), 1)?;
-                        out.push(trace.into_samples());
+                        let mut samples = trace.into_samples();
+                        corrupt(i, &mut samples);
+                        out.push(samples);
                     }
                     Ok(out)
                 })?
@@ -356,10 +530,18 @@ impl<'c> TestBench<'c> {
                         trace_seed(i),
                         1,
                     )?;
-                    Ok(trace.into_samples())
+                    let mut samples = trace.into_samples();
+                    corrupt(i, &mut samples);
+                    Ok(samples)
                 })?
         };
-        TraceSet::new(traces, self.clock.sample_rate_hz())
+        if self.faults.is_some() {
+            // Injected faults may legitimately produce NaN/Inf samples;
+            // the sanitizer downstream is the component that judges them.
+            TraceSet::from_raw(traces, self.clock.sample_rate_hz())
+        } else {
+            TraceSet::new(traces, self.clock.sample_rate_hz())
+        }
     }
 
     /// Collects one long continuous trace spanning `n_blocks` back-to-back
@@ -406,13 +588,18 @@ impl<'c> TestBench<'c> {
         };
         // The long trace parallelizes inside the measurement: current
         // synthesis fans its cycle chunks across the pool.
-        self.measure_activity(
+        let mut trace = self.measure_activity(
             &activity,
             extra.as_deref(),
             channel,
             seed,
             self.parallel.workers,
-        )
+        )?;
+        if let Some(plan) = &self.faults {
+            let fs = trace.sample_rate_hz();
+            plan.apply(0, 0, Some(channel), trace.samples_mut(), fs);
+        }
+        Ok(trace)
     }
 
     /// The paper's noise-measurement step (§V-A step 1): the chip is
@@ -428,6 +615,128 @@ impl<'c> TestBench<'c> {
             }
             Backend::Silicon(fab) => fab.measure_noise(channel, n_samples, seed),
         }
+    }
+
+    /// Collects like [`Self::collect`], but screens every trace through
+    /// `sanitizer` and degrades gracefully instead of handing corrupted
+    /// data to the fingerprint:
+    ///
+    /// 1. **Retry with backoff** — rejected traces are re-acquired up to
+    ///    `policy.max_attempts` times; each round re-measures with fresh
+    ///    (still deterministic) noise and re-rolls transient fault
+    ///    strikes, with exponential backoff recorded per round.
+    /// 2. **Channel fallback** — traces still rejected are re-measured on
+    ///    `policy.fallback`; between the two channels' verdicts the
+    ///    better one wins, ties keeping the primary.
+    /// 3. **Sensor-fault escalation** — if more than
+    ///    `policy.max_reject_fraction` of the campaign is still rejected,
+    ///    the collection fails with [`TrustError::SensorFault`].
+    ///
+    /// With no faults present this is bit-identical to [`Self::collect`]:
+    /// every trace passes on attempt 0 with the legacy noise seeds.
+    ///
+    /// # Errors
+    ///
+    /// [`TrustError::SensorFault`] per rule 3, plus forwarded
+    /// simulation/measurement errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn collect_robust(
+        &self,
+        key: [u8; 16],
+        n_traces: usize,
+        armed: Option<TrojanKind>,
+        channel: Channel,
+        seed: u64,
+        sanitizer: &TraceSanitizer,
+        policy: RetryPolicy,
+    ) -> Result<RobustCollection, TrustError> {
+        let _span = telemetry::span("collect_robust");
+        let pt: [u8; 16] = StdRng::seed_from_u64(seed ^ 0x97).gen();
+        let stimulus = Stimulus::Fixed(pt);
+        let first = self.collect_attempt(key, stimulus, n_traces, armed, channel, seed, 0)?;
+        let rate = first.sample_rate_hz();
+        let mut traces = first.traces().to_vec();
+        let mut verdicts: Vec<TraceVerdict> = traces.iter().map(|t| sanitizer.inspect(t)).collect();
+        let mut attempts = vec![1u32; n_traces];
+        let mut channels = vec![channel; n_traces];
+        let mut retries = 0u64;
+        let mut fallbacks = 0u64;
+        let mut backoff_total_us = 0u64;
+
+        for attempt in 1..policy.max_attempts {
+            let pending: Vec<usize> = (0..n_traces)
+                .filter(|&i| verdicts[i].is_rejected())
+                .collect();
+            if pending.is_empty() {
+                break;
+            }
+            let backoff = policy
+                .backoff_base_us
+                .saturating_mul(1u64 << u64::from(attempt - 1).min(20));
+            backoff_total_us = backoff_total_us.saturating_add(backoff);
+            telemetry::counter("acquire.backoff_us", backoff);
+            telemetry::counter("acquire.retries", pending.len() as u64);
+            retries += pending.len() as u64;
+            let again =
+                self.collect_attempt(key, stimulus, n_traces, armed, channel, seed, attempt)?;
+            for &i in &pending {
+                traces[i] = again.traces()[i].clone();
+                verdicts[i] = sanitizer.inspect(&traces[i]);
+                attempts[i] += 1;
+            }
+        }
+
+        if let Some(fb) = policy.fallback {
+            let pending: Vec<usize> = (0..n_traces)
+                .filter(|&i| verdicts[i].is_rejected())
+                .collect();
+            if !pending.is_empty() && fb != channel {
+                let alt = self.collect_attempt(key, stimulus, n_traces, armed, fb, seed, 0)?;
+                let rank = |v: &TraceVerdict| match v {
+                    TraceVerdict::Clean => 0,
+                    TraceVerdict::Degraded { .. } => 1,
+                    TraceVerdict::Rejected { .. } => 2,
+                };
+                for &i in &pending {
+                    let fresh = &alt.traces()[i];
+                    let v = sanitizer.inspect(fresh);
+                    attempts[i] += 1;
+                    if rank(&v) < rank(&verdicts[i]) {
+                        traces[i] = fresh.clone();
+                        verdicts[i] = v;
+                        channels[i] = fb;
+                        fallbacks += 1;
+                        telemetry::counter("acquire.fallbacks", 1);
+                    }
+                }
+            }
+        }
+
+        let rejected = verdicts.iter().filter(|v| v.is_rejected()).count();
+        if rejected as f64 > policy.max_reject_fraction * n_traces as f64 {
+            return Err(TrustError::SensorFault {
+                rejected,
+                total: n_traces,
+            });
+        }
+        let reports: Vec<TraceReport> = verdicts
+            .into_iter()
+            .enumerate()
+            .map(|(i, verdict)| TraceReport {
+                index: i,
+                verdict,
+                attempts: attempts[i],
+                channel: channels[i],
+            })
+            .collect();
+        let set = TraceSet::from_raw(traces, rate)?;
+        Ok(RobustCollection {
+            set,
+            reports,
+            retries,
+            fallbacks,
+            backoff_total_us,
+        })
     }
 
     fn measure_activity(
@@ -494,6 +803,159 @@ mod tests {
         assert_eq!(s.len(), 3);
         assert!(!s.is_empty());
         assert_eq!(s.sample_rate_hz(), 10.0);
+    }
+
+    #[test]
+    fn trace_set_distinguishes_shape_and_value_defects() {
+        let e = TraceSet::new(vec![vec![1.0], vec![1.0, 2.0]], 1.0).unwrap_err();
+        assert!(matches!(
+            e,
+            TrustError::TraceLengthMismatch {
+                trace: 1,
+                expected: 1,
+                actual: 2
+            }
+        ));
+        let e = TraceSet::new(vec![vec![1.0, f64::NAN]], 1.0).unwrap_err();
+        assert!(matches!(
+            e,
+            TrustError::NonFiniteSample {
+                trace: 0,
+                sample: 1
+            }
+        ));
+        // The raw constructor admits corrupted values but not bad shapes.
+        assert!(TraceSet::from_raw(vec![vec![1.0, f64::NAN]], 1.0).is_ok());
+        assert!(TraceSet::from_raw(vec![vec![1.0], vec![1.0, 2.0]], 1.0).is_err());
+        assert!(TraceSet::from_raw(vec![vec![1.0]], 0.0).is_err());
+    }
+
+    #[test]
+    fn faulted_collection_replays_and_keeps_untouched_samples_identical() {
+        use emtrust_faults::FaultKind;
+        let chip = ProtectedChip::golden();
+        let clean_bench = TestBench::simulation(&chip).unwrap();
+        let clean = clean_bench
+            .collect(KEY, 2, None, Channel::OnChipSensor, 7)
+            .unwrap();
+        let plan = FaultPlan::single(5, FaultKind::NanCorruption, 0.5);
+        let bench = TestBench::simulation(&chip).unwrap().with_faults(plan);
+        let a = bench
+            .collect(KEY, 2, None, Channel::OnChipSensor, 7)
+            .unwrap();
+        let b = bench
+            .collect(KEY, 2, None, Channel::OnChipSensor, 7)
+            .unwrap();
+        let flat = |s: &TraceSet| -> Vec<u64> {
+            s.traces().iter().flatten().map(|x| x.to_bits()).collect()
+        };
+        assert_eq!(flat(&a), flat(&b), "faulted collection must replay");
+        assert!(a.traces().iter().flatten().any(|x| !x.is_finite()));
+        // The fault corrupts a handful of samples; every other sample is
+        // bit-identical to the legacy (attempt 0) collection.
+        let differing = flat(&clean)
+            .iter()
+            .zip(flat(&a).iter())
+            .filter(|(c, f)| c != f)
+            .count();
+        assert!(
+            (1..20).contains(&differing),
+            "differing samples {differing}"
+        );
+    }
+
+    #[test]
+    fn robust_collection_without_faults_matches_collect_exactly() {
+        let chip = ProtectedChip::golden();
+        let bench = TestBench::simulation(&chip).unwrap();
+        let plain = bench
+            .collect(KEY, 3, None, Channel::OnChipSensor, 9)
+            .unwrap();
+        let robust = bench
+            .collect_robust(
+                KEY,
+                3,
+                None,
+                Channel::OnChipSensor,
+                9,
+                &TraceSanitizer::default(),
+                RetryPolicy::default(),
+            )
+            .unwrap();
+        assert_eq!(robust.set, plain);
+        assert_eq!(robust.retries, 0);
+        assert_eq!(robust.fallbacks, 0);
+        assert_eq!(robust.backoff_total_us, 0);
+        assert!(robust
+            .reports
+            .iter()
+            .all(|r| r.attempts == 1 && r.verdict.is_clean()));
+    }
+
+    #[test]
+    fn robust_collection_falls_back_to_the_external_probe() {
+        use emtrust_faults::{FaultKind, FaultSpec};
+        let chip = ProtectedChip::golden();
+        // Persistent flatline on the on-chip channel only: retries cannot
+        // clear it, the external-probe fallback can.
+        let plan = FaultPlan::new(3)
+            .with(FaultSpec::new(FaultKind::Flatline, 1.0).on_channel(Channel::OnChipSensor));
+        let bench = TestBench::simulation(&chip).unwrap().with_faults(plan);
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            fallback: Some(Channel::ExternalProbe),
+            ..Default::default()
+        };
+        let robust = bench
+            .collect_robust(
+                KEY,
+                2,
+                None,
+                Channel::OnChipSensor,
+                4,
+                &TraceSanitizer::default(),
+                policy,
+            )
+            .unwrap();
+        assert_eq!(robust.rejected(), 0);
+        assert_eq!(robust.fallbacks, 2);
+        assert_eq!(robust.retries, 2);
+        assert!(robust.backoff_total_us > 0);
+        assert!(robust
+            .reports
+            .iter()
+            .all(|r| r.channel == Channel::ExternalProbe && r.attempts == 3));
+    }
+
+    #[test]
+    fn robust_collection_escalates_to_sensor_fault() {
+        use emtrust_faults::FaultKind;
+        let chip = ProtectedChip::golden();
+        let plan = FaultPlan::single(3, FaultKind::Flatline, 1.0);
+        let bench = TestBench::simulation(&chip).unwrap().with_faults(plan);
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            max_reject_fraction: 0.25,
+            ..Default::default()
+        };
+        let err = bench
+            .collect_robust(
+                KEY,
+                2,
+                None,
+                Channel::OnChipSensor,
+                4,
+                &TraceSanitizer::default(),
+                policy,
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            TrustError::SensorFault {
+                rejected: 2,
+                total: 2
+            }
+        ));
     }
 
     #[test]
@@ -572,12 +1034,12 @@ mod tests {
             .with_a2(A2Trojan::new(10e6));
         assert!(bench.a2().is_some());
         assert_ne!(bench.a2().unwrap().location_um(), (0.0, 0.0));
-        bench.arm_a2(true);
+        bench.arm_a2(true).unwrap();
         assert!(bench.a2().unwrap().is_triggering());
         let armed = bench
             .collect_continuous(KEY, 2, None, Channel::OnChipSensor, 4)
             .unwrap();
-        bench.arm_a2(false);
+        bench.arm_a2(false).unwrap();
         let dormant = bench
             .collect_continuous(KEY, 2, None, Channel::OnChipSensor, 4)
             .unwrap();

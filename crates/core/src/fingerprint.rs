@@ -59,6 +59,8 @@ pub struct GoldenFingerprint {
     golden: Vec<Vec<f64>>,
     centroid: Vec<f64>,
     threshold: f64,
+    /// Sample count of the golden traces (every suspect must match).
+    trace_len: usize,
 }
 
 impl GoldenFingerprint {
@@ -134,6 +136,7 @@ impl GoldenFingerprint {
             golden: projected,
             centroid,
             threshold,
+            trace_len: traces.first().map_or(0, Vec::len),
         })
     }
 
@@ -196,6 +199,25 @@ impl GoldenFingerprint {
             .try_map(traces.len(), |i| self.evaluate(&traces[i]))
     }
 
+    /// Evaluates a batch of traces, reporting each trace's outcome
+    /// individually instead of aborting on the first failure. The
+    /// hardened monitor ingestion path uses this so one corrupted trace
+    /// cannot shadow the verdicts of its batch-mates.
+    pub fn evaluate_each<T: AsRef<[f64]> + Sync>(
+        &self,
+        traces: &[T],
+    ) -> Vec<Result<Verdict, TrustError>> {
+        let _span = telemetry::span("evaluate_each");
+        let wrapped: Result<Vec<_>, std::convert::Infallible> = self
+            .config
+            .parallel
+            .try_map(traces.len(), |i| Ok(self.evaluate(traces[i].as_ref())));
+        match wrapped {
+            Ok(v) => v,
+            Err(never) => match never {},
+        }
+    }
+
     /// Distances of every trace in a set to the golden centroid, fanned
     /// across the configured worker pool (trace order preserved).
     ///
@@ -252,6 +274,23 @@ impl GoldenFingerprint {
             .map(|t| self.project(t))
             .collect::<Result<_, _>>()?;
         Ok(distance::cross_distances(&self.golden, &projected)?)
+    }
+
+    /// Feature-energy ratio of a raw trace relative to the golden scale
+    /// (clean traces sit near 1.0). The sanitizer's energy screen uses
+    /// this to catch gain faults before distance scoring.
+    ///
+    /// # Errors
+    ///
+    /// Forwarded feature-extraction errors.
+    pub fn energy_ratio(&self, samples: &[f64]) -> Result<f64, TrustError> {
+        let feats = bin_rms(samples, self.config.rms_bin)?;
+        Ok(l2_norm(&feats) / self.scale)
+    }
+
+    /// Sample count of the golden traces the fingerprint was fitted on.
+    pub fn expected_trace_len(&self) -> usize {
+        self.trace_len
     }
 
     /// The Eq. 1 threshold in effect (margin applied).

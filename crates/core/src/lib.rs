@@ -1,3 +1,14 @@
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::todo,
+        clippy::unimplemented
+    )
+)]
+
 //! # emtrust
 //!
 //! Runtime trust evaluation and hardware Trojan detection using on-chip
@@ -53,6 +64,7 @@
 //! # Ok::<(), emtrust::TrustError>(())
 //! ```
 
+pub use emtrust_faults as faults;
 pub use emtrust_telemetry as telemetry;
 
 pub mod acquisition;
@@ -60,14 +72,18 @@ pub mod baseline;
 pub mod euclidean;
 pub mod features;
 pub mod fingerprint;
+pub mod health;
 pub mod monitor;
 pub mod parallel;
+pub mod sanitize;
 pub mod spectral;
 
-pub use acquisition::{TestBench, TraceSet};
+pub use acquisition::{RetryPolicy, RobustCollection, TestBench, TraceReport, TraceSet};
 pub use fingerprint::{FingerprintConfig, GoldenFingerprint};
+pub use health::{HealthConfig, HealthTracker, HealthTransition, SensorHealth};
 pub use monitor::{Alarm, TrustMonitor};
 pub use parallel::ParallelConfig;
+pub use sanitize::{SanitizerConfig, TraceDefect, TraceSanitizer, TraceVerdict};
 pub use spectral::SpectralDetector;
 
 use std::error::Error;
@@ -81,6 +97,30 @@ pub enum TrustError {
     InvalidParameter {
         /// Description of the violated constraint.
         what: &'static str,
+    },
+    /// A trace carried a NaN or ±Inf sample (corrupted acquisition).
+    NonFiniteSample {
+        /// Index of the offending trace in its set.
+        trace: usize,
+        /// Index of the first non-finite sample inside that trace.
+        sample: usize,
+    },
+    /// A trace's length disagreed with the rest of its set.
+    TraceLengthMismatch {
+        /// Index of the offending trace in its set.
+        trace: usize,
+        /// Length of the set's first trace.
+        expected: usize,
+        /// Length of the offending trace.
+        actual: usize,
+    },
+    /// Re-acquisition could not bring the rejected-trace fraction under
+    /// the retry policy's bound: the sensor channel is effectively down.
+    SensorFault {
+        /// Traces still rejected after every attempt.
+        rejected: usize,
+        /// Traces requested.
+        total: usize,
     },
     /// Forwarded from the DSP substrate.
     Dsp(emtrust_dsp::DspError),
@@ -98,6 +138,21 @@ impl fmt::Display for TrustError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TrustError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
+            TrustError::NonFiniteSample { trace, sample } => {
+                write!(f, "trace {trace} sample {sample} is not finite")
+            }
+            TrustError::TraceLengthMismatch {
+                trace,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "trace {trace} has {actual} samples, set expects {expected}"
+            ),
+            TrustError::SensorFault { rejected, total } => write!(
+                f,
+                "sensor fault: {rejected}/{total} traces still rejected after retries"
+            ),
             TrustError::Dsp(e) => write!(f, "dsp: {e}"),
             TrustError::Em(e) => write!(f, "em: {e}"),
             TrustError::Silicon(e) => write!(f, "silicon: {e}"),

@@ -5,9 +5,12 @@
 //! monitor keeps reading the EM sensor output in the format of voltages"
 //! and triggers an alarm once the analysis detects Trojans or attacks.
 
-use crate::fingerprint::GoldenFingerprint;
+use crate::fingerprint::{GoldenFingerprint, Verdict};
+use crate::health::{HealthConfig, HealthTracker, SensorHealth};
+use crate::sanitize::{SanitizerConfig, TraceDefect, TraceSanitizer, TraceVerdict};
 use crate::spectral::{SpectralAnomaly, SpectralDetector};
 use crate::TrustError;
+use emtrust_dsp::DspError;
 use emtrust_em::emf::VoltageTrace;
 use emtrust_telemetry::sink::{json_escape, json_number};
 use emtrust_telemetry::{self as telemetry, FieldValue, RingBuffer};
@@ -199,13 +202,64 @@ impl AlarmRecord {
     }
 }
 
+/// The sanitized outcome of ingesting one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestReport {
+    /// The sanitizer's classification (always [`TraceVerdict::Clean`]
+    /// when no sanitizer is installed).
+    pub verdict: TraceVerdict,
+    /// The alarm this trace raised, if it was scored and crossed the
+    /// threshold. Rejected traces never alarm.
+    pub alarm: Option<Alarm>,
+    /// Sensor health after absorbing this trace's outcome.
+    pub health: SensorHealth,
+}
+
+/// The sanitized outcome of ingesting a batch of traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchIngest {
+    /// One report per input trace, in trace order.
+    pub reports: Vec<IngestReport>,
+    /// The alarms the batch raised, in trace order (a flattened view of
+    /// the reports' alarms).
+    pub alarms: Vec<Alarm>,
+}
+
+impl BatchIngest {
+    /// Number of traces the sanitizer passed as clean.
+    pub fn clean(&self) -> usize {
+        self.reports.iter().filter(|r| r.verdict.is_clean()).count()
+    }
+
+    /// Number of traces scored despite mild defects.
+    pub fn degraded(&self) -> usize {
+        self.reports
+            .iter()
+            .filter(|r| r.verdict.is_degraded())
+            .count()
+    }
+
+    /// Number of traces excluded from scoring.
+    pub fn rejected(&self) -> usize {
+        self.reports
+            .iter()
+            .filter(|r| r.verdict.is_rejected())
+            .count()
+    }
+}
+
 /// The runtime monitor: consumes sensor output, raises [`Alarm`]s.
 #[derive(Debug)]
 pub struct TrustMonitor {
     fingerprint: GoldenFingerprint,
     spectral: Option<SpectralDetector>,
+    sanitizer: Option<TraceSanitizer>,
+    health: HealthTracker,
     traces_seen: u64,
+    traces_rejected: u64,
+    traces_degraded: u64,
     windows_seen: u64,
+    windows_rejected: u64,
     alarms: Vec<Alarm>,
     recent_distances: RingBuffer<DistanceSample>,
     recent_spots: RingBuffer<SpotSample>,
@@ -222,8 +276,13 @@ impl TrustMonitor {
         Self {
             fingerprint,
             spectral,
+            sanitizer: None,
+            health: HealthTracker::default(),
             traces_seen: 0,
+            traces_rejected: 0,
+            traces_degraded: 0,
             windows_seen: 0,
+            windows_rejected: 0,
             alarms: Vec::new(),
             recent_distances: RingBuffer::new(Self::DEFAULT_FORENSIC_DEPTH),
             recent_spots: RingBuffer::new(Self::DEFAULT_FORENSIC_DEPTH),
@@ -237,6 +296,27 @@ impl TrustMonitor {
     pub fn with_forensic_depth(mut self, depth: usize) -> Self {
         self.recent_distances = RingBuffer::new(depth);
         self.recent_spots = RingBuffer::new(depth);
+        self
+    }
+
+    /// Installs a trace sanitizer on the ingestion path. If the
+    /// sanitizer carries no expected length it inherits the
+    /// fingerprint's fit length, so mis-sized traces are rejected before
+    /// scoring instead of erroring out of it.
+    pub fn with_sanitizer(mut self, sanitizer: TraceSanitizer) -> Self {
+        let sanitizer = if sanitizer.config().expected_len.is_none() {
+            sanitizer.with_expected_len(self.fingerprint.expected_trace_len())
+        } else {
+            sanitizer
+        };
+        self.sanitizer = Some(sanitizer);
+        self
+    }
+
+    /// Replaces the sensor-health tracker's configuration (resets the
+    /// tracker; intended at construction time).
+    pub fn with_health_config(mut self, config: HealthConfig) -> Self {
+        self.health = HealthTracker::new(config);
         self
     }
 
@@ -307,12 +387,140 @@ impl TrustMonitor {
         }
     }
 
+    /// Classifies one trace against the installed sanitizer (Clean when
+    /// none is installed). Pure — no monitor state changes.
+    fn screen(&self, samples: &[f64]) -> TraceVerdict {
+        match &self.sanitizer {
+            Some(s) => {
+                let ratio = if s.config().energy_bounds.is_some() {
+                    self.fingerprint.energy_ratio(samples).ok()
+                } else {
+                    None
+                };
+                s.inspect_scaled(samples, ratio)
+            }
+            None => TraceVerdict::Clean,
+        }
+    }
+
+    /// Books one rejected trace (never reaches scoring or `alarm_rate`).
+    fn record_rejected(&mut self, reason: &TraceDefect) {
+        self.traces_rejected += 1;
+        telemetry::counter("monitor.trace_rejects", 1);
+        telemetry::event(
+            "trace_rejected",
+            &[("reason", FieldValue::from(reason.label()))],
+        );
+    }
+
+    /// Absorbs one screened trace: rejected traces feed the health
+    /// tracker only; scored traces flow through the normal verdict path.
+    /// `outcome` carries the evaluation result for non-rejected traces.
+    fn absorb(
+        &mut self,
+        verdict: TraceVerdict,
+        outcome: Option<Result<Verdict, TrustError>>,
+    ) -> IngestReport {
+        let (verdict, alarm) = match (verdict, outcome) {
+            (TraceVerdict::Rejected { reason }, _) => {
+                self.record_rejected(&reason);
+                (TraceVerdict::Rejected { reason }, None)
+            }
+            (v, Some(Ok(score))) => {
+                if v.is_degraded() {
+                    self.traces_degraded += 1;
+                    telemetry::counter("monitor.trace_degraded", 1);
+                }
+                let alarm = self.ingest_verdict(score);
+                (v, alarm)
+            }
+            // Evaluation failed: the trace cannot be scored, which is a
+            // rejection like any other.
+            (_, Some(Err(e))) => {
+                let reason = match e {
+                    TrustError::Dsp(DspError::LengthMismatch { expected, actual }) => {
+                        TraceDefect::WrongLength { expected, actual }
+                    }
+                    _ => TraceDefect::EvaluationFailed,
+                };
+                self.record_rejected(&reason);
+                (TraceVerdict::Rejected { reason }, None)
+            }
+            // A non-rejected trace with no evaluation outcome cannot be
+            // produced by the ingestion paths; treat it as unscoreable.
+            (_, None) => {
+                let reason = TraceDefect::EvaluationFailed;
+                self.record_rejected(&reason);
+                (TraceVerdict::Rejected { reason }, None)
+            }
+        };
+        let health = self.health.observe(verdict.is_rejected());
+        IngestReport {
+            verdict,
+            alarm,
+            health,
+        }
+    }
+
+    /// Ingests one trace through the sanitized path: classify, score if
+    /// not rejected, update sensor health. Never fails — traces that
+    /// cannot be scored come back [`TraceVerdict::Rejected`].
+    pub fn ingest_checked(&mut self, samples: &[f64]) -> IngestReport {
+        let _span = telemetry::span("ingest_checked");
+        let verdict = self.screen(samples);
+        let outcome = if verdict.is_rejected() {
+            None
+        } else {
+            Some(self.fingerprint.evaluate(samples))
+        };
+        self.absorb(verdict, outcome)
+    }
+
+    /// Ingests a batch through the sanitized path. Screening and scoring
+    /// fan across the fingerprint's worker pool; outcomes are merged
+    /// serially in trace order, so the result is exactly what
+    /// [`Self::ingest_checked`] on each trace in order would produce.
+    /// Per-trace failures are reported in place — one corrupted trace no
+    /// longer aborts its whole batch.
+    pub fn ingest_batch_report(&mut self, traces: &[Vec<f64>]) -> BatchIngest {
+        let _span = telemetry::span("ingest_batch_report");
+        let verdicts: Vec<TraceVerdict> = traces.iter().map(|t| self.screen(t)).collect();
+        let pending: Vec<&[f64]> = traces
+            .iter()
+            .zip(&verdicts)
+            .filter(|(_, v)| !v.is_rejected())
+            .map(|(t, _)| t.as_slice())
+            .collect();
+        let mut scored = self.fingerprint.evaluate_each(&pending).into_iter();
+        let mut reports = Vec::with_capacity(traces.len());
+        let mut alarms = Vec::new();
+        for verdict in verdicts {
+            let outcome = if verdict.is_rejected() {
+                None
+            } else {
+                scored.next()
+            };
+            let report = self.absorb(verdict, outcome);
+            if let Some(a) = &report.alarm {
+                alarms.push(a.clone());
+            }
+            reports.push(report);
+        }
+        BatchIngest { reports, alarms }
+    }
+
     /// Ingests one per-encryption trace; returns the alarm if one fired.
+    /// With a sanitizer installed this delegates to
+    /// [`Self::ingest_checked`]; rejected traces return `Ok(None)`.
     ///
     /// # Errors
     ///
-    /// Forwarded projection errors (wrong trace length).
+    /// Forwarded projection errors (wrong trace length) — only without a
+    /// sanitizer.
     pub fn ingest_trace(&mut self, samples: &[f64]) -> Result<Option<Alarm>, TrustError> {
+        if self.sanitizer.is_some() {
+            return Ok(self.ingest_checked(samples).alarm);
+        }
         let verdict = self.fingerprint.evaluate(samples)?;
         Ok(self.ingest_verdict(verdict))
     }
@@ -323,11 +531,19 @@ impl TrustMonitor {
     /// exactly as if [`Self::ingest_trace`] had been called on each trace
     /// in order. Returns the alarms this batch raised, in order.
     ///
+    /// With a sanitizer installed this delegates to
+    /// [`Self::ingest_batch_report`]: per-trace failures are absorbed as
+    /// rejections and the batch never errors.
+    ///
     /// # Errors
     ///
-    /// Forwarded projection errors (wrong trace length). On error the
-    /// monitor is unchanged — no trace of the batch is counted.
+    /// Forwarded projection errors (wrong trace length) — only without a
+    /// sanitizer, where the monitor is left unchanged and no trace of
+    /// the batch is counted.
     pub fn ingest_batch(&mut self, traces: &[Vec<f64>]) -> Result<Vec<Alarm>, TrustError> {
+        if self.sanitizer.is_some() {
+            return Ok(self.ingest_batch_report(traces).alarms);
+        }
         let _span = telemetry::span("ingest_batch");
         let verdicts = self.fingerprint.evaluate_batch(traces)?;
         let mut raised = Vec::new();
@@ -339,14 +555,91 @@ impl TrustMonitor {
         Ok(raised)
     }
 
+    /// Books one rejected continuous window.
+    fn record_window_rejected(&mut self, reason: &TraceDefect) {
+        self.windows_rejected += 1;
+        telemetry::counter("monitor.window_rejects", 1);
+        telemetry::event(
+            "window_rejected",
+            &[("reason", FieldValue::from(reason.label()))],
+        );
+    }
+
+    /// Ingests a continuous monitoring window through the sanitized
+    /// path: structural screening (without the per-encryption length
+    /// gate) plus a sample-rate check against the golden spectrum, then
+    /// the normal spectral comparison. Rejected windows skip comparison,
+    /// feed the health tracker, and never alarm. Never fails.
+    pub fn ingest_window_checked(
+        &mut self,
+        window: &VoltageTrace,
+    ) -> (TraceVerdict, Option<Alarm>) {
+        let _span = telemetry::span("ingest_window_checked");
+        let verdict = match &self.sanitizer {
+            Some(s) => {
+                let windowed = TraceSanitizer::new(SanitizerConfig {
+                    expected_len: None,
+                    ..s.config()
+                });
+                let mut v = windowed.inspect(window.samples());
+                if !v.is_rejected() {
+                    if let Some(det) = &self.spectral {
+                        let expected_hz = det.golden_spectrum().sample_rate_hz();
+                        let actual_hz = window.sample_rate_hz();
+                        if (actual_hz - expected_hz).abs() > 1e-6 * expected_hz {
+                            v = TraceVerdict::Rejected {
+                                reason: TraceDefect::SampleRateMismatch {
+                                    expected_hz,
+                                    actual_hz,
+                                },
+                            };
+                        }
+                    }
+                }
+                v
+            }
+            None => TraceVerdict::Clean,
+        };
+        if let TraceVerdict::Rejected { reason } = &verdict {
+            let reason = *reason;
+            self.record_window_rejected(&reason);
+            let _ = self.health.observe(true);
+            return (verdict, None);
+        }
+        let _ = self.health.observe(false);
+        match self.ingest_window_unchecked(window) {
+            Ok(alarm) => (verdict, alarm),
+            // The pre-checks cover every comparison error the detector
+            // can currently raise; anything new still degrades cleanly.
+            Err(_) => {
+                let reason = TraceDefect::EvaluationFailed;
+                self.record_window_rejected(&reason);
+                (TraceVerdict::Rejected { reason }, None)
+            }
+        }
+    }
+
     /// Ingests a continuous monitoring window for spectral inspection;
     /// returns the alarm if one fired. No-op (returns `Ok(None)`) when no
-    /// spectral detector is installed.
+    /// spectral detector is installed. With a sanitizer installed this
+    /// delegates to [`Self::ingest_window_checked`] and rejected windows
+    /// return `Ok(None)`.
     ///
     /// # Errors
     ///
-    /// Forwarded spectral-comparison errors.
+    /// Forwarded spectral-comparison errors — only without a sanitizer.
     pub fn ingest_window(&mut self, window: &VoltageTrace) -> Result<Option<Alarm>, TrustError> {
+        if self.sanitizer.is_some() {
+            return Ok(self.ingest_window_checked(window).1);
+        }
+        self.ingest_window_unchecked(window)
+    }
+
+    /// The raw spectral-comparison path (no sanitization).
+    fn ingest_window_unchecked(
+        &mut self,
+        window: &VoltageTrace,
+    ) -> Result<Option<Alarm>, TrustError> {
         let _span = telemetry::span("ingest_window");
         let Some(det) = &self.spectral else {
             return Ok(None);
@@ -385,7 +678,8 @@ impl TrustMonitor {
         &self.forensics
     }
 
-    /// Number of per-encryption traces ingested.
+    /// Number of per-encryption traces scored (sanitizer-rejected traces
+    /// are excluded — see [`Self::traces_rejected`]).
     pub fn traces_seen(&self) -> u64 {
         self.traces_seen
     }
@@ -393,6 +687,42 @@ impl TrustMonitor {
     /// Number of continuous windows ingested through the spectral path.
     pub fn windows_seen(&self) -> u64 {
         self.windows_seen
+    }
+
+    /// Number of traces the sanitizer rejected (excluded from scoring
+    /// and from [`Self::alarm_rate`]).
+    pub fn traces_rejected(&self) -> u64 {
+        self.traces_rejected
+    }
+
+    /// Number of traces scored despite mild defects.
+    pub fn traces_degraded(&self) -> u64 {
+        self.traces_degraded
+    }
+
+    /// Number of continuous windows the sanitizer rejected.
+    pub fn windows_rejected(&self) -> u64 {
+        self.windows_rejected
+    }
+
+    /// Total traces offered to the monitor, scored or rejected.
+    pub fn traces_ingested(&self) -> u64 {
+        self.traces_seen + self.traces_rejected
+    }
+
+    /// Current sensor-health judgement.
+    pub fn health(&self) -> SensorHealth {
+        self.health.state()
+    }
+
+    /// The health tracker (rejection-rate EWMA, transition log).
+    pub fn health_tracker(&self) -> &HealthTracker {
+        &self.health
+    }
+
+    /// The installed sanitizer, if any.
+    pub fn sanitizer(&self) -> Option<&TraceSanitizer> {
+        self.sanitizer.as_ref()
     }
 
     /// Fraction of ingested traces that raised a time-domain alarm.
@@ -577,6 +907,146 @@ mod tests {
         }
         assert_eq!(ids.len(), 6);
         assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids {ids:?}");
+    }
+
+    #[test]
+    fn sanitized_monitor_rejects_corrupt_traces_without_counting_them() {
+        let golden = synthetic_set(32, 1.0, 1);
+        let fp = GoldenFingerprint::fit(&golden, FingerprintConfig::default()).unwrap();
+        let mut m = TrustMonitor::new(fp, None).with_sanitizer(TraceSanitizer::default());
+        // A clean trace scores normally.
+        let clean = synthetic_set(1, 1.0, 2).traces()[0].clone();
+        let r = m.ingest_checked(&clean);
+        assert!(r.verdict.is_clean());
+        assert!(r.alarm.is_none());
+        // A NaN-corrupted trace is rejected, not scored.
+        let mut bad = clean.clone();
+        bad[10] = f64::NAN;
+        let r = m.ingest_checked(&bad);
+        assert!(matches!(
+            r.verdict,
+            TraceVerdict::Rejected {
+                reason: TraceDefect::NonFinite { .. }
+            }
+        ));
+        // A mis-sized trace is rejected by the inherited expected length.
+        let r = m.ingest_checked(&clean[..100]);
+        assert!(matches!(
+            r.verdict,
+            TraceVerdict::Rejected {
+                reason: TraceDefect::WrongLength { .. }
+            }
+        ));
+        assert_eq!(m.traces_seen(), 1);
+        assert_eq!(m.traces_rejected(), 2);
+        assert_eq!(m.traces_ingested(), 3);
+        assert_eq!(m.alarm_rate(), 0.0);
+        assert!(m.alarms().is_empty());
+    }
+
+    #[test]
+    fn sanitized_batch_reports_per_trace_and_matches_serial_ingest() {
+        let golden = synthetic_set(32, 1.0, 1);
+        let fp = GoldenFingerprint::fit(&golden, FingerprintConfig::default()).unwrap();
+        let make = || {
+            let mut traces = synthetic_set(4, 1.0, 2).traces().to_vec();
+            traces[1][0] = f64::INFINITY; // rejected
+            traces.push(synthetic_set(1, 1.5, 3).traces()[0].clone()); // alarms
+            traces
+        };
+        let mut batch_m =
+            TrustMonitor::new(fp.clone(), None).with_sanitizer(TraceSanitizer::default());
+        let batch = batch_m.ingest_batch_report(&make());
+        assert_eq!(batch.reports.len(), 5);
+        assert_eq!(batch.rejected(), 1);
+        assert_eq!(batch.clean(), 4);
+        assert_eq!(batch.alarms.len(), 1);
+
+        let mut serial_m = TrustMonitor::new(fp, None).with_sanitizer(TraceSanitizer::default());
+        let serial: Vec<IngestReport> = make().iter().map(|t| serial_m.ingest_checked(t)).collect();
+        assert_eq!(batch.reports, serial);
+        assert_eq!(batch_m.traces_seen(), serial_m.traces_seen());
+        assert_eq!(batch_m.alarms(), serial_m.alarms());
+    }
+
+    #[test]
+    fn sanitizer_does_not_change_clean_run_alarms() {
+        let golden = synthetic_set(32, 1.0, 1);
+        let fp = GoldenFingerprint::fit(&golden, FingerprintConfig::default()).unwrap();
+        let traces: Vec<Vec<f64>> = synthetic_set(6, 1.0, 2)
+            .traces()
+            .iter()
+            .chain(synthetic_set(2, 1.4, 3).traces())
+            .cloned()
+            .collect();
+        let mut plain = TrustMonitor::new(fp.clone(), None);
+        let mut sanitized = TrustMonitor::new(fp, None).with_sanitizer(TraceSanitizer::default());
+        let a = plain.ingest_batch(&traces).unwrap();
+        let b = sanitized.ingest_batch(&traces).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(plain.alarms(), sanitized.alarms());
+        assert_eq!(sanitized.traces_rejected(), 0);
+        assert_eq!(sanitized.health(), SensorHealth::Healthy);
+    }
+
+    #[test]
+    fn sustained_rejections_degrade_sensor_health() {
+        let golden = synthetic_set(32, 1.0, 1);
+        let fp = GoldenFingerprint::fit(&golden, FingerprintConfig::default()).unwrap();
+        let mut m = TrustMonitor::new(fp, None).with_sanitizer(TraceSanitizer::default());
+        let flat = vec![0.5; 256];
+        let mut states = Vec::new();
+        for _ in 0..40 {
+            states.push(m.ingest_checked(&flat).health);
+        }
+        assert_eq!(m.health(), SensorHealth::SensorFault);
+        assert!(states.contains(&SensorHealth::Degraded));
+        assert_eq!(m.traces_rejected(), 40);
+        assert_eq!(m.traces_seen(), 0);
+    }
+
+    #[test]
+    fn sanitized_window_path_rejects_rate_mismatch_and_corruption() {
+        let fs = 640e6;
+        // Tone incommensurate with the sample rate: like any real
+        // measurement, no two samples repeat the exact extreme value
+        // (a noiseless integer-period sine would trip the saturation
+        // screen, and rightly so — 128 bit-identical peaks).
+        let window = |rate: f64, corrupt: bool| {
+            let mut s: Vec<f64> = (0..4096)
+                .map(|i| (2.0 * std::f64::consts::PI * 10.1e6 * i as f64 / fs).sin())
+                .collect();
+            if corrupt {
+                s[7] = f64::NAN;
+            }
+            VoltageTrace::new(s, rate)
+        };
+        let det = SpectralDetector::fit(
+            &window(fs, false),
+            crate::spectral::SpectralConfig::default(),
+        )
+        .unwrap();
+        let fpset = synthetic_set(4, 1.0, 1);
+        let fp = GoldenFingerprint::fit(&fpset, FingerprintConfig::default()).unwrap();
+        let mut m = TrustMonitor::new(fp, Some(det)).with_sanitizer(TraceSanitizer::default());
+        // Clean window, matching rate: no alarm, no rejection.
+        let (v, a) = m.ingest_window_checked(&window(fs, false));
+        assert!(v.is_clean());
+        assert!(a.is_none());
+        // Wrong sample rate is screened before the detector errors.
+        let (v, _) = m.ingest_window_checked(&window(2.0 * fs, false));
+        assert!(matches!(
+            v,
+            TraceVerdict::Rejected {
+                reason: TraceDefect::SampleRateMismatch { .. }
+            }
+        ));
+        // Corrupted window is screened structurally.
+        let (v, _) = m.ingest_window_checked(&window(fs, true));
+        assert!(v.is_rejected());
+        assert_eq!(m.windows_rejected(), 2);
+        // The plain entry point swallows rejects instead of erroring.
+        assert!(m.ingest_window(&window(2.0 * fs, false)).unwrap().is_none());
     }
 
     #[test]

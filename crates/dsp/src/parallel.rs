@@ -85,12 +85,18 @@ where
                 let lo = c * chunk_size;
                 let hi = (lo + chunk_size).min(n_items);
                 let result = run_chunk(w, lo, hi);
-                done.lock().expect("parallel chunk mutex").push((c, result));
+                // A poisoned lock only means another worker panicked after
+                // pushing its chunk; the data inside is still consistent.
+                done.lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .push((c, result));
             });
         }
     });
 
-    let mut chunks = done.into_inner().expect("parallel chunk mutex");
+    let mut chunks = done
+        .into_inner()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
     chunks.sort_by_key(|(c, _)| *c);
     let mut out = Vec::with_capacity(n_items);
     for (_, result) in chunks {

@@ -1,0 +1,65 @@
+//! # emtrust-faults
+//!
+//! Deterministic, seeded sensor-fault injection for the `emtrust`
+//! runtime trust-evaluation framework (re-exported as `emtrust::faults`).
+//!
+//! The paper's framework is explicitly *post-deployment*: the on-chip EM
+//! sensor and the data-analysis module must keep evaluating trust for the
+//! chip's whole lifetime, which means the analysis side has to survive a
+//! saturated ADC, a dropped sample window, or a dead sensor channel
+//! without panicking and without silently inflating Euclidean distances
+//! into false alarms. This crate supplies the *adversary* side of that
+//! robustness story: a taxonomy of measurement faults ([`FaultKind`]),
+//! each parameterized by a single `intensity` knob, composed into a
+//! [`FaultPlan`] schedule that wraps trace acquisition so any experiment
+//! replays under injected faults **bit-identically** for a fixed seed.
+//!
+//! Fault realizations are pure functions of
+//! `(plan seed, entry index, trace index, attempt)` — never of wall
+//! clock, worker identity, or global state — so a chaos run is exactly
+//! as reproducible as a clean one. The `attempt` key models
+//! re-acquisition: transient faults (probability < 1) re-roll per retry,
+//! persistent ones keep striking.
+//!
+//! # Examples
+//!
+//! Inject ADC saturation into one trace of a two-trace campaign and
+//! replay it bit-identically:
+//!
+//! ```
+//! use emtrust_faults::{FaultKind, FaultPlan, FaultSpec};
+//!
+//! let plan = FaultPlan::new(7).with(FaultSpec::new(FaultKind::Saturation, 0.5).traces(1, 2));
+//! let clean: Vec<f64> = (0..64).map(|i| (i as f64 * 0.3).sin()).collect();
+//!
+//! let mut t0 = clean.clone();
+//! let mut t1 = clean.clone();
+//! assert!(plan.apply(0, 0, None, &mut t0, 640e6).is_empty()); // not scheduled
+//! assert_eq!(plan.apply(1, 0, None, &mut t1, 640e6).len(), 1); // clipped
+//! assert_eq!(t0, clean);
+//! assert_ne!(t1, clean);
+//!
+//! // Same seed, same keys: bit-identical replay.
+//! let mut replay = clean.clone();
+//! plan.apply(1, 0, None, &mut replay, 640e6);
+//! assert_eq!(replay, t1);
+//! ```
+
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::todo,
+        clippy::unimplemented
+    )
+)]
+
+pub mod model;
+pub mod plan;
+pub mod scope;
+
+pub use model::FaultKind;
+pub use plan::{FaultPlan, FaultSpec};
+pub use scope::FaultyScope;

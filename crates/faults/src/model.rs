@@ -1,0 +1,277 @@
+//! The fault taxonomy: one deterministic corruption model per failure
+//! mode a deployed EM-sensor channel can exhibit.
+//!
+//! Every model takes a single `intensity` knob in `(0, 1]` and a seeded
+//! RNG; the mapping from intensity to physical parameters (clip level,
+//! burst count, drift slope, …) is fixed here so sweeps are comparable
+//! across experiments. All models preserve trace length — a real
+//! digitizer always returns its programmed record length; what degrades
+//! is the *content*.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A sensor/measurement fault family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum FaultKind {
+    /// Runs of samples replaced by zero — a FIFO underrun or dropped
+    /// transfer window between digitizer and analysis module.
+    Dropout,
+    /// Symmetric clipping at a fraction of the trace's own peak — an ADC
+    /// driven past full scale (gain misconfiguration, supply droop).
+    Saturation,
+    /// One bit of the ADC magnitude code stuck at `1` — a latched
+    /// comparator or a shorted data line in the converter.
+    StuckBits,
+    /// Short high-amplitude bursts — ESD events, relay chatter, or
+    /// coupling from a neighbouring aggressor net.
+    GlitchBurst,
+    /// Multiplicative gain ramp across the trace — amplifier bias drift
+    /// or thermal runaway in the analog front-end.
+    GainDrift,
+    /// Per-sample timing jitter — sampling-clock phase noise or a
+    /// desynchronized trigger.
+    ClockJitter,
+    /// The sensor holds one value from some onset onward — a dead
+    /// channel (broken bond wire, powered-down front-end).
+    Flatline,
+    /// Scattered NaN/±Inf samples — corrupted transfers or uninitialized
+    /// DMA memory on the readout path.
+    NanCorruption,
+}
+
+impl FaultKind {
+    /// Every fault family, in taxonomy order (the `exp_faults` sweep
+    /// order).
+    pub const ALL: [FaultKind; 8] = [
+        FaultKind::Dropout,
+        FaultKind::Saturation,
+        FaultKind::StuckBits,
+        FaultKind::GlitchBurst,
+        FaultKind::GainDrift,
+        FaultKind::ClockJitter,
+        FaultKind::Flatline,
+        FaultKind::NanCorruption,
+    ];
+
+    /// Stable snake_case label (JSON artifacts, telemetry fields).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::Dropout => "dropout",
+            FaultKind::Saturation => "saturation",
+            FaultKind::StuckBits => "stuck_bits",
+            FaultKind::GlitchBurst => "glitch_burst",
+            FaultKind::GainDrift => "gain_drift",
+            FaultKind::ClockJitter => "clock_jitter",
+            FaultKind::Flatline => "flatline",
+            FaultKind::NanCorruption => "nan_corruption",
+        }
+    }
+
+    /// Whether a retry of the acquisition can plausibly clear the fault
+    /// when it strikes probabilistically (transient), as opposed to a
+    /// hardware condition that persists across re-acquisitions.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::Dropout | FaultKind::GlitchBurst | FaultKind::NanCorruption
+        )
+    }
+
+    /// Corrupts `samples` in place at the given `intensity` (clamped to
+    /// `(0, 1]`), drawing every random decision from `rng`.
+    pub(crate) fn apply(&self, samples: &mut [f64], intensity: f64, rng: &mut StdRng) {
+        let len = samples.len();
+        if len == 0 {
+            return;
+        }
+        let intensity = intensity.clamp(1e-3, 1.0);
+        let peak = samples.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        match self {
+            FaultKind::Dropout => {
+                // Burst length scales with intensity; at the default 0.5
+                // one burst spans 1/16 of the record.
+                let run = ((len as f64 * intensity / 8.0) as usize).max(4);
+                let bursts = 1 + (intensity * 3.0) as usize;
+                for _ in 0..bursts {
+                    let start = rng.gen_range(0..len);
+                    let end = (start + run).min(len);
+                    for s in &mut samples[start..end] {
+                        *s = 0.0;
+                    }
+                }
+            }
+            FaultKind::Saturation => {
+                if peak == 0.0 {
+                    return;
+                }
+                let clip = peak * (1.0 - 0.9 * intensity);
+                for s in samples.iter_mut() {
+                    *s = s.clamp(-clip, clip);
+                }
+            }
+            FaultKind::StuckBits => {
+                if peak == 0.0 {
+                    return;
+                }
+                // 12-bit converter model: 11 magnitude bits plus sign.
+                // Intensity selects which magnitude bit latches high.
+                let bit = 4 + (intensity * 6.0).round() as u32;
+                let lsb = peak / 2048.0;
+                for s in samples.iter_mut() {
+                    let code = ((s.abs() / lsb).round() as u64).min(2047) | (1 << bit);
+                    *s = s.signum() * code as f64 * lsb;
+                }
+            }
+            FaultKind::GlitchBurst => {
+                let amp = if peak == 0.0 { 1.0 } else { peak } * (2.0 + 10.0 * intensity);
+                let bursts = 1 + (intensity * 3.0) as usize;
+                for _ in 0..bursts {
+                    let start = rng.gen_range(0..len);
+                    let width = 1 + rng.gen_range(0..3usize);
+                    let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+                    let end = (start + width).min(len);
+                    for s in &mut samples[start..end] {
+                        *s = sign * amp;
+                    }
+                }
+            }
+            FaultKind::GainDrift => {
+                let drift = 5.0 * intensity;
+                let denom = (len - 1).max(1) as f64;
+                for (i, s) in samples.iter_mut().enumerate() {
+                    *s *= 1.0 + drift * (i as f64 / denom);
+                }
+            }
+            FaultKind::ClockJitter => {
+                let max_shift = 3.0 * intensity;
+                let original = samples.to_vec();
+                for (i, s) in samples.iter_mut().enumerate() {
+                    let shift = rng.gen_range(-max_shift..=max_shift).round() as i64;
+                    let j = (i as i64 + shift).clamp(0, len as i64 - 1) as usize;
+                    *s = original[j];
+                }
+            }
+            FaultKind::Flatline => {
+                let onset_frac = (1.0 - (0.3 + 0.7 * intensity)).max(0.0);
+                let onset = ((len as f64 * onset_frac) as usize).min(len - 1);
+                let held = samples[onset];
+                for s in &mut samples[onset..] {
+                    *s = held;
+                }
+            }
+            FaultKind::NanCorruption => {
+                let hits = 1 + (intensity * 9.0) as usize;
+                for k in 0..hits {
+                    let pos = rng.gen_range(0..len);
+                    samples[pos] = match k % 3 {
+                        0 => f64::NAN,
+                        1 => f64::INFINITY,
+                        _ => f64::NEG_INFINITY,
+                    };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn base() -> Vec<f64> {
+        (0..512).map(|i| (i as f64 * 0.13).sin()).collect()
+    }
+
+    fn apply(kind: FaultKind, intensity: f64, seed: u64) -> Vec<f64> {
+        let mut s = base();
+        kind.apply(&mut s, intensity, &mut StdRng::seed_from_u64(seed));
+        s
+    }
+
+    #[test]
+    fn every_kind_changes_the_trace_and_preserves_length() {
+        for kind in FaultKind::ALL {
+            let out = apply(kind, 0.5, 1);
+            assert_eq!(out.len(), 512, "{kind:?}");
+            assert_ne!(out, base(), "{kind:?} must corrupt");
+        }
+    }
+
+    #[test]
+    fn application_is_deterministic_per_seed() {
+        for kind in FaultKind::ALL {
+            let a = apply(kind, 0.5, 9);
+            let b = apply(kind, 0.5, 9);
+            assert!(
+                a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "{kind:?} must replay bit-identically"
+            );
+        }
+    }
+
+    #[test]
+    fn saturation_pins_consecutive_samples_at_the_clip_level() {
+        let out = apply(FaultKind::Saturation, 0.5, 1);
+        let peak = out.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        let pinned = out.iter().filter(|&&x| x.abs() == peak).count();
+        assert!(pinned > 10, "clipping must pin many samples, got {pinned}");
+    }
+
+    #[test]
+    fn stuck_bit_keeps_samples_away_from_zero() {
+        let out = apply(FaultKind::StuckBits, 0.5, 1);
+        let peak = out.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        let floor = out.iter().fold(f64::INFINITY, |m, &x| m.min(x.abs()));
+        assert!(floor > 0.01 * peak, "stuck high bit forbids small codes");
+    }
+
+    #[test]
+    fn flatline_holds_one_value_to_the_end() {
+        let out = apply(FaultKind::Flatline, 1.0, 1);
+        assert!(out.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn nan_corruption_introduces_non_finite_samples() {
+        let out = apply(FaultKind::NanCorruption, 0.5, 1);
+        assert!(out.iter().any(|x| !x.is_finite()));
+    }
+
+    #[test]
+    fn gain_drift_amplifies_the_tail_more_than_the_head() {
+        let out = apply(FaultKind::GainDrift, 0.5, 1);
+        let clean = base();
+        let head: f64 = out[..64]
+            .iter()
+            .zip(&clean[..64])
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        let tail: f64 = out[448..]
+            .iter()
+            .zip(&clean[448..])
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(tail > 5.0 * head, "head {head} tail {tail}");
+    }
+
+    #[test]
+    fn labels_are_stable_and_unique() {
+        let labels: Vec<_> = FaultKind::ALL.iter().map(|k| k.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+
+    #[test]
+    fn empty_traces_are_ignored() {
+        for kind in FaultKind::ALL {
+            let mut empty: Vec<f64> = Vec::new();
+            kind.apply(&mut empty, 0.5, &mut StdRng::seed_from_u64(0));
+            assert!(empty.is_empty());
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! The fault schedule: which faults strike which traces, on which
+//! channel, with what probability — all derived from one seed.
+
+use crate::model::FaultKind;
+use emtrust_silicon::Channel;
+use emtrust_telemetry as telemetry;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One scheduled fault: a [`FaultKind`] at an intensity, optionally
+/// gated to a trace-index window, a measurement channel, and a strike
+/// probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// The fault family.
+    pub kind: FaultKind,
+    /// Severity knob in `(0, 1]` (see [`FaultKind`] for the per-family
+    /// mapping to physical parameters).
+    pub intensity: f64,
+    /// Probability that the fault strikes a given `(trace, attempt)`.
+    /// `1.0` models a persistent hardware condition; `< 1.0` a transient
+    /// one that a retry can clear.
+    pub probability: f64,
+    /// Restrict the fault to one measurement channel (`None` = both).
+    pub channel: Option<Channel>,
+    /// Half-open `[start, end)` trace-index window (`None` = every
+    /// trace).
+    pub traces: Option<(u64, u64)>,
+}
+
+impl FaultSpec {
+    /// A persistent, always-on fault on every trace and channel.
+    pub fn new(kind: FaultKind, intensity: f64) -> Self {
+        Self {
+            kind,
+            intensity,
+            probability: 1.0,
+            channel: None,
+            traces: None,
+        }
+    }
+
+    /// Sets the per-`(trace, attempt)` strike probability.
+    pub fn with_probability(mut self, probability: f64) -> Self {
+        self.probability = probability.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Restricts the fault to one measurement channel.
+    pub fn on_channel(mut self, channel: Channel) -> Self {
+        self.channel = Some(channel);
+        self
+    }
+
+    /// Restricts the fault to the half-open trace-index window
+    /// `[start, end)`.
+    pub fn traces(mut self, start: u64, end: u64) -> Self {
+        self.traces = Some((start, end));
+        self
+    }
+}
+
+/// A composed, seeded fault schedule.
+///
+/// `apply` corrupts one trace in place and is a pure function of
+/// `(plan seed, entry index, trace index, attempt, channel)` — replaying
+/// a campaign under the same plan is bit-identical, and a re-acquisition
+/// (`attempt > 0`) re-rolls transient strikes without disturbing any
+/// other trace's realization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    entries: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            entries: Vec::new(),
+        }
+    }
+
+    /// A plan with a single always-on fault (the `exp_faults` sweep
+    /// shape).
+    pub fn single(seed: u64, kind: FaultKind, intensity: f64) -> Self {
+        Self::new(seed).with(FaultSpec::new(kind, intensity))
+    }
+
+    /// Adds a scheduled fault.
+    pub fn with(mut self, spec: FaultSpec) -> Self {
+        self.entries.push(spec);
+        self
+    }
+
+    /// The plan seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The scheduled faults.
+    pub fn entries(&self) -> &[FaultSpec] {
+        &self.entries
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Applies every scheduled fault that gates onto
+    /// `(trace_index, attempt, channel)` to `samples` in place, in entry
+    /// order. Returns the indices of the entries that struck.
+    ///
+    /// `channel = None` means "channel-agnostic acquisition": only
+    /// entries without a channel gate strike.
+    pub fn apply(
+        &self,
+        trace_index: u64,
+        attempt: u32,
+        channel: Option<Channel>,
+        samples: &mut [f64],
+        _sample_rate_hz: f64,
+    ) -> Vec<usize> {
+        let mut struck = Vec::new();
+        for (e, spec) in self.entries.iter().enumerate() {
+            if let Some((lo, hi)) = spec.traces {
+                if trace_index < lo || trace_index >= hi {
+                    continue;
+                }
+            }
+            match (spec.channel, channel) {
+                (None, _) => {}
+                (Some(want), Some(have)) if want == have => {}
+                _ => continue,
+            }
+            let mut rng = StdRng::seed_from_u64(mix(self.seed, e as u64, trace_index, attempt));
+            if spec.probability < 1.0 && !rng.gen_bool(spec.probability) {
+                continue;
+            }
+            spec.kind.apply(samples, spec.intensity, &mut rng);
+            struck.push(e);
+        }
+        if !struck.is_empty() {
+            telemetry::counter("faults.injected", struck.len() as u64);
+        }
+        struck
+    }
+}
+
+/// SplitMix64-style key mixing: decorrelates the per-realization RNG
+/// streams of neighbouring entries, traces and attempts.
+fn mix(seed: u64, entry: u64, trace: u64, attempt: u32) -> u64 {
+    let mut z = seed
+        ^ (entry.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (trace.wrapping_add(1)).wrapping_mul(0xD1B5_4A32_D192_ED03)
+        ^ (u64::from(attempt).wrapping_add(1)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Vec<f64> {
+        (0..256).map(|i| (i as f64 * 0.21).sin()).collect()
+    }
+
+    #[test]
+    fn empty_plan_is_a_no_op() {
+        let plan = FaultPlan::new(1);
+        let mut s = base();
+        assert!(plan.apply(0, 0, None, &mut s, 1.0).is_empty());
+        assert_eq!(s, base());
+    }
+
+    #[test]
+    fn trace_window_gates_application() {
+        let plan = FaultPlan::new(1).with(FaultSpec::new(FaultKind::Flatline, 1.0).traces(2, 4));
+        for (idx, hits) in [(0, 0), (1, 0), (2, 1), (3, 1), (4, 0)] {
+            let mut s = base();
+            assert_eq!(
+                plan.apply(idx, 0, None, &mut s, 1.0).len(),
+                hits,
+                "trace {idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn channel_gates_application() {
+        let plan = FaultPlan::new(1)
+            .with(FaultSpec::new(FaultKind::Flatline, 1.0).on_channel(Channel::OnChipSensor));
+        let mut s = base();
+        assert_eq!(
+            plan.apply(0, 0, Some(Channel::OnChipSensor), &mut s, 1.0)
+                .len(),
+            1
+        );
+        let mut s = base();
+        assert!(plan
+            .apply(0, 0, Some(Channel::ExternalProbe), &mut s, 1.0)
+            .is_empty());
+        // A channel-gated entry never strikes a channel-agnostic caller.
+        let mut s = base();
+        assert!(plan.apply(0, 0, None, &mut s, 1.0).is_empty());
+    }
+
+    #[test]
+    fn probability_and_attempt_key_model_transient_faults() {
+        let plan = FaultPlan::new(3)
+            .with(FaultSpec::new(FaultKind::GlitchBurst, 1.0).with_probability(0.4));
+        let strikes: usize = (0..200u64)
+            .map(|i| {
+                let mut s = base();
+                plan.apply(i, 0, None, &mut s, 1.0).len()
+            })
+            .sum();
+        assert!((40..160).contains(&strikes), "strike count {strikes}");
+        // A retry (attempt bump) re-rolls the strike for the same trace.
+        let outcome = |attempt| {
+            let mut s = base();
+            !plan.apply(7, attempt, None, &mut s, 1.0).is_empty()
+        };
+        let differs = (0..32).any(|a| outcome(a) != outcome(0));
+        assert!(differs, "attempts must draw independent strikes");
+    }
+
+    #[test]
+    fn replay_is_bit_identical() {
+        let plan = FaultPlan::new(11)
+            .with(FaultSpec::new(FaultKind::GlitchBurst, 0.8))
+            .with(FaultSpec::new(FaultKind::ClockJitter, 0.6))
+            .with(FaultSpec::new(FaultKind::Dropout, 0.4));
+        let run = || {
+            let mut s = base();
+            plan.apply(5, 1, Some(Channel::OnChipSensor), &mut s, 1.0);
+            s
+        };
+        let (a, b) = (run(), run());
+        assert!(a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    #[test]
+    fn entries_compose_in_order() {
+        let plan = FaultPlan::new(1)
+            .with(FaultSpec::new(FaultKind::GainDrift, 0.5))
+            .with(FaultSpec::new(FaultKind::Saturation, 0.5));
+        let mut s = base();
+        assert_eq!(plan.apply(0, 0, None, &mut s, 1.0), vec![0, 1]);
+    }
+}

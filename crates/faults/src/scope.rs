@@ -1,0 +1,104 @@
+//! A fault-injecting wrapper around the oscilloscope front-end: the
+//! digitizer itself misbehaves, after the analog chain did its
+//! (faithful) job.
+
+use crate::plan::FaultPlan;
+use emtrust_em::emf::VoltageTrace;
+use emtrust_silicon::{Channel, Oscilloscope};
+
+/// An [`Oscilloscope`] whose acquisitions replay under a [`FaultPlan`].
+///
+/// The wrapped scope acquires normally (bandwidth, noise, quantization),
+/// then the plan corrupts the digitized record — the order a real
+/// readout fault manifests in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultyScope {
+    inner: Oscilloscope,
+    plan: FaultPlan,
+    channel: Channel,
+}
+
+impl FaultyScope {
+    /// Wraps `scope` so acquisitions on `channel` replay under `plan`.
+    pub fn new(scope: Oscilloscope, plan: FaultPlan, channel: Channel) -> Self {
+        Self {
+            inner: scope,
+            plan,
+            channel,
+        }
+    }
+
+    /// The wrapped front-end.
+    pub fn inner(&self) -> &Oscilloscope {
+        &self.inner
+    }
+
+    /// The fault schedule in effect.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Acquires `input` through the wrapped scope, then applies every
+    /// fault the plan schedules for `(trace_index, attempt)` on this
+    /// channel. Bit-identical for fixed seeds.
+    pub fn acquire(
+        &self,
+        input: &VoltageTrace,
+        seed: u64,
+        trace_index: u64,
+        attempt: u32,
+    ) -> VoltageTrace {
+        let mut trace = self.inner.acquire(input, seed);
+        let fs = trace.sample_rate_hz();
+        self.plan.apply(
+            trace_index,
+            attempt,
+            Some(self.channel),
+            trace.samples_mut(),
+            fs,
+        );
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FaultKind;
+
+    fn tone() -> VoltageTrace {
+        VoltageTrace::new(
+            (0..1024)
+                .map(|i| 5e-5 * (2.0 * std::f64::consts::PI * 10e6 * i as f64 / 640e6).sin())
+                .collect(),
+            640e6,
+        )
+    }
+
+    #[test]
+    fn faulty_scope_corrupts_after_acquisition() {
+        let plan = FaultPlan::single(1, FaultKind::Flatline, 1.0);
+        let faulty = FaultyScope::new(Oscilloscope::onchip_channel(), plan, Channel::OnChipSensor);
+        let clean = faulty.inner().acquire(&tone(), 9);
+        let got = faulty.acquire(&tone(), 9, 0, 0);
+        assert_ne!(clean.samples(), got.samples());
+        assert!(got.samples().windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn faulty_scope_replays_bit_identically() {
+        let plan = FaultPlan::single(2, FaultKind::GlitchBurst, 0.7);
+        let faulty = FaultyScope::new(
+            Oscilloscope::external_channel(),
+            plan,
+            Channel::ExternalProbe,
+        );
+        let a = faulty.acquire(&tone(), 4, 3, 1);
+        let b = faulty.acquire(&tone(), 4, 3, 1);
+        assert!(a
+            .samples()
+            .iter()
+            .zip(b.samples())
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+}

@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("A2 dormant: spectrum clean.");
 
     // The trigger wire starts flipping.
-    bench.arm_a2(true);
+    bench.arm_a2(true)?;
     let window = bench.collect_continuous(key, 48, None, Channel::OnChipSensor, 4)?;
     match monitor.ingest_window(&window)? {
         Some(alarm) => println!("A2 triggering: {alarm:?}"),

@@ -27,7 +27,7 @@ fn a2_trigger_is_caught_in_the_frequency_domain() {
     assert!(!det.trojan_suspected(&dormant).expect("compare"));
 
     // Triggering: the fast-flipping wire shows up.
-    bench.arm_a2(true);
+    bench.arm_a2(true).expect("A2 installed above");
     let armed = bench
         .collect_continuous(KEY, 24, None, Channel::OnChipSensor, 3)
         .expect("armed window");
