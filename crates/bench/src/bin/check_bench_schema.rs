@@ -1,3 +1,14 @@
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::todo,
+        clippy::unimplemented
+    )
+)]
+
 //! Schema checker for the machine-readable bench artifacts — CI runs
 //! this against `BENCH_telemetry.json` (and optionally
 //! `BENCH_parallel.json`) after the experiment binaries, so a drifting
@@ -176,6 +187,25 @@ fn check_faults(doc: &Value) -> Result<(), String> {
     Ok(())
 }
 
+fn check_pipeline(doc: &Value) -> Result<(), String> {
+    check_provenance(doc)?;
+    expect_u64(doc, "n_traces")?;
+    expect_u64(doc, "repeats")?;
+    expect_number(doc, "monitor_seconds")?;
+    expect_number(doc, "pipeline_seconds")?;
+    let overhead = expect_number(doc, "overhead_pct")?;
+    if overhead > 2.0 {
+        return Err(format!(
+            "\"overhead_pct\" {overhead} exceeds the 2% pipeline budget"
+        ));
+    }
+    if !expect_bool(doc, "alarms_equal")? {
+        return Err("\"alarms_equal\" must be true — the pipeline changed alarms".into());
+    }
+    expect_u64(doc, "alarm_count")?;
+    Ok(())
+}
+
 fn check_file(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
     let doc = Value::parse(&text).map_err(|e| e.to_string())?;
@@ -183,6 +213,7 @@ fn check_file(path: &str) -> Result<(), String> {
         "telemetry_table1_sweep" => check_telemetry(&doc),
         "golden_collect_fit" => check_parallel(&doc),
         "fault_injection_sweep" => check_faults(&doc),
+        "pipeline_overhead" => check_pipeline(&doc),
         other => Err(format!("unknown benchmark kind \"{other}\"")),
     }
 }

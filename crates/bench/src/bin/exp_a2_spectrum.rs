@@ -1,3 +1,14 @@
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::todo,
+        clippy::unimplemented
+    )
+)]
+
 //! **E4 — Figure 4**: A2 Trojan detection in the frequency domain.
 //!
 //! The dormant chip's spectrum shows the clock line and its second
@@ -6,6 +17,7 @@
 
 use emtrust::acquisition::TestBench;
 use emtrust::spectral::{SpectralConfig, SpectralDetector};
+use emtrust_bench::OrExit;
 use emtrust_bench::{print_spectrum_series, Report, EXPERIMENT_KEY, SPECTRAL_BLOCKS};
 use emtrust_silicon::Channel;
 use emtrust_trojan::{A2Trojan, ProtectedChip};
@@ -14,7 +26,7 @@ fn main() {
     let mut report = Report::from_env("exp_a2_spectrum");
     let chip = ProtectedChip::golden();
     let mut bench = TestBench::simulation(&chip)
-        .expect("simulation bench")
+        .or_exit("simulation bench")
         .with_a2(A2Trojan::new(10e6)); // trigger flips at clk/2 = 5 MHz
 
     let golden = bench
@@ -25,8 +37,8 @@ fn main() {
             Channel::OnChipSensor,
             0xA2,
         )
-        .expect("golden window");
-    bench.arm_a2(true).expect("A2 installed above");
+        .or_exit("golden window");
+    bench.arm_a2(true).or_exit("A2 installed above");
     let triggering = bench
         .collect_continuous(
             EXPERIMENT_KEY,
@@ -35,16 +47,18 @@ fn main() {
             Channel::OnChipSensor,
             0xA2,
         )
-        .expect("triggering window");
+        .or_exit("triggering window");
 
     if report.is_text() {
         println!("== E4 — A2 Trojan detection in the frequency domain (paper Fig. 4) ==");
-        print_spectrum_series("blue: original circuit", &golden, 320e6, 24).unwrap();
-        print_spectrum_series("red: A2 triggering", &triggering, 320e6, 24).unwrap();
+        print_spectrum_series("blue: original circuit", &golden, 320e6, 24)
+            .or_exit("golden series");
+        print_spectrum_series("red: A2 triggering", &triggering, 320e6, 24)
+            .or_exit("trigger series");
     }
 
-    let detector = SpectralDetector::fit(&golden, SpectralConfig::default()).expect("detector");
-    let anomalies = detector.compare(&triggering).expect("compare");
+    let detector = SpectralDetector::fit(&golden, SpectralConfig::default()).or_exit("detector");
+    let anomalies = detector.compare(&triggering).or_exit("compare");
     let rows: Vec<Vec<String>> = anomalies
         .iter()
         .take(5)

@@ -1,3 +1,14 @@
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::todo,
+        clippy::unimplemented
+    )
+)]
+
 //! **Extension — baseline comparison**: the paper positions the on-chip
 //! EM framework against global power fingerprinting (its reference \[3\]),
 //! whose weakness against small, stealthy Trojans motivates the work.
@@ -7,6 +18,7 @@
 use emtrust::acquisition::{Stimulus, TestBench};
 use emtrust::baseline::PowerBaseline;
 use emtrust::fingerprint::{FingerprintConfig, GoldenFingerprint};
+use emtrust_bench::OrExit;
 use emtrust_bench::{standard_chip, Report, EXPERIMENT_KEY, TROJANS};
 use emtrust_silicon::Channel;
 
@@ -20,25 +32,25 @@ fn main() {
     };
 
     // Global power fingerprinting (Agrawal et al. \[3\]).
-    let power = PowerBaseline::new(&chip).expect("baseline");
+    let power = PowerBaseline::new(&chip).or_exit("baseline");
     let power_golden = power
         .collect(EXPERIMENT_KEY, stimulus, 24, None, 2)
-        .expect("golden");
-    let power_fp = GoldenFingerprint::fit(&power_golden, cfg).expect("fit");
+        .or_exit("golden");
+    let power_fp = GoldenFingerprint::fit(&power_golden, cfg).or_exit("fit");
 
     // The paper's framework: on-chip EM sensor.
-    let bench = TestBench::simulation(&chip).expect("bench");
+    let bench = TestBench::simulation(&chip).or_exit("bench");
     let em_golden = bench
         .collect_with(EXPERIMENT_KEY, stimulus, 24, None, Channel::OnChipSensor, 2)
-        .expect("golden");
-    let em_fp = GoldenFingerprint::fit(&em_golden, cfg).expect("fit");
+        .or_exit("golden");
+    let em_fp = GoldenFingerprint::fit(&em_golden, cfg).or_exit("fit");
 
     let mut rows = Vec::new();
     for kind in TROJANS {
         let p_armed = power
             .collect(EXPERIMENT_KEY, stimulus, 12, Some(kind), 3)
-            .expect("armed");
-        let p_margin = power_fp.centroid_distance(&p_armed).expect("dist") / power_fp.threshold();
+            .or_exit("armed");
+        let p_margin = power_fp.centroid_distance(&p_armed).or_exit("dist") / power_fp.threshold();
         let e_armed = bench
             .collect_with(
                 EXPERIMENT_KEY,
@@ -48,12 +60,12 @@ fn main() {
                 Channel::OnChipSensor,
                 3,
             )
-            .expect("armed");
+            .or_exit("armed");
         let e_rate = {
-            let d = em_fp.set_distances(&e_armed).expect("dists");
+            let d = em_fp.set_distances(&e_armed).or_exit("dists");
             d.iter().filter(|&&x| x > em_fp.threshold()).count() as f64 / d.len() as f64
         };
-        let e_margin = em_fp.centroid_distance(&e_armed).expect("dist") / em_fp.threshold();
+        let e_margin = em_fp.centroid_distance(&e_armed).or_exit("dist") / em_fp.threshold();
         report.scalar(
             &format!("{}_power_margin", kind.label().to_lowercase()),
             p_margin,

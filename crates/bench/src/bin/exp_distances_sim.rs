@@ -1,3 +1,14 @@
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::todo,
+        clippy::unimplemented
+    )
+)]
+
 //! **E3 — §IV-C**: Euclidean distances between the reference design and
 //! each Trojan-activated design, measured by the on-chip sensor in
 //! simulation (paper: 0.27 / 0.25 / 0.05 / 0.28 for T1..T4).
@@ -5,13 +16,14 @@
 use emtrust::acquisition::TestBench;
 use emtrust::euclidean::trojan_distance_study;
 use emtrust::fingerprint::FingerprintConfig;
+use emtrust_bench::OrExit;
 use emtrust_bench::{standard_chip, Report, EXPERIMENT_KEY, TROJANS};
 use emtrust_silicon::Channel;
 
 fn main() {
     let mut report = Report::from_env("exp_distances_sim");
     let chip = standard_chip();
-    let bench = TestBench::simulation(&chip).expect("simulation bench");
+    let bench = TestBench::simulation(&chip).or_exit("simulation bench");
     // Simulation traces carry minimal interference, so the study runs on
     // the full feature space; PCA denoising is exercised on the silicon
     // benches and in the `ablation_pca` benchmark.
@@ -28,7 +40,7 @@ fn main() {
         config,
         0xD15,
     )
-    .expect("distance study");
+    .or_exit("distance study");
 
     let paper = [0.27, 0.25, 0.05, 0.28];
     let table: Vec<Vec<String>> = rows

@@ -1,3 +1,14 @@
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::todo,
+        clippy::unimplemented
+    )
+)]
+
 //! **Robustness — sensor fault-injection sweep**: drives the golden
 //! (Trojan-free) chip through every [`FaultKind`] at three intensities
 //! with the sanitized monitor in front of the fingerprint, and writes
@@ -24,7 +35,7 @@ use emtrust::fingerprint::{FingerprintConfig, GoldenFingerprint};
 use emtrust::sanitize::{SanitizerConfig, TraceSanitizer};
 use emtrust::telemetry::sink::{json_escape, json_number};
 use emtrust::TrustMonitor;
-use emtrust_bench::{git_rev, unix_timestamp, Report, EXPERIMENT_KEY};
+use emtrust_bench::{ArtifactDoc, OrExit, Report, EXPERIMENT_KEY};
 use emtrust_silicon::Channel;
 use emtrust_trojan::ProtectedChip;
 use rand::rngs::StdRng;
@@ -124,7 +135,7 @@ fn run_scenario(
 fn main() {
     let mut report = Report::from_env("exp_faults");
     let chip = ProtectedChip::golden();
-    let mut bench = TestBench::simulation(&chip).expect("simulation bench");
+    let mut bench = TestBench::simulation(&chip).or_exit("simulation bench");
     let config = FingerprintConfig {
         // Simulation traces carry minimal interference (the silicon
         // benches exercise PCA denoising), and the margin leaves Eq. 1
@@ -148,8 +159,8 @@ fn main() {
             Channel::OnChipSensor,
             GOLDEN_SEED,
         )
-        .expect("golden collection");
-    let fp = GoldenFingerprint::fit(&golden, config).expect("golden fit");
+        .or_exit("golden collection");
+    let fp = GoldenFingerprint::fit(&golden, config).or_exit("golden fit");
 
     // Clean baseline: the same suspect campaign the sweep corrupts, run
     // uncorrupted through the plain monitor.
@@ -162,11 +173,11 @@ fn main() {
             Channel::OnChipSensor,
             SUSPECT_SEED,
         )
-        .expect("clean suspects");
+        .or_exit("clean suspects");
     let mut plain = TrustMonitor::new(fp.clone(), None);
     plain
         .ingest_batch(clean_suspects.traces())
-        .expect("clean baseline ingest");
+        .or_exit("clean baseline ingest");
     let baseline_alarms = plain.alarms().len();
     let baseline_far = baseline_alarms as f64 / N_SUSPECT as f64;
 
@@ -187,7 +198,7 @@ fn main() {
             Channel::OnChipSensor,
             SUSPECT_SEED,
         )
-        .expect("plain collection");
+        .or_exit("plain collection");
     let robust = bench
         .collect_robust(
             EXPERIMENT_KEY,
@@ -198,7 +209,7 @@ fn main() {
             &sanitizer(),
             RetryPolicy::default(),
         )
-        .expect("robust clean collection");
+        .or_exit("robust clean collection");
     let robust_matches_collect = robust.set == plain_collect && robust.retries == 0;
     assert!(
         robust_matches_collect,
@@ -222,7 +233,7 @@ fn main() {
                     Channel::OnChipSensor,
                     SUSPECT_SEED,
                 )
-                .expect("faulted collection");
+                .or_exit("faulted collection");
             scenarios.push(run_scenario(
                 &fp,
                 suspects.traces(),
@@ -272,7 +283,7 @@ fn main() {
                 ..RetryPolicy::default()
             },
         )
-        .expect("recovery collection");
+        .or_exit("recovery collection");
     bench.set_faults(None);
     assert!(
         recovery.retries > 0,
@@ -362,28 +373,32 @@ fn main() {
             )
         })
         .collect();
-    let json = format!(
-        "{{\n  \"benchmark\": \"fault_injection_sweep\",\n  \"timestamp_unix\": {},\n  \
-         \"git_rev\": \"{}\",\n  \"n_golden\": {N_GOLDEN},\n  \"n_suspect\": {N_SUSPECT},\n  \
-         \"default_intensity\": {},\n  \
-         \"baseline\": {{\"scored\": {N_SUSPECT}, \"alarms\": {baseline_alarms}, \
-         \"false_alarm_rate\": {}}},\n  \
-         \"clean_bit_identical\": {clean_bit_identical},\n  \
-         \"robust_matches_collect\": {robust_matches_collect},\n  \
-         \"scenarios\": [\n{}\n  ],\n  \
-         \"recovery\": {{\"retries\": {}, \"fallbacks\": {}, \"backoff_total_us\": {}, \
-         \"rejected\": {}}}\n}}\n",
-        unix_timestamp(),
-        json_escape(&git_rev()),
-        json_number(DEFAULT_INTENSITY),
-        json_number(baseline_far),
-        scenario_json.join(",\n"),
-        recovery.retries,
-        recovery.fallbacks,
-        recovery.backoff_total_us,
-        recovery.rejected()
-    );
-    std::fs::write("BENCH_faults.json", &json).expect("write BENCH_faults.json");
-    report.note("\nwrote BENCH_faults.json");
+    ArtifactDoc::new("fault_injection_sweep")
+        .field_u64("n_golden", N_GOLDEN as u64)
+        .field_u64("n_suspect", N_SUSPECT as u64)
+        .field_f64("default_intensity", DEFAULT_INTENSITY)
+        .field_raw(
+            "baseline",
+            format!(
+                "{{\"scored\": {N_SUSPECT}, \"alarms\": {baseline_alarms}, \
+                 \"false_alarm_rate\": {}}}",
+                json_number(baseline_far)
+            ),
+        )
+        .field_bool("clean_bit_identical", clean_bit_identical)
+        .field_bool("robust_matches_collect", robust_matches_collect)
+        .field_array("scenarios", &scenario_json)
+        .field_raw(
+            "recovery",
+            format!(
+                "{{\"retries\": {}, \"fallbacks\": {}, \"backoff_total_us\": {}, \
+                 \"rejected\": {}}}",
+                recovery.retries,
+                recovery.fallbacks,
+                recovery.backoff_total_us,
+                recovery.rejected()
+            ),
+        )
+        .write("BENCH_faults.json", &mut report);
     report.finish();
 }

@@ -1,3 +1,14 @@
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::todo,
+        clippy::unimplemented
+    )
+)]
+
 //! **E6 — Figure 6 (a)–(h)**: pairwise Euclidean-distance histograms for
 //! T1..T4, measured on the fabricated chip with the external probe
 //! (panels a–d, overlapping) and the on-chip sensor (panels e–h,
@@ -5,13 +16,14 @@
 
 use emtrust::acquisition::TestBench;
 use emtrust::euclidean::distance_panel;
+use emtrust_bench::OrExit;
 use emtrust_bench::{print_histogram, standard_chip, Report, EXPERIMENT_KEY, TROJANS};
 use emtrust_silicon::Channel;
 
 fn main() {
     let mut report = Report::from_env("exp_fig6_histograms");
     let chip = standard_chip();
-    let bench = TestBench::silicon(&chip, 1).expect("silicon bench");
+    let bench = TestBench::silicon(&chip, 1).or_exit("silicon bench");
     let n_traces = 60;
     let bins = 24;
 
@@ -33,13 +45,13 @@ fn main() {
                 bins,
                 0xF16 ^ kind.label().len() as u64,
             )
-            .expect("panel");
+            .or_exit("panel");
             if report.is_text() {
                 println!("\n-- {} --", kind.label());
                 print_histogram("golden (red stripes)", &panel.golden, 40);
                 print_histogram("trojan activated (blue stripes)", &panel.trojan, 40);
             }
-            let probe = tag.split(' ').next().unwrap().to_string();
+            let probe = tag.split(' ').next().or_exit("probe tag").to_string();
             report.scalar(
                 &format!("{}_{}_overlap", probe, kind.label().to_lowercase()),
                 panel.overlap,

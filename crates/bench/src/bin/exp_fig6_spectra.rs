@@ -1,3 +1,14 @@
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::todo,
+        clippy::unimplemented
+    )
+)]
+
 //! **E7 — Figure 6 (i)–(l)**: on-chip sensor spectra of the fabricated
 //! chip with each Trojan activated vs. the original circuit.
 //!
@@ -7,6 +18,7 @@
 
 use emtrust::acquisition::TestBench;
 use emtrust::spectral::{SpectralConfig, SpectralDetector};
+use emtrust_bench::OrExit;
 use emtrust_bench::{
     print_spectrum_series, standard_chip, Report, EXPERIMENT_KEY, SPECTRAL_BLOCKS,
 };
@@ -17,7 +29,7 @@ use emtrust_silicon::Channel;
 fn main() {
     let mut report = Report::from_env("exp_fig6_spectra");
     let chip = standard_chip();
-    let bench = TestBench::silicon(&chip, 1).expect("silicon bench");
+    let bench = TestBench::silicon(&chip, 1).or_exit("silicon bench");
 
     let golden = bench
         .collect_continuous(
@@ -27,12 +39,12 @@ fn main() {
             Channel::OnChipSensor,
             0x6C,
         )
-        .expect("golden window");
-    let detector = SpectralDetector::fit(&golden, SpectralConfig::default()).expect("detector");
+        .or_exit("golden window");
+    let detector = SpectralDetector::fit(&golden, SpectralConfig::default()).or_exit("detector");
 
     if report.is_text() {
         println!("== E7 — on-chip sensor spectra (paper Fig. 6 i-l) ==");
-        print_spectrum_series("original circuit (red)", &golden, 40e6, 20).unwrap();
+        print_spectrum_series("original circuit (red)", &golden, 40e6, 20).or_exit("golden series");
     }
 
     let band_energy = |trace: &emtrust_em::emf::VoltageTrace, lo: f64, hi: f64| -> f64 {
@@ -56,12 +68,12 @@ fn main() {
                 Channel::OnChipSensor,
                 0x6C,
             )
-            .expect("armed window");
+            .or_exit("armed window");
         if report.is_text() {
             println!("\n-- panel: {} activated (blue) --", kind.label());
-            print_spectrum_series("trojan activated", &armed, 40e6, 20).unwrap();
+            print_spectrum_series("trojan activated", &armed, 40e6, 20).or_exit("armed series");
         }
-        let anomalies = detector.compare(&armed).expect("compare");
+        let anomalies = detector.compare(&armed).or_exit("compare");
         let low = band_energy(&armed, 9.2e6, 9.4e6);
         report.scalar(
             &format!("{}_anomalous_spots", kind.label().to_lowercase()),

@@ -1,3 +1,14 @@
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::todo,
+        clippy::unimplemented
+    )
+)]
+
 //! **E8 — Figures 2 and 3**: the probe structures and the protected
 //! layout. These paper figures are photographs/renderings of geometry;
 //! this binary prints the equivalent geometric inventory of our
@@ -5,6 +16,7 @@
 //! sensor overlaid.
 
 use emtrust::acquisition::TestBench;
+use emtrust_bench::OrExit;
 use emtrust_bench::{standard_chip, Report};
 use emtrust_layout::probe::ExternalProbe;
 use emtrust_layout::spiral::SpiralSensor;
@@ -12,10 +24,10 @@ use emtrust_layout::spiral::SpiralSensor;
 fn main() {
     let mut report = Report::from_env("exp_layout");
     let chip = standard_chip();
-    let bench = TestBench::simulation(&chip).expect("bench");
+    let bench = TestBench::simulation(&chip).or_exit("bench");
     let fp = bench.floorplan();
     let die = fp.die();
-    let spiral = SpiralSensor::for_die(die).expect("spiral");
+    let spiral = SpiralSensor::for_die(die).or_exit("spiral");
     let probe = ExternalProbe::over_die(die);
     report.scalar("spiral_turns", spiral.turns() as f64);
     report.scalar("spiral_wire_length_um", spiral.wire_length_um());

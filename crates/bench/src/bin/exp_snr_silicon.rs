@@ -1,8 +1,20 @@
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::todo,
+        clippy::unimplemented
+    )
+)]
+
 //! **E5 — §V-A**: measured SNR on the fabricated chip (paper: on-chip
 //! 30.5489 dB vs. external 13.8684 dB; the external probe loses several
 //! dB versus its simulation because of "more unintended influences").
 
 use emtrust::acquisition::TestBench;
+use emtrust_bench::OrExit;
 use emtrust_bench::{measure_snr, Report};
 use emtrust_silicon::Channel;
 use emtrust_trojan::ProtectedChip;
@@ -10,13 +22,15 @@ use emtrust_trojan::ProtectedChip;
 fn main() {
     let mut report = Report::from_env("exp_snr_silicon");
     let chip = ProtectedChip::golden();
-    let sim = TestBench::simulation(&chip).expect("simulation bench");
-    let silicon = TestBench::silicon(&chip, 1).expect("silicon bench");
+    let sim = TestBench::simulation(&chip).or_exit("simulation bench");
+    let silicon = TestBench::silicon(&chip, 1).or_exit("silicon bench");
 
-    let sim_on = measure_snr(&sim, Channel::OnChipSensor, 64, 0x60).unwrap();
-    let sim_ext = measure_snr(&sim, Channel::ExternalProbe, 64, 0x61).unwrap();
-    let si_on = measure_snr(&silicon, Channel::OnChipSensor, 64, 0x62).unwrap();
-    let si_ext = measure_snr(&silicon, Channel::ExternalProbe, 64, 0x63).unwrap();
+    let sim_on = measure_snr(&sim, Channel::OnChipSensor, 64, 0x60).or_exit("sim on-chip snr");
+    let sim_ext = measure_snr(&sim, Channel::ExternalProbe, 64, 0x61).or_exit("sim external snr");
+    let si_on =
+        measure_snr(&silicon, Channel::OnChipSensor, 64, 0x62).or_exit("silicon on-chip snr");
+    let si_ext =
+        measure_snr(&silicon, Channel::ExternalProbe, 64, 0x63).or_exit("silicon external snr");
     report.scalar("sim_onchip_snr_db", sim_on.snr_db);
     report.scalar("sim_external_snr_db", sim_ext.snr_db);
     report.scalar("silicon_onchip_snr_db", si_on.snr_db);

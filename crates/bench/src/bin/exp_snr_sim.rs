@@ -1,7 +1,19 @@
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::todo,
+        clippy::unimplemented
+    )
+)]
+
 //! **E2 — §IV-B**: simulated SNR of the on-chip sensor vs. the external
 //! probe (paper: 29.976 dB vs. 17.483 dB).
 
 use emtrust::acquisition::TestBench;
+use emtrust_bench::OrExit;
 use emtrust_bench::{measure_snr, Report};
 use emtrust_silicon::Channel;
 use emtrust_trojan::ProtectedChip;
@@ -9,10 +21,10 @@ use emtrust_trojan::ProtectedChip;
 fn main() {
     let mut report = Report::from_env("exp_snr_sim");
     let chip = ProtectedChip::golden();
-    let bench = TestBench::simulation(&chip).expect("simulation bench");
+    let bench = TestBench::simulation(&chip).or_exit("simulation bench");
 
-    let onchip = measure_snr(&bench, Channel::OnChipSensor, 64, 0x51).expect("on-chip snr");
-    let external = measure_snr(&bench, Channel::ExternalProbe, 64, 0x52).expect("external snr");
+    let onchip = measure_snr(&bench, Channel::OnChipSensor, 64, 0x51).or_exit("on-chip snr");
+    let external = measure_snr(&bench, Channel::ExternalProbe, 64, 0x52).or_exit("external snr");
     report.scalar("onchip_snr_db", onchip.snr_db);
     report.scalar("external_snr_db", external.snr_db);
 

@@ -1,3 +1,14 @@
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::todo,
+        clippy::unimplemented
+    )
+)]
+
 //! **E1 — Table I**: Trojan sizes compared to the whole AES design.
 //!
 //! Prints our gate counts and percentages next to the paper's, plus the

@@ -1,3 +1,14 @@
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::todo,
+        clippy::unimplemented
+    )
+)]
+
 //! **Observability — telemetry overhead and alarm forensics**: replays
 //! the Table-1 Trojan sweep (golden fit, all four digital Trojans, one
 //! spectral window) twice — once with no recorder installed (the
@@ -26,7 +37,9 @@ use emtrust::telemetry::sink::{events_jsonl, json_escape, json_number, prometheu
 use emtrust::telemetry::{self, InMemoryRecorder};
 use emtrust::TrustError;
 use emtrust::TrustMonitor;
-use emtrust_bench::{git_rev, standard_chip, unix_timestamp, Report, EXPERIMENT_KEY, TROJANS};
+use emtrust_bench::{
+    standard_chip, write_artifact, ArtifactDoc, OrExit, Report, EXPERIMENT_KEY, TROJANS,
+};
 use emtrust_silicon::Channel;
 use emtrust_trojan::ProtectedChip;
 use std::sync::Arc;
@@ -88,14 +101,14 @@ fn main() {
     // the one-atomic-load fast path.
     telemetry::uninstall();
     let t0 = Instant::now();
-    let null_monitor = run_sweep(&chip).expect("null-recorder sweep");
+    let null_monitor = run_sweep(&chip).or_exit("null-recorder sweep");
     let null_seconds = t0.elapsed().as_secs_f64();
 
     // Pass 2 — full in-memory registry installed.
     let registry = Arc::new(InMemoryRecorder::new());
     telemetry::install(registry.clone());
     let t0 = Instant::now();
-    let monitor = run_sweep(&chip).expect("recorded sweep");
+    let monitor = run_sweep(&chip).or_exit("recorded sweep");
     let recorded_seconds = t0.elapsed().as_secs_f64();
     telemetry::uninstall();
 
@@ -173,29 +186,25 @@ fn main() {
         .iter()
         .map(|r| format!("    {}", r.to_json()))
         .collect();
-    let json = format!(
-        "{{\n  \"benchmark\": \"telemetry_table1_sweep\",\n  \"timestamp_unix\": {},\n  \
-         \"git_rev\": \"{}\",\n  \"n_golden\": {N_GOLDEN},\n  \
-         \"n_suspect_per_trojan\": {N_SUSPECT_PER_TROJAN},\n  \
-         \"null_seconds\": {},\n  \"recorded_seconds\": {},\n  \"overhead_pct\": {},\n  \
-         \"stages\": [\n{}\n  ],\n  \
-         \"alarms\": {{\"total\": {}, \"time_domain\": {time_domain}, \
-         \"spectral\": {spectral}, \"first_correlation_id\": {first_correlation_id}}},\n  \
-         \"forensics\": [\n{}\n  ]\n}}\n",
-        unix_timestamp(),
-        json_escape(&git_rev()),
-        json_number(null_seconds),
-        json_number(recorded_seconds),
-        json_number(overhead_pct),
-        stage_json.join(",\n"),
-        monitor.alarms().len(),
-        forensics.join(",\n")
-    );
-    std::fs::write("BENCH_telemetry.json", &json).expect("write BENCH_telemetry.json");
-    std::fs::write("TELEMETRY_prometheus.txt", prometheus_text(&snapshot))
-        .expect("write TELEMETRY_prometheus.txt");
-    std::fs::write("TELEMETRY_events.jsonl", events_jsonl(&registry.events()))
-        .expect("write TELEMETRY_events.jsonl");
+    let doc = ArtifactDoc::new("telemetry_table1_sweep")
+        .field_u64("n_golden", N_GOLDEN as u64)
+        .field_u64("n_suspect_per_trojan", N_SUSPECT_PER_TROJAN as u64)
+        .field_f64("null_seconds", null_seconds)
+        .field_f64("recorded_seconds", recorded_seconds)
+        .field_f64("overhead_pct", overhead_pct)
+        .field_array("stages", &stage_json)
+        .field_raw(
+            "alarms",
+            format!(
+                "{{\"total\": {}, \"time_domain\": {time_domain}, \
+                 \"spectral\": {spectral}, \"first_correlation_id\": {first_correlation_id}}}",
+                monitor.alarms().len()
+            ),
+        )
+        .field_array("forensics", &forensics);
+    write_artifact("BENCH_telemetry.json", &doc.to_json());
+    write_artifact("TELEMETRY_prometheus.txt", &prometheus_text(&snapshot));
+    write_artifact("TELEMETRY_events.jsonl", &events_jsonl(&registry.events()));
     report.note("\nwrote BENCH_telemetry.json, TELEMETRY_prometheus.txt, TELEMETRY_events.jsonl");
     report.finish();
 }

@@ -1,3 +1,14 @@
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::todo,
+        clippy::unimplemented
+    )
+)]
+
 //! Throughput of the parallel acquisition engine: golden-set collect+fit
 //! at 1/2/4/8 workers. Prints a table and writes the machine-readable
 //! record to `BENCH_parallel.json` in the working directory.
@@ -5,7 +16,7 @@
 use emtrust::acquisition::TestBench;
 use emtrust::fingerprint::{FingerprintConfig, GoldenFingerprint};
 use emtrust::parallel::ParallelConfig;
-use emtrust_bench::{git_rev, unix_timestamp, Report, EXPERIMENT_KEY};
+use emtrust_bench::{ArtifactDoc, OrExit, Report, EXPERIMENT_KEY};
 use emtrust_silicon::Channel;
 use emtrust_trojan::ProtectedChip;
 use std::time::Instant;
@@ -22,7 +33,7 @@ fn main() {
     for workers in [1usize, 2, 4, 8] {
         let pool = ParallelConfig::default().with_workers(workers);
         let bench = TestBench::simulation(&chip)
-            .expect("bench")
+            .or_exit("bench")
             .with_parallel(pool);
         let config = FingerprintConfig {
             parallel: pool,
@@ -31,8 +42,8 @@ fn main() {
         let t0 = Instant::now();
         let set = bench
             .collect(EXPERIMENT_KEY, N_TRACES, None, Channel::OnChipSensor, 42)
-            .expect("collect");
-        let fp = GoldenFingerprint::fit(&set, config).expect("fit");
+            .or_exit("collect");
+        let fp = GoldenFingerprint::fit(&set, config).or_exit("fit");
         let elapsed = t0.elapsed().as_secs_f64();
         // Determinism cross-check while we are here: every worker count
         // must reproduce the serial threshold bit for bit.
@@ -67,20 +78,15 @@ fn main() {
         &rows,
     );
     let host_cpus = std::thread::available_parallelism().map_or(1, usize::from);
-    // Provenance is stamped once here, at artifact-write time — never
-    // inside the timed loop above.
-    let json = format!(
-        "{{\n  \"benchmark\": \"golden_collect_fit\",\n  \"timestamp_unix\": {},\n  \
-         \"git_rev\": \"{}\",\n  \"n_traces\": {N_TRACES},\n  \
-         \"host_cpus\": {host_cpus},\n  \
-         \"note\": \"speedup is bounded by host_cpus; on a single-core host all \
-         worker counts time-slice one core\",\n  \
-         \"results\": [\n{}\n  ]\n}}\n",
-        unix_timestamp(),
-        git_rev(),
-        json_rows.join(",\n")
-    );
-    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
-    report.note("\nwrote BENCH_parallel.json");
+    ArtifactDoc::new("golden_collect_fit")
+        .field_u64("n_traces", N_TRACES as u64)
+        .field_u64("host_cpus", host_cpus as u64)
+        .field_str(
+            "note",
+            "speedup is bounded by host_cpus; on a single-core host all \
+             worker counts time-slice one core",
+        )
+        .field_array("results", &json_rows)
+        .write("BENCH_parallel.json", &mut report);
     report.finish();
 }

@@ -1,3 +1,14 @@
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::todo,
+        clippy::unimplemented
+    )
+)]
+
 //! # emtrust-bench
 //!
 //! Experiment harnesses and Criterion benchmarks regenerating **every
@@ -29,7 +40,9 @@
 pub mod json;
 pub mod report;
 
-pub use report::{git_rev, unix_timestamp, OutputMode, Report};
+pub use report::{
+    git_rev, unix_timestamp, write_artifact, ArtifactDoc, OrExit, OutputMode, Report,
+};
 
 use emtrust::acquisition::TestBench;
 use emtrust::TrustError;

@@ -173,6 +173,132 @@ impl Report {
     }
 }
 
+/// Exit-on-failure unwrapping for the `exp_*` binaries, which run under
+/// the workspace's `unwrap_used`/`expect_used` lint gate: a missing
+/// value or error is an operator-facing condition, so it prints one
+/// line to stderr and exits 1 instead of panicking with a backtrace.
+pub trait OrExit<T> {
+    /// The contained value, or `eprintln!` + `exit(1)` naming `what`.
+    fn or_exit(self, what: &str) -> T;
+}
+
+impl<T, E: std::fmt::Display> OrExit<T> for Result<T, E> {
+    fn or_exit(self, what: &str) -> T {
+        match self {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("{what}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+impl<T> OrExit<T> for Option<T> {
+    fn or_exit(self, what: &str) -> T {
+        match self {
+            Some(v) => v,
+            None => {
+                eprintln!("{what}: missing value");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Writes one artifact file, exiting 1 with a one-line diagnostic on
+/// failure — the shared tail of every `BENCH_*.json` writer.
+pub fn write_artifact(path: &str, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("failed to write {path}: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Builds the provenance-stamped `BENCH_*.json` artifacts the `exp_*`
+/// binaries write for `check_bench_schema`: every document leads with
+/// the `benchmark` discriminator, `timestamp_unix`, and `git_rev`,
+/// followed by experiment-specific fields in insertion order.
+///
+/// Values are raw JSON fragments supplied by the caller (via the typed
+/// helpers where possible), so the builder never guesses at escaping or
+/// nesting — it only owns the provenance header, the top-level layout,
+/// and the write-plus-note tail every binary used to copy-paste.
+#[derive(Debug)]
+pub struct ArtifactDoc {
+    benchmark: String,
+    fields: Vec<(String, String)>,
+}
+
+impl ArtifactDoc {
+    /// A document for the `benchmark` discriminator
+    /// `check_bench_schema` dispatches on.
+    pub fn new(benchmark: &str) -> Self {
+        Self {
+            benchmark: benchmark.to_string(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Appends a field whose value is an already-rendered JSON fragment
+    /// (object, bool literal, pre-formatted number…).
+    pub fn field_raw(mut self, key: &str, raw: impl Into<String>) -> Self {
+        self.fields.push((key.to_string(), raw.into()));
+        self
+    }
+
+    /// Appends an unsigned-integer field.
+    pub fn field_u64(self, key: &str, value: u64) -> Self {
+        self.field_raw(key, value.to_string())
+    }
+
+    /// Appends a finite-float field (rendered via [`json_number`]).
+    pub fn field_f64(self, key: &str, value: f64) -> Self {
+        self.field_raw(key, json_number(value))
+    }
+
+    /// Appends a boolean field.
+    pub fn field_bool(self, key: &str, value: bool) -> Self {
+        self.field_raw(key, if value { "true" } else { "false" })
+    }
+
+    /// Appends an escaped string field.
+    pub fn field_str(self, key: &str, value: &str) -> Self {
+        self.field_raw(key, format!("\"{}\"", json_escape(value)))
+    }
+
+    /// Appends an array field from pre-rendered, pre-indented items
+    /// (the binaries indent items with four spaces, matching the
+    /// two-space top level).
+    pub fn field_array(self, key: &str, items: &[String]) -> Self {
+        self.field_raw(key, format!("[\n{}\n  ]", items.join(",\n")))
+    }
+
+    /// Renders the document: provenance header first (stamped now, at
+    /// render time — never inside measured code), then the fields.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "{{\n  \"benchmark\": \"{}\",\n  \"timestamp_unix\": {},\n  \"git_rev\": \"{}\"",
+            json_escape(&self.benchmark),
+            unix_timestamp(),
+            json_escape(&git_rev())
+        );
+        for (key, value) in &self.fields {
+            let _ = write!(out, ",\n  \"{}\": {}", json_escape(key), value);
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Writes the document to `path` (exit 1 on failure) and notes the
+    /// artifact on the report.
+    pub fn write(&self, path: &str, report: &mut Report) {
+        write_artifact(path, &self.to_json());
+        report.note(format!("\nwrote {path}"));
+    }
+}
+
 /// Wall-clock seconds since the Unix epoch, read once at call time.
 /// For stamping artifacts as they are written — never in measured code.
 pub fn unix_timestamp() -> u64 {

@@ -1,12 +1,21 @@
-//! Trace → feature-vector reduction.
+//! Trace → feature-vector reduction, and the shared [`FeatureFrame`]
+//! every pipeline stage reads from.
 //!
 //! Raw sensor traces (hundreds of samples per encryption) are reduced to
 //! an energy profile before fingerprinting: the RMS of consecutive sample
 //! bins. This keeps the data-dependent within-cycle structure the
 //! detectors need while making PCA tractable and the comparison robust to
 //! sample-level phase jitter.
+//!
+//! [`FeatureFrame`] is the "compute once, read everywhere" contract of
+//! the [`pipeline`](crate::pipeline): the sanitizer's energy screen, the
+//! Euclidean detector's projection, and both spectral detectors' FFT all
+//! used to recompute the same transforms per consumer; the pipeline now
+//! materializes each transform exactly once per trace and hands every
+//! consumer the same frame.
 
 use crate::TrustError;
+use emtrust_dsp::spectrum::Spectrum;
 
 /// Default bin width (samples per feature) — 8 samples at 640 MS/s is
 /// one eighth of a 10 MHz clock cycle.
@@ -51,6 +60,98 @@ pub fn bin_rms(samples: &[f64], bin: usize) -> Result<Vec<f64>, TrustError> {
 /// L2 norm of a vector.
 pub fn l2_norm(v: &[f64]) -> f64 {
     v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// The transforms of one observation, computed once and shared by every
+/// pipeline stage (see module docs).
+///
+/// A frame starts as the raw samples and is enriched stage by stage:
+/// the featurizer fills the slots the registered detectors declared in
+/// their [`FeaturePlan`](crate::detector::FeaturePlan), and each
+/// consumer reads the slot instead of recomputing the transform. Slots
+/// the active configuration does not need stay `None`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureFrame<'a> {
+    samples: &'a [f64],
+    sample_rate_hz: Option<f64>,
+    rms: Option<Vec<f64>>,
+    energy_ratio: Option<f64>,
+    projection: Option<Vec<f64>>,
+    spectrum: Option<Spectrum>,
+}
+
+impl<'a> FeatureFrame<'a> {
+    /// A frame holding only the raw samples (per-encryption trace).
+    pub fn new(samples: &'a [f64]) -> Self {
+        Self {
+            samples,
+            sample_rate_hz: None,
+            rms: None,
+            energy_ratio: None,
+            projection: None,
+            spectrum: None,
+        }
+    }
+
+    /// A frame for a continuous monitoring window sampled at
+    /// `sample_rate_hz`.
+    pub fn window(samples: &'a [f64], sample_rate_hz: f64) -> Self {
+        Self {
+            sample_rate_hz: Some(sample_rate_hz),
+            ..Self::new(samples)
+        }
+    }
+
+    /// The raw samples.
+    pub fn samples(&self) -> &'a [f64] {
+        self.samples
+    }
+
+    /// The sample rate — `Some` only for continuous windows.
+    pub fn sample_rate_hz(&self) -> Option<f64> {
+        self.sample_rate_hz
+    }
+
+    /// The per-bin RMS energy features ([`bin_rms`]), if computed.
+    pub fn rms(&self) -> Option<&[f64]> {
+        self.rms.as_deref()
+    }
+
+    /// Feature-energy ratio relative to the golden scale, if computed.
+    pub fn energy_ratio(&self) -> Option<f64> {
+        self.energy_ratio
+    }
+
+    /// The detection-space projection (scale + optional PCA), if
+    /// computed.
+    pub fn projection(&self) -> Option<&[f64]> {
+        self.projection.as_deref()
+    }
+
+    /// The Welch spectrum of a continuous window, if computed.
+    pub fn spectrum(&self) -> Option<&Spectrum> {
+        self.spectrum.as_ref()
+    }
+
+    /// Stores the RMS energy features.
+    pub fn set_rms(&mut self, rms: Vec<f64>) {
+        self.rms = Some(rms);
+    }
+
+    /// Stores the energy ratio.
+    pub fn set_energy_ratio(&mut self, ratio: f64) {
+        self.energy_ratio = Some(ratio);
+    }
+
+    /// Stores the detection-space projection.
+    pub fn set_projection(&mut self, projection: Vec<f64>) {
+        self.projection = Some(projection);
+    }
+
+    /// Stores the Welch spectrum.
+    pub fn set_spectrum(&mut self, spectrum: Spectrum) {
+        self.spectrum = Some(spectrum);
+    }
 }
 
 #[cfg(test)]

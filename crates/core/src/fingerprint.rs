@@ -140,18 +140,51 @@ impl GoldenFingerprint {
         })
     }
 
+    /// Extracts the raw RMS energy features of a trace (the first stage
+    /// of [`Self::project`]). The detection pipeline computes this once
+    /// per trace and shares the result between the sanitizer's energy
+    /// screen and the distance scorer.
+    ///
+    /// # Errors
+    ///
+    /// Forwarded feature-extraction errors (empty trace).
+    pub fn features(&self, samples: &[f64]) -> Result<Vec<f64>, TrustError> {
+        bin_rms(samples, self.config.rms_bin)
+    }
+
+    /// Maps pre-computed RMS features into detection space (scale
+    /// normalization, then the optional PCA projection) — the second
+    /// stage of [`Self::project`].
+    ///
+    /// # Errors
+    ///
+    /// Forwarded PCA errors (wrong feature length).
+    pub fn project_features(&self, feats: &[f64]) -> Result<Vec<f64>, TrustError> {
+        let scaled: Vec<f64> = feats.iter().map(|x| x / self.scale).collect();
+        Ok(match &self.pca {
+            Some(p) => p.project(&scaled)?,
+            None => scaled,
+        })
+    }
+
     /// Maps a raw trace into detection space.
     ///
     /// # Errors
     ///
     /// Forwarded feature/PCA errors (wrong trace length, empty trace).
     pub fn project(&self, samples: &[f64]) -> Result<Vec<f64>, TrustError> {
-        let feats = bin_rms(samples, self.config.rms_bin)?;
-        let scaled: Vec<f64> = feats.iter().map(|x| x / self.scale).collect();
-        Ok(match &self.pca {
-            Some(p) => p.project(&scaled)?,
-            None => scaled,
-        })
+        let feats = self.features(samples)?;
+        self.project_features(&feats)
+    }
+
+    /// Distance of a detection-space projection to the golden centroid —
+    /// the final stage of [`Self::distance`].
+    ///
+    /// # Errors
+    ///
+    /// Forwarded distance errors (dimension mismatch).
+    pub fn distance_of_projection(&self, projection: &[f64]) -> Result<f64, TrustError> {
+        Ok(distance::euclidean(projection, &self.centroid)?)
     }
 
     /// Distance of a raw trace to the golden centroid.
@@ -160,10 +193,7 @@ impl GoldenFingerprint {
     ///
     /// Forwarded projection errors.
     pub fn distance(&self, samples: &[f64]) -> Result<f64, TrustError> {
-        Ok(distance::euclidean(
-            &self.project(samples)?,
-            &self.centroid,
-        )?)
+        self.distance_of_projection(&self.project(samples)?)
     }
 
     /// Evaluates one trace against the Eq. 1 threshold.
@@ -284,8 +314,21 @@ impl GoldenFingerprint {
     ///
     /// Forwarded feature-extraction errors.
     pub fn energy_ratio(&self, samples: &[f64]) -> Result<f64, TrustError> {
-        let feats = bin_rms(samples, self.config.rms_bin)?;
-        Ok(l2_norm(&feats) / self.scale)
+        let feats = self.features(samples)?;
+        Ok(self.energy_ratio_of_features(&feats))
+    }
+
+    /// Feature-energy ratio of pre-computed RMS features relative to the
+    /// golden scale ([`Self::energy_ratio`] with the extraction stage
+    /// already done).
+    pub fn energy_ratio_of_features(&self, feats: &[f64]) -> f64 {
+        l2_norm(feats) / self.scale
+    }
+
+    /// The scale divisor (mean golden feature-vector norm) that makes
+    /// distances dimensionless.
+    pub fn scale(&self) -> f64 {
+        self.scale
     }
 
     /// Sample count of the golden traces the fingerprint was fitted on.
@@ -414,6 +457,26 @@ mod tests {
         assert!(GoldenFingerprint::fit(&golden, cfg).is_err());
         let silent = TraceSet::new(vec![vec![0.0; 64]; 4], 1.0).unwrap();
         assert!(GoldenFingerprint::fit(&silent, FingerprintConfig::default()).is_err());
+    }
+
+    #[test]
+    fn staged_helpers_compose_to_the_one_shot_paths() {
+        let golden = synthetic_set(16, 1.0, 1);
+        let fp = GoldenFingerprint::fit(&golden, FingerprintConfig::default()).unwrap();
+        let suspect_set = synthetic_set(1, 1.2, 7);
+        let t = &suspect_set.traces()[0];
+        let feats = fp.features(t).unwrap();
+        let projection = fp.project_features(&feats).unwrap();
+        assert_eq!(projection, fp.project(t).unwrap());
+        assert_eq!(
+            fp.distance_of_projection(&projection).unwrap(),
+            fp.distance(t).unwrap()
+        );
+        assert_eq!(
+            fp.energy_ratio_of_features(&feats),
+            fp.energy_ratio(t).unwrap()
+        );
+        assert!(fp.scale() > 0.0);
     }
 
     #[test]

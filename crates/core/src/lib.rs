@@ -28,11 +28,24 @@
 //!   Trojan triggers (A2), either boosting an existing spot (`T = g`) or
 //!   adding a new one (`T ≠ g`).
 //!
+//! - **reference-free** ([`persistence`]): a self-referencing
+//!   spectral-persistence detector whitelists the chip's own spectral
+//!   lines during a warm-up phase and alarms when a fresh line persists
+//!   across consecutive windows — no golden model required.
+//!
+//! Detection runs as a staged pipeline
+//! ([`pipeline::DetectionPipeline`]): every observation is sanitized,
+//! featurized once into a shared [`features::FeatureFrame`], scored by
+//! every registered [`detector::Detector`], and the per-detector votes
+//! are fused into one alarm decision by a [`fusion::FusionPolicy`].
+//!
 //! [`acquisition::TestBench`] assembles the full experiment: the
 //! Trojan-carrying AES chip (`emtrust-trojan`), the measurement physics
 //! (`emtrust-em`), and optionally the fabricated-chip non-idealities
 //! (`emtrust-silicon`). [`monitor::TrustMonitor`] is the runtime loop
-//! that turns detections into alarms.
+//! that turns detections into alarms — today a thin compatibility
+//! wrapper over a pipeline with an Euclidean detector, an optional
+//! spectral detector, and [`fusion::FusionPolicy::Or`].
 //!
 //! Every pipeline stage is instrumented through [`telemetry`]
 //! (re-exported from `emtrust-telemetry`): install a
@@ -69,20 +82,34 @@ pub use emtrust_telemetry as telemetry;
 
 pub mod acquisition;
 pub mod baseline;
+pub mod detector;
 pub mod euclidean;
 pub mod features;
 pub mod fingerprint;
+pub mod fusion;
 pub mod health;
 pub mod monitor;
 pub mod parallel;
+pub mod persistence;
+pub mod pipeline;
 pub mod sanitize;
 pub mod spectral;
 
 pub use acquisition::{RetryPolicy, RobustCollection, TestBench, TraceReport, TraceSet};
+pub use detector::{
+    Detector, DetectorDomain, DetectorVerdict, EuclideanDetector, GoldenContext, Score,
+    ScoreDetail, SpectralWindowDetector,
+};
+pub use features::FeatureFrame;
 pub use fingerprint::{FingerprintConfig, GoldenFingerprint};
+pub use fusion::FusionPolicy;
 pub use health::{HealthConfig, HealthTracker, HealthTransition, SensorHealth};
 pub use monitor::{Alarm, TrustMonitor};
 pub use parallel::ParallelConfig;
+pub use persistence::{PersistenceConfig, SpectralPersistenceDetector};
+pub use pipeline::{
+    BatchOutcome, DetectionPipeline, PipelineAlarm, PipelineBuilder, TraceOutcome, WindowOutcome,
+};
 pub use sanitize::{SanitizerConfig, TraceDefect, TraceSanitizer, TraceVerdict};
 pub use spectral::SpectralDetector;
 

@@ -4,16 +4,29 @@
 //! execution hence there is no runtime performance degradation. […] The
 //! monitor keeps reading the EM sensor output in the format of voltages"
 //! and triggers an alarm once the analysis detects Trojans or attacks.
+//!
+//! [`TrustMonitor`] is the legacy two-detector API, kept as a thin
+//! compatibility wrapper over a [`crate::pipeline::DetectionPipeline`]
+//! holding an [`crate::detector::EuclideanDetector`], optionally a
+//! [`crate::detector::SpectralWindowDetector`], and
+//! [`crate::fusion::FusionPolicy::Or`]. The
+//! wrapper translates the pipeline's generic outcomes back into the
+//! historical [`Alarm`] shapes and keeps the forensic rings those alarms
+//! snapshot; every counter, telemetry event, and alarm decision is
+//! bit-identical to the pre-pipeline monitor. New code composing its own
+//! detector set should use the pipeline directly.
 
-use crate::fingerprint::{GoldenFingerprint, Verdict};
+use crate::detector::ScoreDetail;
+use crate::fingerprint::GoldenFingerprint;
+use crate::fusion::FusionPolicy;
 use crate::health::{HealthConfig, HealthTracker, SensorHealth};
-use crate::sanitize::{SanitizerConfig, TraceDefect, TraceSanitizer, TraceVerdict};
+use crate::pipeline::{DetectionPipeline, TraceOutcome, WindowOutcome};
+use crate::sanitize::{TraceSanitizer, TraceVerdict};
 use crate::spectral::{SpectralAnomaly, SpectralDetector};
 use crate::TrustError;
-use emtrust_dsp::DspError;
 use emtrust_em::emf::VoltageTrace;
 use emtrust_telemetry::sink::{json_escape, json_number};
-use emtrust_telemetry::{self as telemetry, FieldValue, RingBuffer};
+use emtrust_telemetry::RingBuffer;
 
 /// An alarm raised by the monitor.
 ///
@@ -249,17 +262,15 @@ impl BatchIngest {
 }
 
 /// The runtime monitor: consumes sensor output, raises [`Alarm`]s.
+///
+/// A compatibility wrapper over [`DetectionPipeline`] — see the module
+/// docs for the exact composition.
 #[derive(Debug)]
 pub struct TrustMonitor {
+    pipeline: DetectionPipeline,
+    /// The wrapper keeps its own copy of the fitted fingerprint so the
+    /// historical [`Self::fingerprint`] accessor stays infallible.
     fingerprint: GoldenFingerprint,
-    spectral: Option<SpectralDetector>,
-    sanitizer: Option<TraceSanitizer>,
-    health: HealthTracker,
-    traces_seen: u64,
-    traces_rejected: u64,
-    traces_degraded: u64,
-    windows_seen: u64,
-    windows_rejected: u64,
     alarms: Vec<Alarm>,
     recent_distances: RingBuffer<DistanceSample>,
     recent_spots: RingBuffer<SpotSample>,
@@ -273,16 +284,17 @@ impl TrustMonitor {
     /// Creates a monitor from a fitted fingerprint and an optional
     /// spectral detector.
     pub fn new(fingerprint: GoldenFingerprint, spectral: Option<SpectralDetector>) -> Self {
+        let mut builder = DetectionPipeline::builder()
+            .detector(Box::new(crate::detector::EuclideanDetector::new(
+                fingerprint.clone(),
+            )))
+            .fusion(FusionPolicy::Or);
+        if let Some(det) = spectral {
+            builder = builder.detector(Box::new(crate::detector::SpectralWindowDetector::new(det)));
+        }
         Self {
+            pipeline: builder.build(),
             fingerprint,
-            spectral,
-            sanitizer: None,
-            health: HealthTracker::default(),
-            traces_seen: 0,
-            traces_rejected: 0,
-            traces_degraded: 0,
-            windows_seen: 0,
-            windows_rejected: 0,
             alarms: Vec::new(),
             recent_distances: RingBuffer::new(Self::DEFAULT_FORENSIC_DEPTH),
             recent_spots: RingBuffer::new(Self::DEFAULT_FORENSIC_DEPTH),
@@ -304,55 +316,19 @@ impl TrustMonitor {
     /// fingerprint's fit length, so mis-sized traces are rejected before
     /// scoring instead of erroring out of it.
     pub fn with_sanitizer(mut self, sanitizer: TraceSanitizer) -> Self {
-        let sanitizer = if sanitizer.config().expected_len.is_none() {
-            sanitizer.with_expected_len(self.fingerprint.expected_trace_len())
-        } else {
-            sanitizer
-        };
-        self.sanitizer = Some(sanitizer);
+        self.pipeline.install_sanitizer(sanitizer);
         self
     }
 
     /// Replaces the sensor-health tracker's configuration (resets the
     /// tracker; intended at construction time).
     pub fn with_health_config(mut self, config: HealthConfig) -> Self {
-        self.health = HealthTracker::new(config);
+        self.pipeline.set_health_config(config);
         self
     }
 
-    /// Stamps an alarm's forensic bundle and telemetry events.
-    fn record_alarm(&mut self, alarm: Alarm) -> Alarm {
-        telemetry::counter("monitor.alarms", 1);
-        match &alarm {
-            Alarm::TimeDomain {
-                trace_index,
-                distance,
-                threshold,
-                correlation_id,
-            } => telemetry::event(
-                "alarm",
-                &[
-                    ("kind", FieldValue::from("time_domain")),
-                    ("correlation_id", FieldValue::U64(*correlation_id)),
-                    ("trace_index", FieldValue::U64(*trace_index)),
-                    ("distance", FieldValue::F64(*distance)),
-                    ("threshold", FieldValue::F64(*threshold)),
-                ],
-            ),
-            Alarm::Spectral {
-                anomaly,
-                spot_count,
-                correlation_id,
-            } => telemetry::event(
-                "alarm",
-                &[
-                    ("kind", FieldValue::from("spectral")),
-                    ("correlation_id", FieldValue::U64(*correlation_id)),
-                    ("frequency_hz", FieldValue::F64(anomaly.frequency_hz)),
-                    ("spot_count", FieldValue::U64(*spot_count as u64)),
-                ],
-            ),
-        }
+    /// Appends an alarm to the log with its forensic ring snapshot.
+    fn log_alarm(&mut self, alarm: Alarm) -> Alarm {
         self.forensics.push(AlarmRecord {
             correlation_id: alarm.correlation_id(),
             alarm: alarm.clone(),
@@ -363,148 +339,85 @@ impl TrustMonitor {
         alarm
     }
 
-    /// Evaluates one verdict-shaped observation: updates counters, the
-    /// forensic ring, and raises the alarm if the threshold was crossed.
-    fn ingest_verdict(&mut self, verdict: crate::fingerprint::Verdict) -> Option<Alarm> {
-        let idx = self.traces_seen;
-        self.traces_seen += 1;
-        telemetry::counter("monitor.traces", 1);
-        telemetry::observe("monitor.distance", verdict.distance);
+    /// Translates a scored trace outcome into the legacy shape: feeds
+    /// the distance ring and re-raises the fused alarm as
+    /// [`Alarm::TimeDomain`].
+    fn settle_trace(&mut self, outcome: &TraceOutcome) -> Option<Alarm> {
+        let trace_index = outcome.index?;
+        let vote = outcome.votes.first()?;
         self.recent_distances.push(DistanceSample {
-            trace_index: idx,
-            distance: verdict.distance,
+            trace_index,
+            distance: vote.score.statistic,
         });
-        if verdict.trojan_suspected {
-            let alarm = Alarm::TimeDomain {
-                trace_index: idx,
-                distance: verdict.distance,
-                threshold: verdict.threshold,
-                correlation_id: telemetry::next_correlation_id(),
-            };
-            Some(self.record_alarm(alarm))
-        } else {
-            None
-        }
-    }
-
-    /// Classifies one trace against the installed sanitizer (Clean when
-    /// none is installed). Pure — no monitor state changes.
-    fn screen(&self, samples: &[f64]) -> TraceVerdict {
-        match &self.sanitizer {
-            Some(s) => {
-                let ratio = if s.config().energy_bounds.is_some() {
-                    self.fingerprint.energy_ratio(samples).ok()
-                } else {
-                    None
-                };
-                s.inspect_scaled(samples, ratio)
-            }
-            None => TraceVerdict::Clean,
-        }
-    }
-
-    /// Books one rejected trace (never reaches scoring or `alarm_rate`).
-    fn record_rejected(&mut self, reason: &TraceDefect) {
-        self.traces_rejected += 1;
-        telemetry::counter("monitor.trace_rejects", 1);
-        telemetry::event(
-            "trace_rejected",
-            &[("reason", FieldValue::from(reason.label()))],
-        );
-    }
-
-    /// Absorbs one screened trace: rejected traces feed the health
-    /// tracker only; scored traces flow through the normal verdict path.
-    /// `outcome` carries the evaluation result for non-rejected traces.
-    fn absorb(
-        &mut self,
-        verdict: TraceVerdict,
-        outcome: Option<Result<Verdict, TrustError>>,
-    ) -> IngestReport {
-        let (verdict, alarm) = match (verdict, outcome) {
-            (TraceVerdict::Rejected { reason }, _) => {
-                self.record_rejected(&reason);
-                (TraceVerdict::Rejected { reason }, None)
-            }
-            (v, Some(Ok(score))) => {
-                if v.is_degraded() {
-                    self.traces_degraded += 1;
-                    telemetry::counter("monitor.trace_degraded", 1);
-                }
-                let alarm = self.ingest_verdict(score);
-                (v, alarm)
-            }
-            // Evaluation failed: the trace cannot be scored, which is a
-            // rejection like any other.
-            (_, Some(Err(e))) => {
-                let reason = match e {
-                    TrustError::Dsp(DspError::LengthMismatch { expected, actual }) => {
-                        TraceDefect::WrongLength { expected, actual }
-                    }
-                    _ => TraceDefect::EvaluationFailed,
-                };
-                self.record_rejected(&reason);
-                (TraceVerdict::Rejected { reason }, None)
-            }
-            // A non-rejected trace with no evaluation outcome cannot be
-            // produced by the ingestion paths; treat it as unscoreable.
-            (_, None) => {
-                let reason = TraceDefect::EvaluationFailed;
-                self.record_rejected(&reason);
-                (TraceVerdict::Rejected { reason }, None)
-            }
+        let fused = outcome.alarm.as_ref()?;
+        let alarm = Alarm::TimeDomain {
+            trace_index,
+            distance: vote.score.statistic,
+            threshold: vote.score.threshold,
+            correlation_id: fused.correlation_id,
         };
-        let health = self.health.observe(verdict.is_rejected());
-        IngestReport {
-            verdict,
-            alarm,
-            health,
+        Some(self.log_alarm(alarm))
+    }
+
+    /// Translates a scored window outcome into the legacy shape: feeds
+    /// the spot ring from the spectral score's anomaly list and
+    /// re-raises the fused alarm as [`Alarm::Spectral`].
+    fn settle_window(&mut self, outcome: &WindowOutcome) -> Option<Alarm> {
+        let window_index = outcome.index?;
+        let vote = outcome.votes.first()?;
+        let ScoreDetail::Spectral { anomalies } = &vote.score.detail else {
+            return None;
+        };
+        for a in anomalies {
+            self.recent_spots.push(SpotSample {
+                window_index,
+                frequency_hz: a.frequency_hz,
+                suspect_magnitude: a.suspect_magnitude,
+            });
         }
+        let fused = outcome.alarm.as_ref()?;
+        let top = *anomalies.first()?;
+        let alarm = Alarm::Spectral {
+            anomaly: top,
+            spot_count: anomalies.len(),
+            correlation_id: fused.correlation_id,
+        };
+        Some(self.log_alarm(alarm))
     }
 
     /// Ingests one trace through the sanitized path: classify, score if
     /// not rejected, update sensor health. Never fails — traces that
     /// cannot be scored come back [`TraceVerdict::Rejected`].
     pub fn ingest_checked(&mut self, samples: &[f64]) -> IngestReport {
-        let _span = telemetry::span("ingest_checked");
-        let verdict = self.screen(samples);
-        let outcome = if verdict.is_rejected() {
-            None
-        } else {
-            Some(self.fingerprint.evaluate(samples))
-        };
-        self.absorb(verdict, outcome)
+        let outcome = self.pipeline.ingest_trace(samples);
+        let alarm = self.settle_trace(&outcome);
+        IngestReport {
+            verdict: outcome.verdict,
+            alarm,
+            health: outcome.health,
+        }
     }
 
     /// Ingests a batch through the sanitized path. Screening and scoring
-    /// fan across the fingerprint's worker pool; outcomes are merged
+    /// fan across the pipeline's worker pool; outcomes are merged
     /// serially in trace order, so the result is exactly what
     /// [`Self::ingest_checked`] on each trace in order would produce.
     /// Per-trace failures are reported in place — one corrupted trace no
     /// longer aborts its whole batch.
     pub fn ingest_batch_report(&mut self, traces: &[Vec<f64>]) -> BatchIngest {
-        let _span = telemetry::span("ingest_batch_report");
-        let verdicts: Vec<TraceVerdict> = traces.iter().map(|t| self.screen(t)).collect();
-        let pending: Vec<&[f64]> = traces
-            .iter()
-            .zip(&verdicts)
-            .filter(|(_, v)| !v.is_rejected())
-            .map(|(t, _)| t.as_slice())
-            .collect();
-        let mut scored = self.fingerprint.evaluate_each(&pending).into_iter();
-        let mut reports = Vec::with_capacity(traces.len());
+        let batch = self.pipeline.ingest_batch(traces);
+        let mut reports = Vec::with_capacity(batch.outcomes.len());
         let mut alarms = Vec::new();
-        for verdict in verdicts {
-            let outcome = if verdict.is_rejected() {
-                None
-            } else {
-                scored.next()
-            };
-            let report = self.absorb(verdict, outcome);
-            if let Some(a) = &report.alarm {
+        for outcome in batch.outcomes {
+            let alarm = self.settle_trace(&outcome);
+            if let Some(a) = &alarm {
                 alarms.push(a.clone());
             }
-            reports.push(report);
+            reports.push(IngestReport {
+                verdict: outcome.verdict,
+                alarm,
+                health: outcome.health,
+            });
         }
         BatchIngest { reports, alarms }
     }
@@ -518,15 +431,15 @@ impl TrustMonitor {
     /// Forwarded projection errors (wrong trace length) — only without a
     /// sanitizer.
     pub fn ingest_trace(&mut self, samples: &[f64]) -> Result<Option<Alarm>, TrustError> {
-        if self.sanitizer.is_some() {
+        if self.pipeline.sanitizer().is_some() {
             return Ok(self.ingest_checked(samples).alarm);
         }
-        let verdict = self.fingerprint.evaluate(samples)?;
-        Ok(self.ingest_verdict(verdict))
+        let outcome = self.pipeline.try_ingest_trace(samples)?;
+        Ok(self.settle_trace(&outcome))
     }
 
     /// Ingests a batch of per-encryption traces: evaluation fans across
-    /// the fingerprint's worker pool, then verdicts are merged serially in
+    /// the pipeline's worker pool, then verdicts are merged serially in
     /// trace order, so the alarm log, trace indices, and counters end up
     /// exactly as if [`Self::ingest_trace`] had been called on each trace
     /// in order. Returns the alarms this batch raised, in order.
@@ -541,28 +454,17 @@ impl TrustMonitor {
     /// sanitizer, where the monitor is left unchanged and no trace of
     /// the batch is counted.
     pub fn ingest_batch(&mut self, traces: &[Vec<f64>]) -> Result<Vec<Alarm>, TrustError> {
-        if self.sanitizer.is_some() {
+        if self.pipeline.sanitizer().is_some() {
             return Ok(self.ingest_batch_report(traces).alarms);
         }
-        let _span = telemetry::span("ingest_batch");
-        let verdicts = self.fingerprint.evaluate_batch(traces)?;
+        let batch = self.pipeline.try_ingest_batch(traces)?;
         let mut raised = Vec::new();
-        for verdict in verdicts {
-            if let Some(alarm) = self.ingest_verdict(verdict) {
+        for outcome in &batch.outcomes {
+            if let Some(alarm) = self.settle_trace(outcome) {
                 raised.push(alarm);
             }
         }
         Ok(raised)
-    }
-
-    /// Books one rejected continuous window.
-    fn record_window_rejected(&mut self, reason: &TraceDefect) {
-        self.windows_rejected += 1;
-        telemetry::counter("monitor.window_rejects", 1);
-        telemetry::event(
-            "window_rejected",
-            &[("reason", FieldValue::from(reason.label()))],
-        );
     }
 
     /// Ingests a continuous monitoring window through the sanitized
@@ -574,49 +476,9 @@ impl TrustMonitor {
         &mut self,
         window: &VoltageTrace,
     ) -> (TraceVerdict, Option<Alarm>) {
-        let _span = telemetry::span("ingest_window_checked");
-        let verdict = match &self.sanitizer {
-            Some(s) => {
-                let windowed = TraceSanitizer::new(SanitizerConfig {
-                    expected_len: None,
-                    ..s.config()
-                });
-                let mut v = windowed.inspect(window.samples());
-                if !v.is_rejected() {
-                    if let Some(det) = &self.spectral {
-                        let expected_hz = det.golden_spectrum().sample_rate_hz();
-                        let actual_hz = window.sample_rate_hz();
-                        if (actual_hz - expected_hz).abs() > 1e-6 * expected_hz {
-                            v = TraceVerdict::Rejected {
-                                reason: TraceDefect::SampleRateMismatch {
-                                    expected_hz,
-                                    actual_hz,
-                                },
-                            };
-                        }
-                    }
-                }
-                v
-            }
-            None => TraceVerdict::Clean,
-        };
-        if let TraceVerdict::Rejected { reason } = &verdict {
-            let reason = *reason;
-            self.record_window_rejected(&reason);
-            let _ = self.health.observe(true);
-            return (verdict, None);
-        }
-        let _ = self.health.observe(false);
-        match self.ingest_window_unchecked(window) {
-            Ok(alarm) => (verdict, alarm),
-            // The pre-checks cover every comparison error the detector
-            // can currently raise; anything new still degrades cleanly.
-            Err(_) => {
-                let reason = TraceDefect::EvaluationFailed;
-                self.record_window_rejected(&reason);
-                (TraceVerdict::Rejected { reason }, None)
-            }
-        }
+        let outcome = self.pipeline.ingest_window(window);
+        let alarm = self.settle_window(&outcome);
+        (outcome.verdict, alarm)
     }
 
     /// Ingests a continuous monitoring window for spectral inspection;
@@ -629,42 +491,11 @@ impl TrustMonitor {
     ///
     /// Forwarded spectral-comparison errors — only without a sanitizer.
     pub fn ingest_window(&mut self, window: &VoltageTrace) -> Result<Option<Alarm>, TrustError> {
-        if self.sanitizer.is_some() {
+        if self.pipeline.sanitizer().is_some() {
             return Ok(self.ingest_window_checked(window).1);
         }
-        self.ingest_window_unchecked(window)
-    }
-
-    /// The raw spectral-comparison path (no sanitization).
-    fn ingest_window_unchecked(
-        &mut self,
-        window: &VoltageTrace,
-    ) -> Result<Option<Alarm>, TrustError> {
-        let _span = telemetry::span("ingest_window");
-        let Some(det) = &self.spectral else {
-            return Ok(None);
-        };
-        let anomalies = det.compare(window)?;
-        let idx = self.windows_seen;
-        self.windows_seen += 1;
-        telemetry::counter("monitor.windows", 1);
-        for a in &anomalies {
-            self.recent_spots.push(SpotSample {
-                window_index: idx,
-                frequency_hz: a.frequency_hz,
-                suspect_magnitude: a.suspect_magnitude,
-            });
-        }
-        if let Some(&top) = anomalies.first() {
-            let alarm = Alarm::Spectral {
-                anomaly: top,
-                spot_count: anomalies.len(),
-                correlation_id: telemetry::next_correlation_id(),
-            };
-            Ok(Some(self.record_alarm(alarm)))
-        } else {
-            Ok(None)
-        }
+        let outcome = self.pipeline.try_ingest_window(window)?;
+        Ok(self.settle_window(&outcome))
     }
 
     /// All alarms raised so far, in order.
@@ -681,53 +512,54 @@ impl TrustMonitor {
     /// Number of per-encryption traces scored (sanitizer-rejected traces
     /// are excluded — see [`Self::traces_rejected`]).
     pub fn traces_seen(&self) -> u64 {
-        self.traces_seen
+        self.pipeline.traces_seen()
     }
 
     /// Number of continuous windows ingested through the spectral path.
     pub fn windows_seen(&self) -> u64 {
-        self.windows_seen
+        self.pipeline.windows_seen()
     }
 
     /// Number of traces the sanitizer rejected (excluded from scoring
     /// and from [`Self::alarm_rate`]).
     pub fn traces_rejected(&self) -> u64 {
-        self.traces_rejected
+        self.pipeline.traces_rejected()
     }
 
     /// Number of traces scored despite mild defects.
     pub fn traces_degraded(&self) -> u64 {
-        self.traces_degraded
+        self.pipeline.traces_degraded()
     }
 
     /// Number of continuous windows the sanitizer rejected.
     pub fn windows_rejected(&self) -> u64 {
-        self.windows_rejected
+        self.pipeline.windows_rejected()
     }
 
     /// Total traces offered to the monitor, scored or rejected.
     pub fn traces_ingested(&self) -> u64 {
-        self.traces_seen + self.traces_rejected
+        self.pipeline.traces_ingested()
     }
 
     /// Current sensor-health judgement.
     pub fn health(&self) -> SensorHealth {
-        self.health.state()
+        self.pipeline.health()
     }
 
     /// The health tracker (rejection-rate EWMA, transition log).
     pub fn health_tracker(&self) -> &HealthTracker {
-        &self.health
+        self.pipeline.health_tracker()
     }
 
     /// The installed sanitizer, if any.
     pub fn sanitizer(&self) -> Option<&TraceSanitizer> {
-        self.sanitizer.as_ref()
+        self.pipeline.sanitizer()
     }
 
     /// Fraction of ingested traces that raised a time-domain alarm.
     pub fn alarm_rate(&self) -> f64 {
-        if self.traces_seen == 0 {
+        let seen = self.pipeline.traces_seen();
+        if seen == 0 {
             return 0.0;
         }
         let td = self
@@ -735,7 +567,7 @@ impl TrustMonitor {
             .iter()
             .filter(|a| matches!(a, Alarm::TimeDomain { .. }))
             .count();
-        td as f64 / self.traces_seen as f64
+        td as f64 / seen as f64
     }
 
     /// Clears the alarm log and its forensic bundles (the paper's
@@ -743,11 +575,18 @@ impl TrustMonitor {
     pub fn acknowledge_alarms(&mut self) {
         self.alarms.clear();
         self.forensics.clear();
+        self.pipeline.acknowledge_alarms();
     }
 
     /// The fitted fingerprint.
     pub fn fingerprint(&self) -> &GoldenFingerprint {
         &self.fingerprint
+    }
+
+    /// The underlying detection pipeline (detector set, fusion policy,
+    /// generic outcome counters).
+    pub fn pipeline(&self) -> &DetectionPipeline {
+        &self.pipeline
     }
 }
 
@@ -756,6 +595,7 @@ mod tests {
     use super::*;
     use crate::acquisition::TraceSet;
     use crate::fingerprint::FingerprintConfig;
+    use crate::sanitize::TraceDefect;
     use crate::spectral::SpectralConfig;
 
     fn synthetic_set(n: usize, amplitude: f64, seed: u64) -> TraceSet {
@@ -1071,5 +911,13 @@ mod tests {
             correlation_id: 10,
         };
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn wrapper_exposes_its_pipeline() {
+        let m = monitor();
+        assert_eq!(m.pipeline().detector_names(), vec!["euclidean"]);
+        assert_eq!(m.pipeline().fusion(), &FusionPolicy::Or);
+        assert!(m.pipeline().is_fitted());
     }
 }

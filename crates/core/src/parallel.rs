@@ -87,6 +87,22 @@ impl ParallelConfig {
     {
         self.try_map_chunks(n_items, |range| range.map(&f).collect())
     }
+
+    /// Maps every index of `0..n_items` with an infallible `f` across the
+    /// pool, preserving index order in the output. The per-trace stages
+    /// of the detection pipeline (featurize, score) report their failures
+    /// as values, so this is their natural fan-out primitive.
+    pub fn map<R, F>(&self, n_items: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let wrapped: Result<Vec<R>, std::convert::Infallible> = self.try_map(n_items, |i| Ok(f(i)));
+        match wrapped {
+            Ok(v) => v,
+            Err(never) => match never {},
+        }
+    }
 }
 
 #[cfg(test)]
@@ -112,6 +128,13 @@ mod tests {
         let cfg = ParallelConfig::default().with_workers(4).with_chunk_size(3);
         let got: Vec<usize> = cfg.try_map::<_, (), _>(20, |i| Ok(i * 2)).unwrap();
         assert_eq!(got, (0..20).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn infallible_map_matches_serial() {
+        let cfg = ParallelConfig::default().with_workers(4).with_chunk_size(2);
+        let got = cfg.map(15, |i| i * i);
+        assert_eq!(got, (0..15).map(|i| i * i).collect::<Vec<_>>());
     }
 
     #[test]

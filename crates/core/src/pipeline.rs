@@ -1,0 +1,1081 @@
+//! The staged detection pipeline: sanitize → featurize → detect → fuse
+//! → health/alarm.
+//!
+//! [`DetectionPipeline`] owns an ordered set of pluggable
+//! [`Detector`]s, a [`FusionPolicy`], an optional [`TraceSanitizer`],
+//! and the sensor-health state machine, and runs every observation
+//! through the same five stages:
+//!
+//! 1. **sanitize** — structural screening before anything is computed;
+//!    rejected observations feed the health tracker and never alarm;
+//! 2. **featurize** — the [`FeatureFrame`] is filled once per
+//!    observation with the union of the registered detectors' feature
+//!    plans (RMS features, energy ratio, projection, Welch spectrum);
+//! 3. **detect** — every detector of the observation's domain scores
+//!    the shared frame (pure, fanned across the worker pool in batch
+//!    paths);
+//! 4. **fuse** — the per-detector votes reduce to one alarm decision
+//!    per the fusion policy, and stateful detectors absorb the
+//!    observation serially;
+//! 5. **health/alarm** — counters, telemetry, the alarm log, and the
+//!    health tracker are updated in observation order.
+//!
+//! Batch entry points fan stages 2–3 across a [`ParallelConfig`] worker
+//! pool with chunk layouts independent of the worker count, so results
+//! are bit-identical for every worker count. The legacy
+//! [`TrustMonitor`](crate::monitor::TrustMonitor) is a thin
+//! compatibility wrapper over a pipeline with an Euclidean detector, an
+//! optional spectral detector, and [`FusionPolicy::Or`].
+
+use crate::detector::{Detector, DetectorDomain, DetectorVerdict, GoldenContext, Score, WelchSpec};
+use crate::features::FeatureFrame;
+use crate::fingerprint::GoldenFingerprint;
+use crate::fusion::FusionPolicy;
+use crate::health::{HealthConfig, HealthTracker, SensorHealth};
+use crate::parallel::ParallelConfig;
+use crate::sanitize::{SanitizerConfig, TraceDefect, TraceSanitizer, TraceVerdict};
+use crate::TrustError;
+use emtrust_dsp::spectrum::Spectrum;
+use emtrust_dsp::DspError;
+use emtrust_em::emf::VoltageTrace;
+use emtrust_telemetry::{self as telemetry, FieldValue};
+
+/// A fused alarm raised by the pipeline.
+///
+/// Like the legacy [`Alarm`](crate::monitor::Alarm), the
+/// `correlation_id` is forensic metadata: [`PartialEq`] ignores it, so
+/// replayed runs compare equal alarm for alarm.
+#[derive(Debug, Clone)]
+pub struct PipelineAlarm {
+    /// The domain the fused decision belongs to.
+    pub domain: DetectorDomain,
+    /// Ingest index of the offending observation (trace or window
+    /// counter, per domain).
+    pub index: u64,
+    /// Every detector's vote behind the fused decision, in registration
+    /// order.
+    pub verdicts: Vec<DetectorVerdict>,
+    /// Process-unique forensic correlation id.
+    pub correlation_id: u64,
+}
+
+impl PartialEq for PipelineAlarm {
+    /// Detection-level equality: ignores the per-run `correlation_id`.
+    fn eq(&self, other: &Self) -> bool {
+        self.domain == other.domain && self.index == other.index && self.verdicts == other.verdicts
+    }
+}
+
+/// The pipeline's outcome for one per-encryption trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceOutcome {
+    /// The sanitizer's classification ([`TraceVerdict::Clean`] when no
+    /// sanitizer is installed).
+    pub verdict: TraceVerdict,
+    /// Ingest index, when the trace was scored (`None` for rejected
+    /// traces).
+    pub index: Option<u64>,
+    /// Per-detector votes, in registration order (empty when rejected).
+    pub votes: Vec<DetectorVerdict>,
+    /// The fused alarm, if one fired.
+    pub alarm: Option<PipelineAlarm>,
+    /// Sensor health after absorbing this trace's outcome.
+    pub health: SensorHealth,
+}
+
+/// The pipeline's outcome for one continuous monitoring window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowOutcome {
+    /// The sanitizer's classification of the window.
+    pub verdict: TraceVerdict,
+    /// Window ingest index, when the window was scored.
+    pub index: Option<u64>,
+    /// Per-detector votes, in registration order (empty when rejected
+    /// or when no window detector is registered).
+    pub votes: Vec<DetectorVerdict>,
+    /// The fused alarm, if one fired.
+    pub alarm: Option<PipelineAlarm>,
+    /// Sensor health after absorbing this window's outcome.
+    pub health: SensorHealth,
+}
+
+/// The pipeline's outcome for a batch of per-encryption traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOutcome {
+    /// One outcome per input trace, in trace order.
+    pub outcomes: Vec<TraceOutcome>,
+    /// The fused alarms the batch raised, in trace order.
+    pub alarms: Vec<PipelineAlarm>,
+}
+
+impl BatchOutcome {
+    /// Number of traces the sanitizer passed as clean.
+    pub fn clean(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.verdict.is_clean())
+            .count()
+    }
+
+    /// Number of traces scored despite mild defects.
+    pub fn degraded(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.verdict.is_degraded())
+            .count()
+    }
+
+    /// Number of traces excluded from scoring.
+    pub fn rejected(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.verdict.is_rejected())
+            .count()
+    }
+}
+
+/// Builder for [`DetectionPipeline`].
+#[derive(Debug, Default)]
+pub struct PipelineBuilder {
+    detectors: Vec<Box<dyn Detector>>,
+    fusion: FusionPolicy,
+    sanitizer: Option<TraceSanitizer>,
+    health: Option<HealthConfig>,
+    parallel: Option<ParallelConfig>,
+}
+
+impl PipelineBuilder {
+    /// Registers a detector. Registration order is vote order (fusion
+    /// weights index it) and featurizer-provider precedence.
+    pub fn detector(mut self, detector: Box<dyn Detector>) -> Self {
+        self.detectors.push(detector);
+        self
+    }
+
+    /// Sets the fusion policy (default: [`FusionPolicy::Or`]).
+    pub fn fusion(mut self, fusion: FusionPolicy) -> Self {
+        self.fusion = fusion;
+        self
+    }
+
+    /// Installs a trace sanitizer. A sanitizer without an expected
+    /// length inherits it from the first registered projection
+    /// provider, so mis-sized traces are rejected before scoring.
+    pub fn sanitizer(mut self, sanitizer: TraceSanitizer) -> Self {
+        self.sanitizer = Some(sanitizer);
+        self
+    }
+
+    /// Replaces the sensor-health configuration.
+    pub fn health_config(mut self, config: HealthConfig) -> Self {
+        self.health = Some(config);
+        self
+    }
+
+    /// Overrides the worker-pool configuration for batch paths. The
+    /// default is the first projection provider's parallel policy
+    /// (falling back to [`ParallelConfig::default`]), which is what the
+    /// legacy monitor used.
+    pub fn parallel(mut self, parallel: ParallelConfig) -> Self {
+        self.parallel = Some(parallel);
+        self
+    }
+
+    /// Assembles the pipeline.
+    pub fn build(self) -> DetectionPipeline {
+        let parallel = self.parallel.unwrap_or_else(|| {
+            self.detectors
+                .iter()
+                .find_map(|d| d.projector().map(|fp| fp.config().parallel))
+                .unwrap_or_default()
+        });
+        let mut pipeline = DetectionPipeline {
+            detectors: self.detectors,
+            fusion: self.fusion,
+            sanitizer: None,
+            health: self
+                .health
+                .map_or_else(HealthTracker::default, HealthTracker::new),
+            parallel,
+            traces_seen: 0,
+            traces_rejected: 0,
+            traces_degraded: 0,
+            windows_seen: 0,
+            windows_rejected: 0,
+            alarms: Vec::new(),
+        };
+        if let Some(s) = self.sanitizer {
+            pipeline.install_sanitizer(s);
+        }
+        pipeline
+    }
+}
+
+/// One trace after the pure (parallel-safe) stages: screened,
+/// featurized, and scored. [`DetectionPipeline::absorb_trace`] turns it
+/// into a [`TraceOutcome`] serially.
+#[derive(Debug)]
+struct ScreenedTrace<'a> {
+    verdict: TraceVerdict,
+    /// `None` ⇔ the sanitizer rejected the trace before featurization;
+    /// `Some(Err)` ⇔ featurization or scoring failed.
+    scored: Option<Result<(FeatureFrame<'a>, Vec<Score>), TrustError>>,
+}
+
+/// The staged detection pipeline (see module docs).
+#[derive(Debug)]
+pub struct DetectionPipeline {
+    detectors: Vec<Box<dyn Detector>>,
+    fusion: FusionPolicy,
+    sanitizer: Option<TraceSanitizer>,
+    health: HealthTracker,
+    parallel: ParallelConfig,
+    traces_seen: u64,
+    traces_rejected: u64,
+    traces_degraded: u64,
+    windows_seen: u64,
+    windows_rejected: u64,
+    alarms: Vec<PipelineAlarm>,
+}
+
+impl DetectionPipeline {
+    /// Starts building a pipeline.
+    pub fn builder() -> PipelineBuilder {
+        PipelineBuilder::default()
+    }
+
+    /// Fits every registered detector on the golden context, in
+    /// registration order.
+    ///
+    /// # Errors
+    ///
+    /// The first detector's fitting error (later detectors are left
+    /// unfitted).
+    pub fn fit(&mut self, ctx: &GoldenContext<'_>) -> Result<(), TrustError> {
+        let _span = telemetry::span("pipeline_fit");
+        for d in &mut self.detectors {
+            d.fit(ctx)?;
+        }
+        Ok(())
+    }
+
+    /// Whether every registered detector is ready to score.
+    pub fn is_fitted(&self) -> bool {
+        self.detectors.iter().all(|d| d.is_fitted())
+    }
+
+    /// The registered detectors, in registration (vote) order.
+    pub fn detectors(&self) -> &[Box<dyn Detector>] {
+        &self.detectors
+    }
+
+    /// Names of the registered detectors, in registration order.
+    pub fn detector_names(&self) -> Vec<&'static str> {
+        self.detectors.iter().map(|d| d.name()).collect()
+    }
+
+    /// The fusion policy in effect.
+    pub fn fusion(&self) -> &FusionPolicy {
+        &self.fusion
+    }
+
+    /// The shared projection provider: the first registered detector
+    /// lending a fitted fingerprint.
+    pub fn projector(&self) -> Option<&GoldenFingerprint> {
+        self.detectors.iter().find_map(|d| d.projector())
+    }
+
+    /// The shared Welch settings: the first registered detector lending
+    /// a spec.
+    fn welch_spec(&self) -> Option<WelchSpec> {
+        self.detectors.iter().find_map(|d| d.welch_spec())
+    }
+
+    /// Installs a trace sanitizer (intended at construction time). A
+    /// sanitizer without an expected length inherits it from the
+    /// projection provider.
+    pub fn install_sanitizer(&mut self, sanitizer: TraceSanitizer) {
+        let sanitizer = match (sanitizer.config().expected_len, self.projector()) {
+            (None, Some(fp)) => sanitizer.with_expected_len(fp.expected_trace_len()),
+            _ => sanitizer,
+        };
+        self.sanitizer = Some(sanitizer);
+    }
+
+    /// Replaces the sensor-health configuration (resets the tracker;
+    /// intended at construction time).
+    pub fn set_health_config(&mut self, config: HealthConfig) {
+        self.health = HealthTracker::new(config);
+    }
+
+    // ---------------------------------------------------------------
+    // Pure stages (parallel-safe).
+    // ---------------------------------------------------------------
+
+    /// Whether any per-encryption detector needs the projection slot.
+    fn trace_plan_needs_projection(&self) -> bool {
+        self.detectors
+            .iter()
+            .filter(|d| d.domain() == DetectorDomain::PerEncryption)
+            .any(|d| d.feature_plan().needs_projection)
+    }
+
+    /// Featurizes and scores one trace strictly: any failure is
+    /// returned, nothing is absorbed.
+    fn featurize_and_score<'a>(
+        &self,
+        samples: &'a [f64],
+        rms: Option<Result<Vec<f64>, TrustError>>,
+        ratio: Option<f64>,
+    ) -> Result<(FeatureFrame<'a>, Vec<Score>), TrustError> {
+        let mut frame = FeatureFrame::new(samples);
+        if let Some(r) = ratio {
+            frame.set_energy_ratio(r);
+        }
+        if self.trace_plan_needs_projection() {
+            let fp = self.projector().ok_or(TrustError::InvalidParameter {
+                what: "no projection provider registered for the feature plan",
+            })?;
+            let rms = match rms {
+                Some(r) => r?,
+                None => fp.features(samples)?,
+            };
+            let projection = fp.project_features(&rms)?;
+            frame.set_rms(rms);
+            frame.set_projection(projection);
+        }
+        let scores = self
+            .detectors
+            .iter()
+            .filter(|d| d.domain() == DetectorDomain::PerEncryption)
+            .map(|d| d.score(&frame))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok((frame, scores))
+    }
+
+    /// The pure per-trace pass of the sanitized paths: RMS features →
+    /// energy screen → projection → scores, with each transform
+    /// computed exactly once. Never fails — failures come back inside
+    /// the [`ScreenedTrace`].
+    fn screen_and_score<'a>(&self, samples: &'a [f64]) -> ScreenedTrace<'a> {
+        // Stage A: RMS features, shared by the energy screen and the
+        // projection. Errors are deferred: the sanitizer may reject the
+        // trace for a more specific structural reason first.
+        let fp = self.projector();
+        let rms = fp.map(|f| f.features(samples));
+        let ratio = match (&rms, fp) {
+            (Some(Ok(feats)), Some(f)) => Some(f.energy_ratio_of_features(feats)),
+            _ => None,
+        };
+        let verdict = match &self.sanitizer {
+            Some(s) => s.inspect_scaled(samples, ratio),
+            None => TraceVerdict::Clean,
+        };
+        if verdict.is_rejected() {
+            return ScreenedTrace {
+                verdict,
+                scored: None,
+            };
+        }
+        // Stage B: projection and scoring on the shared frame.
+        let scored = self.featurize_and_score(samples, rms, ratio);
+        ScreenedTrace {
+            verdict,
+            scored: Some(scored),
+        }
+    }
+
+    /// Maps an evaluation failure to the defect the legacy monitor
+    /// attributed it to.
+    fn evaluation_defect(e: &TrustError) -> TraceDefect {
+        match e {
+            TrustError::Dsp(DspError::LengthMismatch { expected, actual }) => {
+                TraceDefect::WrongLength {
+                    expected: *expected,
+                    actual: *actual,
+                }
+            }
+            _ => TraceDefect::EvaluationFailed,
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Serial stages.
+    // ---------------------------------------------------------------
+
+    /// Books one rejected trace.
+    fn record_rejected(&mut self, reason: &TraceDefect) {
+        self.traces_rejected += 1;
+        telemetry::counter("monitor.trace_rejects", 1);
+        telemetry::event(
+            "trace_rejected",
+            &[("reason", FieldValue::from(reason.label()))],
+        );
+    }
+
+    /// Books one rejected continuous window.
+    fn record_window_rejected(&mut self, reason: &TraceDefect) {
+        self.windows_rejected += 1;
+        telemetry::counter("monitor.window_rejects", 1);
+        telemetry::event(
+            "window_rejected",
+            &[("reason", FieldValue::from(reason.label()))],
+        );
+    }
+
+    /// Collects the per-detector votes of one domain for a score list.
+    fn votes_for(&self, domain: DetectorDomain, scores: &[Score]) -> Vec<DetectorVerdict> {
+        self.detectors
+            .iter()
+            .filter(|d| d.domain() == domain)
+            .zip(scores)
+            .map(|(d, s)| DetectorVerdict {
+                detector: d.name(),
+                suspected: d.verdict(s),
+                score: s.clone(),
+            })
+            .collect()
+    }
+
+    /// Runs the serial absorb hooks of one domain's detectors.
+    fn absorb_hooks(&mut self, domain: DetectorDomain, frame: &FeatureFrame<'_>, scores: &[Score]) {
+        let mut scores = scores.iter();
+        for d in self.detectors.iter_mut().filter(|d| d.domain() == domain) {
+            if let Some(s) = scores.next() {
+                d.absorb(frame, s);
+            }
+        }
+    }
+
+    /// Fuses one domain's votes; on alarm, draws the correlation id,
+    /// emits telemetry, and appends to the alarm log.
+    fn fuse(
+        &mut self,
+        domain: DetectorDomain,
+        index: u64,
+        votes: &[DetectorVerdict],
+    ) -> Option<PipelineAlarm> {
+        let flags: Vec<bool> = votes.iter().map(|v| v.suspected).collect();
+        if !self.fusion.decide(&flags) {
+            return None;
+        }
+        let alarm = PipelineAlarm {
+            domain,
+            index,
+            verdicts: votes.to_vec(),
+            correlation_id: telemetry::next_correlation_id(),
+        };
+        telemetry::counter("monitor.alarms", 1);
+        self.emit_alarm_event(&alarm);
+        self.alarms.push(alarm.clone());
+        Some(alarm)
+    }
+
+    /// Emits the alarm telemetry event, shaped like the legacy
+    /// monitor's events for legacy-equivalent configurations.
+    fn emit_alarm_event(&self, alarm: &PipelineAlarm) {
+        let primary = alarm
+            .verdicts
+            .iter()
+            .find(|v| v.suspected)
+            .or_else(|| alarm.verdicts.first());
+        let Some(primary) = primary else {
+            return;
+        };
+        match alarm.domain {
+            DetectorDomain::PerEncryption => telemetry::event(
+                "alarm",
+                &[
+                    ("kind", FieldValue::from("time_domain")),
+                    ("correlation_id", FieldValue::U64(alarm.correlation_id)),
+                    ("trace_index", FieldValue::U64(alarm.index)),
+                    ("distance", FieldValue::F64(primary.score.statistic)),
+                    ("threshold", FieldValue::F64(primary.score.threshold)),
+                ],
+            ),
+            DetectorDomain::ContinuousWindow => {
+                if let crate::detector::ScoreDetail::Spectral { anomalies } = &primary.score.detail
+                {
+                    if let Some(top) = anomalies.first() {
+                        telemetry::event(
+                            "alarm",
+                            &[
+                                ("kind", FieldValue::from("spectral")),
+                                ("correlation_id", FieldValue::U64(alarm.correlation_id)),
+                                ("frequency_hz", FieldValue::F64(top.frequency_hz)),
+                                ("spot_count", FieldValue::U64(anomalies.len() as u64)),
+                            ],
+                        );
+                        return;
+                    }
+                }
+                telemetry::event(
+                    "alarm",
+                    &[
+                        ("kind", FieldValue::from(primary.detector)),
+                        ("correlation_id", FieldValue::U64(alarm.correlation_id)),
+                        ("window_index", FieldValue::U64(alarm.index)),
+                        ("statistic", FieldValue::F64(primary.score.statistic)),
+                        ("threshold", FieldValue::F64(primary.score.threshold)),
+                    ],
+                )
+            }
+        }
+    }
+
+    /// Counts, votes, fuses, and absorbs one scored trace. Shared by
+    /// the checked and strict paths; does not touch the health tracker.
+    fn settle_scored(
+        &mut self,
+        frame: &FeatureFrame<'_>,
+        scores: Vec<Score>,
+    ) -> (u64, Vec<DetectorVerdict>, Option<PipelineAlarm>) {
+        let index = self.traces_seen;
+        self.traces_seen += 1;
+        telemetry::counter("monitor.traces", 1);
+        if let Some(s) = scores.first() {
+            telemetry::observe("monitor.distance", s.statistic);
+        }
+        let votes = self.votes_for(DetectorDomain::PerEncryption, &scores);
+        self.absorb_hooks(DetectorDomain::PerEncryption, frame, &scores);
+        let alarm = self.fuse(DetectorDomain::PerEncryption, index, &votes);
+        (index, votes, alarm)
+    }
+
+    /// Turns one screened trace into its outcome: counters, fusion,
+    /// alarm bookkeeping, health — the serial tail of the sanitized
+    /// paths.
+    fn absorb_trace(&mut self, screened: ScreenedTrace<'_>) -> TraceOutcome {
+        let (verdict, index, votes, alarm) = match (screened.verdict, screened.scored) {
+            (TraceVerdict::Rejected { reason }, _) => {
+                self.record_rejected(&reason);
+                (TraceVerdict::Rejected { reason }, None, Vec::new(), None)
+            }
+            (v, Some(Ok((frame, scores)))) => {
+                if v.is_degraded() {
+                    self.traces_degraded += 1;
+                    telemetry::counter("monitor.trace_degraded", 1);
+                }
+                let (index, votes, alarm) = self.settle_scored(&frame, scores);
+                (v, Some(index), votes, alarm)
+            }
+            (_, Some(Err(e))) => {
+                let reason = Self::evaluation_defect(&e);
+                self.record_rejected(&reason);
+                (TraceVerdict::Rejected { reason }, None, Vec::new(), None)
+            }
+            // A non-rejected trace with no scoring outcome cannot be
+            // produced by the entry points; treat it as unscoreable.
+            (_, None) => {
+                let reason = TraceDefect::EvaluationFailed;
+                self.record_rejected(&reason);
+                (TraceVerdict::Rejected { reason }, None, Vec::new(), None)
+            }
+        };
+        let health = self.health.observe(verdict.is_rejected());
+        TraceOutcome {
+            verdict,
+            index,
+            votes,
+            alarm,
+            health,
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Per-encryption entry points.
+    // ---------------------------------------------------------------
+
+    /// Ingests one trace through the sanitized path: screen, featurize
+    /// once, score every per-encryption detector, fuse, update health.
+    /// Never fails — traces that cannot be scored come back
+    /// [`TraceVerdict::Rejected`].
+    pub fn ingest_trace(&mut self, samples: &[f64]) -> TraceOutcome {
+        let _span = telemetry::span("ingest_checked");
+        let screened = self.screen_and_score(samples);
+        self.absorb_trace(screened)
+    }
+
+    /// Ingests one trace strictly: no sanitizer screening, and any
+    /// featurization or scoring failure is returned with the pipeline
+    /// left unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Forwarded featurization/scoring errors (wrong trace length,
+    /// unfitted detector).
+    pub fn try_ingest_trace(&mut self, samples: &[f64]) -> Result<TraceOutcome, TrustError> {
+        let (frame, scores) = self.featurize_and_score(samples, None, None)?;
+        let (index, votes, alarm) = self.settle_scored(&frame, scores);
+        Ok(TraceOutcome {
+            verdict: TraceVerdict::Clean,
+            index: Some(index),
+            votes,
+            alarm,
+            health: self.health.state(),
+        })
+    }
+
+    /// Ingests a batch through the sanitized path. The pure stages
+    /// (screen, featurize, score) fan across the worker pool with a
+    /// chunk layout independent of the worker count; outcomes are
+    /// absorbed serially in trace order, so the result is exactly what
+    /// [`Self::ingest_trace`] on each trace in order would produce.
+    pub fn ingest_batch(&mut self, traces: &[Vec<f64>]) -> BatchOutcome {
+        let _span = telemetry::span("ingest_batch_report");
+        let screened: Vec<ScreenedTrace<'_>> = self
+            .parallel
+            .map(traces.len(), |i| self.screen_and_score(&traces[i]));
+        let mut outcomes = Vec::with_capacity(traces.len());
+        let mut alarms = Vec::new();
+        for s in screened {
+            let outcome = self.absorb_trace(s);
+            if let Some(a) = &outcome.alarm {
+                alarms.push(a.clone());
+            }
+            outcomes.push(outcome);
+        }
+        BatchOutcome { outcomes, alarms }
+    }
+
+    /// Ingests a batch strictly: featurization and scoring fan across
+    /// the worker pool, and any failure aborts the whole batch with the
+    /// pipeline left unchanged (the lowest-indexed failing chunk's
+    /// error is returned, like every parallel path in the workspace).
+    ///
+    /// # Errors
+    ///
+    /// Forwarded featurization/scoring errors.
+    pub fn try_ingest_batch(&mut self, traces: &[Vec<f64>]) -> Result<BatchOutcome, TrustError> {
+        let _span = telemetry::span("ingest_batch");
+        let scored: Vec<(FeatureFrame<'_>, Vec<Score>)> =
+            self.parallel.try_map(traces.len(), |i| {
+                self.featurize_and_score(&traces[i], None, None)
+            })?;
+        let mut outcomes = Vec::with_capacity(traces.len());
+        let mut alarms = Vec::new();
+        for (frame, scores) in scored {
+            let (index, votes, alarm) = self.settle_scored(&frame, scores);
+            if let Some(a) = &alarm {
+                alarms.push(a.clone());
+            }
+            outcomes.push(TraceOutcome {
+                verdict: TraceVerdict::Clean,
+                index: Some(index),
+                votes,
+                alarm,
+                health: self.health.state(),
+            });
+        }
+        Ok(BatchOutcome { outcomes, alarms })
+    }
+
+    // ---------------------------------------------------------------
+    // Continuous-window entry points.
+    // ---------------------------------------------------------------
+
+    /// Screens a continuous window: structural checks without the
+    /// per-encryption length gate, plus the sample-rate gate when a
+    /// reference-based spectral detector pins the rate.
+    fn screen_window(&self, window: &VoltageTrace) -> TraceVerdict {
+        let Some(s) = &self.sanitizer else {
+            return TraceVerdict::Clean;
+        };
+        let windowed = TraceSanitizer::new(SanitizerConfig {
+            expected_len: None,
+            ..s.config()
+        });
+        let mut v = windowed.inspect(window.samples());
+        if !v.is_rejected() {
+            if let Some(expected_hz) = self.welch_spec().and_then(|w| w.expected_rate_hz) {
+                let actual_hz = window.sample_rate_hz();
+                if (actual_hz - expected_hz).abs() > 1e-6 * expected_hz {
+                    v = TraceVerdict::Rejected {
+                        reason: TraceDefect::SampleRateMismatch {
+                            expected_hz,
+                            actual_hz,
+                        },
+                    };
+                }
+            }
+        }
+        v
+    }
+
+    /// The raw window pass: featurize the spectrum once, score every
+    /// window detector. Returns `Ok(None)` when no window detector is
+    /// registered (the window is not counted).
+    fn window_pass(&mut self, window: &VoltageTrace) -> Result<Option<WindowOutcome>, TrustError> {
+        let _span = telemetry::span("ingest_window");
+        if !self
+            .detectors
+            .iter()
+            .any(|d| d.domain() == DetectorDomain::ContinuousWindow)
+        {
+            return Ok(None);
+        }
+        let spec = self.welch_spec().ok_or(TrustError::InvalidParameter {
+            what: "no Welch-spec provider registered for the feature plan",
+        })?;
+        if let Some(expected_hz) = spec.expected_rate_hz {
+            if (window.sample_rate_hz() - expected_hz).abs() > 1e-6 * expected_hz {
+                return Err(TrustError::InvalidParameter {
+                    what: "suspect sample rate must match the golden trace",
+                });
+            }
+        }
+        let spectrum = Spectrum::welch(
+            window.samples(),
+            window.sample_rate_hz(),
+            spec.window,
+            spec.segments,
+        )?;
+        let mut frame = FeatureFrame::window(window.samples(), window.sample_rate_hz());
+        frame.set_spectrum(spectrum);
+        let scores = self
+            .detectors
+            .iter()
+            .filter(|d| d.domain() == DetectorDomain::ContinuousWindow)
+            .map(|d| d.score(&frame))
+            .collect::<Result<Vec<_>, _>>()?;
+        let index = self.windows_seen;
+        self.windows_seen += 1;
+        telemetry::counter("monitor.windows", 1);
+        let votes = self.votes_for(DetectorDomain::ContinuousWindow, &scores);
+        self.absorb_hooks(DetectorDomain::ContinuousWindow, &frame, &scores);
+        let alarm = self.fuse(DetectorDomain::ContinuousWindow, index, &votes);
+        Ok(Some(WindowOutcome {
+            verdict: TraceVerdict::Clean,
+            index: Some(index),
+            votes,
+            alarm,
+            health: self.health.state(),
+        }))
+    }
+
+    /// Ingests a continuous window through the sanitized path:
+    /// structural screening and the sample-rate gate, then the shared
+    /// spectral pass. Rejected windows skip scoring, feed the health
+    /// tracker, and never alarm. Never fails.
+    pub fn ingest_window(&mut self, window: &VoltageTrace) -> WindowOutcome {
+        let _span = telemetry::span("ingest_window_checked");
+        let verdict = self.screen_window(window);
+        if let TraceVerdict::Rejected { reason } = &verdict {
+            let reason = *reason;
+            self.record_window_rejected(&reason);
+            let health = self.health.observe(true);
+            return WindowOutcome {
+                verdict,
+                index: None,
+                votes: Vec::new(),
+                alarm: None,
+                health,
+            };
+        }
+        let health = self.health.observe(false);
+        match self.window_pass(window) {
+            Ok(Some(mut outcome)) => {
+                outcome.verdict = verdict;
+                outcome.health = health;
+                outcome
+            }
+            Ok(None) => WindowOutcome {
+                verdict,
+                index: None,
+                votes: Vec::new(),
+                alarm: None,
+                health,
+            },
+            // The pre-checks cover every scoring error the registered
+            // detectors can currently raise; anything new still
+            // degrades cleanly.
+            Err(_) => {
+                let reason = TraceDefect::EvaluationFailed;
+                self.record_window_rejected(&reason);
+                WindowOutcome {
+                    verdict: TraceVerdict::Rejected { reason },
+                    index: None,
+                    votes: Vec::new(),
+                    alarm: None,
+                    health,
+                }
+            }
+        }
+    }
+
+    /// Ingests a continuous window strictly: no screening, and any
+    /// featurization or scoring failure is returned with the pipeline
+    /// left unchanged. `Ok` with empty votes when no window detector is
+    /// registered.
+    ///
+    /// # Errors
+    ///
+    /// Forwarded featurization/scoring errors (sample-rate mismatch,
+    /// too-short window).
+    pub fn try_ingest_window(
+        &mut self,
+        window: &VoltageTrace,
+    ) -> Result<WindowOutcome, TrustError> {
+        match self.window_pass(window)? {
+            Some(outcome) => Ok(outcome),
+            None => Ok(WindowOutcome {
+                verdict: TraceVerdict::Clean,
+                index: None,
+                votes: Vec::new(),
+                alarm: None,
+                health: self.health.state(),
+            }),
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Accessors.
+    // ---------------------------------------------------------------
+
+    /// All fused alarms raised so far, in order.
+    pub fn alarms(&self) -> &[PipelineAlarm] {
+        &self.alarms
+    }
+
+    /// Clears the alarm log.
+    pub fn acknowledge_alarms(&mut self) {
+        self.alarms.clear();
+    }
+
+    /// Number of per-encryption traces scored (rejected traces are
+    /// excluded — see [`Self::traces_rejected`]).
+    pub fn traces_seen(&self) -> u64 {
+        self.traces_seen
+    }
+
+    /// Number of traces the sanitizer rejected.
+    pub fn traces_rejected(&self) -> u64 {
+        self.traces_rejected
+    }
+
+    /// Number of traces scored despite mild defects.
+    pub fn traces_degraded(&self) -> u64 {
+        self.traces_degraded
+    }
+
+    /// Number of continuous windows scored.
+    pub fn windows_seen(&self) -> u64 {
+        self.windows_seen
+    }
+
+    /// Number of continuous windows the sanitizer rejected.
+    pub fn windows_rejected(&self) -> u64 {
+        self.windows_rejected
+    }
+
+    /// Total traces offered to the pipeline, scored or rejected.
+    pub fn traces_ingested(&self) -> u64 {
+        self.traces_seen + self.traces_rejected
+    }
+
+    /// Fraction of scored traces whose fused per-encryption decision
+    /// alarmed.
+    pub fn alarm_rate(&self) -> f64 {
+        if self.traces_seen == 0 {
+            return 0.0;
+        }
+        let fused = self
+            .alarms
+            .iter()
+            .filter(|a| a.domain == DetectorDomain::PerEncryption)
+            .count();
+        fused as f64 / self.traces_seen as f64
+    }
+
+    /// Current sensor-health judgement.
+    pub fn health(&self) -> SensorHealth {
+        self.health.state()
+    }
+
+    /// The health tracker (rejection-rate EWMA, transition log).
+    pub fn health_tracker(&self) -> &HealthTracker {
+        &self.health
+    }
+
+    /// The installed sanitizer, if any.
+    pub fn sanitizer(&self) -> Option<&TraceSanitizer> {
+        self.sanitizer.as_ref()
+    }
+
+    /// The worker-pool configuration batch paths fan across.
+    pub fn parallel(&self) -> ParallelConfig {
+        self.parallel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acquisition::TraceSet;
+    use crate::detector::EuclideanDetector;
+    use crate::fingerprint::{FingerprintConfig, GoldenFingerprint};
+
+    fn synthetic_set(n: usize, amplitude: f64, seed: u64) -> TraceSet {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        TraceSet::new(
+            (0..n)
+                .map(|_| {
+                    (0..256)
+                        .map(|j| {
+                            amplitude * ((j as f64 / 9.0).sin() + 0.02 * rng.gen_range(-1.0..1.0))
+                        })
+                        .collect()
+                })
+                .collect(),
+            640e6,
+        )
+        .unwrap()
+    }
+
+    fn euclidean_pipeline() -> DetectionPipeline {
+        let golden = synthetic_set(32, 1.0, 1);
+        let fp = GoldenFingerprint::fit(&golden, FingerprintConfig::default()).unwrap();
+        DetectionPipeline::builder()
+            .detector(Box::new(EuclideanDetector::new(fp)))
+            .build()
+    }
+
+    #[test]
+    fn clean_traces_do_not_alarm() {
+        let mut p = euclidean_pipeline();
+        for t in synthetic_set(8, 1.0, 2).traces() {
+            let o = p.try_ingest_trace(t).unwrap();
+            assert!(o.alarm.is_none());
+            assert_eq!(o.votes.len(), 1);
+            assert!(!o.votes[0].suspected);
+        }
+        assert_eq!(p.traces_seen(), 8);
+        assert_eq!(p.alarm_rate(), 0.0);
+    }
+
+    #[test]
+    fn anomalous_traces_raise_fused_alarms() {
+        let mut p = euclidean_pipeline();
+        for t in synthetic_set(4, 1.4, 3).traces() {
+            let o = p.try_ingest_trace(t).unwrap();
+            let alarm = o.alarm.expect("anomaly must alarm");
+            assert_eq!(alarm.domain, DetectorDomain::PerEncryption);
+            assert_eq!(alarm.verdicts.len(), 1);
+            assert!(alarm.verdicts[0].suspected);
+        }
+        assert!((p.alarm_rate() - 1.0).abs() < 1e-12);
+        assert_eq!(p.alarms().len(), 4);
+        p.acknowledge_alarms();
+        assert!(p.alarms().is_empty());
+    }
+
+    #[test]
+    fn batch_matches_serial_ingest() {
+        let golden = synthetic_set(32, 1.0, 1);
+        let fp = GoldenFingerprint::fit(&golden, FingerprintConfig::default()).unwrap();
+        let traces: Vec<Vec<f64>> = synthetic_set(6, 1.0, 2)
+            .traces()
+            .iter()
+            .chain(synthetic_set(2, 1.4, 3).traces())
+            .cloned()
+            .collect();
+        let mut serial = DetectionPipeline::builder()
+            .detector(Box::new(EuclideanDetector::new(fp.clone())))
+            .build();
+        let serial_outcomes: Vec<TraceOutcome> = traces
+            .iter()
+            .map(|t| serial.try_ingest_trace(t).unwrap())
+            .collect();
+        let mut batched = DetectionPipeline::builder()
+            .detector(Box::new(EuclideanDetector::new(fp)))
+            .build();
+        let batch = batched.try_ingest_batch(&traces).unwrap();
+        assert_eq!(batch.outcomes, serial_outcomes);
+        assert_eq!(serial.alarms(), batched.alarms());
+    }
+
+    #[test]
+    fn sanitized_path_rejects_without_counting() {
+        let golden = synthetic_set(32, 1.0, 1);
+        let fp = GoldenFingerprint::fit(&golden, FingerprintConfig::default()).unwrap();
+        let mut p = DetectionPipeline::builder()
+            .detector(Box::new(EuclideanDetector::new(fp)))
+            .sanitizer(TraceSanitizer::default())
+            .build();
+        // The sanitizer inherited the fit length.
+        assert_eq!(p.sanitizer().unwrap().config().expected_len, Some(256));
+        let clean = synthetic_set(1, 1.0, 2).traces()[0].clone();
+        let o = p.ingest_trace(&clean);
+        assert!(o.verdict.is_clean());
+        assert!(o.alarm.is_none());
+        let mut bad = clean.clone();
+        bad[10] = f64::NAN;
+        let o = p.ingest_trace(&bad);
+        assert!(o.verdict.is_rejected());
+        assert!(o.votes.is_empty());
+        assert_eq!(o.index, None);
+        let o = p.ingest_trace(&clean[..100]);
+        assert!(matches!(
+            o.verdict,
+            TraceVerdict::Rejected {
+                reason: TraceDefect::WrongLength { .. }
+            }
+        ));
+        assert_eq!(p.traces_seen(), 1);
+        assert_eq!(p.traces_rejected(), 2);
+        assert_eq!(p.traces_ingested(), 3);
+    }
+
+    #[test]
+    fn strict_batch_leaves_state_unchanged_on_error() {
+        let mut p = euclidean_pipeline();
+        let mut traces = synthetic_set(3, 1.0, 2).traces().to_vec();
+        traces[1] = vec![1.0; 10]; // wrong length → projection error
+        assert!(p.try_ingest_batch(&traces).is_err());
+        assert_eq!(p.traces_seen(), 0);
+        assert!(p.alarms().is_empty());
+    }
+
+    #[test]
+    fn fusion_policy_gates_the_alarm() {
+        let golden = synthetic_set(32, 1.0, 1);
+        let fp = GoldenFingerprint::fit(&golden, FingerprintConfig::default()).unwrap();
+        let trojan = synthetic_set(1, 1.4, 3).traces()[0].clone();
+        // Or: the single suspected vote alarms.
+        let mut p = DetectionPipeline::builder()
+            .detector(Box::new(EuclideanDetector::new(fp.clone())))
+            .fusion(FusionPolicy::Or)
+            .build();
+        assert!(p.try_ingest_trace(&trojan).unwrap().alarm.is_some());
+        // Weighted with an unreachable threshold: the same vote cannot.
+        let mut p = DetectionPipeline::builder()
+            .detector(Box::new(EuclideanDetector::new(fp)))
+            .fusion(FusionPolicy::Weighted {
+                weights: vec![1.0],
+                threshold: 2.0,
+            })
+            .build();
+        let o = p.try_ingest_trace(&trojan).unwrap();
+        assert!(o.votes[0].suspected, "the detector still votes suspected");
+        assert!(o.alarm.is_none(), "fusion withholds the alarm");
+    }
+
+    #[test]
+    fn pipeline_fit_refits_every_detector() {
+        let golden = synthetic_set(32, 1.0, 1);
+        let mut p = DetectionPipeline::builder()
+            .detector(Box::new(EuclideanDetector::from_config(
+                FingerprintConfig::default(),
+            )))
+            .build();
+        assert!(!p.is_fitted());
+        assert!(p.try_ingest_trace(&golden.traces()[0]).is_err());
+        p.fit(&GoldenContext::new().with_traces(&golden)).unwrap();
+        assert!(p.is_fitted());
+        assert!(p.projector().is_some());
+        assert!(p
+            .try_ingest_trace(&synthetic_set(1, 1.0, 2).traces()[0])
+            .is_ok());
+    }
+}

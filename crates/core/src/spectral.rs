@@ -11,6 +11,7 @@
 
 use crate::TrustError;
 use emtrust_dsp::spectrum::Spectrum;
+use emtrust_dsp::stats::median;
 use emtrust_dsp::window::Window;
 use emtrust_em::emf::VoltageTrace;
 
@@ -105,6 +106,32 @@ impl SpectralDetector {
         self.noise_floor
     }
 
+    /// Estimates a suspect window's spectrum with the detector's own
+    /// Welch settings, after checking the sample rate against the golden
+    /// trace's. The pipeline's featurizer uses this so the spectrum is
+    /// computed once and shared by every spectral consumer.
+    ///
+    /// # Errors
+    ///
+    /// - [`TrustError::InvalidParameter`] if the suspect trace's sample
+    ///   rate differs from the golden trace's,
+    /// - forwarded spectrum-estimation errors.
+    pub fn suspect_spectrum(&self, suspect: &VoltageTrace) -> Result<Spectrum, TrustError> {
+        if (suspect.sample_rate_hz() - self.golden.sample_rate_hz()).abs()
+            > 1e-6 * self.golden.sample_rate_hz()
+        {
+            return Err(TrustError::InvalidParameter {
+                what: "suspect sample rate must match the golden trace",
+            });
+        }
+        Ok(Spectrum::welch(
+            suspect.samples(),
+            suspect.sample_rate_hz(),
+            self.config.window,
+            self.config.welch_segments,
+        )?)
+    }
+
     /// Compares a suspect trace's spectrum against the golden spectrum,
     /// returning every anomalous spot (strongest first).
     ///
@@ -114,19 +141,16 @@ impl SpectralDetector {
     ///   rate differs from the golden trace's,
     /// - forwarded spectrum-estimation errors.
     pub fn compare(&self, suspect: &VoltageTrace) -> Result<Vec<SpectralAnomaly>, TrustError> {
-        if (suspect.sample_rate_hz() - self.golden.sample_rate_hz()).abs()
-            > 1e-6 * self.golden.sample_rate_hz()
-        {
-            return Err(TrustError::InvalidParameter {
-                what: "suspect sample rate must match the golden trace",
-            });
-        }
-        let spec = Spectrum::welch(
-            suspect.samples(),
-            suspect.sample_rate_hz(),
-            self.config.window,
-            self.config.welch_segments,
-        )?;
+        let spec = self.suspect_spectrum(suspect)?;
+        Ok(self.compare_spectrum(&spec))
+    }
+
+    /// Compares an already-estimated suspect spectrum against the golden
+    /// spectrum, returning every anomalous spot (strongest first). This
+    /// is the pure decision stage of [`Self::compare`]; the caller is
+    /// responsible for estimating the spectrum at a matching sample rate
+    /// (see [`Self::suspect_spectrum`]).
+    pub fn compare_spectrum(&self, spec: &Spectrum) -> Vec<SpectralAnomaly> {
         let mut n = spec.magnitudes().len().min(self.golden.magnitudes().len());
         if let Some(band) = self.config.analysis_band_hz {
             let in_band = self
@@ -167,7 +191,7 @@ impl SpectralDetector {
                 .partial_cmp(&a.suspect_magnitude)
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
-        Ok(anomalies)
+        anomalies
     }
 
     /// Convenience verdict: does the suspect trace contain any anomaly?
@@ -178,15 +202,11 @@ impl SpectralDetector {
     pub fn trojan_suspected(&self, suspect: &VoltageTrace) -> Result<bool, TrustError> {
         Ok(!self.compare(suspect)?.is_empty())
     }
-}
 
-fn median(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
-        return 0.0;
+    /// The configuration used at fit time.
+    pub fn config(&self) -> SpectralConfig {
+        self.config
     }
-    let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    v[v.len() / 2]
 }
 
 #[cfg(test)]
@@ -296,6 +316,20 @@ mod tests {
             9,
         );
         assert!(!det.compare(&in_band).unwrap().is_empty());
+    }
+
+    #[test]
+    fn compare_splits_into_spectrum_and_decision_stages() {
+        let det = SpectralDetector::fit(&golden(), SpectralConfig::default()).unwrap();
+        let suspect = tone_trace(
+            &[(CLOCK, 1.0), (2.0 * CLOCK, 0.4), (25e6, 0.3)],
+            FS,
+            16384,
+            0.01,
+            3,
+        );
+        let spec = det.suspect_spectrum(&suspect).unwrap();
+        assert_eq!(det.compare_spectrum(&spec), det.compare(&suspect).unwrap());
     }
 
     #[test]

@@ -25,6 +25,23 @@ pub fn std_dev(xs: &[f64]) -> f64 {
     variance(xs).sqrt()
 }
 
+/// Median of `xs` (upper median for even lengths). Returns `0.0` for an
+/// empty slice. NaNs compare equal to everything and end up wherever the
+/// sort leaves them — callers screening for finiteness first get the
+/// exact order statistic.
+///
+/// The spectral detectors use this as a robust per-spectrum noise-floor
+/// estimate: a handful of strong clock harmonics cannot drag the median
+/// the way they would drag the mean.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    v[v.len() / 2]
+}
+
 /// Root-mean-square value of `xs`. Returns `0.0` for an empty slice.
 ///
 /// This is the quantity the paper feeds into Eq. 2:
@@ -160,6 +177,17 @@ mod tests {
     #[test]
     fn rms_of_constant_is_its_magnitude() {
         assert!((rms(&[-3.0; 10]) - 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn median_is_the_order_statistic() {
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[7.0]), 7.0);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        // Upper median for even lengths (index n/2 after sorting).
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 3.0);
+        // Robust to a dominating outlier.
+        assert_eq!(median(&[1.0, 1.0, 1.0, 1.0, 1e9]), 1.0);
     }
 
     #[test]

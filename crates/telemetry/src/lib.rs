@@ -1,3 +1,14 @@
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::todo,
+        clippy::unimplemented
+    )
+)]
+
 //! # emtrust-telemetry
 //!
 //! Structured spans, metrics and alarm-forensics primitives for the
@@ -73,14 +84,18 @@ thread_local! {
 
 /// Installs `recorder` as the process-global telemetry backend.
 pub fn install(recorder: Arc<dyn Recorder>) {
-    *GLOBAL.write().expect("telemetry global lock") = Some(recorder);
+    *GLOBAL
+        .write()
+        .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(recorder);
     ENABLED.store(true, Ordering::Release);
 }
 
 /// Removes the global recorder, restoring the zero-cost null default.
 pub fn uninstall() {
     ENABLED.store(false, Ordering::Release);
-    *GLOBAL.write().expect("telemetry global lock") = None;
+    *GLOBAL
+        .write()
+        .unwrap_or_else(|poisoned| poisoned.into_inner()) = None;
 }
 
 /// Whether a recorder is installed. One relaxed atomic load — the guard
@@ -94,7 +109,10 @@ fn current() -> Option<Arc<dyn Recorder>> {
     if !is_enabled() {
         return None;
     }
-    GLOBAL.read().expect("telemetry global lock").clone()
+    GLOBAL
+        .read()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+        .clone()
 }
 
 /// Runs `f` with the installed recorder, or not at all.

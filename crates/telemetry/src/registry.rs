@@ -230,15 +230,22 @@ impl InMemoryRecorder {
     }
 
     fn cell<V: Default>(map: &RwLock<BTreeMap<String, Arc<V>>>, name: &str) -> Arc<V> {
-        if let Some(c) = map.read().expect("registry lock").get(name) {
+        if let Some(c) = map
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .get(name)
+        {
             return Arc::clone(c);
         }
-        let mut w = map.write().expect("registry lock");
+        let mut w = map.write().unwrap_or_else(|poisoned| poisoned.into_inner());
         Arc::clone(w.entry(name.to_string()).or_default())
     }
 
     fn push_event(&self, ts_ns: u64, kind: &str, fields: Vec<(String, FieldValue)>) {
-        let mut log = self.events.lock().expect("event lock");
+        let mut log = self
+            .events
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         if log.len() >= self.event_capacity {
             self.events_dropped.fetch_add(1, Ordering::Relaxed);
             return;
@@ -255,28 +262,28 @@ impl InMemoryRecorder {
         let counters = self
             .counters
             .read()
-            .expect("registry lock")
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .iter()
             .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
             .collect();
         let gauges = self
             .gauges
             .read()
-            .expect("registry lock")
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .iter()
             .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
             .collect();
         let histograms = self
             .histograms
             .read()
-            .expect("registry lock")
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .iter()
             .map(|(k, v)| (k.clone(), v.snapshot()))
             .collect();
         let spans = self
             .spans
             .read()
-            .expect("registry lock")
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
             .iter()
             .map(|(k, v)| (k.clone(), v.snapshot()))
             .collect();
@@ -291,7 +298,10 @@ impl InMemoryRecorder {
 
     /// A copy of the event log, oldest first.
     pub fn events(&self) -> Vec<Event> {
-        self.events.lock().expect("event lock").clone()
+        self.events
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .clone()
     }
 }
 
