@@ -206,6 +206,52 @@ fn check_pipeline(doc: &Value) -> Result<(), String> {
     Ok(())
 }
 
+fn check_localization(doc: &Value) -> Result<(), String> {
+    check_provenance(doc)?;
+    let rows = expect_u64(doc, "rows")?;
+    let cols = expect_u64(doc, "cols")?;
+    if expect_u64(doc, "sensors")? != rows * cols {
+        return Err("\"sensors\" must equal rows * cols".into());
+    }
+    expect_u64(doc, "turns")?;
+    expect_u64(doc, "n_golden")?;
+    expect_u64(doc, "n_suspect_per_trojan")?;
+    expect_number(doc, "single_seconds")?;
+    expect_number(doc, "array_seconds")?;
+    expect_number(doc, "per_sensor_overhead_pct")?;
+    let hit1 = expect_u64(doc, "hit_at_1")?;
+    let hit3 = expect_u64(doc, "hit_at_3")?;
+    let trojans = expect_array(doc, "trojans")?;
+    if trojans.len() != 4 {
+        return Err("\"trojans\" must cover all four digital Trojans".into());
+    }
+    for (i, t) in trojans.iter().enumerate() {
+        (|| {
+            expect_str(t, "trojan")?;
+            expect_str(t, "region")?;
+            expect_str(t, "top_region")?;
+            expect_bool(t, "hit1")?;
+            expect_bool(t, "hit3")?;
+            expect_number(t, "alarm_rate")?;
+            expect_number(t, "centroid_x_um")?;
+            expect_number(t, "centroid_y_um")?;
+            Ok::<(), String>(())
+        })()
+        .map_err(|e| format!("trojans[{i}]: {e}"))?;
+    }
+    if hit3 != trojans.len() as u64 {
+        return Err(format!(
+            "\"hit_at_3\" {hit3} — every Trojan must localize within the top-3 regions"
+        ));
+    }
+    if hit1 < 2 {
+        return Err(format!(
+            "\"hit_at_1\" {hit1} — at least two Trojans must localize at rank 1"
+        ));
+    }
+    Ok(())
+}
+
 fn check_file(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
     let doc = Value::parse(&text).map_err(|e| e.to_string())?;
@@ -214,6 +260,7 @@ fn check_file(path: &str) -> Result<(), String> {
         "golden_collect_fit" => check_parallel(&doc),
         "fault_injection_sweep" => check_faults(&doc),
         "pipeline_overhead" => check_pipeline(&doc),
+        "localization" => check_localization(&doc),
         other => Err(format!("unknown benchmark kind \"{other}\"")),
     }
 }

@@ -93,7 +93,9 @@ fn run_scenario(
     intensity: f64,
 ) -> Scenario {
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        let mut monitor = TrustMonitor::new(fp.clone(), None).with_sanitizer(sanitizer());
+        let mut monitor = TrustMonitor::builder(fp.clone())
+            .with_sanitizer(sanitizer())
+            .build();
         let batch = monitor.ingest_batch_report(traces);
         let accounted = batch.clean() + batch.degraded() + batch.rejected() == traces.len()
             && monitor.traces_seen() + monitor.traces_rejected() == traces.len() as u64;
@@ -174,7 +176,7 @@ fn main() {
             SUSPECT_SEED,
         )
         .or_exit("clean suspects");
-    let mut plain = TrustMonitor::new(fp.clone(), None);
+    let mut plain = TrustMonitor::builder(fp.clone()).build();
     plain
         .ingest_batch(clean_suspects.traces())
         .or_exit("clean baseline ingest");
@@ -183,7 +185,9 @@ fn main() {
 
     // Faults-disabled equivalence: the sanitizer must be a pure screen —
     // same clean traces, bit-identical alarms.
-    let mut screened = TrustMonitor::new(fp.clone(), None).with_sanitizer(sanitizer());
+    let mut screened = TrustMonitor::builder(fp.clone())
+        .with_sanitizer(sanitizer())
+        .build();
     let clean_batch = screened.ingest_batch_report(clean_suspects.traces());
     let clean_bit_identical = screened.alarms() == plain.alarms() && clean_batch.rejected() == 0;
     assert!(

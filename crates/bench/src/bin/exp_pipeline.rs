@@ -76,7 +76,7 @@ fn time_monitor(fp: &GoldenFingerprint, traces: &[Vec<f64>]) -> (f64, Vec<u64>) 
     let mut best = f64::INFINITY;
     let mut indices = Vec::new();
     for _ in 0..REPEATS {
-        let mut monitor = TrustMonitor::new(fp.clone(), None);
+        let mut monitor = TrustMonitor::builder(fp.clone()).build();
         let t0 = Instant::now();
         let alarms = monitor.ingest_batch(traces).or_exit("monitor ingest");
         let elapsed = t0.elapsed().as_secs_f64();

@@ -71,7 +71,7 @@ fn run_sweep(chip: &ProtectedChip) -> Result<TrustMonitor, TrustError> {
         0x7E2,
     )?;
     let detector = SpectralDetector::fit(&golden_window, SpectralConfig::default())?;
-    let mut monitor = TrustMonitor::new(fp, Some(detector));
+    let mut monitor = TrustMonitor::builder(fp).with_spectral(detector).build();
     for (i, kind) in TROJANS.into_iter().enumerate() {
         let suspects = bench.collect(
             EXPERIMENT_KEY,

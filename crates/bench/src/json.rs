@@ -127,6 +127,15 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+// The workspace's top-level `emtrust::Error` carries bench failures as a
+// rendered message (core does not depend on this crate), so the
+// conversion lives here, on the side that owns `ParseError`.
+impl From<ParseError> for emtrust::Error {
+    fn from(e: ParseError) -> Self {
+        emtrust::Error::Bench(e.to_string())
+    }
+}
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
@@ -392,5 +401,15 @@ mod tests {
         let err = Value::parse("[1, ?]").unwrap_err();
         assert_eq!(err.offset, 4);
         assert!(err.to_string().contains("byte 4"));
+    }
+
+    #[test]
+    fn parse_errors_lift_into_the_workspace_error() {
+        fn parse(text: &str) -> Result<Value, emtrust::Error> {
+            Ok(Value::parse(text)?)
+        }
+        let err = parse("{oops").unwrap_err();
+        assert!(matches!(&err, emtrust::Error::Bench(m) if m.contains("json parse error")));
+        assert!(err.to_string().starts_with("bench:"));
     }
 }

@@ -1,0 +1,703 @@
+//! Multi-sensor EM array with spatial Trojan localization.
+//!
+//! The paper's single spiral answers *whether* the chip radiates like its
+//! golden self; it cannot say *where* the excess comes from. This module
+//! tiles the die into an `rows × cols` grid of sub-spirals
+//! ([`emtrust_em::array::EmArray`]), runs one [`DetectionPipeline`] per
+//! sub-sensor, and fuses the per-tile anomaly margins into a heat map
+//! whose score-weighted centroid is mapped back through the
+//! [`Floorplan`]'s placement regions — attributing an alarm to the
+//! nearest placed module (`trojan1` … `trojan4`, or the AES core
+//! itself).
+//!
+//! Cost discipline: the array shares **one** logic simulation and **one**
+//! switching-current synthesis pass per encryption across all `N`
+//! sensors; only the per-tile flux weighting, noise, and scoring
+//! multiply with `N`. Scoring fans over the same worker pool the
+//! single-sensor path uses, and every result is bit-identical for every
+//! worker count.
+//!
+//! Everything is fronted by [`ArrayConfig`]/[`ArrayBuilder`] — the same
+//! consuming-builder idiom as [`crate::monitor::TrustMonitor::builder`] —
+//! rather than positional constructors:
+//!
+//! ```no_run
+//! # use emtrust::array::SensorArray;
+//! # fn demo(chip: &emtrust_trojan::ProtectedChip) -> Result<(), emtrust::TrustError> {
+//! let mut array = SensorArray::builder(chip).with_grid(4, 2)?.build()?;
+//! let golden = array.collect(*b"sixteen byte key", 24, None, 42)?;
+//! array.fit_golden(&golden)?;
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::acquisition::{TraceSet, T2_LEAK_CURRENT_A};
+use crate::detector::EuclideanDetector;
+use crate::fingerprint::{FingerprintConfig, GoldenFingerprint};
+use crate::fusion::FusionPolicy;
+use crate::parallel::ParallelConfig;
+use crate::persistence::{PersistenceConfig, SpectralPersistenceDetector};
+use crate::pipeline::DetectionPipeline;
+use crate::TrustError;
+use emtrust_aes::netlist::run_encryption_with;
+use emtrust_em::array::EmArray;
+use emtrust_em::emf::VoltageTrace;
+use emtrust_layout::floorplan::{Die, Floorplan};
+use emtrust_netlist::library::Library;
+use emtrust_power::{ClockConfig, CurrentModel};
+use emtrust_telemetry as telemetry;
+use emtrust_trojan::{ProtectedChip, TrojanKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Geometry and detection knobs of a [`SensorArray`], with defaults
+/// matching the single-sensor path wherever they overlap.
+#[derive(Debug, Clone)]
+pub struct ArrayConfig {
+    /// Grid rows (south to north).
+    pub rows: usize,
+    /// Grid columns (west to east).
+    pub cols: usize,
+    /// Turns per sub-spiral (the single-sensor default is 20; smaller
+    /// tiles tolerate fewer turns before the metal-pitch rule bites).
+    pub turns: usize,
+    /// Per-tile fingerprint fitting configuration.
+    pub fingerprint: FingerprintConfig,
+    /// Optional reference-free persistence detector added to every
+    /// tile's pipeline.
+    pub persistence: Option<PersistenceConfig>,
+    /// Fusion policy of each tile's pipeline.
+    pub fusion: FusionPolicy,
+    /// Worker pool shared by collection and scoring.
+    pub parallel: ParallelConfig,
+}
+
+impl Default for ArrayConfig {
+    fn default() -> Self {
+        Self {
+            rows: 2,
+            cols: 2,
+            turns: 12,
+            fingerprint: FingerprintConfig::default(),
+            persistence: None,
+            fusion: FusionPolicy::Or,
+            parallel: ParallelConfig::default(),
+        }
+    }
+}
+
+/// Fluent constructor for [`SensorArray`] — obtained from
+/// [`SensorArray::builder`], which takes the one required ingredient
+/// (the chip under test).
+#[derive(Debug)]
+#[must_use = "a builder does nothing until .build() is called"]
+pub struct ArrayBuilder<'c> {
+    chip: &'c ProtectedChip,
+    config: ArrayConfig,
+}
+
+impl<'c> ArrayBuilder<'c> {
+    /// Replaces the whole configuration at once.
+    pub fn with_config(mut self, config: ArrayConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the grid shape.
+    ///
+    /// # Errors
+    ///
+    /// [`TrustError::InvalidParameter`] if either dimension is zero.
+    pub fn with_grid(mut self, rows: usize, cols: usize) -> Result<Self, TrustError> {
+        if rows == 0 || cols == 0 {
+            return Err(TrustError::InvalidParameter {
+                what: "array grid needs at least one row and one column",
+            });
+        }
+        self.config.rows = rows;
+        self.config.cols = cols;
+        Ok(self)
+    }
+
+    /// Sets the per-sub-spiral turn count.
+    ///
+    /// # Errors
+    ///
+    /// [`TrustError::InvalidParameter`] if `turns` is zero (the
+    /// metal-pitch rule is checked later, against the actual tile size,
+    /// at build time).
+    pub fn with_turns(mut self, turns: usize) -> Result<Self, TrustError> {
+        if turns == 0 {
+            return Err(TrustError::InvalidParameter {
+                what: "sub-spiral needs at least one turn",
+            });
+        }
+        self.config.turns = turns;
+        Ok(self)
+    }
+
+    /// Sets the per-tile fingerprint configuration.
+    pub fn with_fingerprint(mut self, config: FingerprintConfig) -> Self {
+        self.config.fingerprint = config;
+        self
+    }
+
+    /// Adds the reference-free persistence detector to every tile.
+    pub fn with_persistence(mut self, config: PersistenceConfig) -> Self {
+        self.config.persistence = Some(config);
+        self
+    }
+
+    /// Sets each tile pipeline's fusion policy.
+    pub fn with_fusion(mut self, fusion: FusionPolicy) -> Self {
+        self.config.fusion = fusion;
+        self
+    }
+
+    /// Sets the worker pool shared by collection and scoring.
+    pub fn with_parallel(mut self, parallel: ParallelConfig) -> Self {
+        self.config.parallel = parallel;
+        self
+    }
+
+    /// Places the chip, tiles the die, and builds every sub-sensor's
+    /// coupling machinery. Detection pipelines are created later, by
+    /// [`SensorArray::fit_golden`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates placement errors and tile-coil design-rule violations
+    /// (too many turns for the tile size).
+    pub fn build(self) -> Result<SensorArray<'c>, TrustError> {
+        let library = Library::generic_180nm();
+        let die = Die::for_netlist(self.chip.netlist(), &library, 0.7)?;
+        let floorplan = Floorplan::place(self.chip.netlist(), &library, die)?;
+        let clock = ClockConfig::reference();
+        let model = CurrentModel::new(library, clock);
+        let array = EmArray::build(
+            self.chip.netlist(),
+            &floorplan,
+            model,
+            self.config.rows,
+            self.config.cols,
+            self.config.turns,
+        )?;
+        Ok(SensorArray {
+            chip: self.chip,
+            floorplan,
+            clock,
+            array,
+            config: self.config,
+            pipelines: Vec::new(),
+        })
+    }
+}
+
+/// One tile's entry in the localization heat map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileScore {
+    /// Grid row of the tile (0 = southmost).
+    pub row: usize,
+    /// Grid column of the tile (0 = westmost).
+    pub col: usize,
+    /// Tile centre on the die, in µm.
+    pub center_um: (f64, f64),
+    /// Mean positive relative Euclidean margin over the tile's suspect
+    /// traces: `max(0, (distance − EDth) / |EDth|)` averaged per trace.
+    pub margin: f64,
+    /// Fraction of the tile's suspect traces that raised a fused alarm.
+    pub alarm_rate: f64,
+}
+
+/// One floorplan region in the localization ranking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionScore {
+    /// Region name as placed (`"aes"`, `"trojan1"`, …).
+    pub region: String,
+    /// Distance from the anomaly centroid to the region, in µm (zero if
+    /// the centroid lies inside it).
+    pub distance_um: f64,
+}
+
+/// The array's judgement of one suspect campaign: the per-tile heat map
+/// plus its localization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayVerdict {
+    /// Per-tile scores, in tile (row-major) order.
+    pub heat: Vec<TileScore>,
+    /// Score-weighted centroid of the common-mode-removed heat map, in
+    /// µm. `None` when no tile carries excess energy (clean campaign).
+    pub centroid_um: Option<(f64, f64)>,
+    /// Floorplan regions ranked nearest-first from the centroid. Empty
+    /// when the campaign is clean.
+    pub regions: Vec<RegionScore>,
+    /// Whether any tile's pipeline raised a fused alarm.
+    pub alarmed: bool,
+}
+
+impl ArrayVerdict {
+    /// The arg-max region — the localization's best guess.
+    pub fn top_region(&self) -> Option<&str> {
+        self.regions.first().map(|r| r.region.as_str())
+    }
+
+    /// Zero-based rank of `region` in the localization (0 = best).
+    pub fn region_rank(&self, region: &str) -> Option<usize> {
+        self.regions.iter().position(|r| r.region == region)
+    }
+
+    /// Whether `region` ranks within the top `k` (`hit@k`).
+    pub fn hit_at(&self, region: &str, k: usize) -> bool {
+        self.region_rank(region).is_some_and(|r| r < k)
+    }
+}
+
+/// Fuses per-tile anomaly scores into a die location.
+///
+/// Two steps: **common-mode removal** (subtract the median tile score,
+/// clamp at zero — a Trojan whose payload loads the whole supply net,
+/// like T2's leak, lifts every tile; only the spatial excess above that
+/// common mode carries location information) and a **score-weighted
+/// centroid** of the surviving tiles' centres.
+#[derive(Debug, Clone)]
+pub struct Localizer {
+    centers: Vec<(f64, f64)>,
+}
+
+impl Localizer {
+    /// A localizer over the given tile centres (µm, tile order).
+    pub fn new(centers: Vec<(f64, f64)>) -> Self {
+        Self { centers }
+    }
+
+    /// Removes the common mode: subtracts the median score and clamps
+    /// at zero.
+    pub fn whiten(scores: &[f64]) -> Vec<f64> {
+        if scores.is_empty() {
+            return Vec::new();
+        }
+        let mut sorted = scores.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let mid = sorted.len() / 2;
+        let median = if sorted.len().is_multiple_of(2) {
+            (sorted[mid - 1] + sorted[mid]) / 2.0
+        } else {
+            sorted[mid]
+        };
+        scores.iter().map(|s| (s - median).max(0.0)).collect()
+    }
+
+    /// The score-weighted centroid of the whitened heat map, in µm.
+    /// `None` if the score vector does not match the tile count or no
+    /// tile carries excess energy.
+    pub fn centroid(&self, scores: &[f64]) -> Option<(f64, f64)> {
+        if scores.len() != self.centers.len() {
+            return None;
+        }
+        let w = Self::whiten(scores);
+        let total: f64 = w.iter().sum();
+        if total <= 1e-12 {
+            return None;
+        }
+        let x = w
+            .iter()
+            .zip(&self.centers)
+            .map(|(wi, c)| wi * c.0)
+            .sum::<f64>()
+            / total;
+        let y = w
+            .iter()
+            .zip(&self.centers)
+            .map(|(wi, c)| wi * c.1)
+            .sum::<f64>()
+            / total;
+        Some((x, y))
+    }
+
+    /// Ranks the floorplan's regions nearest-first from the localized
+    /// centroid. Empty when [`Self::centroid`] is undefined.
+    pub fn rank(&self, scores: &[f64], floorplan: &Floorplan) -> Vec<RegionScore> {
+        match self.centroid(scores) {
+            Some((x, y)) => floorplan
+                .regions_by_distance(x, y)
+                .into_iter()
+                .map(|(name, d)| RegionScore {
+                    region: name.to_string(),
+                    distance_um: d,
+                })
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+}
+
+/// The assembled multi-sensor experiment: one chip, one shared
+/// simulation/synthesis path, `rows × cols` sub-sensors each feeding its
+/// own detection pipeline.
+#[derive(Debug)]
+pub struct SensorArray<'c> {
+    chip: &'c ProtectedChip,
+    floorplan: Floorplan,
+    clock: ClockConfig,
+    array: EmArray,
+    config: ArrayConfig,
+    /// One pipeline per tile, in tile order; empty until
+    /// [`Self::fit_golden`].
+    pipelines: Vec<DetectionPipeline>,
+}
+
+impl<'c> SensorArray<'c> {
+    /// Starts a fluent builder over the chip under test.
+    pub fn builder(chip: &'c ProtectedChip) -> ArrayBuilder<'c> {
+        ArrayBuilder {
+            chip,
+            config: ArrayConfig::default(),
+        }
+    }
+
+    /// Grid rows.
+    pub fn rows(&self) -> usize {
+        self.array.rows()
+    }
+
+    /// Grid columns.
+    pub fn cols(&self) -> usize {
+        self.array.cols()
+    }
+
+    /// Number of sub-sensors.
+    pub fn len(&self) -> usize {
+        self.array.len()
+    }
+
+    /// Whether the array has no sensors (never true once built).
+    pub fn is_empty(&self) -> bool {
+        self.array.is_empty()
+    }
+
+    /// The chip under test.
+    pub fn chip(&self) -> &ProtectedChip {
+        self.chip
+    }
+
+    /// The floorplan in use.
+    pub fn floorplan(&self) -> &Floorplan {
+        &self.floorplan
+    }
+
+    /// The clock configuration.
+    pub fn clock(&self) -> ClockConfig {
+        self.clock
+    }
+
+    /// The configuration the array was built with.
+    pub fn config(&self) -> &ArrayConfig {
+        &self.config
+    }
+
+    /// The underlying EM array (tile geometry, coupling maps).
+    pub fn em_array(&self) -> &EmArray {
+        &self.array
+    }
+
+    /// The per-tile pipelines (empty until [`Self::fit_golden`]).
+    pub fn pipelines(&self) -> &[DetectionPipeline] {
+        &self.pipelines
+    }
+
+    /// Whether [`Self::fit_golden`] has run.
+    pub fn is_fitted(&self) -> bool {
+        self.pipelines.len() == self.array.len()
+    }
+
+    /// A localizer over this array's tile centres.
+    pub fn localizer(&self) -> Localizer {
+        Localizer::new(
+            self.array
+                .tiles()
+                .iter()
+                .map(|t| {
+                    let c = t.center();
+                    (c.x, c.y)
+                })
+                .collect(),
+        )
+    }
+
+    /// Collects `n_traces` single-encryption traces **per tile** with the
+    /// fixed stimulus derived from `seed` — one logic simulation and one
+    /// current-synthesis pass per encryption, shared by every tile.
+    ///
+    /// Seeds mirror the single-sensor bench exactly (campaign seed ⊕
+    /// trace-index mix for the noise, `seed ^ 0x97` for the plaintext),
+    /// and tile 0's noise salt is zero — so a `1 × 1` array with the
+    /// single-sensor turn count reproduces
+    /// [`crate::acquisition::TestBench::collect`] bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation and measurement errors.
+    pub fn collect(
+        &self,
+        key: [u8; 16],
+        n_traces: usize,
+        armed: Option<TrojanKind>,
+        seed: u64,
+    ) -> Result<Vec<TraceSet>, TrustError> {
+        let _span = telemetry::span("array.collect");
+        telemetry::counter("array.traces", (n_traces * self.array.len()) as u64);
+        let pt: [u8; 16] = StdRng::seed_from_u64(seed ^ 0x97).gen();
+        let leak_sense = armed
+            .and_then(|k| self.chip.trojan_ports(k))
+            .and_then(|p| p.leak_sense);
+
+        // One serial simulation pass (Trojan state must evolve in
+        // encryption order), recording every encryption's activity.
+        let recorded = {
+            let _span = telemetry::span("simulate");
+            let mut sim = self.chip.simulator()?;
+            self.chip.disarm_all(&mut sim);
+            if let Some(kind) = armed {
+                self.chip.arm(&mut sim, kind, true);
+            }
+            let _ = run_encryption_with(&mut sim, self.chip.aes_ports(), key, pt, |_| {});
+            let mut recorded = Vec::with_capacity(n_traces);
+            for _ in 0..n_traces {
+                sim.start_recording();
+                let mut leak_per_cycle = Vec::new();
+                let _ct = run_encryption_with(&mut sim, self.chip.aes_ports(), key, pt, |s| {
+                    if let Some(net) = leak_sense {
+                        // Leakage path opens while the sense bit is low.
+                        leak_per_cycle.push(if s.value(net) { 0.0 } else { T2_LEAK_CURRENT_A });
+                    }
+                });
+                let activity = sim.take_recording();
+                recorded.push((activity, leak_sense.is_some().then_some(leak_per_cycle)));
+            }
+            recorded
+        };
+
+        // Measurement fans over traces; inside each trace, one
+        // synthesize_multi pass renders every tile's weighted current.
+        let trace_seed = |i: usize| seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let per_trace =
+            self.config
+                .parallel
+                .try_map(n_traces, |i| -> Result<Vec<Vec<f64>>, TrustError> {
+                    let (activity, extra) = &recorded[i];
+                    let tiles = self.array.measure_multi(
+                        self.chip.netlist(),
+                        activity,
+                        extra.as_deref(),
+                        &[],
+                        trace_seed(i),
+                        1,
+                    )?;
+                    Ok(tiles.into_iter().map(VoltageTrace::into_samples).collect())
+                })?;
+
+        // Transpose trace-major → tile-major.
+        let mut per_tile: Vec<Vec<Vec<f64>>> = (0..self.array.len())
+            .map(|_| Vec::with_capacity(n_traces))
+            .collect();
+        for tiles in per_trace {
+            for (t, samples) in tiles.into_iter().enumerate() {
+                per_tile[t].push(samples);
+            }
+        }
+        per_tile
+            .into_iter()
+            .map(|ts| TraceSet::new(ts, self.clock.sample_rate_hz()))
+            .collect()
+    }
+
+    /// Fits one golden fingerprint and one detection pipeline per tile.
+    ///
+    /// # Errors
+    ///
+    /// [`TrustError::InvalidParameter`] unless `golden` holds exactly
+    /// one trace set per tile; forwarded fitting errors otherwise.
+    pub fn fit_golden(&mut self, golden: &[TraceSet]) -> Result<(), TrustError> {
+        let _span = telemetry::span("array.fit");
+        if golden.len() != self.array.len() {
+            return Err(TrustError::InvalidParameter {
+                what: "fit_golden needs one golden trace set per tile",
+            });
+        }
+        let mut pipelines = Vec::with_capacity(golden.len());
+        for set in golden {
+            let fp = GoldenFingerprint::fit(set, self.config.fingerprint)?;
+            let mut builder = DetectionPipeline::builder()
+                .detector(Box::new(EuclideanDetector::new(fp)))
+                .fusion(self.config.fusion.clone())
+                .parallel(self.config.parallel);
+            if let Some(cfg) = self.config.persistence {
+                builder = builder.detector(Box::new(SpectralPersistenceDetector::new(cfg)));
+            }
+            pipelines.push(builder.build());
+        }
+        self.pipelines = pipelines;
+        Ok(())
+    }
+
+    /// Scores one suspect campaign (one trace set per tile, as returned
+    /// by [`Self::collect`]) and localizes the excess energy.
+    ///
+    /// # Errors
+    ///
+    /// [`TrustError::InvalidParameter`] if the array is unfitted or the
+    /// set count mismatches; forwarded scoring errors otherwise.
+    pub fn evaluate(&mut self, suspects: &[TraceSet]) -> Result<ArrayVerdict, TrustError> {
+        let _span = telemetry::span("array.evaluate");
+        if !self.is_fitted() {
+            return Err(TrustError::InvalidParameter {
+                what: "array is not fitted: call fit_golden first",
+            });
+        }
+        if suspects.len() != self.array.len() {
+            return Err(TrustError::InvalidParameter {
+                what: "evaluate needs one suspect trace set per tile",
+            });
+        }
+        let mut heat = Vec::with_capacity(self.array.len());
+        let mut alarmed = false;
+        for (t, set) in suspects.iter().enumerate() {
+            let batch = self.pipelines[t].try_ingest_batch(set.traces())?;
+            let mut margin_sum = 0.0;
+            let mut alarms = 0usize;
+            let mut scored = 0usize;
+            for outcome in &batch.outcomes {
+                // The Euclidean detector is registered first on every
+                // tile; its relative margin is the heat-map currency.
+                if let Some(vote) = outcome.votes.first() {
+                    let thr = vote.score.threshold;
+                    let rel = if thr.abs() > f64::EPSILON {
+                        (vote.score.statistic - thr) / thr.abs()
+                    } else {
+                        vote.score.statistic
+                    };
+                    margin_sum += rel.max(0.0);
+                    scored += 1;
+                }
+                if outcome.alarm.is_some() {
+                    alarms += 1;
+                }
+            }
+            alarmed |= alarms > 0;
+            let tile = &self.array.tiles()[t];
+            let c = tile.center();
+            heat.push(TileScore {
+                row: tile.row(),
+                col: tile.col(),
+                center_um: (c.x, c.y),
+                margin: if scored > 0 {
+                    margin_sum / scored as f64
+                } else {
+                    0.0
+                },
+                alarm_rate: if scored > 0 {
+                    alarms as f64 / scored as f64
+                } else {
+                    0.0
+                },
+            });
+        }
+        let scores: Vec<f64> = heat.iter().map(|h| h.margin).collect();
+        let localizer = self.localizer();
+        let centroid_um = localizer.centroid(&scores);
+        let regions = localizer.rank(&scores, &self.floorplan);
+        Ok(ArrayVerdict {
+            heat,
+            centroid_um,
+            regions,
+            alarmed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let c = ArrayConfig::default();
+        assert_eq!((c.rows, c.cols), (2, 2));
+        assert!(c.turns > 0);
+        assert!(c.persistence.is_none());
+        assert_eq!(c.fusion, FusionPolicy::Or);
+    }
+
+    #[test]
+    fn builder_validates_grid_and_turns() {
+        let chip = ProtectedChip::golden();
+        assert!(SensorArray::builder(&chip).with_grid(0, 2).is_err());
+        assert!(SensorArray::builder(&chip).with_grid(2, 0).is_err());
+        assert!(SensorArray::builder(&chip).with_turns(0).is_err());
+        assert!(SensorArray::builder(&chip).with_grid(3, 1).is_ok());
+    }
+
+    #[test]
+    fn whitening_removes_the_common_mode() {
+        let scores = [0.4, 0.5, 0.4, 2.4];
+        let w = Localizer::whiten(&scores);
+        assert_eq!(w[0], 0.0);
+        assert!((w[3] - 1.95).abs() < 1e-12);
+        // An all-equal heat map whitens to nothing.
+        assert!(Localizer::whiten(&[0.7; 4]).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn centroid_weights_toward_the_hot_tile() {
+        let l = Localizer::new(vec![(0.0, 0.0), (100.0, 0.0), (0.0, 100.0), (100.0, 100.0)]);
+        // All cold: undefined.
+        assert!(l.centroid(&[0.1; 4]).is_none());
+        // One hot tile: centroid lands on it.
+        let c = l.centroid(&[0.0, 0.0, 0.0, 3.0]).unwrap();
+        assert_eq!(c, (100.0, 100.0));
+        // Two equally hot tiles: midpoint.
+        let c = l.centroid(&[0.0, 2.0, 0.0, 2.0]).unwrap();
+        assert_eq!(c, (100.0, 50.0));
+        // Mismatched score vector: undefined.
+        assert!(l.centroid(&[1.0; 3]).is_none());
+    }
+
+    #[test]
+    fn verdict_ranking_helpers() {
+        let v = ArrayVerdict {
+            heat: Vec::new(),
+            centroid_um: Some((1.0, 2.0)),
+            regions: vec![
+                RegionScore {
+                    region: "trojan2".into(),
+                    distance_um: 0.0,
+                },
+                RegionScore {
+                    region: "aes".into(),
+                    distance_um: 12.0,
+                },
+            ],
+            alarmed: true,
+        };
+        assert_eq!(v.top_region(), Some("trojan2"));
+        assert_eq!(v.region_rank("aes"), Some(1));
+        assert!(v.hit_at("trojan2", 1));
+        assert!(!v.hit_at("aes", 1));
+        assert!(v.hit_at("aes", 3));
+        assert!(!v.hit_at("trojan4", 9));
+    }
+
+    #[test]
+    fn unfitted_array_refuses_to_evaluate() {
+        let chip = ProtectedChip::golden();
+        let mut array = SensorArray::builder(&chip)
+            .with_grid(1, 1)
+            .unwrap()
+            .build()
+            .unwrap();
+        assert!(!array.is_fitted());
+        assert!(array.evaluate(&[]).is_err());
+        // Wrong golden arity is rejected too.
+        assert!(array.fit_golden(&[]).is_err());
+    }
+}

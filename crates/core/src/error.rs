@@ -1,0 +1,156 @@
+//! The one error type that spans the whole workspace.
+//!
+//! Each layer of the reproduction owns a focused error enum
+//! ([`emtrust_layout::LayoutError`], [`emtrust_power::PowerError`],
+//! [`emtrust_em::EmError`], [`crate::TrustError`], …). Application code
+//! stacking several layers — the examples, the `exp_*` experiment
+//! binaries — previously had to unify them by hand. [`Error`] is that
+//! unification: every layer error converts into it with `?`.
+//!
+//! The fault-injection crate (`emtrust-faults`) deliberately has no error
+//! type — corrupted traces are *data*, reported through
+//! [`crate::sanitize::TraceVerdict`], not failures. The benchmark crate's
+//! JSON [`ParseError`](../../emtrust_bench/json/enum.ParseError.html) is
+//! string-typed here ([`Error::Bench`]) because `emtrust` does not depend
+//! on `emtrust-bench`; the `From` impl lives on the bench side.
+
+use crate::TrustError;
+use std::fmt;
+
+/// Top-level error for code composing multiple `emtrust` layers.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// Layout substrate: die geometry, placement, coil design rules.
+    Layout(emtrust_layout::LayoutError),
+    /// Netlist construction or logic simulation.
+    Netlist(emtrust_netlist::NetlistError),
+    /// DSP substrate: FFT, filtering, feature extraction.
+    Dsp(emtrust_dsp::DspError),
+    /// Power model: switching-current synthesis.
+    Power(emtrust_power::PowerError),
+    /// EM solver: coupling maps, emf synthesis, measurement.
+    Em(emtrust_em::EmError),
+    /// Silicon model: process variation, fabricated-chip non-idealities.
+    Silicon(emtrust_silicon::SiliconError),
+    /// Trust evaluation: fingerprinting, detection, acquisition.
+    Trust(TrustError),
+    /// Benchmark tooling (artifact parsing/validation), carried as a
+    /// rendered message — see the module docs for why.
+    Bench(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Layout(e) => write!(f, "layout: {e}"),
+            Error::Netlist(e) => write!(f, "netlist: {e}"),
+            Error::Dsp(e) => write!(f, "dsp: {e}"),
+            Error::Power(e) => write!(f, "power: {e}"),
+            Error::Em(e) => write!(f, "em: {e}"),
+            Error::Silicon(e) => write!(f, "silicon: {e}"),
+            Error::Trust(e) => write!(f, "trust: {e}"),
+            Error::Bench(msg) => write!(f, "bench: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Layout(e) => Some(e),
+            Error::Netlist(e) => Some(e),
+            Error::Dsp(e) => Some(e),
+            Error::Power(e) => Some(e),
+            Error::Em(e) => Some(e),
+            Error::Silicon(e) => Some(e),
+            Error::Trust(e) => Some(e),
+            Error::Bench(_) => None,
+        }
+    }
+}
+
+impl From<emtrust_layout::LayoutError> for Error {
+    fn from(e: emtrust_layout::LayoutError) -> Self {
+        Error::Layout(e)
+    }
+}
+
+impl From<emtrust_netlist::NetlistError> for Error {
+    fn from(e: emtrust_netlist::NetlistError) -> Self {
+        Error::Netlist(e)
+    }
+}
+
+impl From<emtrust_dsp::DspError> for Error {
+    fn from(e: emtrust_dsp::DspError) -> Self {
+        Error::Dsp(e)
+    }
+}
+
+impl From<emtrust_power::PowerError> for Error {
+    fn from(e: emtrust_power::PowerError) -> Self {
+        Error::Power(e)
+    }
+}
+
+impl From<emtrust_em::EmError> for Error {
+    fn from(e: emtrust_em::EmError) -> Self {
+        Error::Em(e)
+    }
+}
+
+impl From<emtrust_silicon::SiliconError> for Error {
+    fn from(e: emtrust_silicon::SiliconError) -> Self {
+        Error::Silicon(e)
+    }
+}
+
+impl From<TrustError> for Error {
+    fn from(e: TrustError) -> Self {
+        Error::Trust(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_layer_error_converts_and_chains() {
+        let cases: Vec<Error> = vec![
+            emtrust_layout::LayoutError::InvalidParameter { what: "a" }.into(),
+            emtrust_netlist::NetlistError::UnknownNet { net: 3 }.into(),
+            emtrust_dsp::DspError::EmptyInput.into(),
+            emtrust_power::PowerError::InvalidParameter { what: "c" }.into(),
+            emtrust_em::EmError::InvalidParameter { what: "d" }.into(),
+            emtrust_silicon::SiliconError::InvalidParameter { what: "f" }.into(),
+            TrustError::InvalidParameter { what: "e" }.into(),
+        ];
+        for e in &cases {
+            assert!(!e.to_string().is_empty());
+            assert!(std::error::Error::source(e).is_some(), "{e}");
+        }
+        let b = Error::Bench("bad json".into());
+        assert!(b.to_string().contains("bad json"));
+        assert!(std::error::Error::source(&b).is_none());
+    }
+
+    #[test]
+    fn nested_errors_flatten_through_question_mark() {
+        fn build_coil() -> Result<(), Error> {
+            let die = emtrust_layout::floorplan::Die::square(600.0)?;
+            // Far too many turns for the metal pitch — a layout error
+            // surfacing through the top-level type.
+            emtrust_layout::spiral::SpiralSensor::with_turns(die, 10_000)?;
+            Ok(())
+        }
+        assert!(matches!(build_coil(), Err(Error::Layout(_))));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -81,8 +81,10 @@ pub use emtrust_faults as faults;
 pub use emtrust_telemetry as telemetry;
 
 pub mod acquisition;
+pub mod array;
 pub mod baseline;
 pub mod detector;
+pub mod error;
 pub mod euclidean;
 pub mod features;
 pub mod fingerprint;
@@ -96,15 +98,19 @@ pub mod sanitize;
 pub mod spectral;
 
 pub use acquisition::{RetryPolicy, RobustCollection, TestBench, TraceReport, TraceSet};
+pub use array::{
+    ArrayBuilder, ArrayConfig, ArrayVerdict, Localizer, RegionScore, SensorArray, TileScore,
+};
 pub use detector::{
     Detector, DetectorDomain, DetectorVerdict, EuclideanDetector, GoldenContext, Score,
     ScoreDetail, SpectralWindowDetector,
 };
+pub use error::Error;
 pub use features::FeatureFrame;
 pub use fingerprint::{FingerprintConfig, GoldenFingerprint};
 pub use fusion::FusionPolicy;
 pub use health::{HealthConfig, HealthTracker, HealthTransition, SensorHealth};
-pub use monitor::{Alarm, TrustMonitor};
+pub use monitor::{Alarm, TrustMonitor, TrustMonitorBuilder};
 pub use parallel::ParallelConfig;
 pub use persistence::{PersistenceConfig, SpectralPersistenceDetector};
 pub use pipeline::{
@@ -113,7 +119,6 @@ pub use pipeline::{
 pub use sanitize::{SanitizerConfig, TraceDefect, TraceSanitizer, TraceVerdict};
 pub use spectral::SpectralDetector;
 
-use std::error::Error;
 use std::fmt;
 
 /// Errors produced by the trust-evaluation framework.
@@ -189,8 +194,8 @@ impl fmt::Display for TrustError {
     }
 }
 
-impl Error for TrustError {
-    fn source(&self) -> Option<&(dyn Error + 'static)> {
+impl std::error::Error for TrustError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TrustError::Dsp(e) => Some(e),
             TrustError::Em(e) => Some(e),

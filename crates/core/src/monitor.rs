@@ -20,6 +20,7 @@ use crate::detector::ScoreDetail;
 use crate::fingerprint::GoldenFingerprint;
 use crate::fusion::FusionPolicy;
 use crate::health::{HealthConfig, HealthTracker, SensorHealth};
+use crate::persistence::{PersistenceConfig, SpectralPersistenceDetector};
 use crate::pipeline::{DetectionPipeline, TraceOutcome, WindowOutcome};
 use crate::sanitize::{TraceSanitizer, TraceVerdict};
 use crate::spectral::{SpectralAnomaly, SpectralDetector};
@@ -261,6 +262,115 @@ impl BatchIngest {
     }
 }
 
+/// Fluent constructor for [`TrustMonitor`] — obtained from
+/// [`TrustMonitor::builder`], which takes the one required ingredient
+/// (the fitted fingerprint). Everything else is opt-in:
+///
+/// ```no_run
+/// # use emtrust::monitor::TrustMonitor;
+/// # use emtrust::fusion::FusionPolicy;
+/// # fn demo(fp: emtrust::fingerprint::GoldenFingerprint,
+/// #         det: emtrust::spectral::SpectralDetector) {
+/// let monitor = TrustMonitor::builder(fp)
+///     .with_spectral(det)
+///     .with_fusion(FusionPolicy::Or)
+///     .build();
+/// # let _ = monitor;
+/// # }
+/// ```
+///
+/// With only the fingerprint (optionally plus `with_spectral`), the
+/// built monitor is bit-identical to the deprecated positional
+/// `TrustMonitor::new(fingerprint, spectral)` constructor.
+#[derive(Debug)]
+#[must_use = "a builder does nothing until .build() is called"]
+pub struct TrustMonitorBuilder {
+    fingerprint: GoldenFingerprint,
+    spectral: Option<SpectralDetector>,
+    persistence: Option<PersistenceConfig>,
+    fusion: FusionPolicy,
+    forensic_depth: usize,
+    sanitizer: Option<TraceSanitizer>,
+    health: Option<HealthConfig>,
+}
+
+impl TrustMonitorBuilder {
+    /// Adds the golden-referenced spectral window detector (paper
+    /// §IV-C's spectrum comparison).
+    pub fn with_spectral(mut self, detector: SpectralDetector) -> Self {
+        self.spectral = Some(detector);
+        self
+    }
+
+    /// Adds the reference-free spectral persistence detector. Its votes
+    /// feed the pipeline's fusion and counters; the legacy
+    /// [`Alarm::Spectral`] shape is still only raised for windows carrying
+    /// a golden-referenced spectral vote.
+    pub fn with_persistence(mut self, config: PersistenceConfig) -> Self {
+        self.persistence = Some(config);
+        self
+    }
+
+    /// Sets the fusion policy combining the detectors' votes
+    /// ([`FusionPolicy::Or`] by default — the legacy behaviour).
+    pub fn with_fusion(mut self, fusion: FusionPolicy) -> Self {
+        self.fusion = fusion;
+        self
+    }
+
+    /// Sets the depth of the forensic rings
+    /// ([`TrustMonitor::DEFAULT_FORENSIC_DEPTH`] by default).
+    pub fn with_forensic_depth(mut self, depth: usize) -> Self {
+        self.forensic_depth = depth;
+        self
+    }
+
+    /// Installs a trace sanitizer on the ingestion path (see
+    /// [`TrustMonitor::with_sanitizer`]).
+    pub fn with_sanitizer(mut self, sanitizer: TraceSanitizer) -> Self {
+        self.sanitizer = Some(sanitizer);
+        self
+    }
+
+    /// Replaces the sensor-health tracker's configuration (see
+    /// [`TrustMonitor::with_health_config`]).
+    pub fn with_health_config(mut self, config: HealthConfig) -> Self {
+        self.health = Some(config);
+        self
+    }
+
+    /// Assembles the monitor. Detector registration order (and hence
+    /// vote order) is fixed: Euclidean, then spectral, then persistence.
+    pub fn build(self) -> TrustMonitor {
+        let mut builder = DetectionPipeline::builder()
+            .detector(Box::new(crate::detector::EuclideanDetector::new(
+                self.fingerprint.clone(),
+            )))
+            .fusion(self.fusion);
+        if let Some(det) = self.spectral {
+            builder = builder.detector(Box::new(crate::detector::SpectralWindowDetector::new(det)));
+        }
+        if let Some(cfg) = self.persistence {
+            builder = builder.detector(Box::new(SpectralPersistenceDetector::new(cfg)));
+        }
+        let mut pipeline = builder.build();
+        if let Some(s) = self.sanitizer {
+            pipeline.install_sanitizer(s);
+        }
+        if let Some(h) = self.health {
+            pipeline.set_health_config(h);
+        }
+        TrustMonitor {
+            pipeline,
+            fingerprint: self.fingerprint,
+            alarms: Vec::new(),
+            recent_distances: RingBuffer::new(self.forensic_depth),
+            recent_spots: RingBuffer::new(self.forensic_depth),
+            forensics: Vec::new(),
+        }
+    }
+}
+
 /// The runtime monitor: consumes sensor output, raises [`Alarm`]s.
 ///
 /// A compatibility wrapper over [`DetectionPipeline`] — see the module
@@ -281,25 +391,32 @@ impl TrustMonitor {
     /// Default depth of the forensic rings (last `N` observations kept).
     pub const DEFAULT_FORENSIC_DEPTH: usize = 32;
 
+    /// Starts a fluent builder from the one required ingredient: the
+    /// fitted golden fingerprint. See [`TrustMonitorBuilder`].
+    pub fn builder(fingerprint: GoldenFingerprint) -> TrustMonitorBuilder {
+        TrustMonitorBuilder {
+            fingerprint,
+            spectral: None,
+            persistence: None,
+            fusion: FusionPolicy::Or,
+            forensic_depth: Self::DEFAULT_FORENSIC_DEPTH,
+            sanitizer: None,
+            health: None,
+        }
+    }
+
     /// Creates a monitor from a fitted fingerprint and an optional
     /// spectral detector.
+    #[deprecated(
+        since = "0.1.0",
+        note = "compose the monitor with `TrustMonitor::builder(fingerprint)` instead"
+    )]
     pub fn new(fingerprint: GoldenFingerprint, spectral: Option<SpectralDetector>) -> Self {
-        let mut builder = DetectionPipeline::builder()
-            .detector(Box::new(crate::detector::EuclideanDetector::new(
-                fingerprint.clone(),
-            )))
-            .fusion(FusionPolicy::Or);
+        let mut builder = Self::builder(fingerprint);
         if let Some(det) = spectral {
-            builder = builder.detector(Box::new(crate::detector::SpectralWindowDetector::new(det)));
+            builder = builder.with_spectral(det);
         }
-        Self {
-            pipeline: builder.build(),
-            fingerprint,
-            alarms: Vec::new(),
-            recent_distances: RingBuffer::new(Self::DEFAULT_FORENSIC_DEPTH),
-            recent_spots: RingBuffer::new(Self::DEFAULT_FORENSIC_DEPTH),
-            forensics: Vec::new(),
-        }
+        builder.build()
     }
 
     /// Resizes the forensic rings to hold the last `depth` observations
@@ -364,7 +481,12 @@ impl TrustMonitor {
     /// re-raises the fused alarm as [`Alarm::Spectral`].
     fn settle_window(&mut self, outcome: &WindowOutcome) -> Option<Alarm> {
         let window_index = outcome.index?;
-        let vote = outcome.votes.first()?;
+        // The golden-referenced spectral vote, wherever it sits in the
+        // vote order (a persistence detector may vote on windows too).
+        let vote = outcome
+            .votes
+            .iter()
+            .find(|v| matches!(v.score.detail, ScoreDetail::Spectral { .. }))?;
         let ScoreDetail::Spectral { anomalies } = &vote.score.detail else {
             return None;
         };
@@ -619,7 +741,7 @@ mod tests {
     fn monitor() -> TrustMonitor {
         let golden = synthetic_set(32, 1.0, 1);
         let fp = GoldenFingerprint::fit(&golden, FingerprintConfig::default()).unwrap();
-        TrustMonitor::new(fp, None)
+        TrustMonitor::builder(fp).build()
     }
 
     #[test]
@@ -683,7 +805,7 @@ mod tests {
         let det = SpectralDetector::fit(&golden_window, SpectralConfig::default()).unwrap();
         let fpset = synthetic_set(4, 1.0, 1);
         let fp = GoldenFingerprint::fit(&fpset, FingerprintConfig::default()).unwrap();
-        let mut m = TrustMonitor::new(fp, Some(det));
+        let mut m = TrustMonitor::builder(fp).with_spectral(det).build();
         assert!(m.ingest_window(&tone(&[(10e6, 1.0)], 2)).unwrap().is_none());
         let alarm = m
             .ingest_window(&tone(&[(10e6, 1.0), (25e6, 0.4)], 3))
@@ -753,7 +875,9 @@ mod tests {
     fn sanitized_monitor_rejects_corrupt_traces_without_counting_them() {
         let golden = synthetic_set(32, 1.0, 1);
         let fp = GoldenFingerprint::fit(&golden, FingerprintConfig::default()).unwrap();
-        let mut m = TrustMonitor::new(fp, None).with_sanitizer(TraceSanitizer::default());
+        let mut m = TrustMonitor::builder(fp)
+            .with_sanitizer(TraceSanitizer::default())
+            .build();
         // A clean trace scores normally.
         let clean = synthetic_set(1, 1.0, 2).traces()[0].clone();
         let r = m.ingest_checked(&clean);
@@ -794,15 +918,18 @@ mod tests {
             traces.push(synthetic_set(1, 1.5, 3).traces()[0].clone()); // alarms
             traces
         };
-        let mut batch_m =
-            TrustMonitor::new(fp.clone(), None).with_sanitizer(TraceSanitizer::default());
+        let mut batch_m = TrustMonitor::builder(fp.clone())
+            .with_sanitizer(TraceSanitizer::default())
+            .build();
         let batch = batch_m.ingest_batch_report(&make());
         assert_eq!(batch.reports.len(), 5);
         assert_eq!(batch.rejected(), 1);
         assert_eq!(batch.clean(), 4);
         assert_eq!(batch.alarms.len(), 1);
 
-        let mut serial_m = TrustMonitor::new(fp, None).with_sanitizer(TraceSanitizer::default());
+        let mut serial_m = TrustMonitor::builder(fp)
+            .with_sanitizer(TraceSanitizer::default())
+            .build();
         let serial: Vec<IngestReport> = make().iter().map(|t| serial_m.ingest_checked(t)).collect();
         assert_eq!(batch.reports, serial);
         assert_eq!(batch_m.traces_seen(), serial_m.traces_seen());
@@ -819,8 +946,10 @@ mod tests {
             .chain(synthetic_set(2, 1.4, 3).traces())
             .cloned()
             .collect();
-        let mut plain = TrustMonitor::new(fp.clone(), None);
-        let mut sanitized = TrustMonitor::new(fp, None).with_sanitizer(TraceSanitizer::default());
+        let mut plain = TrustMonitor::builder(fp.clone()).build();
+        let mut sanitized = TrustMonitor::builder(fp)
+            .with_sanitizer(TraceSanitizer::default())
+            .build();
         let a = plain.ingest_batch(&traces).unwrap();
         let b = sanitized.ingest_batch(&traces).unwrap();
         assert_eq!(a, b);
@@ -833,7 +962,9 @@ mod tests {
     fn sustained_rejections_degrade_sensor_health() {
         let golden = synthetic_set(32, 1.0, 1);
         let fp = GoldenFingerprint::fit(&golden, FingerprintConfig::default()).unwrap();
-        let mut m = TrustMonitor::new(fp, None).with_sanitizer(TraceSanitizer::default());
+        let mut m = TrustMonitor::builder(fp)
+            .with_sanitizer(TraceSanitizer::default())
+            .build();
         let flat = vec![0.5; 256];
         let mut states = Vec::new();
         for _ in 0..40 {
@@ -868,7 +999,10 @@ mod tests {
         .unwrap();
         let fpset = synthetic_set(4, 1.0, 1);
         let fp = GoldenFingerprint::fit(&fpset, FingerprintConfig::default()).unwrap();
-        let mut m = TrustMonitor::new(fp, Some(det)).with_sanitizer(TraceSanitizer::default());
+        let mut m = TrustMonitor::builder(fp)
+            .with_spectral(det)
+            .with_sanitizer(TraceSanitizer::default())
+            .build();
         // Clean window, matching rate: no alarm, no rejection.
         let (v, a) = m.ingest_window_checked(&window(fs, false));
         assert!(v.is_clean());
@@ -911,6 +1045,41 @@ mod tests {
             correlation_id: 10,
         };
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn builder_matches_the_deprecated_constructor_alarm_for_alarm() {
+        let golden = synthetic_set(32, 1.0, 1);
+        let fp = GoldenFingerprint::fit(&golden, FingerprintConfig::default()).unwrap();
+        #[allow(deprecated)]
+        let mut legacy = TrustMonitor::new(fp.clone(), None);
+        let mut built = TrustMonitor::builder(fp).build();
+        let traces: Vec<Vec<f64>> = synthetic_set(6, 1.0, 2)
+            .traces()
+            .iter()
+            .chain(synthetic_set(2, 1.4, 3).traces())
+            .cloned()
+            .collect();
+        let a = legacy.ingest_batch(&traces).unwrap();
+        let b = built.ingest_batch(&traces).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(legacy.alarms(), built.alarms());
+        assert_eq!(legacy.alarm_rate(), built.alarm_rate());
+        assert_eq!(legacy.traces_seen(), built.traces_seen());
+    }
+
+    #[test]
+    fn builder_registers_persistence_after_spectral() {
+        let golden = synthetic_set(8, 1.0, 1);
+        let fp = GoldenFingerprint::fit(&golden, FingerprintConfig::default()).unwrap();
+        let m = TrustMonitor::builder(fp)
+            .with_persistence(crate::persistence::PersistenceConfig::default())
+            .with_fusion(FusionPolicy::Or)
+            .build();
+        assert_eq!(
+            m.pipeline().detector_names(),
+            vec!["euclidean", "spectral_persistence"]
+        );
     }
 
     #[test]

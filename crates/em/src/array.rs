@@ -1,0 +1,375 @@
+//! A tiled array of on-chip spiral sub-sensors.
+//!
+//! The paper's single spiral covers the whole die, which detects *that* a
+//! Trojan switched but not *where*. An [`EmArray`] tiles the die into an
+//! `rows × cols` grid and centres a smaller spiral over each tile; every
+//! sub-coil still couples (weakly) to the whole die through its own exact
+//! [`crate::coupling::CouplingMap`], but couples far more strongly to the
+//! cells under it. Comparing per-tile anomaly scores therefore localizes
+//! the switching cells — the spatial information a single coil integrates
+//! away.
+//!
+//! The cost discipline is the point of the design: the switching-current
+//! timeline is synthesized **once** per activity trace and deposited into
+//! all `N` per-tile flux-weighted buffers in the same pass
+//! ([`emtrust_power::CurrentModel::synthesize_multi`]), so an `N`-sensor
+//! array costs one event walk plus `N` cheap weight multiplies — not `N`
+//! full simulation passes.
+
+use crate::coil::Coil;
+use crate::emf::{emf_from_weighted_current, VoltageTrace};
+use crate::noise::NoiseModel;
+use crate::pipeline::{EmPipelineConfig, EmSensor, PointCurrentSource};
+use crate::EmError;
+use emtrust_layout::floorplan::{Die, Floorplan};
+use emtrust_layout::geometry::{Point, Rect};
+use emtrust_layout::spiral::SpiralSensor;
+use emtrust_netlist::graph::Netlist;
+use emtrust_power::{CurrentModel, CurrentTrace};
+use emtrust_sim::activity::ActivityTrace;
+
+/// Per-tile noise-seed salt: tile `t` draws its environment noise from
+/// `noise_seed ^ salt(t)`, keeping tile streams independent while leaving
+/// tile 0 (`salt(0) == 0`) bit-identical to a single-sensor measurement
+/// with the same seed.
+fn tile_noise_salt(tile: usize) -> u64 {
+    (tile as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+}
+
+/// One array element: a sub-spiral centred on its die tile, with the full
+/// per-cell coupling machinery of an [`EmSensor`].
+#[derive(Debug)]
+pub struct EmTile {
+    row: usize,
+    col: usize,
+    rect: Rect,
+    sensor: EmSensor,
+}
+
+impl EmTile {
+    /// Grid row (0 = southmost).
+    pub fn row(&self) -> usize {
+        self.row
+    }
+
+    /// Grid column (0 = westmost).
+    pub fn col(&self) -> usize {
+        self.col
+    }
+
+    /// The die tile this sub-sensor is centred on.
+    pub fn rect(&self) -> Rect {
+        self.rect
+    }
+
+    /// The tile centre — the sensor's nominal location on the die.
+    pub fn center(&self) -> Point {
+        self.rect.center()
+    }
+
+    /// The underlying measurement channel.
+    pub fn sensor(&self) -> &EmSensor {
+        &self.sensor
+    }
+}
+
+/// An `rows × cols` grid of sub-spirals over one placed netlist, measured
+/// together from a single current-synthesis pass.
+#[derive(Debug)]
+pub struct EmArray {
+    rows: usize,
+    cols: usize,
+    tiles: Vec<EmTile>,
+    model: CurrentModel,
+}
+
+impl EmArray {
+    /// Builds the array: tiles the floorplan's die ([`Die::tiles`]),
+    /// centres a `turns`-turn spiral on each tile, and precomputes each
+    /// sub-coil's coupling map **over the full die** (cells outside a
+    /// coil's own tile still couple, just weakly — that decay is what the
+    /// localizer exploits).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmError::Layout`] if the grid is degenerate or a tile is
+    /// too small for `turns` at the minimum metal pitch.
+    pub fn build(
+        netlist: &Netlist,
+        floorplan: &Floorplan,
+        model: CurrentModel,
+        rows: usize,
+        cols: usize,
+        turns: usize,
+    ) -> Result<Self, EmError> {
+        let rects = floorplan.die().tiles(rows, cols).map_err(EmError::Layout)?;
+        let mut tiles = Vec::with_capacity(rects.len());
+        for (i, rect) in rects.into_iter().enumerate() {
+            let coil = Coil::OnChip(
+                SpiralSensor::with_turns(Die { core: rect }, turns).map_err(EmError::Layout)?,
+            );
+            let sensor = EmPipelineConfig::default()
+                .with_coil(coil)
+                .with_model(model.clone())
+                .build(netlist, floorplan)?;
+            tiles.push(EmTile {
+                row: i / cols,
+                col: i % cols,
+                rect,
+                sensor,
+            });
+        }
+        Ok(Self {
+            rows,
+            cols,
+            tiles,
+            model,
+        })
+    }
+
+    /// Grid rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Grid columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of sub-sensors (`rows × cols`).
+    pub fn len(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Whether the array has no sensors (never true for a built array).
+    pub fn is_empty(&self) -> bool {
+        self.tiles.is_empty()
+    }
+
+    /// The tiles in row-major order from the south-west corner.
+    pub fn tiles(&self) -> &[EmTile] {
+        &self.tiles
+    }
+
+    /// Applies per-chip process variation to every sub-sensor's weight
+    /// vector (see [`EmSensor::scale_weights`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmError::InvalidParameter`] if `factors` does not have
+    /// one entry per cell.
+    pub fn scale_weights(&mut self, factors: &[f64]) -> Result<(), EmError> {
+        for tile in &mut self.tiles {
+            tile.sensor.scale_weights(factors)?;
+        }
+        Ok(())
+    }
+
+    /// Synthesizes the noiseless emf of **every** sub-sensor from one
+    /// shared current-synthesis pass, in tile order.
+    ///
+    /// `extra_leakage_a` and `injections` are the same side channels as
+    /// [`EmSensor::emf`]; each injection is scaled by each tile's own
+    /// coupling at the source location.
+    ///
+    /// # Errors
+    ///
+    /// Propagates power-model errors (length mismatches).
+    pub fn emf_multi(
+        &self,
+        netlist: &Netlist,
+        activity: &ActivityTrace,
+        extra_leakage_a: Option<&[f64]>,
+        injections: &[PointCurrentSource],
+        workers: usize,
+    ) -> Result<Vec<VoltageTrace>, EmError> {
+        let _span = emtrust_telemetry::span("emf_multi");
+        let weight_sets: Vec<&[f64]> = self.tiles.iter().map(|t| t.sensor.weights()).collect();
+        let currents = {
+            let _synth = emtrust_telemetry::span("synthesize_multi");
+            self.model.synthesize_multi(
+                netlist,
+                activity,
+                &weight_sets,
+                extra_leakage_a,
+                workers,
+            )?
+        };
+        let mut out = Vec::with_capacity(self.tiles.len());
+        for (tile, mut weighted) in self.tiles.iter().zip(currents) {
+            for src in injections {
+                let m = tile
+                    .sensor
+                    .coupling()
+                    .at(src.location_um.0, src.location_um.1);
+                if m == 0.0 || src.samples.is_empty() {
+                    continue;
+                }
+                let scaled: Vec<f64> = src.samples.iter().map(|&i| i * m).collect();
+                weighted.add_assign(&CurrentTrace::new(scaled, weighted.sample_rate_hz()));
+            }
+            out.push(emf_from_weighted_current(&weighted));
+        }
+        Ok(out)
+    }
+
+    /// Synthesizes one *measured* trace per sub-sensor: emf plus each
+    /// coil's environment noise, seeded per tile from `noise_seed` (tile 0
+    /// uses `noise_seed` unchanged, so a `1 × 1` array reproduces
+    /// [`EmSensor::measure_with`] bit for bit).
+    ///
+    /// # Errors
+    ///
+    /// Propagates power-model errors.
+    pub fn measure_multi(
+        &self,
+        netlist: &Netlist,
+        activity: &ActivityTrace,
+        extra_leakage_a: Option<&[f64]>,
+        injections: &[PointCurrentSource],
+        noise_seed: u64,
+        workers: usize,
+    ) -> Result<Vec<VoltageTrace>, EmError> {
+        let _span = emtrust_telemetry::span("measure_multi");
+        let mut traces = self.emf_multi(netlist, activity, extra_leakage_a, injections, workers)?;
+        for (t, trace) in traces.iter_mut().enumerate() {
+            NoiseModel::environment_for(
+                self.tiles[t].sensor.coil(),
+                noise_seed ^ tile_noise_salt(t),
+            )
+            .add_to(trace);
+        }
+        Ok(traces)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emtrust_netlist::library::Library;
+    use emtrust_power::ClockConfig;
+    use emtrust_sim::engine::Simulator;
+
+    fn small_design() -> (Netlist, Floorplan) {
+        let mut n = Netlist::new("bank");
+        n.push_module("aes");
+        for _ in 0..32 {
+            let (q, d) = n.dff_deferred();
+            let nq = n.not(q);
+            n.connect_dff_d(d, nq);
+            n.mark_output("q", q);
+        }
+        n.pop_module();
+        let lib = Library::generic_180nm();
+        let die = Die::square(600.0).unwrap();
+        let fp = Floorplan::place(&n, &lib, die).unwrap();
+        (n, fp)
+    }
+
+    fn model() -> CurrentModel {
+        CurrentModel::new(Library::generic_180nm(), ClockConfig::reference())
+    }
+
+    fn activity(n: &Netlist, cycles: usize) -> ActivityTrace {
+        let mut sim = Simulator::new(n).unwrap();
+        sim.settle();
+        sim.start_recording();
+        sim.run(cycles);
+        sim.take_recording()
+    }
+
+    #[test]
+    fn one_by_one_array_reproduces_the_single_sensor() {
+        let (n, fp) = small_design();
+        let array = EmArray::build(&n, &fp, model(), 1, 1, 20).unwrap();
+        let coil: Coil = SpiralSensor::for_die(fp.die()).unwrap().into();
+        let single = EmSensor::new(coil, &n, &fp, model()).unwrap();
+        let act = activity(&n, 3);
+        let from_array = array.measure_multi(&n, &act, None, &[], 7, 2).unwrap();
+        let from_single = single.measure_with(&n, &act, None, &[], 7, 2).unwrap();
+        assert_eq!(from_array.len(), 1);
+        assert_eq!(from_array[0], from_single);
+    }
+
+    #[test]
+    fn grid_tiles_are_row_major_and_cover_the_die() {
+        let (n, fp) = small_design();
+        let array = EmArray::build(&n, &fp, model(), 2, 3, 6).unwrap();
+        assert_eq!(array.rows(), 2);
+        assert_eq!(array.cols(), 3);
+        assert_eq!(array.len(), 6);
+        assert!(!array.is_empty());
+        let area: f64 = array.tiles().iter().map(|t| t.rect().area()).sum();
+        assert!((area - fp.die().core.area()).abs() < 1e-6 * area);
+        // Row-major from the SW corner.
+        assert_eq!((array.tiles()[0].row(), array.tiles()[0].col()), (0, 0));
+        assert_eq!((array.tiles()[4].row(), array.tiles()[4].col()), (1, 1));
+        assert!(array.tiles()[3].center().y > array.tiles()[0].center().y);
+    }
+
+    #[test]
+    fn multi_emf_is_bit_identical_across_worker_counts() {
+        let (n, fp) = small_design();
+        let array = EmArray::build(&n, &fp, model(), 2, 2, 6).unwrap();
+        let act = activity(&n, 4);
+        let serial = array.emf_multi(&n, &act, None, &[], 1).unwrap();
+        let parallel = array.emf_multi(&n, &act, None, &[], 4).unwrap();
+        assert_eq!(serial, parallel);
+        assert!(serial.iter().all(|t| t.rms_v() > 0.0));
+    }
+
+    #[test]
+    fn tile_noise_streams_differ_between_tiles() {
+        let (n, fp) = small_design();
+        let array = EmArray::build(&n, &fp, model(), 2, 2, 6).unwrap();
+        let act = activity(&n, 2);
+        let noiseless = array.emf_multi(&n, &act, None, &[], 1).unwrap();
+        let measured = array.measure_multi(&n, &act, None, &[], 9, 1).unwrap();
+        let noise: Vec<Vec<f64>> = measured
+            .iter()
+            .zip(&noiseless)
+            .map(|(m, e)| {
+                m.samples()
+                    .iter()
+                    .zip(e.samples())
+                    .map(|(a, b)| a - b)
+                    .collect()
+            })
+            .collect();
+        assert_ne!(noise[0], noise[1]);
+        assert_ne!(noise[1], noise[2]);
+    }
+
+    #[test]
+    fn injection_registers_strongest_on_the_nearest_tile() {
+        let (n, fp) = small_design();
+        let array = EmArray::build(&n, &fp, model(), 2, 2, 6).unwrap();
+        let act = activity(&n, 2);
+        // Inject at the centre of tile 3 (NE).
+        let c = array.tiles()[3].center();
+        let inj = PointCurrentSource {
+            location_um: (c.x, c.y),
+            samples: (0..128)
+                .map(|i| if i % 2 == 0 { 1e-3 } else { -1e-3 })
+                .collect(),
+        };
+        let base = array.emf_multi(&n, &act, None, &[], 1).unwrap();
+        let with = array.emf_multi(&n, &act, None, &[inj], 1).unwrap();
+        let gain = |t: usize| with[t].rms_v() - base[t].rms_v();
+        for t in 0..3 {
+            assert!(
+                gain(3) > gain(t),
+                "NE tile must see the NE injection strongest (tile {t})"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_grids_are_rejected() {
+        let (n, fp) = small_design();
+        assert!(EmArray::build(&n, &fp, model(), 0, 2, 6).is_err());
+        // 600/8 = 75 µm tiles; 300 turns → pitch below the metal rule.
+        assert!(EmArray::build(&n, &fp, model(), 8, 8, 300).is_err());
+    }
+}

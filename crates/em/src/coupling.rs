@@ -11,6 +11,9 @@ use crate::EmError;
 use emtrust_layout::floorplan::{Die, Floorplan};
 use emtrust_netlist::graph::Netlist;
 
+/// Default grid step of [`CouplingMap::build`], in µm.
+pub const DEFAULT_COUPLING_STEP_UM: f64 = 10.0;
+
 /// A gridded mutual-inductance kernel `M(x, y)` for one coil, in henries
 /// per cell (the default effective dipole area is baked in).
 #[derive(Debug, Clone, PartialEq)]
@@ -32,7 +35,7 @@ impl CouplingMap {
     ///
     /// Propagates [`CouplingMap::build_with_step`] errors.
     pub fn build(coil: &Coil, die: Die) -> Result<Self, EmError> {
-        Self::build_with_step(coil, die, 10.0, DEFAULT_DIPOLE_AREA_UM2)
+        Self::build_with_step(coil, die, DEFAULT_COUPLING_STEP_UM, DEFAULT_DIPOLE_AREA_UM2)
     }
 
     /// Builds the kernel with a custom grid step (µm) and cell dipole

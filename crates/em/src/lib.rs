@@ -1,3 +1,14 @@
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::todo,
+        clippy::unimplemented
+    )
+)]
+
 //! # emtrust-em
 //!
 //! The electromagnetic solver of the reproduction — the substitute for the
@@ -27,6 +38,7 @@
 //! [`pipeline::EmSensor`] wires the full chain together for a placed
 //! netlist and a coil.
 
+pub mod array;
 pub mod coil;
 pub mod coupling;
 pub mod dipole;
@@ -35,11 +47,12 @@ pub mod noise;
 pub mod pipeline;
 pub mod snr;
 
+pub use array::{EmArray, EmTile};
 pub use coil::Coil;
 pub use coupling::CouplingMap;
 pub use emf::VoltageTrace;
 pub use noise::NoiseModel;
-pub use pipeline::EmSensor;
+pub use pipeline::{EmPipelineConfig, EmSensor};
 
 use std::error::Error;
 use std::fmt;

@@ -2,13 +2,16 @@
 //! emf → noisy sensor output.
 
 use crate::coil::Coil;
-use crate::coupling::CouplingMap;
+use crate::coupling::{CouplingMap, DEFAULT_COUPLING_STEP_UM};
+use crate::dipole::DEFAULT_DIPOLE_AREA_UM2;
 use crate::emf::{emf_from_weighted_current, VoltageTrace};
 use crate::noise::NoiseModel;
 use crate::EmError;
 use emtrust_layout::floorplan::Floorplan;
+use emtrust_layout::spiral::SpiralSensor;
 use emtrust_netlist::graph::Netlist;
-use emtrust_power::{CurrentModel, CurrentTrace};
+use emtrust_netlist::library::Library;
+use emtrust_power::{ClockConfig, CurrentModel, CurrentTrace};
 use emtrust_sim::activity::ActivityTrace;
 
 /// An analog current source at a die location — the A2 Trojan's injection
@@ -19,6 +22,117 @@ pub struct PointCurrentSource {
     pub location_um: (f64, f64),
     /// Current samples in amperes.
     pub samples: Vec<f64>,
+}
+
+/// Assembly configuration for an [`EmSensor`], replacing the pipeline's
+/// historical positional constructor with the same consuming builder
+/// idiom as [`emtrust_layout::probe::ExternalProbe`]
+/// (`ExternalProbe::over_die(..).with_standoff(..)`).
+///
+/// Every knob has a sensible default: the coil defaults to the paper's
+/// on-chip spiral over the floorplan's die, the power model to the
+/// generic 180 nm library at the reference clock, and the coupling grid
+/// to the map's default step and dipole area. With the defaults,
+/// [`EmPipelineConfig::build`] is bit-identical to the legacy
+/// [`EmSensor::new`] path.
+///
+/// # Examples
+///
+/// ```no_run
+/// # use emtrust_em::pipeline::EmPipelineConfig;
+/// # fn demo(netlist: &emtrust_netlist::graph::Netlist,
+/// #         floorplan: &emtrust_layout::floorplan::Floorplan)
+/// #         -> Result<(), emtrust_em::EmError> {
+/// let sensor = EmPipelineConfig::default()
+///     .with_coupling_step(20.0)?
+///     .build(netlist, floorplan)?;
+/// # let _ = sensor; Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EmPipelineConfig {
+    coil: Option<Coil>,
+    model: Option<CurrentModel>,
+    coupling_step_um: Option<f64>,
+    dipole_area_um2: Option<f64>,
+}
+
+impl EmPipelineConfig {
+    /// Uses an explicit coil instead of the default on-chip spiral.
+    pub fn with_coil(mut self, coil: Coil) -> Self {
+        self.coil = Some(coil);
+        self
+    }
+
+    /// Uses an explicit power model instead of the generic 180 nm
+    /// library at the reference clock.
+    pub fn with_model(mut self, model: CurrentModel) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Overrides the coupling-map grid step
+    /// ([`DEFAULT_COUPLING_STEP_UM`] by default).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmError::InvalidParameter`] if `step_um <= 0`.
+    pub fn with_coupling_step(mut self, step_um: f64) -> Result<Self, EmError> {
+        if step_um <= 0.0 {
+            return Err(EmError::InvalidParameter {
+                what: "grid step must be positive",
+            });
+        }
+        self.coupling_step_um = Some(step_um);
+        Ok(self)
+    }
+
+    /// Overrides the effective cell dipole area
+    /// ([`DEFAULT_DIPOLE_AREA_UM2`] by default).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmError::InvalidParameter`] if `area_um2 <= 0`.
+    pub fn with_dipole_area(mut self, area_um2: f64) -> Result<Self, EmError> {
+        if area_um2 <= 0.0 {
+            return Err(EmError::InvalidParameter {
+                what: "dipole area must be positive",
+            });
+        }
+        self.dipole_area_um2 = Some(area_um2);
+        Ok(self)
+    }
+
+    /// Assembles the sensor over a placed netlist: resolves the coil and
+    /// model defaults, computes the coupling map, and samples the
+    /// per-cell weight vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout errors from default-coil construction and
+    /// coupling-map construction errors.
+    pub fn build(self, netlist: &Netlist, floorplan: &Floorplan) -> Result<EmSensor, EmError> {
+        let coil = match self.coil {
+            Some(coil) => coil,
+            None => Coil::OnChip(SpiralSensor::for_die(floorplan.die()).map_err(EmError::Layout)?),
+        };
+        let model = self.model.unwrap_or_else(|| {
+            CurrentModel::new(Library::generic_180nm(), ClockConfig::reference())
+        });
+        let map = CouplingMap::build_with_step(
+            &coil,
+            floorplan.die(),
+            self.coupling_step_um.unwrap_or(DEFAULT_COUPLING_STEP_UM),
+            self.dipole_area_um2.unwrap_or(DEFAULT_DIPOLE_AREA_UM2),
+        )?;
+        let weights = map.weights_for(netlist, floorplan);
+        Ok(EmSensor {
+            coil,
+            map,
+            weights,
+            model,
+        })
+    }
 }
 
 /// A measurement channel: one coil over one placed netlist.
@@ -34,6 +148,9 @@ impl EmSensor {
     /// Builds the channel: computes the coil's coupling map over the
     /// floorplan's die and the per-cell weight vector.
     ///
+    /// A thin delegate to [`EmPipelineConfig`], kept for the common case
+    /// where both the coil and the model are explicit.
+    ///
     /// # Errors
     ///
     /// Propagates coupling-map construction errors.
@@ -43,14 +160,10 @@ impl EmSensor {
         floorplan: &Floorplan,
         model: CurrentModel,
     ) -> Result<Self, EmError> {
-        let map = CouplingMap::build(&coil, floorplan.die())?;
-        let weights = map.weights_for(netlist, floorplan);
-        Ok(Self {
-            coil,
-            map,
-            weights,
-            model,
-        })
+        EmPipelineConfig::default()
+            .with_coil(coil)
+            .with_model(model)
+            .build(netlist, floorplan)
     }
 
     /// Scales the per-cell weights element-wise — the hook through which
@@ -303,6 +416,29 @@ mod tests {
         let noise = s.measure_noise(40_000, 5);
         let expected = crate::noise::ONCHIP_ENV_NOISE_RMS_V;
         assert!((noise.rms_v() - expected).abs() < 0.05 * expected);
+    }
+
+    #[test]
+    fn config_defaults_match_the_legacy_constructor() {
+        let (n, fp) = small_design();
+        let legacy = sensor(&n, &fp);
+        let built = EmPipelineConfig::default().build(&n, &fp).unwrap();
+        assert_eq!(built.weights(), legacy.weights());
+        assert_eq!(built.coupling(), legacy.coupling());
+        assert_eq!(built.coil().name(), legacy.coil().name());
+    }
+
+    #[test]
+    fn config_knobs_validate_and_apply() {
+        assert!(EmPipelineConfig::default().with_coupling_step(0.0).is_err());
+        assert!(EmPipelineConfig::default().with_dipole_area(-1.0).is_err());
+        let (n, fp) = small_design();
+        let s = EmPipelineConfig::default()
+            .with_coupling_step(30.0)
+            .unwrap()
+            .build(&n, &fp)
+            .unwrap();
+        assert_eq!(s.coupling().step_um(), 30.0);
     }
 
     #[test]

@@ -77,6 +77,36 @@ impl Die {
     pub fn center(&self) -> Point {
         self.core.center()
     }
+
+    /// Partitions the core into a `rows × cols` grid of equal tiles —
+    /// the sub-sensor footprints of an EM sensor array. Tiles are
+    /// returned row-major from the south-west corner; shared edges are
+    /// computed from the same fractional boundaries, so the tiles cover
+    /// the core exactly (no gaps, no overlap beyond zero-width edges).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::InvalidParameter`] if `rows == 0` or
+    /// `cols == 0`.
+    pub fn tiles(&self, rows: usize, cols: usize) -> Result<Vec<Rect>, LayoutError> {
+        if rows == 0 || cols == 0 {
+            return Err(LayoutError::InvalidParameter {
+                what: "tile grid needs at least one row and one column",
+            });
+        }
+        let x = |c: usize| self.core.min.x + self.core.width() * c as f64 / cols as f64;
+        let y = |r: usize| self.core.min.y + self.core.height() * r as f64 / rows as f64;
+        let mut tiles = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                tiles.push(Rect::new(
+                    Point::new(x(c), y(r)),
+                    Point::new(x(c + 1), y(r + 1)),
+                ));
+            }
+        }
+        Ok(tiles)
+    }
 }
 
 /// Pad functions on the pad ring (paper Figs. 3 and 5).
@@ -302,6 +332,40 @@ impl Floorplan {
         &self.regions
     }
 
+    /// The region containing the die position, if any (regions do not
+    /// overlap; points on a shared edge report the first match in
+    /// [`Self::regions`] order).
+    pub fn region_at(&self, x_um: f64, y_um: f64) -> Option<&str> {
+        let p = Point::new(x_um, y_um);
+        self.regions
+            .iter()
+            .find(|(_, rect)| rect.contains(p))
+            .map(|(name, _)| name.as_str())
+    }
+
+    /// All regions ranked by distance from the die position, nearest
+    /// first (containing regions have distance zero) — the localization
+    /// step that maps an anomaly centroid back to a placed module. Ties
+    /// keep [`Self::regions`] order, which is deterministic.
+    pub fn regions_by_distance(&self, x_um: f64, y_um: f64) -> Vec<(&str, f64)> {
+        let p = Point::new(x_um, y_um);
+        let mut ranked: Vec<(&str, f64)> = self
+            .regions
+            .iter()
+            .map(|(name, rect)| (name.as_str(), rect.distance_to(p)))
+            .collect();
+        ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        ranked
+    }
+
+    /// The nearest region to a die position (see
+    /// [`Self::regions_by_distance`]); `None` only for an empty netlist.
+    pub fn nearest_region(&self, x_um: f64, y_um: f64) -> Option<&str> {
+        self.regions_by_distance(x_um, y_um)
+            .first()
+            .map(|&(name, _)| name)
+    }
+
     /// The pad ring.
     pub fn pads(&self) -> &[Pad] {
         &self.pads
@@ -422,5 +486,53 @@ mod tests {
         let a = Floorplan::place(&n, &lib, die).unwrap();
         let b = Floorplan::place(&n, &lib, die).unwrap();
         assert_eq!(a.locations(), b.locations());
+    }
+
+    #[test]
+    fn tiles_partition_the_core_exactly() {
+        let die = Die::square(600.0).unwrap();
+        let tiles = die.tiles(3, 2).unwrap();
+        assert_eq!(tiles.len(), 6);
+        let total: f64 = tiles.iter().map(|t| t.area()).sum();
+        assert!((total - die.core.area()).abs() < 1e-6);
+        // Row-major from the south-west corner.
+        assert_eq!(tiles[0].min, die.core.min);
+        assert_eq!(tiles[5].max, die.core.max);
+        // Shared edges come from the same fractional boundary.
+        assert_eq!(tiles[0].max.x, tiles[1].min.x);
+        assert_eq!(tiles[0].max.y, tiles[2].min.y);
+        assert!(die.tiles(0, 2).is_err());
+        assert!(die.tiles(2, 0).is_err());
+    }
+
+    #[test]
+    fn single_tile_is_the_whole_core() {
+        let die = Die::square(480.0).unwrap();
+        let tiles = die.tiles(1, 1).unwrap();
+        assert_eq!(tiles, vec![die.core]);
+    }
+
+    #[test]
+    fn region_lookup_and_distance_ranking() {
+        let n = tagged_netlist(400, 60);
+        let lib = Library::generic_180nm();
+        let die = Die::for_netlist(&n, &lib, 0.6).unwrap();
+        let fp = Floorplan::place(&n, &lib, die).unwrap();
+        let (aes_name, aes_rect) = (&fp.regions()[0].0, fp.regions()[0].1);
+        let c = aes_rect.center();
+        assert_eq!(fp.region_at(c.x, c.y), Some(aes_name.as_str()));
+        assert_eq!(fp.nearest_region(c.x, c.y), Some(aes_name.as_str()));
+        // A point inside the trojan band ranks its own region first.
+        let (t_name, t_rect) = (&fp.regions()[1].0, fp.regions()[1].1);
+        let tc = t_rect.center();
+        assert_eq!(t_name, "trojan1");
+        let ranked = fp.regions_by_distance(tc.x, tc.y);
+        assert_eq!(ranked[0], (t_name.as_str(), 0.0));
+        // Every region appears exactly once in the ranking.
+        assert_eq!(ranked.len(), fp.regions().len());
+        // Far outside the die nothing contains the point, but the
+        // nearest region is still reported.
+        assert_eq!(fp.region_at(-1e6, -1e6), None);
+        assert!(fp.nearest_region(-1e6, -1e6).is_some());
     }
 }

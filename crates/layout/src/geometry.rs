@@ -102,6 +102,14 @@ impl Rect {
         p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
     }
 
+    /// Euclidean distance from `p` to the rectangle (zero inside or on
+    /// the boundary).
+    pub fn distance_to(self, p: Point) -> f64 {
+        let dx = (self.min.x - p.x).max(p.x - self.max.x).max(0.0);
+        let dy = (self.min.y - p.y).max(p.y - self.max.y).max(0.0);
+        dx.hypot(dy)
+    }
+
     /// The four boundary segments, counter-clockwise from the SW corner.
     pub fn boundary(self) -> [Segment; 4] {
         let sw = self.min;
@@ -154,6 +162,15 @@ mod tests {
         assert!(r.contains(Point::new(0.0, 0.0)));
         assert!(r.contains(Point::new(1.0, 1.0)));
         assert!(!r.contains(Point::new(1.1, 0.0)));
+    }
+
+    #[test]
+    fn rect_distance_is_zero_inside_and_euclidean_outside() {
+        let r = Rect::new(Point::new(0.0, 0.0), Point::new(2.0, 1.0));
+        assert_eq!(r.distance_to(Point::new(1.0, 0.5)), 0.0);
+        assert_eq!(r.distance_to(Point::new(2.0, 1.0)), 0.0);
+        assert!((r.distance_to(Point::new(4.0, 0.5)) - 2.0).abs() < 1e-12);
+        assert!((r.distance_to(Point::new(5.0, 5.0)) - 5.0).abs() < 1e-12);
     }
 
     #[test]

@@ -125,7 +125,56 @@ impl CurrentModel {
         extra_leakage_a: Option<&[f64]>,
         workers: usize,
     ) -> Result<CurrentTrace, PowerError> {
-        if let Some(w) = weights {
+        let mut traces =
+            self.synthesize_multi_impl(netlist, activity, &[weights], extra_leakage_a, workers)?;
+        Ok(traces.swap_remove(0))
+    }
+
+    /// Synthesizes one waveform **per weight vector** from a single walk
+    /// over the activity's events — the sensor-array path: one simulation
+    /// pass, N coupling kernels, N flux-weighted currents.
+    ///
+    /// Every per-event charge is computed once and deposited into each
+    /// weight set's buffer in set order, so the `k`-th output is
+    /// bit-identical to `synthesize_with(netlist, activity,
+    /// Some(weight_sets[k]), extra_leakage_a, workers)` at a fraction of
+    /// the cost (the event walk and chunk bookkeeping are shared).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::LengthMismatch`] if any weight vector doesn't
+    /// cover every cell or `extra_leakage_a` doesn't cover every cycle,
+    /// and [`PowerError::InvalidParameter`] for an empty weight-set list.
+    pub fn synthesize_multi(
+        &self,
+        netlist: &Netlist,
+        activity: &ActivityTrace,
+        weight_sets: &[&[f64]],
+        extra_leakage_a: Option<&[f64]>,
+        workers: usize,
+    ) -> Result<Vec<CurrentTrace>, PowerError> {
+        if weight_sets.is_empty() {
+            return Err(PowerError::InvalidParameter {
+                what: "synthesize_multi needs at least one weight vector",
+            });
+        }
+        let sets: Vec<Option<&[f64]>> = weight_sets.iter().map(|w| Some(*w)).collect();
+        self.synthesize_multi_impl(netlist, activity, &sets, extra_leakage_a, workers)
+    }
+
+    /// The shared renderer behind [`Self::synthesize_with`] and
+    /// [`Self::synthesize_multi`]: one walk over cycles and events, one
+    /// output buffer per weight set, deposits applied per set in set
+    /// order so each output reproduces the single-set numerics exactly.
+    fn synthesize_multi_impl(
+        &self,
+        netlist: &Netlist,
+        activity: &ActivityTrace,
+        weight_sets: &[Option<&[f64]>],
+        extra_leakage_a: Option<&[f64]>,
+        workers: usize,
+    ) -> Result<Vec<CurrentTrace>, PowerError> {
+        for w in weight_sets.iter().flatten() {
             if w.len() != netlist.cell_count() {
                 return Err(PowerError::LengthMismatch {
                     expected: netlist.cell_count(),
@@ -142,6 +191,7 @@ impl CurrentModel {
             }
         }
 
+        let n_sets = weight_sets.len();
         let spc = self.clock.samples_per_cycle();
         let n_cycles = activity.cycle_count();
         let n_samples = n_cycles * spc;
@@ -149,20 +199,26 @@ impl CurrentModel {
         let dt = 1.0 / fs;
         let tau = self.library.gate_delay_s();
         let period = self.clock.period_s();
-        let mut samples = vec![0.0; n_samples];
 
-        let weight_of = |cell: emtrust_netlist::graph::CellId| -> f64 {
-            weights.map_or(1.0, |w| w[cell.index()])
+        let weight_of = |set: usize, cell: emtrust_netlist::graph::CellId| -> f64 {
+            weight_sets[set].map_or(1.0, |w| w[cell.index()])
         };
 
-        // Static leakage floor (weighted like everything else).
-        let leakage_a: f64 = netlist
-            .cells()
-            .map(|(id, c)| weight_of(id) * self.library.electrical(c.kind()).leakage_na * 1e-9)
-            .sum();
-        for s in samples.iter_mut() {
-            *s += leakage_a;
-        }
+        // Static leakage floor, weighted per set like everything else.
+        let leakage_a: Vec<f64> = (0..n_sets)
+            .map(|s| {
+                netlist
+                    .cells()
+                    .map(|(id, c)| {
+                        weight_of(s, id) * self.library.electrical(c.kind()).leakage_na * 1e-9
+                    })
+                    .sum()
+            })
+            .collect();
+        let mut outputs: Vec<Vec<f64>> = leakage_a
+            .iter()
+            .map(|&leak| vec![leak; n_samples])
+            .collect();
 
         // Clock tree: every flop's clock load switches at every edge.
         let flops: Vec<(emtrust_netlist::graph::CellId, f64)> = netlist
@@ -173,26 +229,37 @@ impl CurrentModel {
                 (id, q)
             })
             .collect();
-        let clock_charge_weighted: f64 = flops.iter().map(|&(id, q)| weight_of(id) * q).sum();
+        let clock_charge_weighted: Vec<f64> = (0..n_sets)
+            .map(|s| flops.iter().map(|&(id, q)| weight_of(s, id) * q).sum())
+            .collect();
 
-        let mean_weight = if let Some(w) = weights {
-            if w.is_empty() {
-                1.0
-            } else {
-                w.iter().sum::<f64>() / w.len() as f64
-            }
-        } else {
-            1.0
-        };
+        let mean_weight: Vec<f64> = weight_sets
+            .iter()
+            .map(|weights| {
+                if let Some(w) = weights {
+                    if w.is_empty() {
+                        1.0
+                    } else {
+                        w.iter().sum::<f64>() / w.len() as f64
+                    }
+                } else {
+                    1.0
+                }
+            })
+            .collect();
 
-        // Renders cycles `clo..chi` into `buf`, with deposit times taken
-        // relative to the chunk start (`buf[0]` is sample `clo * spc`).
-        let render = |clo: usize, chi: usize, buf: &mut [f64]| {
+        // Renders cycles `clo..chi` into one buffer per set, with deposit
+        // times taken relative to the chunk start (`bufs[s][0]` is sample
+        // `clo * spc`). Events are walked once; each charge is deposited
+        // into every set's buffer in set order.
+        let render = |clo: usize, chi: usize, bufs: &mut [Vec<f64>]| {
             for k in clo..chi {
                 let cycle = &activity.cycles()[k];
                 let cycle_t0 = (k - clo) as f64 * period;
                 // Clock edge at the start of the cycle.
-                deposit(buf, dt, cycle_t0 + tau * 0.5, clock_charge_weighted);
+                for (s, buf) in bufs.iter_mut().enumerate() {
+                    deposit(buf, dt, cycle_t0 + tau * 0.5, clock_charge_weighted[s]);
+                }
                 // Data toggles staggered by level.
                 for event in cycle.events() {
                     let kind = netlist.cell(event.cell).kind();
@@ -203,16 +270,20 @@ impl CurrentModel {
                         q0 * FALL_CHARGE_FRACTION
                     };
                     let t = cycle_t0 + (event.level as f64 + 0.5) * tau;
-                    deposit(buf, dt, t, q * weight_of(event.cell));
+                    for (s, buf) in bufs.iter_mut().enumerate() {
+                        deposit(buf, dt, t, q * weight_of(s, event.cell));
+                    }
                 }
                 // Per-cycle extra leakage (T2's channel).
                 if let Some(extra) = extra_leakage_a {
-                    let add = extra[k] * mean_weight;
-                    if add != 0.0 {
-                        let lo = (k - clo) * spc;
-                        let hi = (lo + spc).min(buf.len());
-                        for s in buf[lo..hi].iter_mut() {
-                            *s += add;
+                    for (s, buf) in bufs.iter_mut().enumerate() {
+                        let add = extra[k] * mean_weight[s];
+                        if add != 0.0 {
+                            let lo = (k - clo) * spc;
+                            let hi = (lo + spc).min(buf.len());
+                            for v in buf[lo..hi].iter_mut() {
+                                *v += add;
+                            }
                         }
                     }
                 }
@@ -221,8 +292,11 @@ impl CurrentModel {
 
         let n_chunks = n_cycles.div_ceil(CYCLE_CHUNK);
         if n_chunks <= 1 {
-            render(0, n_cycles, &mut samples);
-            return Ok(CurrentTrace::new(samples, fs));
+            render(0, n_cycles, &mut outputs);
+            return Ok(outputs
+                .into_iter()
+                .map(|samples| CurrentTrace::new(samples, fs))
+                .collect());
         }
 
         // One pool item per cycle chunk; the layout ignores `workers`.
@@ -239,23 +313,28 @@ impl CurrentModel {
                         .fold(tau * 0.5, f64::max);
                     let last_pos = ((chi - clo - 1) as f64 * period + max_off) / dt;
                     let len = ((chi - clo) * spc).max(last_pos.floor() as usize + 2);
-                    let mut buf = vec![0.0; len];
-                    render(clo, chi, &mut buf);
-                    buf
+                    let mut bufs = vec![vec![0.0; len]; n_sets];
+                    render(clo, chi, &mut bufs);
+                    bufs
                 })
                 .collect::<Vec<_>>()
         });
         for (c, local) in locals.iter().enumerate() {
             let offset = c * CYCLE_CHUNK * spc;
-            for (i, v) in local.iter().enumerate() {
-                if offset + i >= n_samples {
-                    break;
+            for (s, buf) in local.iter().enumerate() {
+                for (i, v) in buf.iter().enumerate() {
+                    if offset + i >= n_samples {
+                        break;
+                    }
+                    outputs[s][offset + i] += v;
                 }
-                samples[offset + i] += v;
             }
         }
 
-        Ok(CurrentTrace::new(samples, fs))
+        Ok(outputs
+            .into_iter()
+            .map(|samples| CurrentTrace::new(samples, fs))
+            .collect())
     }
 }
 
@@ -448,6 +527,62 @@ mod tests {
         for (a, b) in par.samples().iter().zip(serial.samples()) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn multi_synthesis_is_bit_identical_to_separate_calls() {
+        let n = toggle_netlist();
+        let act = record(&n, 200); // spans multiple CYCLE_CHUNK chunks
+        let m = model();
+        let w_half = vec![0.5; n.cell_count()];
+        let w_ramp: Vec<f64> = (0..n.cell_count()).map(|i| 0.1 + i as f64).collect();
+        let w_one = vec![1.0; n.cell_count()];
+        let extra = vec![1e-6; 200];
+        let sets: Vec<&[f64]> = vec![&w_half, &w_ramp, &w_one];
+        for workers in [1, 4] {
+            let multi = m
+                .synthesize_multi(&n, &act, &sets, Some(&extra), workers)
+                .unwrap();
+            assert_eq!(multi.len(), 3);
+            for (set, got) in sets.iter().zip(&multi) {
+                let alone = m
+                    .synthesize_with(&n, &act, Some(set), Some(&extra), workers)
+                    .unwrap();
+                assert_eq!(got.len(), alone.len());
+                for (a, b) in got.samples().iter().zip(alone.samples()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "workers={workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_synthesis_single_chunk_matches_too() {
+        let n = toggle_netlist();
+        let act = record(&n, 12);
+        let m = model();
+        let w = vec![0.25; n.cell_count()];
+        let multi = m.synthesize_multi(&n, &act, &[&w], None, 1).unwrap();
+        let alone = m.synthesize_with(&n, &act, Some(&w), None, 1).unwrap();
+        for (a, b) in multi[0].samples().iter().zip(alone.samples()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn multi_synthesis_rejects_bad_input() {
+        let n = toggle_netlist();
+        let act = record(&n, 2);
+        let m = model();
+        assert!(matches!(
+            m.synthesize_multi(&n, &act, &[], None, 1),
+            Err(PowerError::InvalidParameter { .. })
+        ));
+        let short = [1.0];
+        assert!(matches!(
+            m.synthesize_multi(&n, &act, &[&short], None, 1),
+            Err(PowerError::LengthMismatch { .. })
+        ));
     }
 
     #[test]

@@ -23,7 +23,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fingerprint = GoldenFingerprint::fit(&golden_traces, FingerprintConfig::default())?;
     let golden_window = bench.collect_continuous(key, 48, None, Channel::OnChipSensor, 2)?;
     let spectral = SpectralDetector::fit(&golden_window, SpectralConfig::default())?;
-    let mut monitor = TrustMonitor::new(fingerprint, Some(spectral));
+    let mut monitor = TrustMonitor::builder(fingerprint)
+        .with_spectral(spectral)
+        .build();
 
     // Dormant: both detectors stay quiet.
     let quiet = bench.collect_continuous(key, 48, None, Channel::OnChipSensor, 3)?;

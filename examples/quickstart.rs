@@ -37,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  Eq. 1 threshold: {:.4}", fingerprint.threshold());
 
     // 4. Runtime monitoring: the Trojan activates mid-stream.
-    let mut monitor = TrustMonitor::new(fingerprint, None);
+    let mut monitor = TrustMonitor::builder(fingerprint).build();
     println!("monitoring... (Trojan activates after trace 8)");
     let clean = bench.collect_with(key, stimulus, 8, None, Channel::OnChipSensor, 2)?;
     for trace in clean.traces() {

@@ -15,6 +15,9 @@
 //!   [`emtrust_dsp`] — the substrates.
 
 pub use emtrust;
+/// The workspace-wide error type — every layer's error converts into it
+/// with `?` (see [`emtrust::error`]).
+pub use emtrust::Error;
 pub use emtrust_aes;
 pub use emtrust_dsp;
 pub use emtrust_em;

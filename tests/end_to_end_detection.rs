@@ -19,7 +19,7 @@ fn trojan_is_caught_at_runtime_through_the_onchip_sensor() {
         .collect_with(KEY, STIMULUS, 16, None, Channel::OnChipSensor, 11)
         .expect("golden traces");
     let fp = GoldenFingerprint::fit(&golden, FingerprintConfig::default()).expect("fingerprint");
-    let mut monitor = TrustMonitor::new(fp, None);
+    let mut monitor = TrustMonitor::builder(fp).build();
 
     // Healthy operation: no alarms.
     let clean = bench

@@ -36,7 +36,9 @@ fn clean_traces(n: usize, seed: u64) -> Vec<Vec<f64>> {
 fn fitted_monitor() -> TrustMonitor {
     let golden = TraceSet::new(clean_traces(32, 1), 640e6).expect("golden set");
     let fp = GoldenFingerprint::fit(&golden, FingerprintConfig::default()).expect("fit");
-    TrustMonitor::new(fp, None).with_sanitizer(TraceSanitizer::default())
+    TrustMonitor::builder(fp)
+        .with_sanitizer(TraceSanitizer::default())
+        .build()
 }
 
 /// Builds a random 1–3 entry plan from one seed (kinds, intensities and

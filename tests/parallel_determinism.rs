@@ -112,7 +112,7 @@ fn monitor_raises_the_same_alarms_in_the_same_order_for_1_2_8_workers() {
             ..FingerprintConfig::default()
         };
         let fp = GoldenFingerprint::fit(&golden, config).unwrap();
-        let mut monitor = TrustMonitor::new(fp, None);
+        let mut monitor = TrustMonitor::builder(fp).build();
         let raised = monitor.ingest_batch(&suspects).unwrap();
         assert!(!raised.is_empty(), "anomalies must alarm");
         assert_eq!(monitor.traces_seen(), suspects.len() as u64);
@@ -138,11 +138,11 @@ fn batch_ingest_matches_serial_ingest_exactly() {
     suspects.push(clean.traces()[0].iter().map(|x| 1.4 * x).collect());
 
     let fp = GoldenFingerprint::fit(&golden, FingerprintConfig::default()).unwrap();
-    let mut serial = TrustMonitor::new(fp.clone(), None);
+    let mut serial = TrustMonitor::builder(fp.clone()).build();
     for t in &suspects {
         let _ = serial.ingest_trace(t).unwrap();
     }
-    let mut batched = TrustMonitor::new(fp, None);
+    let mut batched = TrustMonitor::builder(fp).build();
     let _ = batched.ingest_batch(&suspects).unwrap();
     assert_eq!(batched.alarms(), serial.alarms());
     assert_eq!(batched.traces_seen(), serial.traces_seen());

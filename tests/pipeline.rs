@@ -132,7 +132,7 @@ proptest! {
 // Bit-identical equivalence with the legacy monitor
 // ---------------------------------------------------------------------
 
-/// The pipeline the legacy `TrustMonitor::new(fp, None)` wraps.
+/// The pipeline `TrustMonitor::builder(fp).build()` wraps.
 fn euclidean_pipeline(fp: &GoldenFingerprint) -> DetectionPipeline {
     DetectionPipeline::builder()
         .detector(Box::new(EuclideanDetector::new(fp.clone())))
@@ -170,7 +170,7 @@ fn per_trace_ingest_matches_the_legacy_monitor_bit_for_bit() {
             .collect_with(KEY, STIMULUS, 6, Some(trojan), Channel::OnChipSensor, 13)
             .expect("armed");
 
-        let mut monitor = TrustMonitor::new(fp.clone(), None);
+        let mut monitor = TrustMonitor::builder(fp.clone()).build();
         let mut pipeline = euclidean_pipeline(&fp);
         for t in clean.traces().iter().chain(armed.traces().iter()) {
             let legacy = monitor.ingest_trace(t).expect("monitor ingest");
@@ -236,7 +236,9 @@ fn sanitized_batch_ingest_matches_the_legacy_monitor() {
     // A corrupted acquisition the sanitizer must reject on both paths.
     traces[1][7] = f64::NAN;
 
-    let mut monitor = TrustMonitor::new(fp.clone(), None).with_sanitizer(TraceSanitizer::default());
+    let mut monitor = TrustMonitor::builder(fp.clone())
+        .with_sanitizer(TraceSanitizer::default())
+        .build();
     let mut pipeline = DetectionPipeline::builder()
         .detector(Box::new(EuclideanDetector::new(fp.clone())))
         .fusion(FusionPolicy::Or)
@@ -287,7 +289,9 @@ fn window_ingest_matches_the_legacy_monitor() {
         .expect("golden window");
     let spectral = SpectralDetector::fit(&golden_window, SpectralConfig::default()).expect("fit");
 
-    let mut monitor = TrustMonitor::new(fp.clone(), Some(spectral.clone()));
+    let mut monitor = TrustMonitor::builder(fp.clone())
+        .with_spectral(spectral.clone())
+        .build();
     let mut pipeline = DetectionPipeline::builder()
         .detector(Box::new(EuclideanDetector::new(fp.clone())))
         .detector(Box::new(SpectralWindowDetector::new(spectral)))

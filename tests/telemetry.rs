@@ -37,7 +37,7 @@ fn trojan_replay_raises_alarms_with_forensic_context() {
         .collect_with(KEY, STIMULUS, 12, None, Channel::OnChipSensor, 31)
         .expect("golden");
     let fp = GoldenFingerprint::fit(&golden, FingerprintConfig::default()).expect("fit");
-    let mut monitor = TrustMonitor::new(fp, None).with_forensic_depth(8);
+    let mut monitor = TrustMonitor::builder(fp).with_forensic_depth(8).build();
 
     let clean = bench
         .collect_with(KEY, STIMULUS, 3, None, Channel::OnChipSensor, 32)
