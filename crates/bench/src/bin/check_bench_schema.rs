@@ -49,11 +49,17 @@ fn expect_array<'a>(v: &'a Value, key: &str) -> Result<&'a [Value], String> {
         .ok_or_else(|| format!("\"{key}\" must be an array"))
 }
 
-/// Provenance fields every bench artifact carries.
+/// Provenance fields every bench artifact carries. The `"unknown"`
+/// sentinel is rejected: the writer falls back to `git rev-parse HEAD`
+/// when `EMTRUST_GIT_REV` is unset, so a committed artifact without a
+/// real revision means the environment was broken when it was generated.
 fn check_provenance(doc: &Value) -> Result<(), String> {
     expect_str(doc, "benchmark")?;
     expect_u64(doc, "timestamp_unix")?;
-    expect_str(doc, "git_rev")?;
+    let rev = expect_str(doc, "git_rev")?;
+    if rev == "unknown" || rev.is_empty() {
+        return Err("\"git_rev\" must carry a real revision, not \"unknown\"".into());
+    }
     Ok(())
 }
 
@@ -107,7 +113,17 @@ fn check_telemetry(doc: &Value) -> Result<(), String> {
 fn check_parallel(doc: &Value) -> Result<(), String> {
     check_provenance(doc)?;
     expect_u64(doc, "n_traces")?;
-    expect_u64(doc, "host_cpus")?;
+    let host_cpus = expect_u64(doc, "host_cpus")?;
+    let tuned = expect(doc, "auto_tuned", "object")?;
+    let tuned_workers = expect_u64(tuned, "workers")?;
+    if expect_u64(tuned, "chunk_size")? == 0 {
+        return Err("\"auto_tuned.chunk_size\" must be positive".into());
+    }
+    if tuned_workers == 0 || tuned_workers > host_cpus {
+        return Err(format!(
+            "\"auto_tuned.workers\" {tuned_workers} must be in 1..={host_cpus} (host_cpus)"
+        ));
+    }
     let results = expect_array(doc, "results")?;
     if results.is_empty() {
         return Err("\"results\" must not be empty".into());
@@ -115,12 +131,35 @@ fn check_parallel(doc: &Value) -> Result<(), String> {
     for (i, row) in results.iter().enumerate() {
         (|| {
             expect_u64(row, "workers")?;
+            let effective = expect_u64(row, "effective_workers")?;
+            if effective == 0 || effective > host_cpus {
+                return Err(format!(
+                    "\"effective_workers\" {effective} must be in 1..={host_cpus} (host_cpus)"
+                ));
+            }
             expect_number(row, "seconds")?;
             expect_number(row, "traces_per_sec")?;
             expect_number(row, "speedup")?;
             Ok::<(), String>(())
         })()
         .map_err(|e| format!("results[{i}]: {e}"))?;
+    }
+    let hot = expect(doc, "hot_path", "object")?;
+    expect_u64(hot, "sensors")?;
+    for key in [
+        "synth_before_seconds",
+        "synth_after_seconds",
+        "scan_before_seconds",
+        "scan_after_seconds",
+        "before_seconds",
+        "after_seconds",
+    ] {
+        if expect_number(hot, key)? <= 0.0 {
+            return Err(format!("\"hot_path.{key}\" must be positive"));
+        }
+    }
+    if expect_number(hot, "ratio")? <= 0.0 {
+        return Err("\"hot_path.ratio\" must be positive".into());
     }
     Ok(())
 }

@@ -10,18 +10,166 @@
 )]
 
 //! Throughput of the parallel acquisition engine: golden-set collect+fit
-//! at 1/2/4/8 workers. Prints a table and writes the machine-readable
-//! record to `BENCH_parallel.json` in the working directory.
+//! at 1/2/4/8 workers, plus the hot-path before/after ratio (scalar
+//! reference kernels vs. the SoA/table fast paths for multi-sensor
+//! synthesis and the Eq. 1 distance scan). Prints tables and writes the
+//! machine-readable record to `BENCH_parallel.json` in the working
+//! directory; CI's `perf` job feeds that artifact to
+//! `check_bench_regression`.
 
 use emtrust::acquisition::TestBench;
 use emtrust::fingerprint::{FingerprintConfig, GoldenFingerprint};
 use emtrust::parallel::ParallelConfig;
 use emtrust_bench::{ArtifactDoc, OrExit, Report, EXPERIMENT_KEY};
+use emtrust_dsp::distance;
+use emtrust_netlist::library::Library;
+use emtrust_power::{ClockConfig, CurrentModel};
 use emtrust_silicon::Channel;
+use emtrust_sim::engine::Simulator;
 use emtrust_trojan::ProtectedChip;
 use std::time::Instant;
 
 const N_TRACES: usize = 32;
+
+/// Weight sets in the multi-sensor hot-path measurement (a 2×2 array).
+const HOT_SETS: usize = 4;
+/// Timing repeats; the minimum is recorded (least-noise estimator).
+const HOT_REPEATS: usize = 3;
+/// Repeats of each worker-count collect+fit measurement. Higher than
+/// [`HOT_REPEATS`] because the regression gate compares these rows
+/// across CI runs, where scheduler noise is worst.
+const WORKER_REPEATS: usize = 5;
+/// Golden-set shape for the Eq. 1 scan: vectors × window samples.
+const HOT_VECS: usize = 32;
+const HOT_WINDOW: usize = 256;
+
+/// Minimum wall-clock seconds of `f` over [`HOT_REPEATS`] runs.
+fn best_of(mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..HOT_REPEATS {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Measures the synthesis + scoring hot paths before (scalar reference
+/// kernels, one pass per sensor) and after (shared event walk with
+/// amplitude tables, SoA distance scan). Returns the JSON fragment for
+/// the artifact's `hot_path` field.
+fn hot_path_ratio(report: &mut Report) -> String {
+    // A real AES encryption supplies the event stream.
+    let aes = emtrust_aes::AesHarness::new();
+    let mut sim = Simulator::new(aes.netlist()).or_exit("sim");
+    sim.start_recording();
+    let _ = emtrust_aes::netlist::run_encryption(&mut sim, aes.ports(), [1; 16], [2; 16]);
+    let activity = sim.take_recording();
+    let model = CurrentModel::new(Library::generic_180nm(), ClockConfig::reference());
+
+    // Deterministic synthetic coupling kernels — the timing only cares
+    // that every cell carries a distinct nonzero weight per set.
+    let n_cells = aes.netlist().cell_count();
+    let weight_sets: Vec<Vec<f64>> = (0..HOT_SETS)
+        .map(|s| {
+            (0..n_cells)
+                .map(|i| 0.2 + ((i * (s + 3)) % 17) as f64 / 17.0)
+                .collect()
+        })
+        .collect();
+    let set_refs: Vec<&[f64]> = weight_sets.iter().map(Vec::as_slice).collect();
+
+    // Before: one full scalar-renderer pass per sensor.
+    let synth_before_s = best_of(|| {
+        for w in &weight_sets {
+            let _ = model
+                .synthesize_reference(aes.netlist(), &activity, Some(w), None)
+                .or_exit("reference synthesis");
+        }
+    });
+    // After: one shared event walk deposits into all sensors.
+    let synth_after_s = best_of(|| {
+        let _ = model
+            .synthesize_multi(aes.netlist(), &activity, &set_refs, None, 1)
+            .or_exit("multi synthesis");
+    });
+
+    // Equivalence cross-check while we are here: the fast path must
+    // reproduce the reference bit for bit.
+    let fast = model
+        .synthesize_multi(aes.netlist(), &activity, &set_refs, None, 1)
+        .or_exit("multi synthesis");
+    for (w, got) in weight_sets.iter().zip(&fast) {
+        let reference = model
+            .synthesize_reference(aes.netlist(), &activity, Some(w), None)
+            .or_exit("reference synthesis");
+        assert_eq!(
+            got.samples(),
+            reference.samples(),
+            "table-driven synthesis must be bit-identical to the reference"
+        );
+    }
+
+    // Eq. 1 golden-distance scan over windows of the synthesized trace.
+    let samples = fast[0].samples();
+    let golden: Vec<Vec<f64>> = (0..HOT_VECS)
+        .map(|v| {
+            (0..HOT_WINDOW)
+                .map(|i| samples[(v * HOT_WINDOW + i) % samples.len()])
+                .collect()
+        })
+        .collect();
+    let scan_before_s = best_of(|| {
+        let _ = distance::eq1_threshold_reference(&golden).or_exit("reference scan");
+    });
+    // Serial on purpose: this isolates the SoA kernel, not the pool.
+    let scan_after_s = best_of(|| {
+        let _ = distance::eq1_threshold_with(&golden, 1, usize::MAX).or_exit("scan");
+    });
+    let th_before = distance::eq1_threshold_reference(&golden).or_exit("reference scan");
+    let th_after = distance::eq1_threshold_with(&golden, 1, usize::MAX).or_exit("scan");
+    assert!(
+        (th_before - th_after).abs() <= 1e-9 * th_before.abs().max(1e-300),
+        "lane-kernel threshold {th_after} drifted from reference {th_before}"
+    );
+
+    let before_s = synth_before_s + scan_before_s;
+    let after_s = synth_after_s + scan_after_s;
+    let ratio = before_s / after_s;
+    report.table(
+        &format!("Hot-path before/after ({HOT_SETS}-sensor synthesis + Eq. 1 scan)"),
+        &["stage", "before s", "after s", "ratio"],
+        &[
+            vec![
+                "synthesize".into(),
+                format!("{synth_before_s:.4}"),
+                format!("{synth_after_s:.4}"),
+                format!("{:.2}x", synth_before_s / synth_after_s),
+            ],
+            vec![
+                "eq1 scan".into(),
+                format!("{scan_before_s:.4}"),
+                format!("{scan_after_s:.4}"),
+                format!("{:.2}x", scan_before_s / scan_after_s),
+            ],
+            vec![
+                "combined".into(),
+                format!("{before_s:.4}"),
+                format!("{after_s:.4}"),
+                format!("{ratio:.2}x"),
+            ],
+        ],
+    );
+    report.scalar("hot_path_ratio", ratio);
+    format!(
+        "{{\"sensors\": {HOT_SETS}, \"synth_before_seconds\": {synth_before_s:.6}, \
+         \"synth_after_seconds\": {synth_after_s:.6}, \
+         \"scan_before_seconds\": {scan_before_s:.6}, \
+         \"scan_after_seconds\": {scan_after_s:.6}, \
+         \"before_seconds\": {before_s:.6}, \"after_seconds\": {after_s:.6}, \
+         \"ratio\": {ratio:.4}}}"
+    )
+}
 
 fn main() {
     let mut report = Report::from_env("exp_throughput");
@@ -32,6 +180,7 @@ fn main() {
     let mut reference = None;
     for workers in [1usize, 2, 4, 8] {
         let pool = ParallelConfig::default().with_workers(workers);
+        let effective = pool.effective_workers(N_TRACES);
         let bench = TestBench::simulation(&chip)
             .or_exit("bench")
             .with_parallel(pool);
@@ -39,12 +188,21 @@ fn main() {
             parallel: pool,
             ..FingerprintConfig::default()
         };
-        let t0 = Instant::now();
-        let set = bench
-            .collect(EXPERIMENT_KEY, N_TRACES, None, Channel::OnChipSensor, 42)
-            .or_exit("collect");
-        let fp = GoldenFingerprint::fit(&set, config).or_exit("fit");
-        let elapsed = t0.elapsed().as_secs_f64();
+        // Minimum of HOT_REPEATS runs: a single collect+fit is short
+        // enough that scheduler noise would otherwise dominate the
+        // speedup column the CI regression gate checks.
+        let mut elapsed = f64::INFINITY;
+        let mut fp = None;
+        for _ in 0..WORKER_REPEATS {
+            let t0 = Instant::now();
+            let set = bench
+                .collect(EXPERIMENT_KEY, N_TRACES, None, Channel::OnChipSensor, 42)
+                .or_exit("collect");
+            let fitted = GoldenFingerprint::fit(&set, config).or_exit("fit");
+            elapsed = elapsed.min(t0.elapsed().as_secs_f64());
+            fp = Some(fitted);
+        }
+        let fp = fp.or_exit("at least one repeat");
         // Determinism cross-check while we are here: every worker count
         // must reproduce the serial threshold bit for bit.
         match reference {
@@ -63,30 +221,42 @@ fn main() {
         report.scalar(&format!("workers_{workers}_seconds"), elapsed);
         rows.push(vec![
             workers.to_string(),
+            effective.to_string(),
             format!("{elapsed:.2}"),
             format!("{tps:.2}"),
             format!("{speedup:.2}x"),
         ]);
         json_rows.push(format!(
-            "    {{\"workers\": {workers}, \"seconds\": {elapsed:.4}, \
+            "    {{\"workers\": {workers}, \"effective_workers\": {effective}, \
+             \"seconds\": {elapsed:.4}, \
              \"traces_per_sec\": {tps:.4}, \"speedup\": {speedup:.4}}}"
         ));
     }
     report.table(
         &format!("Golden-set collect+fit throughput ({N_TRACES} traces)"),
-        &["workers", "seconds", "traces/s", "speedup"],
+        &["workers", "effective", "seconds", "traces/s", "speedup"],
         &rows,
     );
+    let hot_path = hot_path_ratio(&mut report);
     let host_cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    let auto = ParallelConfig::auto_for(N_TRACES);
     ArtifactDoc::new("golden_collect_fit")
         .field_u64("n_traces", N_TRACES as u64)
         .field_u64("host_cpus", host_cpus as u64)
+        .field_raw(
+            "auto_tuned",
+            format!(
+                "{{\"workers\": {}, \"chunk_size\": {}}}",
+                auto.workers, auto.chunk_size
+            ),
+        )
         .field_str(
             "note",
-            "speedup is bounded by host_cpus; on a single-core host all \
-             worker counts time-slice one core",
+            "speedup is bounded by host_cpus; requested workers are clamped \
+             to the host so oversubscription cannot regress below 1x",
         )
         .field_array("results", &json_rows)
+        .field_raw("hot_path", hot_path)
         .write("BENCH_parallel.json", &mut report);
     report.finish();
 }

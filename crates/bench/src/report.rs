@@ -308,10 +308,31 @@ pub fn unix_timestamp() -> u64 {
         .unwrap_or(0)
 }
 
-/// The git revision CI passes via `EMTRUST_GIT_REV` ("unknown" when the
-/// variable is absent, e.g. local runs).
+/// The git revision stamped into artifacts: `EMTRUST_GIT_REV` when CI
+/// sets it, otherwise `git rev-parse HEAD` from the working tree, and
+/// only then the `"unknown"` sentinel (which `check_bench_schema`
+/// rejects — a committed artifact must carry real provenance).
 pub fn git_rev() -> String {
-    std::env::var("EMTRUST_GIT_REV").unwrap_or_else(|_| "unknown".to_string())
+    if let Ok(rev) = std::env::var("EMTRUST_GIT_REV") {
+        let rev = rev.trim().to_string();
+        if !rev.is_empty() {
+            return rev;
+        }
+    }
+    if let Ok(out) = std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+    {
+        if out.status.success() {
+            if let Ok(rev) = String::from_utf8(out.stdout) {
+                let rev = rev.trim().to_string();
+                if !rev.is_empty() {
+                    return rev;
+                }
+            }
+        }
+    }
+    "unknown".to_string()
 }
 
 #[cfg(test)]
@@ -357,6 +378,16 @@ mod tests {
         assert_eq!(tables[0].get("rows").unwrap().as_array().unwrap().len(), 2);
         let notes = v.get("notes").unwrap().as_array().unwrap();
         assert_eq!(notes[0].as_str(), Some("shape check: fine"));
+    }
+
+    #[test]
+    fn git_rev_resolves_real_provenance() {
+        // CI sets EMTRUST_GIT_REV; local runs (and this test) fall back
+        // to `git rev-parse HEAD` of the working tree. Either way the
+        // sentinel must not leak into artifacts.
+        let rev = git_rev();
+        assert_ne!(rev, "unknown");
+        assert!(rev.len() >= 7, "suspiciously short revision {rev:?}");
     }
 
     #[test]

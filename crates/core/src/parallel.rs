@@ -58,6 +58,59 @@ impl ParallelConfig {
         self
     }
 
+    /// Self-tunes the configuration for a workload of `n_items` items.
+    ///
+    /// The policy:
+    ///
+    /// - **Workers** are clamped to the host's available parallelism and
+    ///   to the item count — a pool can never go slower than serial by
+    ///   oversubscribing cores, and never spawns a thread with nothing
+    ///   to do.
+    /// - **Chunk size** targets [`Self::CHUNKS_PER_WORKER`] chunks per
+    ///   worker so the atomic-cursor scheduler can load-balance uneven
+    ///   items, bounded to `1..=MAX_AUTO_CHUNK` so tiny workloads stay
+    ///   fine-grained and huge ones still amortize dispatch.
+    ///
+    /// Chunk boundaries remain a pure function of the chunk size, so a
+    /// tuned configuration keeps the workspace-wide guarantee: results
+    /// are bit-identical to any other worker count for the same chunk
+    /// size, and every chunk-pure stage (trace collection, featurize,
+    /// distance scans) is bit-identical for *any* chunk size too.
+    pub fn tuned_for(self, n_items: usize) -> Self {
+        let host = emtrust_dsp::parallel::host_parallelism();
+        let workers = self.workers.min(host).min(n_items.max(1)).max(1);
+        let chunk_size =
+            (n_items / (workers * Self::CHUNKS_PER_WORKER).max(1)).clamp(1, Self::MAX_AUTO_CHUNK);
+        Self {
+            workers,
+            chunk_size,
+        }
+    }
+
+    /// [`Self::tuned_for`] starting from the default configuration (all
+    /// cores): the zero-knob entry point for batch workloads.
+    pub fn auto_for(n_items: usize) -> Self {
+        Self::default().tuned_for(n_items)
+    }
+
+    /// Target number of chunks per worker picked by [`Self::tuned_for`]:
+    /// enough slack for the cursor scheduler to absorb uneven chunk
+    /// costs, few enough to keep dispatch overhead negligible.
+    pub const CHUNKS_PER_WORKER: usize = 4;
+
+    /// Upper bound on the auto-tuned chunk size.
+    pub const MAX_AUTO_CHUNK: usize = 32;
+
+    /// The worker count the substrate will actually use for `n_items`
+    /// items after its oversubscription clamp.
+    pub fn effective_workers(&self, n_items: usize) -> usize {
+        let n_chunks = n_items.div_ceil(self.chunk_size.max(1)).max(1);
+        self.workers
+            .max(1)
+            .min(emtrust_dsp::parallel::host_parallelism())
+            .min(n_chunks)
+    }
+
     /// Maps chunk ranges of `0..n_items` with `f` across the pool and
     /// concatenates the chunk outputs in chunk order.
     ///
@@ -138,6 +191,41 @@ mod tests {
     }
 
     #[test]
+    fn tuned_config_never_exceeds_items_or_host() {
+        let host = emtrust_dsp::parallel::host_parallelism();
+        for n_items in [0usize, 1, 2, 3, 7, 32, 1000] {
+            let cfg = ParallelConfig::auto_for(n_items);
+            assert!(cfg.workers >= 1);
+            assert!(cfg.workers <= host, "n_items={n_items}");
+            assert!(cfg.workers <= n_items.max(1), "n_items={n_items}");
+            assert!(cfg.chunk_size >= 1);
+            assert!(cfg.chunk_size <= ParallelConfig::MAX_AUTO_CHUNK);
+        }
+    }
+
+    #[test]
+    fn tuned_map_is_bit_identical_to_serial() {
+        let n = 97;
+        let serial: Vec<f64> = ParallelConfig::serial().map(n, |i| (i as f64 * 0.3).sin());
+        let tuned: Vec<f64> = ParallelConfig::auto_for(n).map(n, |i| (i as f64 * 0.3).sin());
+        for (a, b) in serial.iter().zip(&tuned) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn effective_workers_accounts_for_chunks_and_host() {
+        let cfg = ParallelConfig::default()
+            .with_workers(usize::MAX)
+            .with_chunk_size(4);
+        let host = emtrust_dsp::parallel::host_parallelism();
+        // 8 items in chunks of 4 = 2 chunks; the host cap also applies.
+        assert_eq!(cfg.effective_workers(8), host.min(2));
+        assert_eq!(ParallelConfig::serial().effective_workers(1000), 1);
+        assert_eq!(cfg.effective_workers(0), 1);
+    }
+
+    #[test]
     fn errors_pick_the_lowest_chunk() {
         let cfg = ParallelConfig::default().with_workers(8).with_chunk_size(2);
         let got: Result<Vec<usize>, usize> =
@@ -145,5 +233,45 @@ mod tests {
         // Chunk [10, 12) is the lowest failing chunk; within a chunk the
         // scan is sequential, so index 11 is the reported error.
         assert_eq!(got.unwrap_err(), 11);
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Auto-tuning never exceeds the host's parallelism or the item
+        /// count, and always yields a sane chunk size, no matter the
+        /// workload or the (possibly absurd) requested worker count.
+        #[test]
+        fn tuned_configs_respect_host_and_item_bounds(
+            n_items in 0usize..100_000,
+            requested in 1usize..4096,
+        ) {
+            let host = emtrust_dsp::parallel::host_parallelism();
+            for cfg in [
+                ParallelConfig::auto_for(n_items),
+                ParallelConfig::default().with_workers(requested).tuned_for(n_items),
+            ] {
+                prop_assert!(cfg.workers >= 1);
+                prop_assert!(cfg.workers <= host);
+                prop_assert!(cfg.workers <= n_items.max(1));
+                prop_assert!(cfg.chunk_size >= 1);
+                prop_assert!(cfg.chunk_size <= ParallelConfig::MAX_AUTO_CHUNK);
+                prop_assert!(cfg.effective_workers(n_items) <= cfg.workers);
+            }
+        }
+
+        /// An auto-tuned map is bit-identical to the serial path for any
+        /// workload size — the determinism guarantee is worker- and
+        /// chunk-independent.
+        #[test]
+        fn tuned_map_is_bit_identical_to_serial_for_any_size(n in 1usize..300) {
+            let serial: Vec<f64> =
+                ParallelConfig::serial().map(n, |i| (i as f64 * 0.37).sin() * 1e-6);
+            let tuned: Vec<f64> =
+                ParallelConfig::auto_for(n).map(n, |i| (i as f64 * 0.37).sin() * 1e-6);
+            for (a, b) in serial.iter().zip(&tuned) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 }

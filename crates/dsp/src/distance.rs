@@ -13,7 +13,42 @@
 
 use crate::DspError;
 
+/// Independent accumulator lanes of the squared-distance kernel.
+///
+/// Four lanes break the loop-carried dependency of a sequential f64 sum
+/// (which the compiler may never reassociate), so the inner loop
+/// autovectorizes; the lane combine order is fixed —
+/// `((l0 + l2) + (l1 + l3)) + tail` — making the result a deterministic
+/// function of the inputs alone.
+pub const DISTANCE_LANES: usize = 4;
+
+/// The lane-structured squared-difference kernel shared by every distance
+/// function: 4 independent accumulators over `chunks_exact` blocks, a
+/// sequential tail, and the fixed lane combine.
+#[inline]
+fn sum_sq_diff(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = [0.0f64; DISTANCE_LANES];
+    let mut ca = a.chunks_exact(DISTANCE_LANES);
+    let mut cb = b.chunks_exact(DISTANCE_LANES);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for l in 0..DISTANCE_LANES {
+            let d = xa[l] - xb[l];
+            acc[l] += d * d;
+        }
+    }
+    let mut tail = 0.0;
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        let d = x - y;
+        tail += d * d;
+    }
+    ((acc[0] + acc[2]) + (acc[1] + acc[3])) + tail
+}
+
 /// Euclidean (L2) distance between two equal-length vectors.
+///
+/// Computed with the lane-structured kernel ([`DISTANCE_LANES`]
+/// accumulators, fixed combine order); see [`euclidean_reference`] for
+/// the sequential scalar ordering it replaced.
 ///
 /// # Errors
 ///
@@ -31,17 +66,7 @@ use crate::DspError;
 /// # }
 /// ```
 pub fn euclidean(a: &[f64], b: &[f64]) -> Result<f64, DspError> {
-    if a.len() != b.len() {
-        return Err(DspError::LengthMismatch {
-            expected: a.len(),
-            actual: b.len(),
-        });
-    }
-    Ok(a.iter()
-        .zip(b)
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum::<f64>()
-        .sqrt())
+    Ok(euclidean_sqr(a, b)?.sqrt())
 }
 
 /// Squared Euclidean distance (no square root; cheaper for comparisons).
@@ -56,7 +81,48 @@ pub fn euclidean_sqr(a: &[f64], b: &[f64]) -> Result<f64, DspError> {
             actual: b.len(),
         });
     }
-    Ok(a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum())
+    Ok(sum_sq_diff(a, b))
+}
+
+/// The sequential scalar Euclidean distance — one accumulator, strictly
+/// left-to-right summation. Retained as the reference path for the lane
+/// kernel: equivalence tests bound the reassociation error against it,
+/// and the perf-regression bench (`exp_throughput`) times it as the
+/// before side of the hot-path ratio.
+///
+/// # Errors
+///
+/// Returns [`DspError::LengthMismatch`] if the lengths differ.
+pub fn euclidean_reference(a: &[f64], b: &[f64]) -> Result<f64, DspError> {
+    if a.len() != b.len() {
+        return Err(DspError::LengthMismatch {
+            expected: a.len(),
+            actual: b.len(),
+        });
+    }
+    Ok(a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt())
+}
+
+/// Flattens a uniform set of vectors into one contiguous row-major
+/// buffer, validating dimensions up front. The pair scans walk this SoA
+/// layout instead of chasing one heap pointer per vector.
+fn flatten_set(set: &[Vec<f64>]) -> Result<(Vec<f64>, usize), DspError> {
+    let dim = set.first().map_or(0, Vec::len);
+    let mut flat = Vec::with_capacity(set.len() * dim);
+    for v in set {
+        if v.len() != dim {
+            return Err(DspError::LengthMismatch {
+                expected: dim,
+                actual: v.len(),
+            });
+        }
+        flat.extend_from_slice(v);
+    }
+    Ok((flat, dim))
 }
 
 /// All pairwise Euclidean distances within a set of vectors.
@@ -87,15 +153,17 @@ pub fn pairwise_distances_with(
 ) -> Result<Vec<f64>, DspError> {
     let _span = emtrust_telemetry::span("pairwise_scan");
     let n = set.len();
-    let rows = crate::parallel::chunked_try_map(n, row_chunk.min(n.max(1)), workers, |range| {
+    let (flat, dim) = flatten_set(set)?;
+    let row = |i: usize| &flat[i * dim..(i + 1) * dim];
+    let rows = crate::parallel::chunked_map(n, row_chunk.min(n.max(1)), workers, |range| {
         let mut out = Vec::new();
         for i in range {
             for j in (i + 1)..n {
-                out.push(euclidean(&set[i], &set[j])?);
+                out.push(sum_sq_diff(row(i), row(j)).sqrt());
             }
         }
-        Ok(vec![out])
-    })?;
+        vec![out]
+    });
     Ok(rows.into_iter().flatten().collect())
 }
 
@@ -149,16 +217,42 @@ pub fn eq1_threshold_with(
             what: "eq1 threshold needs at least two golden vectors",
         });
     }
-    let partials = crate::parallel::chunked_try_map(n, row_chunk.min(n), workers, |range| {
+    let (flat, dim) = flatten_set(golden)?;
+    let row = |i: usize| &flat[i * dim..(i + 1) * dim];
+    let best = crate::parallel::chunked_max(n, row_chunk.min(n), workers, 0.0, |range| {
         let mut best = 0.0f64;
         for i in range {
             for j in (i + 1)..n {
-                best = best.max(euclidean(&golden[i], &golden[j])?);
+                best = best.max(sum_sq_diff(row(i), row(j)));
             }
         }
-        Ok(vec![best])
-    })?;
-    Ok(partials.into_iter().fold(0.0f64, f64::max))
+        best
+    });
+    Ok(best.sqrt())
+}
+
+/// [`eq1_threshold`] over the sequential scalar kernel
+/// ([`euclidean_reference`]) and the unflattened vector-of-vectors
+/// layout — the pre-optimization scan retained for equivalence tests and
+/// as the before side of the `exp_throughput` hot-path ratio.
+///
+/// # Errors
+///
+/// Same as [`eq1_threshold`].
+pub fn eq1_threshold_reference(golden: &[Vec<f64>]) -> Result<f64, DspError> {
+    let n = golden.len();
+    if n < 2 {
+        return Err(DspError::InvalidParameter {
+            what: "eq1 threshold needs at least two golden vectors",
+        });
+    }
+    let mut best = 0.0f64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            best = best.max(euclidean_reference(&golden[i], &golden[j])?);
+        }
+    }
+    Ok(best)
 }
 
 /// Distance of `probe` to the centroid (mean vector) of `reference`.
@@ -266,7 +360,61 @@ mod tests {
         assert!(d < 1e-12);
     }
 
+    /// A scalar mirror of the lane kernel: the same four accumulator
+    /// lanes computed as four strided scalar passes, combined in the same
+    /// fixed order. Any structural drift in `sum_sq_diff` shows up as a
+    /// bit difference here.
+    fn sum_sq_diff_scalar_mirror(a: &[f64], b: &[f64]) -> f64 {
+        let blocks = a.len() / DISTANCE_LANES;
+        let mut acc = [0.0f64; DISTANCE_LANES];
+        for (l, lane) in acc.iter_mut().enumerate() {
+            for k in 0..blocks {
+                let i = k * DISTANCE_LANES + l;
+                let d = a[i] - b[i];
+                *lane += d * d;
+            }
+        }
+        let mut tail = 0.0;
+        for i in blocks * DISTANCE_LANES..a.len() {
+            let d = a[i] - b[i];
+            tail += d * d;
+        }
+        ((acc[0] + acc[2]) + (acc[1] + acc[3])) + tail
+    }
+
     proptest! {
+        #[test]
+        fn lane_kernel_is_bit_identical_to_scalar_mirror(
+            a in proptest::collection::vec(-100.0f64..100.0, 1..=67),
+            offs in proptest::collection::vec(-1.0f64..1.0, 67..=67),
+        ) {
+            let b: Vec<f64> = a.iter().zip(&offs).map(|(x, o)| x + o).collect();
+            let fast = euclidean_sqr(&a, &b).unwrap();
+            let mirror = sum_sq_diff_scalar_mirror(&a, &b);
+            prop_assert_eq!(fast.to_bits(), mirror.to_bits());
+        }
+
+        #[test]
+        fn lane_kernel_matches_sequential_reference(
+            a in proptest::collection::vec(-100.0f64..100.0, 1..=67),
+            offs in proptest::collection::vec(-1.0f64..1.0, 67..=67),
+        ) {
+            let b: Vec<f64> = a.iter().zip(&offs).map(|(x, o)| x + o).collect();
+            let fast = euclidean(&a, &b).unwrap();
+            let reference = euclidean_reference(&a, &b).unwrap();
+            prop_assert!((fast - reference).abs() <= 1e-12 * (1.0 + reference));
+        }
+
+        #[test]
+        fn flattened_eq1_scan_matches_reference_scan(
+            set in proptest::collection::vec(
+                proptest::collection::vec(-5.0f64..5.0, 6..=6), 2..10),
+        ) {
+            let opt = eq1_threshold(&set).unwrap();
+            let reference = eq1_threshold_reference(&set).unwrap();
+            prop_assert!((opt - reference).abs() <= 1e-12 * (1.0 + reference));
+        }
+
         #[test]
         fn triangle_inequality(
             a in proptest::collection::vec(-10.0f64..10.0, 8..=8),

@@ -15,7 +15,19 @@
 
 use emtrust_telemetry as telemetry;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
+
+/// Number of hardware threads the host offers, detected once and cached.
+///
+/// Every pool clamps its effective worker count to this value: running
+/// more compute-bound workers than cores only adds time-slicing overhead
+/// (the `BENCH_parallel.json` scaling cliff), and because chunk layout —
+/// and therefore every result bit — is independent of the worker count,
+/// the clamp is always safe to apply.
+pub fn host_parallelism() -> usize {
+    static HOST: OnceLock<usize> = OnceLock::new();
+    *HOST.get_or_init(|| std::thread::available_parallelism().map_or(1, usize::from))
+}
 
 /// Splits `n_items` into contiguous chunks of at most `chunk_size`, maps
 /// every chunk with `f` on up to `workers` threads, and returns the
@@ -42,7 +54,11 @@ where
     F: Fn(std::ops::Range<usize>) -> Result<Vec<R>, E> + Sync,
 {
     let chunk_size = chunk_size.max(1);
-    let workers = workers.max(1);
+    // Oversubscription clamp: requesting more workers than the host has
+    // hardware threads can only slow a compute-bound pool down, and the
+    // worker count never affects results, so the cap is applied here —
+    // beneath every call site — rather than trusting each caller.
+    let workers = workers.max(1).min(host_parallelism());
     let n_chunks = n_items.div_ceil(chunk_size);
     if n_items == 0 {
         return Ok(Vec::new());
@@ -185,5 +201,28 @@ mod tests {
     fn oversubscribed_workers_are_harmless() {
         let got = chunked_map(5, 2, 100, |r| r.collect::<Vec<_>>());
         assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn host_parallelism_is_positive_and_stable() {
+        let a = host_parallelism();
+        assert!(a >= 1);
+        assert_eq!(a, host_parallelism());
+    }
+
+    #[test]
+    fn clamped_pool_is_bit_identical_to_unclamped_request() {
+        // Requesting far more workers than the host has must produce the
+        // same bits as a serial run — the clamp only changes scheduling.
+        let values: Vec<f64> = (0..257).map(|i| (i as f64 * 0.7).sin()).collect();
+        let serial: Vec<f64> = chunked_map(values.len(), 8, 1, |r| {
+            r.map(|i| values[i] * values[i]).collect::<Vec<_>>()
+        });
+        let huge = chunked_map(values.len(), 8, 10_000, |r| {
+            r.map(|i| values[i] * values[i]).collect::<Vec<_>>()
+        });
+        for (a, b) in serial.iter().zip(&huge) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 }

@@ -87,28 +87,7 @@ impl Pca {
             *m /= n;
         }
 
-        // Covariance matrix (population normalization; the detector only
-        // compares relative variances so the 1/n vs 1/(n-1) choice is moot).
-        let mut cov = Matrix::zeros(dim, dim);
-        for s in samples {
-            for i in 0..dim {
-                let di = s[i] - mean[i];
-                if di == 0.0 {
-                    continue;
-                }
-                for j in i..dim {
-                    let v = cov.get(i, j) + di * (s[j] - mean[j]);
-                    cov.set(i, j, v);
-                }
-            }
-        }
-        for i in 0..dim {
-            for j in i..dim {
-                let v = cov.get(i, j) / n;
-                cov.set(i, j, v);
-                cov.set(j, i, v);
-            }
-        }
+        let cov = covariance(samples, &mean, n);
 
         let (eigenvalues, eigenvectors) = jacobi_eigen(&cov, 128)?;
 
@@ -197,6 +176,46 @@ impl Pca {
     pub fn components(&self) -> &Matrix {
         &self.components
     }
+}
+
+/// Population covariance of `samples` around `mean` (`n` = sample count;
+/// the detector only compares relative variances so the 1/n vs 1/(n-1)
+/// choice is moot).
+///
+/// The accumulation runs over one flat row-major buffer with the sample
+/// centered once into a scratch vector, so the upper-triangle update is
+/// a contiguous `row[j] += di * centered[j]` sweep — the same additions
+/// in the same order as the per-element `Matrix::get`/`set` loop it
+/// replaced (bit-identical), without the per-element bounds asserts or
+/// the `O(dim²)` re-subtraction of the mean.
+fn covariance(samples: &[Vec<f64>], mean: &[f64], n: f64) -> Matrix {
+    let dim = mean.len();
+    let mut acc = vec![0.0f64; dim * dim];
+    let mut centered = vec![0.0f64; dim];
+    for s in samples {
+        for (c, (x, m)) in centered.iter_mut().zip(s.iter().zip(mean)) {
+            *c = x - m;
+        }
+        for i in 0..dim {
+            let di = centered[i];
+            if di == 0.0 {
+                continue;
+            }
+            let row = &mut acc[i * dim + i..(i + 1) * dim];
+            for (r, &cj) in row.iter_mut().zip(&centered[i..]) {
+                *r += di * cj;
+            }
+        }
+    }
+    let mut cov = Matrix::zeros(dim, dim);
+    for i in 0..dim {
+        for j in i..dim {
+            let v = acc[i * dim + j] / n;
+            cov.set(i, j, v);
+            cov.set(j, i, v);
+        }
+    }
+    cov
 }
 
 /// Eigendecomposition of a symmetric matrix by cyclic Jacobi rotations.
@@ -391,6 +410,67 @@ mod tests {
         assert!(pca.project(&[1.0]).is_err());
         assert_eq!(pca.input_dim(), 2);
         assert_eq!(pca.n_components(), 1);
+    }
+
+    /// The pre-optimization covariance loop: per-element `get`/`set`
+    /// with the mean re-subtracted for every `(i, j)` pair. The slice
+    /// version must reproduce it bit for bit.
+    fn covariance_reference(samples: &[Vec<f64>], mean: &[f64], n: f64) -> Matrix {
+        let dim = mean.len();
+        let mut cov = Matrix::zeros(dim, dim);
+        for s in samples {
+            for i in 0..dim {
+                let di = s[i] - mean[i];
+                if di == 0.0 {
+                    continue;
+                }
+                for j in i..dim {
+                    let v = cov.get(i, j) + di * (s[j] - mean[j]);
+                    cov.set(i, j, v);
+                }
+            }
+        }
+        for i in 0..dim {
+            for j in i..dim {
+                let v = cov.get(i, j) / n;
+                cov.set(i, j, v);
+                cov.set(j, i, v);
+            }
+        }
+        cov
+    }
+
+    #[test]
+    fn covariance_slices_are_bit_identical_to_reference_loop() {
+        let dim = 17;
+        let samples: Vec<Vec<f64>> = (0..23)
+            .map(|s| {
+                (0..dim)
+                    .map(|d| ((s * 31 + d * 7) as f64 * 0.37).sin() * (1.0 + d as f64))
+                    .collect()
+            })
+            .collect();
+        let n = samples.len() as f64;
+        let mut mean = vec![0.0; dim];
+        for s in &samples {
+            for (m, x) in mean.iter_mut().zip(s) {
+                *m += x;
+            }
+        }
+        for m in mean.iter_mut() {
+            *m /= n;
+        }
+        let fast = covariance(&samples, &mean, n);
+        let reference = covariance_reference(&samples, &mean, n);
+        for i in 0..dim {
+            for j in 0..dim {
+                assert_eq!(
+                    fast.get(i, j).to_bits(),
+                    reference.get(i, j).to_bits(),
+                    "cov[{i}][{j}]"
+                );
+            }
+        }
     }
 
     #[test]

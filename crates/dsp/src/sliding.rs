@@ -1,0 +1,293 @@
+//! Incremental sliding-window DFT for streaming spectra.
+//!
+//! Continuous acquisition produces one long trace that a streaming
+//! detector wants to re-analyze every few samples. Recomputing a radix-2
+//! FFT per hop costs `O(N log N)`; the sliding DFT updates every
+//! one-sided bin in `O(1)` per new sample — `O(N)` for a fully refreshed
+//! window — using the classic recurrence
+//!
+//! ```text
+//! X_k' = (X_k − x_old + x_new) · e^{+i 2π k / N}
+//! ```
+//!
+//! which holds for the forward convention `X_k = Σ_m x_m e^{−i 2π k m / N}`
+//! used by [`crate::fft`]. The rotation accumulates rounding drift, so the
+//! bins are periodically renormalized by an exact FFT of the ring buffer;
+//! the estimator is therefore tolerance-equivalent (not bit-identical) to
+//! a full recompute, which the tests pin down.
+
+use crate::fft::{fft_real, Complex};
+use crate::spectrum::Spectrum;
+use crate::DspError;
+
+/// Renormalization cadence in multiples of the window length: after this
+/// many windows' worth of pushes, the bins are recomputed exactly from
+/// the ring buffer to squelch accumulated rotation drift.
+const RENORM_WINDOWS: usize = 64;
+
+/// A sliding-window DFT over the last `window_len` pushed samples.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), emtrust_dsp::DspError> {
+/// use emtrust_dsp::sliding::SlidingDft;
+///
+/// let fs = 1024.0;
+/// let mut dft = SlidingDft::new(256)?;
+/// // A bin-aligned 64 Hz tone of amplitude 2.
+/// for i in 0..256 {
+///     dft.push(2.0 * (2.0 * std::f64::consts::PI * 64.0 * i as f64 / fs).sin());
+/// }
+/// assert!(dft.is_warm());
+/// let spec = dft.spectrum(fs)?;
+/// let m = spec.magnitude_at(64.0).expect("in range");
+/// assert!((m - 2.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlidingDft {
+    /// Circular sample buffer; `head` indexes the oldest sample.
+    ring: Vec<f64>,
+    head: usize,
+    filled: usize,
+    /// One-sided bins `0..=N/2` of the current window.
+    bins: Vec<Complex>,
+    /// Per-bin rotation `e^{+i 2π k / N}`.
+    twiddles: Vec<Complex>,
+    /// Pushes since the last exact renormalization.
+    pushes: usize,
+}
+
+impl SlidingDft {
+    /// Creates a sliding DFT over windows of `window_len` samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::NotPowerOfTwo`] unless `window_len` is a power
+    /// of two of at least 2 (the renormalization pass reuses the radix-2
+    /// FFT).
+    pub fn new(window_len: usize) -> Result<Self, DspError> {
+        if window_len < 2 || !window_len.is_power_of_two() {
+            return Err(DspError::NotPowerOfTwo { len: window_len });
+        }
+        let half = window_len / 2 + 1;
+        let step = 2.0 * std::f64::consts::PI / window_len as f64;
+        let twiddles: Vec<Complex> = (0..half)
+            .map(|k| Complex::from_polar_unit(step * k as f64))
+            .collect();
+        Ok(Self {
+            ring: vec![0.0; window_len],
+            head: 0,
+            filled: 0,
+            bins: vec![Complex::ZERO; half],
+            twiddles,
+            pushes: 0,
+        })
+    }
+
+    /// The window length in samples.
+    pub fn window_len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether a full window has been pushed (before that, the implicit
+    /// leading zeros of the ring still participate in the bins).
+    pub fn is_warm(&self) -> bool {
+        self.filled >= self.ring.len()
+    }
+
+    /// Slides the window forward by one sample in `O(window_len)` bin
+    /// updates.
+    pub fn push(&mut self, x: f64) {
+        let x_old = self.ring[self.head];
+        self.ring[self.head] = x;
+        self.head = (self.head + 1) % self.ring.len();
+        self.filled = (self.filled + 1).min(self.ring.len());
+        let delta = Complex::from(x - x_old);
+        for (b, &tw) in self.bins.iter_mut().zip(&self.twiddles) {
+            *b = (*b + delta) * tw;
+        }
+        self.pushes += 1;
+        if self.pushes >= RENORM_WINDOWS * self.ring.len() {
+            self.renormalize();
+        }
+    }
+
+    /// Pushes every sample of `samples` in order.
+    pub fn extend(&mut self, samples: &[f64]) {
+        for &x in samples {
+            self.push(x);
+        }
+    }
+
+    /// The one-sided DFT bins `0..=N/2` of the current window (oldest
+    /// sample at phase index 0), in the forward `e^{−i2πkm/N}` convention.
+    pub fn bins(&self) -> &[Complex] {
+        &self.bins
+    }
+
+    /// The current window's one-sided magnitude [`Spectrum`], normalized
+    /// exactly like [`Spectrum::compute`] with a rectangular window, so it
+    /// is directly comparable against batch-estimated spectra of the same
+    /// length and rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] if `sample_rate_hz <= 0`.
+    pub fn spectrum(&self, sample_rate_hz: f64) -> Result<Spectrum, DspError> {
+        let n = self.ring.len();
+        let scale = 2.0 / n as f64;
+        let magnitudes: Vec<f64> = self
+            .bins
+            .iter()
+            .enumerate()
+            .map(|(k, c)| {
+                let s = if k == 0 || k == n / 2 {
+                    scale / 2.0
+                } else {
+                    scale
+                };
+                c.abs() * s
+            })
+            .collect();
+        let df = sample_rate_hz / n as f64;
+        let freqs_hz: Vec<f64> = (0..self.bins.len()).map(|k| k as f64 * df).collect();
+        Spectrum::from_one_sided_parts(freqs_hz, magnitudes, sample_rate_hz)
+    }
+
+    /// Recomputes the bins exactly from the ring buffer, discarding the
+    /// rotation drift of the incremental updates.
+    fn renormalize(&mut self) {
+        let n = self.ring.len();
+        let mut linear = Vec::with_capacity(n);
+        linear.extend_from_slice(&self.ring[self.head..]);
+        linear.extend_from_slice(&self.ring[..self.head]);
+        // The length is a power of two by construction, so the FFT cannot
+        // fail; keep the drifted bins if it somehow does.
+        if let Ok(full) = fft_real(&linear) {
+            let half = self.bins.len();
+            self.bins.copy_from_slice(&full[..half]);
+        }
+        self.pushes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Largest relative deviation between the sliding bins and an exact
+    /// FFT of the same window.
+    fn max_bin_error(dft: &SlidingDft, window: &[f64]) -> f64 {
+        let exact = fft_real(window).unwrap();
+        let scale = window.len() as f64;
+        dft.bins()
+            .iter()
+            .zip(&exact[..dft.bins().len()])
+            .map(|(a, b)| (*a - *b).abs() / scale)
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn warm_window_matches_exact_fft() {
+        let fs = 512.0;
+        let n = 128;
+        let signal: Vec<f64> = (0..400)
+            .map(|i| {
+                let t = i as f64 / fs;
+                (2.0 * std::f64::consts::PI * 48.0 * t).sin()
+                    + 0.3 * (2.0 * std::f64::consts::PI * 130.0 * t).cos()
+            })
+            .collect();
+        let mut dft = SlidingDft::new(n).unwrap();
+        for (i, &x) in signal.iter().enumerate() {
+            dft.push(x);
+            if i + 1 >= n {
+                assert!(dft.is_warm());
+                let err = max_bin_error(&dft, &signal[i + 1 - n..=i]);
+                assert!(err < 1e-10, "window ending at {i}: error {err:.3e}");
+            }
+        }
+    }
+
+    #[test]
+    fn spectrum_matches_batch_compute() {
+        use crate::spectrum::Spectrum;
+        use crate::window::Window;
+        let fs = 1024.0;
+        let n = 64;
+        let signal: Vec<f64> = (0..200)
+            .map(|i| (2.0 * std::f64::consts::PI * 96.0 * i as f64 / fs).sin())
+            .collect();
+        let mut dft = SlidingDft::new(n).unwrap();
+        dft.extend(&signal);
+        let streamed = dft.spectrum(fs).unwrap();
+        let last = &signal[signal.len() - n..];
+        let batch = Spectrum::compute(last, fs, Window::Rectangular).unwrap();
+        assert_eq!(streamed.freqs_hz(), batch.freqs_hz());
+        for (a, b) in streamed.magnitudes().iter().zip(batch.magnitudes()) {
+            assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn renormalization_bounds_long_run_drift() {
+        let fs = 256.0;
+        let n = 32;
+        // Long enough to cross several renormalization points.
+        let total = RENORM_WINDOWS * n * 3 + n / 2;
+        let signal: Vec<f64> = (0..total)
+            .map(|i| (2.0 * std::f64::consts::PI * 40.0 * i as f64 / fs).sin() + 0.1)
+            .collect();
+        let mut dft = SlidingDft::new(n).unwrap();
+        dft.extend(&signal);
+        let err = max_bin_error(&dft, &signal[total - n..]);
+        assert!(err < 1e-9, "drift after {total} pushes: {err:.3e}");
+    }
+
+    #[test]
+    fn cold_window_treats_missing_samples_as_zero() {
+        let n = 16;
+        let mut dft = SlidingDft::new(n).unwrap();
+        assert!(!dft.is_warm());
+        dft.extend(&[1.0, -2.0, 3.0]);
+        assert!(!dft.is_warm());
+        let mut padded = vec![0.0; n];
+        padded[n - 3..].copy_from_slice(&[1.0, -2.0, 3.0]);
+        let err = max_bin_error(&dft, &padded);
+        assert!(err < 1e-12, "cold-window error {err:.3e}");
+    }
+
+    #[test]
+    fn rejects_bad_window_and_rate() {
+        assert!(SlidingDft::new(0).is_err());
+        assert!(SlidingDft::new(1).is_err());
+        assert!(SlidingDft::new(48).is_err());
+        let dft = SlidingDft::new(8).unwrap();
+        assert!(dft.spectrum(0.0).is_err());
+        assert!(dft.spectrum(-1.0).is_err());
+    }
+
+    proptest! {
+        /// The incremental estimator agrees with a full FFT recompute on
+        /// random signals, at every full-window position.
+        #[test]
+        fn sliding_dft_matches_full_recompute_on_random_windows(
+            samples in proptest::collection::vec(-1.0f64..1.0, 64..200),
+            exp in 3u32..7,
+        ) {
+            let n = 1usize << exp;
+            let mut dft = SlidingDft::new(n).unwrap();
+            for (i, &x) in samples.iter().enumerate() {
+                dft.push(x);
+                if i + 1 >= n {
+                    let err = max_bin_error(&dft, &samples[i + 1 - n..=i]);
+                    prop_assert!(err < 1e-10, "window ending at {}: {:.3e}", i, err);
+                }
+            }
+        }
+    }
+}

@@ -67,17 +67,23 @@ impl CouplingMap {
         let ny = (die.height_um() / step_um).ceil() as usize + 1;
         let polys = coil.turn_polygons();
         let z = coil.z_um();
+        // SoA sweep: grid coordinates are precomputed once, and the loop
+        // nest runs polygon-outermost so one turn's vertex data stays hot
+        // while it accumulates into the contiguous `values` rows. The
+        // per-point polygon order (and with it every accumulation bit) is
+        // exactly that of the point-outermost loop it replaced.
+        let xs: Vec<f64> = (0..nx).map(|ix| x0 + ix as f64 * step_um).collect();
+        let ys: Vec<f64> = (0..ny).map(|iy| y0 + iy as f64 * step_um).collect();
         let mut values = vec![0.0; nx * ny];
-        for iy in 0..ny {
-            for ix in 0..nx {
-                let x = x0 + ix as f64 * step_um;
-                let y = y0 + iy as f64 * step_um;
-                let m: f64 = polys
-                    .iter()
-                    .map(|p| mutual_inductance_per_um2(p, z, x, y))
-                    .sum();
-                values[iy * nx + ix] = m * dipole_area_um2;
+        for p in &polys {
+            for (row, &y) in values.chunks_exact_mut(nx).zip(&ys) {
+                for (v, &x) in row.iter_mut().zip(&xs) {
+                    *v += mutual_inductance_per_um2(p, z, x, y);
+                }
             }
+        }
+        for v in values.iter_mut() {
+            *v *= dipole_area_um2;
         }
         Ok(Self {
             x0,
@@ -225,6 +231,36 @@ mod tests {
         for (i, &wi) in w.iter().enumerate() {
             let p = fp.locations()[i];
             assert!((wi - map.at(p.x, p.y)).abs() < 1e-18);
+        }
+    }
+
+    #[test]
+    fn polygon_outer_sweep_is_bit_identical_to_point_outer_reference() {
+        // The pre-optimization kernel: one grid point at a time, summing
+        // over polygons. The production sweep must reproduce every value
+        // bit for bit.
+        let die = die();
+        let coil: Coil = SpiralSensor::for_die(die).unwrap().into();
+        let step = 30.0;
+        let map = CouplingMap::build_with_step(&coil, die, step, DEFAULT_DIPOLE_AREA_UM2).unwrap();
+        let (nx, ny) = map.grid_shape();
+        let polys = coil.turn_polygons();
+        let z = coil.z_um();
+        for iy in 0..ny {
+            for ix in 0..nx {
+                let x = die.core.min.x + ix as f64 * step;
+                let y = die.core.min.y + iy as f64 * step;
+                let m: f64 = polys
+                    .iter()
+                    .map(|p| mutual_inductance_per_um2(p, z, x, y))
+                    .sum();
+                let reference = m * DEFAULT_DIPOLE_AREA_UM2;
+                assert_eq!(
+                    map.values[iy * nx + ix].to_bits(),
+                    reference.to_bits(),
+                    "grid point ({ix}, {iy})"
+                );
+            }
         }
     }
 

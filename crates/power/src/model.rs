@@ -162,6 +162,128 @@ impl CurrentModel {
         self.synthesize_multi_impl(netlist, activity, &sets, extra_leakage_a, workers)
     }
 
+    /// The pre-optimization scalar renderer: netlist/library lookups and
+    /// a charge division on every event, one weight set, serial — the
+    /// path [`Self::synthesize_with`] ran before the amplitude tables.
+    ///
+    /// Retained (not test-gated) for two jobs: equivalence tests assert
+    /// the table-driven fast path reproduces it bit for bit, and
+    /// `exp_throughput` times it as the before side of the hot-path
+    /// ratio recorded in `BENCH_parallel.json`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::synthesize`].
+    pub fn synthesize_reference(
+        &self,
+        netlist: &Netlist,
+        activity: &ActivityTrace,
+        weights: Option<&[f64]>,
+        extra_leakage_a: Option<&[f64]>,
+    ) -> Result<CurrentTrace, PowerError> {
+        if let Some(w) = weights {
+            if w.len() != netlist.cell_count() {
+                return Err(PowerError::LengthMismatch {
+                    expected: netlist.cell_count(),
+                    actual: w.len(),
+                });
+            }
+        }
+        if let Some(l) = extra_leakage_a {
+            if l.len() != activity.cycle_count() {
+                return Err(PowerError::LengthMismatch {
+                    expected: activity.cycle_count(),
+                    actual: l.len(),
+                });
+            }
+        }
+        let spc = self.clock.samples_per_cycle();
+        let n_cycles = activity.cycle_count();
+        let n_samples = n_cycles * spc;
+        let fs = self.clock.sample_rate_hz();
+        let dt = 1.0 / fs;
+        let tau = self.library.gate_delay_s();
+        let period = self.clock.period_s();
+        let weight_of = |cell: emtrust_netlist::graph::CellId| -> f64 {
+            weights.map_or(1.0, |w| w[cell.index()])
+        };
+        let leakage_a: f64 = netlist
+            .cells()
+            .map(|(id, c)| weight_of(id) * self.library.electrical(c.kind()).leakage_na * 1e-9)
+            .sum();
+        let mut output = vec![leakage_a; n_samples];
+        let clock_charge_weighted: f64 = netlist
+            .cells()
+            .filter(|(_, c)| c.kind() == CellKind::Dff)
+            .map(|(id, _)| {
+                let q = self.library.charge_per_transition_c(CellKind::Dff) * CLOCK_LOAD_FRACTION;
+                weight_of(id) * q
+            })
+            .sum();
+        let mean_weight = weights.map_or(1.0, |w| {
+            if w.is_empty() {
+                1.0
+            } else {
+                w.iter().sum::<f64>() / w.len() as f64
+            }
+        });
+
+        let render = |clo: usize, chi: usize, buf: &mut Vec<f64>| {
+            for k in clo..chi {
+                let cycle = &activity.cycles()[k];
+                let cycle_t0 = (k - clo) as f64 * period;
+                deposit(buf, dt, cycle_t0 + tau * 0.5, clock_charge_weighted);
+                for event in cycle.events() {
+                    let kind = netlist.cell(event.cell).kind();
+                    let q0 = self.library.charge_per_transition_c(kind);
+                    let q = if event.rising {
+                        q0
+                    } else {
+                        q0 * FALL_CHARGE_FRACTION
+                    };
+                    let t = cycle_t0 + (event.level as f64 + 0.5) * tau;
+                    deposit(buf, dt, t, q * weight_of(event.cell));
+                }
+                if let Some(extra) = extra_leakage_a {
+                    let add = extra[k] * mean_weight;
+                    if add != 0.0 {
+                        let lo = (k - clo) * spc;
+                        let hi = (lo + spc).min(buf.len());
+                        for v in buf[lo..hi].iter_mut() {
+                            *v += add;
+                        }
+                    }
+                }
+            }
+        };
+
+        let n_chunks = n_cycles.div_ceil(CYCLE_CHUNK);
+        if n_chunks <= 1 {
+            render(0, n_cycles, &mut output);
+            return Ok(CurrentTrace::new(output, fs));
+        }
+        for c in 0..n_chunks {
+            let clo = c * CYCLE_CHUNK;
+            let chi = (clo + CYCLE_CHUNK).min(n_cycles);
+            let max_off = (clo..chi)
+                .flat_map(|k| activity.cycles()[k].events())
+                .map(|e| (e.level as f64 + 0.5) * tau)
+                .fold(tau * 0.5, f64::max);
+            let last_pos = ((chi - clo - 1) as f64 * period + max_off) / dt;
+            let len = ((chi - clo) * spc).max(last_pos.floor() as usize + 2);
+            let mut buf = vec![0.0; len];
+            render(clo, chi, &mut buf);
+            let offset = clo * spc;
+            for (i, v) in buf.iter().enumerate() {
+                if offset + i >= n_samples {
+                    break;
+                }
+                output[offset + i] += v;
+            }
+        }
+        Ok(CurrentTrace::new(output, fs))
+    }
+
     /// The shared renderer behind [`Self::synthesize_with`] and
     /// [`Self::synthesize_multi`]: one walk over cycles and events, one
     /// output buffer per weight set, deposits applied per set in set
@@ -248,30 +370,48 @@ impl CurrentModel {
             })
             .collect();
 
+        // Per-set deposit-amplitude tables, rise/fall interleaved per
+        // cell: `tab[2c]` is the rising amplitude of cell `c`, `tab[2c+1]`
+        // the falling one. Each entry is `(q · w) / dt` computed in the
+        // exact multiply/divide order of the per-event path it replaces,
+        // so every deposited sample keeps its bits — but the event loop
+        // no longer touches the netlist, the library, or a divider.
+        let n_cells = netlist.cell_count();
+        let amp_tables: Vec<Vec<f64>> = (0..n_sets)
+            .map(|s| {
+                let mut tab = vec![0.0; n_cells * 2];
+                for (id, c) in netlist.cells() {
+                    let q0 = self.library.charge_per_transition_c(c.kind());
+                    let w = weight_of(s, id);
+                    tab[id.index() * 2] = (q0 * w) / dt;
+                    tab[id.index() * 2 + 1] = ((q0 * FALL_CHARGE_FRACTION) * w) / dt;
+                }
+                tab
+            })
+            .collect();
+        let clock_amp: Vec<f64> = clock_charge_weighted.iter().map(|&q| q / dt).collect();
+
         // Renders cycles `clo..chi` into one buffer per set, with deposit
         // times taken relative to the chunk start (`bufs[s][0]` is sample
-        // `clo * spc`). Events are walked once; each charge is deposited
-        // into every set's buffer in set order.
+        // `clo * spc`). Events are walked once; the sample position is
+        // computed once per event and the precomputed amplitude is
+        // deposited into every set's buffer in set order.
         let render = |clo: usize, chi: usize, bufs: &mut [Vec<f64>]| {
             for k in clo..chi {
                 let cycle = &activity.cycles()[k];
                 let cycle_t0 = (k - clo) as f64 * period;
                 // Clock edge at the start of the cycle.
-                for (s, buf) in bufs.iter_mut().enumerate() {
-                    deposit(buf, dt, cycle_t0 + tau * 0.5, clock_charge_weighted[s]);
+                let clock_pos = (cycle_t0 + tau * 0.5) / dt;
+                for (buf, &amp) in bufs.iter_mut().zip(&clock_amp) {
+                    deposit_amp(buf, clock_pos, amp);
                 }
                 // Data toggles staggered by level.
                 for event in cycle.events() {
-                    let kind = netlist.cell(event.cell).kind();
-                    let q0 = self.library.charge_per_transition_c(kind);
-                    let q = if event.rising {
-                        q0
-                    } else {
-                        q0 * FALL_CHARGE_FRACTION
-                    };
                     let t = cycle_t0 + (event.level as f64 + 0.5) * tau;
-                    for (s, buf) in bufs.iter_mut().enumerate() {
-                        deposit(buf, dt, t, q * weight_of(s, event.cell));
+                    let pos = t / dt;
+                    let slot = event.cell.index() * 2 + usize::from(!event.rising);
+                    for (buf, tab) in bufs.iter_mut().zip(&amp_tables) {
+                        deposit_amp(buf, pos, tab[slot]);
                     }
                 }
                 // Per-cycle extra leakage (T2's channel).
@@ -335,6 +475,26 @@ impl CurrentModel {
             .into_iter()
             .map(|samples| CurrentTrace::new(samples, fs))
             .collect())
+    }
+}
+
+/// [`deposit`] with the division already folded into a precomputed
+/// amplitude (`amp = charge / dt`) and the sample position precomputed
+/// (`pos = t / dt`): the fast-path form fed by the amplitude tables.
+/// `amp == 0` exactly when the corresponding charge is zero, so the
+/// zero-skip matches the charge-based deposit.
+#[inline]
+fn deposit_amp(samples: &mut [f64], pos: f64, amp: f64) {
+    if samples.is_empty() || amp == 0.0 {
+        return;
+    }
+    let idx = pos.floor() as usize;
+    let frac = pos - pos.floor();
+    if idx < samples.len() {
+        samples[idx] += amp * (1.0 - frac);
+    }
+    if idx + 1 < samples.len() {
+        samples[idx + 1] += amp * frac;
     }
 }
 
@@ -581,6 +741,47 @@ mod tests {
         let short = [1.0];
         assert!(matches!(
             m.synthesize_multi(&n, &act, &[&short], None, 1),
+            Err(PowerError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn table_driven_synthesis_is_bit_identical_to_scalar_reference() {
+        let n = toggle_netlist();
+        let m = model();
+        let w_ramp: Vec<f64> = (0..n.cell_count()).map(|i| 0.3 + 0.7 * i as f64).collect();
+        // 12 cycles renders in one chunk, 200 spans four.
+        for cycles in [12usize, 200] {
+            let act = record(&n, cycles);
+            let extra: Vec<f64> = (0..cycles).map(|k| 1e-7 * k as f64).collect();
+            type Variant<'a> = (Option<&'a [f64]>, Option<&'a [f64]>);
+            let variants: [Variant<'_>; 3] = [
+                (None, None),
+                (Some(&w_ramp), None),
+                (Some(&w_ramp), Some(&extra)),
+            ];
+            for (weights, leak) in variants {
+                let fast = m.synthesize_with(&n, &act, weights, leak, 1).unwrap();
+                let reference = m.synthesize_reference(&n, &act, weights, leak).unwrap();
+                assert_eq!(fast.len(), reference.len());
+                for (a, b) in fast.samples().iter().zip(reference.samples()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "cycles={cycles}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reference_path_rejects_bad_input_like_the_fast_path() {
+        let n = toggle_netlist();
+        let act = record(&n, 2);
+        let m = model();
+        assert!(matches!(
+            m.synthesize_reference(&n, &act, Some(&[1.0]), None),
+            Err(PowerError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            m.synthesize_reference(&n, &act, None, Some(&[0.0])),
             Err(PowerError::LengthMismatch { .. })
         ));
     }
