@@ -15,8 +15,14 @@
 //! field name or a NaN-turned-null fails the build, not a downstream
 //! dashboard.
 //!
-//! Usage: `check_bench_schema <file.json>...` — exits 0 when every file
-//! validates, 1 with a per-file reason otherwise.
+//! Usage: `check_bench_schema <file.json>... [--jsonl <file.jsonl>...]`
+//! — exits 0 when every file validates, 1 with a per-file reason
+//! otherwise. Files after `--jsonl` are validated as decision logs
+//! (`TELEMETRY_decisions.jsonl`): one JSON [`DecisionRecord`] per line,
+//! every record carrying its domain, verdict, detector margins and
+//! health state, and at least one fused alarm in the log.
+//!
+//! [`DecisionRecord`]: emtrust_telemetry::DecisionRecord
 
 use emtrust_bench::json::Value;
 
@@ -70,6 +76,32 @@ fn check_telemetry(doc: &Value) -> Result<(), String> {
     expect_number(doc, "null_seconds")?;
     expect_number(doc, "recorded_seconds")?;
     expect_number(doc, "overhead_pct")?;
+    expect_number(doc, "disabled_seconds")?;
+    let disabled = expect_number(doc, "disabled_overhead_pct")?;
+    if disabled > 2.0 {
+        return Err(format!(
+            "\"disabled_overhead_pct\" {disabled} exceeds the 2% disabled-path budget"
+        ));
+    }
+    expect_number(doc, "forensic_seconds")?;
+    let forensic = expect_number(doc, "forensics_overhead_pct")?;
+    if forensic > 5.0 {
+        return Err(format!(
+            "\"forensics_overhead_pct\" {forensic} exceeds the 5% fully-enabled budget"
+        ));
+    }
+    if expect_u64(doc, "decision_count")? == 0 {
+        return Err("\"decision_count\" must be > 0 — the forensic pass must log decisions".into());
+    }
+    if expect_u64(doc, "flight_window_count")? == 0 {
+        return Err(
+            "\"flight_window_count\" must be > 0 — alarms must freeze flight windows".into(),
+        );
+    }
+    if expect_u64(doc, "labeled_series")? == 0 {
+        return Err("\"labeled_series\" must be > 0 — the labeled pass must emit series".into());
+    }
+    expect_u64(doc, "series_overflowed")?;
     let stages = expect_array(doc, "stages")?;
     if stages.is_empty() {
         return Err("\"stages\" must not be empty".into());
@@ -291,6 +323,129 @@ fn check_localization(doc: &Value) -> Result<(), String> {
     Ok(())
 }
 
+fn check_forensics(doc: &Value) -> Result<(), String> {
+    check_provenance(doc)?;
+    expect_u64(doc, "n_golden")?;
+    expect_u64(doc, "window_blocks")?;
+    let pre = expect_u64(doc, "pre_windows")?;
+    let post = expect_u64(doc, "post_windows")?;
+    expect_u64(doc, "correlation_id")?;
+    let records = expect_u64(doc, "flight_records")?;
+    let trigger = expect_u64(doc, "trigger_offset")?;
+    if records != pre + 1 + post {
+        return Err(format!(
+            "\"flight_records\" {records} must equal pre + trigger + post ({})",
+            pre + 1 + post
+        ));
+    }
+    if trigger != pre {
+        return Err(format!(
+            "\"trigger_offset\" {trigger} must equal \"pre_windows\" {pre} — \
+             the pre-context must be fully frozen"
+        ));
+    }
+    if !expect_bool(doc, "trigger_alarmed")? {
+        return Err("\"trigger_alarmed\" must be true".into());
+    }
+    if expect_number(doc, "trigger_margin")? <= 0.0 {
+        return Err("\"trigger_margin\" must be positive — the firing detector's evidence".into());
+    }
+    if expect_u64(doc, "decision_count")? == 0 {
+        return Err("\"decision_count\" must be > 0".into());
+    }
+    if expect_u64(doc, "rejected_count")? == 0 {
+        return Err("\"rejected_count\" must be > 0 — the defective trace must log".into());
+    }
+    let rows = expect_u64(doc, "array_rows")?;
+    let cols = expect_u64(doc, "array_cols")?;
+    if !expect_bool(doc, "array_alarmed")? {
+        return Err("\"array_alarmed\" must be true — the armed campaign must alarm".into());
+    }
+    let tiles = expect_array(doc, "tiles")?;
+    if tiles.len() as u64 != rows * cols {
+        return Err("one \"tiles\" entry per array tile required".into());
+    }
+    for (i, t) in tiles.iter().enumerate() {
+        (|| {
+            expect_u64(t, "row")?;
+            expect_u64(t, "col")?;
+            expect_number(t, "margin")?;
+            expect_number(t, "alarm_rate")?;
+            Ok::<(), String>(())
+        })()
+        .map_err(|e| format!("tiles[{i}]: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Validates one decision-log line, returning whether it carries a
+/// fused alarm.
+fn check_decision_line(rec: &Value) -> Result<bool, String> {
+    let domain = expect_str(rec, "domain")?;
+    if !matches!(domain, "trace" | "window" | "array") {
+        return Err(format!("unknown decision domain \"{domain}\""));
+    }
+    let verdict = expect_str(rec, "verdict")?;
+    if verdict == "rejected" {
+        expect_str(rec, "reject_reason")?;
+    }
+    expect_str(rec, "health")?;
+    let detectors = expect_array(rec, "detectors")?;
+    for (i, d) in detectors.iter().enumerate() {
+        (|| {
+            expect_str(d, "detector")?;
+            expect_number(d, "statistic")?;
+            expect_number(d, "threshold")?;
+            expect_number(d, "margin")?;
+            expect_bool(d, "suspected")?;
+            Ok::<(), String>(())
+        })()
+        .map_err(|e| format!("detectors[{i}]: {e}"))?;
+    }
+    let fused = expect_bool(rec, "fused_alarm")?;
+    if fused && domain != "array" {
+        expect_u64(rec, "correlation_id")?;
+    }
+    if let Some(tiles) = rec.get("tiles") {
+        let tiles = tiles
+            .as_array()
+            .ok_or_else(|| "\"tiles\" must be an array".to_string())?;
+        for (i, t) in tiles.iter().enumerate() {
+            (|| {
+                expect_u64(t, "row")?;
+                expect_u64(t, "col")?;
+                expect_number(t, "margin")?;
+                expect_number(t, "alarm_rate")?;
+                Ok::<(), String>(())
+            })()
+            .map_err(|e| format!("tiles[{i}]: {e}"))?;
+        }
+    }
+    Ok(fused)
+}
+
+fn check_jsonl_file(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
+    let mut records = 0usize;
+    let mut alarmed = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec = Value::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let fused = check_decision_line(&rec).map_err(|e| format!("line {}: {e}", i + 1))?;
+        records += 1;
+        alarmed += usize::from(fused);
+    }
+    if records == 0 {
+        return Err("the decision log must not be empty".into());
+    }
+    if alarmed == 0 {
+        return Err("the decision log must contain at least one fused alarm".into());
+    }
+    Ok(())
+}
+
 fn check_file(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
     let doc = Value::parse(&text).map_err(|e| e.to_string())?;
@@ -300,25 +455,38 @@ fn check_file(path: &str) -> Result<(), String> {
         "fault_injection_sweep" => check_faults(&doc),
         "pipeline_overhead" => check_pipeline(&doc),
         "localization" => check_localization(&doc),
+        "forensics" => check_forensics(&doc),
         other => Err(format!("unknown benchmark kind \"{other}\"")),
     }
 }
 
 fn main() {
-    let files: Vec<String> = std::env::args().skip(1).collect();
-    if files.is_empty() {
-        eprintln!("usage: check_bench_schema <file.json>...");
-        std::process::exit(2);
-    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut jsonl = false;
     let mut failed = false;
-    for path in &files {
-        match check_file(path) {
-            Ok(()) => println!("{path}: ok"),
+    let mut checked = 0usize;
+    for arg in &args {
+        if arg == "--jsonl" {
+            jsonl = true;
+            continue;
+        }
+        checked += 1;
+        let result = if jsonl {
+            check_jsonl_file(arg)
+        } else {
+            check_file(arg)
+        };
+        match result {
+            Ok(()) => println!("{arg}: ok"),
             Err(e) => {
-                eprintln!("{path}: FAIL — {e}");
+                eprintln!("{arg}: FAIL — {e}");
                 failed = true;
             }
         }
+    }
+    if checked == 0 {
+        eprintln!("usage: check_bench_schema <file.json>... [--jsonl <file.jsonl>...]");
+        std::process::exit(2);
     }
     std::process::exit(if failed { 1 } else { 0 });
 }

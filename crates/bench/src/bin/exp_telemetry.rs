@@ -18,14 +18,24 @@
 //! - `BENCH_telemetry.json` — per-stage latency breakdown, recorder
 //!   overhead, alarm summary and the forensic bundles;
 //! - `TELEMETRY_prometheus.txt` — the Prometheus text-exposition
-//!   snapshot of the recorded run;
+//!   snapshot of the fully-labeled forensic run;
 //! - `TELEMETRY_events.jsonl` — the structured event log (one JSON
-//!   object per line; every alarm appears with its correlation id).
+//!   object per line; every alarm appears with its correlation id);
+//! - `TELEMETRY_profile.folded` — flamegraph-compatible folded stacks
+//!   of the span-tree profile.
+//!
+//! Four passes over the identical sweep pin the overhead envelope:
+//!
+//! 1. no recorder, no labels — the `NullRecorder` fast-path baseline;
+//! 2. recorder installed, unlabeled — the legacy `overhead_pct`;
+//! 3. labels configured but **no recorder** — the disabled path must
+//!    stay within 2 % of pass 1 (every labeled probe short-circuits on
+//!    one relaxed atomic load);
+//! 4. recorder + labels + decision forensics + flight recorder — the
+//!    fully-enabled plane must stay within 5 % of pass 1.
 //!
 //! The disabled path is the paper's "no runtime performance
-//! degradation" claim applied to our own instrumentation: with no
-//! recorder installed every probe costs one relaxed atomic load, so the
-//! sweep must stay within ~2 % of its uninstrumented time.
+//! degradation" claim applied to our own instrumentation.
 //!
 //! [`InMemoryRecorder`]: emtrust::telemetry::InMemoryRecorder
 
@@ -34,7 +44,7 @@ use emtrust::fingerprint::{FingerprintConfig, GoldenFingerprint};
 use emtrust::parallel::ParallelConfig;
 use emtrust::spectral::{SpectralConfig, SpectralDetector};
 use emtrust::telemetry::sink::{events_jsonl, json_escape, json_number, prometheus_text};
-use emtrust::telemetry::{self, InMemoryRecorder};
+use emtrust::telemetry::{self, ForensicsConfig, InMemoryRecorder, SpanProfile};
 use emtrust::TrustError;
 use emtrust::TrustMonitor;
 use emtrust_bench::{
@@ -52,8 +62,14 @@ const WORKERS: usize = 2;
 
 /// One full Table-1 sweep: fit on golden traces, screen every Trojan's
 /// suspect batch through the monitor, then one spectral window with the
-/// noisiest register-bank Trojan armed.
-fn run_sweep(chip: &ProtectedChip) -> Result<TrustMonitor, TrustError> {
+/// noisiest register-bank Trojan armed. `labeled` stamps a `chip_id`
+/// identity label on the monitor; `forensic` additionally enables the
+/// decision log and alarm flight recorder.
+fn run_sweep(
+    chip: &ProtectedChip,
+    labeled: bool,
+    forensic: bool,
+) -> Result<TrustMonitor, TrustError> {
     let pool = ParallelConfig::default().with_workers(WORKERS);
     let bench = TestBench::simulation(chip)?.with_parallel(pool);
     let config = FingerprintConfig {
@@ -71,7 +87,14 @@ fn run_sweep(chip: &ProtectedChip) -> Result<TrustMonitor, TrustError> {
         0x7E2,
     )?;
     let detector = SpectralDetector::fit(&golden_window, SpectralConfig::default())?;
-    let mut monitor = TrustMonitor::builder(fp).with_spectral(detector).build();
+    let mut builder = TrustMonitor::builder(fp).with_spectral(detector);
+    if labeled {
+        builder = builder.with_chip_id("chip0");
+    }
+    if forensic {
+        builder = builder.with_forensics(ForensicsConfig::default());
+    }
+    let mut monitor = builder.build();
     for (i, kind) in TROJANS.into_iter().enumerate() {
         let suspects = bench.collect(
             EXPERIMENT_KEY,
@@ -101,31 +124,56 @@ fn main() {
     // the one-atomic-load fast path.
     telemetry::uninstall();
     let t0 = Instant::now();
-    let null_monitor = run_sweep(&chip).or_exit("null-recorder sweep");
+    let null_monitor = run_sweep(&chip, false, false).or_exit("null-recorder sweep");
     let null_seconds = t0.elapsed().as_secs_f64();
 
     // Pass 2 — full in-memory registry installed.
     let registry = Arc::new(InMemoryRecorder::new());
     telemetry::install(registry.clone());
     let t0 = Instant::now();
-    let monitor = run_sweep(&chip).or_exit("recorded sweep");
+    let monitor = run_sweep(&chip, false, false).or_exit("recorded sweep");
     let recorded_seconds = t0.elapsed().as_secs_f64();
     telemetry::uninstall();
 
-    // Both passes must detect identically — telemetry observes, it never
+    // Pass 3 — labels configured but no recorder: the disabled path of
+    // the labeled plane must still be a near-no-op.
+    let t0 = Instant::now();
+    let disabled_monitor = run_sweep(&chip, true, false).or_exit("disabled labeled sweep");
+    let disabled_seconds = t0.elapsed().as_secs_f64();
+
+    // Pass 4 — everything on: recorder, identity labels, decision
+    // forensics and the alarm flight recorder.
+    let forensic_registry = Arc::new(InMemoryRecorder::new());
+    telemetry::install(forensic_registry.clone());
+    let t0 = Instant::now();
+    let mut forensic_monitor = run_sweep(&chip, true, true).or_exit("forensic sweep");
+    let forensic_seconds = t0.elapsed().as_secs_f64();
+    telemetry::uninstall();
+    forensic_monitor.seal_flight_windows();
+
+    // Every pass must detect identically — telemetry observes, it never
     // steers.
-    assert_eq!(
-        null_monitor.alarms(),
-        monitor.alarms(),
-        "recorded run must raise exactly the alarms of the null run"
-    );
+    for (other, name) in [
+        (&monitor, "recorded"),
+        (&disabled_monitor, "disabled-labeled"),
+        (&forensic_monitor, "forensic"),
+    ] {
+        assert_eq!(
+            null_monitor.alarms(),
+            other.alarms(),
+            "{name} run must raise exactly the alarms of the null run"
+        );
+    }
     assert!(
         !monitor.alarms().is_empty(),
         "the Trojan sweep must raise alarms"
     );
 
     let overhead_pct = 100.0 * (recorded_seconds - null_seconds) / null_seconds;
+    let disabled_overhead_pct = 100.0 * (disabled_seconds - null_seconds) / null_seconds;
+    let forensics_overhead_pct = 100.0 * (forensic_seconds - null_seconds) / null_seconds;
     let snapshot = registry.snapshot();
+    let forensic_snapshot = forensic_registry.snapshot();
 
     let mut stage_rows = Vec::new();
     let mut stage_json = Vec::new();
@@ -167,6 +215,19 @@ fn main() {
             vec!["null pass (s)".into(), format!("{null_seconds:.3}")],
             vec!["recorded pass (s)".into(), format!("{recorded_seconds:.3}")],
             vec!["recorder overhead".into(), format!("{overhead_pct:+.2}%")],
+            vec![
+                "disabled labeled pass (s)".into(),
+                format!("{disabled_seconds:.3}"),
+            ],
+            vec![
+                "disabled overhead".into(),
+                format!("{disabled_overhead_pct:+.2}%"),
+            ],
+            vec!["forensic pass (s)".into(), format!("{forensic_seconds:.3}")],
+            vec![
+                "forensic overhead".into(),
+                format!("{forensics_overhead_pct:+.2}%"),
+            ],
             vec!["alarms".into(), monitor.alarms().len().to_string()],
             vec!["  time-domain".into(), time_domain.to_string()],
             vec!["  spectral".into(), spectral.to_string()],
@@ -174,24 +235,81 @@ fn main() {
                 "first correlation id".into(),
                 first_correlation_id.to_string(),
             ],
+            vec![
+                "decision records".into(),
+                forensic_monitor.decisions().len().to_string(),
+            ],
+            vec![
+                "flight windows".into(),
+                forensic_monitor.flight_windows().len().to_string(),
+            ],
         ],
     );
     report.scalar("null_seconds", null_seconds);
     report.scalar("recorded_seconds", recorded_seconds);
     report.scalar("overhead_pct", overhead_pct);
+    report.scalar("disabled_overhead_pct", disabled_overhead_pct);
+    report.scalar("forensics_overhead_pct", forensics_overhead_pct);
     report.scalar("alarm_count", monitor.alarms().len() as f64);
+
+    // Span-tree profile of the fully-enabled pass: hottest self-time
+    // nodes, plus the folded-stacks artifact for flamegraph tooling.
+    let profile = SpanProfile::from_snapshot(&forensic_snapshot);
+    let hot_rows: Vec<Vec<String>> = profile
+        .hottest(6)
+        .into_iter()
+        .map(|n| {
+            vec![
+                n.path.clone(),
+                n.count.to_string(),
+                format!("{:.3}", n.total_ns / 1e6),
+                format!("{:.3}", n.self_ns / 1e6),
+            ]
+        })
+        .collect();
+    report.table(
+        "Hottest spans by self time (forensic pass)",
+        &["span", "calls", "total ms", "self ms"],
+        &hot_rows,
+    );
 
     let forensics: Vec<String> = monitor
         .forensics()
         .iter()
         .map(|r| format!("    {}", r.to_json()))
         .collect();
+    let labeled_series: usize = forensic_snapshot
+        .labeled_counters
+        .values()
+        .map(|f| f.len())
+        .sum::<usize>()
+        + forensic_snapshot
+            .labeled_gauges
+            .values()
+            .map(|f| f.len())
+            .sum::<usize>()
+        + forensic_snapshot
+            .labeled_histograms
+            .values()
+            .map(|f| f.len())
+            .sum::<usize>();
     let doc = ArtifactDoc::new("telemetry_table1_sweep")
         .field_u64("n_golden", N_GOLDEN as u64)
         .field_u64("n_suspect_per_trojan", N_SUSPECT_PER_TROJAN as u64)
         .field_f64("null_seconds", null_seconds)
         .field_f64("recorded_seconds", recorded_seconds)
         .field_f64("overhead_pct", overhead_pct)
+        .field_f64("disabled_seconds", disabled_seconds)
+        .field_f64("disabled_overhead_pct", disabled_overhead_pct)
+        .field_f64("forensic_seconds", forensic_seconds)
+        .field_f64("forensics_overhead_pct", forensics_overhead_pct)
+        .field_u64("decision_count", forensic_monitor.decisions().len() as u64)
+        .field_u64(
+            "flight_window_count",
+            forensic_monitor.flight_windows().len() as u64,
+        )
+        .field_u64("labeled_series", labeled_series as u64)
+        .field_u64("series_overflowed", forensic_snapshot.series_overflowed)
         .field_array("stages", &stage_json)
         .field_raw(
             "alarms",
@@ -203,8 +321,21 @@ fn main() {
         )
         .field_array("forensics", &forensics);
     write_artifact("BENCH_telemetry.json", &doc.to_json());
-    write_artifact("TELEMETRY_prometheus.txt", &prometheus_text(&snapshot));
-    write_artifact("TELEMETRY_events.jsonl", &events_jsonl(&registry.events()));
-    report.note("\nwrote BENCH_telemetry.json, TELEMETRY_prometheus.txt, TELEMETRY_events.jsonl");
+    // The exposition artifact comes from the fully-enabled pass so the
+    // labeled series, quantiles, and self-metrics all appear; the
+    // unlabeled pass-2 snapshot is still what the stage table reads.
+    write_artifact(
+        "TELEMETRY_prometheus.txt",
+        &prometheus_text(&forensic_snapshot),
+    );
+    write_artifact(
+        "TELEMETRY_events.jsonl",
+        &events_jsonl(&forensic_registry.events()),
+    );
+    write_artifact("TELEMETRY_profile.folded", &profile.folded());
+    report.note(
+        "\nwrote BENCH_telemetry.json, TELEMETRY_prometheus.txt, \
+         TELEMETRY_events.jsonl, TELEMETRY_profile.folded",
+    );
     report.finish();
 }

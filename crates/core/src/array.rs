@@ -45,7 +45,7 @@ use emtrust_em::emf::VoltageTrace;
 use emtrust_layout::floorplan::{Die, Floorplan};
 use emtrust_netlist::library::Library;
 use emtrust_power::{ClockConfig, CurrentModel};
-use emtrust_telemetry as telemetry;
+use emtrust_telemetry::{self as telemetry, DecisionRecord, ForensicsConfig, LabelSet, TileMargin};
 use emtrust_trojan::{ProtectedChip, TrojanKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -70,6 +70,13 @@ pub struct ArrayConfig {
     pub fusion: FusionPolicy,
     /// Worker pool shared by collection and scoring.
     pub parallel: ParallelConfig,
+    /// Identity labels (`chip_id`, …) stamped on every tile pipeline's
+    /// metric series and on array decision records; each tile pipeline
+    /// additionally gets its own `tile=rXcY` pair.
+    pub labels: LabelSet,
+    /// Enables the array's campaign decision log (one
+    /// [`DecisionRecord`] with per-tile margins per [`SensorArray::evaluate`]).
+    pub forensics: Option<ForensicsConfig>,
 }
 
 impl Default for ArrayConfig {
@@ -82,6 +89,8 @@ impl Default for ArrayConfig {
             persistence: None,
             fusion: FusionPolicy::Or,
             parallel: ParallelConfig::default(),
+            labels: LabelSet::new(),
+            forensics: None,
         }
     }
 }
@@ -160,6 +169,27 @@ impl<'c> ArrayBuilder<'c> {
         self
     }
 
+    /// Stamps a `chip_id` identity label on every tile pipeline and on
+    /// array decision records.
+    pub fn with_chip_id(mut self, chip_id: &str) -> Self {
+        self.config.labels = self.config.labels.with("chip_id", chip_id);
+        self
+    }
+
+    /// Sets the full identity label set shared by every tile (each tile
+    /// pipeline adds its own `tile=rXcY` pair on top).
+    pub fn with_labels(mut self, labels: LabelSet) -> Self {
+        self.config.labels = labels;
+        self
+    }
+
+    /// Enables the array's campaign decision log and per-tile pipeline
+    /// forensics.
+    pub fn with_forensics(mut self, config: ForensicsConfig) -> Self {
+        self.config.forensics = Some(config);
+        self
+    }
+
     /// Places the chip, tiles the die, and builds every sub-sensor's
     /// coupling machinery. Detection pipelines are created later, by
     /// [`SensorArray::fit_golden`].
@@ -189,6 +219,9 @@ impl<'c> ArrayBuilder<'c> {
             array,
             config: self.config,
             pipelines: Vec::new(),
+            campaigns: 0,
+            decisions: Vec::new(),
+            decisions_dropped: 0,
         })
     }
 }
@@ -344,6 +377,12 @@ pub struct SensorArray<'c> {
     /// One pipeline per tile, in tile order; empty until
     /// [`Self::fit_golden`].
     pipelines: Vec<DetectionPipeline>,
+    /// Campaigns evaluated so far (indexes the decision log).
+    campaigns: u64,
+    /// Bounded campaign decision log (empty unless forensics enabled).
+    decisions: Vec<DecisionRecord>,
+    /// Campaign records dropped after the log filled.
+    decisions_dropped: u64,
 }
 
 impl<'c> SensorArray<'c> {
@@ -525,12 +564,21 @@ impl<'c> SensorArray<'c> {
             });
         }
         let mut pipelines = Vec::with_capacity(golden.len());
-        for set in golden {
+        for (t, set) in golden.iter().enumerate() {
             let fp = GoldenFingerprint::fit(set, self.config.fingerprint)?;
+            let tile = &self.array.tiles()[t];
+            let labels = self
+                .config
+                .labels
+                .with("tile", format!("r{}c{}", tile.row(), tile.col()));
             let mut builder = DetectionPipeline::builder()
                 .detector(Box::new(EuclideanDetector::new(fp)))
                 .fusion(self.config.fusion.clone())
-                .parallel(self.config.parallel);
+                .parallel(self.config.parallel)
+                .labels(labels);
+            if let Some(cfg) = self.config.forensics.clone() {
+                builder = builder.forensics(cfg);
+            }
             if let Some(cfg) = self.config.persistence {
                 builder = builder.detector(Box::new(SpectralPersistenceDetector::new(cfg)));
             }
@@ -606,12 +654,54 @@ impl<'c> SensorArray<'c> {
         let localizer = self.localizer();
         let centroid_um = localizer.centroid(&scores);
         let regions = localizer.rank(&scores, &self.floorplan);
+        let index = self.campaigns;
+        self.campaigns += 1;
+        if self.config.forensics.is_some() || telemetry::is_enabled() {
+            let mut rec = DecisionRecord::new("array");
+            rec.index = Some(index);
+            rec.labels = self.config.labels.clone();
+            rec.verdict = if alarmed { "alarmed" } else { "clean" }.to_string();
+            rec.fused_alarm = alarmed;
+            rec.tiles = heat
+                .iter()
+                .map(|h| TileMargin {
+                    row: h.row,
+                    col: h.col,
+                    margin: h.margin,
+                    alarm_rate: h.alarm_rate,
+                })
+                .collect();
+            telemetry::decision(&rec);
+            if let Some(cfg) = &self.config.forensics {
+                if self.decisions.len() < cfg.max_decisions {
+                    self.decisions.push(rec);
+                } else {
+                    self.decisions_dropped += 1;
+                }
+            }
+        }
         Ok(ArrayVerdict {
             heat,
             centroid_um,
             regions,
             alarmed,
         })
+    }
+
+    /// Campaign decision records, oldest first (one per
+    /// [`Self::evaluate`]; empty unless forensics was enabled).
+    pub fn decisions(&self) -> &[DecisionRecord] {
+        &self.decisions
+    }
+
+    /// Campaign records dropped after the decision log filled.
+    pub fn decisions_dropped(&self) -> u64 {
+        self.decisions_dropped
+    }
+
+    /// Campaigns evaluated so far.
+    pub fn campaigns(&self) -> u64 {
+        self.campaigns
     }
 }
 

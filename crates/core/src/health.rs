@@ -131,6 +131,11 @@ impl HealthTracker {
         &self.transitions
     }
 
+    /// The most recent state change, if any occurred yet.
+    pub fn last_transition(&self) -> Option<&HealthTransition> {
+        self.transitions.last()
+    }
+
     /// Feeds one trace outcome (`rejected` = the sanitizer excluded it)
     /// and returns the possibly-updated state.
     pub fn observe(&mut self, rejected: bool) -> SensorHealth {

@@ -27,7 +27,7 @@ use crate::spectral::{SpectralAnomaly, SpectralDetector};
 use crate::TrustError;
 use emtrust_em::emf::VoltageTrace;
 use emtrust_telemetry::sink::{json_escape, json_number};
-use emtrust_telemetry::RingBuffer;
+use emtrust_telemetry::{DecisionRecord, FlightWindow, ForensicsConfig, LabelSet, RingBuffer};
 
 /// An alarm raised by the monitor.
 ///
@@ -292,6 +292,8 @@ pub struct TrustMonitorBuilder {
     forensic_depth: usize,
     sanitizer: Option<TraceSanitizer>,
     health: Option<HealthConfig>,
+    labels: LabelSet,
+    decision_forensics: Option<ForensicsConfig>,
 }
 
 impl TrustMonitorBuilder {
@@ -339,6 +341,29 @@ impl TrustMonitorBuilder {
         self
     }
 
+    /// Stamps a `chip_id` identity label on every metric series and
+    /// decision record this monitor emits (shorthand for
+    /// [`Self::with_labels`] with a single pair).
+    pub fn with_chip_id(self, chip_id: &str) -> Self {
+        let labels = self.labels.with("chip_id", chip_id);
+        self.with_labels(labels)
+    }
+
+    /// Sets the full bounded identity label set (`chip_id`, `tile`,
+    /// deployment site, …) stamped on labeled metric series and decision
+    /// records.
+    pub fn with_labels(mut self, labels: LabelSet) -> Self {
+        self.labels = labels;
+        self
+    }
+
+    /// Enables decision forensics: a bounded per-decision record log and
+    /// the alarm flight recorder (see [`DetectionPipeline::decisions`]).
+    pub fn with_forensics(mut self, config: ForensicsConfig) -> Self {
+        self.decision_forensics = Some(config);
+        self
+    }
+
     /// Assembles the monitor. Detector registration order (and hence
     /// vote order) is fixed: Euclidean, then spectral, then persistence.
     pub fn build(self) -> TrustMonitor {
@@ -346,7 +371,11 @@ impl TrustMonitorBuilder {
             .detector(Box::new(crate::detector::EuclideanDetector::new(
                 self.fingerprint.clone(),
             )))
-            .fusion(self.fusion);
+            .fusion(self.fusion)
+            .labels(self.labels);
+        if let Some(cfg) = self.decision_forensics {
+            builder = builder.forensics(cfg);
+        }
         if let Some(det) = self.spectral {
             builder = builder.detector(Box::new(crate::detector::SpectralWindowDetector::new(det)));
         }
@@ -402,6 +431,8 @@ impl TrustMonitor {
             forensic_depth: Self::DEFAULT_FORENSIC_DEPTH,
             sanitizer: None,
             health: None,
+            labels: LabelSet::new(),
+            decision_forensics: None,
         }
     }
 
@@ -709,6 +740,31 @@ impl TrustMonitor {
     /// generic outcome counters).
     pub fn pipeline(&self) -> &DetectionPipeline {
         &self.pipeline
+    }
+
+    /// Decision records retained by the pipeline's forensic log, oldest
+    /// first (empty unless [`TrustMonitorBuilder::with_forensics`] was
+    /// used).
+    pub fn decisions(&self) -> &[DecisionRecord] {
+        self.pipeline.decisions()
+    }
+
+    /// Sealed alarm flight windows, oldest first (empty unless
+    /// forensics was configured).
+    pub fn flight_windows(&self) -> &[FlightWindow] {
+        self.pipeline.flight_windows()
+    }
+
+    /// Seals every still-open flight window — call at end of campaign
+    /// so windows whose post-context never filled become visible.
+    pub fn seal_flight_windows(&mut self) {
+        self.pipeline.seal_flight_windows();
+    }
+
+    /// The identity label set stamped on this monitor's metric series
+    /// and decision records (empty unless configured at build time).
+    pub fn labels(&self) -> &LabelSet {
+        self.pipeline.labels()
     }
 }
 

@@ -38,7 +38,10 @@ use crate::TrustError;
 use emtrust_dsp::spectrum::Spectrum;
 use emtrust_dsp::DspError;
 use emtrust_em::emf::VoltageTrace;
-use emtrust_telemetry::{self as telemetry, FieldValue};
+use emtrust_telemetry::{
+    self as telemetry, DecisionRecord, DetectorDecision, FieldValue, FlightRecorder, FlightWindow,
+    ForensicsConfig, FrameDigest, LabelSet,
+};
 
 /// A fused alarm raised by the pipeline.
 ///
@@ -142,6 +145,8 @@ pub struct PipelineBuilder {
     sanitizer: Option<TraceSanitizer>,
     health: Option<HealthConfig>,
     parallel: Option<ParallelConfig>,
+    labels: LabelSet,
+    forensics: Option<ForensicsConfig>,
 }
 
 impl PipelineBuilder {
@@ -181,6 +186,22 @@ impl PipelineBuilder {
         self
     }
 
+    /// Attaches identity labels (`chip_id`, `tile`, …) to every metric
+    /// series and decision record this pipeline emits.
+    pub fn labels(mut self, labels: LabelSet) -> Self {
+        self.labels = labels;
+        self
+    }
+
+    /// Enables decision forensics: a [`DecisionRecord`] per ingested
+    /// observation (bounded log) and the alarm [`FlightRecorder`].
+    /// Without this the pipeline allocates no forensic state, keeping
+    /// the NullRecorder fast path untouched.
+    pub fn forensics(mut self, config: ForensicsConfig) -> Self {
+        self.forensics = Some(config);
+        self
+    }
+
     /// Assembles the pipeline.
     pub fn build(self) -> DetectionPipeline {
         let parallel = self.parallel.unwrap_or_else(|| {
@@ -189,6 +210,17 @@ impl PipelineBuilder {
                 .find_map(|d| d.projector().map(|fp| fp.config().parallel))
                 .unwrap_or_default()
         });
+        // Per-detector label sets are fixed at build time so the hot
+        // path never re-renders them.
+        let labels_for = |domain: DetectorDomain| -> Vec<LabelSet> {
+            self.detectors
+                .iter()
+                .filter(|d| d.domain() == domain)
+                .map(|d| self.labels.with("detector", d.name()))
+                .collect()
+        };
+        let trace_detector_labels = labels_for(DetectorDomain::PerEncryption);
+        let window_detector_labels = labels_for(DetectorDomain::ContinuousWindow);
         let mut pipeline = DetectionPipeline {
             detectors: self.detectors,
             fusion: self.fusion,
@@ -197,6 +229,11 @@ impl PipelineBuilder {
                 .health
                 .map_or_else(HealthTracker::default, HealthTracker::new),
             parallel,
+            labels: self.labels,
+            trace_detector_labels,
+            window_detector_labels,
+            forensics: self.forensics.map(PipelineForensics::new),
+            pending_window_transition: None,
             traces_seen: 0,
             traces_rejected: 0,
             traces_degraded: 0,
@@ -208,6 +245,27 @@ impl PipelineBuilder {
             pipeline.install_sanitizer(s);
         }
         pipeline
+    }
+}
+
+/// Forensic state a pipeline only carries when
+/// [`PipelineBuilder::forensics`] enabled it.
+#[derive(Debug)]
+struct PipelineForensics {
+    flight: FlightRecorder,
+    decisions: Vec<DecisionRecord>,
+    decisions_dropped: u64,
+    max_decisions: usize,
+}
+
+impl PipelineForensics {
+    fn new(config: ForensicsConfig) -> Self {
+        Self {
+            flight: FlightRecorder::new(config.flight),
+            decisions: Vec::new(),
+            decisions_dropped: 0,
+            max_decisions: config.max_decisions,
+        }
     }
 }
 
@@ -230,6 +288,13 @@ pub struct DetectionPipeline {
     sanitizer: Option<TraceSanitizer>,
     health: HealthTracker,
     parallel: ParallelConfig,
+    labels: LabelSet,
+    trace_detector_labels: Vec<LabelSet>,
+    window_detector_labels: Vec<LabelSet>,
+    forensics: Option<PipelineForensics>,
+    /// Health transition captured by the checked window path for the
+    /// decision record the subsequent scoring pass emits.
+    pending_window_transition: Option<(String, String)>,
     traces_seen: u64,
     traces_rejected: u64,
     traces_degraded: u64,
@@ -407,6 +472,9 @@ impl DetectionPipeline {
     fn record_rejected(&mut self, reason: &TraceDefect) {
         self.traces_rejected += 1;
         telemetry::counter("monitor.trace_rejects", 1);
+        if !self.labels.is_empty() {
+            telemetry::counter_with("monitor.trace_rejects", &self.labels, 1);
+        }
         telemetry::event(
             "trace_rejected",
             &[("reason", FieldValue::from(reason.label()))],
@@ -417,10 +485,111 @@ impl DetectionPipeline {
     fn record_window_rejected(&mut self, reason: &TraceDefect) {
         self.windows_rejected += 1;
         telemetry::counter("monitor.window_rejects", 1);
+        if !self.labels.is_empty() {
+            telemetry::counter_with("monitor.window_rejects", &self.labels, 1);
+        }
         telemetry::event(
             "window_rejected",
             &[("reason", FieldValue::from(reason.label()))],
         );
+    }
+
+    // ---------------------------------------------------------------
+    // Decision forensics.
+    // ---------------------------------------------------------------
+
+    /// Whether decision records should be built for this observation:
+    /// either the pipeline carries forensic state or a global recorder
+    /// wants them. With neither, the check costs one branch and one
+    /// relaxed atomic load — the NullRecorder fast path.
+    #[inline]
+    fn forensics_active(&self) -> bool {
+        self.forensics.is_some() || telemetry::is_enabled()
+    }
+
+    /// Builds the decision skeleton for one scored observation.
+    fn scored_decision(
+        &self,
+        domain: &str,
+        index: u64,
+        votes: &[DetectorVerdict],
+        alarm: Option<&PipelineAlarm>,
+        digest: FrameDigest,
+    ) -> DecisionRecord {
+        let mut rec = DecisionRecord::new(domain);
+        rec.index = Some(index);
+        rec.labels = self.labels.clone();
+        rec.detectors = votes
+            .iter()
+            .map(|v| {
+                DetectorDecision::new(
+                    v.detector,
+                    v.score.statistic,
+                    v.score.threshold,
+                    v.suspected,
+                )
+            })
+            .collect();
+        rec.fused_alarm = alarm.is_some();
+        rec.correlation_id = alarm.map(|a| a.correlation_id);
+        rec.digest = Some(digest);
+        rec
+    }
+
+    /// Builds the decision record for one rejected observation.
+    fn rejected_decision(&self, domain: &str, reason: &TraceDefect) -> DecisionRecord {
+        let mut rec = DecisionRecord::new(domain);
+        rec.verdict = "rejected".to_string();
+        rec.reject_reason = Some(reason.label().to_string());
+        rec.labels = self.labels.clone();
+        rec
+    }
+
+    /// Emits the labeled per-detector margin series for one scored
+    /// observation (only when identity labels are set — unlabeled
+    /// pipelines keep the legacy exposition byte-compatible).
+    fn emit_labeled_votes(&self, domain: DetectorDomain, decisions: &[DetectorDecision]) {
+        if self.labels.is_empty() {
+            return;
+        }
+        let per_detector = match domain {
+            DetectorDomain::PerEncryption => &self.trace_detector_labels,
+            DetectorDomain::ContinuousWindow => &self.window_detector_labels,
+        };
+        for (d, labels) in decisions.iter().zip(per_detector) {
+            telemetry::observe_with("detector.margin", labels, d.margin);
+        }
+    }
+
+    /// Finalizes and commits one decision record: the global recorder
+    /// sees it first, then the pipeline's own forensic log and flight
+    /// recorder (when enabled).
+    fn commit_decision(&mut self, mut rec: DecisionRecord) {
+        rec.health = self.health.state().label().to_string();
+        if rec.health_transition.is_some() && !self.labels.is_empty() {
+            telemetry::counter_with("monitor.health_transitions", &self.labels, 1);
+        }
+        telemetry::decision(&rec);
+        if let Some(f) = &mut self.forensics {
+            f.flight.record(&rec);
+            if f.decisions.len() < f.max_decisions {
+                f.decisions.push(rec);
+            } else {
+                f.decisions_dropped += 1;
+            }
+        }
+    }
+
+    /// Captures the `(from, to)` labels of a health transition that
+    /// happened between `transitions_before` and now.
+    fn transition_since(&self, transitions_before: usize) -> Option<(String, String)> {
+        if self.health.transitions().len() > transitions_before {
+            self.health
+                .last_transition()
+                .map(|t| (t.from.label().to_string(), t.to.label().to_string()))
+        } else {
+            None
+        }
     }
 
     /// Collects the per-detector votes of one domain for a score list.
@@ -466,6 +635,9 @@ impl DetectionPipeline {
             correlation_id: telemetry::next_correlation_id(),
         };
         telemetry::counter("monitor.alarms", 1);
+        if !self.labels.is_empty() {
+            telemetry::counter_with("monitor.alarms", &self.labels, 1);
+        }
         self.emit_alarm_event(&alarm);
         self.alarms.push(alarm.clone());
         Some(alarm)
@@ -525,54 +697,107 @@ impl DetectionPipeline {
 
     /// Counts, votes, fuses, and absorbs one scored trace. Shared by
     /// the checked and strict paths; does not touch the health tracker.
+    /// The returned decision record (built only when forensics or a
+    /// recorder is active) still needs health info before committing.
     fn settle_scored(
         &mut self,
         frame: &FeatureFrame<'_>,
         scores: Vec<Score>,
-    ) -> (u64, Vec<DetectorVerdict>, Option<PipelineAlarm>) {
+    ) -> (
+        u64,
+        Vec<DetectorVerdict>,
+        Option<PipelineAlarm>,
+        Option<DecisionRecord>,
+    ) {
         let index = self.traces_seen;
         self.traces_seen += 1;
         telemetry::counter("monitor.traces", 1);
+        if !self.labels.is_empty() {
+            telemetry::counter_with("monitor.traces", &self.labels, 1);
+        }
         if let Some(s) = scores.first() {
             telemetry::observe("monitor.distance", s.statistic);
         }
         let votes = self.votes_for(DetectorDomain::PerEncryption, &scores);
+        let digest = self
+            .forensics_active()
+            .then(|| FrameDigest::of(frame.samples()));
         self.absorb_hooks(DetectorDomain::PerEncryption, frame, &scores);
         let alarm = self.fuse(DetectorDomain::PerEncryption, index, &votes);
-        (index, votes, alarm)
+        let rec = digest.map(|digest| {
+            let rec = self.scored_decision("trace", index, &votes, alarm.as_ref(), digest);
+            self.emit_labeled_votes(DetectorDomain::PerEncryption, &rec.detectors);
+            rec
+        });
+        (index, votes, alarm, rec)
     }
 
     /// Turns one screened trace into its outcome: counters, fusion,
     /// alarm bookkeeping, health — the serial tail of the sanitized
     /// paths.
     fn absorb_trace(&mut self, screened: ScreenedTrace<'_>) -> TraceOutcome {
-        let (verdict, index, votes, alarm) = match (screened.verdict, screened.scored) {
+        let (verdict, index, votes, alarm, rec) = match (screened.verdict, screened.scored) {
             (TraceVerdict::Rejected { reason }, _) => {
                 self.record_rejected(&reason);
-                (TraceVerdict::Rejected { reason }, None, Vec::new(), None)
+                let rec = self
+                    .forensics_active()
+                    .then(|| self.rejected_decision("trace", &reason));
+                (
+                    TraceVerdict::Rejected { reason },
+                    None,
+                    Vec::new(),
+                    None,
+                    rec,
+                )
             }
             (v, Some(Ok((frame, scores)))) => {
                 if v.is_degraded() {
                     self.traces_degraded += 1;
                     telemetry::counter("monitor.trace_degraded", 1);
                 }
-                let (index, votes, alarm) = self.settle_scored(&frame, scores);
-                (v, Some(index), votes, alarm)
+                let (index, votes, alarm, mut rec) = self.settle_scored(&frame, scores);
+                if let Some(r) = &mut rec {
+                    r.verdict = if v.is_degraded() { "degraded" } else { "clean" }.to_string();
+                }
+                (v, Some(index), votes, alarm, rec)
             }
             (_, Some(Err(e))) => {
                 let reason = Self::evaluation_defect(&e);
                 self.record_rejected(&reason);
-                (TraceVerdict::Rejected { reason }, None, Vec::new(), None)
+                let rec = self
+                    .forensics_active()
+                    .then(|| self.rejected_decision("trace", &reason));
+                (
+                    TraceVerdict::Rejected { reason },
+                    None,
+                    Vec::new(),
+                    None,
+                    rec,
+                )
             }
             // A non-rejected trace with no scoring outcome cannot be
             // produced by the entry points; treat it as unscoreable.
             (_, None) => {
                 let reason = TraceDefect::EvaluationFailed;
                 self.record_rejected(&reason);
-                (TraceVerdict::Rejected { reason }, None, Vec::new(), None)
+                let rec = self
+                    .forensics_active()
+                    .then(|| self.rejected_decision("trace", &reason));
+                (
+                    TraceVerdict::Rejected { reason },
+                    None,
+                    Vec::new(),
+                    None,
+                    rec,
+                )
             }
         };
+        let transitions_before = self.health.transitions().len();
         let health = self.health.observe(verdict.is_rejected());
+        if let Some(mut rec) = rec {
+            rec.health_transition = self.transition_since(transitions_before);
+            self.commit_decision(rec);
+        }
         TraceOutcome {
             verdict,
             index,
@@ -606,7 +831,10 @@ impl DetectionPipeline {
     /// unfitted detector).
     pub fn try_ingest_trace(&mut self, samples: &[f64]) -> Result<TraceOutcome, TrustError> {
         let (frame, scores) = self.featurize_and_score(samples, None, None)?;
-        let (index, votes, alarm) = self.settle_scored(&frame, scores);
+        let (index, votes, alarm, rec) = self.settle_scored(&frame, scores);
+        if let Some(rec) = rec {
+            self.commit_decision(rec);
+        }
         Ok(TraceOutcome {
             verdict: TraceVerdict::Clean,
             index: Some(index),
@@ -655,7 +883,10 @@ impl DetectionPipeline {
         let mut outcomes = Vec::with_capacity(traces.len());
         let mut alarms = Vec::new();
         for (frame, scores) in scored {
-            let (index, votes, alarm) = self.settle_scored(&frame, scores);
+            let (index, votes, alarm, rec) = self.settle_scored(&frame, scores);
+            if let Some(rec) = rec {
+                self.commit_decision(rec);
+            }
             if let Some(a) = &alarm {
                 alarms.push(a.clone());
             }
@@ -741,9 +972,21 @@ impl DetectionPipeline {
         let index = self.windows_seen;
         self.windows_seen += 1;
         telemetry::counter("monitor.windows", 1);
+        if !self.labels.is_empty() {
+            telemetry::counter_with("monitor.windows", &self.labels, 1);
+        }
         let votes = self.votes_for(DetectorDomain::ContinuousWindow, &scores);
+        let digest = self
+            .forensics_active()
+            .then(|| FrameDigest::of(window.samples()));
         self.absorb_hooks(DetectorDomain::ContinuousWindow, &frame, &scores);
         let alarm = self.fuse(DetectorDomain::ContinuousWindow, index, &votes);
+        if let Some(digest) = digest {
+            let mut rec = self.scored_decision("window", index, &votes, alarm.as_ref(), digest);
+            self.emit_labeled_votes(DetectorDomain::ContinuousWindow, &rec.detectors);
+            rec.health_transition = self.pending_window_transition.take();
+            self.commit_decision(rec);
+        }
         Ok(Some(WindowOutcome {
             verdict: TraceVerdict::Clean,
             index: Some(index),
@@ -763,7 +1006,13 @@ impl DetectionPipeline {
         if let TraceVerdict::Rejected { reason } = &verdict {
             let reason = *reason;
             self.record_window_rejected(&reason);
+            let transitions_before = self.health.transitions().len();
             let health = self.health.observe(true);
+            if self.forensics_active() {
+                let mut rec = self.rejected_decision("window", &reason);
+                rec.health_transition = self.transition_since(transitions_before);
+                self.commit_decision(rec);
+            }
             return WindowOutcome {
                 verdict,
                 index: None,
@@ -772,26 +1021,36 @@ impl DetectionPipeline {
                 health,
             };
         }
+        let transitions_before = self.health.transitions().len();
         let health = self.health.observe(false);
+        self.pending_window_transition = self.transition_since(transitions_before);
         match self.window_pass(window) {
             Ok(Some(mut outcome)) => {
                 outcome.verdict = verdict;
                 outcome.health = health;
                 outcome
             }
-            Ok(None) => WindowOutcome {
-                verdict,
-                index: None,
-                votes: Vec::new(),
-                alarm: None,
-                health,
-            },
+            Ok(None) => {
+                self.pending_window_transition = None;
+                WindowOutcome {
+                    verdict,
+                    index: None,
+                    votes: Vec::new(),
+                    alarm: None,
+                    health,
+                }
+            }
             // The pre-checks cover every scoring error the registered
             // detectors can currently raise; anything new still
             // degrades cleanly.
             Err(_) => {
                 let reason = TraceDefect::EvaluationFailed;
                 self.record_window_rejected(&reason);
+                if self.forensics_active() {
+                    let mut rec = self.rejected_decision("window", &reason);
+                    rec.health_transition = self.pending_window_transition.take();
+                    self.commit_decision(rec);
+                }
                 WindowOutcome {
                     verdict: TraceVerdict::Rejected { reason },
                     index: None,
@@ -906,6 +1165,50 @@ impl DetectionPipeline {
     pub fn parallel(&self) -> ParallelConfig {
         self.parallel
     }
+
+    /// The bounded label set stamped on this pipeline's metrics and
+    /// decision records (empty unless configured at build time).
+    pub fn labels(&self) -> &LabelSet {
+        &self.labels
+    }
+
+    /// Whether a local forensics store (decision log + flight recorder)
+    /// was configured at build time.
+    pub fn forensics_enabled(&self) -> bool {
+        self.forensics.is_some()
+    }
+
+    /// Decision records retained locally, oldest first (empty unless
+    /// forensics was configured).
+    pub fn decisions(&self) -> &[DecisionRecord] {
+        self.forensics.as_ref().map_or(&[], |f| &f.decisions)
+    }
+
+    /// Decision records dropped after the local log filled.
+    pub fn decisions_dropped(&self) -> u64 {
+        self.forensics.as_ref().map_or(0, |f| f.decisions_dropped)
+    }
+
+    /// Sealed alarm flight windows, oldest first (empty unless
+    /// forensics was configured).
+    pub fn flight_windows(&self) -> &[FlightWindow] {
+        self.forensics.as_ref().map_or(&[], |f| f.flight.windows())
+    }
+
+    /// Seals every still-open flight window (call at end of campaign so
+    /// windows whose post-context never filled become visible).
+    pub fn seal_flight_windows(&mut self) {
+        if let Some(f) = &mut self.forensics {
+            f.flight.flush();
+        }
+    }
+
+    /// Flight windows dropped after the recorder's window cap filled.
+    pub fn flight_windows_dropped(&self) -> u64 {
+        self.forensics
+            .as_ref()
+            .map_or(0, |f| f.flight.windows_dropped())
+    }
 }
 
 #[cfg(test)]
@@ -914,6 +1217,7 @@ mod tests {
     use crate::acquisition::TraceSet;
     use crate::detector::EuclideanDetector;
     use crate::fingerprint::{FingerprintConfig, GoldenFingerprint};
+    use emtrust_telemetry::FlightRecorderConfig;
 
     fn synthetic_set(n: usize, amplitude: f64, seed: u64) -> TraceSet {
         use rand::{Rng, SeedableRng};
@@ -1077,5 +1381,118 @@ mod tests {
         assert!(p
             .try_ingest_trace(&synthetic_set(1, 1.0, 2).traces()[0])
             .is_ok());
+    }
+
+    fn forensic_pipeline(config: ForensicsConfig) -> DetectionPipeline {
+        let golden = synthetic_set(32, 1.0, 1);
+        let fp = GoldenFingerprint::fit(&golden, FingerprintConfig::default()).unwrap();
+        DetectionPipeline::builder()
+            .detector(Box::new(EuclideanDetector::new(fp)))
+            .sanitizer(TraceSanitizer::default())
+            .labels(LabelSet::new().with("chip_id", "chip-7"))
+            .forensics(config)
+            .build()
+    }
+
+    #[test]
+    fn forensics_logs_scored_and_rejected_decisions() {
+        let mut p = forensic_pipeline(ForensicsConfig::default());
+        let clean = synthetic_set(3, 1.0, 2);
+        for t in clean.traces() {
+            p.ingest_trace(t);
+        }
+        let mut bad = clean.traces()[0].clone();
+        bad[5] = f64::NAN;
+        p.ingest_trace(&bad);
+        for t in synthetic_set(2, 1.4, 3).traces() {
+            p.ingest_trace(t);
+        }
+        let recs = p.decisions();
+        assert_eq!(recs.len(), 6);
+        for r in &recs[..3] {
+            assert_eq!(r.domain, "trace");
+            assert_eq!(r.verdict, "clean");
+            assert!(!r.fused_alarm);
+            assert!(r.correlation_id.is_none());
+            assert_eq!(r.detectors.len(), 1);
+            assert!(r.detectors[0].margin < 0.0, "clean margin must be < 0");
+            assert_eq!(r.labels.get("chip_id"), Some("chip-7"));
+            assert!(r.digest.is_some());
+        }
+        assert_eq!(recs[3].verdict, "rejected");
+        assert_eq!(recs[3].reject_reason.as_deref(), Some("non_finite"));
+        assert!(recs[3].detectors.is_empty());
+        for (r, a) in recs[4..].iter().zip(p.alarms()) {
+            assert!(r.fused_alarm);
+            assert!(r.detectors[0].suspected);
+            assert!(r.detectors[0].margin > 0.0, "alarm margin must be > 0");
+            assert_eq!(r.correlation_id, Some(a.correlation_id));
+        }
+        assert_eq!(p.decisions_dropped(), 0);
+    }
+
+    #[test]
+    fn flight_recorder_freezes_context_around_the_alarm() {
+        let mut p = forensic_pipeline(ForensicsConfig {
+            flight: FlightRecorderConfig {
+                pre: 2,
+                post: 1,
+                max_windows: 4,
+            },
+            ..ForensicsConfig::default()
+        });
+        let clean = synthetic_set(3, 1.0, 2);
+        for t in clean.traces() {
+            p.ingest_trace(t);
+        }
+        p.ingest_trace(&synthetic_set(1, 1.4, 3).traces()[0]);
+        p.ingest_trace(&clean.traces()[0]); // fills the post-context
+        let windows = p.flight_windows();
+        assert_eq!(windows.len(), 1);
+        let w = &windows[0];
+        assert_eq!(w.records.len(), 4, "2 pre + trigger + 1 post");
+        assert_eq!(w.trigger, 2);
+        let trigger = w.trigger_record().expect("trigger record");
+        assert!(trigger.fused_alarm);
+        assert_eq!(w.correlation_id, p.alarms()[0].correlation_id);
+        assert_eq!(trigger.correlation_id, Some(w.correlation_id));
+        assert!(!w.records[0].fused_alarm, "pre-context is clean");
+    }
+
+    #[test]
+    fn seal_exposes_windows_with_unfilled_post_context() {
+        let mut p = forensic_pipeline(ForensicsConfig::default());
+        for t in synthetic_set(2, 1.0, 2).traces() {
+            p.ingest_trace(t);
+        }
+        // Alarm as the very last observation: no post-context follows.
+        p.ingest_trace(&synthetic_set(1, 1.4, 3).traces()[0]);
+        assert!(p.flight_windows().is_empty());
+        p.seal_flight_windows();
+        assert_eq!(p.flight_windows().len(), 1);
+        assert!(p.flight_windows()[0]
+            .trigger_record()
+            .is_some_and(|r| r.fused_alarm));
+    }
+
+    #[test]
+    fn health_transitions_land_in_decision_records() {
+        let mut p = forensic_pipeline(ForensicsConfig::default());
+        let mut bad = synthetic_set(1, 1.0, 2).traces()[0].clone();
+        bad[0] = f64::NAN;
+        for _ in 0..10 {
+            p.ingest_trace(&bad);
+        }
+        let transitions: Vec<_> = p
+            .decisions()
+            .iter()
+            .filter_map(|r| r.health_transition.clone())
+            .collect();
+        assert!(
+            transitions.contains(&("healthy".to_string(), "degraded".to_string())),
+            "sustained rejections must record the healthy→degraded edge"
+        );
+        let last = p.decisions().last().expect("records kept");
+        assert_eq!(last.health, p.health().label());
     }
 }

@@ -1,0 +1,619 @@
+//! Decision forensics: one structured record per scored observation,
+//! plus the alarm flight recorder that freezes a pre/post window of
+//! records around every alarm.
+//!
+//! The pipeline emits a [`DecisionRecord`] for every trace or window it
+//! scores (and every one it rejects), capturing the sanitizer verdict,
+//! each detector's statistic / threshold / margin, the fused outcome,
+//! the health state (and any transition the observation caused), and —
+//! when a sensor array is active — per-tile margins. Records serialize
+//! to JSONL through the same hand-rolled JSON helpers as the event sink,
+//! so a fleet operator can replay exactly what the monitor saw.
+//!
+//! The [`FlightRecorder`] keeps a bounded ring of recent records; when a
+//! record carries an alarm correlation id it freezes the ring (the
+//! *pre*-trigger context), then keeps appending until the configured
+//! *post*-trigger depth is reached, yielding a [`FlightWindow`] linked to
+//! the alarm by correlation id.
+
+use crate::labels::LabelSet;
+use crate::ring::RingBuffer;
+use crate::sink::{json_escape, json_number};
+use std::fmt::Write as _;
+
+/// One detector's contribution to a decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectorDecision {
+    /// Detector name (`euclidean`, `spectral_window`, …).
+    pub detector: String,
+    /// The scored statistic (distance, anomaly count, …).
+    pub statistic: f64,
+    /// The threshold the statistic was compared against.
+    pub threshold: f64,
+    /// Relative margin `(statistic − threshold) / |threshold|` (the raw
+    /// statistic when the threshold is 0, matching the array heat-map
+    /// convention); positive means the detector fired, negative is
+    /// clean headroom.
+    pub margin: f64,
+    /// Whether this detector voted "Trojan".
+    pub suspected: bool,
+}
+
+impl DetectorDecision {
+    /// Builds a decision, deriving the relative margin from the
+    /// statistic and threshold (the raw statistic when the threshold is
+    /// 0 — a count-style detector like the spectral window scorer fires
+    /// on any nonzero statistic).
+    pub fn new(
+        detector: impl Into<String>,
+        statistic: f64,
+        threshold: f64,
+        suspected: bool,
+    ) -> Self {
+        let margin = if threshold.abs() > f64::EPSILON {
+            (statistic - threshold) / threshold.abs()
+        } else {
+            statistic
+        };
+        Self {
+            detector: detector.into(),
+            statistic,
+            threshold,
+            margin,
+            suspected,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"detector\":\"{}\",\"statistic\":{},\"threshold\":{},\"margin\":{},\"suspected\":{}}}",
+            json_escape(&self.detector),
+            json_number(self.statistic),
+            json_number(self.threshold),
+            json_number(self.margin),
+            self.suspected
+        )
+    }
+}
+
+/// One array tile's margin for an array-level decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileMargin {
+    /// Tile row in the array grid.
+    pub row: usize,
+    /// Tile column in the array grid.
+    pub col: usize,
+    /// Mean relative alarm margin over the campaign (0 = silent).
+    pub margin: f64,
+    /// Fraction of suspect traces that alarmed on this tile.
+    pub alarm_rate: f64,
+}
+
+impl TileMargin {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"row\":{},\"col\":{},\"margin\":{},\"alarm_rate\":{}}}",
+            self.row,
+            self.col,
+            json_number(self.margin),
+            json_number(self.alarm_rate)
+        )
+    }
+}
+
+/// A cheap O(n) summary of the observation's feature samples — enough
+/// to eyeball what the sensor saw without storing the raw trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameDigest {
+    /// Number of samples summarized.
+    pub samples: u64,
+    /// Mean sample value.
+    pub mean: f64,
+    /// Root-mean-square of the samples.
+    pub rms: f64,
+    /// Largest absolute sample.
+    pub peak: f64,
+}
+
+impl FrameDigest {
+    /// Summarizes a sample slice (all-zero digest for an empty slice).
+    pub fn of(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self {
+                samples: 0,
+                mean: 0.0,
+                rms: 0.0,
+                peak: 0.0,
+            };
+        }
+        let n = samples.len() as f64;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        let mut peak = 0.0f64;
+        for &s in samples {
+            sum += s;
+            sum_sq += s * s;
+            peak = peak.max(s.abs());
+        }
+        Self {
+            samples: samples.len() as u64,
+            mean: sum / n,
+            rms: (sum_sq / n).sqrt(),
+            peak,
+        }
+    }
+
+    fn to_json(self) -> String {
+        format!(
+            "{{\"samples\":{},\"mean\":{},\"rms\":{},\"peak\":{}}}",
+            self.samples,
+            json_number(self.mean),
+            json_number(self.rms),
+            json_number(self.peak)
+        )
+    }
+}
+
+/// One explainable verdict: everything the pipeline knew when it scored
+/// (or rejected) a single observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionRecord {
+    /// Observation domain: `trace`, `window` or `array`.
+    pub domain: String,
+    /// Monotonic observation index within its domain, when known.
+    pub index: Option<u64>,
+    /// Sanitizer verdict label: `clean`, `degraded` or `rejected`.
+    pub verdict: String,
+    /// Sanitizer rejection reason, for rejected observations.
+    pub reject_reason: Option<String>,
+    /// Labels identifying the emitting pipeline (`chip_id`, `tile`, …).
+    pub labels: LabelSet,
+    /// Per-detector statistics, thresholds and margins.
+    pub detectors: Vec<DetectorDecision>,
+    /// Whether fusion raised an alarm on this observation.
+    pub fused_alarm: bool,
+    /// The alarm's correlation id, when one was raised.
+    pub correlation_id: Option<u64>,
+    /// Sensor-health state after this observation was absorbed.
+    pub health: String,
+    /// `(from, to)` health transition this observation caused, if any.
+    pub health_transition: Option<(String, String)>,
+    /// Per-tile margins, for array-level decisions.
+    pub tiles: Vec<TileMargin>,
+    /// Digest of the feature samples the detectors scored.
+    pub digest: Option<FrameDigest>,
+}
+
+impl DecisionRecord {
+    /// A record skeleton for `domain` with a clean verdict and no
+    /// detector evidence; construction sites fill in the rest.
+    pub fn new(domain: impl Into<String>) -> Self {
+        Self {
+            domain: domain.into(),
+            index: None,
+            verdict: "clean".to_string(),
+            reject_reason: None,
+            labels: LabelSet::new(),
+            detectors: Vec::new(),
+            fused_alarm: false,
+            correlation_id: None,
+            health: "healthy".to_string(),
+            health_transition: None,
+            tiles: Vec::new(),
+            digest: None,
+        }
+    }
+
+    /// Renders the record as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"domain\":\"{}\",\"verdict\":\"{}\"",
+            json_escape(&self.domain),
+            json_escape(&self.verdict)
+        );
+        if let Some(i) = self.index {
+            let _ = write!(out, ",\"index\":{i}");
+        }
+        if let Some(r) = &self.reject_reason {
+            let _ = write!(out, ",\"reject_reason\":\"{}\"", json_escape(r));
+        }
+        if !self.labels.is_empty() {
+            out.push_str(",\"labels\":{");
+            for (i, (k, v)) in self.labels.pairs().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":\"{}\"", json_escape(k), json_escape(v));
+            }
+            out.push('}');
+        }
+        out.push_str(",\"detectors\":[");
+        for (i, d) in self.detectors.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&d.to_json());
+        }
+        out.push(']');
+        let _ = write!(out, ",\"fused_alarm\":{}", self.fused_alarm);
+        if let Some(cid) = self.correlation_id {
+            let _ = write!(out, ",\"correlation_id\":{cid}");
+        }
+        let _ = write!(out, ",\"health\":\"{}\"", json_escape(&self.health));
+        if let Some((from, to)) = &self.health_transition {
+            let _ = write!(
+                out,
+                ",\"health_transition\":{{\"from\":\"{}\",\"to\":\"{}\"}}",
+                json_escape(from),
+                json_escape(to)
+            );
+        }
+        if !self.tiles.is_empty() {
+            out.push_str(",\"tiles\":[");
+            for (i, t) in self.tiles.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&t.to_json());
+            }
+            out.push(']');
+        }
+        if let Some(d) = &self.digest {
+            let _ = write!(out, ",\"digest\":{}", d.to_json());
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Renders a decision log as a JSONL document (one record per line,
+/// trailing newline when non-empty).
+pub fn decisions_jsonl(records: &[DecisionRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&r.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Flight-recorder geometry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightRecorderConfig {
+    /// Records kept *before* a trigger (the frozen pre-context).
+    pub pre: usize,
+    /// Records captured *after* a trigger before the window seals.
+    pub post: usize,
+    /// Bound on sealed windows kept; further triggers are counted but
+    /// dropped.
+    pub max_windows: usize,
+}
+
+impl Default for FlightRecorderConfig {
+    fn default() -> Self {
+        Self {
+            pre: 8,
+            post: 4,
+            max_windows: 16,
+        }
+    }
+}
+
+/// Forensics configuration for a detection pipeline: flight-recorder
+/// geometry plus the bound on the pipeline's own decision log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForensicsConfig {
+    /// Flight-recorder pre/post/window geometry.
+    pub flight: FlightRecorderConfig,
+    /// Bound on decision records the pipeline retains (drop-new).
+    pub max_decisions: usize,
+}
+
+impl Default for ForensicsConfig {
+    fn default() -> Self {
+        Self {
+            flight: FlightRecorderConfig::default(),
+            max_decisions: 4096,
+        }
+    }
+}
+
+/// A sealed pre/post window around one alarm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightWindow {
+    /// The alarm's correlation id (links to the pipeline's alarm log).
+    pub correlation_id: u64,
+    /// Records in observation order: pre-context, the trigger, then
+    /// post-context.
+    pub records: Vec<DecisionRecord>,
+    /// Index of the triggering record within `records`.
+    pub trigger: usize,
+}
+
+impl FlightWindow {
+    /// The triggering record, if the window is well-formed.
+    pub fn trigger_record(&self) -> Option<&DecisionRecord> {
+        self.records.get(self.trigger)
+    }
+}
+
+struct PendingWindow {
+    correlation_id: u64,
+    records: Vec<DecisionRecord>,
+    trigger: usize,
+    remaining_post: usize,
+}
+
+/// Bounded pre/post-trigger capture of [`DecisionRecord`]s around each
+/// alarm.
+pub struct FlightRecorder {
+    config: FlightRecorderConfig,
+    ring: RingBuffer<DecisionRecord>,
+    pending: Vec<PendingWindow>,
+    windows: Vec<FlightWindow>,
+    windows_dropped: u64,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("config", &self.config)
+            .field("ring_len", &self.ring.len())
+            .field("pending", &self.pending.len())
+            .field("windows", &self.windows.len())
+            .field("windows_dropped", &self.windows_dropped)
+            .finish()
+    }
+}
+
+impl FlightRecorder {
+    /// Creates a recorder with the given geometry.
+    pub fn new(config: FlightRecorderConfig) -> Self {
+        let ring = RingBuffer::new(config.pre.max(1));
+        Self {
+            config,
+            ring,
+            pending: Vec::new(),
+            windows: Vec::new(),
+            windows_dropped: 0,
+        }
+    }
+
+    /// Feeds one record through the recorder. Opens a window when the
+    /// record carries an alarm correlation id; extends and seals any
+    /// windows still collecting post-trigger context.
+    pub fn record(&mut self, record: &DecisionRecord) {
+        // Extend windows opened by earlier triggers.
+        let mut i = 0;
+        while i < self.pending.len() {
+            let p = &mut self.pending[i];
+            p.records.push(record.clone());
+            p.remaining_post -= 1;
+            if p.remaining_post == 0 {
+                let p = self.pending.swap_remove(i);
+                self.seal(p);
+            } else {
+                i += 1;
+            }
+        }
+        // A fused alarm opens a new window: frozen ring + the trigger.
+        if let (true, Some(cid)) = (record.fused_alarm, record.correlation_id) {
+            let mut records = self.ring.to_vec();
+            let trigger = records.len();
+            records.push(record.clone());
+            let pending = PendingWindow {
+                correlation_id: cid,
+                records,
+                trigger,
+                remaining_post: self.config.post,
+            };
+            if pending.remaining_post == 0 {
+                self.seal(pending);
+            } else {
+                self.pending.push(pending);
+            }
+        }
+        self.ring.push(record.clone());
+    }
+
+    fn seal(&mut self, p: PendingWindow) {
+        if self.windows.len() >= self.config.max_windows.max(1) {
+            self.windows_dropped += 1;
+            return;
+        }
+        self.windows.push(FlightWindow {
+            correlation_id: p.correlation_id,
+            records: p.records,
+            trigger: p.trigger,
+        });
+    }
+
+    /// Seals every window still waiting for post-trigger records (end
+    /// of run / before export).
+    pub fn flush(&mut self) {
+        for p in std::mem::take(&mut self.pending) {
+            self.seal(p);
+        }
+    }
+
+    /// Sealed windows, in trigger order.
+    pub fn windows(&self) -> &[FlightWindow] {
+        &self.windows
+    }
+
+    /// The sealed window for `correlation_id`, if kept.
+    pub fn window_for(&self, correlation_id: u64) -> Option<&FlightWindow> {
+        self.windows
+            .iter()
+            .find(|w| w.correlation_id == correlation_id)
+    }
+
+    /// Windows dropped at the `max_windows` bound.
+    pub fn windows_dropped(&self) -> u64 {
+        self.windows_dropped
+    }
+
+    /// The recorder's geometry.
+    pub fn config(&self) -> &FlightRecorderConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(index: u64) -> DecisionRecord {
+        DecisionRecord {
+            index: Some(index),
+            ..DecisionRecord::new("trace")
+        }
+    }
+
+    fn alarm_rec(index: u64, cid: u64) -> DecisionRecord {
+        DecisionRecord {
+            index: Some(index),
+            fused_alarm: true,
+            correlation_id: Some(cid),
+            verdict: "clean".to_string(),
+            ..DecisionRecord::new("trace")
+        }
+    }
+
+    #[test]
+    fn window_freezes_pre_and_post_context_around_the_trigger() {
+        let mut fr = FlightRecorder::new(FlightRecorderConfig {
+            pre: 3,
+            post: 2,
+            max_windows: 4,
+        });
+        for i in 0..5 {
+            fr.record(&rec(i));
+        }
+        fr.record(&alarm_rec(5, 99));
+        assert!(fr.windows().is_empty(), "window must wait for post context");
+        fr.record(&rec(6));
+        fr.record(&rec(7));
+        let w = fr.window_for(99).expect("sealed window");
+        let indices: Vec<u64> = w.records.iter().filter_map(|r| r.index).collect();
+        assert_eq!(indices, vec![2, 3, 4, 5, 6, 7]);
+        assert_eq!(w.trigger, 3);
+        let trigger = w.trigger_record().expect("trigger record");
+        assert_eq!(trigger.correlation_id, Some(99));
+        assert!(trigger.fused_alarm);
+    }
+
+    #[test]
+    fn flush_seals_windows_short_of_post_context() {
+        let mut fr = FlightRecorder::new(FlightRecorderConfig {
+            pre: 2,
+            post: 8,
+            max_windows: 4,
+        });
+        fr.record(&rec(0));
+        fr.record(&alarm_rec(1, 7));
+        fr.record(&rec(2));
+        assert!(fr.windows().is_empty());
+        fr.flush();
+        let w = fr.window_for(7).expect("flushed window");
+        let indices: Vec<u64> = w.records.iter().filter_map(|r| r.index).collect();
+        assert_eq!(indices, vec![0, 1, 2]);
+        assert_eq!(w.trigger, 1);
+    }
+
+    #[test]
+    fn overlapping_triggers_each_get_a_window() {
+        let mut fr = FlightRecorder::new(FlightRecorderConfig {
+            pre: 2,
+            post: 2,
+            max_windows: 8,
+        });
+        fr.record(&alarm_rec(0, 1));
+        fr.record(&alarm_rec(1, 2));
+        fr.record(&rec(2));
+        fr.record(&rec(3));
+        assert_eq!(fr.windows().len(), 2);
+        assert!(fr.window_for(1).is_some());
+        assert!(fr.window_for(2).is_some());
+        // The first window saw the second trigger as post-context.
+        let first = fr.window_for(1).unwrap();
+        assert_eq!(first.records.len(), 3);
+    }
+
+    #[test]
+    fn window_count_is_bounded() {
+        let mut fr = FlightRecorder::new(FlightRecorderConfig {
+            pre: 1,
+            post: 0,
+            max_windows: 2,
+        });
+        for i in 0..5 {
+            fr.record(&alarm_rec(i, i + 1));
+        }
+        assert_eq!(fr.windows().len(), 2);
+        assert_eq!(fr.windows_dropped(), 3);
+    }
+
+    #[test]
+    fn record_serializes_every_populated_field() {
+        let mut r = DecisionRecord::new("window");
+        r.index = Some(4);
+        r.verdict = "degraded".to_string();
+        r.labels = LabelSet::from_pairs([("chip_id", "c0")]);
+        r.detectors
+            .push(DetectorDecision::new("spectral_window", 3.0, 2.0, true));
+        r.fused_alarm = true;
+        r.correlation_id = Some(11);
+        r.health = "degraded".to_string();
+        r.health_transition = Some(("healthy".to_string(), "degraded".to_string()));
+        r.tiles.push(TileMargin {
+            row: 1,
+            col: 0,
+            margin: 0.5,
+            alarm_rate: 0.25,
+        });
+        r.digest = Some(FrameDigest::of(&[3.0, -4.0]));
+        let json = r.to_json();
+        for needle in [
+            "\"domain\":\"window\"",
+            "\"index\":4",
+            "\"verdict\":\"degraded\"",
+            "\"chip_id\":\"c0\"",
+            "\"detector\":\"spectral_window\"",
+            "\"margin\":0.5",
+            "\"fused_alarm\":true",
+            "\"correlation_id\":11",
+            "\"health_transition\":{\"from\":\"healthy\",\"to\":\"degraded\"}",
+            "\"tiles\":[{\"row\":1,\"col\":0",
+            "\"digest\":{\"samples\":2",
+            "\"peak\":4",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        let jsonl = decisions_jsonl(&[r.clone(), r]);
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.ends_with('\n'));
+    }
+
+    #[test]
+    fn detector_margin_is_relative_and_zero_safe() {
+        let d = DetectorDecision::new("euclidean", 3.0, 2.0, true);
+        assert!((d.margin - 0.5).abs() < 1e-12);
+        let clean = DetectorDecision::new("euclidean", 1.0, 2.0, false);
+        assert!((clean.margin + 0.5).abs() < 1e-12);
+        // Zero threshold: the raw statistic is the margin (count-style
+        // detectors fire on any nonzero statistic).
+        let degenerate = DetectorDecision::new("x", 1.0, 0.0, true);
+        assert_eq!(degenerate.margin, 1.0);
+    }
+
+    #[test]
+    fn frame_digest_summarizes_samples() {
+        let d = FrameDigest::of(&[3.0, -4.0]);
+        assert_eq!(d.samples, 2);
+        assert_eq!(d.peak, 4.0);
+        assert!((d.mean + 0.5).abs() < 1e-12);
+        assert!((d.rms - (12.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(FrameDigest::of(&[]).samples, 0);
+    }
+}

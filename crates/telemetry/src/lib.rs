@@ -60,12 +60,21 @@
 //! fresh stacks, so pool-side spans root at the worker's first span.
 
 pub mod clock;
+pub mod forensics;
+pub mod labels;
+pub mod profile;
 pub mod recorder;
 pub mod registry;
 pub mod ring;
 pub mod sink;
 
 pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use forensics::{
+    decisions_jsonl, DecisionRecord, DetectorDecision, FlightRecorder, FlightRecorderConfig,
+    FlightWindow, ForensicsConfig, FrameDigest, TileMargin,
+};
+pub use labels::LabelSet;
+pub use profile::{SpanNode, SpanProfile};
 pub use recorder::{FieldValue, NullRecorder, Recorder};
 pub use registry::{Event, HistogramSnapshot, InMemoryRecorder, Snapshot};
 pub use ring::RingBuffer;
@@ -145,6 +154,30 @@ pub fn observe(name: &str, value: f64) {
 #[inline]
 pub fn event(kind: &str, fields: &[(&str, FieldValue)]) {
     with_recorder(|r| r.event(kind, fields));
+}
+
+/// Adds `delta` to the labeled counter series on the installed recorder.
+#[inline]
+pub fn counter_with(name: &str, labels: &LabelSet, delta: u64) {
+    with_recorder(|r| r.counter_with(name, labels, delta));
+}
+
+/// Sets the labeled gauge series on the installed recorder.
+#[inline]
+pub fn gauge_with(name: &str, labels: &LabelSet, value: f64) {
+    with_recorder(|r| r.gauge_with(name, labels, value));
+}
+
+/// Records one labeled distribution sample on the installed recorder.
+#[inline]
+pub fn observe_with(name: &str, labels: &LabelSet, value: f64) {
+    with_recorder(|r| r.observe_with(name, labels, value));
+}
+
+/// Records one decision-forensics record on the installed recorder.
+#[inline]
+pub fn decision(record: &DecisionRecord) {
+    with_recorder(|r| r.decision(record));
 }
 
 /// Times `f` with the recorder's clock and records the elapsed
@@ -327,5 +360,56 @@ mod tests {
         let b = next_correlation_id();
         let c = next_correlation_id();
         assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn labeled_helpers_route_to_the_registry() {
+        let _guard = lock();
+        let reg = Arc::new(InMemoryRecorder::new());
+        install(reg.clone());
+        let labels = LabelSet::from_pairs([("chip_id", "c3"), ("tile", "r1c0")]);
+        counter_with("fleet.traces", &labels, 2);
+        gauge_with("fleet.threshold", &labels, 0.5);
+        observe_with("fleet.margin", &labels, 1.5);
+        let mut rec = DecisionRecord::new("trace");
+        rec.labels = labels.clone();
+        decision(&rec);
+        uninstall();
+        let snap = reg.snapshot();
+        assert_eq!(snap.labeled_counters["fleet.traces"][&labels], 2);
+        assert_eq!(snap.labeled_gauges["fleet.threshold"][&labels], 0.5);
+        assert_eq!(snap.labeled_histograms["fleet.margin"][&labels].count, 1);
+        assert_eq!(reg.decisions().len(), 1);
+        assert_eq!(reg.decisions()[0].labels, labels);
+        // Disabled: the same helpers are no-ops.
+        counter_with("fleet.traces", &labels, 7);
+        decision(&rec);
+        assert_eq!(reg.snapshot().labeled_counters["fleet.traces"][&labels], 2);
+    }
+
+    #[test]
+    fn span_stack_stays_balanced_across_a_caught_panic() {
+        let _guard = lock();
+        let reg = Arc::new(InMemoryRecorder::with_clock(Box::new(ManualClock::new(10))));
+        install(reg.clone());
+        {
+            let _outer = span("outer");
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _inner = span("doomed");
+                panic!("boom");
+            }));
+            assert!(caught.is_err());
+            // The panicking guard unwound and popped itself: a new span
+            // opened now must nest under `outer` alone, not under the
+            // dead `doomed` frame.
+            {
+                let _after = span("after");
+            }
+        }
+        uninstall();
+        let snap = reg.snapshot();
+        assert_eq!(snap.spans["outer.doomed"].count, 1, "{:?}", snap.spans);
+        assert_eq!(snap.spans["outer.after"].count, 1, "{:?}", snap.spans);
+        assert!(!snap.spans.contains_key("outer.doomed.after"));
     }
 }

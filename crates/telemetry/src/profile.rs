@@ -1,0 +1,283 @@
+//! Span profiling: folds the registry's dot-joined span distributions
+//! into an accumulated call tree with self/total time and call counts,
+//! plus a flamegraph-compatible folded-stacks text sink.
+//!
+//! `collect.measure.emf`-style paths become a trie; each node's *total*
+//! time is the sum its span guard recorded, and its *self* time is the
+//! total minus the totals of its direct children (clamped at zero —
+//! concurrent child spans on pool workers can legitimately exceed the
+//! parent's wall time). Hot-spot analysis that used to mean spelunking
+//! JSONL span events is one [`SpanProfile::from_snapshot`] call.
+
+use crate::registry::Snapshot;
+use std::fmt::Write as _;
+
+/// One node of the accumulated span tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    /// Leaf name of this span (`emf` in `collect.measure.emf`).
+    pub name: String,
+    /// Full dot-joined path.
+    pub path: String,
+    /// Times this span completed (0 for purely structural nodes that
+    /// only appear as a prefix of deeper paths).
+    pub count: u64,
+    /// Total nanoseconds recorded under this path.
+    pub total_ns: f64,
+    /// Nanoseconds not attributed to any child span (≥ 0).
+    pub self_ns: f64,
+    /// Child spans, ordered by name.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    fn new(name: &str, path: String) -> Self {
+        Self {
+            name: name.to_string(),
+            path,
+            count: 0,
+            total_ns: 0.0,
+            self_ns: 0.0,
+            children: Vec::new(),
+        }
+    }
+
+    fn child_mut(&mut self, name: &str) -> &mut SpanNode {
+        if let Some(i) = self.children.iter().position(|c| c.name == name) {
+            return &mut self.children[i];
+        }
+        let path = if self.path.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}.{name}", self.path)
+        };
+        self.children.push(SpanNode::new(name, path));
+        self.children.sort_by(|a, b| a.name.cmp(&b.name));
+        let i = self
+            .children
+            .iter()
+            .position(|c| c.name == name)
+            .unwrap_or(0);
+        &mut self.children[i]
+    }
+
+    fn finalize(&mut self) {
+        // Bottom-up: children must finalize first so structural nodes
+        // (prefixes that never completed as spans themselves) roll up
+        // fully-computed child totals.
+        for c in &mut self.children {
+            c.finalize();
+        }
+        let child_total: f64 = self.children.iter().map(|c| c.total_ns).sum();
+        if self.count == 0 && self.total_ns == 0.0 {
+            // Structural node: inherits its children's time, self stays 0.
+            self.total_ns = child_total;
+        }
+        self.self_ns = (self.total_ns - child_total).max(0.0);
+    }
+}
+
+/// The accumulated span-tree profile of one [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanProfile {
+    roots: Vec<SpanNode>,
+}
+
+impl SpanProfile {
+    /// Builds the profile from a snapshot's span distributions.
+    pub fn from_snapshot(snapshot: &Snapshot) -> Self {
+        let mut virtual_root = SpanNode::new("", String::new());
+        for (path, h) in &snapshot.spans {
+            let mut node = &mut virtual_root;
+            for part in path.split('.') {
+                node = node.child_mut(part);
+            }
+            node.count += h.count;
+            node.total_ns += h.sum;
+        }
+        virtual_root.finalize();
+        Self {
+            roots: virtual_root.children,
+        }
+    }
+
+    /// Top-level spans (each thread's outermost guards), ordered by name.
+    pub fn roots(&self) -> &[SpanNode] {
+        &self.roots
+    }
+
+    /// Every node in the tree, depth-first.
+    pub fn nodes(&self) -> Vec<&SpanNode> {
+        let mut out = Vec::new();
+        let mut stack: Vec<&SpanNode> = self.roots.iter().rev().collect();
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            stack.extend(n.children.iter().rev());
+        }
+        out
+    }
+
+    /// The `n` nodes with the largest self time, descending.
+    pub fn hottest(&self, n: usize) -> Vec<&SpanNode> {
+        let mut nodes = self.nodes();
+        nodes.sort_by(|a, b| {
+            b.self_ns
+                .partial_cmp(&a.self_ns)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        nodes.truncate(n);
+        nodes
+    }
+
+    /// The node at a dot-joined `path`, if present.
+    pub fn node(&self, path: &str) -> Option<&SpanNode> {
+        self.nodes().into_iter().find(|n| n.path == path)
+    }
+
+    /// Flamegraph-compatible folded stacks: one
+    /// `root;child;leaf <self_ns>` line per node with nonzero self
+    /// time, semicolon-joined, ready for `flamegraph.pl` /
+    /// `inferno-flamegraph`.
+    pub fn folded(&self) -> String {
+        let mut out = String::new();
+        for node in self.nodes() {
+            if node.self_ns <= 0.0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{} {}",
+                node.path.replace('.', ";"),
+                node.self_ns.round() as u64
+            );
+        }
+        out
+    }
+
+    /// A human-readable indented rendering (name, calls, total, self).
+    pub fn render(&self) -> String {
+        fn walk(node: &SpanNode, depth: usize, out: &mut String) {
+            let _ = writeln!(
+                out,
+                "{:indent$}{} calls={} total={:.0}ns self={:.0}ns",
+                "",
+                node.name,
+                node.count,
+                node.total_ns,
+                node.self_ns,
+                indent = depth * 2
+            );
+            for c in &node.children {
+                walk(c, depth + 1, out);
+            }
+        }
+        let mut out = String::new();
+        for r in &self.roots {
+            walk(r, 0, &mut out);
+        }
+        out
+    }
+
+    /// `(p50, p95, p99)` duration quantiles of the span distribution at
+    /// `path`, straight from the snapshot's bucket counts.
+    pub fn quantiles(snapshot: &Snapshot, path: &str) -> Option<(f64, f64, f64)> {
+        let h = snapshot.spans.get(path)?;
+        Some((h.quantile(0.50), h.quantile(0.95), h.quantile(0.99)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+    use crate::registry::InMemoryRecorder;
+
+    fn snapshot() -> Snapshot {
+        let r = InMemoryRecorder::new();
+        r.span_complete("collect", 0, 1000);
+        r.span_complete("collect.measure", 0, 600);
+        r.span_complete("collect.measure.emf", 0, 250);
+        r.span_complete("collect.measure.emf", 0, 150);
+        r.span_complete("fit", 0, 300);
+        r.snapshot()
+    }
+
+    #[test]
+    fn tree_attributes_self_time_to_parents() {
+        let p = SpanProfile::from_snapshot(&snapshot());
+        assert_eq!(p.roots().len(), 2);
+        let collect = p.node("collect").expect("collect");
+        assert_eq!(collect.count, 1);
+        assert_eq!(collect.total_ns, 1000.0);
+        assert_eq!(collect.self_ns, 400.0);
+        let measure = p.node("collect.measure").expect("measure");
+        assert_eq!(measure.self_ns, 200.0);
+        let emf = p.node("collect.measure.emf").expect("emf");
+        assert_eq!(emf.count, 2);
+        assert_eq!(emf.self_ns, 400.0);
+        let fit = p.node("fit").expect("fit");
+        assert_eq!(fit.self_ns, 300.0);
+    }
+
+    #[test]
+    fn missing_parent_paths_become_structural_nodes() {
+        let r = InMemoryRecorder::new();
+        // A worker-side span whose parent guard never completed on this
+        // registry: the prefix exists only structurally.
+        r.span_complete("pool.worker.chunk", 0, 500);
+        let p = SpanProfile::from_snapshot(&r.snapshot());
+        let pool = p.node("pool").expect("pool");
+        assert_eq!(pool.count, 0);
+        assert_eq!(pool.total_ns, 500.0);
+        assert_eq!(pool.self_ns, 0.0);
+        assert_eq!(p.node("pool.worker.chunk").expect("leaf").self_ns, 500.0);
+    }
+
+    #[test]
+    fn concurrent_children_exceeding_parent_clamp_self_to_zero() {
+        let r = InMemoryRecorder::new();
+        r.span_complete("batch", 0, 100);
+        // Two workers each recorded 80ns under the batch: child total
+        // (160) exceeds the parent's wall time.
+        r.span_complete("batch.worker", 0, 80);
+        r.span_complete("batch.worker", 0, 80);
+        let p = SpanProfile::from_snapshot(&r.snapshot());
+        assert_eq!(p.node("batch").expect("batch").self_ns, 0.0);
+    }
+
+    #[test]
+    fn folded_stacks_are_flamegraph_compatible() {
+        let p = SpanProfile::from_snapshot(&snapshot());
+        let folded = p.folded();
+        let lines: Vec<&str> = folded.lines().collect();
+        assert!(lines.contains(&"collect 400"));
+        assert!(lines.contains(&"collect;measure 200"));
+        assert!(lines.contains(&"collect;measure;emf 400"));
+        assert!(lines.contains(&"fit 300"));
+        // Every line is `stack space integer`.
+        for l in &lines {
+            let (stack, n) = l.rsplit_once(' ').expect("two fields");
+            assert!(!stack.is_empty());
+            assert!(n.parse::<u64>().is_ok(), "bad count in {l}");
+        }
+        assert!(folded.ends_with('\n'));
+    }
+
+    #[test]
+    fn hottest_ranks_by_self_time() {
+        let p = SpanProfile::from_snapshot(&snapshot());
+        let hot = p.hottest(2);
+        assert_eq!(hot.len(), 2);
+        assert!(hot[0].self_ns >= hot[1].self_ns);
+        assert_eq!(hot[0].self_ns, 400.0);
+    }
+
+    #[test]
+    fn render_indents_by_depth() {
+        let p = SpanProfile::from_snapshot(&snapshot());
+        let text = p.render();
+        assert!(text.contains("collect calls=1"));
+        assert!(text.contains("\n  measure calls=1"));
+        assert!(text.contains("\n    emf calls=2"));
+    }
+}

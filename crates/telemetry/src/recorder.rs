@@ -1,6 +1,8 @@
 //! The [`Recorder`] trait and the zero-cost [`NullRecorder`] default.
 
 use crate::clock::{Clock, ManualClock};
+use crate::forensics::DecisionRecord;
+use crate::labels::LabelSet;
 
 /// A typed value attached to a structured event.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,6 +62,30 @@ pub trait Recorder: Send + Sync + std::fmt::Debug {
     /// Records a structured event (alarms, run markers). The default
     /// implementation drops it.
     fn event(&self, _kind: &str, _fields: &[(&str, FieldValue)]) {}
+
+    /// Adds `delta` to the counter `name` within the series identified
+    /// by `labels`. The default implementation folds the update into
+    /// the unlabeled counter, so backends that predate labels keep
+    /// aggregate totals correct.
+    fn counter_with(&self, name: &str, _labels: &LabelSet, delta: u64) {
+        self.counter(name, delta);
+    }
+
+    /// Sets the gauge `name` for the series identified by `labels`.
+    /// Defaults to the unlabeled gauge.
+    fn gauge_with(&self, name: &str, _labels: &LabelSet, value: f64) {
+        self.gauge(name, value);
+    }
+
+    /// Records one sample of the distribution `name` for the series
+    /// identified by `labels`. Defaults to the unlabeled distribution.
+    fn observe_with(&self, name: &str, _labels: &LabelSet, value: f64) {
+        self.observe(name, value);
+    }
+
+    /// Records one decision-forensics record. The default
+    /// implementation drops it.
+    fn decision(&self, _record: &DecisionRecord) {}
 }
 
 /// The default recorder: discards everything.
@@ -106,6 +132,11 @@ mod tests {
         r.observe("h", 3.0);
         r.span_complete("a.b", 0, 10);
         r.event("e", &[("k", FieldValue::U64(1))]);
+        let labels = LabelSet::from_pairs([("chip_id", "c0")]);
+        r.counter_with("c", &labels, 1);
+        r.gauge_with("g", &labels, 2.0);
+        r.observe_with("h", &labels, 3.0);
+        r.decision(&DecisionRecord::new("trace"));
         let _ = r.clock().now_ns();
     }
 

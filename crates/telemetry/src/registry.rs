@@ -6,6 +6,8 @@
 //! a read-lock on lookup and a write-lock the first time a name is seen.
 
 use crate::clock::{Clock, MonotonicClock};
+use crate::forensics::DecisionRecord;
+use crate::labels::LabelSet;
 use crate::recorder::{FieldValue, Recorder};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -150,6 +152,27 @@ impl HistogramSnapshot {
             self.sum / self.count as f64
         }
     }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) estimated from the cumulative
+    /// bucket counts: the upper bound of the first bucket whose
+    /// cumulative count reaches `q · count`, clamped into the observed
+    /// `[min, max]` range so power-of-two bucket edges never report a
+    /// value outside what was actually recorded. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (upper, n) in &self.buckets {
+            cumulative += n;
+            if cumulative >= target {
+                return upper.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
 }
 
 /// One structured event (a completed span, an alarm, a run marker).
@@ -174,8 +197,64 @@ pub struct Snapshot {
     pub histograms: BTreeMap<String, HistogramSnapshot>,
     /// Completed-span duration distributions (nanoseconds) by span path.
     pub spans: BTreeMap<String, HistogramSnapshot>,
+    /// Labeled counter series: family name → label set → value.
+    pub labeled_counters: BTreeMap<String, BTreeMap<LabelSet, u64>>,
+    /// Labeled gauge series: family name → label set → value.
+    pub labeled_gauges: BTreeMap<String, BTreeMap<LabelSet, f64>>,
+    /// Labeled distributions: family name → label set → distribution.
+    pub labeled_histograms: BTreeMap<String, BTreeMap<LabelSet, HistogramSnapshot>>,
+    /// Updates routed to a family's overflow bucket because the
+    /// per-family series cap was reached.
+    pub series_overflowed: u64,
     /// Events dropped because the bounded event log was full.
     pub events_dropped: u64,
+    /// Decision records dropped because the bounded decision log was
+    /// full.
+    pub decisions_dropped: u64,
+}
+
+/// One labeled metric family: a capped map from label set to atomic
+/// cell. Lookups pay a read-lock; the write-lock is only taken the
+/// first time a label set is seen.
+#[derive(Debug, Default)]
+struct LabeledFamily<V> {
+    series: RwLock<BTreeMap<LabelSet, Arc<V>>>,
+}
+
+impl<V: Default> LabeledFamily<V> {
+    fn cell(&self, labels: &LabelSet, cap: usize, overflowed: &AtomicU64) -> Arc<V> {
+        if let Some(c) = self
+            .series
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .get(labels)
+        {
+            return Arc::clone(c);
+        }
+        let mut w = self
+            .series
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some(c) = w.get(labels) {
+            return Arc::clone(c);
+        }
+        // At the cardinality cap, previously-unseen label sets share the
+        // reserved overflow bucket instead of growing the map.
+        if w.len() >= cap && !labels.is_overflow() {
+            overflowed.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(w.entry(LabelSet::overflow()).or_default());
+        }
+        Arc::clone(w.entry(labels.clone()).or_default())
+    }
+
+    fn snapshot<T>(&self, read: impl Fn(&V) -> T) -> BTreeMap<LabelSet, T> {
+        self.series
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), read(v)))
+            .collect()
+    }
 }
 
 /// The bundled [`Recorder`]: everything lands in process memory, ready
@@ -187,9 +266,17 @@ pub struct InMemoryRecorder {
     gauges: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
     histograms: RwLock<BTreeMap<String, Arc<AtomicHistogram>>>,
     spans: RwLock<BTreeMap<String, Arc<AtomicHistogram>>>,
+    labeled_counters: RwLock<BTreeMap<String, Arc<LabeledFamily<AtomicU64>>>>,
+    labeled_gauges: RwLock<BTreeMap<String, Arc<LabeledFamily<AtomicU64>>>>,
+    labeled_histograms: RwLock<BTreeMap<String, Arc<LabeledFamily<AtomicHistogram>>>>,
+    series_overflowed: AtomicU64,
+    series_cap: usize,
     events: Mutex<Vec<Event>>,
     events_dropped: AtomicU64,
     event_capacity: usize,
+    decisions: Mutex<Vec<DecisionRecord>>,
+    decisions_dropped: AtomicU64,
+    decision_capacity: usize,
 }
 
 impl Default for InMemoryRecorder {
@@ -201,6 +288,13 @@ impl Default for InMemoryRecorder {
 impl InMemoryRecorder {
     /// Default bound on the in-memory event log.
     pub const DEFAULT_EVENT_CAPACITY: usize = 65_536;
+
+    /// Default bound on distinct label sets per labeled metric family
+    /// (the overflow bucket rides on top of the cap).
+    pub const DEFAULT_SERIES_CAP: usize = 128;
+
+    /// Default bound on the in-memory decision log.
+    pub const DEFAULT_DECISION_CAPACITY: usize = 65_536;
 
     /// Creates a registry stamped by a fresh [`MonotonicClock`].
     pub fn new() -> Self {
@@ -217,15 +311,35 @@ impl InMemoryRecorder {
             gauges: RwLock::new(BTreeMap::new()),
             histograms: RwLock::new(BTreeMap::new()),
             spans: RwLock::new(BTreeMap::new()),
+            labeled_counters: RwLock::new(BTreeMap::new()),
+            labeled_gauges: RwLock::new(BTreeMap::new()),
+            labeled_histograms: RwLock::new(BTreeMap::new()),
+            series_overflowed: AtomicU64::new(0),
+            series_cap: Self::DEFAULT_SERIES_CAP,
             events: Mutex::new(Vec::new()),
             events_dropped: AtomicU64::new(0),
             event_capacity: Self::DEFAULT_EVENT_CAPACITY,
+            decisions: Mutex::new(Vec::new()),
+            decisions_dropped: AtomicU64::new(0),
+            decision_capacity: Self::DEFAULT_DECISION_CAPACITY,
         }
     }
 
     /// Overrides the event-log bound.
     pub fn with_event_capacity(mut self, capacity: usize) -> Self {
         self.event_capacity = capacity;
+        self
+    }
+
+    /// Overrides the per-family labeled-series cap (clamped ≥ 1).
+    pub fn with_series_cap(mut self, cap: usize) -> Self {
+        self.series_cap = cap.max(1);
+        self
+    }
+
+    /// Overrides the decision-log bound.
+    pub fn with_decision_capacity(mut self, capacity: usize) -> Self {
+        self.decision_capacity = capacity;
         self
     }
 
@@ -287,12 +401,43 @@ impl InMemoryRecorder {
             .iter()
             .map(|(k, v)| (k.clone(), v.snapshot()))
             .collect();
+        let labeled_counters = self
+            .labeled_counters
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .iter()
+            .map(|(k, f)| (k.clone(), f.snapshot(|c| c.load(Ordering::Relaxed))))
+            .collect();
+        let labeled_gauges = self
+            .labeled_gauges
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .iter()
+            .map(|(k, f)| {
+                (
+                    k.clone(),
+                    f.snapshot(|c| f64::from_bits(c.load(Ordering::Relaxed))),
+                )
+            })
+            .collect();
+        let labeled_histograms = self
+            .labeled_histograms
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .iter()
+            .map(|(k, f)| (k.clone(), f.snapshot(AtomicHistogram::snapshot)))
+            .collect();
         Snapshot {
             counters,
             gauges,
             histograms,
             spans,
+            labeled_counters,
+            labeled_gauges,
+            labeled_histograms,
+            series_overflowed: self.series_overflowed.load(Ordering::Relaxed),
             events_dropped: self.events_dropped.load(Ordering::Relaxed),
+            decisions_dropped: self.decisions_dropped.load(Ordering::Relaxed),
         }
     }
 
@@ -302,6 +447,34 @@ impl InMemoryRecorder {
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
             .clone()
+    }
+
+    /// A copy of the decision log, oldest first.
+    pub fn decisions(&self) -> Vec<DecisionRecord> {
+        self.decisions
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .clone()
+    }
+
+    /// The per-family labeled-series cap.
+    pub fn series_cap(&self) -> usize {
+        self.series_cap
+    }
+
+    fn labeled<V: Default>(
+        map: &RwLock<BTreeMap<String, Arc<LabeledFamily<V>>>>,
+        name: &str,
+    ) -> Arc<LabeledFamily<V>> {
+        if let Some(f) = map
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .get(name)
+        {
+            return Arc::clone(f);
+        }
+        let mut w = map.write().unwrap_or_else(|poisoned| poisoned.into_inner());
+        Arc::clone(w.entry(name.to_string()).or_default())
     }
 }
 
@@ -344,6 +517,36 @@ impl Recorder for InMemoryRecorder {
                 .map(|(k, v)| ((*k).to_string(), v.clone()))
                 .collect(),
         );
+    }
+
+    fn counter_with(&self, name: &str, labels: &LabelSet, delta: u64) {
+        Self::labeled(&self.labeled_counters, name)
+            .cell(labels, self.series_cap, &self.series_overflowed)
+            .fetch_add(delta, Ordering::Relaxed);
+    }
+
+    fn gauge_with(&self, name: &str, labels: &LabelSet, value: f64) {
+        Self::labeled(&self.labeled_gauges, name)
+            .cell(labels, self.series_cap, &self.series_overflowed)
+            .store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    fn observe_with(&self, name: &str, labels: &LabelSet, value: f64) {
+        Self::labeled(&self.labeled_histograms, name)
+            .cell(labels, self.series_cap, &self.series_overflowed)
+            .record(value);
+    }
+
+    fn decision(&self, record: &DecisionRecord) {
+        let mut log = self
+            .decisions
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if log.len() >= self.decision_capacity {
+            self.decisions_dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        log.push(record.clone());
     }
 }
 
@@ -427,5 +630,137 @@ mod tests {
         let snap = r.snapshot();
         assert_eq!(snap.counters["n"], 4000);
         assert_eq!(snap.histograms["v"].count, 4000);
+    }
+
+    #[test]
+    fn bucket_edges_land_deterministically() {
+        // A value exactly on a power-of-two edge must always land in the
+        // bucket whose *lower* bound it is: bucket i covers
+        // [2^(i−32), 2^(i−31)), half-open.
+        for k in [-8i32, -1, 0, 1, 3, 10, 20] {
+            let edge = 2f64.powi(k);
+            let i = bucket_index(edge);
+            assert_eq!(
+                i,
+                (k as i64 + EXPONENT_OFFSET) as usize,
+                "edge 2^{k} drifted"
+            );
+            // The edge is *inside* bucket i, not the last value of i−1.
+            assert!(edge >= bucket_upper_bound(i) / 2.0);
+            assert!(edge < bucket_upper_bound(i));
+            // The value just below the edge lands one bucket down; the
+            // value just above stays put.
+            assert_eq!(bucket_index(edge * (1.0 - 1e-12)), i - 1);
+            assert_eq!(bucket_index(edge * (1.0 + 1e-12)), i);
+        }
+        // Repeated classification of the same edge value never flickers.
+        let probes: Vec<usize> = (0..1000).map(|_| bucket_index(1.0)).collect();
+        assert!(probes.iter().all(|&i| i == EXPONENT_OFFSET as usize));
+    }
+
+    #[test]
+    fn snapshot_under_concurrent_records_loses_no_counts() {
+        use std::sync::atomic::AtomicBool;
+        let r = std::sync::Arc::new(InMemoryRecorder::new());
+        let done = AtomicBool::new(false);
+        let writers = 4usize;
+        let per_writer = 5000usize;
+        std::thread::scope(|s| {
+            for w in 0..writers {
+                let r = std::sync::Arc::clone(&r);
+                s.spawn(move || {
+                    for i in 0..per_writer {
+                        // Hit bucket edges on purpose.
+                        r.observe("edge", 2f64.powi((i % 8) as i32 - 4 + (w as i32 % 2)));
+                    }
+                });
+            }
+            // Snapshot continuously while the writers hammer: every
+            // snapshot must be internally monotone (count never exceeds
+            // the bucket total by more than in-flight writers) and never
+            // panic.
+            let mut last_count = 0u64;
+            while !done.load(Ordering::Relaxed) {
+                if let Some(h) = r.snapshot().histograms.get("edge") {
+                    assert!(h.count >= last_count, "count went backwards");
+                    last_count = h.count;
+                }
+                if last_count >= (writers * per_writer) as u64 {
+                    done.store(true, Ordering::Relaxed);
+                }
+            }
+        });
+        // Quiescent snapshot: nothing lost, buckets sum to the count.
+        let h = r.snapshot().histograms["edge"].clone();
+        assert_eq!(h.count, (writers * per_writer) as u64);
+        let bucket_total: u64 = h.buckets.iter().map(|(_, n)| n).sum();
+        assert_eq!(bucket_total, h.count);
+    }
+
+    #[test]
+    fn quantiles_track_the_distribution() {
+        let h = AtomicHistogram::default();
+        for i in 1..=100u32 {
+            h.record(i as f64);
+        }
+        let s = h.snapshot();
+        let (p50, p95, p99) = (s.quantile(0.50), s.quantile(0.95), s.quantile(0.99));
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        // Power-of-two buckets: the answer is an upper bound within 2×.
+        assert!((32.0..=64.0).contains(&p50), "p50={p50}");
+        assert!((95.0..=100.0).contains(&p99), "p99={p99}");
+        assert_eq!(AtomicHistogram::default().snapshot().quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn labeled_series_cap_routes_excess_to_the_overflow_bucket() {
+        let r = InMemoryRecorder::new().with_series_cap(4);
+        for i in 0..100 {
+            let labels = LabelSet::from_pairs([("chip_id", format!("c{i}"))]);
+            r.counter_with("fleet.traces", &labels, 1);
+        }
+        let snap = r.snapshot();
+        let family = &snap.labeled_counters["fleet.traces"];
+        // 4 real series + the shared overflow bucket.
+        assert_eq!(family.len(), 5);
+        assert_eq!(family[&LabelSet::overflow()], 96);
+        assert_eq!(snap.series_overflowed, 96);
+        // Existing series keep updating in place at the cap.
+        r.counter_with(
+            "fleet.traces",
+            &LabelSet::from_pairs([("chip_id", "c0")]),
+            10,
+        );
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.labeled_counters["fleet.traces"][&LabelSet::from_pairs([("chip_id", "c0")])],
+            11
+        );
+    }
+
+    #[test]
+    fn labeled_gauges_and_histograms_round_trip() {
+        let r = InMemoryRecorder::new();
+        let tile = LabelSet::from_pairs([("tile", "r0c0")]);
+        r.gauge_with("tile.threshold", &tile, 0.25);
+        r.gauge_with("tile.threshold", &tile, 0.5);
+        r.observe_with("tile.margin", &tile, 1.0);
+        r.observe_with("tile.margin", &tile, 3.0);
+        let snap = r.snapshot();
+        assert_eq!(snap.labeled_gauges["tile.threshold"][&tile], 0.5);
+        let h = &snap.labeled_histograms["tile.margin"][&tile];
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 4.0);
+        assert_eq!(snap.series_overflowed, 0);
+    }
+
+    #[test]
+    fn decision_log_is_bounded() {
+        let r = InMemoryRecorder::new().with_decision_capacity(2);
+        for _ in 0..3 {
+            r.decision(&DecisionRecord::new("trace"));
+        }
+        assert_eq!(r.decisions().len(), 2);
+        assert_eq!(r.snapshot().decisions_dropped, 1);
     }
 }

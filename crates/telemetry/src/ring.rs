@@ -90,6 +90,50 @@ mod tests {
     }
 
     #[test]
+    fn wraparound_keeps_strict_oldest_first_order() {
+        let mut r = RingBuffer::new(4);
+        // Push far past capacity so head wraps several times, checking
+        // the order at every step.
+        for i in 0..25u32 {
+            r.push(i);
+            let got = r.to_vec();
+            let lo = (i + 1).saturating_sub(4);
+            let expect: Vec<u32> = (lo..=i).collect();
+            assert_eq!(got, expect, "after push {i}");
+            assert_eq!(r.len(), expect.len());
+        }
+        assert_eq!(r.capacity(), 4);
+    }
+
+    #[test]
+    fn capacity_one_always_holds_the_latest() {
+        let mut r = RingBuffer::new(1);
+        assert!(r.is_empty());
+        assert_eq!(r.capacity(), 1);
+        for i in 0..10 {
+            r.push(i);
+            assert_eq!(r.to_vec(), vec![i]);
+            assert_eq!(r.len(), 1);
+        }
+        r.clear();
+        assert!(r.is_empty());
+        r.push(42);
+        assert_eq!(r.to_vec(), vec![42]);
+    }
+
+    #[test]
+    fn zero_capacity_behaves_exactly_like_capacity_one() {
+        let mut zero = RingBuffer::new(0);
+        let mut one = RingBuffer::new(1);
+        assert_eq!(zero.capacity(), one.capacity());
+        for i in 0..5 {
+            zero.push(i);
+            one.push(i);
+            assert_eq!(zero.to_vec(), one.to_vec());
+        }
+    }
+
+    #[test]
     fn clear_empties_but_keeps_capacity() {
         let mut r = RingBuffer::new(2);
         r.push(1);

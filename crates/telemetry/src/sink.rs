@@ -3,8 +3,10 @@
 //! Both sinks render from point-in-time copies ([`Snapshot`] /
 //! [`Event`]s), so exporting never blocks the pipeline.
 
+use crate::labels::{escape_help_text, LabelSet};
 use crate::recorder::FieldValue;
-use crate::registry::{Event, Snapshot};
+use crate::registry::{Event, HistogramSnapshot, Snapshot};
+use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
 /// Maps a dotted metric name onto the Prometheus charset
@@ -46,32 +48,144 @@ pub fn json_number(v: f64) -> String {
     }
 }
 
-/// Renders a [`Snapshot`] in the Prometheus text exposition format
-/// (counters, gauges, and histograms with cumulative `le` buckets;
-/// span distributions appear as `…_span_ns` histograms).
+/// Writes the `# HELP` / `# TYPE` header for a family exactly once —
+/// distinct dotted names can mangle to the same exposition name, and
+/// plain + labeled series of one family share a single header.
+fn family_header(out: &mut String, typed: &mut BTreeSet<String>, n: &str, name: &str, kind: &str) {
+    if typed.insert(n.to_string()) {
+        let _ = writeln!(out, "# HELP {n} emtrust metric {}", escape_help_text(name));
+        let _ = writeln!(out, "# TYPE {n} {kind}");
+    }
+}
+
+/// Writes one histogram's `_bucket`/`+Inf`/`_sum`/`_count` series, with
+/// optional label pairs merged ahead of `le`.
+fn write_histogram(out: &mut String, n: &str, labels: &LabelSet, h: &HistogramSnapshot) {
+    let rendered = labels.render();
+    let lead = if rendered.is_empty() {
+        String::new()
+    } else {
+        format!("{rendered},")
+    };
+    let braced = if rendered.is_empty() {
+        String::new()
+    } else {
+        format!("{{{rendered}}}")
+    };
+    let mut cumulative = 0u64;
+    for (le, count) in &h.buckets {
+        cumulative += count;
+        let _ = writeln!(out, "{n}_bucket{{{lead}le=\"{le:e}\"}} {cumulative}");
+    }
+    let _ = writeln!(out, "{n}_bucket{{{lead}le=\"+Inf\"}} {}", h.count);
+    let _ = writeln!(out, "{n}_sum{braced} {}", h.sum);
+    let _ = writeln!(out, "{n}_count{braced} {}", h.count);
+}
+
+/// Writes the p50/p95/p99 quantile snapshot of one histogram as a
+/// `quantile`-labeled gauge family `{n}_quantile`.
+fn write_quantiles(
+    out: &mut String,
+    typed: &mut BTreeSet<String>,
+    n: &str,
+    name: &str,
+    labels: &LabelSet,
+    h: &HistogramSnapshot,
+) {
+    if h.count == 0 {
+        return;
+    }
+    let qn = format!("{n}_quantile");
+    family_header(out, typed, &qn, name, "gauge");
+    for (q, label) in [(0.50, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+        let series = labels.with("quantile", label);
+        let _ = writeln!(out, "{qn}{{{}}} {}", series.render(), h.quantile(q));
+    }
+}
+
+/// Renders a [`Snapshot`] in the Prometheus text exposition format:
+/// counters and gauges (plain and labeled series share one family
+/// header), histograms with cumulative `le` buckets plus `_sum` /
+/// `_count` and a p50/p95/p99 `_quantile` gauge family, and span
+/// distributions as `…_span_ns` histograms. `# TYPE` is emitted once
+/// per family, label values and help text are escaped per the text
+/// format spec, and the output always ends with a newline.
 pub fn prometheus_text(snapshot: &Snapshot) -> String {
     let mut out = String::new();
-    for (name, value) in &snapshot.counters {
+    let mut typed = BTreeSet::new();
+
+    let counter_names: BTreeSet<&String> = snapshot
+        .counters
+        .keys()
+        .chain(snapshot.labeled_counters.keys())
+        .collect();
+    for name in counter_names {
         let n = prometheus_name(name);
-        let _ = writeln!(out, "# TYPE {n} counter\n{n} {value}");
-    }
-    for (name, value) in &snapshot.gauges {
-        let n = prometheus_name(name);
-        let _ = writeln!(out, "# TYPE {n} gauge\n{n} {value}");
-    }
-    for (prefix, map) in [("", &snapshot.histograms), ("span_ns_", &snapshot.spans)] {
-        for (name, h) in map {
-            let n = prometheus_name(&format!("{prefix}{name}"));
-            let _ = writeln!(out, "# TYPE {n} histogram");
-            let mut cumulative = 0u64;
-            for (le, count) in &h.buckets {
-                cumulative += count;
-                let _ = writeln!(out, "{n}_bucket{{le=\"{le:e}\"}} {cumulative}");
-            }
-            let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
-            let _ = writeln!(out, "{n}_sum {}", h.sum);
-            let _ = writeln!(out, "{n}_count {}", h.count);
+        family_header(&mut out, &mut typed, &n, name, "counter");
+        if let Some(value) = snapshot.counters.get(name) {
+            let _ = writeln!(out, "{n} {value}");
         }
+        for (labels, value) in snapshot.labeled_counters.get(name).into_iter().flatten() {
+            let _ = writeln!(out, "{n}{{{}}} {value}", labels.render());
+        }
+    }
+
+    let gauge_names: BTreeSet<&String> = snapshot
+        .gauges
+        .keys()
+        .chain(snapshot.labeled_gauges.keys())
+        .collect();
+    for name in gauge_names {
+        let n = prometheus_name(name);
+        family_header(&mut out, &mut typed, &n, name, "gauge");
+        if let Some(value) = snapshot.gauges.get(name) {
+            let _ = writeln!(out, "{n} {value}");
+        }
+        for (labels, value) in snapshot.labeled_gauges.get(name).into_iter().flatten() {
+            let _ = writeln!(out, "{n}{{{}}} {value}", labels.render());
+        }
+    }
+
+    let histogram_names: BTreeSet<&String> = snapshot
+        .histograms
+        .keys()
+        .chain(snapshot.labeled_histograms.keys())
+        .collect();
+    let empty = LabelSet::new();
+    for name in histogram_names {
+        let n = prometheus_name(name);
+        family_header(&mut out, &mut typed, &n, name, "histogram");
+        if let Some(h) = snapshot.histograms.get(name) {
+            write_histogram(&mut out, &n, &empty, h);
+            write_quantiles(&mut out, &mut typed, &n, name, &empty, h);
+        }
+        for (labels, h) in snapshot.labeled_histograms.get(name).into_iter().flatten() {
+            write_histogram(&mut out, &n, labels, h);
+            write_quantiles(&mut out, &mut typed, &n, name, labels, h);
+        }
+    }
+
+    for (name, h) in &snapshot.spans {
+        let qualified = format!("span_ns_{name}");
+        let n = prometheus_name(&qualified);
+        family_header(&mut out, &mut typed, &n, &qualified, "histogram");
+        write_histogram(&mut out, &n, &empty, h);
+        write_quantiles(&mut out, &mut typed, &n, &qualified, &empty, h);
+    }
+
+    // Registry self-observability: bounded-buffer drop counts.
+    for (name, value) in [
+        ("telemetry.series_overflowed", snapshot.series_overflowed),
+        ("telemetry.events_dropped", snapshot.events_dropped),
+        ("telemetry.decisions_dropped", snapshot.decisions_dropped),
+    ] {
+        let n = prometheus_name(name);
+        family_header(&mut out, &mut typed, &n, name, "counter");
+        let _ = writeln!(out, "{n} {value}");
+    }
+
+    if !out.ends_with('\n') {
+        out.push('\n');
     }
     out
 }
@@ -129,6 +243,69 @@ mod tests {
         assert!(text.contains("emtrust_monitor_distance_count 1"));
         assert!(text.contains("emtrust_span_ns_collect_measure_sum 1500"));
         assert!(text.contains("le=\"+Inf\""));
+        assert!(text.contains("# HELP emtrust_monitor_traces emtrust metric monitor.traces"));
+        assert!(text.contains("emtrust_monitor_distance_quantile{quantile=\"0.99\"}"));
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn type_lines_are_emitted_once_per_family() {
+        let r = InMemoryRecorder::new();
+        // Distinct dotted names that mangle to the same exposition name.
+        r.counter("monitor.traces", 1);
+        r.counter("monitor_traces", 2);
+        // Plain + labeled series of one family.
+        r.counter_with(
+            "monitor.traces",
+            &LabelSet::from_pairs([("chip_id", "c0")]),
+            3,
+        );
+        let text = prometheus_text(&r.snapshot());
+        let type_lines = text
+            .lines()
+            .filter(|l| l.starts_with("# TYPE emtrust_monitor_traces "))
+            .count();
+        assert_eq!(type_lines, 1, "{text}");
+        assert!(text.contains("emtrust_monitor_traces{chip_id=\"c0\"} 3"));
+    }
+
+    #[test]
+    fn labeled_histograms_expose_buckets_sums_and_quantiles() {
+        let r = InMemoryRecorder::new();
+        let tile = LabelSet::from_pairs([("tile", "r0c1")]);
+        for v in [1.0, 3.0, 200.0] {
+            r.observe_with("tile.margin", &tile, v);
+        }
+        let text = prometheus_text(&r.snapshot());
+        assert!(text.contains("emtrust_tile_margin_bucket{tile=\"r0c1\",le=\"+Inf\"} 3"));
+        assert!(text.contains("emtrust_tile_margin_sum{tile=\"r0c1\"} 204"));
+        assert!(text.contains("emtrust_tile_margin_count{tile=\"r0c1\"} 3"));
+        assert!(text.contains("emtrust_tile_margin_quantile{quantile=\"0.5\",tile=\"r0c1\"}"));
+        // Cumulative bucket counts are monotone.
+        let cum: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("emtrust_tile_margin_bucket"))
+            .filter_map(|l| l.rsplit(' ').next()?.parse().ok())
+            .collect();
+        assert!(cum.windows(2).all(|w| w[0] <= w[1]), "{cum:?}");
+    }
+
+    #[test]
+    fn label_values_and_help_text_are_escaped() {
+        let r = InMemoryRecorder::new();
+        r.counter("weird\nname", 1);
+        r.counter_with(
+            "fleet.traces",
+            &LabelSet::from_pairs([("path", "a\"b\\c\nd")]),
+            1,
+        );
+        let text = prometheus_text(&r.snapshot());
+        // The mangled name sanitizes the newline; help text escapes it.
+        assert!(text.contains("# HELP emtrust_weird_name emtrust metric weird\\nname"));
+        assert!(text.contains("{path=\"a\\\"b\\\\c\\nd\"} 1"));
+        // The hostile label value stays on exactly one exposition line.
+        assert_eq!(text.lines().filter(|l| l.contains("path=")).count(), 1);
+        assert!(text.ends_with('\n'));
     }
 
     #[test]
