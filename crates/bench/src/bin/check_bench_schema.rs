@@ -22,7 +22,7 @@
 //! every record carrying its domain, verdict, detector margins and
 //! health state, and at least one fused alarm in the log.
 //!
-//! [`DecisionRecord`]: emtrust_telemetry::DecisionRecord
+//! [`DecisionRecord`]: emtrust::telemetry::DecisionRecord
 
 use emtrust_bench::json::Value;
 
@@ -258,6 +258,100 @@ fn check_faults(doc: &Value) -> Result<(), String> {
     Ok(())
 }
 
+/// `BENCH_fleet.json`: the fleet ingestion service's chaos-run gates —
+/// zero panics, bounded queue depth, quarantine isolation, and a sane
+/// p99 ingest latency at 10k-chip scale.
+fn check_fleet(doc: &Value) -> Result<(), String> {
+    check_provenance(doc)?;
+    let n_chips = expect_u64(doc, "n_chips")?;
+    if n_chips < 10_000 {
+        return Err(format!("\"n_chips\" {n_chips} is below the 10k-chip floor"));
+    }
+    expect_u64(doc, "n_poisoned")?;
+    expect_u64(doc, "rounds")?;
+    expect_u64(doc, "batch_traces")?;
+    expect_u64(doc, "shards")?;
+    let capacity = expect_u64(doc, "queue_capacity")?;
+    let tracked = expect_u64(doc, "chips_tracked")?;
+    if tracked + 100 < n_chips {
+        return Err(format!(
+            "\"chips_tracked\" {tracked} lost more than 100 of {n_chips} chips"
+        ));
+    }
+    let offered = expect_u64(doc, "traces_offered")?;
+    let delivered = expect_u64(doc, "traces_delivered")?;
+    if delivered > 2 * offered {
+        return Err(format!(
+            "\"traces_delivered\" {delivered} exceeds duplication bound for {offered} offered"
+        ));
+    }
+    expect_number(doc, "elapsed_s")?;
+    if expect_number(doc, "traces_per_sec")? <= 0.0 {
+        return Err("\"traces_per_sec\" must be positive".into());
+    }
+    expect_u64(doc, "p50_ingest_us")?;
+    let p99 = expect_u64(doc, "p99_ingest_us")?;
+    if p99 > 100_000 {
+        return Err(format!(
+            "\"p99_ingest_us\" {p99} exceeds the 100ms sanity ceiling"
+        ));
+    }
+    expect_u64(doc, "max_ingest_us")?;
+    let max_depth = expect_u64(doc, "max_queue_depth")?;
+    if max_depth > capacity + 1 {
+        return Err(format!(
+            "\"max_queue_depth\" {max_depth} exceeds queue_capacity {capacity} (+1 transient)"
+        ));
+    }
+    if !expect_bool(doc, "bounded_queue")? {
+        return Err("\"bounded_queue\" must be true".into());
+    }
+    if !expect_bool(doc, "zero_panics")? {
+        return Err("\"zero_panics\" must be true".into());
+    }
+    if !expect_bool(doc, "leakage_bit_identical")? {
+        return Err(
+            "\"leakage_bit_identical\" must be true — quarantine leaked into healthy chips".into(),
+        );
+    }
+    let admissions = expect(doc, "admissions", "object")?;
+    expect_u64(admissions, "admitted")?;
+    expect_u64(admissions, "throttled")?;
+    expect_u64(admissions, "shed")?;
+    expect_u64(admissions, "quarantined")?;
+    let transport = expect(doc, "transport", "object")?;
+    for key in [
+        "offered",
+        "dropped",
+        "duplicated",
+        "reordered",
+        "corrupted",
+        "delivered",
+        "delay_us",
+    ] {
+        expect_u64(transport, key)?;
+    }
+    let store = expect(doc, "store", "object")?;
+    for key in ["fits", "refits", "evictions", "hot", "cold"] {
+        expect_u64(store, key)?;
+    }
+    let breakers = expect(doc, "breakers", "object")?;
+    if expect_u64(breakers, "tripped_chips")? == 0 {
+        return Err("\"breakers.tripped_chips\" must be > 0 — the poison cohort must trip".into());
+    }
+    expect_u64(breakers, "refusals")?;
+    expect_number(doc, "alarm_rate")?;
+    let probe = expect(doc, "leakage_probe", "object")?;
+    expect_u64(probe, "healthy_chips")?;
+    if !expect_bool(probe, "victim_tripped")? {
+        return Err("\"leakage_probe.victim_tripped\" must be true".into());
+    }
+    if !expect_bool(probe, "bit_identical")? {
+        return Err("\"leakage_probe.bit_identical\" must be true".into());
+    }
+    Ok(())
+}
+
 fn check_pipeline(doc: &Value) -> Result<(), String> {
     check_provenance(doc)?;
     expect_u64(doc, "n_traces")?;
@@ -382,7 +476,7 @@ fn check_forensics(doc: &Value) -> Result<(), String> {
 /// fused alarm.
 fn check_decision_line(rec: &Value) -> Result<bool, String> {
     let domain = expect_str(rec, "domain")?;
-    if !matches!(domain, "trace" | "window" | "array") {
+    if !matches!(domain, "trace" | "window" | "array" | "fleet") {
         return Err(format!("unknown decision domain \"{domain}\""));
     }
     let verdict = expect_str(rec, "verdict")?;
@@ -453,6 +547,7 @@ fn check_file(path: &str) -> Result<(), String> {
         "telemetry_table1_sweep" => check_telemetry(&doc),
         "golden_collect_fit" => check_parallel(&doc),
         "fault_injection_sweep" => check_faults(&doc),
+        "fleet_ingestion" => check_fleet(&doc),
         "pipeline_overhead" => check_pipeline(&doc),
         "localization" => check_localization(&doc),
         "forensics" => check_forensics(&doc),

@@ -131,10 +131,23 @@ pub struct RetryPolicy {
     /// Total acquisition attempts per trace, the first included (≥ 1).
     pub max_attempts: u32,
     /// Backoff before the first retry, in microseconds; doubles per
-    /// retry round. The bench is simulated, so the wait is *recorded*
+    /// retry round (jittered and capped — see [`Self::backoff_us`]).
+    /// The bench is simulated, so the wait is *recorded*
     /// (`backoff_total_us`, `acquire.backoff_us`) rather than slept —
     /// a hardware bench would sleep it to let a transient clear.
     pub backoff_base_us: u64,
+    /// Ceiling on any single backoff round, in microseconds. Without a
+    /// cap the doubling schedule reaches minutes within a dozen rounds;
+    /// with one, a long outage costs a bounded, predictable wait per
+    /// retry.
+    pub backoff_cap_us: u64,
+    /// Full jitter fraction in `[0, 1]`: each round's wait is drawn
+    /// uniformly from `nominal × [1 − jitter, 1 + jitter)` with a
+    /// deterministic RNG keyed on the campaign seed and the attempt, so
+    /// replays are bit-identical while concurrent campaigns never
+    /// synchronize their retry storms. `0.0` restores the fixed
+    /// schedule.
+    pub backoff_jitter: f64,
     /// Alternate measurement channel to try for traces still rejected
     /// after every retry (the paper's chips expose both the on-chip
     /// sensor and an external probe).
@@ -150,9 +163,34 @@ impl Default for RetryPolicy {
         Self {
             max_attempts: 3,
             backoff_base_us: 100,
+            backoff_cap_us: 5_000_000,
+            backoff_jitter: 0.5,
             fallback: None,
             max_reject_fraction: 1.0,
         }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff charged before retry round `attempt` (1-based) of a
+    /// campaign keyed by `seed`, in microseconds: exponential doubling
+    /// from [`Self::backoff_base_us`], jittered by
+    /// [`Self::backoff_jitter`], capped at [`Self::backoff_cap_us`].
+    /// Pure in `(policy, attempt, seed)`, so a replayed campaign charges
+    /// the exact same schedule.
+    pub fn backoff_us(&self, attempt: u32, seed: u64) -> u64 {
+        let exp = u64::from(attempt.saturating_sub(1)).min(20);
+        let nominal = self.backoff_base_us.saturating_mul(1u64 << exp);
+        let jitter = self.backoff_jitter.clamp(0.0, 1.0);
+        if jitter == 0.0 {
+            return nominal.min(self.backoff_cap_us);
+        }
+        let mut rng = StdRng::seed_from_u64(
+            seed ^ (u64::from(attempt).wrapping_add(1)).wrapping_mul(0xA24B_AED4_963E_E407),
+        );
+        let factor = rng.gen_range((1.0 - jitter)..(1.0 + jitter));
+        let jittered = (nominal as f64 * factor).round() as u64;
+        jittered.min(self.backoff_cap_us)
     }
 }
 
@@ -670,9 +708,7 @@ impl<'c> TestBench<'c> {
             if pending.is_empty() {
                 break;
             }
-            let backoff = policy
-                .backoff_base_us
-                .saturating_mul(1u64 << u64::from(attempt - 1).min(20));
+            let backoff = policy.backoff_us(attempt, seed);
             backoff_total_us = backoff_total_us.saturating_add(backoff);
             telemetry::counter("acquire.backoff_us", backoff);
             telemetry::counter("acquire.retries", pending.len() as u64);
@@ -790,39 +826,39 @@ impl<'c> TestBench<'c> {
 }
 
 #[cfg(test)]
+#[deny(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
     const KEY: [u8; 16] = *b"sixteen byte key";
 
     #[test]
-    fn trace_set_validation() {
+    fn trace_set_validation() -> Result<(), TrustError> {
         assert!(TraceSet::new(vec![vec![1.0], vec![1.0, 2.0]], 1.0).is_err());
         assert!(TraceSet::new(vec![vec![1.0]], 0.0).is_err());
-        let s = TraceSet::new(vec![vec![1.0, 2.0]; 3], 10.0).unwrap();
+        let s = TraceSet::new(vec![vec![1.0, 2.0]; 3], 10.0)?;
         assert_eq!(s.len(), 3);
         assert!(!s.is_empty());
         assert_eq!(s.sample_rate_hz(), 10.0);
+        Ok(())
     }
 
     #[test]
     fn trace_set_distinguishes_shape_and_value_defects() {
-        let e = TraceSet::new(vec![vec![1.0], vec![1.0, 2.0]], 1.0).unwrap_err();
         assert!(matches!(
-            e,
-            TrustError::TraceLengthMismatch {
+            TraceSet::new(vec![vec![1.0], vec![1.0, 2.0]], 1.0),
+            Err(TrustError::TraceLengthMismatch {
                 trace: 1,
                 expected: 1,
                 actual: 2
-            }
+            })
         ));
-        let e = TraceSet::new(vec![vec![1.0, f64::NAN]], 1.0).unwrap_err();
         assert!(matches!(
-            e,
-            TrustError::NonFiniteSample {
+            TraceSet::new(vec![vec![1.0, f64::NAN]], 1.0),
+            Err(TrustError::NonFiniteSample {
                 trace: 0,
                 sample: 1
-            }
+            })
         ));
         // The raw constructor admits corrupted values but not bad shapes.
         assert!(TraceSet::from_raw(vec![vec![1.0, f64::NAN]], 1.0).is_ok());
@@ -831,21 +867,61 @@ mod tests {
     }
 
     #[test]
-    fn faulted_collection_replays_and_keeps_untouched_samples_identical() {
+    fn backoff_schedule_is_jittered_capped_and_deterministic() {
+        // Pin the exact schedule for one seed: full-jitter exponential
+        // doubling from 100 µs, capped at 350 µs. The values are a
+        // regression anchor for the seeded-RNG derivation — any change
+        // to the keying or the draw breaks replayability of recorded
+        // campaigns.
+        let policy = RetryPolicy {
+            backoff_base_us: 100,
+            backoff_cap_us: 350,
+            backoff_jitter: 0.5,
+            ..RetryPolicy::default()
+        };
+        let schedule: Vec<u64> = (1..=6).map(|a| policy.backoff_us(a, 0xBACC)).collect();
+        assert_eq!(schedule, vec![149, 289, 350, 350, 350, 350]);
+        // Deterministic: the same (policy, attempt, seed) replays.
+        let replay: Vec<u64> = (1..=6).map(|a| policy.backoff_us(a, 0xBACC)).collect();
+        assert_eq!(schedule, replay);
+        // A different campaign seed draws a different (still capped)
+        // schedule.
+        let other: Vec<u64> = (1..=6).map(|a| policy.backoff_us(a, 0xBACD)).collect();
+        assert_ne!(schedule, other);
+        assert!(other.iter().all(|&b| b <= 350));
+        // Zero jitter restores the fixed doubling schedule.
+        let fixed = RetryPolicy {
+            backoff_jitter: 0.0,
+            ..policy
+        };
+        let plain: Vec<u64> = (1..=4).map(|a| fixed.backoff_us(a, 0xBACC)).collect();
+        assert_eq!(plain, vec![100, 200, 350, 350]);
+    }
+
+    #[test]
+    fn backoff_jitter_stays_within_the_advertised_band() {
+        let policy = RetryPolicy::default();
+        for seed in 0..200u64 {
+            let b = policy.backoff_us(1, seed);
+            // nominal 100 µs, jitter 0.5 → [50, 150).
+            assert!((50..150).contains(&b), "attempt 1 backoff {b}");
+        }
+        // The overflow guard still applies under the cap.
+        let b = policy.backoff_us(64, 7);
+        assert!(b <= policy.backoff_cap_us);
+    }
+
+    #[test]
+    fn faulted_collection_replays_and_keeps_untouched_samples_identical() -> Result<(), TrustError>
+    {
         use emtrust_faults::FaultKind;
         let chip = ProtectedChip::golden();
-        let clean_bench = TestBench::simulation(&chip).unwrap();
-        let clean = clean_bench
-            .collect(KEY, 2, None, Channel::OnChipSensor, 7)
-            .unwrap();
+        let clean_bench = TestBench::simulation(&chip)?;
+        let clean = clean_bench.collect(KEY, 2, None, Channel::OnChipSensor, 7)?;
         let plan = FaultPlan::single(5, FaultKind::NanCorruption, 0.5);
-        let bench = TestBench::simulation(&chip).unwrap().with_faults(plan);
-        let a = bench
-            .collect(KEY, 2, None, Channel::OnChipSensor, 7)
-            .unwrap();
-        let b = bench
-            .collect(KEY, 2, None, Channel::OnChipSensor, 7)
-            .unwrap();
+        let bench = TestBench::simulation(&chip)?.with_faults(plan);
+        let a = bench.collect(KEY, 2, None, Channel::OnChipSensor, 7)?;
+        let b = bench.collect(KEY, 2, None, Channel::OnChipSensor, 7)?;
         let flat = |s: &TraceSet| -> Vec<u64> {
             s.traces().iter().flatten().map(|x| x.to_bits()).collect()
         };
@@ -862,26 +938,23 @@ mod tests {
             (1..20).contains(&differing),
             "differing samples {differing}"
         );
+        Ok(())
     }
 
     #[test]
-    fn robust_collection_without_faults_matches_collect_exactly() {
+    fn robust_collection_without_faults_matches_collect_exactly() -> Result<(), TrustError> {
         let chip = ProtectedChip::golden();
-        let bench = TestBench::simulation(&chip).unwrap();
-        let plain = bench
-            .collect(KEY, 3, None, Channel::OnChipSensor, 9)
-            .unwrap();
-        let robust = bench
-            .collect_robust(
-                KEY,
-                3,
-                None,
-                Channel::OnChipSensor,
-                9,
-                &TraceSanitizer::default(),
-                RetryPolicy::default(),
-            )
-            .unwrap();
+        let bench = TestBench::simulation(&chip)?;
+        let plain = bench.collect(KEY, 3, None, Channel::OnChipSensor, 9)?;
+        let robust = bench.collect_robust(
+            KEY,
+            3,
+            None,
+            Channel::OnChipSensor,
+            9,
+            &TraceSanitizer::default(),
+            RetryPolicy::default(),
+        )?;
         assert_eq!(robust.set, plain);
         assert_eq!(robust.retries, 0);
         assert_eq!(robust.fallbacks, 0);
@@ -890,33 +963,32 @@ mod tests {
             .reports
             .iter()
             .all(|r| r.attempts == 1 && r.verdict.is_clean()));
+        Ok(())
     }
 
     #[test]
-    fn robust_collection_falls_back_to_the_external_probe() {
+    fn robust_collection_falls_back_to_the_external_probe() -> Result<(), TrustError> {
         use emtrust_faults::{FaultKind, FaultSpec};
         let chip = ProtectedChip::golden();
         // Persistent flatline on the on-chip channel only: retries cannot
         // clear it, the external-probe fallback can.
         let plan = FaultPlan::new(3)
             .with(FaultSpec::new(FaultKind::Flatline, 1.0).on_channel(Channel::OnChipSensor));
-        let bench = TestBench::simulation(&chip).unwrap().with_faults(plan);
+        let bench = TestBench::simulation(&chip)?.with_faults(plan);
         let policy = RetryPolicy {
             max_attempts: 2,
             fallback: Some(Channel::ExternalProbe),
             ..Default::default()
         };
-        let robust = bench
-            .collect_robust(
-                KEY,
-                2,
-                None,
-                Channel::OnChipSensor,
-                4,
-                &TraceSanitizer::default(),
-                policy,
-            )
-            .unwrap();
+        let robust = bench.collect_robust(
+            KEY,
+            2,
+            None,
+            Channel::OnChipSensor,
+            4,
+            &TraceSanitizer::default(),
+            policy,
+        )?;
         assert_eq!(robust.rejected(), 0);
         assert_eq!(robust.fallbacks, 2);
         assert_eq!(robust.retries, 2);
@@ -925,124 +997,113 @@ mod tests {
             .reports
             .iter()
             .all(|r| r.channel == Channel::ExternalProbe && r.attempts == 3));
+        Ok(())
     }
 
     #[test]
-    fn robust_collection_escalates_to_sensor_fault() {
+    fn robust_collection_escalates_to_sensor_fault() -> Result<(), TrustError> {
         use emtrust_faults::FaultKind;
         let chip = ProtectedChip::golden();
         let plan = FaultPlan::single(3, FaultKind::Flatline, 1.0);
-        let bench = TestBench::simulation(&chip).unwrap().with_faults(plan);
+        let bench = TestBench::simulation(&chip)?.with_faults(plan);
         let policy = RetryPolicy {
             max_attempts: 2,
             max_reject_fraction: 0.25,
             ..Default::default()
         };
-        let err = bench
-            .collect_robust(
-                KEY,
-                2,
-                None,
-                Channel::OnChipSensor,
-                4,
-                &TraceSanitizer::default(),
-                policy,
-            )
-            .unwrap_err();
+        let outcome = bench.collect_robust(
+            KEY,
+            2,
+            None,
+            Channel::OnChipSensor,
+            4,
+            &TraceSanitizer::default(),
+            policy,
+        );
         assert!(matches!(
-            err,
-            TrustError::SensorFault {
+            outcome,
+            Err(TrustError::SensorFault {
                 rejected: 2,
                 total: 2
-            }
+            })
         ));
+        Ok(())
     }
 
     #[test]
-    fn simulation_bench_collects_consistent_traces() {
+    fn simulation_bench_collects_consistent_traces() -> Result<(), TrustError> {
         let chip = ProtectedChip::golden();
-        let bench = TestBench::simulation(&chip).unwrap();
-        let set = bench
-            .collect(KEY, 3, None, Channel::OnChipSensor, 1)
-            .unwrap();
+        let bench = TestBench::simulation(&chip)?;
+        let set = bench.collect(KEY, 3, None, Channel::OnChipSensor, 1)?;
         assert_eq!(set.len(), 3);
         // 12 cycles × 64 samples per encryption.
         assert_eq!(set.traces()[0].len(), 12 * 64);
         // Traces carry signal.
         assert!(emtrust_dsp::stats::rms(&set.traces()[0]) > 1e-8);
+        Ok(())
     }
 
     #[test]
-    fn onchip_channel_outweighs_external() {
+    fn onchip_channel_outweighs_external() -> Result<(), TrustError> {
         let chip = ProtectedChip::golden();
-        let bench = TestBench::simulation(&chip).unwrap();
-        let on = bench
-            .collect(KEY, 2, None, Channel::OnChipSensor, 1)
-            .unwrap();
-        let ext = bench
-            .collect(KEY, 2, None, Channel::ExternalProbe, 1)
-            .unwrap();
+        let bench = TestBench::simulation(&chip)?;
+        let on = bench.collect(KEY, 2, None, Channel::OnChipSensor, 1)?;
+        let ext = bench.collect(KEY, 2, None, Channel::ExternalProbe, 1)?;
         let rms = |s: &TraceSet| emtrust_dsp::stats::rms(&s.traces()[0]);
         assert!(rms(&on) > 3.0 * rms(&ext));
+        Ok(())
     }
 
     #[test]
-    fn armed_t4_changes_the_measurement() {
+    fn armed_t4_changes_the_measurement() -> Result<(), TrustError> {
         let chip = ProtectedChip::with_trojans(&[TrojanKind::T4PowerDegrader]);
-        let bench = TestBench::simulation(&chip).unwrap();
-        let golden = bench
-            .collect(KEY, 2, None, Channel::OnChipSensor, 1)
-            .unwrap();
-        let armed = bench
-            .collect(
-                KEY,
-                2,
-                Some(TrojanKind::T4PowerDegrader),
-                Channel::OnChipSensor,
-                1,
-            )
-            .unwrap();
+        let bench = TestBench::simulation(&chip)?;
+        let golden = bench.collect(KEY, 2, None, Channel::OnChipSensor, 1)?;
+        let armed = bench.collect(
+            KEY,
+            2,
+            Some(TrojanKind::T4PowerDegrader),
+            Channel::OnChipSensor,
+            1,
+        )?;
         let rms = |s: &TraceSet| emtrust_dsp::stats::rms(&s.traces()[0]);
         assert!(rms(&armed) > 1.02 * rms(&golden));
+        Ok(())
     }
 
     #[test]
-    fn continuous_collection_spans_blocks() {
+    fn continuous_collection_spans_blocks() -> Result<(), TrustError> {
         let chip = ProtectedChip::golden();
-        let bench = TestBench::simulation(&chip).unwrap();
-        let trace = bench
-            .collect_continuous(KEY, 4, None, Channel::OnChipSensor, 2)
-            .unwrap();
+        let bench = TestBench::simulation(&chip)?;
+        let trace = bench.collect_continuous(KEY, 4, None, Channel::OnChipSensor, 2)?;
         assert_eq!(trace.len(), 4 * 12 * 64);
+        Ok(())
     }
 
     #[test]
-    fn noise_collection_is_pure_noise() {
+    fn noise_collection_is_pure_noise() -> Result<(), TrustError> {
         let chip = ProtectedChip::golden();
-        let bench = TestBench::simulation(&chip).unwrap();
+        let bench = TestBench::simulation(&chip)?;
         let noise = bench.collect_noise(4096, Channel::OnChipSensor, 3);
         let rms = noise.rms_v();
         let expect = emtrust_em::noise::ONCHIP_ENV_NOISE_RMS_V;
         assert!((rms - expect).abs() < 0.2 * expect, "noise rms {rms}");
+        Ok(())
     }
 
     #[test]
-    fn a2_installation_places_and_arms() {
+    fn a2_installation_places_and_arms() -> Result<(), TrustError> {
         let chip = ProtectedChip::golden();
-        let mut bench = TestBench::simulation(&chip)
-            .unwrap()
-            .with_a2(A2Trojan::new(10e6));
-        assert!(bench.a2().is_some());
-        assert_ne!(bench.a2().unwrap().location_um(), (0.0, 0.0));
-        bench.arm_a2(true).unwrap();
-        assert!(bench.a2().unwrap().is_triggering());
-        let armed = bench
-            .collect_continuous(KEY, 2, None, Channel::OnChipSensor, 4)
-            .unwrap();
-        bench.arm_a2(false).unwrap();
-        let dormant = bench
-            .collect_continuous(KEY, 2, None, Channel::OnChipSensor, 4)
-            .unwrap();
+        let mut bench = TestBench::simulation(&chip)?.with_a2(A2Trojan::new(10e6));
+        match bench.a2() {
+            Some(a2) => assert_ne!(a2.location_um(), (0.0, 0.0)),
+            None => unreachable!("with_a2 must install the Trojan"),
+        }
+        bench.arm_a2(true)?;
+        assert!(bench.a2().is_some_and(|a2| a2.is_triggering()));
+        let armed = bench.collect_continuous(KEY, 2, None, Channel::OnChipSensor, 4)?;
+        bench.arm_a2(false)?;
+        let dormant = bench.collect_continuous(KEY, 2, None, Channel::OnChipSensor, 4)?;
         // Same seed, so noise cancels sample-wise: the armed-minus-dormant
         // residual is exactly the A2 injection's EM contribution. Total RMS
         // is not a sound discriminator here — the 5 MHz trigger is
@@ -1060,16 +1121,16 @@ mod tests {
             "armed A2 must inject measurable energy: {injected_rms:.3e} vs floor {:.3e}",
             0.02 * dormant.rms_v()
         );
+        Ok(())
     }
 
     #[test]
-    fn silicon_bench_measures_through_the_scope() {
+    fn silicon_bench_measures_through_the_scope() -> Result<(), TrustError> {
         let chip = ProtectedChip::golden();
-        let bench = TestBench::silicon(&chip, 1).unwrap();
-        let set = bench
-            .collect(KEY, 2, None, Channel::OnChipSensor, 5)
-            .unwrap();
+        let bench = TestBench::silicon(&chip, 1)?;
+        let set = bench.collect(KEY, 2, None, Channel::OnChipSensor, 5)?;
         assert_eq!(set.len(), 2);
         assert!(emtrust_dsp::stats::rms(&set.traces()[0]) > 1e-8);
+        Ok(())
     }
 }

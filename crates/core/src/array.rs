@@ -706,6 +706,7 @@ impl<'c> SensorArray<'c> {
 }
 
 #[cfg(test)]
+#[deny(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -743,11 +744,9 @@ mod tests {
         // All cold: undefined.
         assert!(l.centroid(&[0.1; 4]).is_none());
         // One hot tile: centroid lands on it.
-        let c = l.centroid(&[0.0, 0.0, 0.0, 3.0]).unwrap();
-        assert_eq!(c, (100.0, 100.0));
+        assert_eq!(l.centroid(&[0.0, 0.0, 0.0, 3.0]), Some((100.0, 100.0)));
         // Two equally hot tiles: midpoint.
-        let c = l.centroid(&[0.0, 2.0, 0.0, 2.0]).unwrap();
-        assert_eq!(c, (100.0, 50.0));
+        assert_eq!(l.centroid(&[0.0, 2.0, 0.0, 2.0]), Some((100.0, 50.0)));
         // Mismatched score vector: undefined.
         assert!(l.centroid(&[1.0; 3]).is_none());
     }
@@ -778,16 +777,13 @@ mod tests {
     }
 
     #[test]
-    fn unfitted_array_refuses_to_evaluate() {
+    fn unfitted_array_refuses_to_evaluate() -> Result<(), TrustError> {
         let chip = ProtectedChip::golden();
-        let mut array = SensorArray::builder(&chip)
-            .with_grid(1, 1)
-            .unwrap()
-            .build()
-            .unwrap();
+        let mut array = SensorArray::builder(&chip).with_grid(1, 1)?.build()?;
         assert!(!array.is_fitted());
         assert!(array.evaluate(&[]).is_err());
         // Wrong golden arity is rejected too.
         assert!(array.fit_golden(&[]).is_err());
+        Ok(())
     }
 }

@@ -45,6 +45,13 @@ impl SensorHealth {
             SensorHealth::SensorFault => "sensor_fault",
         }
     }
+
+    /// Whether the channel needs operator follow-up: `Degraded` and
+    /// `SensorFault` chips carry evidence an overload policy must not
+    /// discard (the fleet's shed-newest rule exempts them).
+    pub fn needs_followup(&self) -> bool {
+        !matches!(self, SensorHealth::Healthy)
+    }
 }
 
 /// EWMA and hysteresis thresholds for [`HealthTracker`].
@@ -91,6 +98,7 @@ pub struct HealthTracker {
     rate: f64,
     state: SensorHealth,
     observations: u64,
+    consecutive_rejections: u64,
     transitions: Vec<HealthTransition>,
 }
 
@@ -102,6 +110,7 @@ impl HealthTracker {
             rate: 0.0,
             state: SensorHealth::Healthy,
             observations: 0,
+            consecutive_rejections: 0,
             transitions: Vec::new(),
         }
     }
@@ -126,6 +135,14 @@ impl HealthTracker {
         self.observations
     }
 
+    /// Length of the current unbroken run of rejected observations
+    /// (reset to zero by any accepted trace). The fleet's per-chip
+    /// circuit breaker trips on this — it reacts to a hard failure
+    /// burst faster than the smoothed EWMA rate can.
+    pub fn consecutive_rejections(&self) -> u64 {
+        self.consecutive_rejections
+    }
+
     /// Every state change so far, in order.
     pub fn transitions(&self) -> &[HealthTransition] {
         &self.transitions
@@ -140,6 +157,11 @@ impl HealthTracker {
     /// and returns the possibly-updated state.
     pub fn observe(&mut self, rejected: bool) -> SensorHealth {
         let x = if rejected { 1.0 } else { 0.0 };
+        if rejected {
+            self.consecutive_rejections += 1;
+        } else {
+            self.consecutive_rejections = 0;
+        }
         self.rate += self.config.alpha * (x - self.rate);
         let next = match self.state {
             SensorHealth::Healthy if self.rate > self.config.degrade_above => {
@@ -259,6 +281,27 @@ mod tests {
         }
         assert_eq!(t.state(), SensorHealth::Degraded);
         assert_eq!(t.transitions().len(), 1);
+    }
+
+    #[test]
+    fn consecutive_rejections_count_runs_and_reset() {
+        let mut t = HealthTracker::default();
+        assert_eq!(t.consecutive_rejections(), 0);
+        for i in 1..=5 {
+            t.observe(true);
+            assert_eq!(t.consecutive_rejections(), i);
+        }
+        t.observe(false);
+        assert_eq!(t.consecutive_rejections(), 0);
+        t.observe(true);
+        assert_eq!(t.consecutive_rejections(), 1);
+    }
+
+    #[test]
+    fn followup_covers_degraded_and_fault() {
+        assert!(!SensorHealth::Healthy.needs_followup());
+        assert!(SensorHealth::Degraded.needs_followup());
+        assert!(SensorHealth::SensorFault.needs_followup());
     }
 
     #[test]

@@ -1156,6 +1156,13 @@ impl DetectionPipeline {
         &self.health
     }
 
+    /// Length of the current unbroken run of rejected traces — the
+    /// quarantine signal the fleet's per-chip circuit breaker trips on
+    /// (see [`HealthTracker::consecutive_rejections`]).
+    pub fn consecutive_rejections(&self) -> u64 {
+        self.health.consecutive_rejections()
+    }
+
     /// The installed sanitizer, if any.
     pub fn sanitizer(&self) -> Option<&TraceSanitizer> {
         self.sanitizer.as_ref()

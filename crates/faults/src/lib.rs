@@ -59,7 +59,9 @@
 pub mod model;
 pub mod plan;
 pub mod scope;
+pub mod transport;
 
 pub use model::FaultKind;
 pub use plan::{FaultPlan, FaultSpec};
 pub use scope::FaultyScope;
+pub use transport::{TransportDisposition, TransportFaultKind, TransportFaultSpec, TransportPlan};

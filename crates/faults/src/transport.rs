@@ -1,0 +1,422 @@
+//! Transport-level fault models: what the network between a fleet of
+//! chips and the ingestion service does to *batches*, as opposed to what
+//! a broken sensor does to *samples* (see [`crate::model`]).
+//!
+//! A fleet front end receives trace batches tagged with a `chip_id`. The
+//! transport in between can drop a batch, deliver it twice, deliver two
+//! batches out of order, hold one back long enough to blow a deadline
+//! budget, or corrupt the identifying metadata so the batch arrives under
+//! the wrong chip. [`TransportPlan`] schedules those events with the same
+//! determinism contract as [`crate::FaultPlan`]: every realization is a
+//! pure function of `(plan seed, entry index, chip key, batch index,
+//! attempt)`, so an end-to-end chaos run replays bit-identically and a
+//! redelivery (`attempt > 0`) re-rolls transient events without touching
+//! any other batch's fate.
+//!
+//! The plan does not move bytes itself — the ingestion driver asks it
+//! what happens to a batch and acts on the returned
+//! [`TransportDisposition`]:
+//!
+//! ```
+//! use emtrust_faults::transport::{TransportFaultKind, TransportFaultSpec, TransportPlan};
+//!
+//! let plan = TransportPlan::new(9)
+//!     .with(TransportFaultSpec::new(TransportFaultKind::BatchDrop, 1.0).with_probability(0.5));
+//! let d = plan.disposition(42, 0, 0);
+//! // Replay is bit-identical.
+//! assert_eq!(d, plan.disposition(42, 0, 0));
+//! // Either the batch vanished or it arrives exactly once, untouched.
+//! assert!(d.deliveries == 0 || d.deliveries == 1);
+//! ```
+
+use emtrust_telemetry as telemetry;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The transport fault families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransportFaultKind {
+    /// The batch never arrives (`deliveries = 0`).
+    BatchDrop,
+    /// The batch arrives twice (`deliveries = 2`) — at-least-once
+    /// transports redeliver on a lost ack.
+    BatchDuplicate,
+    /// The batch arrives after its successor: the driver swaps it with
+    /// the chip's next batch (`reorder_with_next`).
+    BatchReorder,
+    /// The batch is held back in flight; `delay_us` is charged against
+    /// the ingestion deadline budget.
+    BatchDelay,
+    /// The `chip_id` metadata is corrupted in flight: the batch arrives
+    /// attributed to a ghost chip derived from `corrupt_chip_salt`.
+    ChipIdCorruption,
+}
+
+impl TransportFaultKind {
+    /// Every fault family, in a stable sweep order.
+    pub const ALL: [TransportFaultKind; 5] = [
+        TransportFaultKind::BatchDrop,
+        TransportFaultKind::BatchDuplicate,
+        TransportFaultKind::BatchReorder,
+        TransportFaultKind::BatchDelay,
+        TransportFaultKind::ChipIdCorruption,
+    ];
+
+    /// Stable snake_case label (telemetry fields, JSON artifacts).
+    pub fn label(&self) -> &'static str {
+        match self {
+            TransportFaultKind::BatchDrop => "batch_drop",
+            TransportFaultKind::BatchDuplicate => "batch_duplicate",
+            TransportFaultKind::BatchReorder => "batch_reorder",
+            TransportFaultKind::BatchDelay => "batch_delay",
+            TransportFaultKind::ChipIdCorruption => "chip_id_corruption",
+        }
+    }
+}
+
+/// One scheduled transport fault: a [`TransportFaultKind`] at an
+/// intensity, optionally gated to a chip-key window, a batch-index
+/// window, and a strike probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransportFaultSpec {
+    /// The fault family.
+    pub kind: TransportFaultKind,
+    /// Severity knob in `(0, 1]`. For [`TransportFaultKind::BatchDelay`]
+    /// it scales the drawn delay up to [`MAX_DELAY_US`]; the other
+    /// families are all-or-nothing and ignore it beyond gating `> 0`.
+    pub intensity: f64,
+    /// Probability that the fault strikes a given
+    /// `(chip, batch, attempt)`. `1.0` models a persistent path
+    /// condition; `< 1.0` a transient one a redelivery can clear.
+    pub probability: f64,
+    /// Half-open `[start, end)` window over the chip key (`None` =
+    /// every chip). Keys are whatever the driver hashes chip ids to.
+    pub chips: Option<(u64, u64)>,
+    /// Half-open `[start, end)` window over the per-chip batch index
+    /// (`None` = every batch).
+    pub batches: Option<(u64, u64)>,
+}
+
+/// Upper bound of the delay draw at intensity 1.0, in microseconds.
+pub const MAX_DELAY_US: u64 = 50_000;
+
+impl TransportFaultSpec {
+    /// A persistent, always-on fault on every chip and batch.
+    pub fn new(kind: TransportFaultKind, intensity: f64) -> Self {
+        Self {
+            kind,
+            intensity,
+            probability: 1.0,
+            chips: None,
+            batches: None,
+        }
+    }
+
+    /// Sets the per-`(chip, batch, attempt)` strike probability.
+    pub fn with_probability(mut self, probability: f64) -> Self {
+        self.probability = probability.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Restricts the fault to the half-open chip-key window
+    /// `[start, end)`.
+    pub fn chips(mut self, start: u64, end: u64) -> Self {
+        self.chips = Some((start, end));
+        self
+    }
+
+    /// Restricts the fault to the half-open per-chip batch-index window
+    /// `[start, end)`.
+    pub fn batches(mut self, start: u64, end: u64) -> Self {
+        self.batches = Some((start, end));
+        self
+    }
+}
+
+/// What the transport did to one batch — the composed effect of every
+/// entry that struck, for the driver to act on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransportDisposition {
+    /// How many copies arrive: `0` (dropped), `1` (normal) or `2`
+    /// (duplicated). A drop composed with a duplicate is still a drop —
+    /// the batch that never left cannot be redelivered.
+    pub deliveries: u32,
+    /// Total in-flight delay to charge against the deadline budget.
+    pub delay_us: u64,
+    /// The batch arrives after the chip's next batch; the driver swaps
+    /// their ingestion order.
+    pub reorder_with_next: bool,
+    /// The `chip_id` arrives corrupted; the salt deterministically names
+    /// the ghost chip the batch is misattributed to.
+    pub corrupt_chip_salt: Option<u64>,
+    /// Indices of the plan entries that struck, packed as a bitmask in
+    /// entry order (plans are short; 64 entries is far beyond any sweep).
+    pub struck_mask: u64,
+}
+
+impl TransportDisposition {
+    /// The disposition of an untouched batch.
+    pub fn clean() -> Self {
+        Self {
+            deliveries: 1,
+            delay_us: 0,
+            reorder_with_next: false,
+            corrupt_chip_salt: None,
+            struck_mask: 0,
+        }
+    }
+
+    /// Whether any fault struck this batch.
+    pub fn is_clean(&self) -> bool {
+        self.struck_mask == 0
+    }
+}
+
+/// A composed, seeded transport-fault schedule (see module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransportPlan {
+    seed: u64,
+    entries: Vec<TransportFaultSpec>,
+}
+
+impl TransportPlan {
+    /// An empty plan with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            entries: Vec::new(),
+        }
+    }
+
+    /// A plan with a single always-on fault (the sweep shape).
+    pub fn single(seed: u64, kind: TransportFaultKind, intensity: f64) -> Self {
+        Self::new(seed).with(TransportFaultSpec::new(kind, intensity))
+    }
+
+    /// Adds a scheduled fault.
+    pub fn with(mut self, spec: TransportFaultSpec) -> Self {
+        self.entries.push(spec);
+        self
+    }
+
+    /// The plan seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The scheduled faults.
+    pub fn entries(&self) -> &[TransportFaultSpec] {
+        &self.entries
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Resolves what the transport does to batch `batch_index` of chip
+    /// `chip_key` on delivery `attempt` — a pure function of the plan
+    /// seed and those keys. Entries compose in order; see
+    /// [`TransportDisposition`] for the composition rules.
+    pub fn disposition(
+        &self,
+        chip_key: u64,
+        batch_index: u64,
+        attempt: u32,
+    ) -> TransportDisposition {
+        let mut d = TransportDisposition::clean();
+        let mut dropped = false;
+        let mut duplicated = false;
+        for (e, spec) in self.entries.iter().enumerate() {
+            if spec.intensity <= 0.0 {
+                continue;
+            }
+            if let Some((lo, hi)) = spec.chips {
+                if chip_key < lo || chip_key >= hi {
+                    continue;
+                }
+            }
+            if let Some((lo, hi)) = spec.batches {
+                if batch_index < lo || batch_index >= hi {
+                    continue;
+                }
+            }
+            let mut rng =
+                StdRng::seed_from_u64(mix(self.seed, e as u64, chip_key, batch_index, attempt));
+            if spec.probability < 1.0 && !rng.gen_bool(spec.probability) {
+                continue;
+            }
+            match spec.kind {
+                TransportFaultKind::BatchDrop => dropped = true,
+                TransportFaultKind::BatchDuplicate => duplicated = true,
+                TransportFaultKind::BatchReorder => d.reorder_with_next = true,
+                TransportFaultKind::BatchDelay => {
+                    let ceiling = (spec.intensity.clamp(0.0, 1.0) * MAX_DELAY_US as f64) as u64;
+                    let drawn = rng.gen_range(0..=ceiling.max(1));
+                    d.delay_us = d.delay_us.saturating_add(drawn);
+                }
+                TransportFaultKind::ChipIdCorruption => {
+                    d.corrupt_chip_salt = Some(rng.gen::<u64>() | 1);
+                }
+            }
+            if e < 64 {
+                d.struck_mask |= 1 << e;
+            }
+        }
+        d.deliveries = if dropped {
+            0
+        } else if duplicated {
+            2
+        } else {
+            1
+        };
+        if !d.is_clean() {
+            telemetry::counter("faults.transport_struck", 1);
+        }
+        d
+    }
+}
+
+/// SplitMix64-style key mixing over the five-part realization key,
+/// mirroring [`crate::plan`]'s mixer with an extra chip term.
+fn mix(seed: u64, entry: u64, chip: u64, batch: u64, attempt: u32) -> u64 {
+    let mut z = seed
+        ^ (entry.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (chip.wrapping_add(1)).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+        ^ (batch.wrapping_add(1)).wrapping_mul(0xD1B5_4A32_D192_ED03)
+        ^ (u64::from(attempt).wrapping_add(1)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_clean() {
+        let plan = TransportPlan::new(1);
+        let d = plan.disposition(0, 0, 0);
+        assert_eq!(d, TransportDisposition::clean());
+        assert!(d.is_clean());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        let labels: Vec<&str> = TransportFaultKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(
+            labels,
+            [
+                "batch_drop",
+                "batch_duplicate",
+                "batch_reorder",
+                "batch_delay",
+                "chip_id_corruption"
+            ]
+        );
+    }
+
+    #[test]
+    fn chip_and_batch_windows_gate() {
+        let plan = TransportPlan::new(2).with(
+            TransportFaultSpec::new(TransportFaultKind::BatchDrop, 1.0)
+                .chips(10, 20)
+                .batches(3, 5),
+        );
+        assert_eq!(plan.disposition(15, 3, 0).deliveries, 0);
+        assert_eq!(plan.disposition(15, 2, 0).deliveries, 1);
+        assert_eq!(plan.disposition(15, 5, 0).deliveries, 1);
+        assert_eq!(plan.disposition(9, 3, 0).deliveries, 1);
+        assert_eq!(plan.disposition(20, 4, 0).deliveries, 1);
+    }
+
+    #[test]
+    fn drop_beats_duplicate() {
+        let plan = TransportPlan::new(3)
+            .with(TransportFaultSpec::new(
+                TransportFaultKind::BatchDuplicate,
+                1.0,
+            ))
+            .with(TransportFaultSpec::new(TransportFaultKind::BatchDrop, 1.0));
+        let d = plan.disposition(1, 1, 0);
+        assert_eq!(d.deliveries, 0);
+        assert_eq!(d.struck_mask, 0b11);
+    }
+
+    #[test]
+    fn delay_scales_with_intensity_and_accumulates() {
+        let strong = TransportPlan::single(4, TransportFaultKind::BatchDelay, 1.0);
+        let weak = TransportPlan::single(4, TransportFaultKind::BatchDelay, 0.1);
+        let max_strong = (0..100)
+            .map(|b| strong.disposition(0, b, 0).delay_us)
+            .max()
+            .unwrap();
+        let max_weak = (0..100)
+            .map(|b| weak.disposition(0, b, 0).delay_us)
+            .max()
+            .unwrap();
+        assert!(max_strong <= MAX_DELAY_US);
+        assert!(max_weak <= MAX_DELAY_US / 10 + 1);
+        assert!(max_strong > max_weak);
+        let stacked = TransportPlan::new(4)
+            .with(TransportFaultSpec::new(TransportFaultKind::BatchDelay, 1.0))
+            .with(TransportFaultSpec::new(TransportFaultKind::BatchDelay, 1.0));
+        let d = stacked.disposition(0, 7, 0);
+        assert!(d.delay_us >= strong.disposition(0, 7, 0).delay_us);
+    }
+
+    #[test]
+    fn corruption_salt_is_deterministic_and_nonzero() {
+        let plan = TransportPlan::single(5, TransportFaultKind::ChipIdCorruption, 1.0);
+        let a = plan.disposition(7, 0, 0).corrupt_chip_salt;
+        let b = plan.disposition(7, 0, 0).corrupt_chip_salt;
+        assert_eq!(a, b);
+        assert!(a.is_some_and(|s| s != 0));
+        // Different chips draw different ghosts (with overwhelming odds).
+        assert_ne!(a, plan.disposition(8, 0, 0).corrupt_chip_salt);
+    }
+
+    #[test]
+    fn probability_and_attempt_model_transient_faults() {
+        let plan = TransportPlan::new(6).with(
+            TransportFaultSpec::new(TransportFaultKind::BatchDrop, 1.0).with_probability(0.4),
+        );
+        let drops = (0..200u64)
+            .filter(|&b| plan.disposition(0, b, 0).deliveries == 0)
+            .count();
+        assert!((40..160).contains(&drops), "drop count {drops}");
+        // A redelivery re-rolls the strike for the same batch.
+        let outcome = |attempt| plan.disposition(0, 7, attempt).deliveries == 0;
+        assert!((0..32).any(|a| outcome(a) != outcome(0)));
+    }
+
+    #[test]
+    fn replay_is_bit_identical_across_a_mixed_plan() {
+        let plan = TransportPlan::new(11)
+            .with(TransportFaultSpec::new(TransportFaultKind::BatchDrop, 1.0).with_probability(0.2))
+            .with(
+                TransportFaultSpec::new(TransportFaultKind::BatchDuplicate, 1.0)
+                    .with_probability(0.2),
+            )
+            .with(
+                TransportFaultSpec::new(TransportFaultKind::BatchReorder, 1.0)
+                    .with_probability(0.2),
+            )
+            .with(
+                TransportFaultSpec::new(TransportFaultKind::BatchDelay, 0.7).with_probability(0.5),
+            )
+            .with(
+                TransportFaultSpec::new(TransportFaultKind::ChipIdCorruption, 1.0)
+                    .with_probability(0.1),
+            );
+        for chip in 0..8u64 {
+            for batch in 0..32u64 {
+                assert_eq!(
+                    plan.disposition(chip, batch, 0),
+                    plan.disposition(chip, batch, 0)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Per-chip circuit breakers: the bulkhead between a misbehaving chip
+//! and its shard's queue budget.
+//!
+//! The breaker consumes the core health state machine's
+//! consecutive-rejection signal
+//! ([`emtrust::HealthTracker::consecutive_rejections`]) rather than
+//! inventing its own failure detector: a chip whose sanitizer keeps
+//! rejecting traces trips to [`BreakerState::Open`] and is refused at
+//! admission, *before* a queue slot is consumed. Quarantine waits are
+//! measured in admission ticks — the number of batches the fleet has
+//! attempted for that chip — which keeps replay bit-identical (no wall
+//! clock anywhere). After the wait elapses the breaker goes
+//! [`BreakerState::HalfOpen`] and admits exactly one probe batch: a
+//! clean probe closes the breaker and resets the trip count, a
+//! fully-rejected one re-trips it with a doubled (capped) wait.
+
+use crate::config::BreakerConfig;
+
+/// The classic three breaker states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Traffic flows normally.
+    Closed,
+    /// Chip is quarantined; admissions are refused until the probe
+    /// wait elapses.
+    Open,
+    /// One probe batch is in flight; its outcome decides the next
+    /// state.
+    HalfOpen,
+}
+
+/// A single chip's circuit breaker.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    /// Consecutive trips without an intervening clean probe; drives the
+    /// exponential probe wait.
+    trips: u32,
+    /// Tick at which the next half-open probe may be admitted.
+    deny_until: u64,
+    /// Admission attempts seen for this chip — the breaker's clock.
+    ticks: u64,
+    /// Total trips over the breaker's lifetime (forensics).
+    lifetime_trips: u64,
+    /// Admissions refused while `Open` (forensics).
+    refusals: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given thresholds.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed,
+            trips: 0,
+            deny_until: 0,
+            ticks: 0,
+            lifetime_trips: 0,
+            refusals: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Total trips over the breaker's lifetime.
+    pub fn lifetime_trips(&self) -> u64 {
+        self.lifetime_trips
+    }
+
+    /// Admissions refused while quarantined.
+    pub fn refusals(&self) -> u64 {
+        self.refusals
+    }
+
+    /// Advances the breaker's clock by one admission attempt and
+    /// decides whether the batch may pass. Returns `false` while the
+    /// chip is quarantined; when the probe wait has elapsed the breaker
+    /// transitions to `HalfOpen` and admits the batch as a probe.
+    pub fn admit(&mut self) -> bool {
+        self.ticks += 1;
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if self.ticks >= self.deny_until {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    self.refusals += 1;
+                    false
+                }
+            }
+        }
+    }
+
+    /// Feeds back the outcome of an admitted batch.
+    ///
+    /// `consecutive_rejections` is the chip pipeline's current streak;
+    /// `batch_fully_rejected` is true when *every* trace in the batch
+    /// was rejected (the signal a half-open probe failed).
+    pub fn record(&mut self, consecutive_rejections: u64, batch_fully_rejected: bool) {
+        match self.state {
+            BreakerState::HalfOpen => {
+                if batch_fully_rejected {
+                    self.trip();
+                } else {
+                    self.reset();
+                }
+            }
+            BreakerState::Closed => {
+                if consecutive_rejections >= self.config.trip_after {
+                    self.trip();
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    fn trip(&mut self) {
+        let shift = self.trips.min(16);
+        let wait = self
+            .config
+            .probe_base
+            .saturating_mul(1u64 << shift)
+            .min(self.config.probe_cap)
+            .max(1);
+        self.deny_until = self.ticks + wait;
+        self.trips = self.trips.saturating_add(1);
+        self.lifetime_trips += 1;
+        self.state = BreakerState::Open;
+    }
+
+    fn reset(&mut self) {
+        self.state = BreakerState::Closed;
+        self.trips = 0;
+        self.deny_until = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            trip_after: 3,
+            probe_base: 2,
+            probe_cap: 8,
+        })
+    }
+
+    #[test]
+    fn closed_breaker_admits_everything() {
+        let mut b = breaker();
+        for _ in 0..100 {
+            assert!(b.admit());
+            b.record(0, false);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.lifetime_trips(), 0);
+    }
+
+    #[test]
+    fn trips_at_threshold_and_refuses_until_probe_window() {
+        let mut b = breaker();
+        assert!(b.admit());
+        b.record(3, true); // streak hits trip_after
+        assert_eq!(b.state(), BreakerState::Open);
+        // probe_base = 2 ticks of refusal...
+        assert!(!b.admit());
+        // ...then the next attempt is the half-open probe.
+        assert!(b.admit());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert_eq!(b.refusals(), 1);
+    }
+
+    #[test]
+    fn failed_probe_doubles_the_wait_up_to_the_cap() {
+        let mut b = breaker();
+        assert!(b.admit());
+        b.record(3, true); // trip 1: wait 2
+        let mut waits = Vec::new();
+        for _ in 0..4 {
+            let mut refused = 0;
+            while !b.admit() {
+                refused += 1;
+            }
+            waits.push(refused + 1); // +1: the admitting tick itself
+            b.record(99, true); // probe fails, re-trip
+        }
+        assert_eq!(waits, vec![2, 4, 8, 8], "exponential then capped");
+    }
+
+    #[test]
+    fn clean_probe_closes_and_resets_the_schedule() {
+        let mut b = breaker();
+        assert!(b.admit());
+        b.record(3, true);
+        while !b.admit() {}
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.record(0, false); // probe succeeds
+        assert_eq!(b.state(), BreakerState::Closed);
+        // A later trip starts back at the base wait.
+        assert!(b.admit());
+        b.record(3, true);
+        let mut refused = 0;
+        while !b.admit() {
+            refused += 1;
+        }
+        assert_eq!(refused + 1, 2, "schedule reset to probe_base");
+        assert_eq!(b.lifetime_trips(), 2);
+    }
+
+    #[test]
+    fn half_open_probe_is_a_single_batch() {
+        let mut b = breaker();
+        assert!(b.admit());
+        b.record(3, true);
+        while !b.admit() {}
+        // The probe was admitted; until its outcome is recorded the
+        // breaker stays half-open and (by service contract) no second
+        // batch for this chip is in flight. A subsequent admit in
+        // HalfOpen is allowed — the service serialises per-chip batches.
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+}

@@ -1,0 +1,256 @@
+//! Transport-level chaos injection for the fleet service.
+//!
+//! [`ChaosTransport`] sits between a producer and
+//! [`FleetService::ingest`], consulting a seeded
+//! [`TransportPlan`] for every batch and
+//! applying its disposition: drop the batch, duplicate it, swap it with
+//! the next batch, delay it (recorded — the simulated link latency is
+//! accounted, not slept), or corrupt its chip id so it lands on the
+//! wrong — possibly brand-new — chip. The plan is a pure function of
+//! `(seed, chip, batch index)`, so an identical plan over an identical
+//! input sequence perturbs the fleet bit-identically: chaos runs are
+//! replayable.
+
+use std::collections::HashMap;
+
+use emtrust_faults::TransportPlan;
+
+use crate::chip_key;
+use crate::service::{FleetService, IngestReceipt};
+use crate::FleetError;
+
+/// What the chaos layer did across a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Batches offered by the producer.
+    pub offered: u64,
+    /// Batches dropped in transport.
+    pub dropped: u64,
+    /// Batches delivered twice.
+    pub duplicated: u64,
+    /// Batches swapped with their successor.
+    pub reordered: u64,
+    /// Batches whose chip id was corrupted.
+    pub corrupted: u64,
+    /// Simulated link delay accumulated, in microseconds.
+    pub delay_us: u64,
+    /// Deliveries actually handed to the service (after drop,
+    /// duplication and reordering).
+    pub delivered: u64,
+}
+
+/// A chaotic transport in front of a [`FleetService`].
+pub struct ChaosTransport {
+    plan: TransportPlan,
+    batch_index: HashMap<u64, u64>,
+    pending: Vec<(String, Vec<Vec<f64>>)>,
+    stats: ChaosStats,
+}
+
+impl ChaosTransport {
+    /// Wraps a seeded plan. An empty plan is a perfect link.
+    pub fn new(plan: TransportPlan) -> Self {
+        ChaosTransport {
+            plan,
+            batch_index: HashMap::new(),
+            pending: Vec::new(),
+            stats: ChaosStats::default(),
+        }
+    }
+
+    /// Chaos accounting so far.
+    pub fn stats(&self) -> ChaosStats {
+        self.stats
+    }
+
+    /// Sends one batch through the chaotic link into the service.
+    /// Returns a receipt per actual delivery — an empty vector means
+    /// the batch was dropped or is being held for reordering.
+    pub fn deliver(
+        &mut self,
+        service: &FleetService,
+        chip_id: &str,
+        traces: &[Vec<f64>],
+    ) -> Result<Vec<IngestReceipt>, FleetError> {
+        self.stats.offered += 1;
+        let key = chip_key(chip_id);
+        let index = self.batch_index.entry(key).or_insert(0);
+        let batch_index = *index;
+        *index += 1;
+        let disposition = self.plan.disposition(key, batch_index, 0);
+        self.stats.delay_us += disposition.delay_us;
+
+        // Batches held back by an earlier reorder flush *after* the
+        // current batch — that is the swap.
+        let held = std::mem::take(&mut self.pending);
+
+        let effective_id = match disposition.corrupt_chip_salt {
+            Some(salt) => {
+                self.stats.corrupted += 1;
+                format!("{chip_id}!{salt:016x}")
+            }
+            None => chip_id.to_string(),
+        };
+        let mut now: Vec<(String, Vec<Vec<f64>>)> = Vec::new();
+        match disposition.deliveries {
+            0 => self.stats.dropped += 1,
+            1 => now.push((effective_id, traces.to_vec())),
+            _ => {
+                self.stats.duplicated += 1;
+                now.push((effective_id.clone(), traces.to_vec()));
+                now.push((effective_id, traces.to_vec()));
+            }
+        }
+        if disposition.reorder_with_next && !now.is_empty() {
+            self.stats.reordered += 1;
+            self.pending = now;
+            now = Vec::new();
+        }
+
+        let mut receipts = Vec::new();
+        for (id, batch) in now.into_iter().chain(held) {
+            self.stats.delivered += 1;
+            receipts.push(service.ingest(&id, batch)?);
+        }
+        Ok(receipts)
+    }
+
+    /// Flushes any batch still held for reordering (call at end of
+    /// input).
+    pub fn flush(&mut self, service: &FleetService) -> Result<Vec<IngestReceipt>, FleetError> {
+        let held = std::mem::take(&mut self.pending);
+        let mut receipts = Vec::new();
+        for (id, batch) in held {
+            self.stats.delivered += 1;
+            receipts.push(service.ingest(&id, batch)?);
+        }
+        Ok(receipts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FleetConfig;
+    use emtrust_faults::{TransportFaultKind, TransportFaultSpec};
+
+    fn trace(seed: u64) -> Vec<f64> {
+        (0..64)
+            .map(|i| (i as f64 * 0.2).sin() + (seed as f64 * 1e-4) * (i as f64 * 0.05).cos())
+            .collect()
+    }
+
+    fn service() -> FleetService {
+        let cfg = FleetConfig {
+            shards: 2,
+            golden_traces: 2,
+            store: crate::config::StoreConfig {
+                baseline_window: 4,
+                ..Default::default()
+            },
+            ..FleetConfig::default()
+        };
+        FleetService::new(cfg).unwrap()
+    }
+
+    #[test]
+    fn perfect_link_delivers_everything_once() {
+        let svc = service();
+        let mut link = ChaosTransport::new(TransportPlan::new(7));
+        for round in 0..5u64 {
+            let receipts = link.deliver(&svc, "a", &[trace(round)]).unwrap();
+            assert_eq!(receipts.len(), 1);
+        }
+        assert!(link.flush(&svc).unwrap().is_empty());
+        let stats = link.stats();
+        assert_eq!(stats.offered, 5);
+        assert_eq!(stats.delivered, 5);
+        assert_eq!(stats.dropped + stats.duplicated + stats.reordered, 0);
+        svc.finish().unwrap();
+    }
+
+    #[test]
+    fn dropped_batches_never_reach_the_service() {
+        let svc = service();
+        let plan = TransportPlan::single(11, TransportFaultKind::BatchDrop, 1.0);
+        let mut link = ChaosTransport::new(plan);
+        for round in 0..4u64 {
+            assert!(link.deliver(&svc, "a", &[trace(round)]).unwrap().is_empty());
+        }
+        assert_eq!(link.stats().dropped, 4);
+        assert_eq!(link.stats().delivered, 0);
+        let summary = svc.finish().unwrap();
+        assert!(summary.chips.is_empty());
+    }
+
+    #[test]
+    fn duplicates_double_delivery_and_corruption_forks_the_chip() {
+        let svc = service();
+        let plan = TransportPlan::new(13)
+            .with(TransportFaultSpec::new(
+                TransportFaultKind::BatchDuplicate,
+                1.0,
+            ))
+            .with(TransportFaultSpec::new(
+                TransportFaultKind::ChipIdCorruption,
+                1.0,
+            ));
+        let mut link = ChaosTransport::new(plan);
+        for round in 0..3u64 {
+            let receipts = link.deliver(&svc, "a", &[trace(round)]).unwrap();
+            assert_eq!(receipts.len(), 2, "duplicate delivers twice");
+        }
+        let stats = link.stats();
+        assert_eq!(stats.duplicated, 3);
+        assert_eq!(stats.corrupted, 3);
+        let summary = svc.finish().unwrap();
+        // Corrupted ids land on synthetic chips, never on "a".
+        assert!(summary.chip("a").is_none());
+        assert!(!summary.chips.is_empty());
+    }
+
+    #[test]
+    fn reorder_swaps_with_the_next_batch_and_flush_drains() {
+        let svc = service();
+        let plan = TransportPlan::single(17, TransportFaultKind::BatchReorder, 1.0);
+        let mut link = ChaosTransport::new(plan);
+        let r1 = link.deliver(&svc, "a", &[trace(0)]).unwrap();
+        assert!(r1.is_empty(), "first batch held for the swap");
+        let r2 = link.deliver(&svc, "a", &[trace(1)]).unwrap();
+        // Batch 2 was itself reordered: it is held, batch 1 flushes.
+        assert_eq!(r2.len(), 1);
+        let r3 = link.flush(&svc).unwrap();
+        assert_eq!(r3.len(), 1);
+        assert_eq!(link.stats().delivered, 2);
+        svc.finish().unwrap();
+    }
+
+    #[test]
+    fn chaos_replays_bit_identically() {
+        let run = || {
+            let svc = service();
+            let plan = TransportPlan::new(23)
+                .with(
+                    TransportFaultSpec::new(TransportFaultKind::BatchDrop, 1.0)
+                        .with_probability(0.3),
+                )
+                .with(
+                    TransportFaultSpec::new(TransportFaultKind::BatchDuplicate, 1.0)
+                        .with_probability(0.3),
+                )
+                .with(TransportFaultSpec::new(TransportFaultKind::BatchDelay, 0.5));
+            let mut link = ChaosTransport::new(plan);
+            for round in 0..20u64 {
+                for chip in ["a", "b", "c"] {
+                    link.deliver(&svc, chip, &[trace(round)]).unwrap();
+                }
+            }
+            link.flush(&svc).unwrap();
+            (link.stats(), svc.finish().unwrap())
+        };
+        let (s1, f1) = run();
+        let (s2, f2) = run();
+        assert_eq!(s1, s2);
+        assert_eq!(f1.chips, f2.chips);
+    }
+}

@@ -1,0 +1,192 @@
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::todo,
+        clippy::unimplemented
+    )
+)]
+
+//! # emtrust-fleet
+//!
+//! A fault-tolerant fleet ingestion service over the `emtrust` detection
+//! stack: trace batches from many `chip_id`s are multiplexed into
+//! sharded per-chip [`DetectionPipeline`](emtrust::DetectionPipeline)
+//! instances by a thread-per-shard worker pool, designed around failure.
+//! One misbehaving chip, one poisoned shard queue, or one transport
+//! glitch must never stall or crash the whole trust-evaluation plane.
+//!
+//! The robustness machinery, layer by layer:
+//!
+//! - **Bounded queues with explicit backpressure** ([`service`]): each
+//!   shard owns a bounded MPSC queue. Admission control returns an
+//!   [`AdmissionVerdict`] — `Admitted`, `Throttled` (accepted above the
+//!   high-watermark), `Shed` (refused: the queue stayed full through the
+//!   deadline budget) or `Quarantined` (refused at the circuit breaker).
+//!   The overload policy sheds the *newest* batch of *healthy* chips
+//!   only; a chip in `Degraded`/`SensorFault` follow-up is never shed —
+//!   its dispatch blocks instead, propagating backpressure to the
+//!   caller. Memory stays bounded under any arrival rate.
+//!
+//! - **Per-chip circuit breakers** ([`breaker`]): driven by the core
+//!   health state machine's consecutive-rejection signal
+//!   ([`emtrust::HealthTracker::consecutive_rejections`]). A chip whose
+//!   traces repeatedly come back `Rejected` trips to quarantine and is
+//!   refused *at admission*, before it can consume a queue slot — the
+//!   bulkhead pattern: a poisoned chip cannot eat its shard's budget.
+//!   Half-open probes re-admit one batch on an exponential-backoff
+//!   schedule; a clean probe closes the breaker, a rejected one re-trips
+//!   it with a doubled wait.
+//!
+//! - **Deadline budgets with jittered retry** ([`service`]): dispatch
+//!   into a full queue retries on a deterministic, seeded,
+//!   jittered-exponential backoff schedule, charged against a per-batch
+//!   deadline budget (recorded, not slept — mirroring
+//!   [`emtrust::RetryPolicy`]).
+//!
+//! - **Sharded fingerprint store with LRU eviction** ([`store`]): hot
+//!   per-chip pipelines are bounded per shard; cold chips are evicted
+//!   by least-recent-use, their rolling baseline retained so a
+//!   re-arriving chip *re-fits* its fingerprint instead of erroring —
+//!   and a brand-new chip bootstraps its baseline from its own first
+//!   clean traces (graceful cold-start).
+//!
+//! - **Transport-level chaos** ([`emtrust_faults::transport`]): batch
+//!   drop/duplicate/reorder/delay and chip-id corruption compose into
+//!   replayable seeded schedules, so the whole service is chaos-testable
+//!   end to end, bit-identically.
+//!
+//! Because every per-chip pipeline is isolated state and quarantined
+//! batches are refused before enqueue, a healthy chip's scored-trace
+//! sequence — and therefore its alarm rate — is bit-identical whether or
+//! not a quarantined neighbour shares its shard (`exp_fleet` gates this
+//! in CI).
+//!
+//! This crate sits *above* `emtrust` in the dependency graph (it shards
+//! the core's pipelines), so unlike `emtrust-faults` it cannot be
+//! re-exported as a module of `emtrust` itself; depend on it directly
+//! (the workspace umbrella re-exports it as `emtrust_fleet`).
+//!
+//! # Example
+//!
+//! ```
+//! use emtrust_fleet::{FleetConfig, FleetService};
+//!
+//! let mut cfg = FleetConfig::default();
+//! cfg.shards = 2;
+//! let service = FleetService::new(cfg)?;
+//! // Feed a few batches from two chips; traces are 256-sample rows.
+//! let batch: Vec<Vec<f64>> =
+//!     (0..4).map(|i| (0..256).map(|j| ((i + j) as f64 * 0.1).sin()).collect()).collect();
+//! for round in 0..8 {
+//!     let _ = round;
+//!     service.ingest("chip-a", batch.clone())?;
+//!     service.ingest("chip-b", batch.clone())?;
+//! }
+//! let summary = service.finish()?;
+//! assert_eq!(summary.chips.len(), 2);
+//! # Ok::<(), emtrust_fleet::FleetError>(())
+//! ```
+
+pub mod breaker;
+pub mod chaos;
+pub mod config;
+pub mod service;
+pub mod store;
+
+pub use breaker::{BreakerState, CircuitBreaker};
+pub use chaos::{ChaosStats, ChaosTransport};
+pub use config::{BreakerConfig, DispatchConfig, FleetConfig, StoreConfig};
+pub use service::{
+    AdmissionVerdict, ChipStatus, FleetService, FleetSummary, IngestReceipt, ShardSnapshot,
+};
+pub use store::{ChipBatchOutcome, PipelineStore};
+
+use std::fmt;
+
+/// Errors produced by the fleet service.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FleetError {
+    /// A configuration value was out of range.
+    InvalidConfig {
+        /// Description of the violated constraint.
+        what: &'static str,
+    },
+    /// A shard worker is gone (its queue disconnected) — the service
+    /// cannot accept further batches.
+    ShardDown {
+        /// Index of the dead shard.
+        shard: usize,
+    },
+    /// Forwarded from the detection core (fingerprint fitting, trace
+    /// validation).
+    Trust(emtrust::TrustError),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::InvalidConfig { what } => write!(f, "invalid fleet config: {what}"),
+            FleetError::ShardDown { shard } => write!(f, "shard {shard} worker is down"),
+            FleetError::Trust(e) => write!(f, "trust: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Trust(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<emtrust::TrustError> for FleetError {
+    fn from(e: emtrust::TrustError) -> Self {
+        FleetError::Trust(e)
+    }
+}
+
+/// Stable FNV-1a hash of a `chip_id`, used for shard selection and as
+/// the chip key transport-fault plans gate on. Deterministic across
+/// processes and platforms.
+pub fn chip_key(chip_id: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in chip_id.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chip_key_is_stable_and_spreads() {
+        assert_eq!(chip_key("chip-0"), chip_key("chip-0"));
+        assert_ne!(chip_key("chip-0"), chip_key("chip-1"));
+        // Keys spread across shards reasonably.
+        let shards = 8u64;
+        let mut counts = [0usize; 8];
+        for i in 0..800 {
+            counts[(chip_key(&format!("chip-{i}")) % shards) as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 50), "skewed: {counts:?}");
+    }
+
+    #[test]
+    fn errors_display_and_chain() {
+        let e = FleetError::InvalidConfig { what: "shards" };
+        assert!(e.to_string().contains("shards"));
+        let e = FleetError::ShardDown { shard: 3 };
+        assert!(e.to_string().contains("3"));
+        let e: FleetError = emtrust::TrustError::InvalidParameter { what: "x" }.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

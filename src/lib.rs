@@ -21,6 +21,11 @@ pub use emtrust::Error;
 pub use emtrust_aes;
 pub use emtrust_dsp;
 pub use emtrust_em;
+/// The fleet ingestion service (sharded per-chip pipelines with
+/// backpressure and circuit breakers). Lives above [`emtrust`] in the
+/// dependency graph, so it is re-exported here rather than as an
+/// `emtrust` module.
+pub use emtrust_fleet;
 pub use emtrust_layout;
 pub use emtrust_netlist;
 pub use emtrust_power;

@@ -114,6 +114,91 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// `ingest_batch_report` rejected accounting: however a batch mixes
+    /// clean traces with unconditionally-rejectable ones (NaN bodies,
+    /// empty traces), `rejected()` counts exactly the bad ones and the
+    /// monitor's cumulative counters agree across batches.
+    #[test]
+    fn rejected_accounting_is_exact_under_mixed_batches(
+        seed in 0u64..u64::MAX,
+        n_batches in 1usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xBADACC);
+        let mut monitor = fitted_monitor();
+        let mut expected_rejected = 0u64;
+        let mut expected_total = 0u64;
+        for batch_no in 0..n_batches {
+            let n = rng.gen_range(1..10usize);
+            let mut traces = clean_traces(n, seed.wrapping_add(batch_no as u64));
+            let mut bad_here = 0usize;
+            for t in traces.iter_mut() {
+                if rng.gen_bool(0.4) {
+                    bad_here += 1;
+                    if rng.gen_bool(0.5) {
+                        *t = vec![f64::NAN; TRACE_LEN];
+                    } else {
+                        *t = Vec::new();
+                    }
+                }
+            }
+            let report = monitor.ingest_batch_report(&traces);
+            prop_assert_eq!(report.reports.len(), n);
+            prop_assert!(report.rejected() >= bad_here, "bad traces must be rejected");
+            prop_assert_eq!(
+                report.clean() + report.degraded() + report.rejected(),
+                n
+            );
+            expected_rejected += report.rejected() as u64;
+            expected_total += n as u64;
+            prop_assert_eq!(monitor.traces_rejected(), expected_rejected);
+            prop_assert_eq!(
+                monitor.traces_seen() + monitor.traces_rejected(),
+                expected_total
+            );
+        }
+    }
+
+    /// A quarantine→recovery storm — alternating runs of rejected and
+    /// clean traces of random lengths — never makes the health state
+    /// machine jump a state, and the consecutive-rejection streak the
+    /// fleet's circuit breakers key on resets on the first clean trace.
+    #[test]
+    fn health_stays_adjacent_through_quarantine_recovery_storms(
+        seed in 0u64..u64::MAX,
+        phases in 2usize..8,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5701A);
+        let mut monitor = fitted_monitor();
+        let mut seen = vec![monitor.health()];
+        for phase in 0..phases {
+            let poisoned = phase % 2 == 0;
+            let len = rng.gen_range(1..24usize);
+            if poisoned {
+                for _ in 0..len {
+                    seen.push(monitor.ingest_checked(&[f64::NAN; 16]).health);
+                }
+                prop_assert_eq!(
+                    monitor.health_tracker().consecutive_rejections(),
+                    len as u64
+                );
+            } else {
+                for t in clean_traces(len, seed ^ phase as u64) {
+                    seen.push(monitor.ingest_checked(&t).health);
+                }
+                prop_assert_eq!(monitor.health_tracker().consecutive_rejections(), 0);
+            }
+        }
+        for w in seen.windows(2) {
+            prop_assert!(adjacent(w[0], w[1]), "jump {:?} -> {:?}", w[0], w[1]);
+        }
+        for t in monitor.health_tracker().transitions() {
+            prop_assert!(adjacent(t.from, t.to), "jump {:?} -> {:?}", t.from, t.to);
+        }
+    }
+}
+
 #[test]
 fn every_fault_kind_at_full_intensity_is_survived() {
     for kind in FaultKind::ALL {
