@@ -417,6 +417,53 @@ fn check_localization(doc: &Value) -> Result<(), String> {
     Ok(())
 }
 
+fn check_reference_free(doc: &Value) -> Result<(), String> {
+    check_provenance(doc)?;
+    expect_u64(doc, "n_warmup")?;
+    expect_u64(doc, "n_eval")?;
+    expect_u64(doc, "n_suspect_per_trojan")?;
+    expect_number(doc, "mad_multiplier")?;
+    if expect_u64(doc, "golden_traces_used")? != 0 {
+        return Err("\"golden_traces_used\" must be 0 — the experiment is reference-free".into());
+    }
+    if !expect_bool(doc, "reference_free")? {
+        return Err("\"reference_free\" must be true".into());
+    }
+    if expect_u64(doc, "warmup_alarms")? != 0 {
+        return Err("\"warmup_alarms\" must be 0 — nothing may alarm while calibrating".into());
+    }
+    expect_number(doc, "false_alarm_rate_selfcal")?;
+    expect_number(doc, "false_alarm_rate_golden")?;
+    expect_number(doc, "false_alarm_gap")?;
+    let detected = expect_u64(doc, "detected")?;
+    let trojans = expect_array(doc, "trojans")?;
+    if trojans.len() != 4 {
+        return Err("\"trojans\" must cover all four digital Trojans".into());
+    }
+    let mut detected_rows = 0u64;
+    for (i, t) in trojans.iter().enumerate() {
+        (|| {
+            expect_str(t, "trojan")?;
+            expect_number(t, "alarm_rate_selfcal")?;
+            expect_number(t, "alarm_rate_golden")?;
+            detected_rows += u64::from(expect_bool(t, "detected")?);
+            Ok::<(), String>(())
+        })()
+        .map_err(|e| format!("trojans[{i}]: {e}"))?;
+    }
+    if detected != detected_rows {
+        return Err(format!(
+            "\"detected\" {detected} disagrees with the per-Trojan rows ({detected_rows})"
+        ));
+    }
+    if detected < 3 {
+        return Err(format!(
+            "\"detected\" {detected} — at least 3 of 4 Trojans must be caught with zero golden traces"
+        ));
+    }
+    Ok(())
+}
+
 fn check_forensics(doc: &Value) -> Result<(), String> {
     check_provenance(doc)?;
     expect_u64(doc, "n_golden")?;
@@ -550,6 +597,7 @@ fn check_file(path: &str) -> Result<(), String> {
         "fleet_ingestion" => check_fleet(&doc),
         "pipeline_overhead" => check_pipeline(&doc),
         "localization" => check_localization(&doc),
+        "reference_free" => check_reference_free(&doc),
         "forensics" => check_forensics(&doc),
         other => Err(format!("unknown benchmark kind \"{other}\"")),
     }

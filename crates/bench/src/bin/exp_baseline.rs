@@ -16,8 +16,8 @@
 //! margins side by side.
 
 use emtrust::acquisition::{Stimulus, TestBench};
-use emtrust::baseline::PowerBaseline;
 use emtrust::fingerprint::{FingerprintConfig, GoldenFingerprint};
+use emtrust::power_baseline::PowerBaseline;
 use emtrust_bench::OrExit;
 use emtrust_bench::{standard_chip, Report, EXPERIMENT_KEY, TROJANS};
 use emtrust_silicon::Channel;

@@ -17,6 +17,14 @@
 //! single-sensor path uses, and every result is bit-identical for every
 //! worker count.
 //!
+//! The array also works **without any golden model**:
+//! [`SensorArray::fit_reference_free`] gives every tile a
+//! self-calibrating pipeline (see [`crate::baseline`]) and campaign
+//! verdicts come from the [`ConsensusDetector`] — a Trojan's coupling
+//! is spatially concentrated near its payload, while sensor faults and
+//! global drift lift every tile together, so the `max − median` margin
+//! asymmetry separates the two with no reference traces at all.
+//!
 //! Everything is fronted by [`ArrayConfig`]/[`ArrayBuilder`] — the same
 //! consuming-builder idiom as [`crate::monitor::TrustMonitor::builder`] —
 //! rather than positional constructors:
@@ -32,7 +40,12 @@
 //! ```
 
 use crate::acquisition::{TraceSet, T2_LEAK_CURRENT_A};
-use crate::detector::EuclideanDetector;
+use crate::baseline::{BaselineSource, CalibrationState, DetectorReadiness, SelfCalibratingConfig};
+use crate::detector::{
+    Detector, DetectorDomain, DetectorVerdict, EuclideanDetector, FeaturePlan, GoldenContext,
+    Score, ScoreDetail,
+};
+use crate::features::FeatureFrame;
 use crate::fingerprint::{FingerprintConfig, GoldenFingerprint};
 use crate::fusion::FusionPolicy;
 use crate::parallel::ParallelConfig;
@@ -40,6 +53,7 @@ use crate::persistence::{PersistenceConfig, SpectralPersistenceDetector};
 use crate::pipeline::DetectionPipeline;
 use crate::TrustError;
 use emtrust_aes::netlist::run_encryption_with;
+use emtrust_dsp::stats::median;
 use emtrust_em::array::EmArray;
 use emtrust_em::emf::VoltageTrace;
 use emtrust_layout::floorplan::{Die, Floorplan};
@@ -77,6 +91,9 @@ pub struct ArrayConfig {
     /// Enables the array's campaign decision log (one
     /// [`DecisionRecord`] with per-tile margins per [`SensorArray::evaluate`]).
     pub forensics: Option<ForensicsConfig>,
+    /// Cross-sensor consensus knobs, used when the array is fitted
+    /// reference-free ([`SensorArray::fit_reference_free`]).
+    pub consensus: ConsensusConfig,
 }
 
 impl Default for ArrayConfig {
@@ -91,6 +108,7 @@ impl Default for ArrayConfig {
             parallel: ParallelConfig::default(),
             labels: LabelSet::new(),
             forensics: None,
+            consensus: ConsensusConfig::default(),
         }
     }
 }
@@ -190,6 +208,19 @@ impl<'c> ArrayBuilder<'c> {
         self
     }
 
+    /// Sets the cross-sensor consensus knobs used by the
+    /// reference-free fit path.
+    ///
+    /// # Errors
+    ///
+    /// [`TrustError::InvalidParameter`] if the configuration is out of
+    /// range.
+    pub fn with_consensus(mut self, config: ConsensusConfig) -> Result<Self, TrustError> {
+        config.validate()?;
+        self.config.consensus = config;
+        Ok(self)
+    }
+
     /// Places the chip, tiles the die, and builds every sub-sensor's
     /// coupling machinery. Detection pipelines are created later, by
     /// [`SensorArray::fit_golden`].
@@ -219,9 +250,142 @@ impl<'c> ArrayBuilder<'c> {
             array,
             config: self.config,
             pipelines: Vec::new(),
+            self_calibrating: false,
             campaigns: 0,
             decisions: Vec::new(),
             decisions_dropped: 0,
+        })
+    }
+}
+
+/// Knobs of the [`ConsensusDetector`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConsensusConfig {
+    /// Alarm threshold on the spatial-excess statistic (hottest tile
+    /// margin minus the median tile margin). A Trojan perturbs tiles
+    /// asymmetrically; sensor faults and global drift lift every tile
+    /// together, leaving this statistic near zero.
+    pub margin_threshold: f64,
+    /// Minimum tile count for a meaningful spatial vote (a single tile
+    /// has no spatial contrast).
+    pub min_tiles: usize,
+}
+
+impl Default for ConsensusConfig {
+    fn default() -> Self {
+        Self {
+            margin_threshold: 0.25,
+            min_tiles: 2,
+        }
+    }
+}
+
+impl ConsensusConfig {
+    /// Checks every invariant the consensus detector relies on.
+    ///
+    /// # Errors
+    ///
+    /// [`TrustError::InvalidParameter`] naming the violated bound.
+    pub fn validate(&self) -> Result<(), TrustError> {
+        if !(self.margin_threshold.is_finite() && self.margin_threshold > 0.0) {
+            return Err(TrustError::InvalidParameter {
+                what: "consensus margin_threshold must be positive and finite",
+            });
+        }
+        if self.min_tiles < 2 {
+            return Err(TrustError::InvalidParameter {
+                what: "consensus needs at least two tiles for spatial contrast",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Cross-sensor consensus detector: votes on the *spatial asymmetry* of
+/// a heat map rather than on any single tile's score.
+///
+/// It consumes a [`FeatureFrame`] whose samples are the per-tile
+/// relative margins of one campaign and computes `max − median` over
+/// them. A Trojan couples most strongly into the tiles nearest its
+/// payload, so its excess is spatially concentrated and the statistic
+/// is large; a drifting supply, a temperature ramp, or a common-mode
+/// sensor fault lifts every tile together and the statistic stays near
+/// zero. This makes the detector reference-free — it needs no golden
+/// material, only the geometric prior that real die area is shared.
+#[derive(Debug, Clone)]
+pub struct ConsensusDetector {
+    config: ConsensusConfig,
+}
+
+impl ConsensusDetector {
+    /// A consensus detector with the given knobs.
+    ///
+    /// # Errors
+    ///
+    /// [`TrustError::InvalidParameter`] if the configuration is out of
+    /// range.
+    pub fn new(config: ConsensusConfig) -> Result<Self, TrustError> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> ConsensusConfig {
+        self.config
+    }
+}
+
+impl Detector for ConsensusDetector {
+    fn name(&self) -> &'static str {
+        "consensus"
+    }
+
+    fn domain(&self) -> DetectorDomain {
+        DetectorDomain::PerEncryption
+    }
+
+    fn feature_plan(&self) -> FeaturePlan {
+        FeaturePlan::default()
+    }
+
+    fn fit(&mut self, _ctx: &GoldenContext<'_>) -> Result<(), TrustError> {
+        // Reference-free: nothing to learn, any context (even an empty
+        // one) fits.
+        Ok(())
+    }
+
+    fn fit_baseline(&mut self, source: &BaselineSource<'_>) -> Result<(), TrustError> {
+        if let BaselineSource::SelfCalibrating(cfg) = source {
+            cfg.validate()?;
+        }
+        Ok(())
+    }
+
+    fn is_fitted(&self) -> bool {
+        true
+    }
+
+    fn readiness(&self) -> DetectorReadiness {
+        DetectorReadiness::Ready
+    }
+
+    fn score(&self, frame: &FeatureFrame<'_>) -> Result<Score, TrustError> {
+        let margins = frame.samples();
+        if margins.len() < self.config.min_tiles {
+            return Err(TrustError::InvalidParameter {
+                what: "consensus frame holds fewer tile margins than min_tiles",
+            });
+        }
+        if margins.iter().any(|m| !m.is_finite()) {
+            return Err(TrustError::InvalidParameter {
+                what: "consensus tile margins must be finite",
+            });
+        }
+        let max = margins.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Ok(Score {
+            statistic: max - median(margins),
+            threshold: self.config.margin_threshold,
+            detail: ScoreDetail::None,
         })
     }
 }
@@ -264,8 +428,14 @@ pub struct ArrayVerdict {
     /// Floorplan regions ranked nearest-first from the centroid. Empty
     /// when the campaign is clean.
     pub regions: Vec<RegionScore>,
-    /// Whether any tile's pipeline raised a fused alarm.
+    /// Whether the campaign is judged suspected: any tile alarm on a
+    /// golden-fitted array, the cross-sensor consensus vote on a
+    /// reference-free one.
     pub alarmed: bool,
+    /// The cross-sensor consensus vote over the per-tile margins.
+    /// `None` on golden-fitted arrays and on grids below the consensus
+    /// `min_tiles`.
+    pub consensus: Option<DetectorVerdict>,
 }
 
 impl ArrayVerdict {
@@ -375,8 +545,11 @@ pub struct SensorArray<'c> {
     array: EmArray,
     config: ArrayConfig,
     /// One pipeline per tile, in tile order; empty until
-    /// [`Self::fit_golden`].
+    /// [`Self::fit_golden`] or [`Self::fit_reference_free`].
     pipelines: Vec<DetectionPipeline>,
+    /// Whether the tile pipelines learn their baselines from live
+    /// traffic ([`Self::fit_reference_free`]).
+    self_calibrating: bool,
     /// Campaigns evaluated so far (indexes the decision log).
     campaigns: u64,
     /// Bounded campaign decision log (empty unless forensics enabled).
@@ -444,9 +617,34 @@ impl<'c> SensorArray<'c> {
         &self.pipelines
     }
 
-    /// Whether [`Self::fit_golden`] has run.
+    /// Whether [`Self::fit_golden`] or [`Self::fit_reference_free`] has
+    /// run.
     pub fn is_fitted(&self) -> bool {
         self.pipelines.len() == self.array.len()
+    }
+
+    /// Whether the tile pipelines learn their baselines from live
+    /// traffic.
+    pub fn is_self_calibrating(&self) -> bool {
+        self.self_calibrating
+    }
+
+    /// Aggregated calibration state across every tile pipeline:
+    /// `Armed` once each tile's pipeline is armed, `Calibrating` (with
+    /// the armed-tile count) before that. A golden-fitted array is
+    /// `Armed` immediately.
+    pub fn calibration_state(&self) -> CalibrationState {
+        let total = self.pipelines.len();
+        let ready = self
+            .pipelines
+            .iter()
+            .filter(|p| p.calibration_state().is_armed())
+            .count();
+        if total > 0 && ready == total {
+            CalibrationState::Armed
+        } else {
+            CalibrationState::Calibrating { ready, total }
+        }
     }
 
     /// A localizer over this array's tile centres.
@@ -585,6 +783,79 @@ impl<'c> SensorArray<'c> {
             pipelines.push(builder.build());
         }
         self.pipelines = pipelines;
+        self.self_calibrating = false;
+        Ok(())
+    }
+
+    /// Fits one **self-calibrating** pipeline per tile — no golden
+    /// material is consulted. Each tile's Euclidean detector learns a
+    /// rolling robust baseline from the live traffic fed through
+    /// [`Self::calibrate`] (or scored through [`Self::evaluate`]), and
+    /// campaign verdicts come from the [`ConsensusDetector`]'s
+    /// spatial-asymmetry vote instead of any single tile's alarm.
+    ///
+    /// # Errors
+    ///
+    /// [`TrustError::InvalidParameter`] if the baseline or consensus
+    /// configuration is out of range.
+    pub fn fit_reference_free(&mut self, cfg: SelfCalibratingConfig) -> Result<(), TrustError> {
+        let _span = telemetry::span("array.fit");
+        cfg.validate()?;
+        self.config.consensus.validate()?;
+        let source = BaselineSource::SelfCalibrating(cfg);
+        let mut pipelines = Vec::with_capacity(self.array.len());
+        for tile in self.array.tiles() {
+            let labels = self
+                .config
+                .labels
+                .with("tile", format!("r{}c{}", tile.row(), tile.col()));
+            let mut builder = DetectionPipeline::builder()
+                .detector(Box::new(EuclideanDetector::from_config(
+                    self.config.fingerprint,
+                )))
+                .fusion(self.config.fusion.clone())
+                .parallel(self.config.parallel)
+                .labels(labels);
+            if let Some(fcfg) = self.config.forensics.clone() {
+                builder = builder.forensics(fcfg);
+            }
+            if let Some(pcfg) = self.config.persistence {
+                builder = builder.detector(Box::new(SpectralPersistenceDetector::new(pcfg)));
+            }
+            let mut pipeline = builder.build();
+            pipeline.fit_baseline(&source)?;
+            pipelines.push(pipeline);
+        }
+        self.pipelines = pipelines;
+        self.self_calibrating = true;
+        Ok(())
+    }
+
+    /// Feeds one clean campaign (one trace set per tile, as returned by
+    /// [`Self::collect`]) through the tile pipelines purely to advance
+    /// their rolling baselines — no verdict is produced and no campaign
+    /// decision is logged. Use after [`Self::fit_reference_free`] until
+    /// [`Self::calibration_state`] reports `Armed`.
+    ///
+    /// # Errors
+    ///
+    /// [`TrustError::InvalidParameter`] if the array is unfitted or the
+    /// set count mismatches; forwarded scoring errors otherwise.
+    pub fn calibrate(&mut self, clean: &[TraceSet]) -> Result<(), TrustError> {
+        let _span = telemetry::span("array.calibrate");
+        if !self.is_fitted() {
+            return Err(TrustError::InvalidParameter {
+                what: "array is not fitted: call fit_golden or fit_reference_free first",
+            });
+        }
+        if clean.len() != self.array.len() {
+            return Err(TrustError::InvalidParameter {
+                what: "calibrate needs one clean trace set per tile",
+            });
+        }
+        for (t, set) in clean.iter().enumerate() {
+            self.pipelines[t].try_ingest_batch(set.traces())?;
+        }
         Ok(())
     }
 
@@ -599,7 +870,7 @@ impl<'c> SensorArray<'c> {
         let _span = telemetry::span("array.evaluate");
         if !self.is_fitted() {
             return Err(TrustError::InvalidParameter {
-                what: "array is not fitted: call fit_golden first",
+                what: "array is not fitted: call fit_golden or fit_reference_free first",
             });
         }
         if suspects.len() != self.array.len() {
@@ -651,6 +922,21 @@ impl<'c> SensorArray<'c> {
             });
         }
         let scores: Vec<f64> = heat.iter().map(|h| h.margin).collect();
+        // Reference-free arrays decide by spatial consensus: single-tile
+        // alarms are advisory (their thresholds are self-learned), the
+        // asymmetry of the heat map is the campaign verdict.
+        let mut consensus = None;
+        if self.self_calibrating && scores.len() >= self.config.consensus.min_tiles {
+            let det = ConsensusDetector::new(self.config.consensus)?;
+            let score = det.score(&FeatureFrame::new(&scores))?;
+            let suspected = det.verdict(&score);
+            alarmed = suspected;
+            consensus = Some(DetectorVerdict {
+                detector: det.name(),
+                suspected,
+                score,
+            });
+        }
         let localizer = self.localizer();
         let centroid_um = localizer.centroid(&scores);
         let regions = localizer.rank(&scores, &self.floorplan);
@@ -662,6 +948,9 @@ impl<'c> SensorArray<'c> {
             rec.labels = self.config.labels.clone();
             rec.verdict = if alarmed { "alarmed" } else { "clean" }.to_string();
             rec.fused_alarm = alarmed;
+            if self.self_calibrating {
+                rec.calibration = Some(self.calibration_state().label().to_string());
+            }
             rec.tiles = heat
                 .iter()
                 .map(|h| TileMargin {
@@ -685,6 +974,7 @@ impl<'c> SensorArray<'c> {
             centroid_um,
             regions,
             alarmed,
+            consensus,
         })
     }
 
@@ -767,6 +1057,7 @@ mod tests {
                 },
             ],
             alarmed: true,
+            consensus: None,
         };
         assert_eq!(v.top_region(), Some("trojan2"));
         assert_eq!(v.region_rank("aes"), Some(1));
@@ -781,9 +1072,114 @@ mod tests {
         let chip = ProtectedChip::golden();
         let mut array = SensorArray::builder(&chip).with_grid(1, 1)?.build()?;
         assert!(!array.is_fitted());
+        assert!(!array.is_self_calibrating());
+        assert!(!array.calibration_state().is_armed());
         assert!(array.evaluate(&[]).is_err());
+        assert!(array.calibrate(&[]).is_err());
         // Wrong golden arity is rejected too.
         assert!(array.fit_golden(&[]).is_err());
+        Ok(())
+    }
+
+    #[test]
+    fn consensus_config_bounds_are_enforced() {
+        assert!(ConsensusConfig::default().validate().is_ok());
+        assert!(ConsensusConfig {
+            margin_threshold: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ConsensusConfig {
+            margin_threshold: f64::NAN,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ConsensusConfig {
+            min_tiles: 1,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        let chip = ProtectedChip::golden();
+        assert!(SensorArray::builder(&chip)
+            .with_consensus(ConsensusConfig {
+                min_tiles: 0,
+                ..Default::default()
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn consensus_votes_on_asymmetry_not_level() -> Result<(), TrustError> {
+        let det = ConsensusDetector::new(ConsensusConfig::default())?;
+        assert!(det.is_fitted());
+        assert!(det.readiness().is_ready());
+        // A concentrated excess trips the vote…
+        let hot = [0.02, 0.05, 0.03, 1.4];
+        let score = det.score(&FeatureFrame::new(&hot))?;
+        // dsp's median takes the upper-middle element on even lengths.
+        assert!((score.statistic - (1.4 - 0.05)).abs() < 1e-12);
+        assert!(det.verdict(&score));
+        // …a uniform lift (global drift, supply ramp) does not, however
+        // large.
+        let drifted = [3.0, 3.1, 3.0, 3.05];
+        let score = det.score(&FeatureFrame::new(&drifted))?;
+        assert!(!det.verdict(&score));
+        // Degenerate inputs are rejected.
+        assert!(det.score(&FeatureFrame::new(&[1.0])).is_err());
+        assert!(det.score(&FeatureFrame::new(&[1.0, f64::NAN])).is_err());
+        Ok(())
+    }
+
+    #[test]
+    fn consensus_is_reference_free() -> Result<(), TrustError> {
+        use crate::baseline::SelfCalibratingConfig;
+        let mut det = ConsensusDetector::new(ConsensusConfig::default())?;
+        // Fits on an empty golden context and on a self-calibrating
+        // source alike.
+        det.fit(&GoldenContext::new())?;
+        det.fit_baseline(&BaselineSource::golden(GoldenContext::new()))?;
+        det.fit_baseline(&BaselineSource::self_calibrating(
+            SelfCalibratingConfig::default(),
+        ))?;
+        assert!(det
+            .fit_baseline(&BaselineSource::self_calibrating(SelfCalibratingConfig {
+                warmup: 0,
+                ..Default::default()
+            }))
+            .is_err());
+        Ok(())
+    }
+
+    #[test]
+    fn reference_free_array_arms_after_warmup() -> Result<(), TrustError> {
+        let chip = ProtectedChip::golden();
+        let mut array = SensorArray::builder(&chip).with_grid(2, 1)?.build()?;
+        let cfg = SelfCalibratingConfig {
+            warmup: 2,
+            ..Default::default()
+        };
+        array.fit_reference_free(cfg)?;
+        assert!(array.is_fitted());
+        assert!(array.is_self_calibrating());
+        assert_eq!(
+            array.calibration_state(),
+            CalibrationState::Calibrating { ready: 0, total: 2 }
+        );
+        let clean = array.collect(*b"sixteen byte key", 2, None, 7)?;
+        array.calibrate(&clean)?;
+        assert!(array.calibration_state().is_armed());
+        // A clean campaign after arming carries a consensus vote and no
+        // alarm.
+        let probe = array.collect(*b"sixteen byte key", 1, None, 8)?;
+        let verdict = array.evaluate(&probe)?;
+        let consensus = verdict.consensus.ok_or(TrustError::InvalidParameter {
+            what: "expected a consensus vote on a reference-free array",
+        })?;
+        assert_eq!(consensus.detector, "consensus");
+        assert!(!verdict.alarmed);
         Ok(())
     }
 }

@@ -1,260 +1,552 @@
-//! Baseline detector: global power fingerprinting.
+//! The baseline contract: where a detector's notion of "normal" comes
+//! from.
 //!
-//! The side-channel prior art the paper positions itself against
-//! (Agrawal et al., "Trojan detection using IC fingerprinting", S&P 2007
-//! — reference \[3\]) measures the chip's *total supply current* and
-//! fingerprints it, with no spatial information. This module implements
-//! that baseline over the same substrate so the two approaches can be
-//! compared head to head:
+//! The paper's pipeline fits every detector on *golden* material —
+//! Trojan-free traces or a golden window — but post-deployment monitors
+//! do not always have any (the programmable sensor-array and
+//! reference-free lines of related work detect Trojans with no golden
+//! model at all). This module makes the choice explicit:
 //!
-//! - the EM sensor sees `Σ_c k_c·dI_c/dt` — per-cell currents weighted by
-//!   *where* they flow, with the spiral's strong spatial kernel,
-//! - the power baseline sees `Σ_c I_c` — everything summed into one
-//!   terminal, plus the (proportionally larger) supply-network noise.
+//! - [`BaselineSource::Golden`] wraps the classic [`GoldenContext`]
+//!   path, bit-identically — fitting through it produces exactly the
+//!   pipeline the direct [`GoldenContext`] path produces;
+//! - [`BaselineSource::SelfCalibrating`] asks each detector to learn
+//!   its own baseline from live traffic: robust rolling statistics
+//!   (per-dimension median centre, median/MAD distance spread) over a
+//!   warm-up ring, with drift-tracked updates afterwards that the
+//!   pipeline gates on sensor health so a faulty channel or a
+//!   suspected observation can never poison the learned normal.
 //!
-//! Because the Trojan strip sits at the die edge where the spiral still
-//! couples well but the power measurement dilutes it into the full-chip
-//! current, and because a VDD pin measurement carries regulator/board
-//! noise, the EM sensor retains margin where the baseline thins out.
+//! Readiness becomes explicit too: every [`Detector`] reports a
+//! [`DetectorReadiness`], and the pipeline aggregates them into a
+//! [`CalibrationState`] (`Calibrating → Armed`). During calibration a
+//! self-calibrating detector scores benign (statistic strictly under
+//! its threshold), so nothing can alarm before the baseline is armed.
+//!
+//! [`Detector`]: crate::detector::Detector
 
-use crate::acquisition::{Stimulus, TraceSet};
+use crate::detector::GoldenContext;
+use crate::features::DEFAULT_RMS_BIN;
 use crate::TrustError;
-use emtrust_aes::netlist::run_encryption_with;
-use emtrust_netlist::library::Library;
-use emtrust_power::{ClockConfig, CurrentModel};
-use emtrust_trojan::{ProtectedChip, TrojanKind};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use emtrust_dsp::stats::median;
+use std::collections::VecDeque;
 
-/// Measurement noise on the global supply-current sense path, as a
-/// fraction of the golden trace's RMS current. Board-level current
-/// sensing (shunt + amplifier across the VDD pin) is far noisier,
-/// relatively, than the on-die sensor: board regulators, shared-plane
-/// ripple and shunt-amplifier noise together sit around a tenth of the
-/// dynamic current's scale.
-pub const SUPPLY_SENSE_NOISE_FRACTION: f64 = 0.10;
+// Compatibility shim: the power-fingerprinting comparison bench lived
+// here before the baseline contract claimed the module name.
+#[deprecated(note = "moved to `crate::power_baseline`")]
+pub use crate::power_baseline::PowerBaseline;
+#[deprecated(note = "moved to `crate::power_baseline`")]
+pub use crate::power_baseline::{SUPPLY_SENSE_BANDWIDTH_HZ, SUPPLY_SENSE_NOISE_FRACTION};
 
-/// Effective bandwidth of the VDD-pin measurement, hertz. The package
-/// and decoupling network integrate the die's sub-nanosecond current
-/// pulses before they reach the shunt — the physical reason global power
-/// fingerprinting cannot see small fast radiators the way an on-die
-/// sensor can.
-pub const SUPPLY_SENSE_BANDWIDTH_HZ: f64 = 20e6;
-
-/// A global power-fingerprinting bench over a [`ProtectedChip`].
-#[derive(Debug)]
-pub struct PowerBaseline<'c> {
-    chip: &'c ProtectedChip,
-    model: CurrentModel,
-    noise_rms_a: f64,
+/// Configuration of a self-calibrating (golden-model-free) baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelfCalibratingConfig {
+    /// Observations collected in the warm-up ring before the baseline
+    /// arms. Must be ≥ 2 (robust statistics need a spread).
+    pub warmup: usize,
+    /// Threshold head-room: the armed decision threshold is
+    /// `median + mad_multiplier × MAD` over the warm-up distances.
+    pub mad_multiplier: f64,
+    /// EWMA rate for post-arming drift tracking of the centre, in
+    /// `[0, 1)`. `0.0` freezes the centre at its warm-up value.
+    pub drift_alpha: f64,
+    /// Samples per RMS feature bin for trace-domain detectors (matches
+    /// [`crate::fingerprint::FingerprintConfig::rms_bin`]).
+    pub rms_bin: usize,
 }
 
-impl<'c> PowerBaseline<'c> {
-    /// Builds the baseline bench and calibrates its sense-path noise to
-    /// the chip's golden current level.
-    ///
-    /// # Errors
-    ///
-    /// Propagates simulation/power-model errors from the calibration run.
-    pub fn new(chip: &'c ProtectedChip) -> Result<Self, TrustError> {
-        let model = CurrentModel::new(Library::generic_180nm(), ClockConfig::reference());
-        let mut baseline = Self {
-            chip,
-            model,
-            noise_rms_a: 0.0,
-        };
-        // Calibrate: one golden block sets the current scale.
-        let golden =
-            baseline.collect(*b"calibration-key!", Stimulus::Fixed([0; 16]), 1, None, 0)?;
-        let rms = emtrust_dsp::stats::rms(&golden.traces()[0]);
-        baseline.noise_rms_a = SUPPLY_SENSE_NOISE_FRACTION * rms;
-        Ok(baseline)
-    }
-
-    /// The calibrated sense-path noise RMS in amperes.
-    pub fn noise_rms_a(&self) -> f64 {
-        self.noise_rms_a
-    }
-
-    /// Collects `n_traces` total-supply-current traces (amperes), one per
-    /// encryption — the baseline's analogue of
-    /// [`crate::acquisition::TestBench::collect_with`].
-    ///
-    /// # Errors
-    ///
-    /// Propagates simulation and power-model errors.
-    pub fn collect(
-        &self,
-        key: [u8; 16],
-        stimulus: Stimulus,
-        n_traces: usize,
-        armed: Option<TrojanKind>,
-        seed: u64,
-    ) -> Result<TraceSet, TrustError> {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut noise_rng = StdRng::seed_from_u64(seed ^ 0x0b5e);
-        let mut sim = self.chip.simulator()?;
-        self.chip.disarm_all(&mut sim);
-        if let Some(kind) = armed {
-            self.chip.arm(&mut sim, kind, true);
+impl Default for SelfCalibratingConfig {
+    fn default() -> Self {
+        Self {
+            warmup: 16,
+            mad_multiplier: 8.0,
+            drift_alpha: 0.05,
+            rms_bin: DEFAULT_RMS_BIN,
         }
-        let warmup: [u8; 16] = match stimulus {
-            Stimulus::Fixed(block) => block,
-            Stimulus::RandomPerTrace => rng.gen(),
-        };
-        let _ = run_encryption_with(&mut sim, self.chip.aes_ports(), key, warmup, |_| {});
-        let mut traces = Vec::with_capacity(n_traces);
-        for _ in 0..n_traces {
-            let pt: [u8; 16] = match stimulus {
-                Stimulus::Fixed(block) => block,
-                Stimulus::RandomPerTrace => rng.gen(),
-            };
-            sim.start_recording();
-            let _ = run_encryption_with(&mut sim, self.chip.aes_ports(), key, pt, |_| {});
-            let activity = sim.take_recording();
-            let trace = self
-                .model
-                .synthesize(self.chip.netlist(), &activity, None, None)
-                .map_err(emtrust_em::EmError::from)?;
-            let mut samples = trace.into_samples();
-            // Package/decap low-pass, then sense noise.
-            let fs = self.model.clock().sample_rate_hz();
-            let rc = 1.0 / (2.0 * std::f64::consts::PI * SUPPLY_SENSE_BANDWIDTH_HZ);
-            let alpha = (1.0 / fs) / (rc + 1.0 / fs);
-            let mut state = samples.first().copied().unwrap_or(0.0);
-            for s in samples.iter_mut() {
-                state += alpha * (*s - state);
-                *s = state + self.noise_rms_a * gaussian(&mut noise_rng);
+    }
+}
+
+impl SelfCalibratingConfig {
+    /// Checks every invariant the rolling baseline relies on.
+    ///
+    /// # Errors
+    ///
+    /// [`TrustError::InvalidParameter`] naming the violated bound.
+    pub fn validate(&self) -> Result<(), TrustError> {
+        if self.warmup < 2 {
+            return Err(TrustError::InvalidParameter {
+                what: "self-calibrating warmup must be >= 2",
+            });
+        }
+        if !(self.mad_multiplier.is_finite() && self.mad_multiplier > 0.0) {
+            return Err(TrustError::InvalidParameter {
+                what: "mad_multiplier must be positive and finite",
+            });
+        }
+        if !(0.0..1.0).contains(&self.drift_alpha) {
+            return Err(TrustError::InvalidParameter {
+                what: "drift_alpha must be in [0, 1)",
+            });
+        }
+        if self.rms_bin == 0 {
+            return Err(TrustError::InvalidParameter {
+                what: "rms_bin must be >= 1",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Where a detector's baseline comes from (see module docs).
+#[derive(Debug, Clone, Copy)]
+pub enum BaselineSource<'a> {
+    /// Fit on golden material — exactly today's [`GoldenContext`] path.
+    Golden(GoldenContext<'a>),
+    /// Learn the baseline online from live traffic; no golden material
+    /// is ever consulted.
+    SelfCalibrating(SelfCalibratingConfig),
+}
+
+impl<'a> BaselineSource<'a> {
+    /// A golden source over the given context.
+    pub fn golden(ctx: GoldenContext<'a>) -> Self {
+        BaselineSource::Golden(ctx)
+    }
+
+    /// A self-calibrating source with the given configuration.
+    pub fn self_calibrating(config: SelfCalibratingConfig) -> Self {
+        BaselineSource::SelfCalibrating(config)
+    }
+
+    /// Whether this source uses no golden material at all.
+    pub fn is_reference_free(&self) -> bool {
+        matches!(self, BaselineSource::SelfCalibrating(_))
+    }
+}
+
+/// A detector's explicit readiness judgement — the truth the old
+/// boolean `is_fitted` hid (a reference-free detector reported *fitted*
+/// while still learning its whitelist).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectorReadiness {
+    /// Unfitted; needs golden per-encryption traces.
+    NeedsGoldenTraces,
+    /// Unfitted; needs a golden continuous window.
+    NeedsGoldenWindow,
+    /// Learning its own baseline from live traffic; cannot vote
+    /// suspected yet.
+    Calibrating {
+        /// Observations absorbed into the warm-up so far.
+        seen: u32,
+        /// Observations required before the detector arms.
+        required: u32,
+    },
+    /// Armed: scores are live and can vote suspected.
+    Ready,
+}
+
+impl DetectorReadiness {
+    /// Whether the detector can vote suspected.
+    pub fn is_ready(&self) -> bool {
+        matches!(self, DetectorReadiness::Ready)
+    }
+
+    /// Stable label for telemetry and artifacts.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DetectorReadiness::NeedsGoldenTraces => "needs_golden_traces",
+            DetectorReadiness::NeedsGoldenWindow => "needs_golden_window",
+            DetectorReadiness::Calibrating { .. } => "calibrating",
+            DetectorReadiness::Ready => "ready",
+        }
+    }
+}
+
+/// The pipeline-level calibration state machine: `Calibrating` until
+/// every registered detector reports [`DetectorReadiness::Ready`], then
+/// `Armed`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CalibrationState {
+    /// At least one detector is not ready yet.
+    Calibrating {
+        /// Detectors already ready.
+        ready: usize,
+        /// Detectors registered.
+        total: usize,
+    },
+    /// Every detector is ready; alarms are live.
+    Armed,
+}
+
+impl CalibrationState {
+    /// Whether every detector is ready.
+    pub fn is_armed(&self) -> bool {
+        matches!(self, CalibrationState::Armed)
+    }
+
+    /// Stable label for telemetry and decision records.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CalibrationState::Calibrating { .. } => "calibrating",
+            CalibrationState::Armed => "armed",
+        }
+    }
+}
+
+/// The armed statistics of a [`RollingBaseline`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustModel {
+    /// Scale divisor (mean warm-up feature-vector norm) making
+    /// distances dimensionless, like the golden fingerprint's.
+    pub scale: f64,
+    /// Per-dimension median of the scaled warm-up features — the robust
+    /// centre distances are measured from.
+    pub center: Vec<f64>,
+    /// Median of the warm-up distances to the centre.
+    pub median_distance: f64,
+    /// Median absolute deviation of the warm-up distances.
+    pub mad_distance: f64,
+    /// Decision threshold: `median + mad_multiplier × MAD` (floored at
+    /// the smallest positive value when the warm-up spread is exactly
+    /// zero, so a degenerate constant baseline still flags deviations).
+    pub threshold: f64,
+}
+
+/// Online rolling robust statistics over feature vectors: a warm-up
+/// ring of the last `warmup` observations, armed into a [`RobustModel`]
+/// (median centre, median/MAD distance spread) once full, with optional
+/// EWMA drift tracking of the centre afterwards.
+///
+/// The engine is deliberately policy-free: callers decide *which*
+/// observations to feed it (the pipeline gates on sensor health and on
+/// the detector's own verdict), and it never updates its threshold
+/// after arming — only the centre drifts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RollingBaseline {
+    config: SelfCalibratingConfig,
+    ring: VecDeque<Vec<f64>>,
+    seen: u64,
+    drift: f64,
+    model: Option<RobustModel>,
+}
+
+impl RollingBaseline {
+    /// An empty baseline; arms after `config.warmup` observations.
+    ///
+    /// # Errors
+    ///
+    /// [`TrustError::InvalidParameter`] if the configuration is out of
+    /// range.
+    pub fn new(config: SelfCalibratingConfig) -> Result<Self, TrustError> {
+        config.validate()?;
+        Ok(Self {
+            config,
+            ring: VecDeque::with_capacity(config.warmup),
+            seen: 0,
+            drift: 0.0,
+            model: None,
+        })
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> SelfCalibratingConfig {
+        self.config
+    }
+
+    /// Whether the warm-up ring has filled and the statistics are live.
+    pub fn is_armed(&self) -> bool {
+        self.model.is_some()
+    }
+
+    /// Observations absorbed so far (warm-up and drift phases).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Observations required before arming.
+    pub fn required(&self) -> usize {
+        self.config.warmup
+    }
+
+    /// The armed statistics, if any.
+    pub fn model(&self) -> Option<&RobustModel> {
+        self.model.as_ref()
+    }
+
+    /// Cumulative L2 movement of the centre under drift tracking since
+    /// arming (0.0 with `drift_alpha == 0`).
+    pub fn drift(&self) -> f64 {
+        self.drift
+    }
+
+    /// The armed decision threshold.
+    ///
+    /// # Errors
+    ///
+    /// [`TrustError::InvalidParameter`] while still warming up.
+    pub fn threshold(&self) -> Result<f64, TrustError> {
+        self.model
+            .as_ref()
+            .map(|m| m.threshold)
+            .ok_or(TrustError::InvalidParameter {
+                what: "rolling baseline is still warming up",
+            })
+    }
+
+    /// Scaled Euclidean distance of a feature vector to the armed
+    /// centre.
+    ///
+    /// # Errors
+    ///
+    /// [`TrustError::InvalidParameter`] while warming up or on a
+    /// feature-length mismatch.
+    pub fn distance(&self, feats: &[f64]) -> Result<f64, TrustError> {
+        let m = self.model.as_ref().ok_or(TrustError::InvalidParameter {
+            what: "rolling baseline is still warming up",
+        })?;
+        if feats.len() != m.center.len() {
+            return Err(TrustError::InvalidParameter {
+                what: "feature length does not match the rolling baseline",
+            });
+        }
+        Ok(feats
+            .iter()
+            .zip(&m.center)
+            .map(|(&x, &c)| {
+                let d = x / m.scale - c;
+                d * d
+            })
+            .sum::<f64>()
+            .sqrt())
+    }
+
+    /// Feeds one observation: during warm-up it joins the ring (arming
+    /// the statistics once the ring fills); afterwards it drift-tracks
+    /// the centre. Returns whether the baseline is armed after the
+    /// update.
+    ///
+    /// # Errors
+    ///
+    /// [`TrustError::InvalidParameter`] on a non-finite sample or a
+    /// feature-length mismatch with the ring; the observation is
+    /// dropped and the state is unchanged.
+    pub fn observe(&mut self, feats: &[f64]) -> Result<bool, TrustError> {
+        if feats.is_empty() || feats.iter().any(|x| !x.is_finite()) {
+            return Err(TrustError::InvalidParameter {
+                what: "baseline observation must be non-empty and finite",
+            });
+        }
+        if let Some(first) = self.ring.front() {
+            if feats.len() != first.len() {
+                return Err(TrustError::InvalidParameter {
+                    what: "baseline observation length changed mid-stream",
+                });
             }
-            traces.push(samples);
         }
-        TraceSet::new(traces, self.model.clock().sample_rate_hz())
+        if let Some(m) = &mut self.model {
+            // Drift phase: EWMA the centre toward the scaled features.
+            if self.config.drift_alpha > 0.0 {
+                let a = self.config.drift_alpha;
+                let mut step = 0.0;
+                for (c, &x) in m.center.iter_mut().zip(feats) {
+                    let next = (1.0 - a) * *c + a * (x / m.scale);
+                    let d = next - *c;
+                    step += d * d;
+                    *c = next;
+                }
+                self.drift += step.sqrt();
+            }
+            self.seen += 1;
+            return Ok(true);
+        }
+        self.ring.push_back(feats.to_vec());
+        self.seen += 1;
+        if self.ring.len() >= self.config.warmup {
+            self.arm()?;
+        }
+        Ok(self.is_armed())
     }
-}
 
-fn gaussian(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-    let u2: f64 = rng.gen_range(0.0..1.0);
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    /// Computes the robust model from the full warm-up ring.
+    fn arm(&mut self) -> Result<(), TrustError> {
+        let n = self.ring.len();
+        let dims = self.ring.front().map_or(0, Vec::len);
+        let scale = self
+            .ring
+            .iter()
+            .map(|f| f.iter().map(|x| x * x).sum::<f64>().sqrt())
+            .sum::<f64>()
+            / n as f64;
+        if scale <= 0.0 {
+            return Err(TrustError::InvalidParameter {
+                what: "warm-up observations contain no energy",
+            });
+        }
+        let mut center = Vec::with_capacity(dims);
+        let mut column = Vec::with_capacity(n);
+        for d in 0..dims {
+            column.clear();
+            column.extend(self.ring.iter().map(|f| f[d] / scale));
+            center.push(median(&column));
+        }
+        let distances: Vec<f64> = self
+            .ring
+            .iter()
+            .map(|f| {
+                f.iter()
+                    .zip(&center)
+                    .map(|(&x, &c)| {
+                        let d = x / scale - c;
+                        d * d
+                    })
+                    .sum::<f64>()
+                    .sqrt()
+            })
+            .collect();
+        let median_distance = median(&distances);
+        let deviations: Vec<f64> = distances
+            .iter()
+            .map(|&d| (d - median_distance).abs())
+            .collect();
+        let mad_distance = median(&deviations);
+        let raw = median_distance + self.config.mad_multiplier * mad_distance;
+        let threshold = if raw > 0.0 { raw } else { f64::MIN_POSITIVE };
+        self.model = Some(RobustModel {
+            scale,
+            center,
+            median_distance,
+            mad_distance,
+            threshold,
+        });
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fingerprint::{FingerprintConfig, GoldenFingerprint};
 
-    const KEY: [u8; 16] = *b"baseline-key-123";
-    const STIM: Stimulus = Stimulus::Fixed(*b"baseline-block-1");
-
-    #[test]
-    fn baseline_collects_current_traces() {
-        let chip = ProtectedChip::golden();
-        let baseline = PowerBaseline::new(&chip).unwrap();
-        let set = baseline.collect(KEY, STIM, 2, None, 1).unwrap();
-        assert_eq!(set.len(), 2);
-        assert_eq!(set.traces()[0].len(), 12 * 64);
-        // Currents are milliampere-class, positive on average.
-        let mean = emtrust_dsp::stats::mean(&set.traces()[0]);
-        assert!(mean > 0.0, "mean supply current must be positive");
-        assert!(baseline.noise_rms_a() > 0.0);
+    fn feats(base: f64, jitter: f64, seed: u64) -> Vec<f64> {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..8)
+            .map(|i| base + (i as f64 * 0.3).sin() + jitter * rng.gen_range(-1.0..1.0))
+            .collect()
     }
 
     #[test]
-    fn power_baseline_catches_the_power_hog_but_misses_the_stealthy_leaker() {
-        // The paper's motivation: modern Trojans are "small enough to
-        // evade power consumption based fingerprinting". The global
-        // power baseline must catch T4 (a deliberate power hog) yet lose
-        // T3 (the stealthy CDMA leaker) — which the EM framework still
-        // flags (see E3: 81-88% per-trace rate on-chip).
-        use crate::acquisition::TestBench;
-        use emtrust_silicon::Channel;
-        let chip = ProtectedChip::with_all_trojans();
+    fn config_bounds_are_enforced() {
+        assert!(SelfCalibratingConfig::default().validate().is_ok());
+        let cases = [
+            SelfCalibratingConfig {
+                warmup: 1,
+                ..Default::default()
+            },
+            SelfCalibratingConfig {
+                mad_multiplier: 0.0,
+                ..Default::default()
+            },
+            SelfCalibratingConfig {
+                drift_alpha: 1.0,
+                ..Default::default()
+            },
+            SelfCalibratingConfig {
+                rms_bin: 0,
+                ..Default::default()
+            },
+        ];
+        for cfg in cases {
+            assert!(cfg.validate().is_err(), "{cfg:?} must be rejected");
+        }
+    }
 
-        let baseline = PowerBaseline::new(&chip).unwrap();
-        let cfg = FingerprintConfig {
-            pca_components: None,
-            ..FingerprintConfig::default()
+    #[test]
+    fn warmup_then_arm_then_drift() {
+        let cfg = SelfCalibratingConfig {
+            warmup: 4,
+            drift_alpha: 0.1,
+            ..Default::default()
         };
-        let golden = baseline.collect(KEY, STIM, 12, None, 2).unwrap();
-        let fp = GoldenFingerprint::fit(&golden, cfg).unwrap();
-        let margin = |kind| {
-            let armed = baseline.collect(KEY, STIM, 8, Some(kind), 3).unwrap();
-            fp.centroid_distance(&armed).unwrap() / fp.threshold()
-        };
-        let t4 = margin(TrojanKind::T4PowerDegrader);
-        let t3 = margin(TrojanKind::T3CdmaLeaker);
-        assert!(t4 > 1.0, "power baseline must catch T4 ({t4:.2})");
-        assert!(
-            t3 < 2.0 && t3 < t4 / 3.0,
-            "power baseline must be marginal on T3 (t3 {t3:.2}, t4 {t4:.2})"
+        let mut rb = RollingBaseline::new(cfg).unwrap();
+        assert!(!rb.is_armed());
+        assert!(rb.threshold().is_err());
+        for seed in 0..3 {
+            assert!(!rb.observe(&feats(2.0, 0.05, seed)).unwrap());
+        }
+        assert!(rb.observe(&feats(2.0, 0.05, 3)).unwrap());
+        assert!(rb.is_armed());
+        let th = rb.threshold().unwrap();
+        assert!(th > 0.0);
+        // Clean traffic stays under the threshold; a 40 % energy bump
+        // does not.
+        assert!(rb.distance(&feats(2.0, 0.05, 9)).unwrap() < th);
+        let hot: Vec<f64> = feats(2.0, 0.05, 9).iter().map(|x| 1.4 * x).collect();
+        assert!(rb.distance(&hot).unwrap() > th);
+        // Drift tracking moves the centre but never the threshold.
+        let before = rb.model().unwrap().clone();
+        rb.observe(&feats(2.05, 0.05, 11)).unwrap();
+        let after = rb.model().unwrap();
+        assert!(rb.drift() > 0.0);
+        assert_ne!(before.center, after.center);
+        assert_eq!(before.threshold, after.threshold);
+    }
+
+    #[test]
+    fn bad_observations_are_rejected_without_state_change() {
+        let mut rb = RollingBaseline::new(SelfCalibratingConfig {
+            warmup: 3,
+            ..Default::default()
+        })
+        .unwrap();
+        rb.observe(&feats(1.0, 0.02, 0)).unwrap();
+        assert!(rb.observe(&[f64::NAN; 8]).is_err());
+        assert!(rb.observe(&[1.0; 4]).is_err());
+        assert!(rb.observe(&[]).is_err());
+        assert_eq!(rb.seen(), 1);
+    }
+
+    #[test]
+    fn degenerate_constant_warmup_still_detects_deviation() {
+        let mut rb = RollingBaseline::new(SelfCalibratingConfig {
+            warmup: 3,
+            ..Default::default()
+        })
+        .unwrap();
+        for _ in 0..3 {
+            rb.observe(&[1.0, 2.0, 3.0]).unwrap();
+        }
+        let th = rb.threshold().unwrap();
+        assert!(th > 0.0, "threshold must stay positive");
+        assert!(rb.distance(&[1.5, 2.0, 3.0]).unwrap() > th);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(DetectorReadiness::Ready.label(), "ready");
+        assert_eq!(
+            DetectorReadiness::Calibrating {
+                seen: 1,
+                required: 4
+            }
+            .label(),
+            "calibrating"
         );
-
-        // The EM sensor's per-trace alarms still catch T3.
-        let bench = TestBench::simulation(&chip).unwrap();
-        let golden_em = bench
-            .collect_with(KEY, STIM, 16, None, Channel::OnChipSensor, 2)
-            .unwrap();
-        let fp_em = GoldenFingerprint::fit(&golden_em, cfg).unwrap();
-        let armed_em = bench
-            .collect_with(
-                KEY,
-                STIM,
-                8,
-                Some(TrojanKind::T3CdmaLeaker),
-                Channel::OnChipSensor,
-                3,
-            )
-            .unwrap();
-        let over = fp_em
-            .set_distances(&armed_em)
-            .unwrap()
-            .into_iter()
-            .filter(|&d| d > fp_em.threshold())
-            .count();
-        assert!(
-            over * 2 >= 8,
-            "EM sensor must flag the majority of T3 traces ({over}/8)"
+        assert_eq!(
+            DetectorReadiness::NeedsGoldenTraces.label(),
+            "needs_golden_traces"
         );
-    }
-
-    #[test]
-    fn baseline_misses_the_leakage_channel() {
-        // T2's *leakage* channel is a DC effect buried in the supply
-        // noise; the power baseline's per-trace verdicts should be far
-        // weaker on T3 (tiny radiator) than on T4.
-        let chip = ProtectedChip::with_all_trojans();
-        let baseline = PowerBaseline::new(&chip).unwrap();
-        let cfg = FingerprintConfig {
-            pca_components: None,
-            ..FingerprintConfig::default()
-        };
-        let golden = baseline.collect(KEY, STIM, 12, None, 5).unwrap();
-        let fp = GoldenFingerprint::fit(&golden, cfg).unwrap();
-        let d3 = fp
-            .centroid_distance(
-                &baseline
-                    .collect(KEY, STIM, 8, Some(TrojanKind::T3CdmaLeaker), 6)
-                    .unwrap(),
-            )
-            .unwrap();
-        let d4 = fp
-            .centroid_distance(
-                &baseline
-                    .collect(KEY, STIM, 8, Some(TrojanKind::T4PowerDegrader), 6)
-                    .unwrap(),
-            )
-            .unwrap();
-        assert!(d4 > 3.0 * d3, "T4 ({d4:.3}) must dwarf T3 ({d3:.3})");
-    }
-
-    #[test]
-    fn deterministic_per_seed() {
-        let chip = ProtectedChip::golden();
-        let baseline = PowerBaseline::new(&chip).unwrap();
-        let a = baseline.collect(KEY, STIM, 1, None, 9).unwrap();
-        let b = baseline.collect(KEY, STIM, 1, None, 9).unwrap();
-        let c = baseline.collect(KEY, STIM, 1, None, 10).unwrap();
-        assert_eq!(a.traces(), b.traces());
-        assert_ne!(a.traces(), c.traces());
+        assert_eq!(
+            DetectorReadiness::NeedsGoldenWindow.label(),
+            "needs_golden_window"
+        );
+        assert_eq!(CalibrationState::Armed.label(), "armed");
+        assert!(CalibrationState::Armed.is_armed());
+        let c = CalibrationState::Calibrating { ready: 0, total: 2 };
+        assert_eq!(c.label(), "calibrating");
+        assert!(!c.is_armed());
+        assert!(
+            BaselineSource::self_calibrating(SelfCalibratingConfig::default()).is_reference_free()
+        );
+        assert!(!BaselineSource::golden(GoldenContext::new()).is_reference_free());
     }
 }

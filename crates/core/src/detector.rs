@@ -19,10 +19,13 @@
 //! bit-identical to serial ones.
 
 use crate::acquisition::TraceSet;
-use crate::features::FeatureFrame;
+use crate::baseline::{BaselineSource, DetectorReadiness, RollingBaseline};
+use crate::features::{bin_rms, FeatureFrame};
 use crate::fingerprint::{FingerprintConfig, GoldenFingerprint};
+use crate::health::SensorHealth;
 use crate::spectral::{SpectralAnomaly, SpectralConfig, SpectralDetector};
 use crate::TrustError;
+use emtrust_dsp::stats::median;
 use emtrust_dsp::window::Window;
 use emtrust_em::emf::VoltageTrace;
 use emtrust_telemetry as telemetry;
@@ -176,8 +179,50 @@ pub trait Detector: fmt::Debug + Send + Sync {
     /// slot; forwarded fitting errors otherwise.
     fn fit(&mut self, ctx: &GoldenContext<'_>) -> Result<(), TrustError>;
 
+    /// Fits the detector from a [`BaselineSource`]. The `Golden` arm
+    /// delegates to [`Self::fit`] bit-identically; the default
+    /// `SelfCalibrating` arm errors — detectors that can learn their
+    /// baseline from live traffic override this (and feed the learned
+    /// state through [`Self::calibrate`]).
+    ///
+    /// # Errors
+    ///
+    /// Forwarded [`Self::fit`] errors for `Golden`;
+    /// [`TrustError::InvalidParameter`] for an unsupported
+    /// `SelfCalibrating` source.
+    fn fit_baseline(&mut self, source: &BaselineSource<'_>) -> Result<(), TrustError> {
+        match source {
+            BaselineSource::Golden(ctx) => self.fit(ctx),
+            BaselineSource::SelfCalibrating(_) => Err(TrustError::InvalidParameter {
+                what: "detector does not support a self-calibrating baseline",
+            }),
+        }
+    }
+
     /// Whether the detector is ready to score.
     fn is_fitted(&self) -> bool;
+
+    /// The detector's explicit readiness judgement. The default derives
+    /// it from [`Self::is_fitted`], assuming the per-encryption golden
+    /// requirement; detectors with a window requirement or a
+    /// self-calibrating warm-up override this to tell the truth.
+    fn readiness(&self) -> DetectorReadiness {
+        if self.is_fitted() {
+            DetectorReadiness::Ready
+        } else {
+            DetectorReadiness::NeedsGoldenTraces
+        }
+    }
+
+    /// Serial self-calibration hook, called by the pipeline after
+    /// [`Self::absorb`] with the current sensor-health state. Detectors
+    /// fitted from a [`BaselineSource::SelfCalibrating`] feed their
+    /// rolling baseline here, and must skip the update when the sensor
+    /// is not [`SensorHealth::Healthy`] — a faulty channel must never
+    /// poison the learned normal. The default does nothing.
+    fn calibrate(&mut self, frame: &FeatureFrame<'_>, score: &Score, health: SensorHealth) {
+        let _ = (frame, score, health);
+    }
 
     /// Scores one observation. Pure — see the trait docs.
     ///
@@ -216,10 +261,18 @@ pub trait Detector: fmt::Debug + Send + Sync {
 /// The paper's Eq. 1 time-domain detector behind the [`Detector`]
 /// trait: Euclidean distance of the projected trace to the golden
 /// centroid, against the `EDth` threshold.
+///
+/// Fitted from a [`BaselineSource::SelfCalibrating`] instead, the
+/// detector learns a [`RollingBaseline`] from live traffic: raw RMS
+/// features (no golden PCA exists without golden traces) against the
+/// rolling robust centre, with the `median + k × MAD` threshold. During
+/// the warm-up it scores a benign `0 / 1` so it can never vote
+/// suspected before arming.
 #[derive(Debug, Clone)]
 pub struct EuclideanDetector {
     config: FingerprintConfig,
     fingerprint: Option<GoldenFingerprint>,
+    selfcal: Option<RollingBaseline>,
 }
 
 impl EuclideanDetector {
@@ -228,21 +281,31 @@ impl EuclideanDetector {
         Self {
             config: fingerprint.config(),
             fingerprint: Some(fingerprint),
+            selfcal: None,
         }
     }
 
     /// An unfitted detector that will fit itself from a
-    /// [`GoldenContext`]'s traces.
+    /// [`GoldenContext`]'s traces (or from live traffic through a
+    /// self-calibrating [`BaselineSource`]).
     pub fn from_config(config: FingerprintConfig) -> Self {
         Self {
             config,
             fingerprint: None,
+            selfcal: None,
         }
     }
 
-    /// The fitted fingerprint, if any.
+    /// The fitted fingerprint, if any (`None` in self-calibrating
+    /// mode — there is no golden model to expose).
     pub fn fingerprint(&self) -> Option<&GoldenFingerprint> {
         self.fingerprint.as_ref()
+    }
+
+    /// The rolling baseline, when fitted from a self-calibrating
+    /// source.
+    pub fn rolling_baseline(&self) -> Option<&RollingBaseline> {
+        self.selfcal.as_ref()
     }
 }
 
@@ -257,7 +320,9 @@ impl Detector for EuclideanDetector {
 
     fn feature_plan(&self) -> FeaturePlan {
         FeaturePlan {
-            needs_projection: true,
+            // Self-calibrating mode scores raw RMS features — there is
+            // no golden projection to request from the featurizer.
+            needs_projection: self.selfcal.is_none(),
             needs_spectrum: false,
         }
     }
@@ -267,14 +332,57 @@ impl Detector for EuclideanDetector {
             what: "euclidean detector needs golden traces to fit",
         })?;
         self.fingerprint = Some(GoldenFingerprint::fit(traces, self.config)?);
+        self.selfcal = None;
         Ok(())
     }
 
+    fn fit_baseline(&mut self, source: &BaselineSource<'_>) -> Result<(), TrustError> {
+        match source {
+            BaselineSource::Golden(ctx) => self.fit(ctx),
+            BaselineSource::SelfCalibrating(cfg) => {
+                self.fingerprint = None;
+                self.selfcal = Some(RollingBaseline::new(*cfg)?);
+                Ok(())
+            }
+        }
+    }
+
     fn is_fitted(&self) -> bool {
-        self.fingerprint.is_some()
+        self.fingerprint.is_some() || self.selfcal.is_some()
+    }
+
+    fn readiness(&self) -> DetectorReadiness {
+        if self.fingerprint.is_some() {
+            return DetectorReadiness::Ready;
+        }
+        match &self.selfcal {
+            Some(rb) if rb.is_armed() => DetectorReadiness::Ready,
+            Some(rb) => DetectorReadiness::Calibrating {
+                seen: rb.seen().min(u64::from(u32::MAX)) as u32,
+                required: rb.required().min(u32::MAX as usize) as u32,
+            },
+            None => DetectorReadiness::NeedsGoldenTraces,
+        }
     }
 
     fn score(&self, frame: &FeatureFrame<'_>) -> Result<Score, TrustError> {
+        if let Some(rb) = &self.selfcal {
+            if !rb.is_armed() {
+                // Warm-up: benign by construction (0 < 1 never votes).
+                return Ok(Score {
+                    statistic: 0.0,
+                    threshold: 1.0,
+                    detail: ScoreDetail::None,
+                });
+            }
+            telemetry::counter("fingerprint.evaluations", 1);
+            let feats = bin_rms(frame.samples(), rb.config().rms_bin)?;
+            return Ok(Score {
+                statistic: rb.distance(&feats)?,
+                threshold: rb.threshold()?,
+                detail: ScoreDetail::None,
+            });
+        }
         let fp = self
             .fingerprint
             .as_ref()
@@ -293,6 +401,28 @@ impl Detector for EuclideanDetector {
         })
     }
 
+    fn calibrate(&mut self, frame: &FeatureFrame<'_>, score: &Score, health: SensorHealth) {
+        let Some(rb) = &mut self.selfcal else {
+            return;
+        };
+        // Health gate: an unhealthy channel must not shape the normal.
+        if health != SensorHealth::Healthy {
+            telemetry::counter("baseline.calibrate_skips", 1);
+            return;
+        }
+        // Verdict gate: once armed, suspected observations are kept out
+        // of the drift tracking so an attacker cannot walk the centre.
+        if rb.is_armed() && score.statistic > score.threshold {
+            telemetry::counter("baseline.calibrate_skips", 1);
+            return;
+        }
+        let update =
+            bin_rms(frame.samples(), rb.config().rms_bin).and_then(|feats| rb.observe(&feats));
+        if update.is_err() {
+            telemetry::counter("baseline.calibrate_skips", 1);
+        }
+    }
+
     fn projector(&self) -> Option<&GoldenFingerprint> {
         self.fingerprint.as_ref()
     }
@@ -302,10 +432,26 @@ impl Detector for EuclideanDetector {
 /// trait: bin-wise comparison of the window's Welch spectrum against
 /// the golden spectrum. The statistic is the anomalous-spot count
 /// against a threshold of zero, so any spot votes suspected.
+///
+/// Fitted from a [`BaselineSource::SelfCalibrating`] instead, the
+/// detector collects a warm-up ring of live windows and synthesizes its
+/// own golden window as the per-sample median across the ring (a robust
+/// estimate: a single glitched window cannot shape it), then fits the
+/// inner [`SpectralDetector`] on that. The synthesized reference is
+/// frozen at arming — spectra do not drift-track.
 #[derive(Debug, Clone)]
 pub struct SpectralWindowDetector {
     config: SpectralConfig,
     detector: Option<SpectralDetector>,
+    selfcal: Option<WindowWarmup>,
+}
+
+/// Warm-up ring of a self-calibrating [`SpectralWindowDetector`].
+#[derive(Debug, Clone)]
+struct WindowWarmup {
+    required: usize,
+    ring: Vec<Vec<f64>>,
+    sample_rate_hz: Option<f64>,
 }
 
 impl SpectralWindowDetector {
@@ -314,21 +460,52 @@ impl SpectralWindowDetector {
         Self {
             config: detector.config(),
             detector: Some(detector),
+            selfcal: None,
         }
     }
 
     /// An unfitted detector that will fit itself from a
-    /// [`GoldenContext`]'s window.
+    /// [`GoldenContext`]'s window (or from live traffic through a
+    /// self-calibrating [`BaselineSource`]).
     pub fn from_config(config: SpectralConfig) -> Self {
         Self {
             config,
             detector: None,
+            selfcal: None,
         }
     }
 
     /// The fitted inner detector, if any.
     pub fn inner(&self) -> Option<&SpectralDetector> {
         self.detector.as_ref()
+    }
+
+    /// Fits the inner detector on the per-sample median of the warm-up
+    /// ring. A failed fit restarts the warm-up instead of wedging.
+    fn arm_from_warmup(&mut self) {
+        let Some(w) = &self.selfcal else {
+            return;
+        };
+        let (Some(rate), Some(len)) = (w.sample_rate_hz, w.ring.first().map(Vec::len)) else {
+            return;
+        };
+        let mut column = Vec::with_capacity(w.ring.len());
+        let mut samples = Vec::with_capacity(len);
+        for i in 0..len {
+            column.clear();
+            column.extend(w.ring.iter().map(|r| r[i]));
+            samples.push(median(&column));
+        }
+        let synthetic = VoltageTrace::new(samples, rate);
+        match SpectralDetector::fit(&synthetic, self.config) {
+            Ok(det) => self.detector = Some(det),
+            Err(_) => {
+                telemetry::counter("baseline.calibrate_skips", 1);
+                if let Some(w) = &mut self.selfcal {
+                    w.ring.clear();
+                }
+            }
+        }
     }
 }
 
@@ -353,17 +530,60 @@ impl Detector for SpectralWindowDetector {
             what: "spectral detector needs a golden window to fit",
         })?;
         self.detector = Some(SpectralDetector::fit(window, self.config)?);
+        self.selfcal = None;
         Ok(())
     }
 
+    fn fit_baseline(&mut self, source: &BaselineSource<'_>) -> Result<(), TrustError> {
+        match source {
+            BaselineSource::Golden(ctx) => self.fit(ctx),
+            BaselineSource::SelfCalibrating(cfg) => {
+                cfg.validate()?;
+                self.detector = None;
+                self.selfcal = Some(WindowWarmup {
+                    required: cfg.warmup,
+                    ring: Vec::with_capacity(cfg.warmup),
+                    sample_rate_hz: None,
+                });
+                Ok(())
+            }
+        }
+    }
+
     fn is_fitted(&self) -> bool {
-        self.detector.is_some()
+        self.detector.is_some() || self.selfcal.is_some()
+    }
+
+    fn readiness(&self) -> DetectorReadiness {
+        if self.detector.is_some() {
+            return DetectorReadiness::Ready;
+        }
+        match &self.selfcal {
+            Some(w) => DetectorReadiness::Calibrating {
+                seen: w.ring.len().min(u32::MAX as usize) as u32,
+                required: w.required.min(u32::MAX as usize) as u32,
+            },
+            None => DetectorReadiness::NeedsGoldenWindow,
+        }
     }
 
     fn score(&self, frame: &FeatureFrame<'_>) -> Result<Score, TrustError> {
-        let det = self.detector.as_ref().ok_or(TrustError::InvalidParameter {
-            what: "spectral detector is not fitted",
-        })?;
+        let Some(det) = self.detector.as_ref() else {
+            if self.selfcal.is_some() {
+                // Warm-up: zero spots against the zero threshold never
+                // votes suspected (the verdict comparison is strict).
+                return Ok(Score {
+                    statistic: 0.0,
+                    threshold: 0.0,
+                    detail: ScoreDetail::Spectral {
+                        anomalies: Vec::new(),
+                    },
+                });
+            }
+            return Err(TrustError::InvalidParameter {
+                what: "spectral detector is not fitted",
+            });
+        };
         let spectrum = frame.spectrum().ok_or(TrustError::InvalidParameter {
             what: "feature frame is missing the spectrum",
         })?;
@@ -375,11 +595,51 @@ impl Detector for SpectralWindowDetector {
         })
     }
 
+    fn calibrate(&mut self, frame: &FeatureFrame<'_>, _score: &Score, health: SensorHealth) {
+        if self.detector.is_some() {
+            return;
+        }
+        let Some(w) = &mut self.selfcal else {
+            return;
+        };
+        if health != SensorHealth::Healthy {
+            telemetry::counter("baseline.calibrate_skips", 1);
+            return;
+        }
+        let samples = frame.samples();
+        let rate = frame.sample_rate_hz();
+        let compatible = match (w.ring.first(), w.sample_rate_hz, rate) {
+            (None, _, Some(_)) => true,
+            (Some(first), Some(expected), Some(actual)) => {
+                first.len() == samples.len() && (actual - expected).abs() <= 1e-6 * expected
+            }
+            _ => false,
+        };
+        if !compatible || samples.iter().any(|x| !x.is_finite()) {
+            telemetry::counter("baseline.calibrate_skips", 1);
+            return;
+        }
+        w.sample_rate_hz = rate;
+        w.ring.push(samples.to_vec());
+        if w.ring.len() >= w.required {
+            self.arm_from_warmup();
+        }
+    }
+
     fn welch_spec(&self) -> Option<WelchSpec> {
-        self.detector.as_ref().map(|d| WelchSpec {
+        if let Some(d) = self.detector.as_ref() {
+            return Some(WelchSpec {
+                window: self.config.window,
+                segments: self.config.welch_segments,
+                expected_rate_hz: Some(d.golden_spectrum().sample_rate_hz()),
+            });
+        }
+        // Calibrating: lend the configured Welch settings with no rate
+        // pin, so the pipeline can featurize warm-up windows.
+        self.selfcal.as_ref().map(|_| WelchSpec {
             window: self.config.window,
             segments: self.config.welch_segments,
-            expected_rate_hz: Some(d.golden_spectrum().sample_rate_hz()),
+            expected_rate_hz: None,
         })
     }
 }

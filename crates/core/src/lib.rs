@@ -94,12 +94,18 @@ pub mod monitor;
 pub mod parallel;
 pub mod persistence;
 pub mod pipeline;
+pub mod power_baseline;
 pub mod sanitize;
 pub mod spectral;
 
 pub use acquisition::{RetryPolicy, RobustCollection, TestBench, TraceReport, TraceSet};
 pub use array::{
-    ArrayBuilder, ArrayConfig, ArrayVerdict, Localizer, RegionScore, SensorArray, TileScore,
+    ArrayBuilder, ArrayConfig, ArrayVerdict, ConsensusConfig, ConsensusDetector, Localizer,
+    RegionScore, SensorArray, TileScore,
+};
+pub use baseline::{
+    BaselineSource, CalibrationState, DetectorReadiness, RobustModel, RollingBaseline,
+    SelfCalibratingConfig,
 };
 pub use detector::{
     Detector, DetectorDomain, DetectorVerdict, EuclideanDetector, GoldenContext, Score,

@@ -280,8 +280,8 @@ impl BatchIngest {
 /// ```
 ///
 /// With only the fingerprint (optionally plus `with_spectral`), the
-/// built monitor is bit-identical to the deprecated positional
-/// `TrustMonitor::new(fingerprint, spectral)` constructor.
+/// built monitor is bit-identical to the paper's fixed two-detector
+/// data-analysis module.
 #[derive(Debug)]
 #[must_use = "a builder does nothing until .build() is called"]
 pub struct TrustMonitorBuilder {
@@ -434,20 +434,6 @@ impl TrustMonitor {
             labels: LabelSet::new(),
             decision_forensics: None,
         }
-    }
-
-    /// Creates a monitor from a fitted fingerprint and an optional
-    /// spectral detector.
-    #[deprecated(
-        since = "0.1.0",
-        note = "compose the monitor with `TrustMonitor::builder(fingerprint)` instead"
-    )]
-    pub fn new(fingerprint: GoldenFingerprint, spectral: Option<SpectralDetector>) -> Self {
-        let mut builder = Self::builder(fingerprint);
-        if let Some(det) = spectral {
-            builder = builder.with_spectral(det);
-        }
-        builder.build()
     }
 
     /// Resizes the forensic rings to hold the last `depth` observations
@@ -1104,24 +1090,23 @@ mod tests {
     }
 
     #[test]
-    fn builder_matches_the_deprecated_constructor_alarm_for_alarm() {
+    fn identically_built_monitors_agree_alarm_for_alarm() {
         let golden = synthetic_set(32, 1.0, 1);
         let fp = GoldenFingerprint::fit(&golden, FingerprintConfig::default()).unwrap();
-        #[allow(deprecated)]
-        let mut legacy = TrustMonitor::new(fp.clone(), None);
-        let mut built = TrustMonitor::builder(fp).build();
+        let mut first = TrustMonitor::builder(fp.clone()).build();
+        let mut second = TrustMonitor::builder(fp).build();
         let traces: Vec<Vec<f64>> = synthetic_set(6, 1.0, 2)
             .traces()
             .iter()
             .chain(synthetic_set(2, 1.4, 3).traces())
             .cloned()
             .collect();
-        let a = legacy.ingest_batch(&traces).unwrap();
-        let b = built.ingest_batch(&traces).unwrap();
+        let a = first.ingest_batch(&traces).unwrap();
+        let b = second.ingest_batch(&traces).unwrap();
         assert_eq!(a, b);
-        assert_eq!(legacy.alarms(), built.alarms());
-        assert_eq!(legacy.alarm_rate(), built.alarm_rate());
-        assert_eq!(legacy.traces_seen(), built.traces_seen());
+        assert_eq!(first.alarms(), second.alarms());
+        assert_eq!(first.alarm_rate(), second.alarm_rate());
+        assert_eq!(first.traces_seen(), second.traces_seen());
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! deterministic; scoring is read-only and the run bookkeeping happens
 //! in the serial [`absorb`](Detector::absorb) stage.
 
+use crate::baseline::{BaselineSource, DetectorReadiness};
 use crate::detector::{
     Detector, DetectorDomain, FeaturePlan, GoldenContext, Score, ScoreDetail, WelchSpec,
 };
@@ -164,7 +165,9 @@ impl Detector for SpectralPersistenceDetector {
     }
 
     /// Reference-free: resets the learned state and succeeds on any
-    /// context (the golden material, if present, is ignored).
+    /// context (the golden material, if present, is ignored). The
+    /// readiness contract makes the warm-up explicit — after a reset
+    /// [`Detector::readiness`] reports `Calibrating`, not `Ready`.
     fn fit(&mut self, _ctx: &GoldenContext<'_>) -> Result<(), TrustError> {
         self.windows_absorbed = 0;
         self.baseline.clear();
@@ -172,9 +175,34 @@ impl Detector for SpectralPersistenceDetector {
         Ok(())
     }
 
+    /// Reference-free: both baseline sources reset the learned state
+    /// (the detector has always calibrated itself from live windows).
+    fn fit_baseline(&mut self, source: &BaselineSource<'_>) -> Result<(), TrustError> {
+        match source {
+            BaselineSource::Golden(ctx) => self.fit(ctx),
+            BaselineSource::SelfCalibrating(cfg) => {
+                cfg.validate()?;
+                self.fit(&GoldenContext::new())
+            }
+        }
+    }
+
     /// Always fitted — the baseline is learned on the fly.
     fn is_fitted(&self) -> bool {
         true
+    }
+
+    /// `Calibrating` while the warm-up whitelist is still learning —
+    /// the truth the boolean `is_fitted` hides.
+    fn readiness(&self) -> DetectorReadiness {
+        if self.in_warmup() {
+            DetectorReadiness::Calibrating {
+                seen: self.windows_absorbed,
+                required: self.config.warmup_windows,
+            }
+        } else {
+            DetectorReadiness::Ready
+        }
     }
 
     fn score(&self, frame: &FeatureFrame<'_>) -> Result<Score, TrustError> {

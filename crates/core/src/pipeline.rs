@@ -27,6 +27,7 @@
 //! compatibility wrapper over a pipeline with an Euclidean detector, an
 //! optional spectral detector, and [`FusionPolicy::Or`].
 
+use crate::baseline::{BaselineSource, CalibrationState};
 use crate::detector::{Detector, DetectorDomain, DetectorVerdict, GoldenContext, Score, WelchSpec};
 use crate::features::FeatureFrame;
 use crate::fingerprint::GoldenFingerprint;
@@ -233,6 +234,7 @@ impl PipelineBuilder {
             trace_detector_labels,
             window_detector_labels,
             forensics: self.forensics.map(PipelineForensics::new),
+            self_calibrating: false,
             pending_window_transition: None,
             traces_seen: 0,
             traces_rejected: 0,
@@ -292,6 +294,10 @@ pub struct DetectionPipeline {
     trace_detector_labels: Vec<LabelSet>,
     window_detector_labels: Vec<LabelSet>,
     forensics: Option<PipelineForensics>,
+    /// Whether the pipeline was fitted from a self-calibrating baseline
+    /// source; gates the calibration-state stamp on decision records so
+    /// golden pipelines stay byte-identical.
+    self_calibrating: bool,
     /// Health transition captured by the checked window path for the
     /// decision record the subsequent scoring pass emits.
     pending_window_transition: Option<(String, String)>,
@@ -321,12 +327,73 @@ impl DetectionPipeline {
         for d in &mut self.detectors {
             d.fit(ctx)?;
         }
+        self.self_calibrating = false;
         Ok(())
+    }
+
+    /// Fits every registered detector from a [`BaselineSource`], in
+    /// registration order. The `Golden` arm is exactly [`Self::fit`];
+    /// the `SelfCalibrating` arm puts every detector into its warm-up —
+    /// the pipeline then runs the calibration state machine
+    /// ([`Self::calibration_state`]): observations feed the rolling
+    /// baselines through the serial calibrate hook (gated on sensor
+    /// health) until every detector reports ready, and nothing can
+    /// alarm before that.
+    ///
+    /// # Errors
+    ///
+    /// The first detector's fitting error (later detectors are left
+    /// unfitted), or [`TrustError::InvalidParameter`] if a registered
+    /// detector cannot self-calibrate.
+    pub fn fit_baseline(&mut self, source: &BaselineSource<'_>) -> Result<(), TrustError> {
+        match source {
+            BaselineSource::Golden(ctx) => self.fit(ctx),
+            BaselineSource::SelfCalibrating(_) => {
+                let _span = telemetry::span("pipeline_fit");
+                for d in &mut self.detectors {
+                    d.fit_baseline(source)?;
+                }
+                self.self_calibrating = true;
+                Ok(())
+            }
+        }
     }
 
     /// Whether every registered detector is ready to score.
     pub fn is_fitted(&self) -> bool {
         self.detectors.iter().all(|d| d.is_fitted())
+    }
+
+    /// Whether the pipeline was fitted from a self-calibrating
+    /// (golden-model-free) baseline source.
+    pub fn is_self_calibrating(&self) -> bool {
+        self.self_calibrating
+    }
+
+    /// The calibration state machine's judgement: `Armed` once every
+    /// registered detector reports [`DetectorReadiness::Ready`],
+    /// `Calibrating` (with the ready count) before that. Meaningful for
+    /// golden pipelines too — an unfitted detector keeps the pipeline
+    /// out of `Armed`.
+    ///
+    /// [`DetectorReadiness::Ready`]: crate::baseline::DetectorReadiness
+    pub fn calibration_state(&self) -> CalibrationState {
+        let total = self.detectors.len();
+        let ready = self
+            .detectors
+            .iter()
+            .filter(|d| d.readiness().is_ready())
+            .count();
+        if ready == total {
+            CalibrationState::Armed
+        } else {
+            CalibrationState::Calibrating { ready, total }
+        }
+    }
+
+    /// Per-detector readiness, in registration order.
+    pub fn detector_readiness(&self) -> Vec<crate::baseline::DetectorReadiness> {
+        self.detectors.iter().map(|d| d.readiness()).collect()
     }
 
     /// The registered detectors, in registration (vote) order.
@@ -533,6 +600,9 @@ impl DetectionPipeline {
         rec.fused_alarm = alarm.is_some();
         rec.correlation_id = alarm.map(|a| a.correlation_id);
         rec.digest = Some(digest);
+        if self.self_calibrating {
+            rec.calibration = Some(self.calibration_state().label().to_string());
+        }
         rec
     }
 
@@ -542,6 +612,9 @@ impl DetectionPipeline {
         rec.verdict = "rejected".to_string();
         rec.reject_reason = Some(reason.label().to_string());
         rec.labels = self.labels.clone();
+        if self.self_calibrating {
+            rec.calibration = Some(self.calibration_state().label().to_string());
+        }
         rec
     }
 
@@ -606,12 +679,17 @@ impl DetectionPipeline {
             .collect()
     }
 
-    /// Runs the serial absorb hooks of one domain's detectors.
+    /// Runs the serial absorb and calibrate hooks of one domain's
+    /// detectors. The calibrate hook receives the current sensor-health
+    /// state so self-calibrating baselines can gate their updates (a
+    /// no-op for golden-fitted detectors).
     fn absorb_hooks(&mut self, domain: DetectorDomain, frame: &FeatureFrame<'_>, scores: &[Score]) {
+        let health = self.health.state();
         let mut scores = scores.iter();
         for d in self.detectors.iter_mut().filter(|d| d.domain() == domain) {
             if let Some(s) = scores.next() {
                 d.absorb(frame, s);
+                d.calibrate(frame, s, health);
             }
         }
     }

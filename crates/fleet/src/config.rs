@@ -82,6 +82,32 @@ impl Default for StoreConfig {
     }
 }
 
+/// Where a fleet chip's baseline comes from (see
+/// [`emtrust::baseline`](emtrust::BaselineSource) for the underlying
+/// contract).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum BaselineMode {
+    /// Cold-start collects each new chip's first `golden_traces` clean
+    /// traces as its golden set, then fits a per-chip fingerprint.
+    #[default]
+    Golden,
+    /// Golden-model-free: each new chip gets a self-calibrating
+    /// pipeline immediately and learns a rolling robust baseline from
+    /// its own live traffic (`golden_traces` becomes the warm-up
+    /// length). No golden fit ever happens.
+    SelfCalibrating,
+}
+
+impl BaselineMode {
+    /// Stable label for telemetry and artifacts.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BaselineMode::Golden => "golden",
+            BaselineMode::SelfCalibrating => "self_calibrating",
+        }
+    }
+}
+
 /// Top-level fleet service configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetConfig {
@@ -105,8 +131,12 @@ pub struct FleetConfig {
     pub seed: u64,
     /// Clean traces a new chip must contribute before its golden
     /// fingerprint is fitted (graceful cold-start). Must be ≥ 2 — the
-    /// fingerprint fit refuses smaller baselines.
+    /// fingerprint fit refuses smaller baselines. Under
+    /// [`BaselineMode::SelfCalibrating`] this is the rolling baseline's
+    /// warm-up length instead.
     pub golden_traces: usize,
+    /// Where per-chip baselines come from.
+    pub baseline_mode: BaselineMode,
 }
 
 impl Default for FleetConfig {
@@ -120,6 +150,7 @@ impl Default for FleetConfig {
             store: StoreConfig::default(),
             seed: 0xF1EE_7000,
             golden_traces: 8,
+            baseline_mode: BaselineMode::default(),
         }
     }
 }
@@ -188,7 +219,17 @@ mod tests {
 
     #[test]
     fn default_config_validates() {
-        assert!(FleetConfig::default().validate().is_ok());
+        let cfg = FleetConfig::default();
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.baseline_mode, BaselineMode::Golden);
+        assert_eq!(BaselineMode::Golden.label(), "golden");
+        assert_eq!(BaselineMode::SelfCalibrating.label(), "self_calibrating");
+        assert!(FleetConfig {
+            baseline_mode: BaselineMode::SelfCalibrating,
+            ..FleetConfig::default()
+        }
+        .validate()
+        .is_ok());
     }
 
     #[test]
@@ -243,6 +284,12 @@ mod tests {
             ("golden_traces vs window", {
                 let mut c = base.clone();
                 c.golden_traces = c.store.baseline_window + 1;
+                c
+            }),
+            ("self-calibrating warmup", {
+                let mut c = base.clone();
+                c.baseline_mode = BaselineMode::SelfCalibrating;
+                c.golden_traces = 1;
                 c
             }),
         ];

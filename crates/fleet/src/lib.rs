@@ -98,7 +98,7 @@ pub mod store;
 
 pub use breaker::{BreakerState, CircuitBreaker};
 pub use chaos::{ChaosStats, ChaosTransport};
-pub use config::{BreakerConfig, DispatchConfig, FleetConfig, StoreConfig};
+pub use config::{BaselineMode, BreakerConfig, DispatchConfig, FleetConfig, StoreConfig};
 pub use service::{
     AdmissionVerdict, ChipStatus, FleetService, FleetSummary, IngestReceipt, ShardSnapshot,
 };

@@ -260,10 +260,18 @@ impl FleetService {
             let worker_shared = Arc::clone(&shared);
             let store_cfg = cfg.store;
             let golden_traces = cfg.golden_traces;
+            let baseline_mode = cfg.baseline_mode;
             let handle = std::thread::Builder::new()
                 .name(format!("fleet-shard-{shard_index}"))
                 .spawn(move || {
-                    shard_worker(shard_index, store_cfg, golden_traces, worker_shared, rx)
+                    shard_worker(
+                        shard_index,
+                        store_cfg,
+                        golden_traces,
+                        baseline_mode,
+                        worker_shared,
+                        rx,
+                    )
                 })
                 .map_err(|_| FleetError::ShardDown { shard: shard_index })?;
             shards.push(Shard {
@@ -551,11 +559,17 @@ fn shard_worker(
     shard_index: usize,
     store_cfg: crate::config::StoreConfig,
     golden_traces: usize,
+    baseline_mode: crate::config::BaselineMode,
     shared: Arc<ShardShared>,
     rx: Receiver<Job>,
 ) -> StoreReport {
     let shard_labels = LabelSet::new().with("shard", shard_index.to_string());
-    let mut store = PipelineStore::new(store_cfg, golden_traces, shard_labels.clone());
+    let mut store = PipelineStore::new(
+        store_cfg,
+        golden_traces,
+        baseline_mode,
+        shard_labels.clone(),
+    );
     let mut scored = 0u64;
     let mut rejected = 0u64;
     let mut alarms = 0u64;

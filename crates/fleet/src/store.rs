@@ -21,11 +21,11 @@ use std::collections::{HashMap, VecDeque};
 
 use emtrust::telemetry::LabelSet;
 use emtrust::{
-    DetectionPipeline, EuclideanDetector, FingerprintConfig, GoldenFingerprint, SensorHealth,
-    TraceSanitizer, TraceSet,
+    BaselineSource, DetectionPipeline, EuclideanDetector, FingerprintConfig, GoldenFingerprint,
+    SelfCalibratingConfig, SensorHealth, TraceSanitizer, TraceSet,
 };
 
-use crate::config::StoreConfig;
+use crate::config::{BaselineMode, StoreConfig};
 use crate::FleetError;
 
 /// Nominal acquisition rate stamped on refit golden sets — matches the
@@ -92,6 +92,7 @@ struct ColdRecord {
 pub struct PipelineStore {
     config: StoreConfig,
     golden_traces: usize,
+    mode: BaselineMode,
     shard_labels: LabelSet,
     hot: HashMap<String, ChipEntry>,
     cold: HashMap<String, ColdRecord>,
@@ -104,12 +105,19 @@ pub struct PipelineStore {
 
 impl PipelineStore {
     /// An empty store for one shard. `golden_traces` is the clean-trace
-    /// count that completes a cold-start; `shard_labels` is stamped on
+    /// count that completes a cold-start (the warm-up length under
+    /// [`BaselineMode::SelfCalibrating`]); `shard_labels` is stamped on
     /// every per-chip pipeline's metrics.
-    pub fn new(config: StoreConfig, golden_traces: usize, shard_labels: LabelSet) -> Self {
+    pub fn new(
+        config: StoreConfig,
+        golden_traces: usize,
+        mode: BaselineMode,
+        shard_labels: LabelSet,
+    ) -> Self {
         PipelineStore {
             config,
             golden_traces: golden_traces.max(2),
+            mode,
             shard_labels,
             hot: HashMap::new(),
             cold: HashMap::new(),
@@ -119,6 +127,11 @@ impl PipelineStore {
             fits: 0,
             refits: 0,
         }
+    }
+
+    /// The baseline mode every chip entry is built with.
+    pub fn mode(&self) -> BaselineMode {
+        self.mode
     }
 
     /// Hot chips currently resident.
@@ -180,17 +193,29 @@ impl PipelineStore {
             self.make_room();
             let entry = match self.cold.remove(chip_id) {
                 Some(rec) => self.revive(chip_id, rec)?,
-                None => ChipEntry {
-                    pipeline: None,
-                    baseline: VecDeque::new(),
-                    last_used: 0,
-                    streak: 0,
-                    stats: ChipStats {
-                        hot: true,
-                        ..ChipStats::default()
-                    },
-                    labels: self.shard_labels.with("chip", chip_id),
-                },
+                None => {
+                    let labels = self.shard_labels.with("chip", chip_id);
+                    // Self-calibrating mode protects a brand-new chip
+                    // immediately: its pipeline exists from the first
+                    // trace and arms itself from live traffic.
+                    let pipeline = match self.mode {
+                        BaselineMode::Golden => None,
+                        BaselineMode::SelfCalibrating => {
+                            Some(build_selfcal_pipeline(self.golden_traces, labels.clone())?)
+                        }
+                    };
+                    ChipEntry {
+                        pipeline,
+                        baseline: VecDeque::new(),
+                        last_used: 0,
+                        streak: 0,
+                        stats: ChipStats {
+                            hot: true,
+                            ..ChipStats::default()
+                        },
+                        labels,
+                    }
+                }
             };
             self.hot.insert(chip_id.to_string(), entry);
         }
@@ -224,9 +249,21 @@ impl PipelineStore {
         for trace in traces {
             match &mut entry.pipeline {
                 Some(pipeline) => {
+                    let was_armed = pipeline.calibration_state().is_armed();
                     let o = pipeline.ingest_trace(trace);
                     if o.index.is_some() {
-                        out.scored += 1;
+                        let armed = pipeline.calibration_state().is_armed();
+                        if pipeline.is_self_calibrating() && !was_armed {
+                            // Still warming the rolling baseline; the
+                            // trace that completes it arms the chip.
+                            out.warmup += 1;
+                            if armed {
+                                out.fitted_now = true;
+                                self.fits += 1;
+                            }
+                        } else {
+                            out.scored += 1;
+                        }
                         entry.stats.scored += 1;
                         push_baseline(&mut entry.baseline, trace, baseline_window);
                     } else {
@@ -269,16 +306,32 @@ impl PipelineStore {
         Ok(out)
     }
 
-    /// Rebuilds a returning chip's entry from its cold record,
-    /// re-fitting the fingerprint from the retained baseline.
+    /// Rebuilds a returning chip's entry from its cold record —
+    /// re-fitting the fingerprint from the retained baseline in golden
+    /// mode, replaying the baseline into a fresh rolling warm-up in
+    /// self-calibrating mode.
     fn revive(&mut self, chip_id: &str, rec: ColdRecord) -> Result<ChipEntry, FleetError> {
         let labels = self.shard_labels.with("chip", chip_id);
         let baseline: VecDeque<Vec<f64>> = rec.baseline.into_iter().collect();
-        let pipeline = if baseline.len() >= 2 {
-            self.refits += 1;
-            Some(build_pipeline(&baseline, labels.clone())?)
-        } else {
-            None
+        let pipeline = match self.mode {
+            BaselineMode::Golden => {
+                if baseline.len() >= 2 {
+                    self.refits += 1;
+                    Some(build_pipeline(&baseline, labels.clone())?)
+                } else {
+                    None
+                }
+            }
+            BaselineMode::SelfCalibrating => {
+                let mut pipeline = build_selfcal_pipeline(self.golden_traces, labels.clone())?;
+                if !baseline.is_empty() {
+                    self.refits += 1;
+                    for trace in &baseline {
+                        let _ = pipeline.ingest_trace(trace);
+                    }
+                }
+                Some(pipeline)
+            }
         };
         let mut stats = rec.stats;
         stats.hot = true;
@@ -379,6 +432,28 @@ fn build_pipeline(
         .build())
 }
 
+/// Wraps a self-calibrating Euclidean detector in a fresh per-chip
+/// pipeline: the rolling baseline arms after `warmup` live traces and
+/// no golden material is ever consulted.
+fn build_selfcal_pipeline(
+    warmup: usize,
+    labels: LabelSet,
+) -> Result<DetectionPipeline, FleetError> {
+    let cfg = SelfCalibratingConfig {
+        warmup,
+        ..SelfCalibratingConfig::default()
+    };
+    let mut pipeline = DetectionPipeline::builder()
+        .detector(Box::new(EuclideanDetector::from_config(
+            FingerprintConfig::default(),
+        )))
+        .sanitizer(TraceSanitizer::default())
+        .labels(labels)
+        .build();
+    pipeline.fit_baseline(&BaselineSource::self_calibrating(cfg))?;
+    Ok(pipeline)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -389,7 +464,18 @@ mod tests {
             .collect()
     }
 
-    fn store(capacity: usize) -> PipelineStore {
+    /// Like [`clean_trace`] but with hash-derived jitter, so rolling
+    /// robust statistics see a non-degenerate spread.
+    fn noisy_trace(seed: u64) -> Vec<f64> {
+        (0..64)
+            .map(|i| {
+                let h = ((i as f64 + 1.0) * (seed as f64 + 1.0) * 12.9898).sin() * 43758.5453;
+                (i as f64 * 0.2).sin() + 0.01 * (h - h.floor() - 0.5)
+            })
+            .collect()
+    }
+
+    fn store_with_mode(capacity: usize, mode: BaselineMode) -> PipelineStore {
         PipelineStore::new(
             StoreConfig {
                 capacity,
@@ -397,8 +483,13 @@ mod tests {
                 cold_capacity: 8,
             },
             3,
+            mode,
             LabelSet::new().with("shard", "0"),
         )
+    }
+
+    fn store(capacity: usize) -> PipelineStore {
+        store_with_mode(capacity, BaselineMode::Golden)
     }
 
     fn warm(store: &mut PipelineStore, chip: &str) {
@@ -486,5 +577,54 @@ mod tests {
         let out = s.ingest("a", &[clean_trace(0), vec![1.0; 32]]).unwrap();
         assert_eq!(out.warmup, 1);
         assert_eq!(out.rejected, 1);
+    }
+
+    #[test]
+    fn self_calibrating_chip_is_protected_without_golden_fit() {
+        // A 6-trace warm-up keeps the MAD-based threshold away from the
+        // degenerate tiny-spread regime.
+        let mut s = PipelineStore::new(
+            StoreConfig {
+                capacity: 4,
+                baseline_window: 6,
+                cold_capacity: 8,
+            },
+            6,
+            BaselineMode::SelfCalibrating,
+            LabelSet::new().with("shard", "0"),
+        );
+        assert_eq!(s.mode(), BaselineMode::SelfCalibrating);
+        // Warm-up traces flow through the live pipeline; the sixth one
+        // arms the rolling baseline.
+        let warmup: Vec<Vec<f64>> = (0..6).map(noisy_trace).collect();
+        let out = s.ingest("a", &warmup).unwrap();
+        assert_eq!(out.warmup, 6);
+        assert!(out.fitted_now);
+        assert_eq!(s.fits(), 1);
+        // Armed: clean traffic scores without alarming.
+        let out = s.ingest("a", &[noisy_trace(6)]).unwrap();
+        assert_eq!(out.scored, 1);
+        assert_eq!(out.alarms, 0);
+        // A gross deviation alarms against the self-learned baseline.
+        let hot: Vec<f64> = noisy_trace(7).iter().map(|x| 3.0 * x).collect();
+        let out = s.ingest("a", &[hot]).unwrap();
+        assert_eq!(out.alarms, 1);
+    }
+
+    #[test]
+    fn self_calibrating_revival_replays_the_retained_baseline() {
+        let mut s = store_with_mode(1, BaselineMode::SelfCalibrating);
+        for round in 0..4 {
+            s.ingest("a", &[clean_trace(round)]).unwrap();
+        }
+        // Evict "a" by introducing "b".
+        s.ingest("b", &[clean_trace(0)]).unwrap();
+        assert_eq!(s.evictions(), 1);
+        // "a" returns armed: its retained baseline re-warmed the fresh
+        // rolling statistics, so scoring resumes immediately.
+        let out = s.ingest("a", &[clean_trace(5)]).unwrap();
+        assert_eq!(out.scored, 1);
+        assert_eq!(out.warmup, 0);
+        assert_eq!(s.refits(), 1);
     }
 }

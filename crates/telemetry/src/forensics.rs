@@ -178,6 +178,10 @@ pub struct DecisionRecord {
     pub health: String,
     /// `(from, to)` health transition this observation caused, if any.
     pub health_transition: Option<(String, String)>,
+    /// Calibration state of a self-calibrating pipeline when this
+    /// observation settled (`calibrating` or `armed`); `None` for
+    /// golden-fitted pipelines, keeping their records byte-identical.
+    pub calibration: Option<String>,
     /// Per-tile margins, for array-level decisions.
     pub tiles: Vec<TileMargin>,
     /// Digest of the feature samples the detectors scored.
@@ -199,6 +203,7 @@ impl DecisionRecord {
             correlation_id: None,
             health: "healthy".to_string(),
             health_transition: None,
+            calibration: None,
             tiles: Vec::new(),
             digest: None,
         }
@@ -247,6 +252,9 @@ impl DecisionRecord {
                 json_escape(from),
                 json_escape(to)
             );
+        }
+        if let Some(c) = &self.calibration {
+            let _ = write!(out, ",\"calibration\":\"{}\"", json_escape(c));
         }
         if !self.tiles.is_empty() {
             out.push_str(",\"tiles\":[");
@@ -566,6 +574,7 @@ mod tests {
         r.correlation_id = Some(11);
         r.health = "degraded".to_string();
         r.health_transition = Some(("healthy".to_string(), "degraded".to_string()));
+        r.calibration = Some("calibrating".to_string());
         r.tiles.push(TileMargin {
             row: 1,
             col: 0,
@@ -584,6 +593,7 @@ mod tests {
             "\"fused_alarm\":true",
             "\"correlation_id\":11",
             "\"health_transition\":{\"from\":\"healthy\",\"to\":\"degraded\"}",
+            "\"calibration\":\"calibrating\"",
             "\"tiles\":[{\"row\":1,\"col\":0",
             "\"digest\":{\"samples\":2",
             "\"peak\":4",
