@@ -414,6 +414,53 @@ fn check_localization(doc: &Value) -> Result<(), String> {
             "\"hit_at_1\" {hit1} — at least two Trojans must localize at rank 1"
         ));
     }
+    // Cell-level attribution section (leave-one-Trojan-out).
+    let auroc_gate = expect_number(doc, "auroc_gate")?;
+    let auroc_passing = expect_u64(doc, "auroc_passing")?;
+    let attribution = expect_array(doc, "attribution")?;
+    if attribution.len() != 4 {
+        return Err("\"attribution\" must hold one fold per digital Trojan".into());
+    }
+    let mut passing = 0u64;
+    for (i, fold) in attribution.iter().enumerate() {
+        (|| {
+            expect_str(fold, "trojan")?;
+            expect_str(fold, "region")?;
+            let cells = expect_u64(fold, "cells")?;
+            let true_cells = expect_u64(fold, "true_cells")?;
+            if true_cells == 0 || true_cells >= cells {
+                return Err("\"true_cells\" must be a non-empty strict subset of cells".into());
+            }
+            for key in [
+                "precision_at_10",
+                "precision_at_50",
+                "recall_at_50",
+                "auroc",
+                "iou",
+            ] {
+                let v = expect_number(fold, key)?;
+                if !(0.0..=1.0).contains(&v) {
+                    return Err(format!("\"{key}\" {v} must lie in [0, 1]"));
+                }
+            }
+            if expect_number(fold, "auroc")? > auroc_gate {
+                passing += 1;
+            }
+            Ok::<(), String>(())
+        })()
+        .map_err(|e| format!("attribution[{i}]: {e}"))?;
+    }
+    if passing != auroc_passing {
+        return Err(format!(
+            "\"auroc_passing\" {auroc_passing} disagrees with the folds (counted {passing})"
+        ));
+    }
+    if auroc_passing < 3 {
+        return Err(format!(
+            "\"auroc_passing\" {auroc_passing} — held-out AUROC must exceed {auroc_gate} \
+             on at least 3 of 4 Trojans"
+        ));
+    }
     Ok(())
 }
 

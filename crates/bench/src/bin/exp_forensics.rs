@@ -223,7 +223,7 @@ fn main() {
     let suspects = array
         .collect(EXPERIMENT_KEY, ARRAY_SUSPECT, Some(TROJANS[0]), 42)
         .or_exit("array suspects");
-    let verdict = array.evaluate(&suspects).or_exit("array evaluate");
+    let verdict = array.attribute(&suspects, None).or_exit("array attribute");
     telemetry::uninstall();
 
     let campaign = array
@@ -231,13 +231,13 @@ fn main() {
         .last()
         .or_exit("the campaign must log an array record");
     assert_eq!(campaign.domain, "array");
-    assert_eq!(campaign.fused_alarm, verdict.alarmed);
+    assert_eq!(campaign.fused_alarm, verdict.alarmed());
     assert_eq!(
         campaign.tiles.len(),
         array.len(),
         "one margin per tile required"
     );
-    assert!(verdict.alarmed, "the armed Trojan campaign must alarm");
+    assert!(verdict.alarmed(), "the armed Trojan campaign must alarm");
 
     let tile_rows: Vec<Vec<String>> = campaign
         .tiles
@@ -288,7 +288,7 @@ fn main() {
         .field_u64("rejected_count", rejected as u64)
         .field_u64("array_rows", array.rows() as u64)
         .field_u64("array_cols", array.cols() as u64)
-        .field_bool("array_alarmed", verdict.alarmed)
+        .field_bool("array_alarmed", verdict.alarmed())
         .field_array("tiles", &tiles_json);
     write_artifact("BENCH_forensics.json", &doc.to_json());
     report.note("\nwrote BENCH_forensics.json, TELEMETRY_decisions.jsonl");

@@ -23,15 +23,16 @@
 //! The array shares one logic simulation and one current-synthesis pass
 //! per encryption across all eight sensors, so the interesting overhead
 //! is *per sensor*: collection wall-clock divided by the sensor count,
-//! against the single-coil `TestBench` path on the same workload —
-//! written to `BENCH_localization.json` and bounded by
-//! `check_bench_schema`.
+//! against the single-coil `TestBench` path on the same workload.
+//!
+//! This binary reports the region-level table only; `exp_attribution`
+//! runs the same campaign at cell granularity under leave-one-Trojan-out
+//! and owns the `BENCH_localization.json` artifact.
 
 use emtrust::acquisition::TestBench;
 use emtrust::array::SensorArray;
 use emtrust::fingerprint::FingerprintConfig;
-use emtrust::telemetry::sink::{json_escape, json_number};
-use emtrust_bench::{ArtifactDoc, OrExit, Report, EXPERIMENT_KEY};
+use emtrust_bench::{OrExit, Report, EXPERIMENT_KEY, TROJANS};
 use emtrust_silicon::Channel;
 use emtrust_trojan::{ProtectedChip, TrojanKind};
 use std::time::Instant;
@@ -42,19 +43,11 @@ const TURNS: usize = 8;
 const N_GOLDEN: usize = 32;
 const N_SUSPECT: usize = 16;
 
-const TROJANS: [TrojanKind; 4] = [
-    TrojanKind::T1AmLeaker,
-    TrojanKind::T2LeakageLeaker,
-    TrojanKind::T3CdmaLeaker,
-    TrojanKind::T4PowerDegrader,
-];
-
-struct Attribution {
+struct RegionOutcome {
     kind: TrojanKind,
     top_region: String,
     rank: Option<usize>,
     alarm_rate: f64,
-    centroid_um: (f64, f64),
 }
 
 fn main() {
@@ -101,24 +94,24 @@ fn main() {
     // same noise draws — the per-tile excess is then purely the armed
     // Trojan's switching current, not data-dependent AES energy (a
     // different stimulus would alarm everywhere and localize nothing).
-    let mut attributions = Vec::new();
+    let mut outcomes = Vec::new();
     for kind in TROJANS {
         let suspects = array
             .collect(EXPERIMENT_KEY, N_SUSPECT, Some(kind), 42)
             .or_exit("suspect collection");
-        let verdict = array.evaluate(&suspects).or_exit("evaluation");
-        let alarm_rate = verdict.heat.iter().map(|h| h.alarm_rate).sum::<f64>() / sensors as f64;
-        attributions.push(Attribution {
+        let attribution = array.attribute(&suspects, None).or_exit("attribution");
+        let alarm_rate =
+            attribution.heat().iter().map(|h| h.alarm_rate).sum::<f64>() / sensors as f64;
+        outcomes.push(RegionOutcome {
             kind,
-            top_region: verdict.top_region().unwrap_or("<none>").to_string(),
-            rank: verdict.region_rank(kind.module_tag()),
+            top_region: attribution.top_region().unwrap_or("<none>").to_string(),
+            rank: attribution.region_rank(kind.module_tag()),
             alarm_rate,
-            centroid_um: verdict.centroid_um.unwrap_or((f64::NAN, f64::NAN)),
         });
     }
 
-    let hit1 = attributions.iter().filter(|a| a.rank == Some(0)).count();
-    let hit3 = attributions
+    let hit1 = outcomes.iter().filter(|a| a.rank == Some(0)).count();
+    let hit3 = outcomes
         .iter()
         .filter(|a| a.rank.is_some_and(|r| r < 3))
         .count();
@@ -140,7 +133,7 @@ fn main() {
             "rank",
             "alarm rate",
         ],
-        &attributions
+        &outcomes
             .iter()
             .map(|a| {
                 vec![
@@ -155,41 +148,8 @@ fn main() {
     );
     report.scalar("hit_at_1", hit1 as f64);
     report.scalar("hit_at_3", hit3 as f64);
+    report.scalar("single_seconds", single_seconds);
+    report.scalar("array_seconds", array_seconds);
     report.scalar("per_sensor_overhead_pct", per_sensor_overhead_pct);
-
-    let trojan_json: Vec<String> = attributions
-        .iter()
-        .map(|a| {
-            format!(
-                "    {{\"trojan\": \"{:?}\", \"region\": \"{}\", \"top_region\": \"{}\", \
-                 \"rank\": {}, \"hit1\": {}, \"hit3\": {}, \"alarm_rate\": {}, \
-                 \"centroid_x_um\": {}, \"centroid_y_um\": {}}}",
-                a.kind,
-                json_escape(a.kind.module_tag()),
-                json_escape(&a.top_region),
-                a.rank.map_or("null".into(), |r| (r + 1).to_string()),
-                a.rank == Some(0),
-                a.rank.is_some_and(|r| r < 3),
-                json_number(a.alarm_rate),
-                json_number(a.centroid_um.0),
-                json_number(a.centroid_um.1),
-            )
-        })
-        .collect();
-
-    ArtifactDoc::new("localization")
-        .field_u64("rows", ROWS as u64)
-        .field_u64("cols", COLS as u64)
-        .field_u64("sensors", sensors as u64)
-        .field_u64("turns", TURNS as u64)
-        .field_u64("n_golden", N_GOLDEN as u64)
-        .field_u64("n_suspect_per_trojan", N_SUSPECT as u64)
-        .field_u64("hit_at_1", hit1 as u64)
-        .field_u64("hit_at_3", hit3 as u64)
-        .field_f64("single_seconds", single_seconds)
-        .field_f64("array_seconds", array_seconds)
-        .field_f64("per_sensor_overhead_pct", per_sensor_overhead_pct)
-        .field_array("trojans", &trojan_json)
-        .write("BENCH_localization.json", &mut report);
     report.finish();
 }

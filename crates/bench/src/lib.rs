@@ -37,11 +37,12 @@
 //! `check_bench_schema` validates in CI using the dependency-free
 //! [`json`] parser.
 
+pub mod attribution;
 pub mod json;
 pub mod report;
 
 pub use report::{
-    git_rev, unix_timestamp, write_artifact, ArtifactDoc, OrExit, OutputMode, Report,
+    git_rev, unix_timestamp, write_artifact, write_jsonl, ArtifactDoc, OrExit, OutputMode, Report,
 };
 
 use emtrust::acquisition::TestBench;

@@ -215,6 +215,17 @@ pub fn write_artifact(path: &str, contents: &str) {
     }
 }
 
+/// Writes a JSONL artifact — one pre-rendered JSON object per line,
+/// trailing newline included — exiting 1 on failure like
+/// [`write_artifact`]. The cell-level attribution rankings export this
+/// way: one record per ranked cell streams into `jq`/pandas without a
+/// top-level array.
+pub fn write_jsonl(path: &str, lines: &[String]) {
+    let mut contents = lines.join("\n");
+    contents.push('\n');
+    write_artifact(path, &contents);
+}
+
 /// Builds the provenance-stamped `BENCH_*.json` artifacts the `exp_*`
 /// binaries write for `check_bench_schema`: every document leads with
 /// the `benchmark` discriminator, `timestamp_unix`, and `git_rev`,

@@ -40,6 +40,7 @@
 //! ```
 
 use crate::acquisition::{TraceSet, T2_LEAK_CURRENT_A};
+use crate::attribution::{self, Attribution, CellEvidence};
 use crate::baseline::{BaselineSource, CalibrationState, DetectorReadiness, SelfCalibratingConfig};
 use crate::detector::{
     Detector, DetectorDomain, DetectorVerdict, EuclideanDetector, FeaturePlan, GoldenContext,
@@ -49,8 +50,8 @@ use crate::features::FeatureFrame;
 use crate::fingerprint::{FingerprintConfig, GoldenFingerprint};
 use crate::fusion::FusionPolicy;
 use crate::parallel::ParallelConfig;
-use crate::persistence::{PersistenceConfig, SpectralPersistenceDetector};
-use crate::pipeline::DetectionPipeline;
+use crate::persistence::PersistenceConfig;
+use crate::pipeline::{DetectionPipeline, DetectorConfig};
 use crate::TrustError;
 use emtrust_aes::netlist::run_encryption_with;
 use emtrust_dsp::stats::median;
@@ -59,6 +60,7 @@ use emtrust_em::emf::VoltageTrace;
 use emtrust_layout::floorplan::{Die, Floorplan};
 use emtrust_netlist::library::Library;
 use emtrust_power::{ClockConfig, CurrentModel};
+use emtrust_sim::ToggleActivity;
 use emtrust_telemetry::{self as telemetry, DecisionRecord, ForensicsConfig, LabelSet, TileMargin};
 use emtrust_trojan::{ProtectedChip, TrojanKind};
 use rand::rngs::StdRng;
@@ -681,6 +683,26 @@ impl<'c> SensorArray<'c> {
         armed: Option<TrojanKind>,
         seed: u64,
     ) -> Result<Vec<TraceSet>, TrustError> {
+        self.collect_with_activity(key, n_traces, armed, seed)
+            .map(|(traces, _)| traces)
+    }
+
+    /// [`Self::collect`], additionally returning the campaign's
+    /// accumulated [`ToggleActivity`] — the switching-activity side of
+    /// [`CellEvidence`] for cell-level attribution. The trace sets are
+    /// bit-identical to [`Self::collect`]'s (the accumulation reads the
+    /// same recorded activity the measurement fan consumes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation and measurement errors.
+    pub fn collect_with_activity(
+        &self,
+        key: [u8; 16],
+        n_traces: usize,
+        armed: Option<TrojanKind>,
+        seed: u64,
+    ) -> Result<(Vec<TraceSet>, ToggleActivity), TrustError> {
         let _span = telemetry::span("array.collect");
         telemetry::counter("array.traces", (n_traces * self.array.len()) as u64);
         let pt: [u8; 16] = StdRng::seed_from_u64(seed ^ 0x97).gen();
@@ -742,10 +764,15 @@ impl<'c> SensorArray<'c> {
                 per_tile[t].push(samples);
             }
         }
-        per_tile
+        let mut toggles = ToggleActivity::new();
+        for (activity, _) in &recorded {
+            toggles.absorb(activity);
+        }
+        let sets = per_tile
             .into_iter()
             .map(|ts| TraceSet::new(ts, self.clock.sample_rate_hz()))
-            .collect()
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok((sets, toggles))
     }
 
     /// Fits one golden fingerprint and one detection pipeline per tile.
@@ -778,7 +805,7 @@ impl<'c> SensorArray<'c> {
                 builder = builder.forensics(cfg);
             }
             if let Some(cfg) = self.config.persistence {
-                builder = builder.detector(Box::new(SpectralPersistenceDetector::new(cfg)));
+                builder = builder.detector_config(&DetectorConfig::SpectralPersistence(cfg))?;
             }
             pipelines.push(builder.build());
         }
@@ -810,9 +837,7 @@ impl<'c> SensorArray<'c> {
                 .labels
                 .with("tile", format!("r{}c{}", tile.row(), tile.col()));
             let mut builder = DetectionPipeline::builder()
-                .detector(Box::new(EuclideanDetector::from_config(
-                    self.config.fingerprint,
-                )))
+                .detector_config(&DetectorConfig::Euclidean(self.config.fingerprint))?
                 .fusion(self.config.fusion.clone())
                 .parallel(self.config.parallel)
                 .labels(labels);
@@ -820,7 +845,7 @@ impl<'c> SensorArray<'c> {
                 builder = builder.forensics(fcfg);
             }
             if let Some(pcfg) = self.config.persistence {
-                builder = builder.detector(Box::new(SpectralPersistenceDetector::new(pcfg)));
+                builder = builder.detector_config(&DetectorConfig::SpectralPersistence(pcfg))?;
             }
             let mut pipeline = builder.build();
             pipeline.fit_baseline(&source)?;
@@ -866,7 +891,69 @@ impl<'c> SensorArray<'c> {
     ///
     /// [`TrustError::InvalidParameter`] if the array is unfitted or the
     /// set count mismatches; forwarded scoring errors otherwise.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `attribute` — it returns the structured `Attribution` result \
+                (ranked regions, optional cell tier, metric methods)"
+    )]
     pub fn evaluate(&mut self, suspects: &[TraceSet]) -> Result<ArrayVerdict, TrustError> {
+        self.evaluate_inner(suspects)
+    }
+
+    /// Scores one suspect campaign and attributes the excess energy:
+    /// the region tier always, and — when `evidence` carries the
+    /// campaign's switching activity (from
+    /// [`Self::collect_with_activity`]) — a ranked per-cell suspicion
+    /// tier.
+    ///
+    /// The tile heat map, alarm decision and region ranking are
+    /// bit-identical to the deprecated [`Self::evaluate`]; the cell
+    /// tier is computed on top, without touching the pipelines.
+    ///
+    /// # Errors
+    ///
+    /// [`TrustError::InvalidParameter`] if the array is unfitted, the
+    /// set count mismatches, or the evidence is degenerate; forwarded
+    /// scoring errors otherwise.
+    pub fn attribute(
+        &mut self,
+        suspects: &[TraceSet],
+        evidence: Option<&CellEvidence<'_>>,
+    ) -> Result<Attribution, TrustError> {
+        let verdict = self.evaluate_inner(suspects)?;
+        let cells = match evidence {
+            Some(ev) => {
+                let centers: Vec<(f64, f64)> = self
+                    .array
+                    .tiles()
+                    .iter()
+                    .map(|t| {
+                        let c = t.center();
+                        (c.x, c.y)
+                    })
+                    .collect();
+                attribution::score_cells(
+                    self.chip.netlist(),
+                    &self.floorplan,
+                    &centers,
+                    &verdict.heat,
+                    verdict.centroid_um,
+                    ev,
+                )?
+            }
+            None => Vec::new(),
+        };
+        Ok(Attribution::from_parts(
+            verdict.heat,
+            verdict.centroid_um,
+            verdict.regions,
+            cells,
+            verdict.alarmed,
+            verdict.consensus,
+        ))
+    }
+
+    fn evaluate_inner(&mut self, suspects: &[TraceSet]) -> Result<ArrayVerdict, TrustError> {
         let _span = telemetry::span("array.evaluate");
         if !self.is_fitted() {
             return Err(TrustError::InvalidParameter {
@@ -1074,7 +1161,7 @@ mod tests {
         assert!(!array.is_fitted());
         assert!(!array.is_self_calibrating());
         assert!(!array.calibration_state().is_armed());
-        assert!(array.evaluate(&[]).is_err());
+        assert!(array.attribute(&[], None).is_err());
         assert!(array.calibrate(&[]).is_err());
         // Wrong golden arity is rejected too.
         assert!(array.fit_golden(&[]).is_err());
@@ -1174,12 +1261,14 @@ mod tests {
         // A clean campaign after arming carries a consensus vote and no
         // alarm.
         let probe = array.collect(*b"sixteen byte key", 1, None, 8)?;
-        let verdict = array.evaluate(&probe)?;
-        let consensus = verdict.consensus.ok_or(TrustError::InvalidParameter {
+        let verdict = array.attribute(&probe, None)?;
+        let consensus = verdict.consensus().ok_or(TrustError::InvalidParameter {
             what: "expected a consensus vote on a reference-free array",
         })?;
         assert_eq!(consensus.detector, "consensus");
-        assert!(!verdict.alarmed);
+        assert!(!verdict.alarmed());
+        // No cell evidence was supplied, so the cell tier is empty.
+        assert!(verdict.cell_scores().is_empty());
         Ok(())
     }
 }

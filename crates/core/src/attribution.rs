@@ -1,0 +1,534 @@
+//! Register-level Trojan attribution: the structured [`Attribution`]
+//! result and its rank metrics.
+//!
+//! The PR 5 localization stops at placement-region granularity — "the
+//! excess energy sits nearest `trojan3`". The scan-chain literature's
+//! useful deliverable is finer: a **per-register suspicion vector**
+//! scored with Precision@k / Recall@k / AUROC / IoU, so a silicon
+//! validation team knows *which cells* to image first. This module is
+//! that surface:
+//!
+//! - [`Attribution`] — the result of
+//!   [`SensorArray::attribute`](crate::array::SensorArray::attribute):
+//!   the region tier the old
+//!   `ArrayVerdict` carried (typed [`RegionScore`] ranking, heat map,
+//!   centroid, alarm) plus a new cell tier of ranked [`CellScore`]s,
+//!   with `hit_at`, `precision_at`, `recall_at`, `auroc` and `iou` as
+//!   methods on the result instead of ad-hoc free-floating helpers.
+//! - [`CellEvidence`] — the switching-activity ingredient: a baseline
+//!   and a suspect [`ToggleActivity`] from the same stimulus, as
+//!   returned by `SensorArray::collect_with_activity`.
+//! - Rank metrics ([`precision_at_k`], [`recall_at_k`], [`auroc`],
+//!   [`iou_at_k`]) as plain free functions over ranked truth labels, so
+//!   the `emtrust-bench` leave-one-Trojan-out harness can score model
+//!   outputs without round-tripping through an `Attribution`.
+//!
+//! Per-cell features fuse two independent physics: **where** the EM
+//! excess sits (the whitened per-tile margin map and its centroid) and
+//! **what** switched more than the baseline says it should (toggle-rate
+//! excess per cell). A dormant payload barely toggles, but its trigger
+//! counts every cycle; a whole-die supply leak lifts every tile, but no
+//! cell's toggle rate moves. The default suspicion score multiplies
+//! activity excess with spatial weight; the learned detector's
+//! [`LogisticModel`](crate::learned::LogisticModel) trains on the raw
+//! [`CellFeatures`] when labeled material exists (the bench's
+//! leave-one-Trojan-out protocol).
+
+use crate::array::{Localizer, RegionScore, TileScore};
+use crate::detector::DetectorVerdict;
+use crate::TrustError;
+use emtrust_layout::floorplan::Floorplan;
+use emtrust_netlist::{CellId, CellKind, Netlist};
+use emtrust_sim::ToggleActivity;
+
+/// Switching-activity evidence for cell-level attribution: the same
+/// stimulus observed with the chip in its baseline (golden or
+/// calibration) state and in the suspect state.
+#[derive(Debug, Clone, Copy)]
+pub struct CellEvidence<'a> {
+    /// Accumulated toggle activity of the baseline campaign.
+    pub baseline: &'a ToggleActivity,
+    /// Accumulated toggle activity of the suspect campaign.
+    pub suspect: &'a ToggleActivity,
+}
+
+impl CellEvidence<'_> {
+    /// Checks both activities cover at least one cycle (rates would
+    /// otherwise be meaningless zeros).
+    ///
+    /// # Errors
+    ///
+    /// [`TrustError::InvalidParameter`] on an empty activity.
+    pub fn validate(&self) -> Result<(), TrustError> {
+        if self.baseline.cycles() == 0 || self.suspect.cycles() == 0 {
+            return Err(TrustError::InvalidParameter {
+                what: "cell evidence needs at least one recorded cycle on both sides",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The per-cell feature vector behind a [`CellScore`] — the exact
+/// inputs the learned attribution model trains on (see DESIGN.md §12
+/// for the schema).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellFeatures {
+    /// Whitened margin of the cell's nearest sensor tile, normalized to
+    /// the hottest tile (`[0, 1]`; 0 when the whole map is cold).
+    pub tile_margin: f64,
+    /// The cell's toggle rate in the suspect campaign
+    /// (toggles / cycle).
+    pub activity_rate: f64,
+    /// Toggle-rate excess over the baseline campaign
+    /// (suspect − baseline; negative when the cell quieted down).
+    pub activity_excess: f64,
+    /// `exp(−d/σ)` proximity to the anomaly centroid, with σ the tile
+    /// pitch (0 when the campaign localized nothing).
+    pub centroid_proximity: f64,
+}
+
+impl CellFeatures {
+    /// Feature dimensionality.
+    pub const DIMS: usize = 4;
+
+    /// The features as a model-input row, in declaration order.
+    pub fn to_vec(&self) -> Vec<f64> {
+        vec![
+            self.tile_margin,
+            self.activity_rate,
+            self.activity_excess,
+            self.centroid_proximity,
+        ]
+    }
+}
+
+/// One cell's entry in the attribution ranking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellScore {
+    /// The cell in the netlist.
+    pub cell: CellId,
+    /// Gate kind of the cell.
+    pub kind: CellKind,
+    /// Full module path of the cell (`"trojan3/trigger"`, …).
+    pub module: String,
+    /// Top-level placement region the cell belongs to (`"aes"`,
+    /// `"trojan1"`, …) — matches the [`RegionScore`] names.
+    pub region: String,
+    /// Placed location on the die, in µm.
+    pub location_um: (f64, f64),
+    /// The feature vector behind the score.
+    pub features: CellFeatures,
+    /// Suspicion score (higher = more suspect). The default combination
+    /// multiplies positive activity excess with spatial weight;
+    /// [`Attribution::rescore_cells`] replaces it with a learned
+    /// model's probability.
+    pub suspicion: f64,
+}
+
+/// The array's structured judgement of one suspect campaign: the tile
+/// tier (heat map, centroid, alarm), the region tier (ranked
+/// [`RegionScore`]s) and — when [`CellEvidence`] was supplied — the
+/// cell tier (ranked [`CellScore`]s).
+///
+/// Replaces the ad-hoc `ArrayVerdict` + string-region surface; rankings
+/// are stored sorted, metrics are methods on the result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribution {
+    heat: Vec<TileScore>,
+    centroid_um: Option<(f64, f64)>,
+    regions: Vec<RegionScore>,
+    cells: Vec<CellScore>,
+    alarmed: bool,
+    consensus: Option<DetectorVerdict>,
+}
+
+impl Attribution {
+    /// Assembles a result from already-ranked tiers (regions
+    /// nearest-first as the [`Localizer`] emits them; cells are
+    /// re-sorted here by descending suspicion).
+    pub(crate) fn from_parts(
+        heat: Vec<TileScore>,
+        centroid_um: Option<(f64, f64)>,
+        regions: Vec<RegionScore>,
+        mut cells: Vec<CellScore>,
+        alarmed: bool,
+        consensus: Option<DetectorVerdict>,
+    ) -> Self {
+        sort_cells(&mut cells);
+        Self {
+            heat,
+            centroid_um,
+            regions,
+            cells,
+            alarmed,
+            consensus,
+        }
+    }
+
+    /// Per-tile scores, in tile (row-major) order.
+    pub fn heat(&self) -> &[TileScore] {
+        &self.heat
+    }
+
+    /// Score-weighted centroid of the common-mode-removed heat map, in
+    /// µm. `None` when no tile carries excess energy (clean campaign).
+    pub fn centroid_um(&self) -> Option<(f64, f64)> {
+        self.centroid_um
+    }
+
+    /// Whether the campaign is judged suspected.
+    pub fn alarmed(&self) -> bool {
+        self.alarmed
+    }
+
+    /// The cross-sensor consensus vote, on reference-free arrays.
+    pub fn consensus(&self) -> Option<&DetectorVerdict> {
+        self.consensus.as_ref()
+    }
+
+    /// Ranked regions, nearest-to-centroid first. Empty when the
+    /// campaign is clean.
+    pub fn regions(&self) -> impl Iterator<Item = &RegionScore> {
+        self.regions.iter()
+    }
+
+    /// The ranked region slice (rank order).
+    pub fn region_scores(&self) -> &[RegionScore] {
+        &self.regions
+    }
+
+    /// Ranked cells, most suspect first. Empty unless the campaign was
+    /// attributed with [`CellEvidence`].
+    pub fn cells(&self) -> impl Iterator<Item = &CellScore> {
+        self.cells.iter()
+    }
+
+    /// The ranked cell slice (rank order).
+    pub fn cell_scores(&self) -> &[CellScore] {
+        &self.cells
+    }
+
+    /// The top `k` cells of the ranking.
+    pub fn top_cells(&self, k: usize) -> &[CellScore] {
+        &self.cells[..k.min(self.cells.len())]
+    }
+
+    /// The arg-max region — the localization's best guess.
+    pub fn top_region(&self) -> Option<&str> {
+        self.regions.first().map(|r| r.region.as_str())
+    }
+
+    /// Zero-based rank of `region` in the localization (0 = best).
+    pub fn region_rank(&self, region: &str) -> Option<usize> {
+        self.regions.iter().position(|r| r.region == region)
+    }
+
+    /// Whether `region` ranks within the top `k` (`hit@k`).
+    pub fn hit_at(&self, region: &str, k: usize) -> bool {
+        self.region_rank(region).is_some_and(|r| r < k)
+    }
+
+    /// Replaces every cell's suspicion with `score(features)` and
+    /// re-ranks — the hook the learned attribution model plugs into.
+    pub fn rescore_cells(&mut self, mut score: impl FnMut(&CellScore) -> f64) {
+        for c in &mut self.cells {
+            c.suspicion = score(c);
+        }
+        sort_cells(&mut self.cells);
+    }
+
+    /// Ranked truth labels: `truth(cell)` per cell, in rank order.
+    fn ranked_truth(&self, truth: &mut impl FnMut(&CellScore) -> bool) -> Vec<bool> {
+        self.cells.iter().map(truth).collect()
+    }
+
+    /// Precision@k of the cell ranking against a truth predicate.
+    pub fn precision_at(&self, k: usize, mut truth: impl FnMut(&CellScore) -> bool) -> f64 {
+        precision_at_k(&self.ranked_truth(&mut truth), k)
+    }
+
+    /// Recall@k of the cell ranking against a truth predicate.
+    pub fn recall_at(&self, k: usize, mut truth: impl FnMut(&CellScore) -> bool) -> f64 {
+        recall_at_k(&self.ranked_truth(&mut truth), k)
+    }
+
+    /// AUROC of the cell suspicion scores against a truth predicate
+    /// (`None` when the truth is single-class).
+    pub fn auroc(&self, mut truth: impl FnMut(&CellScore) -> bool) -> Option<f64> {
+        let labels = self.ranked_truth(&mut truth);
+        let scores: Vec<f64> = self.cells.iter().map(|c| c.suspicion).collect();
+        auroc(&scores, &labels)
+    }
+
+    /// IoU (Jaccard) of the top-`|truth|` cells against the truth set —
+    /// the natural operating point where predicted and true set sizes
+    /// match.
+    pub fn iou(&self, mut truth: impl FnMut(&CellScore) -> bool) -> f64 {
+        let labels = self.ranked_truth(&mut truth);
+        let k = labels.iter().filter(|&&l| l).count();
+        iou_at_k(&labels, k)
+    }
+}
+
+/// Descending suspicion, with the cell id as a total tie-break so the
+/// ranking is deterministic.
+fn sort_cells(cells: &mut [CellScore]) {
+    cells.sort_by(|a, b| {
+        b.suspicion
+            .total_cmp(&a.suspicion)
+            .then_with(|| a.cell.index().cmp(&b.cell.index()))
+    });
+}
+
+/// Precision@k over ranked truth labels (`ranked_truth[i]` = whether
+/// the rank-`i` item is truly positive). The denominator is the
+/// *effective* k (`min(k, len)`); 0.0 when `k` is zero or the ranking
+/// is empty.
+pub fn precision_at_k(ranked_truth: &[bool], k: usize) -> f64 {
+    let k = k.min(ranked_truth.len());
+    if k == 0 {
+        return 0.0;
+    }
+    let hits = ranked_truth[..k].iter().filter(|&&t| t).count();
+    hits as f64 / k as f64
+}
+
+/// Recall@k over ranked truth labels: the fraction of true positives
+/// ranked within the top `k`. 0.0 when the truth set is empty.
+pub fn recall_at_k(ranked_truth: &[bool], k: usize) -> f64 {
+    let total = ranked_truth.iter().filter(|&&t| t).count();
+    if total == 0 {
+        return 0.0;
+    }
+    let k = k.min(ranked_truth.len());
+    let hits = ranked_truth[..k].iter().filter(|&&t| t).count();
+    hits as f64 / total as f64
+}
+
+/// IoU (Jaccard index) of the top-`k` set against the truth set over
+/// ranked truth labels. 0.0 when both sets are empty.
+pub fn iou_at_k(ranked_truth: &[bool], k: usize) -> f64 {
+    let total = ranked_truth.iter().filter(|&&t| t).count();
+    let k = k.min(ranked_truth.len());
+    let hits = ranked_truth[..k].iter().filter(|&&t| t).count();
+    let union = total + k - hits;
+    if union == 0 {
+        return 0.0;
+    }
+    hits as f64 / union as f64
+}
+
+/// AUROC via the rank-sum (Mann–Whitney) estimator with average ranks
+/// for ties — exactly the probability a random positive outscores a
+/// random negative, ties counted half.
+///
+/// `None` when the slices mismatch, are empty, or the truth is
+/// single-class (the metric is undefined there, not zero).
+pub fn auroc(scores: &[f64], truth: &[bool]) -> Option<f64> {
+    if scores.len() != truth.len() || scores.is_empty() {
+        return None;
+    }
+    if scores.iter().any(|s| !s.is_finite()) {
+        return None;
+    }
+    let n_pos = truth.iter().filter(|&&t| t).count();
+    let n_neg = truth.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return None;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    // Average 1-based ranks within tie groups, accumulating the
+    // positives' rank sum.
+    let mut rank_sum_pos = 0.0;
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            if truth[idx] {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let n_pos_f = n_pos as f64;
+    Some((rank_sum_pos - n_pos_f * (n_pos_f + 1.0) / 2.0) / (n_pos_f * n_neg as f64))
+}
+
+/// Scores every placed cell from the tile heat map and the toggle
+/// evidence. Rank order is finalized by [`Attribution::from_parts`].
+pub(crate) fn score_cells(
+    netlist: &Netlist,
+    floorplan: &Floorplan,
+    tile_centers: &[(f64, f64)],
+    heat: &[TileScore],
+    centroid_um: Option<(f64, f64)>,
+    evidence: &CellEvidence<'_>,
+) -> Result<Vec<CellScore>, TrustError> {
+    evidence.validate()?;
+    let locations = floorplan.locations();
+    if locations.len() != netlist.cell_count() {
+        return Err(TrustError::InvalidParameter {
+            what: "floorplan does not cover the netlist",
+        });
+    }
+
+    // Whitened tile margins, normalized to the hottest tile.
+    let margins: Vec<f64> = heat.iter().map(|h| h.margin).collect();
+    let whitened = Localizer::whiten(&margins);
+    let max_w = whitened.iter().copied().fold(0.0_f64, f64::max);
+    let tile_weight: Vec<f64> = whitened
+        .iter()
+        .map(|&w| if max_w > 0.0 { w / max_w } else { 0.0 })
+        .collect();
+
+    // Proximity length scale: the mean nearest-neighbour tile pitch
+    // (a single-tile array has no pitch; proximity saturates at 1).
+    let pitch = mean_nearest_distance(tile_centers);
+
+    let mut cells = Vec::with_capacity(netlist.cell_count());
+    for (id, cell) in netlist.cells() {
+        let loc = locations[id.index()];
+        let tile = nearest_index(tile_centers, (loc.x, loc.y));
+        let suspect_rate = evidence.suspect.rate_at(id.index());
+        let excess = suspect_rate - evidence.baseline.rate_at(id.index());
+        let proximity = match (centroid_um, pitch) {
+            (Some((cx, cy)), Some(p)) if p > 0.0 => {
+                let d = ((loc.x - cx).powi(2) + (loc.y - cy).powi(2)).sqrt();
+                (-d / p).exp()
+            }
+            (Some(_), _) => 1.0,
+            (None, _) => 0.0,
+        };
+        let features = CellFeatures {
+            tile_margin: tile.map_or(0.0, |t| tile_weight[t]),
+            activity_rate: suspect_rate,
+            activity_excess: excess,
+            centroid_proximity: proximity,
+        };
+        // Default heuristic: a cell is suspect when it toggles more than
+        // its baseline says it should, weighted up when the EM excess
+        // points at it. The floor keeps pure activity evidence alive on
+        // a cold map (and vice versa the spatial term never resurrects a
+        // cell with zero excess — a supply-wide leak moves no toggles).
+        let spatial = 0.5 * features.tile_margin + 0.5 * features.centroid_proximity;
+        let suspicion = excess.max(0.0) * (0.25 + spatial);
+        let module = netlist.module_path(cell.module()).to_string();
+        let region = match module.split('/').next() {
+            Some(tag) if !tag.is_empty() => tag.to_string(),
+            _ => "aes".to_string(),
+        };
+        cells.push(CellScore {
+            cell: id,
+            kind: cell.kind(),
+            module,
+            region,
+            location_um: (loc.x, loc.y),
+            features,
+            suspicion,
+        });
+    }
+    Ok(cells)
+}
+
+/// Index of the nearest point to `p` (`None` on an empty set).
+fn nearest_index(points: &[(f64, f64)], p: (f64, f64)) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, c) in points.iter().enumerate() {
+        let d2 = (c.0 - p.0).powi(2) + (c.1 - p.1).powi(2);
+        if best.is_none_or(|(_, b)| d2 < b) {
+            best = Some((i, d2));
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Mean nearest-neighbour distance (`None` below two points).
+fn mean_nearest_distance(points: &[(f64, f64)]) -> Option<f64> {
+    if points.len() < 2 {
+        return None;
+    }
+    let mut sum = 0.0;
+    for (i, a) in points.iter().enumerate() {
+        let mut best = f64::INFINITY;
+        for (j, b) in points.iter().enumerate() {
+            if i != j {
+                let d = ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt();
+                best = best.min(d);
+            }
+        }
+        sum += best;
+    }
+    Some(sum / points.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_and_recall_at_k() {
+        let ranked = [true, false, true, false, false, true];
+        assert!((precision_at_k(&ranked, 1) - 1.0).abs() < 1e-12);
+        assert!((precision_at_k(&ranked, 2) - 0.5).abs() < 1e-12);
+        assert!((precision_at_k(&ranked, 3) - 2.0 / 3.0).abs() < 1e-12);
+        // k past the end clamps to the effective length.
+        assert!((precision_at_k(&ranked, 100) - 0.5).abs() < 1e-12);
+        assert_eq!(precision_at_k(&ranked, 0), 0.0);
+        assert_eq!(precision_at_k(&[], 5), 0.0);
+
+        assert!((recall_at_k(&ranked, 1) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((recall_at_k(&ranked, 3) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((recall_at_k(&ranked, 6) - 1.0).abs() < 1e-12);
+        assert_eq!(recall_at_k(&[false, false], 2), 0.0);
+    }
+
+    #[test]
+    fn iou_matches_hand_computation() {
+        let ranked = [true, false, true, false, false, true];
+        // top-3 = {0,1,2}, truth = {0,2,5}: ∩ = 2, ∪ = 4.
+        assert!((iou_at_k(&ranked, 3) - 0.5).abs() < 1e-12);
+        // Perfect top-k.
+        assert!((iou_at_k(&[true, true, false], 2) - 1.0).abs() < 1e-12);
+        assert_eq!(iou_at_k(&[], 0), 0.0);
+        assert_eq!(iou_at_k(&[false], 0), 0.0);
+    }
+
+    #[test]
+    fn auroc_handles_separation_ties_and_degeneracy() {
+        // Perfect separation.
+        let s = [0.9, 0.8, 0.2, 0.1];
+        let t = [true, true, false, false];
+        assert!((auroc(&s, &t).unwrap() - 1.0).abs() < 1e-12);
+        // Perfectly wrong.
+        let t_inv = [false, false, true, true];
+        assert!((auroc(&s, &t_inv).unwrap() - 0.0).abs() < 1e-12);
+        // All tied: chance.
+        assert!((auroc(&[0.5; 4], &t).unwrap() - 0.5).abs() < 1e-12);
+        // One positive mid-pack: AUROC = fraction of negatives below.
+        let s2 = [0.1, 0.4, 0.3, 0.9];
+        let t2 = [false, true, false, false];
+        assert!((auroc(&s2, &t2).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        // Degenerate inputs.
+        assert!(auroc(&[], &[]).is_none());
+        assert!(auroc(&[1.0], &[true]).is_none());
+        assert!(auroc(&[1.0, 2.0], &[true]).is_none());
+        assert!(auroc(&[f64::NAN, 2.0], &[true, false]).is_none());
+    }
+
+    #[test]
+    fn geometry_helpers() {
+        assert_eq!(nearest_index(&[], (0.0, 0.0)), None);
+        let pts = [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)];
+        assert_eq!(nearest_index(&pts, (1.0, 1.0)), Some(0));
+        assert_eq!(nearest_index(&pts, (9.0, 1.0)), Some(1));
+        assert_eq!(mean_nearest_distance(&pts[..1]), None);
+        let p = mean_nearest_distance(&pts).unwrap();
+        assert!((p - 10.0).abs() < 1e-12);
+    }
+}

@@ -31,13 +31,6 @@ use crate::TrustError;
 use emtrust_dsp::stats::median;
 use std::collections::VecDeque;
 
-// Compatibility shim: the power-fingerprinting comparison bench lived
-// here before the baseline contract claimed the module name.
-#[deprecated(note = "moved to `crate::power_baseline`")]
-pub use crate::power_baseline::PowerBaseline;
-#[deprecated(note = "moved to `crate::power_baseline`")]
-pub use crate::power_baseline::{SUPPLY_SENSE_BANDWIDTH_HZ, SUPPLY_SENSE_NOISE_FRACTION};
-
 /// Configuration of a self-calibrating (golden-model-free) baseline.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SelfCalibratingConfig {

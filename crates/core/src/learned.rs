@@ -1,0 +1,805 @@
+//! The learned detector: a zero-dependency logistic-regression
+//! classifier over [`FeatureFrame`]s, and the [`LogisticModel`] engine
+//! it (and the register-level attribution harness) trains.
+//!
+//! MacLeR-style runtime Trojan detection shows a lightweight ML
+//! classifier is viable on constrained devices; this module is the
+//! `emtrust` counterpart, built under two hard constraints:
+//!
+//! - **No dependencies.** The model is plain batch gradient descent
+//!   over standardized features — a few dozen lines of arithmetic, no
+//!   linear-algebra crate.
+//! - **Deterministic, seeded training.** Training itself uses no
+//!   randomness at all (zero-initialized weights, full-batch descent in
+//!   a fixed order), and the only stochastic ingredient — the synthetic
+//!   anomaly augmentation — draws from a `StdRng` seeded by
+//!   [`LearnedConfig::seed`]. Two fits from the same material are
+//!   bit-identical, and because fitting happens serially (in
+//!   [`Detector::fit`] / [`Detector::calibrate`]) while
+//!   [`Detector::score`] is pure, results are bit-identical across
+//!   worker counts too.
+//!
+//! The detector sees only *benign* material at fit time (golden traces,
+//! or its own self-calibration warm-up ring), so it manufactures its
+//! anomaly class: amplitude-scaled, jitter-perturbed copies of the
+//! benign features, mimicking the extra switching current a Trojan
+//! payload superimposes. That makes the classifier a one-class detector
+//! trained discriminatively — and lets the same [`LogisticModel`] train
+//! on genuinely labeled data when the attribution harness has some
+//! (cells of the three Trojans left *in* under leave-one-Trojan-out).
+//!
+//! Both [`BaselineSource`] arms are
+//! honored: `Golden` fits from the context's traces; `SelfCalibrating`
+//! collects a health-gated warm-up ring of live frames and trains on
+//! the ring once it fills, reporting
+//! [`DetectorReadiness::Calibrating`] (and scoring benign) until then.
+
+use crate::baseline::{BaselineSource, DetectorReadiness};
+use crate::detector::{Detector, DetectorDomain, FeaturePlan, GoldenContext, Score, ScoreDetail};
+use crate::features::{bin_rms, FeatureFrame, DEFAULT_RMS_BIN};
+use crate::health::SensorHealth;
+use crate::TrustError;
+use emtrust_telemetry as telemetry;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Numerically safe logistic function.
+fn sigmoid(z: f64) -> f64 {
+    let z = z.clamp(-40.0, 40.0);
+    1.0 / (1.0 + (-z).exp())
+}
+
+/// Gradient-descent knobs of a [`LogisticModel`] fit. Training is
+/// full-batch in a fixed order with zero-initialized weights, so a
+/// spec plus a training set determines the model bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainSpec {
+    /// Full-batch gradient-descent epochs.
+    pub epochs: usize,
+    /// Step size.
+    pub learning_rate: f64,
+    /// L2 weight penalty (never applied to the bias).
+    pub l2: f64,
+    /// Re-weight classes inversely to their frequency — essential when
+    /// positives are rare (a Trojan's cells are a sliver of the die).
+    pub balance: bool,
+}
+
+impl Default for TrainSpec {
+    fn default() -> Self {
+        Self {
+            epochs: 200,
+            learning_rate: 0.5,
+            l2: 1e-3,
+            balance: true,
+        }
+    }
+}
+
+impl TrainSpec {
+    /// Checks every invariant the trainer relies on.
+    ///
+    /// # Errors
+    ///
+    /// [`TrustError::InvalidParameter`] naming the violated bound.
+    pub fn validate(&self) -> Result<(), TrustError> {
+        if self.epochs == 0 {
+            return Err(TrustError::InvalidParameter {
+                what: "logistic training needs at least one epoch",
+            });
+        }
+        if !(self.learning_rate.is_finite() && self.learning_rate > 0.0) {
+            return Err(TrustError::InvalidParameter {
+                what: "learning_rate must be positive and finite",
+            });
+        }
+        if !(self.l2.is_finite() && self.l2 >= 0.0) {
+            return Err(TrustError::InvalidParameter {
+                what: "l2 must be non-negative and finite",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A fitted logistic-regression model: per-dimension standardization
+/// (learned from the training set) followed by `σ(w·x + b)`.
+///
+/// Prediction is pure and self-contained, so a model can be handed to
+/// worker threads or across crates (the attribution harness in
+/// `emtrust-bench` trains one per held-out Trojan).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogisticModel {
+    mean: Vec<f64>,
+    scale: Vec<f64>,
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl LogisticModel {
+    /// Trains on `features` (row per example) against boolean `labels`
+    /// (`true` = anomalous / Trojan class). Deterministic — see the
+    /// module docs.
+    ///
+    /// # Errors
+    ///
+    /// [`TrustError::InvalidParameter`] on an empty or ragged training
+    /// set, non-finite values, a label-count mismatch, a single-class
+    /// set, or an out-of-range spec.
+    pub fn train(
+        features: &[Vec<f64>],
+        labels: &[bool],
+        spec: TrainSpec,
+    ) -> Result<Self, TrustError> {
+        spec.validate()?;
+        let n = features.len();
+        if n == 0 || labels.len() != n {
+            return Err(TrustError::InvalidParameter {
+                what: "logistic training needs one label per feature row",
+            });
+        }
+        let dims = features[0].len();
+        if dims == 0 {
+            return Err(TrustError::InvalidParameter {
+                what: "logistic training needs at least one feature dimension",
+            });
+        }
+        for row in features {
+            if row.len() != dims {
+                return Err(TrustError::InvalidParameter {
+                    what: "logistic training set is ragged",
+                });
+            }
+            if row.iter().any(|x| !x.is_finite()) {
+                return Err(TrustError::InvalidParameter {
+                    what: "logistic training features must be finite",
+                });
+            }
+        }
+        let positives = labels.iter().filter(|&&l| l).count();
+        if positives == 0 || positives == n {
+            return Err(TrustError::InvalidParameter {
+                what: "logistic training needs both classes represented",
+            });
+        }
+
+        // Standardize per dimension; a constant dimension gets unit
+        // scale so it contributes nothing rather than a division blowup.
+        let mut mean = vec![0.0; dims];
+        for row in features {
+            for (m, &x) in mean.iter_mut().zip(row) {
+                *m += x;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f64;
+        }
+        let mut scale = vec![0.0; dims];
+        for row in features {
+            for ((s, &m), &x) in scale.iter_mut().zip(&mean).zip(row) {
+                let d = x - m;
+                *s += d * d;
+            }
+        }
+        for s in &mut scale {
+            *s = (*s / n as f64).sqrt();
+            if *s <= f64::EPSILON {
+                *s = 1.0;
+            }
+        }
+
+        // Inverse-frequency class weights (mean weight 1.0) when
+        // balancing; uniform otherwise.
+        let (w_pos, w_neg) = if spec.balance {
+            let p = positives as f64;
+            let q = (n - positives) as f64;
+            (n as f64 / (2.0 * p), n as f64 / (2.0 * q))
+        } else {
+            (1.0, 1.0)
+        };
+
+        let std_rows: Vec<Vec<f64>> = features
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .zip(&mean)
+                    .zip(&scale)
+                    .map(|((&x, &m), &s)| (x - m) / s)
+                    .collect()
+            })
+            .collect();
+
+        let mut weights = vec![0.0; dims];
+        let mut bias = 0.0;
+        let mut grad = vec![0.0; dims];
+        for _ in 0..spec.epochs {
+            grad.iter_mut().for_each(|g| *g = 0.0);
+            let mut grad_b = 0.0;
+            for (row, &label) in std_rows.iter().zip(labels) {
+                let z = bias + weights.iter().zip(row).map(|(&w, &x)| w * x).sum::<f64>();
+                let err = sigmoid(z) - f64::from(u8::from(label));
+                let cw = if label { w_pos } else { w_neg };
+                for (g, &x) in grad.iter_mut().zip(row) {
+                    *g += cw * err * x;
+                }
+                grad_b += cw * err;
+            }
+            let inv_n = 1.0 / n as f64;
+            for (w, &g) in weights.iter_mut().zip(&grad) {
+                *w -= spec.learning_rate * (g * inv_n + spec.l2 * *w);
+            }
+            bias -= spec.learning_rate * grad_b * inv_n;
+        }
+        Ok(Self {
+            mean,
+            scale,
+            weights,
+            bias,
+        })
+    }
+
+    /// Feature dimensionality the model was trained on.
+    pub fn dims(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The learned weights, in standardized feature space.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The learned bias.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// The raw decision value `w·x̂ + b` over standardized features.
+    ///
+    /// # Errors
+    ///
+    /// [`TrustError::InvalidParameter`] on a dimension mismatch or a
+    /// non-finite feature.
+    pub fn decision(&self, features: &[f64]) -> Result<f64, TrustError> {
+        if features.len() != self.weights.len() {
+            return Err(TrustError::InvalidParameter {
+                what: "feature length does not match the logistic model",
+            });
+        }
+        if features.iter().any(|x| !x.is_finite()) {
+            return Err(TrustError::InvalidParameter {
+                what: "logistic features must be finite",
+            });
+        }
+        Ok(self.bias
+            + self
+                .weights
+                .iter()
+                .zip(features)
+                .zip(self.mean.iter().zip(&self.scale))
+                .map(|((&w, &x), (&m, &s))| w * ((x - m) / s))
+                .sum::<f64>())
+    }
+
+    /// The predicted anomaly probability `σ(decision)`.
+    ///
+    /// # Errors
+    ///
+    /// Forwarded from [`Self::decision`].
+    pub fn predict(&self, features: &[f64]) -> Result<f64, TrustError> {
+        Ok(sigmoid(self.decision(features)?))
+    }
+}
+
+/// Knobs of the [`LearnedDetector`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LearnedConfig {
+    /// Samples per RMS feature bin (matches
+    /// [`crate::fingerprint::FingerprintConfig::rms_bin`]).
+    pub rms_bin: usize,
+    /// Gradient-descent spec for the trace classifier.
+    pub train: TrainSpec,
+    /// Seed of the synthetic-anomaly augmentation. Training is
+    /// bit-identical for a fixed seed.
+    pub seed: u64,
+    /// Amplitude scales of the synthetic anomaly class — a Trojan's
+    /// payload superimposes *extra* switching current, so anomalies are
+    /// benign traces with more energy. Every scale must exceed 1.0: the
+    /// model is linear, and a one-sided anomaly class is what keeps the
+    /// benign class linearly separable.
+    pub synthetic_scales: [f64; 3],
+    /// Per-bin multiplicative jitter of the synthetic anomalies.
+    pub synthetic_jitter: f64,
+    /// Probability threshold of the suspected verdict.
+    pub decision_probability: f64,
+}
+
+impl Default for LearnedConfig {
+    fn default() -> Self {
+        Self {
+            rms_bin: DEFAULT_RMS_BIN,
+            train: TrainSpec {
+                balance: false,
+                ..TrainSpec::default()
+            },
+            seed: 0x1ea2ced,
+            synthetic_scales: [1.1, 1.2, 1.4],
+            synthetic_jitter: 0.03,
+            decision_probability: 0.5,
+        }
+    }
+}
+
+impl LearnedConfig {
+    /// Checks every invariant the detector relies on.
+    ///
+    /// # Errors
+    ///
+    /// [`TrustError::InvalidParameter`] naming the violated bound.
+    pub fn validate(&self) -> Result<(), TrustError> {
+        if self.rms_bin == 0 {
+            return Err(TrustError::InvalidParameter {
+                what: "rms_bin must be >= 1",
+            });
+        }
+        self.train.validate()?;
+        if self
+            .synthetic_scales
+            .iter()
+            .any(|s| !s.is_finite() || *s <= 1.0)
+        {
+            return Err(TrustError::InvalidParameter {
+                what: "synthetic_scales must be finite and exceed 1.0",
+            });
+        }
+        if !(self.synthetic_jitter.is_finite() && (0.0..1.0).contains(&self.synthetic_jitter)) {
+            return Err(TrustError::InvalidParameter {
+                what: "synthetic_jitter must be in [0, 1)",
+            });
+        }
+        if !(self.decision_probability.is_finite()
+            && (0.0..1.0).contains(&self.decision_probability)
+            && self.decision_probability > 0.0)
+        {
+            return Err(TrustError::InvalidParameter {
+                what: "decision_probability must be in (0, 1)",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Warm-up ring of a self-calibrating [`LearnedDetector`].
+#[derive(Debug, Clone)]
+struct LearnedWarmup {
+    required: usize,
+    rms_bin: usize,
+    ring: Vec<Vec<f64>>,
+}
+
+/// The fourth built-in [`Detector`]: a logistic-regression trace
+/// classifier alongside Euclidean / spectral-window /
+/// spectral-persistence (see the module docs for the training story).
+///
+/// The statistic is the predicted anomaly probability against the
+/// configured probability threshold, so scores are directly
+/// interpretable and fuse cleanly with the margin-style detectors.
+#[derive(Debug, Clone)]
+pub struct LearnedDetector {
+    config: LearnedConfig,
+    model: Option<LogisticModel>,
+    selfcal: Option<LearnedWarmup>,
+}
+
+impl LearnedDetector {
+    /// An unfitted detector with the given knobs; fit it from a
+    /// [`GoldenContext`] or a [`BaselineSource`].
+    pub fn from_config(config: LearnedConfig) -> Self {
+        Self {
+            config,
+            model: None,
+            selfcal: None,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> LearnedConfig {
+        self.config
+    }
+
+    /// The trained model, if any.
+    pub fn model(&self) -> Option<&LogisticModel> {
+        self.model.as_ref()
+    }
+
+    /// Builds the synthetic two-class training set from benign feature
+    /// rows and trains the classifier. Deterministic for a fixed seed.
+    fn train_from_benign(&self, benign: &[Vec<f64>]) -> Result<LogisticModel, TrustError> {
+        if benign.len() < 2 {
+            return Err(TrustError::InvalidParameter {
+                what: "learned detector needs at least two benign observations",
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut features =
+            Vec::with_capacity(benign.len() * (1 + self.config.synthetic_scales.len()));
+        let mut labels = Vec::with_capacity(features.capacity());
+        for row in benign {
+            features.push(row.clone());
+            labels.push(false);
+        }
+        let jitter = self.config.synthetic_jitter;
+        for row in benign {
+            for &scale in &self.config.synthetic_scales {
+                let anomaly: Vec<f64> = row
+                    .iter()
+                    .map(|&x| x * scale * (1.0 + jitter * rng.gen_range(-1.0..1.0)))
+                    .collect();
+                features.push(anomaly);
+                labels.push(true);
+            }
+        }
+        LogisticModel::train(&features, &labels, self.config.train)
+    }
+}
+
+impl Detector for LearnedDetector {
+    fn name(&self) -> &'static str {
+        "learned"
+    }
+
+    fn domain(&self) -> DetectorDomain {
+        DetectorDomain::PerEncryption
+    }
+
+    fn feature_plan(&self) -> FeaturePlan {
+        // Scores raw per-bin RMS features — no golden projection and no
+        // spectrum are requested from the shared featurizer.
+        FeaturePlan::default()
+    }
+
+    fn fit(&mut self, ctx: &GoldenContext<'_>) -> Result<(), TrustError> {
+        self.config.validate()?;
+        let traces = ctx.traces.ok_or(TrustError::InvalidParameter {
+            what: "learned detector needs golden traces to fit",
+        })?;
+        let benign: Vec<Vec<f64>> = traces
+            .traces()
+            .iter()
+            .map(|t| bin_rms(t, self.config.rms_bin))
+            .collect::<Result<_, _>>()?;
+        self.model = Some(self.train_from_benign(&benign)?);
+        self.selfcal = None;
+        Ok(())
+    }
+
+    fn fit_baseline(&mut self, source: &BaselineSource<'_>) -> Result<(), TrustError> {
+        match source {
+            BaselineSource::Golden(ctx) => self.fit(ctx),
+            BaselineSource::SelfCalibrating(cfg) => {
+                self.config.validate()?;
+                cfg.validate()?;
+                self.model = None;
+                self.selfcal = Some(LearnedWarmup {
+                    required: cfg.warmup,
+                    rms_bin: cfg.rms_bin,
+                    ring: Vec::with_capacity(cfg.warmup),
+                });
+                Ok(())
+            }
+        }
+    }
+
+    fn is_fitted(&self) -> bool {
+        self.model.is_some() || self.selfcal.is_some()
+    }
+
+    fn readiness(&self) -> DetectorReadiness {
+        if self.model.is_some() {
+            return DetectorReadiness::Ready;
+        }
+        match &self.selfcal {
+            Some(w) => DetectorReadiness::Calibrating {
+                seen: w.ring.len().min(u32::MAX as usize) as u32,
+                required: w.required.min(u32::MAX as usize) as u32,
+            },
+            None => DetectorReadiness::NeedsGoldenTraces,
+        }
+    }
+
+    fn score(&self, frame: &FeatureFrame<'_>) -> Result<Score, TrustError> {
+        let Some(model) = self.model.as_ref() else {
+            if self.selfcal.is_some() {
+                // Warm-up: benign by construction (the verdict
+                // comparison is strict).
+                return Ok(Score {
+                    statistic: 0.0,
+                    threshold: self.config.decision_probability,
+                    detail: ScoreDetail::None,
+                });
+            }
+            return Err(TrustError::InvalidParameter {
+                what: "learned detector is not fitted",
+            });
+        };
+        let rms_bin = self
+            .selfcal
+            .as_ref()
+            .map_or(self.config.rms_bin, |w| w.rms_bin);
+        let feats = bin_rms(frame.samples(), rms_bin)?;
+        Ok(Score {
+            statistic: model.predict(&feats)?,
+            threshold: self.config.decision_probability,
+            detail: ScoreDetail::None,
+        })
+    }
+
+    fn calibrate(&mut self, frame: &FeatureFrame<'_>, _score: &Score, health: SensorHealth) {
+        if self.model.is_some() {
+            // The self-learned classifier is frozen at arming, like the
+            // spectral warm-up: probabilities do not drift-track.
+            return;
+        }
+        let benign = {
+            let Some(w) = &mut self.selfcal else {
+                return;
+            };
+            if health != SensorHealth::Healthy {
+                telemetry::counter("baseline.calibrate_skips", 1);
+                return;
+            }
+            let feats = match bin_rms(frame.samples(), w.rms_bin) {
+                Ok(f) if f.iter().all(|x| x.is_finite()) => f,
+                _ => {
+                    telemetry::counter("baseline.calibrate_skips", 1);
+                    return;
+                }
+            };
+            if let Some(first) = w.ring.first() {
+                if first.len() != feats.len() {
+                    telemetry::counter("baseline.calibrate_skips", 1);
+                    return;
+                }
+            }
+            w.ring.push(feats);
+            if w.ring.len() < w.required {
+                return;
+            }
+            // The filled ring is consumed; on a degenerate warm-up the
+            // (now empty) ring restarts instead of wedging.
+            std::mem::take(&mut w.ring)
+        };
+        match self.train_from_benign(&benign) {
+            Ok(model) => self.model = Some(model),
+            Err(_) => telemetry::counter("baseline.calibrate_skips", 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acquisition::TraceSet;
+    use crate::baseline::SelfCalibratingConfig;
+
+    fn synthetic_set(n: usize, amplitude: f64, seed: u64) -> TraceSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        TraceSet::new(
+            (0..n)
+                .map(|_| {
+                    (0..256)
+                        .map(|j| {
+                            amplitude * ((j as f64 / 7.0).sin() + 0.02 * rng.gen_range(-1.0..1.0))
+                        })
+                        .collect()
+                })
+                .collect(),
+            640e6,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn training_is_deterministic_and_seed_sensitive() {
+        let golden = synthetic_set(16, 1.0, 1);
+        let mut a = LearnedDetector::from_config(LearnedConfig::default());
+        let mut b = LearnedDetector::from_config(LearnedConfig::default());
+        a.fit(&GoldenContext::new().with_traces(&golden)).unwrap();
+        b.fit(&GoldenContext::new().with_traces(&golden)).unwrap();
+        assert_eq!(a.model(), b.model(), "same seed must train bit-identically");
+        let mut c = LearnedDetector::from_config(LearnedConfig {
+            seed: 999,
+            ..LearnedConfig::default()
+        });
+        c.fit(&GoldenContext::new().with_traces(&golden)).unwrap();
+        assert_ne!(a.model(), c.model(), "the augmentation seed must matter");
+    }
+
+    #[test]
+    fn learned_detector_separates_energy_anomalies() {
+        let golden = synthetic_set(24, 1.0, 1);
+        let mut det = LearnedDetector::from_config(LearnedConfig::default());
+        assert!(!det.is_fitted());
+        assert!(det.score(&FeatureFrame::new(&[1.0; 64])).is_err());
+        det.fit(&GoldenContext::new().with_traces(&golden)).unwrap();
+        assert!(det.is_fitted());
+        assert!(det.readiness().is_ready());
+
+        let clean = synthetic_set(8, 1.0, 7);
+        for t in clean.traces() {
+            let s = det.score(&FeatureFrame::new(t)).unwrap();
+            assert!(!det.verdict(&s), "clean trace scored {}", s.statistic);
+        }
+        let hot = synthetic_set(8, 1.3, 9);
+        let flagged = hot
+            .traces()
+            .iter()
+            .filter(|t| {
+                let s = det.score(&FeatureFrame::new(t)).unwrap();
+                det.verdict(&s)
+            })
+            .count();
+        assert!(flagged >= 7, "only {flagged}/8 hot traces flagged");
+    }
+
+    #[test]
+    fn self_calibrating_learned_detector_arms_from_live_frames() {
+        let mut det = LearnedDetector::from_config(LearnedConfig::default());
+        let cfg = SelfCalibratingConfig {
+            warmup: 8,
+            ..SelfCalibratingConfig::default()
+        };
+        det.fit_baseline(&BaselineSource::self_calibrating(cfg))
+            .unwrap();
+        assert!(det.is_fitted());
+        assert!(!det.readiness().is_ready());
+
+        let clean = synthetic_set(8, 1.0, 3);
+        for t in clean.traces() {
+            let frame = FeatureFrame::new(t);
+            let score = det.score(&frame).unwrap();
+            // Warm-up scores are benign by construction.
+            assert!(!det.verdict(&score));
+            det.calibrate(&frame, &score, SensorHealth::Healthy);
+        }
+        assert!(det.readiness().is_ready(), "ring filled, must be armed");
+        let hot = synthetic_set(4, 1.35, 5);
+        let flagged = hot
+            .traces()
+            .iter()
+            .filter(|t| {
+                let s = det.score(&FeatureFrame::new(t)).unwrap();
+                det.verdict(&s)
+            })
+            .count();
+        assert!(flagged >= 3, "only {flagged}/4 hot traces flagged");
+    }
+
+    #[test]
+    fn unhealthy_frames_never_join_the_warmup() {
+        let mut det = LearnedDetector::from_config(LearnedConfig::default());
+        det.fit_baseline(&BaselineSource::self_calibrating(SelfCalibratingConfig {
+            warmup: 2,
+            ..SelfCalibratingConfig::default()
+        }))
+        .unwrap();
+        let clean = synthetic_set(2, 1.0, 3);
+        let t = &clean.traces()[0];
+        let frame = FeatureFrame::new(t);
+        let score = det.score(&frame).unwrap();
+        det.calibrate(&frame, &score, SensorHealth::Degraded);
+        det.calibrate(&frame, &score, SensorHealth::SensorFault);
+        assert_eq!(
+            det.readiness(),
+            DetectorReadiness::Calibrating {
+                seen: 0,
+                required: 2
+            }
+        );
+    }
+
+    #[test]
+    fn logistic_model_validates_inputs() {
+        assert!(LogisticModel::train(&[], &[], TrainSpec::default()).is_err());
+        assert!(
+            LogisticModel::train(&[vec![1.0], vec![2.0]], &[true], TrainSpec::default()).is_err()
+        );
+        // One-class sets are rejected.
+        assert!(LogisticModel::train(
+            &[vec![1.0], vec![2.0]],
+            &[false, false],
+            TrainSpec::default()
+        )
+        .is_err());
+        // Ragged rows are rejected.
+        assert!(LogisticModel::train(
+            &[vec![1.0], vec![2.0, 3.0]],
+            &[false, true],
+            TrainSpec::default()
+        )
+        .is_err());
+        let m = LogisticModel::train(
+            &[
+                vec![0.0, 1.0],
+                vec![0.1, 1.1],
+                vec![2.0, 3.0],
+                vec![2.1, 3.2],
+            ],
+            &[false, false, true, true],
+            TrainSpec::default(),
+        )
+        .unwrap();
+        assert_eq!(m.dims(), 2);
+        assert!(m.predict(&[0.0, 1.0]).unwrap() < 0.5);
+        assert!(m.predict(&[2.0, 3.0]).unwrap() > 0.5);
+        assert!(m.predict(&[1.0]).is_err());
+        assert!(m.predict(&[f64::NAN, 0.0]).is_err());
+    }
+
+    #[test]
+    fn balanced_training_handles_rare_positives() {
+        // 60 negatives around 0, 4 positives around 3: an unbalanced fit
+        // could drown the positives; the balanced one must rank every
+        // positive above every negative.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut features = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..60 {
+            features.push(vec![rng.gen_range(-0.5..0.5), rng.gen_range(-0.5..0.5)]);
+            labels.push(false);
+        }
+        for _ in 0..4 {
+            features.push(vec![
+                3.0 + rng.gen_range(-0.2..0.2),
+                3.0 + rng.gen_range(-0.2..0.2),
+            ]);
+            labels.push(true);
+        }
+        let m = LogisticModel::train(&features, &labels, TrainSpec::default()).unwrap();
+        let worst_pos = features
+            .iter()
+            .zip(&labels)
+            .filter(|(_, &l)| l)
+            .map(|(f, _)| m.predict(f).unwrap())
+            .fold(f64::INFINITY, f64::min);
+        let best_neg = features
+            .iter()
+            .zip(&labels)
+            .filter(|(_, &l)| !l)
+            .map(|(f, _)| m.predict(f).unwrap())
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(worst_pos > best_neg);
+    }
+
+    #[test]
+    fn config_bounds_are_enforced() {
+        assert!(LearnedConfig::default().validate().is_ok());
+        let cases = [
+            LearnedConfig {
+                rms_bin: 0,
+                ..LearnedConfig::default()
+            },
+            LearnedConfig {
+                synthetic_scales: [1.0, 1.2, 1.3],
+                ..LearnedConfig::default()
+            },
+            LearnedConfig {
+                synthetic_jitter: 1.0,
+                ..LearnedConfig::default()
+            },
+            LearnedConfig {
+                decision_probability: 0.0,
+                ..LearnedConfig::default()
+            },
+            LearnedConfig {
+                train: TrainSpec {
+                    epochs: 0,
+                    ..TrainSpec::default()
+                },
+                ..LearnedConfig::default()
+            },
+        ];
+        for cfg in cases {
+            assert!(cfg.validate().is_err(), "{cfg:?} must be rejected");
+        }
+    }
+}

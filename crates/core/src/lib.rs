@@ -82,6 +82,7 @@ pub use emtrust_telemetry as telemetry;
 
 pub mod acquisition;
 pub mod array;
+pub mod attribution;
 pub mod baseline;
 pub mod detector;
 pub mod error;
@@ -90,6 +91,7 @@ pub mod features;
 pub mod fingerprint;
 pub mod fusion;
 pub mod health;
+pub mod learned;
 pub mod monitor;
 pub mod parallel;
 pub mod persistence;
@@ -103,6 +105,7 @@ pub use array::{
     ArrayBuilder, ArrayConfig, ArrayVerdict, ConsensusConfig, ConsensusDetector, Localizer,
     RegionScore, SensorArray, TileScore,
 };
+pub use attribution::{Attribution, CellEvidence, CellFeatures, CellScore};
 pub use baseline::{
     BaselineSource, CalibrationState, DetectorReadiness, RobustModel, RollingBaseline,
     SelfCalibratingConfig,
@@ -116,11 +119,13 @@ pub use features::FeatureFrame;
 pub use fingerprint::{FingerprintConfig, GoldenFingerprint};
 pub use fusion::FusionPolicy;
 pub use health::{HealthConfig, HealthTracker, HealthTransition, SensorHealth};
+pub use learned::{LearnedConfig, LearnedDetector, LogisticModel, TrainSpec};
 pub use monitor::{Alarm, TrustMonitor, TrustMonitorBuilder};
 pub use parallel::ParallelConfig;
 pub use persistence::{PersistenceConfig, SpectralPersistenceDetector};
 pub use pipeline::{
-    BatchOutcome, DetectionPipeline, PipelineAlarm, PipelineBuilder, TraceOutcome, WindowOutcome,
+    BatchOutcome, DetectionPipeline, DetectorConfig, PipelineAlarm, PipelineBuilder, TraceOutcome,
+    WindowOutcome,
 };
 pub use sanitize::{SanitizerConfig, TraceDefect, TraceSanitizer, TraceVerdict};
 pub use spectral::SpectralDetector;

@@ -27,14 +27,21 @@
 //! compatibility wrapper over a pipeline with an Euclidean detector, an
 //! optional spectral detector, and [`FusionPolicy::Or`].
 
+use crate::array::{ConsensusConfig, ConsensusDetector};
 use crate::baseline::{BaselineSource, CalibrationState};
-use crate::detector::{Detector, DetectorDomain, DetectorVerdict, GoldenContext, Score, WelchSpec};
+use crate::detector::{
+    Detector, DetectorDomain, DetectorVerdict, EuclideanDetector, GoldenContext, Score,
+    SpectralWindowDetector, WelchSpec,
+};
 use crate::features::FeatureFrame;
-use crate::fingerprint::GoldenFingerprint;
+use crate::fingerprint::{FingerprintConfig, GoldenFingerprint};
 use crate::fusion::FusionPolicy;
 use crate::health::{HealthConfig, HealthTracker, SensorHealth};
+use crate::learned::{LearnedConfig, LearnedDetector};
 use crate::parallel::ParallelConfig;
+use crate::persistence::{PersistenceConfig, SpectralPersistenceDetector};
 use crate::sanitize::{SanitizerConfig, TraceDefect, TraceSanitizer, TraceVerdict};
+use crate::spectral::SpectralConfig;
 use crate::TrustError;
 use emtrust_dsp::spectrum::Spectrum;
 use emtrust_dsp::DspError;
@@ -138,6 +145,76 @@ impl BatchOutcome {
     }
 }
 
+/// Declarative description of one detector — the factory counterpart
+/// of [`PipelineBuilder::detector`], so harnesses (the attribution
+/// bench, config-file front-ends) can sweep detector sets as plain
+/// data instead of hand-wiring constructors.
+///
+/// Every variant builds the *unfitted* form of its detector; fit it
+/// through [`DetectionPipeline::fit`] / `fit_baseline` as usual. A
+/// pipeline assembled from configs is bit-identical to one wired by
+/// hand from the same configs (pinned by test).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DetectorConfig {
+    /// Reference-distance detector over RMS features
+    /// ([`EuclideanDetector`]).
+    Euclidean(FingerprintConfig),
+    /// Golden-spectrum window detector ([`SpectralWindowDetector`]).
+    SpectralWindow(SpectralConfig),
+    /// Reference-free hot-bin persistence detector
+    /// ([`SpectralPersistenceDetector`]).
+    SpectralPersistence(PersistenceConfig),
+    /// Learned logistic-regression trace classifier
+    /// ([`LearnedDetector`]).
+    Learned(LearnedConfig),
+    /// Cross-sensor spatial-asymmetry consensus ([`ConsensusDetector`],
+    /// scored over per-tile margins rather than traces).
+    Consensus(ConsensusConfig),
+}
+
+impl DetectorConfig {
+    /// The [`Detector::name`] the built detector will report.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Euclidean(_) => "euclidean",
+            Self::SpectralWindow(_) => "spectral",
+            Self::SpectralPersistence(_) => "persistence",
+            Self::Learned(_) => "learned",
+            Self::Consensus(_) => "consensus",
+        }
+    }
+
+    /// Checks the wrapped configuration's invariants.
+    ///
+    /// # Errors
+    ///
+    /// [`TrustError::InvalidParameter`] naming the violated bound.
+    pub fn validate(&self) -> Result<(), TrustError> {
+        match self {
+            Self::Euclidean(_) | Self::SpectralWindow(_) | Self::SpectralPersistence(_) => Ok(()),
+            Self::Learned(cfg) => cfg.validate(),
+            Self::Consensus(cfg) => cfg.validate(),
+        }
+    }
+
+    /// Builds the unfitted detector.
+    ///
+    /// # Errors
+    ///
+    /// Forwarded from [`Self::validate`].
+    pub fn build(&self) -> Result<Box<dyn Detector>, TrustError> {
+        self.validate()?;
+        Ok(match self {
+            Self::Euclidean(cfg) => Box::new(EuclideanDetector::from_config(*cfg)),
+            Self::SpectralWindow(cfg) => Box::new(SpectralWindowDetector::from_config(*cfg)),
+            Self::SpectralPersistence(cfg) => Box::new(SpectralPersistenceDetector::new(*cfg)),
+            Self::Learned(cfg) => Box::new(LearnedDetector::from_config(*cfg)),
+            Self::Consensus(cfg) => Box::new(ConsensusDetector::new(*cfg)?),
+        })
+    }
+}
+
 /// Builder for [`DetectionPipeline`].
 #[derive(Debug, Default)]
 pub struct PipelineBuilder {
@@ -156,6 +233,17 @@ impl PipelineBuilder {
     pub fn detector(mut self, detector: Box<dyn Detector>) -> Self {
         self.detectors.push(detector);
         self
+    }
+
+    /// Registers a detector built from its declarative
+    /// [`DetectorConfig`] — same ordering semantics as
+    /// [`Self::detector`].
+    ///
+    /// # Errors
+    ///
+    /// Forwarded from [`DetectorConfig::build`].
+    pub fn detector_config(self, config: &DetectorConfig) -> Result<Self, TrustError> {
+        Ok(self.detector(config.build()?))
     }
 
     /// Sets the fusion policy (default: [`FusionPolicy::Or`]).
@@ -313,6 +401,26 @@ impl DetectionPipeline {
     /// Starts building a pipeline.
     pub fn builder() -> PipelineBuilder {
         PipelineBuilder::default()
+    }
+
+    /// Assembles an unfitted pipeline from declarative detector
+    /// descriptions, in the given (vote) order — the factory entry the
+    /// evaluation harness sweeps detector sets through. Other builder
+    /// knobs keep their defaults; use [`Self::builder`] with
+    /// [`PipelineBuilder::detector_config`] when they matter.
+    ///
+    /// # Errors
+    ///
+    /// Forwarded from [`DetectorConfig::build`].
+    pub fn from_configs(
+        configs: &[DetectorConfig],
+        fusion: FusionPolicy,
+    ) -> Result<Self, TrustError> {
+        let mut builder = Self::builder().fusion(fusion);
+        for config in configs {
+            builder = builder.detector_config(config)?;
+        }
+        Ok(builder.build())
     }
 
     /// Fits every registered detector on the golden context, in
@@ -1328,6 +1436,50 @@ mod tests {
         DetectionPipeline::builder()
             .detector(Box::new(EuclideanDetector::new(fp)))
             .build()
+    }
+
+    #[test]
+    fn config_built_pipeline_is_bit_identical_to_hand_wired() {
+        use crate::learned::{LearnedConfig, LearnedDetector};
+        let golden = synthetic_set(32, 1.0, 1);
+        let ctx = GoldenContext::new().with_traces(&golden);
+        let configs = [
+            DetectorConfig::Euclidean(FingerprintConfig::default()),
+            DetectorConfig::Learned(LearnedConfig::default()),
+        ];
+        let mut by_config = DetectionPipeline::from_configs(&configs, FusionPolicy::Or).unwrap();
+        let mut by_hand = DetectionPipeline::builder()
+            .detector(Box::new(EuclideanDetector::from_config(
+                FingerprintConfig::default(),
+            )))
+            .detector(Box::new(LearnedDetector::from_config(
+                LearnedConfig::default(),
+            )))
+            .fusion(FusionPolicy::Or)
+            .build();
+        assert_eq!(by_config.detector_names(), by_hand.detector_names());
+        by_config.fit(&ctx).unwrap();
+        by_hand.fit(&ctx).unwrap();
+        let probes: Vec<Vec<f64>> = synthetic_set(6, 1.0, 2)
+            .traces()
+            .iter()
+            .chain(synthetic_set(2, 1.4, 3).traces())
+            .cloned()
+            .collect();
+        for t in &probes {
+            let a = by_config.try_ingest_trace(t).unwrap();
+            let b = by_hand.try_ingest_trace(t).unwrap();
+            assert_eq!(a.votes, b.votes, "scores must match bit for bit");
+            assert_eq!(a.alarm.is_some(), b.alarm.is_some());
+        }
+        // An invalid config is rejected at build, not detection, time.
+        let bad = DetectorConfig::Learned(LearnedConfig {
+            decision_probability: 0.0,
+            ..LearnedConfig::default()
+        });
+        assert!(bad.build().is_err());
+        assert!(DetectionPipeline::builder().detector_config(&bad).is_err());
+        assert_eq!(bad.name(), "learned");
     }
 
     #[test]

@@ -58,5 +58,5 @@ pub mod activity;
 pub mod engine;
 pub mod vcd;
 
-pub use activity::{ActivityTrace, CycleActivity, ToggleEvent};
+pub use activity::{ActivityTrace, CycleActivity, ToggleActivity, ToggleEvent};
 pub use engine::Simulator;

@@ -164,12 +164,12 @@ fn one_by_one_array_is_bit_identical_to_the_legacy_single_sensor_path() {
     let mut monitor = TrustMonitor::builder(fp).build();
     let legacy_alarms = monitor.ingest_batch(legacy_bad.traces()).unwrap().len();
     array.fit_golden(&array_golden).unwrap();
-    let verdict = array.evaluate(&array_bad).unwrap();
-    assert_eq!(verdict.heat.len(), 1);
-    let array_alarms = (verdict.heat[0].alarm_rate * 8.0).round() as usize;
+    let verdict = array.attribute(&array_bad, None).unwrap();
+    assert_eq!(verdict.heat().len(), 1);
+    let array_alarms = (verdict.heat()[0].alarm_rate * 8.0).round() as usize;
     assert_eq!(array_alarms, legacy_alarms);
-    assert_eq!(verdict.alarmed, legacy_alarms > 0);
-    assert!((monitor.alarm_rate() - verdict.heat[0].alarm_rate).abs() < 1e-12);
+    assert_eq!(verdict.alarmed(), legacy_alarms > 0);
+    assert!((monitor.alarm_rate() - verdict.heat()[0].alarm_rate).abs() < 1e-12);
 }
 
 #[test]
@@ -187,10 +187,10 @@ fn localizer_is_undefined_on_a_flat_heat_map_and_array_stays_quiet_when_clean() 
     // Same seed, no Trojan armed: the suspect campaign replays the
     // golden one, so no tile may alarm and no excess may localize.
     let clean = array.collect(KEY, 8, None, 42).unwrap();
-    let verdict = array.evaluate(&clean).unwrap();
-    assert!(!verdict.alarmed);
-    assert!(verdict.centroid_um.is_none());
-    assert!(verdict.regions.is_empty());
+    let verdict = array.attribute(&clean, None).unwrap();
+    assert!(!verdict.alarmed());
+    assert!(verdict.centroid_um().is_none());
+    assert!(verdict.region_scores().is_empty());
     assert_eq!(verdict.top_region(), None);
     // The localizer itself says "no location" for an all-equal map.
     assert!(Localizer::new(vec![(0.0, 0.0); 4])
@@ -212,9 +212,9 @@ fn armed_trojan_localizes_to_its_placement_region() {
     array.fit_golden(&golden).unwrap();
     let kind = TrojanKind::T4PowerDegrader;
     let suspects = array.collect(KEY, 8, Some(kind), 44).unwrap();
-    let verdict = array.evaluate(&suspects).unwrap();
-    assert!(verdict.alarmed, "armed Trojan must raise tile alarms");
-    let (cx, cy) = verdict.centroid_um.expect("excess energy must localize");
+    let verdict = array.attribute(&suspects, None).unwrap();
+    assert!(verdict.alarmed(), "armed Trojan must raise tile alarms");
+    let (cx, cy) = verdict.centroid_um().expect("excess energy must localize");
     let die = array.floorplan().die();
     assert!(die
         .core
@@ -223,6 +223,6 @@ fn armed_trojan_localizes_to_its_placement_region() {
         verdict.hit_at(kind.module_tag(), 3),
         "{} not in top-3 of {:?}",
         kind.module_tag(),
-        verdict.regions
+        verdict.region_scores()
     );
 }
